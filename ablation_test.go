@@ -1,0 +1,139 @@
+package repro
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// balancing scheme, parallel grain size, augmentation maintenance cost,
+// and the refcount-1 reuse optimization. These quantify the paper's
+// claims that (a) the choice of balancing scheme barely matters once
+// everything is join-based, (b) maintaining a constant-time augmentation
+// costs ~10% on bulk operations, and (c) in-place reuse makes the
+// functional structure competitive with ephemeral ones.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/pam"
+)
+
+type coreSum = core.Tree[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+func coreSumTree(cfg core.Config, seed uint64, n int) coreSum {
+	items := make([]core.Entry[uint64, int64], n)
+	for i, e := range benchItems(seed, n) {
+		items[i] = core.Entry[uint64, int64]{Key: e.Key, Val: e.Val}
+	}
+	return core.New[uint64, int64, int64, pam.SumEntry[uint64, int64]](cfg).Build(items, addv)
+}
+
+// BenchmarkAblation_SchemeUnion compares union across the four balancing
+// schemes (paper §4: "similar algorithm can be applied to AVL trees,
+// red-black trees, weight-balanced trees and treaps").
+func BenchmarkAblation_SchemeUnion(b *testing.B) {
+	for _, sch := range []core.Scheme{core.WeightBalanced, core.AVL, core.RedBlack, core.Treap} {
+		t1 := coreSumTree(core.Config{Scheme: sch}, 1, benchN)
+		t2 := coreSumTree(core.Config{Scheme: sch}, 2, benchN)
+		b.Run(sch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = t1.UnionWith(t2, addv)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SchemeInsert compares sequential insertion loops.
+func BenchmarkAblation_SchemeInsert(b *testing.B) {
+	items := benchItems(3, 20_000)
+	for _, sch := range []core.Scheme{core.WeightBalanced, core.AVL, core.RedBlack, core.Treap} {
+		b.Run(sch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := core.New[uint64, int64, int64, pam.SumEntry[uint64, int64]](core.Config{Scheme: sch})
+				for _, e := range items {
+					t.InsertInPlace(e.Key, e.Val)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Grain sweeps the parallel grain size on union
+// (PAM fixes a node-count granularity; this shows the plateau).
+func BenchmarkAblation_Grain(b *testing.B) {
+	for _, grain := range []int64{64, 256, 1024, 4096, 16384} {
+		t1 := coreSumTree(core.Config{Grain: grain}, 1, benchN)
+		t2 := coreSumTree(core.Config{Grain: grain}, 2, benchN)
+		b.Run(fmt.Sprintf("grain=%d", grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = t1.UnionWith(t2, addv)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_AugOverhead measures the cost of maintaining the
+// augmentation on a bulk op: augmented vs plain union (paper: within
+// ~10%).
+func BenchmarkAblation_AugOverhead(b *testing.B) {
+	b.Run("augmented", func(b *testing.B) {
+		t1 := benchSumMap(1, benchN)
+		t2 := benchSumMap(2, benchN)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = t1.UnionWith(t2, addv)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		t1 := pam.NewMap[uint64, int64](pam.Options{}).Build(benchItems(1, benchN), nil)
+		t2 := pam.NewMap[uint64, int64](pam.Options{}).Build(benchItems(2, benchN), nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = t1.UnionWith(t2, addv)
+		}
+	})
+}
+
+// BenchmarkAblation_ReuseVsPersistent measures the refcount-1 reuse
+// optimization: in-place inserts into an unshared tree vs fully
+// persistent inserts that keep every version reachable.
+func BenchmarkAblation_ReuseVsPersistent(b *testing.B) {
+	items := benchItems(4, 20_000)
+	b.Run("inplace-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+			for _, e := range items {
+				m.InsertInPlace(e.Key, e.Val)
+			}
+		}
+	})
+	b.Run("persistent-allversions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+			keep := m
+			for _, e := range items {
+				m = m.Insert(e.Key, e.Val)
+			}
+			_ = keep
+		}
+	})
+}
+
+// BenchmarkAblation_AugFilterVsFilter is the headline augmentation win:
+// output-sensitive augmented filtering vs the linear plain filter at
+// shrinking output sizes.
+func BenchmarkAblation_AugFilterVsFilter(b *testing.B) {
+	m := pam.NewAugMap[uint64, int64, int64, pam.MaxEntry[uint64, int64]](pam.Options{}).
+		Build(benchItems(1, benchN), nil)
+	for _, k := range []int{benchN / 10, benchN / 100, benchN / 1000} {
+		th := int64(1000 - k*1000/benchN)
+		b.Run(fmt.Sprintf("augfilter/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.AugFilter(func(a int64) bool { return a >= th })
+			}
+		})
+		b.Run(fmt.Sprintf("plainfilter/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Filter(func(_ uint64, v int64) bool { return v >= th })
+			}
+		})
+	}
+}

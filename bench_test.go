@@ -1,0 +1,584 @@
+// Benchmarks regenerating the paper's evaluation (§6) as testing.B
+// harnesses — one family per table and figure. cmd/pambench runs the
+// same experiments with full tables and thread sweeps; these benches
+// measure the central operation of each at a fixed laptop scale, so
+// `go test -bench=. -benchmem` gives the whole evaluation in one run.
+//
+// Naming: BenchmarkTableN_* / BenchmarkFig6x_* matches the experiment
+// index in DESIGN.md.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline/btree"
+	"repro/internal/baseline/llrb"
+	"repro/internal/baseline/seqrangetree"
+	"repro/internal/baseline/skiplist"
+	"repro/internal/baseline/sortedarray"
+	"repro/internal/baseline/sortrebuild"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+	"repro/interval"
+	"repro/invindex"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+const benchN = 100_000 // paper: 10^8; scaled for the suite
+
+type sumMap = pam.AugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+func addv(a, b int64) int64 { return a + b }
+
+func benchItems(seed uint64, n int) []pam.KV[uint64, int64] {
+	ks, vs := workload.KeyValues(seed, n, uint64(2*n))
+	out := make([]pam.KV[uint64, int64], n)
+	for i := range out {
+		out[i] = pam.KV[uint64, int64]{Key: ks[i], Val: vs[i]}
+	}
+	return out
+}
+
+func benchSumMap(seed uint64, n int) sumMap {
+	return pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}).
+		Build(benchItems(seed, n), addv)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+func BenchmarkTable1_RangeSumBuild(b *testing.B) {
+	items := benchItems(1, benchN)
+	m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Build(items, addv)
+	}
+	b.ReportMetric(float64(benchN), "elems/op")
+}
+
+func BenchmarkTable1_RangeSumQuery(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	los := workload.Keys(2, 1024, uint64(2*benchN))
+	span := uint64(2 * benchN / 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := los[i%len(los)]
+		_ = m.AugRange(lo, lo+span)
+	}
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table 2 is about work bounds; the bench exposes the output-size
+// dependence of union, its headline bound m log(n/m + 1).
+func BenchmarkTable2_UnionWorkBound(b *testing.B) {
+	big := benchSumMap(1, benchN)
+	for _, m := range []int{100, 10_000, benchN} {
+		small := benchSumMap(uint64(m)+7, m)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = big.UnionWith(small, addv)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Table 3
+
+func BenchmarkTable3_UnionEqual(b *testing.B) {
+	t1 := benchSumMap(1, benchN)
+	t2 := benchSumMap(2, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t1.UnionWith(t2, addv)
+	}
+}
+
+func BenchmarkTable3_UnionSkewed(b *testing.B) {
+	t1 := benchSumMap(1, benchN)
+	t2 := benchSumMap(2, benchN/1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t1.UnionWith(t2, addv)
+	}
+}
+
+func BenchmarkTable3_Find(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	keys := workload.Keys(3, 4096, uint64(2*benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Find(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkTable3_Insert(b *testing.B) {
+	items := benchItems(4, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+		b.StartTimer()
+		for _, e := range items[:10_000] {
+			m.InsertInPlace(e.Key, e.Val)
+		}
+	}
+	b.ReportMetric(10_000, "inserts/op")
+}
+
+func BenchmarkTable3_Build(b *testing.B) {
+	items := benchItems(5, benchN)
+	m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Build(items, addv)
+	}
+}
+
+func BenchmarkTable3_Filter(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Filter(func(k uint64, _ int64) bool { return k%2 == 0 })
+	}
+}
+
+func BenchmarkTable3_MultiInsert(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	batch := benchItems(6, benchN/1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MultiInsert(batch, addv)
+	}
+}
+
+func BenchmarkTable3_Range(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	los := workload.Keys(7, 1024, uint64(2*benchN))
+	span := uint64(2 * benchN / 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := los[i%len(los)]
+		_ = m.Range(lo, lo+span)
+	}
+}
+
+func BenchmarkTable3_AugLeft(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	keys := workload.Keys(8, 1024, uint64(2*benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.AugLeft(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkTable3_AugRange(b *testing.B) {
+	m := benchSumMap(1, benchN)
+	keys := workload.Keys(9, 1024, uint64(2*benchN))
+	span := uint64(2 * benchN / 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := keys[i%len(keys)]
+		_ = m.AugRange(lo, lo+span)
+	}
+}
+
+// AugRange without augmentation: extract the range and scan it — the
+// paper's "non-augmented PAM (augmented functions)" rows.
+func BenchmarkTable3_AugRangeByScan(b *testing.B) {
+	m := pam.NewMap[uint64, int64](pam.Options{}).Build(benchItems(1, benchN), nil)
+	keys := workload.Keys(9, 1024, uint64(2*benchN))
+	span := uint64(2 * benchN / 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := keys[i%len(keys)]
+		var s int64
+		m.Range(lo, lo+span).ForEach(func(_ uint64, v int64) bool { s += v; return true })
+	}
+}
+
+func BenchmarkTable3_AugFilter(b *testing.B) {
+	m := pam.NewAugMap[uint64, int64, int64, pam.MaxEntry[uint64, int64]](pam.Options{}).
+		Build(benchItems(1, benchN), nil)
+	for _, k := range []int{benchN / 1000, benchN / 100} {
+		th := int64(1000 - k*1000/benchN) // values uniform in [0,1000)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.AugFilter(func(a int64) bool { return a >= th })
+			}
+		})
+	}
+}
+
+func BenchmarkTable3_FilterPlainForComparison(b *testing.B) {
+	m := pam.NewMap[uint64, int64](pam.Options{}).Build(benchItems(1, benchN), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Filter(func(_ uint64, v int64) bool { return v >= 999 })
+	}
+}
+
+func BenchmarkTable3_STLUnionTree(b *testing.B) {
+	t1, t2 := &llrb.Tree{}, &llrb.Tree{}
+	for _, e := range benchItems(1, benchN) {
+		t1.Insert(e.Key, e.Val)
+	}
+	for _, e := range benchItems(2, benchN) {
+		t2.Insert(e.Key, e.Val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = llrb.UnionInto(t1, t2)
+	}
+}
+
+func BenchmarkTable3_STLUnionArray(b *testing.B) {
+	toPairs := func(items []pam.KV[uint64, int64]) []sortedarray.Pair {
+		out := make([]sortedarray.Pair, len(items))
+		for i, e := range items {
+			out[i] = sortedarray.Pair{Key: e.Key, Val: e.Val}
+		}
+		return out
+	}
+	a1 := sortedarray.Build(toPairs(benchItems(1, benchN)))
+	a2 := sortedarray.Build(toPairs(benchItems(2, benchN)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sortedarray.Union(a1, a2)
+	}
+}
+
+func BenchmarkTable3_STLInsert(b *testing.B) {
+	items := benchItems(4, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		t := &llrb.Tree{}
+		b.StartTimer()
+		for _, e := range items[:10_000] {
+			t.Insert(e.Key, e.Val)
+		}
+	}
+	b.ReportMetric(10_000, "inserts/op")
+}
+
+func BenchmarkTable3_MCSTLMultiInsert(b *testing.B) {
+	base := make([]sortedarray.Pair, benchN)
+	for i, e := range benchItems(1, benchN) {
+		base[i] = sortedarray.Pair{Key: e.Key, Val: e.Val}
+	}
+	batch := make([]sortedarray.Pair, benchN/1000)
+	for i, e := range benchItems(2, benchN/1000) {
+		batch[i] = sortedarray.Pair{Key: e.Key, Val: e.Val}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sortrebuild.FromPairs(base)
+		s.MultiInsert(batch)
+	}
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Space benchmark: reports the sharing percentage of persistent union as
+// a custom metric (allocations tracked by -benchmem tell the same story).
+func BenchmarkTable4_UnionSharing(b *testing.B) {
+	mkCore := func(seed uint64, n int) core.Tree[uint64, int64, int64, pam.SumEntry[uint64, int64]] {
+		items := make([]core.Entry[uint64, int64], n)
+		for i, e := range benchItems(seed, n) {
+			items[i] = core.Entry[uint64, int64]{Key: e.Key, Val: e.Val}
+		}
+		return core.New[uint64, int64, int64, pam.SumEntry[uint64, int64]](core.Config{}).Build(items, addv)
+	}
+	t1 := mkCore(1, benchN)
+	t2 := mkCore(2, benchN/1000)
+	var last coreSum
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = t1.UnionWith(t2, addv)
+	}
+	b.StopTimer()
+	// The sharing metric is a property of one union result; computing it
+	// per iteration would dominate wall-clock without being timed.
+	unshared := t1.Size() + t2.Size() + last.Size()
+	actual := core.CountUniqueNodes(t1, t2, last)
+	b.ReportMetric(100*(1-float64(actual)/float64(unshared)), "%shared")
+}
+
+// ---------------------------------------------------------------- Table 5
+
+func benchIntervals(n int) []interval.Interval {
+	raw := workload.Intervals(11, n, float64(n), float64(n)/1000)
+	out := make([]interval.Interval, n)
+	for i, iv := range raw {
+		out[i] = interval.Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	return out
+}
+
+func BenchmarkTable5_IntervalBuild(b *testing.B) {
+	ivs := benchIntervals(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = interval.New(pam.Options{}).Build(ivs)
+	}
+}
+
+func BenchmarkTable5_IntervalStab(b *testing.B) {
+	m := interval.New(pam.Options{}).Build(benchIntervals(benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Stab(float64(i % benchN))
+	}
+}
+
+func BenchmarkTable5_IntervalStabNaive(b *testing.B) {
+	raw := workload.Intervals(11, 10_000, 10_000, 10)
+	ivs := make([]naiveIv, len(raw))
+	for i, iv := range raw {
+		ivs[i] = naiveIv{iv.Lo, iv.Hi}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := float64(i % 10_000)
+		hit := false
+		for _, iv := range ivs {
+			if iv.lo <= p && p <= iv.hi {
+				hit = true
+				break
+			}
+		}
+		_ = hit
+	}
+}
+
+type naiveIv struct{ lo, hi float64 }
+
+func benchPoints(n int) []rangetree.Weighted {
+	raw := workload.Points(12, n, float64(n), 100)
+	out := make([]rangetree.Weighted, n)
+	for i, p := range raw {
+		out[i] = rangetree.Weighted{Point: rangetree.Point{X: p.X, Y: p.Y}, W: p.W}
+	}
+	return out
+}
+
+func BenchmarkTable5_RangeTreeBuild(b *testing.B) {
+	pts := benchPoints(benchN / 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rangetree.New(pam.Options{}).Build(pts)
+	}
+}
+
+func BenchmarkTable5_RangeTreeQuerySum(b *testing.B) {
+	n := benchN / 10
+	t := rangetree.New(pam.Options{}).Build(benchPoints(n))
+	w := float64(n) / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = t.QuerySum(rangetree.Rect{XLo: x, XHi: x + w, YLo: x, YHi: x + w})
+	}
+}
+
+func BenchmarkTable5_RangeTreeReportAll(b *testing.B) {
+	n := benchN / 10
+	t := rangetree.New(pam.Options{}).Build(benchPoints(n))
+	w := float64(n) / 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = t.ReportAll(rangetree.Rect{XLo: x, XHi: x + w, YLo: x, YHi: x + w})
+	}
+}
+
+func BenchmarkTable5_SeqRangeTreeBuild(b *testing.B) {
+	raw := workload.Points(12, benchN/10, float64(benchN/10), 100)
+	pts := make([]seqrangetree.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = seqrangetree.Point{X: p.X, Y: p.Y, W: p.W}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seqrangetree.Build(pts)
+	}
+}
+
+// ---------------------------------------------------------------- Table 6
+
+func benchCorpus() ([]invindex.Triple, workload.CorpusSpec) {
+	spec := workload.DefaultCorpus(benchN, 13)
+	occ := spec.Generate()
+	triples := make([]invindex.Triple, len(occ))
+	for i, o := range occ {
+		triples[i] = invindex.Triple{Word: o.Word, Doc: invindex.DocID(o.Doc), W: invindex.Weight(o.W)}
+	}
+	return triples, spec
+}
+
+func BenchmarkTable6_IndexBuild(b *testing.B) {
+	triples, _ := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = invindex.Build(triples)
+	}
+	b.ReportMetric(float64(len(triples)), "tokens/op")
+}
+
+func BenchmarkTable6_IndexQueryTop10(b *testing.B) {
+	triples, spec := benchCorpus()
+	ix := invindex.Build(triples)
+	queries := spec.QueryWords(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		and := ix.QueryAnd(q[0], q[1])
+		_ = invindex.TopK(and, 10)
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6a
+
+func BenchmarkFig6a_PamMultiInsertLoad(b *testing.B) {
+	items := benchItems(14, benchN)
+	const batches = 10
+	bs := benchN / batches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+		for j := 0; j < batches; j++ {
+			m.MultiInsertInPlace(items[j*bs:(j+1)*bs], addv)
+		}
+	}
+	b.ReportMetric(float64(benchN), "inserts/op")
+}
+
+func BenchmarkFig6a_SkiplistLoad(b *testing.B) {
+	ks, vs := workload.KeyValues(14, benchN, uint64(2*benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := skiplist.New()
+		for j := range ks {
+			l.Insert(ks[j], vs[j])
+		}
+	}
+	b.ReportMetric(float64(benchN), "inserts/op")
+}
+
+func BenchmarkFig6a_BtreeLoad(b *testing.B) {
+	ks, vs := workload.KeyValues(14, benchN, uint64(2*benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := btree.New()
+		for j := range ks {
+			t.Insert(ks[j], vs[j])
+		}
+	}
+	b.ReportMetric(float64(benchN), "inserts/op")
+}
+
+// ---------------------------------------------------------------- Fig 6b
+
+func BenchmarkFig6b_PamFind(b *testing.B) {
+	m := benchSumMap(15, benchN)
+	reads := workload.ReadStream(16, 4096, workload.Keys(15, benchN, uint64(2*benchN)), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Find(reads[i%len(reads)])
+	}
+}
+
+func BenchmarkFig6b_SkiplistFind(b *testing.B) {
+	ks, vs := workload.KeyValues(15, benchN, uint64(2*benchN))
+	l := skiplist.New()
+	for j := range ks {
+		l.Insert(ks[j], vs[j])
+	}
+	reads := workload.ReadStream(16, 4096, ks, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Find(reads[i%len(reads)])
+	}
+}
+
+func BenchmarkFig6b_BtreeFind(b *testing.B) {
+	ks, vs := workload.KeyValues(15, benchN, uint64(2*benchN))
+	t := btree.New()
+	for j := range ks {
+		t.Insert(ks[j], vs[j])
+	}
+	reads := workload.ReadStream(16, 4096, ks, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Find(reads[i%len(reads)])
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6c
+
+func BenchmarkFig6c_UnionBySize(b *testing.B) {
+	big := benchSumMap(17, benchN)
+	for m := 100; m <= benchN; m *= 10 {
+		small := benchSumMap(uint64(m), m)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = big.UnionWith(small, addv)
+			}
+		})
+	}
+}
+
+func BenchmarkFig6c_BuildBySize(b *testing.B) {
+	for n := 100; n <= benchN; n *= 10 {
+		items := benchItems(uint64(n), n)
+		m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Build(items, addv)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6d
+
+func BenchmarkFig6d_IntervalBuildByThreads(b *testing.B) {
+	ivs := benchIntervals(benchN)
+	for _, th := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("p=%d", th), func(b *testing.B) {
+			old := parallel.Parallelism()
+			parallel.SetParallelism(th)
+			defer parallel.SetParallelism(old)
+			for i := 0; i < b.N; i++ {
+				_ = interval.New(pam.Options{}).Build(ivs)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6e
+
+func BenchmarkFig6e_RangeTreeBuildBySize(b *testing.B) {
+	for n := 1000; n <= benchN/10; n *= 10 {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("pam/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = rangetree.New(pam.Options{}).Build(pts)
+			}
+		})
+		raw := workload.Points(12, n, float64(n), 100)
+		spts := make([]seqrangetree.Point, n)
+		for i, p := range raw {
+			spts[i] = seqrangetree.Point{X: p.X, Y: p.Y, W: p.W}
+		}
+		b.Run(fmt.Sprintf("seq/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = seqrangetree.Build(spts)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Pambench regenerates the tables and figures of the PAM paper's
+// evaluation (§6) at a configurable scale.
+//
+// Usage:
+//
+//	pambench -list
+//	pambench -exp table3 -n 1000000
+//	pambench -exp all -n 200000 -csv
+//
+// Paper sizes were n = 10^8..10^10 on 72 cores; the defaults here are
+// laptop-scale. Thread sweeps use -threads (comma-separated), defaulting
+// to powers of two up to NumCPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		n       = flag.Int("n", 1_000_000, "primary input size (the paper's n)")
+		q       = flag.Int("q", 0, "query count (default n/10)")
+		threads = flag.String("threads", "", "comma-separated thread counts to sweep (default 1,2,4,...,NumCPU)")
+		seed    = flag.Uint64("seed", 0, "workload seed (default fixed)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list    = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *expName == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Desc)
+		}
+		if *expName == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{N: *n, Q: *q, Seed: *seed}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			t, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || t < 1 {
+				fmt.Fprintf(os.Stderr, "pambench: bad -threads entry %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Threads = append(cfg.Threads, t)
+		}
+	}
+
+	var todo []experiments.Experiment
+	if *expName == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByName(*expName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pambench: unknown experiment %q (try -list)\n", *expName)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Fprintf(os.Stderr, "== %s: %s (n=%d)\n", e.Name, e.Desc, *n)
+		start := time.Now()
+		tables := e.Run(cfg)
+		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(start).Round(time.Millisecond))
+		if *csv {
+			experiments.RenderCSV(os.Stdout, tables)
+		} else {
+			experiments.Render(os.Stdout, tables)
+		}
+	}
+}

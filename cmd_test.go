@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Subprocess smoke tests: the two CLI tools and every example build and
+// run end to end. These need the go toolchain (always present when the
+// tests themselves run) and are skipped under -short.
+
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestPambenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runGo(t, "run", "./cmd/pambench", "-list")
+	for _, exp := range []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e"} {
+		if !strings.Contains(out, exp) {
+			t.Fatalf("-list missing %s:\n%s", exp, out)
+		}
+	}
+	out = runGo(t, "run", "./cmd/pambench", "-exp", "table4", "-n", "20000")
+	if !strings.Contains(out, "node sharing") || !strings.Contains(out, "%") {
+		t.Fatalf("table4 output unexpected:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/pambench", "-exp", "table2", "-n", "50000", "-csv")
+	if !strings.Contains(out, "Operation,Bound") {
+		t.Fatalf("csv output unexpected:\n%s", out)
+	}
+}
+
+func TestWordindexCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runGo(t, "run", "./cmd/wordindex",
+		"-words", "20000", "-query", "w000000 AND w000001", "-k", "3")
+	if !strings.Contains(out, "built index") {
+		t.Fatalf("missing build line:\n%s", out)
+	}
+	if !strings.Contains(out, "matched") {
+		t.Fatalf("missing query result:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/wordindex", "-words", "20000", "-bench", "-nq", "200")
+	if !strings.Contains(out, "queries in") {
+		t.Fatalf("missing bench line:\n%s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	checks := map[string]string{
+		"quickstart":  "range sum 100..199",
+		"analytics":   "end-of-day total",
+		"intervals":   "sessions covering t=700",
+		"rangetree2d": "headcount by age band",
+		"textsearch":  "indexed 6 documents",
+		"snapshots":   "snapshot isolation held",
+	}
+	for name, want := range checks {
+		t.Run(name, func(t *testing.T) {
+			out := runGo(t, "run", "./examples/"+name)
+			if !strings.Contains(out, want) {
+				t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of PAM (Parallel Augmented Maps,
+// PPoPP 2018): a parallel, persistent, join-based balanced-tree library for
+// augmented ordered maps, together with the paper's four applications
+// (augmented range sums, interval trees, 2D range trees, and weighted
+// inverted indices), the baselines it compares against, and a benchmark
+// harness that regenerates every table and figure in the evaluation.
+//
+// The public entry points are:
+//
+//   - repro/pam: the augmented map library (the paper's contribution)
+//   - repro/interval: interval maps with stabbing queries (§5.1)
+//   - repro/rangetree: 2D range trees with nested augmented maps (§5.2)
+//   - repro/invindex: weighted inverted indices with top-k search (§5.3)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results. The benchmarks in bench_test.go regenerate
+// the evaluation tables and figures; cmd/pambench is the CLI driver.
+package repro

@@ -1,0 +1,72 @@
+// Analytics: the paper's motivating example (§1) — a database of sales
+// receipts keyed by time of sale, answering "sum of sales in a period"
+// and "sales above a threshold in a period" without scanning.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/pam"
+)
+
+// saleEntry: keys are timestamps (unix seconds), values are sale
+// amounts in cents, augmentation keeps BOTH the sum and the max so one
+// structure serves both intro queries.
+type saleEntry struct{}
+
+type saleAgg struct {
+	Sum int64
+	Max int64
+}
+
+func (saleEntry) Less(a, b int64) bool { return a < b }
+func (saleEntry) Id() saleAgg          { return saleAgg{Sum: 0, Max: -1 << 62} }
+func (saleEntry) Base(_ int64, cents int64) saleAgg {
+	return saleAgg{Sum: cents, Max: cents}
+}
+func (saleEntry) Combine(x, y saleAgg) saleAgg {
+	return saleAgg{Sum: x.Sum + y.Sum, Max: max(x.Max, y.Max)}
+}
+
+func main() {
+	day := time.Date(2018, 3, 28, 0, 0, 0, 0, time.UTC)
+	at := func(h, m int) int64 { return day.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute).Unix() }
+
+	sales := pam.NewAugMap[int64, int64, saleAgg, saleEntry](pam.Options{})
+	receipts := []pam.KV[int64, int64]{
+		{Key: at(9, 15), Val: 1250},
+		{Key: at(10, 2), Val: 300},
+		{Key: at(11, 48), Val: 9800},
+		{Key: at(13, 30), Val: 420},
+		{Key: at(15, 5), Val: 15600},
+		{Key: at(16, 59), Val: 75},
+		{Key: at(18, 20), Val: 2300},
+	}
+	sales = sales.Build(receipts, func(old, new int64) int64 { return old + new })
+
+	// Sum and max of sales during business hours, in O(log n).
+	biz := sales.AugRange(at(9, 0), at(17, 0))
+	fmt.Printf("09:00-17:00  total $%.2f  largest $%.2f\n",
+		float64(biz.Sum)/100, float64(biz.Max)/100)
+
+	morning := sales.AugRange(at(9, 0), at(12, 0))
+	fmt.Printf("morning      total $%.2f  largest $%.2f\n",
+		float64(morning.Sum)/100, float64(morning.Max)/100)
+
+	// "Report sales above a threshold": the augmented filter prunes
+	// whole subtrees whose max is below the threshold —
+	// O(k log(n/k+1)) for k results.
+	big := sales.AugFilter(func(a saleAgg) bool { return a.Max >= 5000 })
+	fmt.Println("sales of $50 or more:")
+	big.ForEach(func(ts int64, cents int64) bool {
+		fmt.Printf("  %s  $%.2f\n", time.Unix(ts, 0).UTC().Format("15:04"), float64(cents)/100)
+		return true
+	})
+
+	// Persistent end-of-day snapshot: later mutations don't disturb it.
+	endOfDay := sales
+	sales = sales.Insert(at(23, 50), 999)
+	fmt.Printf("end-of-day total $%.2f (late sale excluded), live total $%.2f\n",
+		float64(endOfDay.AugVal().Sum)/100, float64(sales.AugVal().Sum)/100)
+}

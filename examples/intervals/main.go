@@ -1,0 +1,61 @@
+// Intervals: the paper's interval-tree scenario (§5.1) — user login
+// sessions as time intervals, answering "is anyone logged in at time t"
+// and "who is logged in at time t" in logarithmic / output-sensitive
+// time.
+package main
+
+import (
+	"fmt"
+
+	"repro/interval"
+	"repro/overlap"
+	"repro/pam"
+)
+
+func main() {
+	// Login sessions in minutes-since-midnight.
+	sessions := []interval.Interval{
+		{Lo: 540, Hi: 600},  // alice 9:00-10:00
+		{Lo: 555, Hi: 720},  // bob   9:15-12:00
+		{Lo: 610, Hi: 615},  // carol 10:10-10:15
+		{Lo: 680, Hi: 1020}, // dave  11:20-17:00
+		{Lo: 900, Hi: 930},  // erin  15:00-15:30
+	}
+	m := interval.New(pam.Options{}).Build(sessions)
+
+	for _, t := range []float64{605, 650, 905, 1030} {
+		fmt.Printf("t=%4.0f  anyone logged in: %-5v  count: %d\n",
+			t, m.Stab(t), m.CountStab(t))
+	}
+
+	fmt.Println("sessions covering t=700:")
+	for _, iv := range m.ReportAll(700) {
+		fmt.Printf("  [%.0f, %.0f]\n", iv.Lo, iv.Hi)
+	}
+
+	// Sessions are persistent too: end bob's session by building a new
+	// version; dashboards holding the old snapshot are unaffected.
+	after := m.Delete(interval.Interval{Lo: 555, Hi: 720})
+	fmt.Printf("t=700 after bob logs off: %d active (snapshot still says %d)\n",
+		after.CountStab(700), m.CountStab(700))
+
+	// Bulk load a day's worth of machine-generated sessions in parallel.
+	var batch []interval.Interval
+	for i := 0; i < 10000; i++ {
+		start := float64(i%1440) + float64(i%7)*0.1
+		batch = append(batch, interval.Interval{Lo: start, Hi: start + 30})
+	}
+	loaded := after.MultiInsert(batch)
+	fmt.Printf("after bulk load: %d sessions, t=700 covered by %d\n",
+		loaded.Size(), loaded.CountStab(700))
+
+	// Overlap queries (repro/overlap): sessions overlapping a whole
+	// window, not just a point — e.g. everyone whose session intersects
+	// the 10:00-11:00 maintenance window.
+	ov := overlap.New(pam.Options{}).Build(sessions)
+	fmt.Printf("sessions overlapping maintenance window [600, 660]: %d\n",
+		ov.CountOverlapping(600, 660))
+	for _, iv := range ov.ReportOverlapping(600, 660) {
+		fmt.Printf("  [%.0f, %.0f]\n", iv.Lo, iv.Hi)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: the augmented map in five minutes — the paper's Equation 1
+// map (integer keys, values summed by the augmentation) and the core
+// operations of the Figure 1 interface.
+package main
+
+import (
+	"fmt"
+
+	"repro/pam"
+)
+
+func main() {
+	// An ordered map from int keys to int64 values whose augmented value
+	// is the sum of all values: AM(K, <, V, V, (k,v)->v, +, 0).
+	m := pam.NewAugMap[int, int64, int64, pam.SumEntry[int, int64]](pam.Options{})
+
+	// Point updates are persistent: each returns a new map.
+	m = m.Insert(3, 30).Insert(1, 10).Insert(2, 20)
+	fmt.Println("size:", m.Size())         // 3
+	fmt.Println("sum (O(1)):", m.AugVal()) // 60
+
+	// Bulk build from unsorted input (parallel sort + join construction).
+	items := make([]pam.KV[int, int64], 0, 1000)
+	for i := 0; i < 1000; i++ {
+		items = append(items, pam.KV[int, int64]{Key: i, Val: int64(i)})
+	}
+	big := m.Build(items, nil)
+	fmt.Println("range sum 100..199 (O(log n)):", big.AugRange(100, 199))
+
+	// Set operations run in parallel and are persistent: big is intact
+	// afterwards.
+	odds := big.Filter(func(k int, _ int64) bool { return k%2 == 1 })
+	evens := big.Difference(odds)
+	fmt.Println("odds:", odds.Size(), "evens:", evens.Size())
+	both := odds.Union(evens)
+	fmt.Println("union size:", both.Size(), "sum:", both.AugVal())
+
+	// Ordered queries.
+	k, v, _ := big.Select(500)
+	fmt.Printf("rank-500 entry: %d=%d; rank of 500: %d\n", k, v, big.Rank(500))
+
+	// MapReduce with a different result type (free function: extra type
+	// parameter).
+	maxVal := pam.MapReduce(big,
+		func(_ int, v int64) int64 { return v },
+		func(a, b int64) int64 { return max(a, b) },
+		-1)
+	fmt.Println("max value via mapReduce:", maxVal)
+
+	// Snapshots: old versions never change.
+	before := big
+	big = big.Delete(0)
+	fmt.Println("snapshot still has 0:", before.Contains(0), "- new one:", big.Contains(0))
+}

@@ -1,0 +1,56 @@
+// Rangetree2d: the paper's 2D range-tree scenario (§1, §5.2) — "how many
+// users are between 20 and 25 years old and have salaries between $50K
+// and $90K", answered in O(log^2 n) by nested augmented maps.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+func main() {
+	// Synthesize a population: x = age (18..67), y = salary ($20K..$180K),
+	// weight 1 per person so sums count people.
+	const n = 200_000
+	raw := workload.Points(7, n, 1.0, 1)
+	people := make([]rangetree.Weighted, n)
+	for i, p := range raw {
+		people[i] = rangetree.Weighted{
+			Point: rangetree.Point{
+				X: 18 + p.X*50,          // age
+				Y: 20_000 + p.Y*160_000, // salary
+			},
+			W: 1,
+		}
+	}
+	t := rangetree.New(pam.Options{}).Build(people)
+	fmt.Printf("indexed %d people\n", t.Size())
+
+	q := rangetree.Rect{XLo: 20, XHi: 25, YLo: 50_000, YHi: 90_000}
+	fmt.Printf("age 20-25, salary $50K-$90K: %d people\n", t.QueryCount(q))
+
+	// Sweep age bands: each query is O(log^2 n), so a dashboard can run
+	// thousands of them interactively.
+	fmt.Println("headcount by age band (salary $50K-$90K):")
+	for age := 18.0; age < 68; age += 10 {
+		r := rangetree.Rect{XLo: age, XHi: age + 10, YLo: 50_000, YHi: 90_000}
+		fmt.Printf("  %2.0f-%2.0f: %6d\n", age, age+10, t.QueryCount(r))
+	}
+
+	// Weighted sums: re-weight by salary to get payroll in a rectangle.
+	payroll := make([]rangetree.Weighted, n)
+	for i, p := range people {
+		payroll[i] = rangetree.Weighted{Point: p.Point, W: int64(p.Y)}
+	}
+	pt := rangetree.New(pam.Options{}).Build(payroll)
+	fmt.Printf("total payroll for age 30-40: $%d\n",
+		pt.QuerySum(rangetree.Rect{XLo: 30, XHi: 40, YLo: 0, YHi: 1e9}))
+
+	// Report a small rectangle.
+	small := rangetree.Rect{XLo: 21, XHi: 21.01, YLo: 0, YHi: 1e9}
+	hits := t.ReportAll(small)
+	fmt.Printf("people aged exactly ~21.00: %d\n", len(hits))
+}

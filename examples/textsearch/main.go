@@ -1,0 +1,61 @@
+// Textsearch: the paper's inverted-index scenario (§5.3) — weighted
+// boolean search with top-k ranking over a small embedded corpus.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/invindex"
+)
+
+var docs = []struct {
+	title string
+	text  string
+}{
+	{"go-concurrency", "go routines and channels make concurrent programming simple; the go scheduler multiplexes goroutines onto threads"},
+	{"balanced-trees", "balanced search trees such as avl trees red black trees and weight balanced trees keep operations logarithmic"},
+	{"parallel-maps", "parallel ordered maps support union intersection and difference with join based algorithms on balanced trees"},
+	{"augmented-maps", "augmented maps keep a sum over values in every subtree so range sums and filters run in logarithmic time"},
+	{"search-engines", "search engines build inverted indexes mapping words to documents and rank results by weight taking the top matches"},
+	{"persistence", "persistent data structures never modify nodes; path copying shares structure between versions of balanced trees"},
+}
+
+func main() {
+	var triples []invindex.Triple
+	for id, d := range docs {
+		counts := map[string]int{}
+		for _, w := range strings.Fields(d.text) {
+			counts[w]++
+		}
+		for w, c := range counts {
+			triples = append(triples, invindex.Triple{
+				Word: w, Doc: invindex.DocID(id), W: invindex.Weight(c),
+			})
+		}
+	}
+	ix := invindex.Build(triples)
+	fmt.Printf("indexed %d documents, %d distinct words\n\n", len(docs), ix.Words())
+
+	show := func(label string, p invindex.Posting) {
+		fmt.Printf("%s -> %d docs\n", label, p.Size())
+		for _, dw := range invindex.TopK(p, 3) {
+			fmt.Printf("  %-16s score %.0f\n", docs[dw.Doc].title, float64(dw.W))
+		}
+		fmt.Println()
+	}
+
+	show(`"trees" AND "balanced"`, ix.QueryAnd("trees", "balanced"))
+	show(`"maps" OR "trees"`, ix.QueryOr("maps", "trees"))
+	show(`"trees" NOT "red"`,
+		invindex.AndNot(ix.Posting("trees"), ix.Posting("red")))
+
+	// Posting maps are ordinary persistent augmented maps: compose
+	// queries freely — e.g. documents mentioning trees and either
+	// parallel or persistent concepts.
+	composite := invindex.And(
+		ix.Posting("trees"),
+		invindex.Or(ix.Posting("parallel"), ix.Posting("persistent")),
+	)
+	show(`"trees" AND ("parallel" OR "persistent")`, composite)
+}

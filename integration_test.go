@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestAllExperimentsRunSmall executes every registered experiment at a
+// tiny scale and sanity-checks the produced tables: the full harness
+// (workload generation, all four applications, all baselines, both
+// renderers) end to end.
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness integration is not -short")
+	}
+	cfg := experiments.Config{N: 20_000, Q: 2_000, Threads: []int{1, 2}, Seed: 7}
+	for _, e := range experiments.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("experiment produced no tables")
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Header) == 0 {
+					t.Fatalf("malformed table %+v", tb.Title)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("table %q: row width %d != header width %d",
+							tb.Title, len(row), len(tb.Header))
+					}
+				}
+			}
+			var txt, csv bytes.Buffer
+			experiments.Render(&txt, tables)
+			experiments.RenderCSV(&csv, tables)
+			if !strings.Contains(txt.String(), tables[0].Title) {
+				t.Fatal("text renderer dropped the title")
+			}
+			if !strings.Contains(csv.String(), ",") {
+				t.Fatal("CSV renderer produced no cells")
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{"fig6a", "fig6b", "fig6c", "fig6d", "fig6e",
+		"table1", "table2", "table3", "table4", "table5", "table6"}
+	all := experiments.All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Fatalf("experiment %d = %q, want %q", i, e.Name, want[i])
+		}
+		if _, ok := experiments.ByName(e.Name); !ok {
+			t.Fatalf("ByName(%q) failed", e.Name)
+		}
+	}
+	if _, ok := experiments.ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,173 @@
+// Package btree is an in-memory B+-tree, the cache-friendly ordered-map
+// baseline of Figure 6(a)/(b): wide nodes, values only in leaves, linked
+// leaves for range scans. Writes are single-threaded (the benchmark
+// shards the load phase); reads are safe concurrently once loading is
+// done, which is the shape of the paper's YCSB-C comparison.
+package btree
+
+import "sort"
+
+// degree is the fanout: each internal node holds up to degree-1 keys.
+const degree = 32
+
+// Tree is an ordered map from uint64 to int64.
+type Tree struct {
+	root  inode
+	size  int
+	first *leaf // leftmost leaf, for ordered scans
+}
+
+// inode is either *branch or *leaf.
+type inode interface {
+	find(k uint64) (int64, bool)
+	// insert returns (newRight, splitKey, grew): newRight non-nil when
+	// the node split, splitKey the first key of the right part.
+	insert(k uint64, v int64) (inode, uint64, bool)
+}
+
+type branch struct {
+	keys     []uint64 // len = len(children)-1; child i holds keys < keys[i]
+	children []inode
+}
+
+type leaf struct {
+	keys []uint64
+	vals []int64
+	next *leaf
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	l := &leaf{}
+	return &Tree{root: l, first: l}
+}
+
+// Size returns the number of entries.
+func (t *Tree) Size() int { return t.size }
+
+// Find returns the value at k. Safe for concurrent readers when no
+// writer is active.
+func (t *Tree) Find(k uint64) (int64, bool) { return t.root.find(k) }
+
+// Insert adds or replaces (k, v). Single writer only.
+func (t *Tree) Insert(k uint64, v int64) {
+	right, splitKey, grew := t.root.insert(k, v)
+	if right != nil {
+		t.root = &branch{keys: []uint64{splitKey}, children: []inode{t.root, right}}
+	}
+	if grew {
+		t.size++
+	}
+}
+
+func (b *branch) childIdx(k uint64) int {
+	return sort.Search(len(b.keys), func(i int) bool { return k < b.keys[i] })
+}
+
+func (b *branch) find(k uint64) (int64, bool) {
+	return b.children[b.childIdx(k)].find(k)
+}
+
+func (b *branch) insert(k uint64, v int64) (inode, uint64, bool) {
+	i := b.childIdx(k)
+	right, splitKey, grew := b.children[i].insert(k, v)
+	if right != nil {
+		b.keys = append(b.keys, 0)
+		copy(b.keys[i+1:], b.keys[i:])
+		b.keys[i] = splitKey
+		b.children = append(b.children, nil)
+		copy(b.children[i+2:], b.children[i+1:])
+		b.children[i+1] = right
+		if len(b.children) > degree {
+			mid := len(b.keys) / 2
+			upKey := b.keys[mid]
+			rb := &branch{
+				keys:     append([]uint64(nil), b.keys[mid+1:]...),
+				children: append([]inode(nil), b.children[mid+1:]...),
+			}
+			b.keys = b.keys[:mid]
+			b.children = b.children[:mid+1]
+			return rb, upKey, grew
+		}
+	}
+	return nil, 0, grew
+}
+
+func (l *leaf) slot(k uint64) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= k })
+	return i, i < len(l.keys) && l.keys[i] == k
+}
+
+func (l *leaf) find(k uint64) (int64, bool) {
+	i, ok := l.slot(k)
+	if !ok {
+		return 0, false
+	}
+	return l.vals[i], true
+}
+
+func (l *leaf) insert(k uint64, v int64) (inode, uint64, bool) {
+	i, ok := l.slot(k)
+	if ok {
+		l.vals[i] = v
+		return nil, 0, false
+	}
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = k
+	l.vals = append(l.vals, 0)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = v
+	if len(l.keys) > degree {
+		mid := len(l.keys) / 2
+		rl := &leaf{
+			keys: append([]uint64(nil), l.keys[mid:]...),
+			vals: append([]int64(nil), l.vals[mid:]...),
+			next: l.next,
+		}
+		l.keys = l.keys[:mid]
+		l.vals = l.vals[:mid]
+		l.next = rl
+		return rl, rl.keys[0], true
+	}
+	return nil, 0, true
+}
+
+// RangeSum scans [lo, hi] through the linked leaves.
+func (t *Tree) RangeSum(lo, hi uint64) int64 {
+	// Descend to the leaf containing lo.
+	n := t.root
+	for {
+		b, ok := n.(*branch)
+		if !ok {
+			break
+		}
+		n = b.children[b.childIdx(lo)]
+	}
+	l := n.(*leaf)
+	var s int64
+	for l != nil {
+		for i, k := range l.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return s
+			}
+			s += l.vals[i]
+		}
+		l = l.next
+	}
+	return s
+}
+
+// ForEach visits entries in key order.
+func (t *Tree) ForEach(visit func(k uint64, v int64) bool) {
+	for l := t.first; l != nil; l = l.next {
+		for i, k := range l.keys {
+			if !visit(k, l.vals[i]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package btree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	m := map[uint64]int64{}
+	for i := 0; i < 20_000; i++ {
+		k := rng.Uint64() % 8000
+		tr.Insert(k, int64(i))
+		m[k] = int64(i)
+	}
+	if tr.Size() != len(m) {
+		t.Fatalf("size %d want %d", tr.Size(), len(m))
+	}
+	for k, v := range m {
+		if got, ok := tr.Find(k); !ok || got != v {
+			t.Fatalf("Find(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if _, ok := tr.Find(99_999_999); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		tr.Insert(rng.Uint64()%10_000, 1)
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.ForEach(func(k uint64, _ int64) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != tr.Size() {
+		t.Fatalf("iterated %d, size %d", count, tr.Size())
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	tr := New()
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Insert(i, int64(i))
+	}
+	if got := tr.RangeSum(10, 20); got != 165 {
+		t.Fatalf("RangeSum = %d want 165", got)
+	}
+	if got := tr.RangeSum(1, 1000); got != 500500 {
+		t.Fatalf("full RangeSum = %d", got)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 50_000; i++ {
+		tr.Insert(i*2, int64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10_000; i++ {
+				k := rng.Uint64() % 100_000
+				v, ok := tr.Find(k)
+				if ok != (k%2 == 0) || (ok && v != int64(k/2)) {
+					panic("btree concurrent read wrong")
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,292 @@
+// Package llrb is a classic mutable left-leaning red-black tree: the
+// stand-in for C++ std::map / std::set in the paper's sequential
+// comparisons ("Union-Tree" and "Insert" in Table 3). It is a
+// specialized, insertion-optimized, ephemeral structure — no
+// persistence, no parallelism, no augmentation — so it bounds what a
+// highly-tuned sequential tree achieves, the way STL does for PAM.
+package llrb
+
+// Tree is a mutable ordered map from uint64 to int64.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	key         uint64
+	val         int64
+	left, right *node
+	red         bool
+}
+
+func isRed(n *node) bool { return n != nil && n.red }
+
+// Size returns the number of entries.
+func (t *Tree) Size() int { return t.size }
+
+// Find returns the value at k.
+func (t *Tree) Find(k uint64) (int64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case k < n.key:
+			n = n.left
+		case k > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or replaces (k, v).
+func (t *Tree) Insert(k uint64, v int64) {
+	var grew bool
+	t.root, grew = insert(t.root, k, v)
+	t.root.red = false
+	if grew {
+		t.size++
+	}
+}
+
+func insert(n *node, k uint64, v int64) (*node, bool) {
+	if n == nil {
+		return &node{key: k, val: v, red: true}, true
+	}
+	var grew bool
+	switch {
+	case k < n.key:
+		n.left, grew = insert(n.left, k, v)
+	case k > n.key:
+		n.right, grew = insert(n.right, k, v)
+	default:
+		n.val = v
+	}
+	return fixUp(n), grew
+}
+
+func rotateLeft(n *node) *node {
+	x := n.right
+	n.right = x.left
+	x.left = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func rotateRight(n *node) *node {
+	x := n.left
+	n.left = x.right
+	x.right = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func flipColors(n *node) {
+	n.red = !n.red
+	n.left.red = !n.left.red
+	n.right.red = !n.right.red
+}
+
+func fixUp(n *node) *node {
+	if isRed(n.right) && !isRed(n.left) {
+		n = rotateLeft(n)
+	}
+	if isRed(n.left) && isRed(n.left.left) {
+		n = rotateRight(n)
+	}
+	if isRed(n.left) && isRed(n.right) {
+		flipColors(n)
+	}
+	return n
+}
+
+// Delete removes k if present.
+func (t *Tree) Delete(k uint64) {
+	if _, ok := t.Find(k); !ok {
+		return
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = del(t.root, k)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+}
+
+func moveRedLeft(n *node) *node {
+	flipColors(n)
+	if isRed(n.right.left) {
+		n.right = rotateRight(n.right)
+		n = rotateLeft(n)
+		flipColors(n)
+	}
+	return n
+}
+
+func moveRedRight(n *node) *node {
+	flipColors(n)
+	if isRed(n.left.left) {
+		n = rotateRight(n)
+		flipColors(n)
+	}
+	return n
+}
+
+func minNode(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func delMin(n *node) *node {
+	if n.left == nil {
+		return nil
+	}
+	if !isRed(n.left) && !isRed(n.left.left) {
+		n = moveRedLeft(n)
+	}
+	n.left = delMin(n.left)
+	return fixUp(n)
+}
+
+func del(n *node, k uint64) *node {
+	if k < n.key {
+		if !isRed(n.left) && !isRed(n.left.left) {
+			n = moveRedLeft(n)
+		}
+		n.left = del(n.left, k)
+	} else {
+		if isRed(n.left) {
+			n = rotateRight(n)
+		}
+		if k == n.key && n.right == nil {
+			return nil
+		}
+		if !isRed(n.right) && !isRed(n.right.left) {
+			n = moveRedRight(n)
+		}
+		if k == n.key {
+			m := minNode(n.right)
+			n.key, n.val = m.key, m.val
+			n.right = delMin(n.right)
+		} else {
+			n.right = del(n.right, k)
+		}
+	}
+	return fixUp(n)
+}
+
+// ForEach visits entries in key order.
+func (t *Tree) ForEach(visit func(k uint64, v int64) bool) {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return rec(n.left) && visit(n.key, n.val) && rec(n.right)
+	}
+	rec(t.root)
+}
+
+// UnionInto builds a NEW tree containing the union of a and b (b's
+// values win), by merged in-order iteration with per-element insertion —
+// the behaviour of std::set_union into a std::set, the paper's
+// "Union-Tree" baseline with its O((n+m) log(n+m)) cost.
+func UnionInto(a, b *Tree) *Tree {
+	out := &Tree{}
+	ae := entries(a)
+	be := entries(b)
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i].key < be[j].key:
+			out.Insert(ae[i].key, ae[i].val)
+			i++
+		case be[j].key < ae[i].key:
+			out.Insert(be[j].key, be[j].val)
+			j++
+		default:
+			out.Insert(be[j].key, be[j].val)
+			i++
+			j++
+		}
+	}
+	for ; i < len(ae); i++ {
+		out.Insert(ae[i].key, ae[i].val)
+	}
+	for ; j < len(be); j++ {
+		out.Insert(be[j].key, be[j].val)
+	}
+	return out
+}
+
+type kv struct {
+	key uint64
+	val int64
+}
+
+func entries(t *Tree) []kv {
+	out := make([]kv, 0, t.size)
+	t.ForEach(func(k uint64, v int64) bool {
+		out = append(out, kv{k, v})
+		return true
+	})
+	return out
+}
+
+// RangeSum scans [lo, hi]: the non-augmented baseline for range sums.
+func (t *Tree) RangeSum(lo, hi uint64) int64 {
+	var s int64
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.key > lo {
+			rec(n.left)
+		}
+		if n.key >= lo && n.key <= hi {
+			s += n.val
+		}
+		if n.key < hi {
+			rec(n.right)
+		}
+	}
+	rec(t.root)
+	return s
+}
+
+// Validate checks the LLRB invariants (for tests).
+func (t *Tree) Validate() bool {
+	if isRed(t.root) {
+		return false
+	}
+	blacks := -1
+	var rec func(n *node, depth int) bool
+	rec = func(n *node, depth int) bool {
+		if n == nil {
+			if blacks == -1 {
+				blacks = depth
+			}
+			return blacks == depth
+		}
+		if isRed(n) && (isRed(n.left) || isRed(n.right)) {
+			return false
+		}
+		if isRed(n.right) {
+			return false // left-leaning
+		}
+		d := depth
+		if !isRed(n) {
+			d++
+		}
+		return rec(n.left, d) && rec(n.right, d)
+	}
+	return rec(t.root, 0)
+}

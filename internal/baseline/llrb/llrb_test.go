@@ -1,0 +1,99 @@
+package llrb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertFindDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Tree{}
+	m := map[uint64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() % 2000
+		tr.Insert(k, int64(i))
+		m[k] = int64(i)
+		if i%500 == 0 && !tr.Validate() {
+			t.Fatalf("LLRB invariant broken at step %d", i)
+		}
+	}
+	if tr.Size() != len(m) {
+		t.Fatalf("size %d want %d", tr.Size(), len(m))
+	}
+	for k, v := range m {
+		if got, ok := tr.Find(k); !ok || got != v {
+			t.Fatalf("Find(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	for k := range m {
+		if k%2 == 0 {
+			tr.Delete(k)
+			delete(m, k)
+		}
+	}
+	tr.Delete(99_999_999) // absent
+	if !tr.Validate() {
+		t.Fatal("invariant broken after deletes")
+	}
+	if tr.Size() != len(m) {
+		t.Fatalf("size after deletes %d want %d", tr.Size(), len(m))
+	}
+	for k, v := range m {
+		if got, ok := tr.Find(k); !ok || got != v {
+			t.Fatalf("post-delete Find(%d)", k)
+		}
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	tr := &Tree{}
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		tr.Insert(k, int64(k))
+	}
+	var prev uint64
+	first := true
+	tr.ForEach(func(k uint64, v int64) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		return true
+	})
+}
+
+func TestUnionInto(t *testing.T) {
+	a, b := &Tree{}, &Tree{}
+	for i := uint64(0); i < 100; i++ {
+		a.Insert(i*2, 1) // evens
+		b.Insert(i*3, 2) // multiples of 3
+	}
+	u := UnionInto(a, b)
+	if !u.Validate() {
+		t.Fatal("union invariant")
+	}
+	want := map[uint64]int64{}
+	a.ForEach(func(k uint64, v int64) bool { want[k] = v; return true })
+	b.ForEach(func(k uint64, v int64) bool { want[k] = v; return true })
+	if u.Size() != len(want) {
+		t.Fatalf("union size %d want %d", u.Size(), len(want))
+	}
+	for k, v := range want {
+		if got, ok := u.Find(k); !ok || got != v {
+			t.Fatalf("union Find(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Inputs untouched.
+	if a.Size() != 100 || b.Size() != 100 {
+		t.Fatal("union modified inputs")
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	tr := &Tree{}
+	for i := uint64(1); i <= 100; i++ {
+		tr.Insert(i, int64(i))
+	}
+	if got := tr.RangeSum(10, 20); got != 165 {
+		t.Fatalf("RangeSum = %d want 165", got)
+	}
+}

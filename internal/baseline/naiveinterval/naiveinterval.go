@@ -1,0 +1,46 @@
+// Package naiveinterval is the linear-scan interval baseline (the role
+// the Python intervaltree library plays in §6.2: a reference point that
+// is orders of magnitude slower than the augmented-map interval tree on
+// stabbing queries).
+package naiveinterval
+
+// Interval is a closed interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Set is an unordered interval collection with O(n) queries.
+type Set struct {
+	ivs []Interval
+}
+
+// Build stores the intervals (O(n)).
+func Build(ivs []Interval) *Set {
+	s := make([]Interval, len(ivs))
+	copy(s, ivs)
+	return &Set{ivs: s}
+}
+
+// Size returns the number of intervals.
+func (s *Set) Size() int { return len(s.ivs) }
+
+// Stab reports whether any interval covers p. O(n).
+func (s *Set) Stab(p float64) bool {
+	for _, iv := range s.ivs {
+		if iv.Lo <= p && p <= iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportAll returns the intervals covering p. O(n).
+func (s *Set) ReportAll(p float64) []Interval {
+	var out []Interval
+	for _, iv := range s.ivs {
+		if iv.Lo <= p && p <= iv.Hi {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package naiveinterval
+
+import "testing"
+
+func TestStabAndReport(t *testing.T) {
+	s := Build([]Interval{{1, 5}, {3, 9}, {10, 12}})
+	if s.Size() != 3 {
+		t.Fatalf("size %d", s.Size())
+	}
+	if !s.Stab(4) || !s.Stab(1) || !s.Stab(12) {
+		t.Fatal("missed covered points")
+	}
+	if s.Stab(9.5) || s.Stab(0) {
+		t.Fatal("stabbed uncovered points")
+	}
+	if got := s.ReportAll(4); len(got) != 2 {
+		t.Fatalf("ReportAll(4) returned %d", len(got))
+	}
+	if got := s.ReportAll(100); len(got) != 0 {
+		t.Fatalf("ReportAll(100) returned %d", len(got))
+	}
+	empty := Build(nil)
+	if empty.Stab(0) || empty.Size() != 0 {
+		t.Fatal("empty set misbehaves")
+	}
+}
+
+func TestBuildCopiesInput(t *testing.T) {
+	in := []Interval{{1, 2}}
+	s := Build(in)
+	in[0] = Interval{50, 60}
+	if s.Stab(55) || !s.Stab(1.5) {
+		t.Fatal("Build aliased its input")
+	}
+}

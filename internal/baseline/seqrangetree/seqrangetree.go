@@ -1,0 +1,167 @@
+// Package seqrangetree is a dedicated sequential static 2D range tree,
+// the stand-in for CGAL's dD range tree in Table 5 / Figure 6(e): a
+// classic array-backed two-level structure — recursion on x with, at
+// every internal node, the node's points sorted by y (plus prefix sums
+// of weights for O(log^2 n) weight queries). Build is O(n log n) time
+// and O(n log n) space; queries descend two logarithmic paths and merge
+// O(log n) sorted y-arrays.
+//
+// Unlike the PAM-based rangetree package it is mutable-free, pointerless
+// and sequential: the strongest form of the "hand-specialized sequential
+// structure" the paper compares its generic parallel one against.
+package seqrangetree
+
+import (
+	"slices"
+	"sort"
+)
+
+// Point is a weighted point.
+type Point struct {
+	X, Y float64
+	W    int64
+}
+
+// Tree is the static range tree.
+type Tree struct {
+	// xs: points sorted by (x, y); the implicit segment tree over this
+	// array defines the x-recursion.
+	xs []Point
+	// node i covers xs[lo:hi]; ys[i] holds those points sorted by y and
+	// pre[i] the exclusive prefix sums of their weights.
+	ys  [][]Point
+	pre [][]int64
+}
+
+// Build constructs the tree. O(n log n): each level of the implicit
+// segment tree merges its children's y-sorted arrays.
+func Build(pts []Point) *Tree {
+	xs := make([]Point, len(pts))
+	copy(xs, pts)
+	slices.SortFunc(xs, func(a, b Point) int {
+		switch {
+		case a.X < b.X:
+			return -1
+		case a.X > b.X:
+			return 1
+		case a.Y < b.Y:
+			return -1
+		case a.Y > b.Y:
+			return 1
+		default:
+			return 0
+		}
+	})
+	t := &Tree{xs: xs}
+	if len(xs) == 0 {
+		return t
+	}
+	t.ys = make([][]Point, 4*len(xs))
+	t.pre = make([][]int64, 4*len(xs))
+	t.build(1, 0, len(xs))
+	return t
+}
+
+func (t *Tree) build(node, lo, hi int) {
+	if hi-lo == 1 {
+		t.ys[node] = t.xs[lo : lo+1]
+		t.pre[node] = []int64{0, t.xs[lo].W}
+		return
+	}
+	mid := (lo + hi) / 2
+	t.build(2*node, lo, mid)
+	t.build(2*node+1, mid, hi)
+	l, r := t.ys[2*node], t.ys[2*node+1]
+	merged := make([]Point, 0, len(l)+len(r))
+	i, j := 0, 0
+	for i < len(l) && j < len(r) {
+		if l[i].Y <= r[j].Y {
+			merged = append(merged, l[i])
+			i++
+		} else {
+			merged = append(merged, r[j])
+			j++
+		}
+	}
+	merged = append(merged, l[i:]...)
+	merged = append(merged, r[j:]...)
+	t.ys[node] = merged
+	pre := make([]int64, len(merged)+1)
+	for k, p := range merged {
+		pre[k+1] = pre[k] + p.W
+	}
+	t.pre[node] = pre
+}
+
+// Size returns the number of points (duplicates included).
+func (t *Tree) Size() int { return len(t.xs) }
+
+// xRange returns the index range [i, j) of points with XLo <= x <= XHi.
+func (t *Tree) xRange(xlo, xhi float64) (int, int) {
+	i := sort.Search(len(t.xs), func(i int) bool { return t.xs[i].X >= xlo })
+	j := sort.Search(len(t.xs), func(i int) bool { return t.xs[i].X > xhi })
+	return i, j
+}
+
+// QuerySum returns the weight sum inside the closed rectangle.
+// O(log^2 n).
+func (t *Tree) QuerySum(xlo, xhi, ylo, yhi float64) int64 {
+	if len(t.xs) == 0 {
+		return 0
+	}
+	i, j := t.xRange(xlo, xhi)
+	if i >= j {
+		return 0
+	}
+	return t.querySum(1, 0, len(t.xs), i, j, ylo, yhi)
+}
+
+func (t *Tree) querySum(node, lo, hi, i, j int, ylo, yhi float64) int64 {
+	if j <= lo || hi <= i {
+		return 0
+	}
+	if i <= lo && hi <= j {
+		ys := t.ys[node]
+		a := sort.Search(len(ys), func(k int) bool { return ys[k].Y >= ylo })
+		b := sort.Search(len(ys), func(k int) bool { return ys[k].Y > yhi })
+		if a >= b {
+			return 0
+		}
+		return t.pre[node][b] - t.pre[node][a]
+	}
+	mid := (lo + hi) / 2
+	return t.querySum(2*node, lo, mid, i, j, ylo, yhi) +
+		t.querySum(2*node+1, mid, hi, i, j, ylo, yhi)
+}
+
+// ReportAll returns the points inside the closed rectangle.
+// O(log^2 n + k).
+func (t *Tree) ReportAll(xlo, xhi, ylo, yhi float64) []Point {
+	if len(t.xs) == 0 {
+		return nil
+	}
+	i, j := t.xRange(xlo, xhi)
+	var out []Point
+	if i >= j {
+		return nil
+	}
+	t.report(1, 0, len(t.xs), i, j, ylo, yhi, &out)
+	return out
+}
+
+func (t *Tree) report(node, lo, hi, i, j int, ylo, yhi float64, out *[]Point) {
+	if j <= lo || hi <= i {
+		return
+	}
+	if i <= lo && hi <= j {
+		ys := t.ys[node]
+		a := sort.Search(len(ys), func(k int) bool { return ys[k].Y >= ylo })
+		for ; a < len(ys) && ys[a].Y <= yhi; a++ {
+			*out = append(*out, ys[a])
+		}
+		return
+	}
+	mid := (lo + hi) / 2
+	t.report(2*node, lo, mid, i, j, ylo, yhi, out)
+	t.report(2*node+1, mid, hi, i, j, ylo, yhi, out)
+}

@@ -1,0 +1,76 @@
+package seqrangetree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func naiveSum(pts []Point, xlo, xhi, ylo, yhi float64) int64 {
+	var s int64
+	for _, p := range pts {
+		if p.X >= xlo && p.X <= xhi && p.Y >= ylo && p.Y <= yhi {
+			s += p.W
+		}
+	}
+	return s
+}
+
+func TestQuerySumMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 3000)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, W: int64(rng.Intn(50))}
+	}
+	tr := Build(pts)
+	if tr.Size() != len(pts) {
+		t.Fatalf("size %d", tr.Size())
+	}
+	for trial := 0; trial < 300; trial++ {
+		x1, x2 := rng.Float64()*1000, rng.Float64()*1000
+		y1, y2 := rng.Float64()*1000, rng.Float64()*1000
+		xlo, xhi := min(x1, x2), max(x1, x2)
+		ylo, yhi := min(y1, y2), max(y1, y2)
+		if got, want := tr.QuerySum(xlo, xhi, ylo, yhi), naiveSum(pts, xlo, xhi, ylo, yhi); got != want {
+			t.Fatalf("QuerySum = %d want %d", got, want)
+		}
+	}
+}
+
+func TestReportAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100, W: 1}
+	}
+	tr := Build(pts)
+	for trial := 0; trial < 100; trial++ {
+		x1, x2 := rng.Float64()*100, rng.Float64()*100
+		y1, y2 := rng.Float64()*100, rng.Float64()*100
+		xlo, xhi := min(x1, x2), max(x1, x2)
+		ylo, yhi := min(y1, y2), max(y1, y2)
+		got := tr.ReportAll(xlo, xhi, ylo, yhi)
+		want := naiveSum(pts, xlo, xhi, ylo, yhi) // weights are 1: count
+		if int64(len(got)) != want {
+			t.Fatalf("ReportAll returned %d points want %d", len(got), want)
+		}
+		for _, p := range got {
+			if p.X < xlo || p.X > xhi || p.Y < ylo || p.Y > yhi {
+				t.Fatalf("reported point outside rect: %+v", p)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	e := Build(nil)
+	if e.QuerySum(0, 1, 0, 1) != 0 || len(e.ReportAll(0, 1, 0, 1)) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	s := Build([]Point{{X: 5, Y: 5, W: 7}})
+	if s.QuerySum(5, 5, 5, 5) != 7 {
+		t.Fatal("point query wrong")
+	}
+	if s.QuerySum(6, 9, 0, 10) != 0 {
+		t.Fatal("miss query wrong")
+	}
+}

@@ -1,0 +1,150 @@
+// Package skiplist is a concurrent lock-free skip list, the classic
+// pointer-based concurrent ordered map the paper compares against in
+// Figure 6(a)/(b). Insertion uses per-level compare-and-swap splicing
+// (Fraser/Herlihy-Shavit style, insert-only: the benchmark workloads —
+// concurrent loads then read-only lookups, YCSB-C — never delete, which
+// is also how the paper's comparison used it).
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"repro/internal/seq"
+)
+
+const maxLevel = 24
+
+// List is a concurrent ordered map from uint64 to int64.
+type List struct {
+	head   [maxLevel]atomic.Pointer[node]
+	length atomic.Int64
+	salt   uint64
+}
+
+type node struct {
+	key  uint64
+	val  atomic.Int64
+	next [maxLevel]atomic.Pointer[node]
+	lvl  int
+}
+
+// New returns an empty list.
+func New() *List {
+	return &List{salt: 0x9e3779b97f4a7c15}
+}
+
+// Size returns the number of entries.
+func (l *List) Size() int64 { return l.length.Load() }
+
+// levelFor derives a geometric level from the key hash, deterministic
+// per key so that racing inserts of the same key agree.
+func (l *List) levelFor(k uint64) int {
+	h := seq.Mix64(k ^ l.salt)
+	lvl := 1
+	for h&1 == 1 && lvl < maxLevel {
+		lvl++
+		h >>= 1
+	}
+	return lvl
+}
+
+// Find returns the value at k. Wait-free.
+func (l *List) Find(k uint64) (int64, bool) {
+	var pred *node
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := l.nextOf(pred, lvl)
+		for cur != nil && cur.key < k {
+			pred = cur
+			cur = cur.next[lvl].Load()
+		}
+		if cur != nil && cur.key == k {
+			return cur.val.Load(), true
+		}
+	}
+	return 0, false
+}
+
+func (l *List) nextOf(pred *node, lvl int) *node {
+	if pred == nil {
+		return l.head[lvl].Load()
+	}
+	return pred.next[lvl].Load()
+}
+
+func (l *List) casNext(pred *node, lvl int, old, new *node) bool {
+	if pred == nil {
+		return l.head[lvl].CompareAndSwap(old, new)
+	}
+	return pred.next[lvl].CompareAndSwap(old, new)
+}
+
+// Insert adds or updates (k, v). Lock-free; safe for concurrent use.
+func (l *List) Insert(k uint64, v int64) {
+	var preds, succs [maxLevel]*node
+	for {
+		if found := l.findNode(k, &preds, &succs); found != nil {
+			found.val.Store(v)
+			return
+		}
+		lvl := l.levelFor(k)
+		n := &node{key: k, lvl: lvl}
+		n.val.Store(v)
+		for i := 0; i < lvl; i++ {
+			n.next[i].Store(succs[i])
+		}
+		// Splice at level 0 first; that linearizes the insert.
+		if !l.casNext(preds[0], 0, succs[0], n) {
+			continue // raced; retry from scratch
+		}
+		l.length.Add(1)
+		// Upper levels are best-effort (losing a race only costs search
+		// performance, not correctness).
+		for i := 1; i < lvl; i++ {
+			for {
+				if l.casNext(preds[i], i, succs[i], n) {
+					break
+				}
+				l.findNode(k, &preds, &succs)
+				if succs[i] == n {
+					break // someone saw us already linked
+				}
+				n.next[i].Store(succs[i])
+			}
+		}
+		return
+	}
+}
+
+// findNode fills preds/succs around k and returns the node if present.
+func (l *List) findNode(k uint64, preds, succs *[maxLevel]*node) *node {
+	var found *node
+	var pred *node
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := l.nextOf(pred, lvl)
+		for cur != nil && cur.key < k {
+			pred = cur
+			cur = cur.next[lvl].Load()
+		}
+		preds[lvl] = pred
+		succs[lvl] = cur
+		if found == nil && cur != nil && cur.key == k {
+			found = cur
+		}
+	}
+	return found
+}
+
+// RangeSum scans [lo, hi] at level 0: the non-augmented range baseline.
+func (l *List) RangeSum(lo, hi uint64) int64 {
+	var preds, succs [maxLevel]*node
+	l.findNode(lo, &preds, &succs)
+	var s int64
+	for cur := succs[0]; cur != nil && cur.key <= hi; cur = cur.next[0].Load() {
+		s += cur.val.Load()
+	}
+	return s
+}
+
+// ExpectedLevels reports the theoretical expected node level (geometric
+// with p = 1/2), for the experiment report.
+func ExpectedLevels() float64 { return 2 }

@@ -1,0 +1,108 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := New()
+	m := map[uint64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() % 2000
+		l.Insert(k, int64(i))
+		m[k] = int64(i)
+	}
+	if int(l.Size()) != len(m) {
+		t.Fatalf("size %d want %d", l.Size(), len(m))
+	}
+	for k, v := range m {
+		if got, ok := l.Find(k); !ok || got != v {
+			t.Fatalf("Find(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if _, ok := l.Find(999_999_999); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	l := New()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				k := rng.Uint64() % 50_000
+				l.Insert(k, int64(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every inserted key must be findable with its (deterministic) value,
+	// and level-0 order must be strictly increasing.
+	var prev uint64
+	first := true
+	count := 0
+	var preds, succs [24]*node
+	l.findNode(0, &preds, &succs)
+	for cur := succs[0]; cur != nil; cur = cur.next[0].Load() {
+		if !first && cur.key <= prev {
+			t.Fatalf("level-0 out of order: %d after %d", cur.key, prev)
+		}
+		if cur.val.Load() != int64(cur.key) {
+			t.Fatalf("value mismatch at %d", cur.key)
+		}
+		prev, first = cur.key, false
+		count++
+	}
+	if int64(count) != l.Size() {
+		t.Fatalf("size counter %d but %d nodes at level 0", l.Size(), count)
+	}
+}
+
+func TestConcurrentInsertThenRead(t *testing.T) {
+	// The Fig 6(b) shape: load, then concurrent read-only lookups.
+	l := New()
+	for i := uint64(0); i < 10_000; i++ {
+		l.Insert(i*2, int64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := rng.Uint64() % 20_000
+				v, ok := l.Find(k)
+				if ok != (k%2 == 0) {
+					panic("membership wrong")
+				}
+				if ok && v != int64(k/2) {
+					panic("value wrong")
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestRangeSum(t *testing.T) {
+	l := New()
+	for i := uint64(1); i <= 100; i++ {
+		l.Insert(i, int64(i))
+	}
+	if got := l.RangeSum(10, 20); got != 165 {
+		t.Fatalf("RangeSum = %d want 165", got)
+	}
+	if l.RangeSum(200, 300) != 0 {
+		t.Fatal("out-of-range sum nonzero")
+	}
+}

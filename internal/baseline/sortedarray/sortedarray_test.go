@@ -1,0 +1,101 @@
+package sortedarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func build(keys []uint64) (Map, map[uint64]int64) {
+	items := make([]Pair, len(keys))
+	m := map[uint64]int64{}
+	for i, k := range keys {
+		items[i] = Pair{Key: k, Val: int64(k)}
+		m[k] = int64(k)
+	}
+	return Build(items), m
+}
+
+func randomKeys(rng *rand.Rand, n int, space uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64() % space
+	}
+	return out
+}
+
+func TestBuildDedups(t *testing.T) {
+	m := Build([]Pair{{5, 1}, {3, 2}, {5, 9}, {1, 0}})
+	if m.Size() != 3 {
+		t.Fatalf("size %d", m.Size())
+	}
+	if v, ok := m.Find(5); !ok || v != 9 {
+		t.Fatalf("Find(5)=%d,%v want 9 (last wins)", v, ok)
+	}
+	if _, ok := m.Find(4); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, ma := build(randomKeys(rng, 500, 700))
+	b, mb := build(randomKeys(rng, 400, 700))
+
+	u := Union(a, b)
+	wantU := map[uint64]int64{}
+	for k, v := range ma {
+		wantU[k] = v
+	}
+	for k, v := range mb {
+		wantU[k] = v
+	}
+	if u.Size() != len(wantU) {
+		t.Fatalf("union size %d want %d", u.Size(), len(wantU))
+	}
+	for k, v := range wantU {
+		if got, ok := u.Find(k); !ok || got != v {
+			t.Fatalf("union Find(%d)", k)
+		}
+	}
+
+	in := Intersect(a, b)
+	cnt := 0
+	for k := range ma {
+		if _, ok := mb[k]; ok {
+			cnt++
+			if _, ok := in.Find(k); !ok {
+				t.Fatalf("intersect missing %d", k)
+			}
+		}
+	}
+	if in.Size() != cnt {
+		t.Fatalf("intersect size %d want %d", in.Size(), cnt)
+	}
+
+	d := Difference(a, b)
+	cnt = 0
+	for k := range ma {
+		if _, ok := mb[k]; !ok {
+			cnt++
+		}
+	}
+	if d.Size() != cnt {
+		t.Fatalf("difference size %d want %d", d.Size(), cnt)
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	a, ma := build([]uint64{1, 5, 9, 12, 40})
+	var want int64
+	for k, v := range ma {
+		if k >= 5 && k <= 12 {
+			want += v
+		}
+	}
+	if got := a.RangeSum(5, 12); got != want {
+		t.Fatalf("RangeSum = %d want %d", got, want)
+	}
+	if a.RangeSum(100, 200) != 0 {
+		t.Fatal("out-of-range sum nonzero")
+	}
+}

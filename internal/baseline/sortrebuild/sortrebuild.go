@@ -1,0 +1,55 @@
+// Package sortrebuild is the bulk-update baseline standing in for
+// MCSTL's parallel multi-insert (Table 3): merge the existing contents
+// with the sorted batch and rebuild a flat structure. It has optimal
+// O((n+m) + m log m) work for a batch of m into n — the comparison point
+// that shows where PAM's O(m log(n/m+1)) tree multi-insert wins (small
+// batches) and where a flat rebuild wins (huge batches).
+package sortrebuild
+
+import (
+	"repro/internal/baseline/sortedarray"
+	"repro/internal/seq"
+)
+
+// Store is a sorted-array map refreshed by bulk rebuilds.
+type Store struct {
+	m sortedarray.Map
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// FromPairs bulk-loads the store.
+func FromPairs(items []sortedarray.Pair) *Store {
+	return &Store{m: sortedarray.Build(items)}
+}
+
+// Size returns the number of entries.
+func (s *Store) Size() int { return s.m.Size() }
+
+// Find binary-searches for k.
+func (s *Store) Find(k uint64) (int64, bool) { return s.m.Find(k) }
+
+// MultiInsert applies a batch: parallel sort of the batch, dedup, then a
+// parallel merge with the existing array.
+func (s *Store) MultiInsert(items []sortedarray.Pair) {
+	batch := sortedarray.Build(items) // parallel sort + dedup
+	old := s.m.Entries()
+	neu := batch.Entries()
+	if len(old) == 0 {
+		s.m = batch
+		return
+	}
+	merged := make([]sortedarray.Pair, len(old)+len(neu))
+	seq.MergeInto(old, neu, merged, func(a, b sortedarray.Pair) bool { return a.Key < b.Key })
+	// Collapse duplicate keys (batch entries follow existing ones in the
+	// stable merge; the batch value wins).
+	out := merged[:0]
+	for i, p := range merged {
+		if i+1 < len(merged) && merged[i+1].Key == p.Key {
+			continue
+		}
+		out = append(out, p)
+	}
+	s.m = sortedarray.FromSorted(out)
+}

@@ -1,0 +1,42 @@
+package sortrebuild
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/sortedarray"
+)
+
+func TestMultiInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	m := map[uint64]int64{}
+	for batch := 0; batch < 10; batch++ {
+		items := make([]sortedarray.Pair, 500)
+		for i := range items {
+			k := rng.Uint64() % 3000
+			items[i] = sortedarray.Pair{Key: k, Val: int64(batch*1000 + i)}
+			m[k] = items[i].Val
+		}
+		// Within a batch later duplicates win, matching Build's dedup.
+		s.MultiInsert(items)
+	}
+	if s.Size() != len(m) {
+		t.Fatalf("size %d want %d", s.Size(), len(m))
+	}
+	for k, v := range m {
+		if got, ok := s.Find(k); !ok || got != v {
+			t.Fatalf("Find(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestFromPairs(t *testing.T) {
+	s := FromPairs([]sortedarray.Pair{{Key: 2, Val: 1}, {Key: 1, Val: 2}})
+	if s.Size() != 2 {
+		t.Fatalf("size %d", s.Size())
+	}
+	if v, ok := s.Find(1); !ok || v != 2 {
+		t.Fatal("find after FromPairs")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// Augmented queries (Table 2 "Augmented operations"). All borrow their
+// input. augVal is O(1); augLeft/augRight/augRange are O(log n): they
+// walk one or two root-to-leaf paths, combining whole-subtree augmented
+// values that fall inside the query range.
+
+// augVal returns the augmented value of the whole tree.
+func (o *ops[K, V, A, T]) augVal(t *node[K, V, A]) A { return o.augOf(t) }
+
+// augLeft returns the augmented value over entries with keys <= k
+// (AUGLEFT in Figure 2; the paper's pseudocode includes the boundary key).
+func (o *ops[K, V, A, T]) augLeft(t *node[K, V, A], k K) A {
+	if t == nil {
+		return o.tr.Id()
+	}
+	if o.tr.Less(k, t.key) {
+		return o.augLeft(t.left, k)
+	}
+	return o.tr.Combine(o.augOf(t.left),
+		o.tr.Combine(o.tr.Base(t.key, t.val), o.augLeft(t.right, k)))
+}
+
+// augRight returns the augmented value over entries with keys >= k.
+func (o *ops[K, V, A, T]) augRight(t *node[K, V, A], k K) A {
+	if t == nil {
+		return o.tr.Id()
+	}
+	if o.tr.Less(t.key, k) {
+		return o.augRight(t.right, k)
+	}
+	return o.tr.Combine(o.augRight(t.left, k),
+		o.tr.Combine(o.tr.Base(t.key, t.val), o.augOf(t.right)))
+}
+
+// augRange returns the augmented value over entries with lo <= key <= hi.
+func (o *ops[K, V, A, T]) augRange(t *node[K, V, A], lo, hi K) A {
+	for t != nil {
+		switch {
+		case o.tr.Less(t.key, lo):
+			t = t.right
+		case o.tr.Less(hi, t.key):
+			t = t.left
+		default:
+			// lo <= t.key <= hi: the range spans this root.
+			return o.tr.Combine(o.augRight(t.left, lo),
+				o.tr.Combine(o.tr.Base(t.key, t.val), o.augLeft(t.right, hi)))
+		}
+	}
+	return o.tr.Id()
+}
+
+// The aug projection functions live in project.go because they introduce
+// an extra type parameter (the projected type B) and therefore cannot be
+// methods.

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type maxTree = Tree[int, int64, int64, maxTraits]
+
+func newMax(sch Scheme) maxTree {
+	return New[int, int64, int64, maxTraits](Config{Scheme: sch})
+}
+
+// naiveRangeSum computes the reference answer by scanning the model.
+func naiveRangeSum(m model, lo, hi int) int64 {
+	var s int64
+	for k, v := range m {
+		if k >= lo && k <= hi {
+			s += v
+		}
+	}
+	return s
+}
+
+func TestAugValMaintained(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(31))
+		tr := newSum(sch)
+		var want int64
+		vals := map[int]int64{}
+		for i := 0; i < 2000; i++ {
+			k := rng.Intn(700)
+			v := int64(rng.Intn(100))
+			if old, ok := vals[k]; ok {
+				want -= old
+			}
+			vals[k] = v
+			want += v
+			tr = tr.Insert(k, v)
+			if tr.AugVal() != want {
+				t.Fatalf("step %d: AugVal %d want %d", i, tr.AugVal(), want)
+			}
+		}
+		// Deletions maintain it too.
+		for k, v := range vals {
+			tr = tr.Delete(k)
+			want -= v
+			if tr.AugVal() != want {
+				t.Fatalf("delete %d: AugVal %d want %d", k, tr.AugVal(), want)
+			}
+		}
+	})
+}
+
+func TestAugLeftRightRange(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(32))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 1000, 2000))
+		for trial := 0; trial < 200; trial++ {
+			lo := rng.Intn(2200) - 100
+			hi := lo + rng.Intn(500)
+			if got, want := tr.AugRange(lo, hi), naiveRangeSum(m, lo, hi); got != want {
+				t.Fatalf("AugRange(%d,%d) = %d want %d", lo, hi, got, want)
+			}
+			k := rng.Intn(2200) - 100
+			if got, want := tr.AugLeft(k), naiveRangeSum(m, -1<<30, k); got != want {
+				t.Fatalf("AugLeft(%d) = %d want %d", k, got, want)
+			}
+			if got, want := tr.AugRight(k), naiveRangeSum(m, k, 1<<30); got != want {
+				t.Fatalf("AugRight(%d) = %d want %d", k, got, want)
+			}
+		}
+		// Boundary inclusivity: AugLeft includes the key itself.
+		keys := tr.Keys()
+		k0 := keys[len(keys)/2]
+		if got := tr.AugRange(k0, k0); got != m[k0] {
+			t.Fatalf("AugRange(k,k) = %d want %d", got, m[k0])
+		}
+	})
+}
+
+func TestAugRangeEmptyAndDegenerate(t *testing.T) {
+	tr := newSum(WeightBalanced)
+	if tr.AugRange(1, 100) != 0 {
+		t.Fatal("empty AugRange nonzero")
+	}
+	tr = tr.Insert(5, 50)
+	if tr.AugRange(6, 10) != 0 {
+		t.Fatal("disjoint AugRange nonzero")
+	}
+	if tr.AugRange(10, 6) != 0 {
+		t.Fatal("inverted AugRange nonzero")
+	}
+	if tr.AugRange(5, 5) != 50 {
+		t.Fatal("point AugRange wrong")
+	}
+}
+
+func TestAugFilterMatchesFilter(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(33))
+		tr := newMax(sch)
+		vals := map[int]int64{}
+		items := make([]Entry[int, int64], 4000)
+		for i := range items {
+			k := i * 3
+			v := int64(rng.Intn(1_000_000))
+			items[i] = Entry[int, int64]{Key: k, Val: v}
+			vals[k] = v
+		}
+		tr = tr.Build(items, nil)
+		for _, theta := range []int64{0, 250_000, 900_000, 999_999} {
+			th := theta
+			// h on augmented values (max): satisfies
+			// h(max(a,b)) == h(a)||h(b).
+			got := tr.AugFilter(func(a int64) bool { return a > th })
+			want := tr.Filter(func(_ int, v int64) bool { return v > th })
+			ge, we := got.Entries(), want.Entries()
+			if len(ge) != len(we) {
+				t.Fatalf("theta=%d: augFilter %d entries, filter %d", th, len(ge), len(we))
+			}
+			for i := range ge {
+				if ge[i] != we[i] {
+					t.Fatalf("theta=%d entry %d: %v vs %v", th, i, ge[i], we[i])
+				}
+			}
+			if err := got.Validate(i64eq); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Filter that keeps nothing.
+		none := tr.AugFilter(func(a int64) bool { return a > 1<<40 })
+		if !none.IsEmpty() {
+			t.Fatal("expected empty result")
+		}
+	})
+}
+
+func TestFilterMatchesModel(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(34))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 3000, 6000))
+		got := tr.Filter(func(k int, _ int64) bool { return k%5 == 0 })
+		md := model{}
+		for k, v := range m {
+			if k%5 == 0 {
+				md[k] = v
+			}
+		}
+		mustMatch(t, got, md)
+		mustMatch(t, tr, m)
+	})
+}
+
+func TestMapReduce(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		tr := newSum(sch)
+		n := 5000
+		for i := 1; i <= n; i++ {
+			tr.InsertInPlace(i, int64(i))
+		}
+		// Sum of squares via mapReduce.
+		got := MapReduce(tr,
+			func(_ int, v int64) int64 { return v * v },
+			func(x, y int64) int64 { return x + y }, 0)
+		var want int64
+		for i := int64(1); i <= int64(n); i++ {
+			want += i * i
+		}
+		if got != want {
+			t.Fatalf("mapReduce sum of squares = %d want %d", got, want)
+		}
+		// Count via mapReduce with a different result type.
+		cnt := MapReduce(tr,
+			func(int, int64) int { return 1 },
+			func(x, y int) int { return x + y }, 0)
+		if cnt != n {
+			t.Fatalf("count = %d", cnt)
+		}
+	})
+}
+
+func TestAugProjectEqualsProjectedAugRange(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(35))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 2000, 5000))
+		// Project the int64 sum through "is nonzero parity" — here use
+		// g' = identity and f' = +, the simplest valid projection, plus a
+		// second projection onto a different type (float64).
+		for trial := 0; trial < 100; trial++ {
+			lo := rng.Intn(5200) - 100
+			hi := lo + rng.Intn(1000)
+			want := naiveRangeSum(m, lo, hi)
+			got := AugProject(tr, lo, hi,
+				func(a int64) int64 { return a },
+				func(x, y int64) int64 { return x + y }, 0)
+			if got != want {
+				t.Fatalf("AugProject(%d,%d) = %d want %d", lo, hi, got, want)
+			}
+			gotF := AugProject(tr, lo, hi,
+				func(a int64) float64 { return float64(a) },
+				func(x, y float64) float64 { return x + y }, 0)
+			if int64(gotF) != want {
+				t.Fatalf("float AugProject = %v want %d", gotF, want)
+			}
+		}
+	})
+}
+
+// Property: for the max augmentation, AugRange equals the max over a
+// scan, for arbitrary key/value sets and ranges.
+func TestAugRangeMaxQuick(t *testing.T) {
+	f := func(pairs map[int8]int16, lo, hi int8) bool {
+		tr := newMax(WeightBalanced)
+		for k, v := range pairs {
+			tr = tr.Insert(int(k), int64(v))
+		}
+		want := negInf
+		for k, v := range pairs {
+			if int(k) >= int(lo) && int(k) <= int(hi) {
+				want = max(want, int64(v))
+			}
+		}
+		return tr.AugRange(int(lo), int(hi)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

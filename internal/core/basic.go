@@ -1,0 +1,150 @@
+package core
+
+// Single-element operations (Table 2 "Map operations", all O(log n)).
+// insert and delete are built on join alone — independent of the
+// balancing scheme, as in Figure 2 of the paper.
+
+// insert adds (k, v) to t (consumed). If k is present, the stored value
+// becomes h(old, v); a nil h replaces the old value.
+func (o *ops[K, V, A, T]) insert(t *node[K, V, A], k K, v V, h func(old, new V) V) *node[K, V, A] {
+	if t == nil {
+		return o.singleton(k, v)
+	}
+	switch {
+	case o.tr.Less(k, t.key):
+		t = o.mutable(t)
+		l, r := t.left, t.right
+		return o.join(o.insert(l, k, v, h), t, r)
+	case o.tr.Less(t.key, k):
+		t = o.mutable(t)
+		l, r := t.left, t.right
+		return o.join(l, t, o.insert(r, k, v, h))
+	default:
+		t = o.mutable(t)
+		if h != nil {
+			t.val = h(t.val, v)
+		} else {
+			t.val = v
+		}
+		o.update(t)
+		return t
+	}
+}
+
+// remove deletes k from t (consumed) if present.
+func (o *ops[K, V, A, T]) remove(t *node[K, V, A], k K) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	switch {
+	case o.tr.Less(k, t.key):
+		t = o.mutable(t)
+		l, r := t.left, t.right
+		return o.join(o.remove(l, k), t, r)
+	case o.tr.Less(t.key, k):
+		t = o.mutable(t)
+		l, r := t.left, t.right
+		return o.join(l, t, o.remove(r, k))
+	default:
+		l, r := o.detach(t)
+		return o.join2(l, r)
+	}
+}
+
+// find looks up k (borrows t).
+func (o *ops[K, V, A, T]) find(t *node[K, V, A], k K) (V, bool) {
+	for t != nil {
+		switch {
+		case o.tr.Less(k, t.key):
+			t = t.left
+		case o.tr.Less(t.key, k):
+			t = t.right
+		default:
+			return t.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// first returns the minimum entry (borrows t, which must be non-nil).
+func first[K, V, A any](t *node[K, V, A]) (K, V) {
+	for t.left != nil {
+		t = t.left
+	}
+	return t.key, t.val
+}
+
+// last returns the maximum entry (borrows t, which must be non-nil).
+func last[K, V, A any](t *node[K, V, A]) (K, V) {
+	for t.right != nil {
+		t = t.right
+	}
+	return t.key, t.val
+}
+
+// previous returns the largest entry with key strictly less than k.
+func (o *ops[K, V, A, T]) previous(t *node[K, V, A], k K) (K, V, bool) {
+	var bk K
+	var bv V
+	ok := false
+	for t != nil {
+		if o.tr.Less(t.key, k) {
+			bk, bv, ok = t.key, t.val, true
+			t = t.right
+		} else {
+			t = t.left
+		}
+	}
+	return bk, bv, ok
+}
+
+// next returns the smallest entry with key strictly greater than k.
+func (o *ops[K, V, A, T]) next(t *node[K, V, A], k K) (K, V, bool) {
+	var bk K
+	var bv V
+	ok := false
+	for t != nil {
+		if o.tr.Less(k, t.key) {
+			bk, bv, ok = t.key, t.val, true
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return bk, bv, ok
+}
+
+// rank returns the number of entries with key strictly less than k.
+func (o *ops[K, V, A, T]) rank(t *node[K, V, A], k K) int64 {
+	var r int64
+	for t != nil {
+		if o.tr.Less(t.key, k) {
+			r += size(t.left) + 1
+			t = t.right
+		} else {
+			t = t.left
+		}
+	}
+	return r
+}
+
+// selectAt returns the entry with rank i (0-based); ok is false if i is
+// out of range.
+func (o *ops[K, V, A, T]) selectAt(t *node[K, V, A], i int64) (K, V, bool) {
+	for t != nil {
+		ls := size(t.left)
+		switch {
+		case i < ls:
+			t = t.left
+		case i == ls:
+			return t.key, t.val, true
+		default:
+			i -= ls + 1
+			t = t.right
+		}
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}

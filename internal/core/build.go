@@ -1,0 +1,154 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// Entry is a key-value pair, the element type of build and export
+// operations.
+type Entry[K, V any] struct {
+	Key K
+	Val V
+}
+
+// build constructs a tree from arbitrary entries, as in Figure 2: sort by
+// key (stable, in parallel), combine duplicates left-to-right with h (nil
+// h keeps the last value), then a balanced divide-and-conquer of joins.
+// O(n log n) work, O(log n) span beyond the sort. The input slice is not
+// modified.
+func (o *ops[K, V, A, T]) build(items []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
+	if len(items) == 0 {
+		return nil
+	}
+	s := make([]Entry[K, V], len(items))
+	copy(s, items)
+	seq.SortStable(s, func(a, b Entry[K, V]) bool { return o.tr.Less(a.Key, b.Key) })
+	if h == nil {
+		h = func(_, new V) V { return new }
+	}
+	eq := func(a, b Entry[K, V]) bool {
+		return !o.tr.Less(a.Key, b.Key) && !o.tr.Less(b.Key, a.Key)
+	}
+	s = seq.DedupSortedBy(s, eq, func(acc, next Entry[K, V]) Entry[K, V] {
+		return Entry[K, V]{Key: acc.Key, Val: h(acc.Val, next.Val)}
+	})
+	return o.buildSorted(s)
+}
+
+// buildSorted constructs a tree from strictly-increasing entries by
+// balanced divide-and-conquer over joins (BUILD' in Figure 2).
+func (o *ops[K, V, A, T]) buildSorted(s []Entry[K, V]) *node[K, V, A] {
+	switch len(s) {
+	case 0:
+		return nil
+	case 1:
+		return o.singleton(s[0].Key, s[0].Val)
+	}
+	mid := len(s) / 2
+	var l, r *node[K, V, A]
+	parallel.DoIf(int64(len(s)) > o.grainSize(),
+		func() { l = o.buildSorted(s[:mid]) },
+		func() { r = o.buildSorted(s[mid+1:]) },
+	)
+	return o.joinKV(l, s[mid].Key, s[mid].Val, r)
+}
+
+// multiInsert inserts a batch of entries into t (consumed): sort and
+// dedup the batch, then recursively partition it around tree nodes,
+// descending both sides in parallel. Keys already present combine as
+// h(old, new); nil h overwrites.
+func (o *ops[K, V, A, T]) multiInsert(t *node[K, V, A], items []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
+	if len(items) == 0 {
+		return t
+	}
+	s := make([]Entry[K, V], len(items))
+	copy(s, items)
+	seq.SortStable(s, func(a, b Entry[K, V]) bool { return o.tr.Less(a.Key, b.Key) })
+	hh := h
+	if hh == nil {
+		hh = func(_, new V) V { return new }
+	}
+	eq := func(a, b Entry[K, V]) bool {
+		return !o.tr.Less(a.Key, b.Key) && !o.tr.Less(b.Key, a.Key)
+	}
+	s = seq.DedupSortedBy(s, eq, func(acc, next Entry[K, V]) Entry[K, V] {
+		return Entry[K, V]{Key: acc.Key, Val: hh(acc.Val, next.Val)}
+	})
+	return o.multiInsertSorted(t, s, h)
+}
+
+func (o *ops[K, V, A, T]) multiInsertSorted(t *node[K, V, A], s []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
+	if t == nil {
+		return o.buildSorted(s)
+	}
+	if len(s) == 0 {
+		return t
+	}
+	t = o.mutable(t)
+	l, r := t.left, t.right
+	pos := seq.LowerBound(s, Entry[K, V]{Key: t.key}, func(a, b Entry[K, V]) bool {
+		return o.tr.Less(a.Key, b.Key)
+	})
+	right := pos
+	if pos < len(s) && !o.tr.Less(t.key, s[pos].Key) {
+		// s[pos].Key == t.key: merge into the existing entry.
+		if h != nil {
+			t.val = h(t.val, s[pos].Val)
+		} else {
+			t.val = s[pos].Val
+		}
+		right = pos + 1
+	}
+	var nl, nr *node[K, V, A]
+	big := size(t)+int64(len(s)) > o.grainSize()
+	parallel.DoIf(big,
+		func() { nl = o.multiInsertSorted(l, s[:pos], h) },
+		func() { nr = o.multiInsertSorted(r, s[right:], h) },
+	)
+	return o.join(nl, t, nr)
+}
+
+// multiDelete removes a batch of keys from t (consumed). The key slice is
+// not modified.
+func (o *ops[K, V, A, T]) multiDelete(t *node[K, V, A], keys []K) *node[K, V, A] {
+	if len(keys) == 0 {
+		return t
+	}
+	s := make([]K, len(keys))
+	copy(s, keys)
+	seq.Sort(s, o.tr.Less)
+	s = seq.DedupSortedBy(s,
+		func(a, b K) bool { return !o.tr.Less(a, b) && !o.tr.Less(b, a) },
+		func(acc, _ K) K { return acc })
+	return o.multiDeleteSorted(t, s)
+}
+
+func (o *ops[K, V, A, T]) multiDeleteSorted(t *node[K, V, A], s []K) *node[K, V, A] {
+	if t == nil || len(s) == 0 {
+		return t
+	}
+	pos := seq.LowerBound(s, t.key, o.tr.Less)
+	found := pos < len(s) && !o.tr.Less(t.key, s[pos])
+	right := pos
+	if found {
+		right = pos + 1
+	}
+	var l, r *node[K, V, A]
+	if found {
+		l, r = o.detach(t)
+	} else {
+		t = o.mutable(t)
+		l, r = t.left, t.right
+	}
+	var nl, nr *node[K, V, A]
+	big := size(l)+size(r)+int64(len(s)) > o.grainSize()
+	parallel.DoIf(big,
+		func() { nl = o.multiDeleteSorted(l, s[:pos]) },
+		func() { nr = o.multiDeleteSorted(r, s[right:]) },
+	)
+	if found {
+		return o.join2(nl, nr)
+	}
+	return o.join(nl, t, nr)
+}

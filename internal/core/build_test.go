@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildMatchesInsert(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(21))
+		for _, n := range []int{0, 1, 2, 7, 100, 5000} {
+			keys := randKeys(rng, n, n+1)
+			items := make([]Entry[int, int64], n)
+			m := model{}
+			for i, k := range keys {
+				items[i] = Entry[int, int64]{Key: k, Val: int64(i)}
+				m[k] = int64(i) // last value wins (nil combiner)
+			}
+			tr := newSum(sch).Build(items, nil)
+			mustMatch(t, tr, m)
+		}
+	})
+}
+
+func TestBuildCombinesDuplicates(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		items := []Entry[int, int64]{
+			{Key: 1, Val: 1}, {Key: 2, Val: 10}, {Key: 1, Val: 2},
+			{Key: 1, Val: 3}, {Key: 2, Val: 20},
+		}
+		tr := newSum(sch).Build(items, func(old, new int64) int64 { return old + new })
+		if v, _ := tr.Find(1); v != 6 {
+			t.Fatalf("key 1 combined to %d, want 6", v)
+		}
+		if v, _ := tr.Find(2); v != 30 {
+			t.Fatalf("key 2 combined to %d, want 30", v)
+		}
+		if tr.Size() != 2 {
+			t.Fatalf("size %d", tr.Size())
+		}
+	})
+}
+
+func TestBuildDoesNotModifyInput(t *testing.T) {
+	items := []Entry[int, int64]{{Key: 3, Val: 3}, {Key: 1, Val: 1}, {Key: 2, Val: 2}}
+	newSum(WeightBalanced).Build(items, nil)
+	if items[0].Key != 3 || items[1].Key != 1 || items[2].Key != 2 {
+		t.Fatalf("Build reordered its input: %v", items)
+	}
+}
+
+func TestBuildSorted(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		n := 10000
+		items := make([]Entry[int, int64], n)
+		m := model{}
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: i * 2, Val: int64(i)}
+			m[i*2] = int64(i)
+		}
+		tr := newSum(sch).BuildSorted(items)
+		mustMatch(t, tr, m)
+	})
+}
+
+func TestMultiInsertMatchesModel(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(22))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 2000, 5000))
+		batch := make([]Entry[int, int64], 1500)
+		for i := range batch {
+			k := rng.Intn(5000)
+			batch[i] = Entry[int, int64]{Key: k, Val: int64(i + 10_000)}
+		}
+		add := func(old, new int64) int64 { return old + new }
+		u := tr.MultiInsert(batch, add)
+		// Model: combine duplicates within the batch first, then with
+		// existing entries.
+		batchAcc := map[int]int64{}
+		for _, e := range batch {
+			if old, ok := batchAcc[e.Key]; ok {
+				batchAcc[e.Key] = add(old, e.Val)
+			} else {
+				batchAcc[e.Key] = e.Val
+			}
+		}
+		mu := model{}
+		for k, v := range m {
+			mu[k] = v
+		}
+		for k, v := range batchAcc {
+			if old, ok := mu[k]; ok {
+				mu[k] = add(old, v)
+			} else {
+				mu[k] = v
+			}
+		}
+		mustMatch(t, u, mu)
+		mustMatch(t, tr, m) // input preserved
+	})
+}
+
+func TestMultiInsertIntoEmpty(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		batch := []Entry[int, int64]{{Key: 5, Val: 5}, {Key: 1, Val: 1}, {Key: 9, Val: 9}}
+		tr := newSum(sch).MultiInsert(batch, nil)
+		mustMatch(t, tr, model{5: 5, 1: 1, 9: 9})
+		empty := newSum(sch).MultiInsert(nil, nil)
+		mustMatch(t, empty, model{})
+	})
+}
+
+func TestMultiDelete(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(23))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 3000, 4000))
+		var doomed []int
+		for k := range m {
+			if k%3 == 0 {
+				doomed = append(doomed, k)
+			}
+		}
+		doomed = append(doomed, -1, -2, 99_999) // absent keys
+		doomed = append(doomed, doomed[0])      // duplicate key in batch
+		got := tr.MultiDelete(doomed)
+		md := model{}
+		for k, v := range m {
+			if k%3 != 0 {
+				md[k] = v
+			}
+		}
+		mustMatch(t, got, md)
+		mustMatch(t, tr, m)
+		// Deleting everything.
+		all := tr.Keys()
+		empty := tr.MultiDelete(all)
+		mustMatch(t, empty, model{})
+	})
+}
+
+func TestMultiInsertEquivalentToUnionBuild(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(24))
+		tr, _ := fromKeysBulk(sch, randKeys(rng, 1000, 3000))
+		batch := make([]Entry[int, int64], 800)
+		for i := range batch {
+			k := rng.Intn(3000)
+			batch[i] = Entry[int, int64]{Key: k, Val: int64(k) * 7}
+		}
+		viaMI := tr.MultiInsert(batch, nil)
+		viaUnion := tr.Union(newSum(sch).Build(batch, nil))
+		a, b := viaMI.Entries(), viaUnion.Entries()
+		if len(a) != len(b) {
+			t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("entry %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}

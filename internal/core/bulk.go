@@ -1,0 +1,87 @@
+package core
+
+import "repro/internal/parallel"
+
+// Bulk set operations (§4 "Join, Split, Join2 and Union"): parallel
+// join-based union, intersection and difference with the work bounds of
+// Table 2 — O(m·log(n/m + 1)) work and O(log n · log m) span for input
+// sizes n >= m. Each splits one tree by the other's root and recurses on
+// the two sides in parallel, down to a sequential grain.
+
+// union merges t1 and t2 (both consumed). For keys present in both, the
+// result value is h(v1, v2); nil h keeps t2's value (the paper's "right
+// wins" default for UNION(T1, T2)).
+func (o *ops[K, V, A, T]) union(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *node[K, V, A] {
+	if t1 == nil {
+		return t2
+	}
+	if t2 == nil {
+		return t1
+	}
+	// Reuse t2's root as the join middle (its entry survives into the
+	// output, with a possibly combined value).
+	t2 = o.mutable(t2)
+	l2, r2 := t2.left, t2.right
+	t2.left, t2.right = nil, nil
+	s := o.split(t1, t2.key)
+	if s.found && h != nil {
+		t2.val = h(s.v, t2.val)
+	}
+	var l, r *node[K, V, A]
+	big := size(s.l)+size(l2) > o.grainSize() || size(s.r)+size(r2) > o.grainSize()
+	parallel.DoIf(big,
+		func() { l = o.union(s.l, l2, h) },
+		func() { r = o.union(s.r, r2, h) },
+	)
+	return o.join(l, t2, r)
+}
+
+// intersect keeps the keys present in both t1 and t2 (both consumed),
+// with values h(v1, v2); nil h keeps t2's value.
+func (o *ops[K, V, A, T]) intersect(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *node[K, V, A] {
+	if t1 == nil || t2 == nil {
+		o.dec(t1)
+		o.dec(t2)
+		return nil
+	}
+	t2 = o.mutable(t2)
+	l2, r2 := t2.left, t2.right
+	t2.left, t2.right = nil, nil
+	s := o.split(t1, t2.key)
+	var l, r *node[K, V, A]
+	big := size(s.l)+size(l2) > o.grainSize() || size(s.r)+size(r2) > o.grainSize()
+	parallel.DoIf(big,
+		func() { l = o.intersect(s.l, l2, h) },
+		func() { r = o.intersect(s.r, r2, h) },
+	)
+	if s.found {
+		if h != nil {
+			t2.val = h(s.v, t2.val)
+		}
+		return o.join(l, t2, r)
+	}
+	o.dec(t2)
+	return o.join2(l, r)
+}
+
+// difference keeps the entries of t1 whose keys are absent from t2 (both
+// consumed).
+func (o *ops[K, V, A, T]) difference(t1, t2 *node[K, V, A]) *node[K, V, A] {
+	if t1 == nil {
+		o.dec(t2)
+		return nil
+	}
+	if t2 == nil {
+		return t1
+	}
+	k2 := t2.key
+	l2, r2 := o.detach(t2)
+	s := o.split(t1, k2)
+	var l, r *node[K, V, A]
+	big := size(s.l)+size(l2) > o.grainSize() || size(s.r)+size(r2) > o.grainSize()
+	parallel.DoIf(big,
+		func() { l = o.difference(s.l, l2) },
+		func() { r = o.difference(s.r, r2) },
+	)
+	return o.join2(l, r)
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fromKeys(sch Scheme, keys []int) (sumTree, model) {
+	tr := newSum(sch)
+	m := model{}
+	for _, k := range keys {
+		tr = tr.Insert(k, int64(k))
+		m[k] = int64(k)
+	}
+	return tr, m
+}
+
+func randKeys(rng *rand.Rand, n, space int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(space)
+	}
+	return out
+}
+
+func TestUnionMatchesModel(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 20; trial++ {
+			n1, n2 := rng.Intn(400), rng.Intn(400)
+			t1, m1 := fromKeys(sch, randKeys(rng, n1, 500))
+			t2, m2 := fromKeys(sch, randKeys(rng, n2, 500))
+			u := t1.Union(t2)
+			mu := model{}
+			for k, v := range m1 {
+				mu[k] = v
+			}
+			for k, v := range m2 {
+				mu[k] = v // right wins
+			}
+			mustMatch(t, u, mu)
+			// Inputs unchanged (persistence).
+			mustMatch(t, t1, m1)
+			mustMatch(t, t2, m2)
+		}
+	})
+}
+
+func TestUnionWithCombine(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		t1, _ := fromKeys(sch, []int{1, 2, 3, 4})
+		t2, _ := fromKeys(sch, []int{3, 4, 5, 6})
+		u := t1.UnionWith(t2, func(a, b int64) int64 { return a + b })
+		if v, _ := u.Find(3); v != 6 {
+			t.Fatalf("combined value at 3: %d", v)
+		}
+		if v, _ := u.Find(1); v != 1 {
+			t.Fatalf("value at 1: %d", v)
+		}
+		if u.Size() != 6 {
+			t.Fatalf("size %d", u.Size())
+		}
+		if err := u.Validate(i64eq); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestUnionEdgeCases(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		empty := newSum(sch)
+		t1, m1 := fromKeys(sch, []int{1, 2, 3})
+		mustMatch(t, empty.Union(t1), m1)
+		mustMatch(t, t1.Union(empty), m1)
+		mustMatch(t, empty.Union(empty), model{})
+		mustMatch(t, t1.Union(t1), m1) // self-union
+	})
+}
+
+func TestIntersectMatchesModel(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(10))
+		for trial := 0; trial < 20; trial++ {
+			t1, m1 := fromKeys(sch, randKeys(rng, rng.Intn(300), 200))
+			t2, m2 := fromKeys(sch, randKeys(rng, rng.Intn(300), 200))
+			in := t1.IntersectWith(t2, func(a, b int64) int64 { return a * 1000 })
+			mi := model{}
+			for k := range m1 {
+				if _, ok := m2[k]; ok {
+					mi[k] = int64(k) * 1000
+				}
+			}
+			mustMatch(t, in, mi)
+			mustMatch(t, t1, m1)
+			mustMatch(t, t2, m2)
+		}
+	})
+}
+
+func TestIntersectEdgeCases(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		empty := newSum(sch)
+		t1, m1 := fromKeys(sch, []int{1, 2, 3})
+		t2, _ := fromKeys(sch, []int{10, 20})
+		mustMatch(t, t1.Intersect(empty), model{})
+		mustMatch(t, empty.Intersect(t1), model{})
+		mustMatch(t, t1.Intersect(t2), model{})
+		mustMatch(t, t1.Intersect(t1), m1)
+	})
+}
+
+func TestDifferenceMatchesModel(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 20; trial++ {
+			t1, m1 := fromKeys(sch, randKeys(rng, rng.Intn(300), 200))
+			t2, m2 := fromKeys(sch, randKeys(rng, rng.Intn(300), 200))
+			d := t1.Difference(t2)
+			md := model{}
+			for k, v := range m1 {
+				if _, ok := m2[k]; !ok {
+					md[k] = v
+				}
+			}
+			mustMatch(t, d, md)
+			mustMatch(t, t1, m1)
+			mustMatch(t, t2, m2)
+		}
+	})
+}
+
+func TestDifferenceEdgeCases(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		empty := newSum(sch)
+		t1, m1 := fromKeys(sch, []int{1, 2, 3})
+		mustMatch(t, t1.Difference(t1), model{})
+		mustMatch(t, t1.Difference(empty), m1)
+		mustMatch(t, empty.Difference(t1), model{})
+	})
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(12))
+		tr, m := fromKeys(sch, randKeys(rng, 500, 1000))
+		for trial := 0; trial < 30; trial++ {
+			k := rng.Intn(1000)
+			l, v, found, r := tr.Split(k)
+			if err := l.Validate(i64eq); err != nil {
+				t.Fatalf("left: %v", err)
+			}
+			if err := r.Validate(i64eq); err != nil {
+				t.Fatalf("right: %v", err)
+			}
+			_, inModel := m[k]
+			if found != inModel {
+				t.Fatalf("Split(%d) found=%v, model=%v", k, found, inModel)
+			}
+			l.ForEach(func(kk int, _ int64) bool {
+				if kk >= k {
+					t.Errorf("left side has key %d >= %d", kk, k)
+				}
+				return true
+			})
+			r.ForEach(func(kk int, _ int64) bool {
+				if kk <= k {
+					t.Errorf("right side has key %d <= %d", kk, k)
+				}
+				return true
+			})
+			// Rejoin and compare with the original.
+			var back sumTree
+			if found {
+				back = l.Join(k, v, r)
+			} else {
+				back = l.Concat(r)
+			}
+			mustMatch(t, back, m)
+			mustMatch(t, tr, m) // original intact
+		}
+	})
+}
+
+func TestConcatEmpty(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		empty := newSum(sch)
+		t1, m1 := fromKeys(sch, []int{1, 2, 3})
+		mustMatch(t, empty.Concat(t1), m1)
+		mustMatch(t, t1.Concat(empty), m1)
+		mustMatch(t, empty.Concat(empty), model{})
+	})
+}
+
+// Property: union is associative and commutative on key sets, and
+// size(union) = |keys1 ∪ keys2| — checked with testing/quick over all
+// schemes.
+func TestUnionPropertyQuick(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		f := func(a, b, c []uint8) bool {
+			ta, _ := fromKeys(sch, bytesToInts(a))
+			tb, _ := fromKeys(sch, bytesToInts(b))
+			tc, _ := fromKeys(sch, bytesToInts(c))
+			left := ta.Union(tb).Union(tc)
+			right := ta.Union(tb.Union(tc))
+			if left.Size() != right.Size() {
+				return false
+			}
+			if err := left.Validate(i64eq); err != nil {
+				return false
+			}
+			le, re := left.Entries(), right.Entries()
+			for i := range le {
+				if le[i].Key != re[i].Key {
+					return false
+				}
+			}
+			set := map[int]bool{}
+			for _, k := range bytesToInts(a) {
+				set[k] = true
+			}
+			for _, k := range bytesToInts(b) {
+				set[k] = true
+			}
+			for _, k := range bytesToInts(c) {
+				set[k] = true
+			}
+			return int(left.Size()) == len(set)
+		}
+		cfg := &quick.Config{MaxCount: 50}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Property: intersect distributes over union on key sets:
+// a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c).
+func TestIntersectUnionDistributivityQuick(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		f := func(a, b, c []uint8) bool {
+			ta, _ := fromKeys(sch, bytesToInts(a))
+			tb, _ := fromKeys(sch, bytesToInts(b))
+			tc, _ := fromKeys(sch, bytesToInts(c))
+			lhs := ta.Intersect(tb.Union(tc))
+			rhs := ta.Intersect(tb).Union(ta.Intersect(tc))
+			if lhs.Size() != rhs.Size() {
+				return false
+			}
+			le, re := lhs.Entries(), rhs.Entries()
+			for i := range le {
+				if le[i].Key != re[i].Key {
+					return false
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 50}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func bytesToInts(b []uint8) []int {
+	out := make([]int, len(b))
+	for i, x := range b {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func TestUnionLargeParallel(t *testing.T) {
+	// Large enough to exercise the parallel paths (grain is 1024).
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(13))
+		n := 50000
+		t1, m1 := fromKeysBulk(sch, randKeys(rng, n, n*4))
+		t2, m2 := fromKeysBulk(sch, randKeys(rng, n, n*4))
+		u := t1.Union(t2)
+		if err := u.Validate(i64eq); err != nil {
+			t.Fatal(err)
+		}
+		mu := model{}
+		for k, v := range m1 {
+			mu[k] = v
+		}
+		for k, v := range m2 {
+			mu[k] = v
+		}
+		if int(u.Size()) != len(mu) {
+			t.Fatalf("union size %d want %d", u.Size(), len(mu))
+		}
+		for k, v := range mu {
+			if got, ok := u.Find(k); !ok || got != v {
+				t.Fatalf("Find(%d)=%d,%v want %d", k, got, ok, v)
+			}
+		}
+	})
+}
+
+// fromKeysBulk builds via Build (exercising sort+dedup+join-build).
+func fromKeysBulk(sch Scheme, keys []int) (sumTree, model) {
+	m := model{}
+	items := make([]Entry[int, int64], len(keys))
+	for i, k := range keys {
+		items[i] = Entry[int, int64]{Key: k, Val: int64(k)}
+		m[k] = int64(k)
+	}
+	tr := newSum(sch).Build(items, nil)
+	return tr, m
+}

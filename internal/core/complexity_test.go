@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Empirical verification of the Table 2 work bounds, by counting key
+// comparisons (the comparison model the paper's bounds are stated in).
+// Constant factors are checked against generous multiples of the
+// asymptotic terms; growth is checked by comparing two sizes.
+
+type cmpTree = Tree[int, int64, int64, countingTraits]
+
+func newCounting() cmpTree {
+	return New[int, int64, int64, countingTraits](Config{})
+}
+
+func buildCounting(n, stride, offset int) cmpTree {
+	items := make([]Entry[int, int64], n)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i*stride + offset, Val: int64(i)}
+	}
+	return newCounting().BuildSorted(items)
+}
+
+// withSequential forces parallelism 1 so comparison counts are exact and
+// deterministic.
+func withSequential(t *testing.T, f func()) {
+	t.Helper()
+	old := parallel.Parallelism()
+	parallel.SetParallelism(1)
+	defer parallel.SetParallelism(old)
+	f()
+}
+
+func countCmps(f func()) int64 {
+	cmpCount.Store(0)
+	f()
+	return cmpCount.Load()
+}
+
+func TestWorkBoundFind(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 16
+		tr := buildCounting(n, 2, 0)
+		c := countCmps(func() {
+			for i := 0; i < 1000; i++ {
+				tr.Find(i * 7 % (2 * n))
+			}
+		})
+		perOp := float64(c) / 1000
+		bound := 3 * math.Log2(float64(n)) // 2 comparisons per level + slack
+		if perOp > bound {
+			t.Fatalf("find: %.1f comparisons/op, bound %.1f", perOp, bound)
+		}
+	})
+}
+
+func TestWorkBoundInsert(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 15
+		tr := buildCounting(n, 2, 0)
+		c := countCmps(func() {
+			for i := 0; i < 500; i++ {
+				tr = tr.Insert(i*2+1, 0)
+			}
+		})
+		perOp := float64(c) / 500
+		bound := 6 * math.Log2(float64(n))
+		if perOp > bound {
+			t.Fatalf("insert: %.1f comparisons/op, bound %.1f", perOp, bound)
+		}
+	})
+}
+
+// TestWorkBoundUnion verifies the O(m log(n/m + 1)) union bound: with
+// n fixed and m small, the work must be near m·log(n/m), far below n.
+func TestWorkBoundUnion(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 17
+		for _, m := range []int{1 << 4, 1 << 8, 1 << 12} {
+			big := buildCounting(n, 2, 0)
+			small := buildCounting(m, 2*n/m, 1)
+			c := countCmps(func() { big.UnionWith(small, nil) })
+			term := float64(m) * (math.Log2(float64(n)/float64(m)) + 1)
+			bound := 8 * term
+			if float64(c) > bound {
+				t.Fatalf("union n=%d m=%d: %d comparisons, bound %.0f (m log(n/m+1) = %.0f)",
+					n, m, c, bound, term)
+			}
+			// And decisively sublinear in n for small m.
+			if m <= 1<<8 && c > int64(n)/4 {
+				t.Fatalf("union with m=%d did linear work: %d comparisons", m, c)
+			}
+		}
+	})
+}
+
+// TestWorkBoundAugFilter verifies O(k log(n/k + 1)): the work must track
+// the output size k, not n.
+func TestWorkBoundAugFilter(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 16
+		items := make([]Entry[int, int64], n)
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: i, Val: int64(i % (1 << 16))}
+		}
+		// Values are a permutation-ish spread; selecting v >= n-k keeps
+		// about k entries.
+		tr := New[int, int64, int64, countingMaxTraits](Config{}).BuildSorted(items)
+		costs := map[int]int64{}
+		for _, k := range []int{1 << 4, 1 << 10} {
+			th := int64(n - k)
+			costs[k] = countCmps(func() {
+				tr.AugFilter(func(a int64) bool { return a >= th })
+			})
+		}
+		// Work for k=16 must be drastically below k=1024, and both far
+		// below n (a plain filter would pay ~n).
+		if costs[1<<4]*8 > costs[1<<10] && costs[1<<10] > int64(n) {
+			t.Fatalf("augFilter costs do not scale with k: %v", costs)
+		}
+		if costs[1<<4] > int64(n)/8 {
+			t.Fatalf("augFilter k=16 did near-linear work: %d", costs[1<<4])
+		}
+	})
+}
+
+// countingMaxTraits is countingTraits with max combine (augFilter needs
+// the max augmentation for threshold predicates).
+type countingMaxTraits struct{}
+
+func (countingMaxTraits) Less(a, b int) bool        { cmpCount.Add(1); return a < b }
+func (countingMaxTraits) Id() int64                 { return negInf }
+func (countingMaxTraits) Base(_ int, v int64) int64 { return v }
+func (countingMaxTraits) Combine(x, y int64) int64  { return max(x, y) }
+
+// TestWorkBoundAugRange: O(log n) — constant number of comparisons per
+// query regardless of the range width.
+func TestWorkBoundAugRange(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 16
+		tr := buildCounting(n, 1, 0)
+		wide := countCmps(func() { tr.AugRange(0, n) }) // whole map
+		narrow := countCmps(func() { tr.AugRange(n/2, n/2+1) })
+		bound := int64(6 * 17)
+		if wide > bound || narrow > bound {
+			t.Fatalf("augRange comparisons: wide=%d narrow=%d bound=%d", wide, narrow, bound)
+		}
+	})
+}
+
+// TestWorkBoundBuildSorted: O(n) comparisons for pre-sorted distinct
+// input (the sort is skipped; joins on balanced halves are cheap).
+func TestWorkBoundBuildSorted(t *testing.T) {
+	withSequential(t, func() {
+		n := 1 << 15
+		c := countCmps(func() { buildCounting(n, 1, 0) })
+		if c > int64(8*n) {
+			t.Fatalf("buildSorted did %d comparisons for n=%d", c, n)
+		}
+	})
+}
+
+// TestSpanScaling sanity-checks that bulk operations produce the same
+// results at any parallelism level (determinism across schedules).
+func TestParallelDeterminism(t *testing.T) {
+	n := 1 << 15
+	mk := func() sumTree {
+		items := make([]Entry[int, int64], n)
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: i * 3 % (2 * n), Val: int64(i)}
+		}
+		a := newSum(WeightBalanced).Build(items, func(o, nn int64) int64 { return o + nn })
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: i*3%(2*n) + 1, Val: int64(i)}
+		}
+		b := newSum(WeightBalanced).Build(items, func(o, nn int64) int64 { return o + nn })
+		u := a.UnionWith(b, func(x, y int64) int64 { return x - y })
+		u = u.Filter(func(k int, _ int64) bool { return k%5 != 0 })
+		return u
+	}
+	old := parallel.Parallelism()
+	defer parallel.SetParallelism(old)
+	parallel.SetParallelism(1)
+	seqResult := mk().Entries()
+	parallel.SetParallelism(8)
+	parResult := mk().Entries()
+	if len(seqResult) != len(parResult) {
+		t.Fatalf("parallel result size differs: %d vs %d", len(seqResult), len(parResult))
+	}
+	for i := range seqResult {
+		if seqResult[i] != parResult[i] {
+			t.Fatalf("entry %d differs between schedules: %v vs %v", i, seqResult[i], parResult[i])
+		}
+	}
+}

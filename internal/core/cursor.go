@@ -1,0 +1,53 @@
+package core
+
+// Cursor is a stateful in-order iterator over a tree snapshot: Seek in
+// O(log n), Next in amortized O(1). Because trees are persistent the
+// cursor stays valid regardless of later updates to other handles — it
+// iterates the version it was created from. Not safe for concurrent use
+// of a single Cursor; create one per goroutine.
+type Cursor[K, V, A any, T Traits[K, V, A]] struct {
+	o *ops[K, V, A, T]
+	// stack holds the path of nodes whose entry is still to be emitted
+	// (each pushed node's left subtree has been fully handled).
+	stack []*node[K, V, A]
+}
+
+// Cursor returns a cursor positioned before the first entry.
+func (t Tree[K, V, A, T]) Cursor() *Cursor[K, V, A, T] {
+	c := &Cursor[K, V, A, T]{o: t.o(), stack: make([]*node[K, V, A], 0, 32)}
+	c.pushLeftSpine(t.root)
+	return c
+}
+
+func (c *Cursor[K, V, A, T]) pushLeftSpine(n *node[K, V, A]) {
+	for n != nil {
+		c.stack = append(c.stack, n)
+		n = n.left
+	}
+}
+
+// Next advances to the next entry; ok is false when exhausted.
+func (c *Cursor[K, V, A, T]) Next() (k K, v V, ok bool) {
+	if len(c.stack) == 0 {
+		return k, v, false
+	}
+	n := c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	c.pushLeftSpine(n.right)
+	return n.key, n.val, true
+}
+
+// SeekGE repositions the cursor so that the next emitted entry is the
+// first one with key >= target. O(log n).
+func (c *Cursor[K, V, A, T]) SeekGE(t Tree[K, V, A, T], target K) {
+	c.stack = c.stack[:0]
+	n := t.root
+	for n != nil {
+		if c.o.tr.Less(n.key, target) {
+			n = n.right
+		} else {
+			c.stack = append(c.stack, n)
+			n = n.left
+		}
+	}
+}

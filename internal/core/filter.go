@@ -1,0 +1,103 @@
+package core
+
+import "repro/internal/parallel"
+
+// filter keeps the entries satisfying pred (t consumed): recurse on both
+// children in parallel and recombine with join or join2 depending on the
+// root (FILTER in Figure 2). O(n) work, O(log^2 n) span.
+func (o *ops[K, V, A, T]) filter(t *node[K, V, A], pred func(k K, v V) bool) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	keep := pred(t.key, t.val)
+	sz := t.size
+	var l, r *node[K, V, A]
+	if keep {
+		t = o.mutable(t)
+		l, r = t.left, t.right
+		t.left, t.right = nil, nil
+	} else {
+		l, r = o.detach(t)
+	}
+	var nl, nr *node[K, V, A]
+	parallel.DoIf(sz > o.grainSize(),
+		func() { nl = o.filter(l, pred) },
+		func() { nr = o.filter(r, pred) },
+	)
+	if keep {
+		return o.join(nl, t, nr)
+	}
+	return o.join2(nl, nr)
+}
+
+// augFilter is filter for predicates expressed on augmented values
+// (AUGFILTER in Figure 2): h must satisfy h(f(a,b)) == h(a) || h(b), so
+// a subtree whose augmented value fails h contains no matching entries
+// and is discarded wholesale. O(k·log(n/k + 1)) work for k results,
+// O(log^2 n) span.
+func (o *ops[K, V, A, T]) augFilter(t *node[K, V, A], h func(a A) bool) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	if !h(t.aug) {
+		o.dec(t)
+		return nil
+	}
+	keep := h(o.tr.Base(t.key, t.val))
+	sz := t.size
+	var l, r *node[K, V, A]
+	if keep {
+		t = o.mutable(t)
+		l, r = t.left, t.right
+		t.left, t.right = nil, nil
+	} else {
+		l, r = o.detach(t)
+	}
+	var nl, nr *node[K, V, A]
+	parallel.DoIf(sz > o.grainSize(),
+		func() { nl = o.augFilter(l, h) },
+		func() { nr = o.augFilter(r, h) },
+	)
+	if keep {
+		return o.join(nl, t, nr)
+	}
+	return o.join2(nl, nr)
+}
+
+// augFilter2 is augFilter with an additional take-all test (footnote 3
+// of the paper): hAll(a) true means *every* entry of a subtree with
+// augmented value a satisfies the filter, so the whole subtree is taken
+// by reference without being visited — the selected regions cost O(1)
+// each instead of O(size). hAll may be nil (no take-all pruning); when
+// non-nil it must satisfy hAll(f(a,b)) == hAll(a) && hAll(b).
+func (o *ops[K, V, A, T]) augFilter2(t *node[K, V, A], hAny, hAll func(a A) bool) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	if !hAny(t.aug) {
+		o.dec(t)
+		return nil
+	}
+	if hAll != nil && hAll(t.aug) {
+		return t // take the whole subtree, keeping the reference
+	}
+	keep := hAny(o.tr.Base(t.key, t.val))
+	sz := t.size
+	var l, r *node[K, V, A]
+	if keep {
+		t = o.mutable(t)
+		l, r = t.left, t.right
+		t.left, t.right = nil, nil
+	} else {
+		l, r = o.detach(t)
+	}
+	var nl, nr *node[K, V, A]
+	parallel.DoIf(sz > o.grainSize(),
+		func() { nl = o.augFilter2(l, hAny, hAll) },
+		func() { nr = o.augFilter2(r, hAny, hAll) },
+	)
+	if keep {
+		return o.join(nl, t, nr)
+	}
+	return o.join2(nl, nr)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+)
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as
+// regular tests; under `go test -fuzz=FuzzTreeOps ./internal/core` the
+// engine explores the op-sequence space. The harness decodes a byte
+// string as a program over the map and checks every invariant plus a
+// model after each instruction.
+
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 10, 0, 20, 2, 15, 3, 5, 25, 4})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 3, 1, 9})
+	f.Add([]byte{5, 6, 7, 0, 200, 3, 0, 255, 2, 128})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		for _, sch := range allSchemes {
+			tr := newSum(sch)
+			m := model{}
+			i := 0
+			next := func() (byte, bool) {
+				if i >= len(prog) {
+					return 0, false
+				}
+				b := prog[i]
+				i++
+				return b, true
+			}
+			for {
+				op, ok := next()
+				if !ok {
+					break
+				}
+				arg, ok := next()
+				if !ok {
+					break
+				}
+				k := int(arg)
+				switch op % 6 {
+				case 0: // insert
+					tr = tr.Insert(k, int64(k)*3)
+					m[k] = int64(k) * 3
+				case 1: // delete
+					tr = tr.Delete(k)
+					delete(m, k)
+				case 2: // insert-with accumulate
+					tr = tr.InsertWith(k, 1, func(o, n int64) int64 { return o + n })
+					m[k]++
+				case 3: // split and rejoin (must be identity)
+					l, v, found, r := tr.Split(k)
+					if found {
+						tr = l.Join(k, v, r)
+					} else {
+						tr = l.Concat(r)
+					}
+				case 4: // range restrict to [k, k+64]
+					tr = tr.Range(k, k+64)
+					for kk := range m {
+						if kk < k || kk > k+64 {
+							delete(m, kk)
+						}
+					}
+				case 5: // pop min
+					if pk, _, rest, ok := tr.RemoveFirst(); ok {
+						delete(m, pk)
+						tr = rest
+					}
+				}
+			}
+			if err := tr.Validate(i64eq); err != nil {
+				t.Fatalf("%v after program %v: %v", sch, prog, err)
+			}
+			if int(tr.Size()) != len(m) {
+				t.Fatalf("%v: size %d want %d (program %v)", sch, tr.Size(), len(m), prog)
+			}
+			for k, v := range m {
+				got, ok := tr.Find(k)
+				if !ok || got != v {
+					t.Fatalf("%v: Find(%d)=%d,%v want %d (program %v)", sch, k, got, ok, v, prog)
+				}
+			}
+			var sum int64
+			for _, v := range m {
+				sum += v
+			}
+			if tr.AugVal() != sum {
+				t.Fatalf("%v: AugVal %d want %d (program %v)", sch, tr.AugVal(), sum, prog)
+			}
+		}
+	})
+}
+
+// FuzzBuildDedup checks Build against a map model for arbitrary
+// duplicate-laden inputs.
+func FuzzBuildDedup(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 1, 5})
+	f.Add([]byte{255, 0, 255, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, keys []byte) {
+		items := make([]Entry[int, int64], len(keys))
+		m := model{}
+		for i, b := range keys {
+			items[i] = Entry[int, int64]{Key: int(b), Val: int64(i)}
+			if old, ok := m[int(b)]; ok {
+				m[int(b)] = old + int64(i)
+			} else {
+				m[int(b)] = int64(i)
+			}
+		}
+		tr := newSum(RedBlack).Build(items, func(o, n int64) int64 { return o + n })
+		if err := tr.Validate(i64eq); err != nil {
+			t.Fatal(err)
+		}
+		if int(tr.Size()) != len(m) {
+			t.Fatalf("size %d want %d", tr.Size(), len(m))
+		}
+		for k, v := range m {
+			if got, _ := tr.Find(k); got != v {
+				t.Fatalf("Find(%d)=%d want %d", k, got, v)
+			}
+		}
+	})
+}

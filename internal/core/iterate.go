@@ -1,0 +1,45 @@
+package core
+
+// Bounded in-order iteration: visits entries with lo <= key <= hi
+// without materializing a sub-map — O(log n + k) for k visited entries.
+
+// forEachRange visits the in-range entries of t in key order; visit
+// returning false stops the walk. Returns false if stopped early.
+func (o *ops[K, V, A, T]) forEachRange(t *node[K, V, A], lo, hi K, visit func(k K, v V) bool) bool {
+	if t == nil {
+		return true
+	}
+	if o.tr.Less(t.key, lo) {
+		return o.forEachRange(t.right, lo, hi, visit)
+	}
+	if o.tr.Less(hi, t.key) {
+		return o.forEachRange(t.left, lo, hi, visit)
+	}
+	return o.forEachRange(t.left, lo, hi, visit) &&
+		visit(t.key, t.val) &&
+		o.forEachRange(t.right, lo, hi, visit)
+}
+
+// ForEachRange visits entries with lo <= key <= hi in key order until
+// visit returns false. O(log n + k) for k visited entries, allocation
+// free.
+func (t Tree[K, V, A, T]) ForEachRange(lo, hi K, visit func(k K, v V) bool) {
+	t.o().forEachRange(t.root, lo, hi, visit)
+}
+
+// Values materializes the values in key order (in parallel).
+func (t Tree[K, V, A, T]) Values() []V {
+	out := make([]V, size(t.root))
+	t.o().fillValues(t.root, out)
+	return out
+}
+
+func (o *ops[K, V, A, T]) fillValues(t *node[K, V, A], out []V) {
+	if t == nil {
+		return
+	}
+	ls := size(t.left)
+	out[ls] = t.val
+	o.fillValues(t.left, out[:ls])
+	o.fillValues(t.right, out[ls+1:])
+}

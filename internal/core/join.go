@@ -1,0 +1,129 @@
+package core
+
+// join is the single scheme-specific operation (§4): everything else is
+// built from it. join(l, m, r) composes two trees and a middle node m
+// with max(l) < m.key < min(r), returning a balanced tree. All three
+// arguments are consumed: l and r transfer one reference each, and m must
+// be an exclusively-owned bare node (its child pointers are ignored and
+// overwritten; callers pass either a fresh allocation or a node they have
+// detached from its old children via mutable).
+func (o *ops[K, V, A, T]) join(l *node[K, V, A], m *node[K, V, A], r *node[K, V, A]) *node[K, V, A] {
+	switch o.sch {
+	case AVL:
+		return o.joinAVL(l, m, r)
+	case RedBlack:
+		return o.joinRB(l, m, r)
+	case Treap:
+		return o.joinTreap(l, m, r)
+	default:
+		return o.joinWB(l, m, r)
+	}
+}
+
+// joinKV is join with a freshly allocated middle entry.
+func (o *ops[K, V, A, T]) joinKV(l *node[K, V, A], k K, v V, r *node[K, V, A]) *node[K, V, A] {
+	return o.join(l, o.alloc(k, v), r)
+}
+
+// attach makes m the parent of l and r and recomputes its derived fields.
+// m must be exclusively owned.
+func (o *ops[K, V, A, T]) attach(m, l, r *node[K, V, A]) *node[K, V, A] {
+	m.left, m.right = l, r
+	o.update(m)
+	return m
+}
+
+// rotateLeft performs a left rotation at t (t.right becomes the root) and
+// returns the new root. t is consumed; t.right must be non-nil.
+func (o *ops[K, V, A, T]) rotateLeft(t *node[K, V, A]) *node[K, V, A] {
+	t = o.mutable(t)
+	r := o.mutable(t.right)
+	t.right = r.left
+	o.update(t)
+	r.left = t
+	o.update(r)
+	return r
+}
+
+// rotateRight performs a right rotation at t (t.left becomes the root).
+func (o *ops[K, V, A, T]) rotateRight(t *node[K, V, A]) *node[K, V, A] {
+	t = o.mutable(t)
+	l := o.mutable(t.left)
+	t.left = l.right
+	o.update(t)
+	l.right = t
+	o.update(l)
+	return l
+}
+
+// splitOut is the result of split: the entries less than the split key,
+// those greater, and the value at the key if present.
+type splitOut[K, V, A any] struct {
+	l, r  *node[K, V, A]
+	v     V
+	found bool
+}
+
+// split divides t (consumed) around key k. O(log n) work for balanced t.
+// Nodes along the split path are reused as join middles when exclusively
+// owned (the reuse optimization), so splitting a uniquely-referenced tree
+// allocates nothing.
+func (o *ops[K, V, A, T]) split(t *node[K, V, A], k K) splitOut[K, V, A] {
+	if t == nil {
+		return splitOut[K, V, A]{}
+	}
+	switch {
+	case o.tr.Less(k, t.key):
+		t = o.mutable(t)
+		l0, r0 := t.left, t.right
+		s := o.split(l0, k)
+		s.r = o.join(s.r, t, r0)
+		return s
+	case o.tr.Less(t.key, k):
+		t = o.mutable(t)
+		l0, r0 := t.left, t.right
+		s := o.split(r0, k)
+		s.l = o.join(l0, t, s.l)
+		return s
+	default:
+		val := t.val
+		l0, r0 := o.detach(t)
+		return splitOut[K, V, A]{l: l0, r: r0, v: val, found: true}
+	}
+}
+
+// splitLast removes the maximum entry of t (consumed, non-nil), returning
+// the remaining tree and the removed entry.
+func (o *ops[K, V, A, T]) splitLast(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
+	if t.right == nil {
+		k, v = t.key, t.val
+		l0, _ := o.detach(t)
+		return l0, k, v
+	}
+	t = o.mutable(t)
+	l0, r0 := t.left, t.right
+	rest, k, v = o.splitLast(r0)
+	return o.join(l0, t, rest), k, v
+}
+
+// splitFirst removes the minimum entry of t (consumed, non-nil).
+func (o *ops[K, V, A, T]) splitFirst(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
+	if t.left == nil {
+		k, v = t.key, t.val
+		_, r0 := o.detach(t)
+		return r0, k, v
+	}
+	t = o.mutable(t)
+	l0, r0 := t.left, t.right
+	rest, k, v = o.splitFirst(l0)
+	return o.join(rest, t, r0), k, v
+}
+
+// join2 composes two trees without a middle entry (max(l) < min(r)).
+func (o *ops[K, V, A, T]) join2(l, r *node[K, V, A]) *node[K, V, A] {
+	if l == nil {
+		return r
+	}
+	rest, k, v := o.splitLast(l)
+	return o.joinKV(rest, k, v, r)
+}

@@ -1,0 +1,74 @@
+package core
+
+// AVL join (SPAA'16, Figure 1). The aux word stores subtree height;
+// update() maintains it.
+
+func avlHeight[K, V, A any](t *node[K, V, A]) uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.aux
+}
+
+func (o *ops[K, V, A, T]) joinAVL(l, m, r *node[K, V, A]) *node[K, V, A] {
+	hl, hr := avlHeight(l), avlHeight(r)
+	switch {
+	case hl > hr+1:
+		return o.joinRightAVL(l, m, r)
+	case hr > hl+1:
+		return o.joinLeftAVL(l, m, r)
+	default:
+		return o.attach(m, l, r)
+	}
+}
+
+// joinRightAVL handles h(l) > h(r)+1: descend l's right spine to the
+// first subtree c with h(c) <= h(r)+1, attach there, and rebalance on the
+// way up with at most one rotation per level.
+func (o *ops[K, V, A, T]) joinRightAVL(l, m, r *node[K, V, A]) *node[K, V, A] {
+	l = o.mutable(l)
+	c := l.right
+	if avlHeight(c) <= avlHeight(r)+1 {
+		t := o.attach(m, c, r)
+		if avlHeight(t) <= avlHeight(l.left)+1 {
+			l.right = t
+			o.update(l)
+			return l
+		}
+		// t = Node(c, m, r) is two taller than l.left, which can only
+		// happen when h(c) == h(r)+1: double rotation.
+		l.right = o.rotateRight(t)
+		o.update(l)
+		return o.rotateLeft(l)
+	}
+	t := o.joinRightAVL(c, m, r)
+	l.right = t
+	o.update(l)
+	if avlHeight(t) > avlHeight(l.left)+1 {
+		return o.rotateLeft(l)
+	}
+	return l
+}
+
+func (o *ops[K, V, A, T]) joinLeftAVL(l, m, r *node[K, V, A]) *node[K, V, A] {
+	r = o.mutable(r)
+	c := r.left
+	if avlHeight(c) <= avlHeight(l)+1 {
+		t := o.attach(m, l, c)
+		if avlHeight(t) <= avlHeight(r.right)+1 {
+			r.left = t
+			o.update(r)
+			return r
+		}
+		r.left = o.rotateLeft(t)
+		o.update(r)
+		return o.rotateRight(r)
+	}
+	t := o.joinLeftAVL(l, m, c)
+	r.left = t
+	o.update(r)
+	if avlHeight(t) > avlHeight(r.right)+1 {
+		return o.rotateRight(r)
+	}
+	return r
+}

@@ -1,0 +1,139 @@
+package core
+
+// Red-black join. The aux word packs (blackHeight << 1) | redBit, where
+// blackHeight counts the black nodes on any path from the node down to
+// (but excluding) nil, including the node itself if black; nil has black
+// height 0.
+//
+// joinRB blackens both roots, then:
+//   - equal black heights: a fresh *black* parent is always valid;
+//   - otherwise descend the spine of the taller tree to the first black
+//     node whose black height matches the shorter tree, attach a *red*
+//     parent there, and repair red-red violations on the way up with the
+//     classic Okasaki restructuring, finally blackening the root.
+
+func rbMake(bh uint32, red bool) uint32 {
+	x := bh << 1
+	if red {
+		x |= 1
+	}
+	return x
+}
+
+func rbIsRed[K, V, A any](t *node[K, V, A]) bool { return t != nil && t.aux&1 == 1 }
+
+func rbIsBlack[K, V, A any](t *node[K, V, A]) bool { return t == nil || t.aux&1 == 0 }
+
+// rbBH returns the black height of t (0 for nil).
+func rbBH[K, V, A any](t *node[K, V, A]) uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.aux >> 1
+}
+
+// rbBlacken returns t with a black root, consuming t. Blackening a red
+// root increments its black height and is always valid.
+func (o *ops[K, V, A, T]) rbBlacken(t *node[K, V, A]) *node[K, V, A] {
+	if t == nil || !rbIsRed(t) {
+		return t
+	}
+	t = o.mutable(t)
+	t.aux = rbMake(rbBH(t)+1, false)
+	return t
+}
+
+func (o *ops[K, V, A, T]) joinRB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	l = o.rbBlacken(l)
+	r = o.rbBlacken(r)
+	bl, br := rbBH(l), rbBH(r)
+	switch {
+	case bl > br:
+		t := o.joinRightRB(l, m, r, br)
+		return o.rbBlacken(t)
+	case br > bl:
+		t := o.joinLeftRB(l, m, r, bl)
+		return o.rbBlacken(t)
+	default:
+		// Equal black heights with black roots: a black parent is valid
+		// unconditionally.
+		t := o.attach(m, l, r)
+		t.aux = rbMake(bl+1, false)
+		return t
+	}
+}
+
+// joinRightRB descends l's right spine to the first black node of black
+// height target, attaches a red parent of it and r there, and repairs on
+// the way up. Precondition: rbBH(l) > target, r black with
+// rbBH(r) == target.
+func (o *ops[K, V, A, T]) joinRightRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
+	if rbIsBlack(l) && rbBH(l) == target {
+		t := o.attach(m, l, r)
+		t.aux = rbMake(target, true)
+		return t
+	}
+	l = o.mutable(l)
+	l.right = o.joinRightRB(l.right, m, r, target)
+	o.update(l)
+	return o.rbFixRight(l)
+}
+
+// rbFixRight repairs a potential red-red violation between l.right and
+// l.right.right after a right-spine join. Only fires at black l:
+//
+//	B(a, x, R(b, y, R(c, z, d))) -> R(B(a, x, b), y, B(c, z, d))
+func (o *ops[K, V, A, T]) rbFixRight(l *node[K, V, A]) *node[K, V, A] {
+	if !rbIsBlack(l) {
+		return l // a red l cannot repair; its (black) parent will
+	}
+	q := l.right
+	if !rbIsRed(q) || !rbIsRed(q.right) {
+		return l
+	}
+	bh := rbBH(l)
+	q = o.mutable(q)
+	l.right = q.left
+	o.update(l) // l keeps color and black height: bh(q.left) == bh(q)
+	q.left = l
+	// Blacken the red right grandchild.
+	rc := o.mutable(q.right)
+	rc.aux = rbMake(rbBH(rc)+1, false)
+	q.right = rc
+	o.update(q)
+	q.aux = rbMake(bh, true) // red root at the old position's black height
+	return q
+}
+
+func (o *ops[K, V, A, T]) joinLeftRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
+	if rbIsBlack(r) && rbBH(r) == target {
+		t := o.attach(m, l, r)
+		t.aux = rbMake(target, true)
+		return t
+	}
+	r = o.mutable(r)
+	r.left = o.joinLeftRB(l, m, r.left, target)
+	o.update(r)
+	return o.rbFixLeft(r)
+}
+
+func (o *ops[K, V, A, T]) rbFixLeft(r *node[K, V, A]) *node[K, V, A] {
+	if !rbIsBlack(r) {
+		return r
+	}
+	q := r.left
+	if !rbIsRed(q) || !rbIsRed(q.left) {
+		return r
+	}
+	bh := rbBH(r)
+	q = o.mutable(q)
+	r.left = q.right
+	o.update(r)
+	q.right = r
+	lc := o.mutable(q.left)
+	lc.aux = rbMake(rbBH(lc)+1, false)
+	q.left = lc
+	o.update(q)
+	q.aux = rbMake(bh, true)
+	return q
+}

@@ -1,0 +1,25 @@
+package core
+
+// Treap join. The aux word stores a pseudo-random priority assigned at
+// allocation; the tree is a max-heap on priorities, which yields
+// O(log n) expected height. join recurses toward the side whose root has
+// the highest priority, placing m where its own priority dominates.
+
+func treapPrio[K, V, A any](t *node[K, V, A]) uint32 { return t.aux }
+
+func (o *ops[K, V, A, T]) joinTreap(l, m, r *node[K, V, A]) *node[K, V, A] {
+	mp := treapPrio(m)
+	if (l == nil || treapPrio(l) <= mp) && (r == nil || treapPrio(r) <= mp) {
+		return o.attach(m, l, r)
+	}
+	if r == nil || (l != nil && treapPrio(l) >= treapPrio(r)) {
+		l = o.mutable(l)
+		l.right = o.joinTreap(l.right, m, r)
+		o.update(l)
+		return l
+	}
+	r = o.mutable(r)
+	r.left = o.joinTreap(l, m, r.left)
+	o.update(r)
+	return r
+}

@@ -1,0 +1,77 @@
+package core
+
+// Weight-balanced (BB[alpha]) join, the PAM default scheme. Balance is
+// defined on weights (subtree size + 1): a node is balanced when each
+// child's weight is at least alpha times the node's weight. We use
+// alpha = 0.29, inside the valid range (1/4, 1 - 1/sqrt(2)] for which a
+// single or double rotation per level restores balance after join
+// (Blelloch, Ferizovic, Sun, SPAA'16). All arithmetic is integral:
+// alpha = 29/100.
+
+const wbAlphaNum, wbAlphaDen = 29, 100
+
+// wbBalanced reports whether sibling subtrees of weights wl and wr
+// satisfy the BB[alpha] criterion.
+func wbBalanced(wl, wr int64) bool {
+	w := wl + wr
+	return wbAlphaNum*w <= wbAlphaDen*wl && wbAlphaNum*w <= wbAlphaDen*wr
+}
+
+func (o *ops[K, V, A, T]) joinWB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	wl, wr := weight(l), weight(r)
+	if wbBalanced(wl, wr) {
+		return o.attach(m, l, r)
+	}
+	if wl > wr {
+		return o.joinRightWB(l, m, r)
+	}
+	return o.joinLeftWB(l, m, r)
+}
+
+// joinRightWB handles the left-heavy case: descend l's right spine until
+// the remainder balances against r, attach there, and restore balance
+// with at most one single or double rotation per level on the way back.
+func (o *ops[K, V, A, T]) joinRightWB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	if wbBalanced(weight(l), weight(r)) {
+		return o.attach(m, l, r)
+	}
+	l = o.mutable(l)
+	t := o.joinRightWB(l.right, m, r)
+	l.right = t
+	o.update(l)
+	ll := l.left
+	if !wbBalanced(weight(ll), weight(t)) {
+		// t grew too heavy. A single left rotation promotes t; it is
+		// valid exactly when the resulting node (ll + t.left) balances
+		// both internally and against t.right. Otherwise rotate t right
+		// first (double rotation).
+		if wbBalanced(weight(ll), weight(t.left)) &&
+			wbBalanced(weight(ll)+weight(t.left), weight(t.right)) {
+			return o.rotateLeft(l)
+		}
+		l.right = o.rotateRight(t)
+		return o.rotateLeft(l)
+	}
+	return l
+}
+
+// joinLeftWB is the mirror image of joinRightWB for the right-heavy case.
+func (o *ops[K, V, A, T]) joinLeftWB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	if wbBalanced(weight(l), weight(r)) {
+		return o.attach(m, l, r)
+	}
+	r = o.mutable(r)
+	t := o.joinLeftWB(l, m, r.left)
+	r.left = t
+	o.update(r)
+	rr := r.right
+	if !wbBalanced(weight(t), weight(rr)) {
+		if wbBalanced(weight(t.right), weight(rr)) &&
+			wbBalanced(weight(t.right)+weight(rr), weight(t.left)) {
+			return o.rotateRight(r)
+		}
+		r.left = o.rotateLeft(t)
+		return o.rotateRight(r)
+	}
+	return r
+}

@@ -1,0 +1,90 @@
+package core
+
+import "repro/internal/parallel"
+
+// forEach visits entries in key order, sequentially (borrows t).
+// The visitor returns false to stop early; forEach reports whether the
+// walk ran to completion.
+func forEach[K, V, A any](t *node[K, V, A], visit func(k K, v V) bool) bool {
+	if t == nil {
+		return true
+	}
+	return forEach(t.left, visit) && visit(t.key, t.val) && forEach(t.right, visit)
+}
+
+// toSlice materializes the entries in key order. Each subtree writes into
+// its own slice segment (offsets are known from subtree sizes), so the
+// fill parallelizes perfectly. Borrows t.
+func (o *ops[K, V, A, T]) toSlice(t *node[K, V, A]) []Entry[K, V] {
+	out := make([]Entry[K, V], size(t))
+	o.fillSlice(t, out)
+	return out
+}
+
+func (o *ops[K, V, A, T]) fillSlice(t *node[K, V, A], out []Entry[K, V]) {
+	if t == nil {
+		return
+	}
+	ls := size(t.left)
+	out[ls] = Entry[K, V]{Key: t.key, Val: t.val}
+	parallel.DoIf(t.size > o.grainSize(),
+		func() { o.fillSlice(t.left, out[:ls]) },
+		func() { o.fillSlice(t.right, out[ls+1:]) },
+	)
+}
+
+// keys materializes the keys in order, in parallel. Borrows t.
+func (o *ops[K, V, A, T]) keys(t *node[K, V, A]) []K {
+	out := make([]K, size(t))
+	o.fillKeys(t, out)
+	return out
+}
+
+func (o *ops[K, V, A, T]) fillKeys(t *node[K, V, A], out []K) {
+	if t == nil {
+		return
+	}
+	ls := size(t.left)
+	out[ls] = t.key
+	parallel.DoIf(t.size > o.grainSize(),
+		func() { o.fillKeys(t.left, out[:ls]) },
+		func() { o.fillKeys(t.right, out[ls+1:]) },
+	)
+}
+
+// mapValues rebuilds t (consumed) with values fn(k, v). The tree shape is
+// reused; augmented values are recomputed bottom-up. O(n) work,
+// O(log n) span.
+func (o *ops[K, V, A, T]) mapValues(t *node[K, V, A], fn func(k K, v V) V) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	t = o.mutable(t)
+	l, r := t.left, t.right
+	var nl, nr *node[K, V, A]
+	parallel.DoIf(t.size > o.grainSize(),
+		func() { nl = o.mapValues(l, fn) },
+		func() { nr = o.mapValues(r, fn) },
+	)
+	t.val = fn(t.key, t.val)
+	t.left, t.right = nl, nr
+	o.update(t)
+	return t
+}
+
+// mapReduceNode applies g to every entry and combines the results with f
+// (identity id), in parallel over the tree structure (MAPREDUCE in
+// Figure 2). It is a free function because the result type B is not a
+// parameter of ops. Borrows t. O(n) work, O(log n) span given
+// constant-time f and g.
+func mapReduceNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], g func(k K, v V) B, f func(x, y B) B, id B) B {
+	if t == nil {
+		return id
+	}
+	var lv, rv B
+	parallel.DoIf(t.size > o.grainSize(),
+		func() { lv = mapReduceNode(o, t.left, g, f, id) },
+		func() { rv = mapReduceNode(o, t.right, g, f, id) },
+	)
+	return f(lv, f(g(t.key, t.val), rv))
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// node is a tree node. One layout serves all four balancing schemes:
+// size doubles as the weight-balance criterion and supports rank/select;
+// aux holds the AVL height, the red-black color+black-height, or the
+// treap priority.
+//
+// Reference counts implement the paper's functional persistence: a node
+// is shared freely between trees, and only a node whose count is 1 may be
+// mutated in place (the reuse optimization described in §4 "Persistence").
+type node[K, V, A any] struct {
+	left, right *node[K, V, A]
+	key         K
+	val         V
+	aug         A
+	size        int64
+	aux         uint32
+	refs        atomic.Int32
+}
+
+// Stats tracks node allocation for the space experiments (Table 4). All
+// counters are cumulative; Live = Allocated - Freed.
+type Stats struct {
+	Allocated atomic.Int64
+	Freed     atomic.Int64
+	Copies    atomic.Int64 // path copies forced by sharing (refs > 1)
+	Reuses    atomic.Int64 // in-place reuses permitted by refs == 1
+}
+
+// Live reports currently-live node count.
+func (s *Stats) Live() int64 { return s.Allocated.Load() - s.Freed.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Allocated.Store(0)
+	s.Freed.Store(0)
+	s.Copies.Store(0)
+	s.Reuses.Store(0)
+}
+
+// prioSeed feeds deterministic-but-well-mixed treap priorities.
+var prioSeed atomic.Uint64
+
+// ops bundles the traits, scheme, grain, and statistics shared by every
+// operation on a tree type. It is embedded by value in Tree handles and
+// passed by pointer internally. The zero grain means DefaultGrain.
+type ops[K, V, A any, T Traits[K, V, A]] struct {
+	tr    T
+	sch   Scheme
+	grain int64
+	stats *Stats
+	pool  *sync.Pool // non-nil when node recycling is enabled
+}
+
+// DefaultGrain is the subproblem size below which bulk operations stop
+// forking. PAM uses a node-count granularity of a few hundred; the same
+// magnitude works here.
+const DefaultGrain = 1024
+
+func (o *ops[K, V, A, T]) grainSize() int64 {
+	if o.grain > 0 {
+		return o.grain
+	}
+	return DefaultGrain
+}
+
+// size returns the subtree size of t (0 for nil).
+func size[K, V, A any](t *node[K, V, A]) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+// weight is size+1, the quantity the weight-balance criterion is defined
+// on (so empty subtrees have positive weight).
+func weight[K, V, A any](t *node[K, V, A]) int64 { return size(t) + 1 }
+
+// augOf returns the augmented value of t, or the identity for nil.
+func (o *ops[K, V, A, T]) augOf(t *node[K, V, A]) A {
+	if t == nil {
+		return o.tr.Id()
+	}
+	return t.aug
+}
+
+// alloc returns a fresh node with refs == 1 and the scheme's singleton
+// aux value. Children, size, aug are set by the caller (via update).
+func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
+	var n *node[K, V, A]
+	if o.pool != nil {
+		if x := o.pool.Get(); x != nil {
+			n = x.(*node[K, V, A])
+			*n = node[K, V, A]{}
+		}
+	}
+	if n == nil {
+		n = &node[K, V, A]{}
+	}
+	if o.stats != nil {
+		o.stats.Allocated.Add(1)
+	}
+	n.key = k
+	n.val = v
+	n.refs.Store(1)
+	switch o.sch {
+	case AVL:
+		n.aux = 1
+	case RedBlack:
+		n.aux = rbMake(1, false) // fresh singletons are black, bh 1
+	case Treap:
+		n.aux = uint32(seq.Mix64(prioSeed.Add(0x9e3779b97f4a7c15)))
+	}
+	return n
+}
+
+// singleton builds a one-entry tree.
+func (o *ops[K, V, A, T]) singleton(k K, v V) *node[K, V, A] {
+	n := o.alloc(k, v)
+	n.size = 1
+	n.aug = o.tr.Base(k, v)
+	return n
+}
+
+// update recomputes the derived fields of n (size, augmented value, and
+// for AVL the height) from its children. It must be called after any
+// change to n's children; n must be exclusively owned (refs == 1 or fresh).
+func (o *ops[K, V, A, T]) update(n *node[K, V, A]) {
+	n.size = size(n.left) + size(n.right) + 1
+	// Two applications of Combine, exactly as §4 "Augmentation":
+	// f(A(L), f(g(k, v), A(R))).
+	n.aug = o.tr.Combine(o.augOf(n.left), o.tr.Combine(o.tr.Base(n.key, n.val), o.augOf(n.right)))
+	if o.sch == AVL {
+		n.aux = 1 + max(avlHeight(n.left), avlHeight(n.right))
+	}
+}
+
+// mkNode allocates a node with the given children and updates it. It
+// takes ownership of l and r.
+func (o *ops[K, V, A, T]) mkNode(l *node[K, V, A], k K, v V, r *node[K, V, A]) *node[K, V, A] {
+	n := o.alloc(k, v)
+	n.left, n.right = l, r
+	o.update(n)
+	return n
+}
+
+// inc takes an additional reference to t (no-op for nil).
+func inc[K, V, A any](t *node[K, V, A]) *node[K, V, A] {
+	if t != nil {
+		t.refs.Add(1)
+	}
+	return t
+}
+
+// dec releases one reference to t; at zero the node is freed and its
+// children released recursively. The recursion depth is the tree height,
+// which is O(log n) for every scheme, so plain recursion is safe.
+func (o *ops[K, V, A, T]) dec(t *node[K, V, A]) {
+	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) != 0 {
+		return
+	}
+	l, r := t.left, t.right
+	o.free(t)
+	o.dec(l)
+	o.dec(r)
+}
+
+// free recycles a dead node. The children must already have been released.
+func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
+	if o.stats != nil {
+		o.stats.Freed.Add(1)
+	}
+	if o.pool != nil {
+		t.left, t.right = nil, nil
+		o.pool.Put(t)
+	}
+}
+
+// mutable returns a node with the contents of t that the caller may
+// mutate: t itself when the caller holds the only reference, otherwise a
+// copy (with child references taken) while t's own reference is dropped.
+// t must be non-nil and owned by the caller.
+func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
+	if t.refs.Load() == 1 {
+		if o.stats != nil {
+			o.stats.Reuses.Add(1)
+		}
+		return t
+	}
+	n := o.alloc(t.key, t.val)
+	n.left, n.right = inc(t.left), inc(t.right)
+	n.size, n.aug, n.aux = t.size, t.aug, t.aux
+	if o.stats != nil {
+		o.stats.Copies.Add(1)
+	}
+	// Drop the caller's reference to t. The count cannot hit zero here:
+	// we observed refs > 1 and this caller held one of those references,
+	// and no other thread can concurrently release references it does
+	// not own.
+	t.refs.Add(-1)
+	return n
+}
+
+// detach dismantles an owned node, transferring ownership of its children
+// to the caller and releasing (or reusing) the node itself. It returns
+// the children. Used by split/union to consume input trees.
+func (o *ops[K, V, A, T]) detach(t *node[K, V, A]) (l, r *node[K, V, A]) {
+	l, r = t.left, t.right
+	if t.refs.Add(-1) == 0 {
+		o.free(t)
+	} else {
+		// Other trees still reference t (and through it, its children):
+		// take fresh references for the caller.
+		inc(l)
+		inc(r)
+	}
+	return l, r
+}
+
+// Ownership discipline (mirrors PAM's reference-counting GC):
+//
+//   - Functions that *consume* a tree argument receive one reference and
+//     must account for it: pass it on, detach it, or dec it.
+//   - Before mutating any owned node, call mutable; afterwards its child
+//     pointers may be reassigned freely — the node holds one reference to
+//     each child, and moving a pointer moves that reference. A child
+//     pointer passed to a consuming call transfers its reference.
+//   - Borrowing (read-only) functions never touch counts; when they embed
+//     a borrowed subtree into a new tree they inc it first.
+
+// decParallel is dec with the recursive child releases forked in
+// parallel for large subtrees. Used by Tree.ReleaseParallel.
+func (o *ops[K, V, A, T]) decParallel(t *node[K, V, A]) {
+	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) != 0 {
+		return
+	}
+	l, r := t.left, t.right
+	big := size(l)+size(r) > o.grainSize()
+	o.free(t)
+	parallel.DoIf(big,
+		func() { o.decParallel(l) },
+		func() { o.decParallel(r) },
+	)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Persistence: every operation leaves all previously obtained trees
+// intact, and derived trees share structure with their inputs.
+
+func TestSnapshotsSurviveUpdates(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(41))
+		tr := newSum(sch)
+		var snaps []sumTree
+		var models []model
+		m := model{}
+		for i := 0; i < 1000; i++ {
+			k := rng.Intn(400)
+			v := int64(rng.Intn(1000))
+			tr = tr.Insert(k, v)
+			m[k] = v
+			if i%100 == 99 {
+				snaps = append(snaps, tr)
+				mc := model{}
+				for kk, vv := range m {
+					mc[kk] = vv
+				}
+				models = append(models, mc)
+			}
+		}
+		// Mutate further, including deletions; snapshots must not move.
+		for i := 0; i < 500; i++ {
+			tr = tr.Delete(rng.Intn(400))
+		}
+		for i, s := range snaps {
+			mustMatch(t, s, models[i])
+		}
+	})
+}
+
+func TestDerivedTreesShareStructure(t *testing.T) {
+	tr := newSum(WeightBalanced)
+	n := 10000
+	items := make([]Entry[int, int64], n)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+	}
+	tr = tr.BuildSorted(items)
+	tr2 := tr.Insert(n+1, 1)
+	if !tr.SharesStructureWith(tr2) {
+		t.Fatal("insert result shares nothing with input")
+	}
+	// A single insert into an n-node tree must share almost everything:
+	// the union of both trees has at most n + O(log n) unique nodes.
+	unique := CountUniqueNodes(tr, tr2)
+	if unique > int64(n)+64 {
+		t.Fatalf("insert copied too much: %d unique nodes for n=%d", unique, n)
+	}
+}
+
+func TestUnionSharingSkewed(t *testing.T) {
+	// Table 4: persistent union with m << n re-uses about half of all
+	// nodes (most of the larger tree appears verbatim in the output).
+	n, m := 100000, 100
+	big := newSum(WeightBalanced)
+	items := make([]Entry[int, int64], n)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i * 10, Val: int64(i)}
+	}
+	big = big.BuildSorted(items)
+	smallItems := make([]Entry[int, int64], m)
+	for i := range smallItems {
+		smallItems[i] = Entry[int, int64]{Key: i*1000 + 5, Val: int64(i)}
+	}
+	small := newSum(WeightBalanced).BuildSorted(smallItems)
+	u := big.UnionWith(small, nil)
+	if err := u.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	// Unique across all three trees: without sharing it would be
+	// ~ 2n + 2m; with path copying it must be far below n + n.
+	unique := CountUniqueNodes(big, small, u)
+	noSharing := int64(2*n + 2*m)
+	if unique > noSharing*6/10 {
+		t.Fatalf("too little sharing: %d unique vs %d unshared bound", unique, noSharing)
+	}
+}
+
+func TestInPlaceOpsReuseNodes(t *testing.T) {
+	st := &Stats{}
+	tr := New[int, int64, int64, sumTraits](Config{Stats: st})
+	for i := 0; i < 1000; i++ {
+		tr.InsertInPlace(i, int64(i))
+	}
+	st.Reset()
+	// Unshared tree: in-place inserts should mostly reuse nodes rather
+	// than copy (allocations ~ 1 per new key, copies ~ 0).
+	for i := 1000; i < 2000; i++ {
+		tr.InsertInPlace(i, int64(i))
+	}
+	if c := st.Copies.Load(); c != 0 {
+		t.Fatalf("in-place insert into unshared tree copied %d nodes", c)
+	}
+	if a := st.Allocated.Load(); a != 1000 {
+		t.Fatalf("allocated %d nodes for 1000 new keys", a)
+	}
+	// Now share the tree and watch copies appear (persistence kicks in).
+	snap := tr.Retain()
+	st.Reset()
+	tr.InsertInPlace(5000, 1)
+	if c := st.Copies.Load(); c == 0 {
+		t.Fatal("insert into shared tree did not path-copy")
+	}
+	if v, ok := snap.Find(5000); ok {
+		t.Fatalf("snapshot sees later insert: %d", v)
+	}
+	_ = snap
+}
+
+func TestReleaseFreesExactly(t *testing.T) {
+	st := &Stats{}
+	a := New[int, int64, int64, sumTraits](Config{Stats: st})
+	for i := 0; i < 500; i++ {
+		a.InsertInPlace(i, 1)
+	}
+	b := a.Insert(999, 1) // shares structure with a
+	a.Release()
+	// b must still be fully valid after a's release.
+	if err := b.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 501 {
+		t.Fatalf("b size %d", b.Size())
+	}
+	b.Release()
+	if st.Live() != 0 {
+		t.Fatalf("%d nodes leaked after releasing all trees", st.Live())
+	}
+}
+
+func TestConcurrentSnapshotReaders(t *testing.T) {
+	// The paper's concurrency model: one writer applies bulk updates,
+	// many readers query immutable snapshots. Run with -race.
+	tr := newSum(WeightBalanced)
+	items := make([]Entry[int, int64], 10000)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+	}
+	tr = tr.BuildSorted(items)
+
+	var mu sync.Mutex
+	current := tr
+	snapshot := func() sumTree {
+		mu.Lock()
+		defer mu.Unlock()
+		return current
+	}
+	publish := func(t2 sumTree) {
+		mu.Lock()
+		defer mu.Unlock()
+		current = t2
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := snapshot()
+				k := rng.Intn(10000)
+				if v, ok := s.Find(k); ok && v < int64(k) {
+					panic("snapshot value decreased")
+				}
+				_ = s.AugRange(k, k+100)
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 50; i++ {
+		batch := make([]Entry[int, int64], 100)
+		for j := range batch {
+			k := (i*100 + j) % 10000
+			batch[j] = Entry[int, int64]{Key: k, Val: int64(k) + 1}
+		}
+		publish(snapshot().MultiInsert(batch, nil))
+	}
+	close(stop)
+	wg.Wait()
+	if err := snapshot().Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeExtractionPersistent(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		rng := rand.New(rand.NewSource(44))
+		tr, m := fromKeysBulk(sch, randKeys(rng, 2000, 3000))
+		for trial := 0; trial < 50; trial++ {
+			lo := rng.Intn(3200) - 100
+			hi := lo + rng.Intn(800)
+			sub := tr.Range(lo, hi)
+			if err := sub.Validate(i64eq); err != nil {
+				t.Fatal(err)
+			}
+			ms := model{}
+			for k, v := range m {
+				if k >= lo && k <= hi {
+					ms[k] = v
+				}
+			}
+			mustMatch(t, sub, ms)
+		}
+		mustMatch(t, tr, m)
+		// UpTo / DownTo against the model.
+		k := 1500
+		up := tr.UpTo(k)
+		down := tr.DownTo(k)
+		mu, md := model{}, model{}
+		for kk, v := range m {
+			if kk <= k {
+				mu[kk] = v
+			}
+			if kk >= k {
+				md[kk] = v
+			}
+		}
+		mustMatch(t, up, mu)
+		mustMatch(t, down, md)
+	})
+}

@@ -1,0 +1,25 @@
+package core
+
+// Pop-style accessors: remove the extreme entry, returning it and the
+// rest. These make the map usable as a double-ended priority queue (by
+// key) and exercise splitFirst/splitLast, the building blocks of join2.
+
+// RemoveFirst returns the minimum entry and the map without it.
+// ok is false on an empty map. O(log n).
+func (t Tree[K, V, A, T]) RemoveFirst() (k K, v V, rest Tree[K, V, A, T], ok bool) {
+	if t.root == nil {
+		return k, v, t, false
+	}
+	r, k2, v2 := t.o().splitFirst(inc(t.root))
+	return k2, v2, t.with(r), true
+}
+
+// RemoveLast returns the maximum entry and the map without it.
+// ok is false on an empty map. O(log n).
+func (t Tree[K, V, A, T]) RemoveLast() (k K, v V, rest Tree[K, V, A, T], ok bool) {
+	if t.root == nil {
+		return k, v, t, false
+	}
+	r, k2, v2 := t.o().splitLast(inc(t.root))
+	return k2, v2, t.with(r), true
+}

@@ -1,0 +1,53 @@
+package core
+
+// augProject (Figure 1): equivalent to g(augRange(t, lo, hi)) projected
+// through the monoid (B, f, g(I)), required to satisfy
+// f(g(a), g(b)) == g(Combine(a, b)). Instead of combining augmented
+// values with Combine (which may be expensive — for range trees Combine
+// is a map union) it projects each whole-subtree augmented value through
+// g and combines the small projected values with f. O(log n) work given
+// constant-time f and g.
+//
+// These are free functions because the projected type B is not a
+// parameter of ops.
+
+func augProjectNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, g func(A) B, f func(x, y B) B, id B) B {
+	for t != nil {
+		switch {
+		case o.tr.Less(t.key, lo):
+			t = t.right
+		case o.tr.Less(hi, t.key):
+			t = t.left
+		default:
+			l := projectGE(o, t.left, lo, g, f, id)
+			m := g(o.tr.Base(t.key, t.val))
+			r := projectLE(o, t.right, hi, g, f, id)
+			return f(l, f(m, r))
+		}
+	}
+	return id
+}
+
+// projectGE projects entries with key >= lo.
+func projectGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo K, g func(A) B, f func(x, y B) B, id B) B {
+	if t == nil {
+		return id
+	}
+	if o.tr.Less(t.key, lo) {
+		return projectGE(o, t.right, lo, g, f, id)
+	}
+	l := projectGE(o, t.left, lo, g, f, id)
+	return f(l, f(g(o.tr.Base(t.key, t.val)), g(o.augOf(t.right))))
+}
+
+// projectLE projects entries with key <= hi.
+func projectLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], hi K, g func(A) B, f func(x, y B) B, id B) B {
+	if t == nil {
+		return id
+	}
+	if o.tr.Less(hi, t.key) {
+		return projectLE(o, t.left, hi, g, f, id)
+	}
+	r := projectLE(o, t.right, hi, g, f, id)
+	return f(f(g(o.augOf(t.left)), g(o.tr.Base(t.key, t.val))), r)
+}

@@ -1,0 +1,47 @@
+package core
+
+// Range extraction (range, upTo, downTo in Figure 1). These borrow their
+// input and return a new tree that shares subtrees with it — persistence
+// makes the sharing safe. Each walks one or two root-to-leaf paths,
+// joining O(log n) shared subtrees.
+
+// rangeKeys extracts the entries with lo <= key <= hi.
+func (o *ops[K, V, A, T]) rangeKeys(t *node[K, V, A], lo, hi K) *node[K, V, A] {
+	for t != nil {
+		switch {
+		case o.tr.Less(t.key, lo):
+			t = t.right
+		case o.tr.Less(hi, t.key):
+			t = t.left
+		default:
+			l := o.rangeGE(t.left, lo)
+			r := o.rangeLE(t.right, hi)
+			return o.joinKV(l, t.key, t.val, r)
+		}
+	}
+	return nil
+}
+
+// rangeGE extracts entries with key >= lo.
+func (o *ops[K, V, A, T]) rangeGE(t *node[K, V, A], lo K) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	if o.tr.Less(t.key, lo) {
+		return o.rangeGE(t.right, lo)
+	}
+	l := o.rangeGE(t.left, lo)
+	return o.joinKV(l, t.key, t.val, inc(t.right))
+}
+
+// rangeLE extracts entries with key <= hi.
+func (o *ops[K, V, A, T]) rangeLE(t *node[K, V, A], hi K) *node[K, V, A] {
+	if t == nil {
+		return nil
+	}
+	if o.tr.Less(hi, t.key) {
+		return o.rangeLE(t.left, hi)
+	}
+	r := o.rangeLE(t.right, hi)
+	return o.joinKV(inc(t.left), t.key, t.val, r)
+}

@@ -1,0 +1,30 @@
+package core
+
+import "unsafe"
+
+// Space accounting helpers for the Table 4 experiments.
+
+// NodeSize reports the in-memory size in bytes of one tree node for the
+// given type instantiation, including the augmented-value field — the
+// quantity behind Table 4's "node size / aug size / overhead" columns.
+func NodeSize[K, V, A any, T Traits[K, V, A]]() uintptr {
+	return unsafe.Sizeof(node[K, V, A]{})
+}
+
+// NodeAugs returns the augmented value stored in every tree node (one
+// per node, in-order). Range trees use this to enumerate their inner
+// maps when measuring structural sharing. Borrows t; O(n).
+func NodeAugs[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T]) []A {
+	out := make([]A, 0, size(t.root))
+	var rec func(n *node[K, V, A])
+	rec = func(n *node[K, V, A]) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		out = append(out, n.aug)
+		rec(n.right)
+	}
+	rec(t.root)
+	return out
+}

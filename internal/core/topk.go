@@ -1,0 +1,84 @@
+package core
+
+import "container/heap"
+
+// TopKByAug returns up to k entries in nonincreasing order of their Base
+// values, for trees whose Combine is the maximum under the strict order
+// less (so every node's augmented value is an upper bound on the Base
+// values inside its subtree). It runs a best-first search with a heap of
+// pending subtrees: O(k log n) time, independent of the map size beyond
+// the logarithmic factor. Borrows t.
+//
+// This is the "select the k best results" query on inverted indices
+// (§5.3): the augmentation prunes everything below the k-th best weight
+// without touching it.
+func TopKByAug[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], k int, less func(a, b A) bool) []Entry[K, V] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	o := t.o()
+	h := &augHeap[K, V, A]{less: less}
+	heap.Init(h)
+	heap.Push(h, augItem[K, V, A]{n: t.root, prio: t.root.aug})
+	out := make([]Entry[K, V], 0, k)
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(augItem[K, V, A])
+		if it.n == nil {
+			out = append(out, Entry[K, V]{Key: it.k, Val: it.v})
+			continue
+		}
+		n := it.n
+		// Expand: the node's own entry plus its children, each bounded
+		// by its exact priority.
+		heap.Push(h, augItem[K, V, A]{k: n.key, v: n.val, prio: o.tr.Base(n.key, n.val)})
+		if n.left != nil {
+			heap.Push(h, augItem[K, V, A]{n: n.left, prio: n.left.aug})
+		}
+		if n.right != nil {
+			heap.Push(h, augItem[K, V, A]{n: n.right, prio: n.right.aug})
+		}
+	}
+	return out
+}
+
+// augItem is either a pending subtree (n != nil, prio = subtree max) or
+// a concrete entry (n == nil, prio = its Base value).
+type augItem[K, V, A any] struct {
+	n    *node[K, V, A]
+	k    K
+	v    V
+	prio A
+}
+
+type augHeap[K, V, A any] struct {
+	items []augItem[K, V, A]
+	less  func(a, b A) bool
+}
+
+func (h *augHeap[K, V, A]) Len() int { return len(h.items) }
+
+// Less inverts the order: container/heap pops the minimum, we want the
+// maximum priority first. Ties prefer concrete entries so equal-valued
+// entries surface without extra expansion.
+func (h *augHeap[K, V, A]) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(b.prio, a.prio) {
+		return true
+	}
+	if h.less(a.prio, b.prio) {
+		return false
+	}
+	return a.n == nil && b.n != nil
+}
+
+func (h *augHeap[K, V, A]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *augHeap[K, V, A]) Push(x any) { h.items = append(h.items, x.(augItem[K, V, A])) }
+
+func (h *augHeap[K, V, A]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

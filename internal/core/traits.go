@@ -1,0 +1,88 @@
+// Package core implements the paper's primary contribution: parallel,
+// persistent, join-based balanced trees for augmented ordered maps (§4 of
+// the paper).
+//
+// An augmented map AM(K, <, V, A, g, f, I) associates an ordered map with
+// a monoid "sum" over its entries: A(m) = f(g(k1,v1), ..., g(kn,vn)).
+// Every tree node stores the augmented value of its subtree, so range
+// sums, prefix sums, augmented filtering and augmented projection run in
+// polylogarithmic (or output-sensitive) work instead of linear.
+//
+// The design follows the paper closely:
+//
+//   - All balancing is abstracted behind a single join(l, e, r) function
+//     (Blelloch, Ferizovic, Sun, SPAA'16); four schemes are provided:
+//     weight-balanced (the PAM default), AVL, red-black, and treap.
+//   - All other operations — split, join2, insert, delete, union,
+//     intersect, difference, build, multi-insert, filter, mapReduce,
+//     range extraction, and the augmented queries — are written once,
+//     scheme-obliviously, on top of join.
+//   - Trees are functional: operations path-copy rather than mutate, so
+//     any snapshot remains valid forever. Reference counts on nodes track
+//     sharing; a node with reference count 1 is reused in place (the
+//     standard reuse optimization), which is what makes the functional
+//     style competitive with in-place balanced trees.
+//   - Bulk operations use binary fork-join parallelism over the tree
+//     structure with a granularity cutoff, via internal/parallel.
+package core
+
+// Traits supplies the ordering and the augmentation of a map type, the Go
+// analogue of PAM's C++ "entry" template parameter. Implementations should
+// be zero-size struct types so that calls devirtualize and inline.
+//
+// (A, Combine, Id) must form a monoid and Base maps one entry into it; the
+// augmented value of a map is then Combine over Base of its entries, in
+// key order.
+type Traits[K, V, A any] interface {
+	// Less is a strict total order on keys.
+	Less(a, b K) bool
+	// Id returns the identity of Combine (the augmented value of an
+	// empty map).
+	Id() A
+	// Base returns the augmented value of the single entry (k, v).
+	Base(k K, v V) A
+	// Combine combines two augmented values; it must be associative with
+	// identity Id().
+	Combine(x, y A) A
+}
+
+// Scheme selects the balancing scheme interpreted by join. Everything
+// except join (and singleton initialization) is scheme-oblivious, which is
+// the point of the join-based design.
+type Scheme uint8
+
+const (
+	// WeightBalanced is a BB[alpha] weight-balanced tree with
+	// alpha = 0.29, PAM's default: the subtree size needed for balance is
+	// stored in every node anyway (for rank/select), so no extra
+	// balance field is needed.
+	WeightBalanced Scheme = iota
+	// AVL stores subtree height and maintains the AVL invariant.
+	AVL
+	// RedBlack stores color and black height and maintains the red-black
+	// invariants.
+	RedBlack
+	// Treap stores a pseudo-random priority (derived deterministically
+	// from an allocation counter) and maintains the max-heap-on-priority
+	// invariant, giving probabilistic balance.
+	Treap
+)
+
+// NumSchemes is the number of balancing schemes, for tests that iterate
+// over all of them.
+const NumSchemes = 4
+
+func (s Scheme) String() string {
+	switch s {
+	case WeightBalanced:
+		return "weight-balanced"
+	case AVL:
+		return "avl"
+	case RedBlack:
+		return "red-black"
+	case Treap:
+		return "treap"
+	default:
+		return "unknown-scheme"
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import "fmt"
+
+// Validate checks every structural invariant of the tree: key ordering,
+// size fields, augmented values (compared with augEq; pass nil to skip),
+// positive reference counts, and the balance invariant of the configured
+// scheme. It is the backbone of the property-based tests and is O(n).
+func (t Tree[K, V, A, T]) Validate(augEq func(x, y A) bool) error {
+	o := t.o()
+	_, err := o.validateRec(t.root, augEq)
+	if err != nil {
+		return err
+	}
+	return o.validateOrder(t.root)
+}
+
+type nodeInfo struct {
+	size   int64
+	height uint32 // AVL height or RB black height, scheme-dependent
+}
+
+func (o *ops[K, V, A, T]) validateRec(t *node[K, V, A], augEq func(x, y A) bool) (nodeInfo, error) {
+	if t == nil {
+		return nodeInfo{}, nil
+	}
+	if t.refs.Load() < 1 {
+		return nodeInfo{}, fmt.Errorf("core: node with nonpositive refcount %d", t.refs.Load())
+	}
+	li, err := o.validateRec(t.left, augEq)
+	if err != nil {
+		return nodeInfo{}, err
+	}
+	ri, err := o.validateRec(t.right, augEq)
+	if err != nil {
+		return nodeInfo{}, err
+	}
+	if want := li.size + ri.size + 1; t.size != want {
+		return nodeInfo{}, fmt.Errorf("core: size field %d, want %d", t.size, want)
+	}
+	if augEq != nil {
+		want := o.tr.Combine(o.augOf(t.left), o.tr.Combine(o.tr.Base(t.key, t.val), o.augOf(t.right)))
+		if !augEq(t.aug, want) {
+			return nodeInfo{}, fmt.Errorf("core: augmented value mismatch at size-%d subtree", t.size)
+		}
+	}
+	info := nodeInfo{size: t.size}
+	switch o.sch {
+	case WeightBalanced:
+		if !wbBalanced(li.size+1, ri.size+1) {
+			return nodeInfo{}, fmt.Errorf("core: weight-balance violated: children sizes %d, %d", li.size, ri.size)
+		}
+	case AVL:
+		if li.height > ri.height+1 || ri.height > li.height+1 {
+			return nodeInfo{}, fmt.Errorf("core: AVL balance violated: heights %d, %d", li.height, ri.height)
+		}
+		info.height = 1 + max(li.height, ri.height)
+		if t.aux != info.height {
+			return nodeInfo{}, fmt.Errorf("core: AVL height field %d, want %d", t.aux, info.height)
+		}
+	case RedBlack:
+		if li.height != ri.height {
+			return nodeInfo{}, fmt.Errorf("core: black heights differ: %d, %d", li.height, ri.height)
+		}
+		if rbIsRed(t) && (rbIsRed(t.left) || rbIsRed(t.right)) {
+			return nodeInfo{}, fmt.Errorf("core: red node with red child")
+		}
+		info.height = li.height
+		if !rbIsRed(t) {
+			info.height++
+		}
+		if rbBH(t) != info.height {
+			return nodeInfo{}, fmt.Errorf("core: black-height field %d, want %d", rbBH(t), info.height)
+		}
+	case Treap:
+		if (t.left != nil && treapPrio(t.left) > treapPrio(t)) ||
+			(t.right != nil && treapPrio(t.right) > treapPrio(t)) {
+			return nodeInfo{}, fmt.Errorf("core: treap priority heap violated")
+		}
+	}
+	return info, nil
+}
+
+// validateOrder checks strict key ordering by in-order traversal.
+func (o *ops[K, V, A, T]) validateOrder(t *node[K, V, A]) error {
+	var prev *K
+	ok := forEach(t, func(k K, _ V) bool {
+		if prev != nil && !o.tr.Less(*prev, k) {
+			return false
+		}
+		kk := k
+		prev = &kk
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("core: keys out of order")
+	}
+	return nil
+}
+
+// RootRefs reports the reference count of the root node (1 for an
+// unshared tree), for the persistence tests. Returns 0 for an empty tree.
+func (t Tree[K, V, A, T]) RootRefs() int32 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.refs.Load()
+}
+
+// Height returns the height of the tree (0 for empty), for balance
+// diagnostics in tests and experiments.
+func (t Tree[K, V, A, T]) Height() int {
+	var h func(n *node[K, V, A]) int
+	h = func(n *node[K, V, A]) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + max(h(n.left), h(n.right))
+	}
+	return h(t.root)
+}
+
+// SharesStructureWith reports whether t and u share at least one node,
+// for the persistence/space experiments (Table 4).
+func (t Tree[K, V, A, T]) SharesStructureWith(u Tree[K, V, A, T]) bool {
+	set := map[*node[K, V, A]]struct{}{}
+	var collect func(n *node[K, V, A])
+	collect = func(n *node[K, V, A]) {
+		if n == nil {
+			return
+		}
+		set[n] = struct{}{}
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(t.root)
+	found := false
+	var check func(n *node[K, V, A])
+	check = func(n *node[K, V, A]) {
+		if n == nil || found {
+			return
+		}
+		if _, ok := set[n]; ok {
+			found = true
+			return
+		}
+		check(n.left)
+		check(n.right)
+	}
+	check(u.root)
+	return found
+}
+
+// CountUniqueNodes returns the number of distinct nodes reachable from
+// any of the given trees, counting shared nodes once — the quantity
+// reported in Table 4 ("actual #nodes").
+func CountUniqueNodes[K, V, A any, T Traits[K, V, A]](ts ...Tree[K, V, A, T]) int64 {
+	seen := map[*node[K, V, A]]struct{}{}
+	var walk func(n *node[K, V, A])
+	walk = func(n *node[K, V, A]) {
+		if n == nil {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		walk(n.left)
+		walk(n.right)
+	}
+	for _, t := range ts {
+		walk(t.root)
+	}
+	return int64(len(seen))
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) at a configurable scale. Each experiment is a named
+// function from a Config to one or more Tables whose rows mirror the
+// paper's rows/series; cmd/pambench renders them as text, and the
+// root-level benchmarks wrap them in testing.B harnesses.
+//
+// Paper sizes (10^8–10^10 elements, 72 cores) are scaled by Config.N;
+// EXPERIMENTS.md records the shape comparisons. "T1" rows run with
+// parallelism forced to 1 and "Tp" rows with the configured maximum, so
+// speedups are measured exactly as in the paper (same code, different
+// worker counts).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// N is the primary input size (the paper's n, typically 10^8 there).
+	N int
+	// Q is the number of queries where applicable (the paper's m).
+	Q int
+	// Threads is the list of parallelism levels to sweep for the
+	// figure-6 curves; empty means {1, 2, 4, ..., NumCPU}.
+	Threads []int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.N == 0 {
+		c.N = 1_000_000
+	}
+	if c.Q == 0 {
+		c.Q = c.N / 10
+	}
+	if len(c.Threads) == 0 {
+		for p := 1; p <= runtime.NumCPU(); p *= 2 {
+			c.Threads = append(c.Threads, p)
+		}
+		if last := c.Threads[len(c.Threads)-1]; last != runtime.NumCPU() {
+			c.Threads = append(c.Threads, runtime.NumCPU())
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20180328 // the paper's arXiv v3 date
+	}
+	return c
+}
+
+// Table is one rendered result table (or one figure's data series).
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Config) []Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by name.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// timeIt measures one execution of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// timeAt runs f at the given parallelism level and restores the previous
+// level afterwards.
+func timeAt(threads int, f func()) time.Duration {
+	old := parallel.Parallelism()
+	parallel.SetParallelism(threads)
+	defer parallel.SetParallelism(old)
+	return timeIt(f)
+}
+
+// maxThreads returns the largest configured thread count.
+func maxThreads(c Config) int {
+	m := 1
+	for _, t := range c.Threads {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// secs formats a duration in seconds like the paper's tables.
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// speedup formats T1/Tp.
+func speedup(t1, tp time.Duration) string {
+	if tp <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", t1.Seconds()/tp.Seconds())
+}
+
+// rate formats ops/second in millions (the paper's "M/s" and "Melts/s").
+func rate(ops int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(ops)/d.Seconds()/1e6)
+}
+
+// parallelQueries shards a read-only query stream across p goroutines
+// (queries are independent: the paper's concurrent-read measurements).
+func parallelQueries(p, n int, f func(i int)) {
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += p {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.N == 0 || c.Q == 0 || len(c.Threads) == 0 || c.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.Threads[0] != 1 {
+		t.Fatalf("thread sweep must start at 1: %v", c.Threads)
+	}
+	// Explicit values survive.
+	c2 := Config{N: 42, Q: 7, Threads: []int{3}, Seed: 9}.WithDefaults()
+	if c2.N != 42 || c2.Q != 7 || c2.Threads[0] != 3 || c2.Seed != 9 {
+		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := secs(1500 * time.Millisecond); got != "1.5000" {
+		t.Fatalf("secs = %q", got)
+	}
+	if got := speedup(2*time.Second, time.Second); got != "2.00" {
+		t.Fatalf("speedup = %q", got)
+	}
+	if got := speedup(time.Second, 0); got != "-" {
+		t.Fatalf("speedup(0) = %q", got)
+	}
+	if got := rate(2_000_000, time.Second); got != "2.00" {
+		t.Fatalf("rate = %q", got)
+	}
+	if got := rate(1, 0); got != "-" {
+		t.Fatalf("rate(0) = %q", got)
+	}
+}
+
+func TestParallelQueriesCoversAll(t *testing.T) {
+	n := 1000
+	seen := make([]int32, n)
+	parallelQueries(4, n, func(i int) { seen[i]++ })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	parallelQueries(1, 10, func(i int) {}) // sequential path
+}
+
+func TestRenderers(t *testing.T) {
+	tables := []Table{{
+		Title:  "T",
+		Note:   "note",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}}
+	var txt bytes.Buffer
+	Render(&txt, tables)
+	out := txt.String()
+	for _, want := range []string{"T", "note", "a", "bb", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	RenderCSV(&csv, tables)
+	if !strings.Contains(csv.String(), "a,bb") || !strings.Contains(csv.String(), "333,4") {
+		t.Fatalf("csv output malformed:\n%s", csv.String())
+	}
+}
+
+func TestThresholdFor(t *testing.T) {
+	m := buildMax(1, 10_000)
+	th := thresholdFor(m, 100)
+	got := m.AugFilter(func(a int64) bool { return a >= th }).Size()
+	// Values are uniform in [0,1000); with n=10^4 the count near the
+	// threshold is approximate — accept a factor-of-4 window.
+	if got < 25 || got > 400 {
+		t.Fatalf("threshold selected %d entries, wanted ~100", got)
+	}
+	if thresholdFor(m, 20_000) != 0 {
+		t.Fatal("k >= n must disable the threshold")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline/btree"
+	"repro/internal/baseline/skiplist"
+	"repro/internal/baseline/sortedarray"
+	"repro/internal/baseline/sortrebuild"
+	"repro/internal/workload"
+	"repro/interval"
+	"repro/pam"
+	"repro/rangetree"
+
+	"repro/internal/baseline/seqrangetree"
+)
+
+// Figure 6 experiments: throughput / time curves. Each produces one
+// Table whose rows are the points of the paper's plot.
+
+func init() {
+	register(Experiment{Name: "fig6a", Desc: "Insert throughput vs threads: PAM multi-insert vs concurrent structures (Fig 6a)", Run: runFig6a})
+	register(Experiment{Name: "fig6b", Desc: "Read throughput vs threads, YCSB-C (Fig 6b)", Run: runFig6b})
+	register(Experiment{Name: "fig6c", Desc: "Union and Build parallel time vs input size (Fig 6c)", Run: runFig6c})
+	register(Experiment{Name: "fig6d", Desc: "Interval tree build & query speedup vs threads (Fig 6d)", Run: runFig6d})
+	register(Experiment{Name: "fig6e", Desc: "Range tree sequential build time vs size, vs CGAL analogue (Fig 6e)", Run: runFig6e})
+}
+
+// runFig6a loads n keys into an empty store and reports throughput
+// (million inserts/second) per thread count. PAM uses parallel
+// multi-insert batches (the paper notes this is less general than true
+// concurrent insertion); skiplist uses concurrent CAS inserts; the
+// B+-tree is single-writer (flat line); sort+rebuild is the bulk
+// baseline.
+func runFig6a(c Config) []Table {
+	c = c.WithDefaults()
+	n := c.N
+	ks, vs := workload.KeyValues(c.Seed, n, uint64(2*n))
+	items := make([]pam.KV[uint64, int64], n)
+	pairs := make([]sortedarray.Pair, n)
+	for i := range ks {
+		items[i] = pam.KV[uint64, int64]{Key: ks[i], Val: vs[i]}
+		pairs[i] = sortedarray.Pair{Key: ks[i], Val: vs[i]}
+	}
+	const batches = 10
+	batchSize := n / batches
+
+	var rows [][]string
+	for _, th := range c.Threads {
+		// PAM: sequential loop of parallel multi-insert batches.
+		dPam := timeAt(th, func() {
+			m := newSumMap()
+			for b := 0; b < batches; b++ {
+				lo, hi := b*batchSize, min((b+1)*batchSize, n)
+				m.MultiInsertInPlace(items[lo:hi], addV)
+			}
+		})
+		// Skip list: th goroutines inserting concurrently.
+		dSkip := timeIt(func() {
+			l := skiplist.New()
+			var wg sync.WaitGroup
+			for w := 0; w < th; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < n; i += th {
+						l.Insert(ks[i], vs[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		// Sort+rebuild bulk loads in the same batch pattern as PAM.
+		dReb := timeAt(th, func() {
+			s := sortrebuild.New()
+			for b := 0; b < batches; b++ {
+				lo, hi := b*batchSize, min((b+1)*batchSize, n)
+				s.MultiInsert(pairs[lo:hi])
+			}
+		})
+		// B+-tree: single writer regardless of th.
+		dBt := timeIt(func() {
+			t := btree.New()
+			for i := range ks {
+				t.Insert(ks[i], vs[i])
+			}
+		})
+		rows = append(rows, []string{
+			fmt.Sprint(th), rate(n, dPam), rate(n, dSkip), rate(n, dReb), rate(n, dBt),
+		})
+	}
+	return []Table{{
+		Title:  "Figure 6(a): insert throughput (M/s) vs threads",
+		Note:   fmt.Sprintf("n = %d inserts into an empty store; paper: 5e7, PAM fastest at all thread counts", n),
+		Header: []string{"threads", "PAM multi-insert", "skiplist", "sort+rebuild", "B+tree (1 writer)"},
+		Rows:   rows,
+	}}
+}
+
+// runFig6b loads n keys then measures read-only lookup throughput per
+// thread count (YCSB workload C).
+func runFig6b(c Config) []Table {
+	c = c.WithDefaults()
+	n, q := c.N, c.Q
+	ks, vs := workload.KeyValues(c.Seed, n, uint64(2*n))
+	items := make([]pam.KV[uint64, int64], n)
+	for i := range ks {
+		items[i] = pam.KV[uint64, int64]{Key: ks[i], Val: vs[i]}
+	}
+	m := newSumMap().Build(items, addV)
+	l := skiplist.New()
+	bt := btree.New()
+	for i := range ks {
+		l.Insert(ks[i], vs[i])
+		bt.Insert(ks[i], vs[i])
+	}
+	reads := workload.ReadStream(c.Seed+1, q, ks, false)
+
+	var rows [][]string
+	for _, th := range c.Threads {
+		dPam := timeIt(func() { parallelQueries(th, q, func(i int) { m.Find(reads[i]) }) })
+		dSkip := timeIt(func() { parallelQueries(th, q, func(i int) { l.Find(reads[i]) }) })
+		dBt := timeIt(func() { parallelQueries(th, q, func(i int) { bt.Find(reads[i]) }) })
+		rows = append(rows, []string{fmt.Sprint(th), rate(q, dPam), rate(q, dSkip), rate(q, dBt)})
+	}
+	return []Table{{
+		Title:  "Figure 6(b): read throughput (M/s) vs threads (YCSB-C)",
+		Note:   fmt.Sprintf("store of %d keys, %d uniform reads; paper: PAM ~= B+tree/Masstree below 72 cores, ahead at 144 threads", n, q),
+		Header: []string{"threads", "PAM find", "skiplist find", "B+tree find"},
+		Rows:   rows,
+	}}
+}
+
+// runFig6c: parallel UNION time with one side fixed at n while the other
+// sweeps 10^2..n, and parallel BUILD time vs size.
+func runFig6c(c Config) []Table {
+	c = c.WithDefaults()
+	n := c.N
+	p := maxThreads(c)
+	big := buildSum(c.Seed, n)
+	var rows [][]string
+	for m := 100; m <= n; m *= 10 {
+		small := buildSum(c.Seed+uint64(m), m)
+		dU := timeAt(p, func() { _ = big.UnionWith(small, addV) })
+		items := kvInput(c.Seed+uint64(m)+1, m)
+		dB := timeAt(p, func() { _ = newSumMap().Build(items, addV) })
+		rows = append(rows, []string{fmt.Sprint(m), secs(dU), secs(dB)})
+	}
+	return []Table{{
+		Title:  "Figure 6(c): parallel Union (other side fixed at n) and Build time vs input size",
+		Note:   fmt.Sprintf("n = %d, p = %d; paper: flat below ~10^6 (insufficient parallelism), then scaling ~linearly", n, p),
+		Header: []string{"size", "Union (s)", "Build (s)"},
+		Rows:   rows,
+	}}
+}
+
+// runFig6d: interval tree build and query speedup vs thread count.
+func runFig6d(c Config) []Table {
+	c = c.WithDefaults()
+	n, q := c.N, c.Q
+	ivsIn := workload.Intervals(c.Seed, n, float64(n), float64(n)/1000)
+	ivs := make([]interval.Interval, n)
+	for i, iv := range ivsIn {
+		ivs[i] = interval.Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	probes := make([]float64, q)
+	for i, k := range workload.Keys(c.Seed+1, q, uint64(n)) {
+		probes[i] = float64(k)
+	}
+	im := interval.New(pam.Options{}).Build(ivs)
+	var b1, q1 time.Duration
+	var rows [][]string
+	for _, th := range c.Threads {
+		b := timeAt(th, func() { _ = interval.New(pam.Options{}).Build(ivs) })
+		qd := timeIt(func() { parallelQueries(th, q, func(i int) { _ = im.Stab(probes[i]) }) })
+		if th == 1 {
+			b1, q1 = b, qd
+		}
+		rows = append(rows, []string{fmt.Sprint(th), secs(b), speedup(b1, b), secs(qd), speedup(q1, qd)})
+	}
+	return []Table{{
+		Title:  "Figure 6(d): interval tree speedup vs threads",
+		Note:   fmt.Sprintf("n = %d intervals, %d stabbing queries; paper: 63x build / 93x query at 144 threads", n, q),
+		Header: []string{"threads", "Build (s)", "Build speedup", "Query (s)", "Query speedup"},
+		Rows:   rows,
+	}}
+}
+
+// runFig6e: sequential range tree build time vs number of points,
+// against the dedicated sequential baseline.
+func runFig6e(c Config) []Table {
+	c = c.WithDefaults()
+	var rows [][]string
+	maxN := max(c.N/10, 10_000)
+	for n := 1000; n <= maxN; n *= 10 {
+		ptsIn := workload.Points(c.Seed, n, float64(n), 100)
+		pts := make([]rangetree.Weighted, n)
+		spts := make([]seqrangetree.Point, n)
+		for i, pt := range ptsIn {
+			pts[i] = rangetree.Weighted{Point: rangetree.Point{X: pt.X, Y: pt.Y}, W: pt.W}
+			spts[i] = seqrangetree.Point{X: pt.X, Y: pt.Y, W: pt.W}
+		}
+		dPam := timeAt(1, func() { _ = rangetree.New(pam.Options{}).Build(pts) })
+		dSeq := timeIt(func() { _ = seqrangetree.Build(spts) })
+		rows = append(rows, []string{fmt.Sprint(n), secs(dPam), secs(dSeq)})
+	}
+	return []Table{{
+		Title:  "Figure 6(e): sequential range tree build time vs #points",
+		Note:   "paper: PAM less than half CGAL's build time at 10^8 points; both O(n log n)",
+		Header: []string{"points", "PAM build (s)", "seq baseline build (s)"},
+		Rows:   rows,
+	}}
+}

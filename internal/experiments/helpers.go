@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+	"repro/pam"
+)
+
+// Shared typed instantiations used across experiments: 64-bit keys and
+// values, as in §6.1.
+
+// SumMap is the paper's Equation-1 map (augmented by value sum).
+type SumMap = pam.AugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+// MaxMap is augmented by max value (the AugFilter experiments).
+type MaxMap = pam.AugMap[uint64, int64, int64, pam.MaxEntry[uint64, int64]]
+
+// PlainMap is the non-augmented comparison map.
+type PlainMap = pam.Map[uint64, int64]
+
+func newSumMap() SumMap {
+	return pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+}
+
+func newMaxMap() MaxMap {
+	return pam.NewAugMap[uint64, int64, int64, pam.MaxEntry[uint64, int64]](pam.Options{})
+}
+
+func newPlainMap() PlainMap { return pam.NewMap[uint64, int64](pam.Options{}) }
+
+// kvInput generates n random key-value pairs over a key space of 2n
+// (roughly half the keys collide, like the paper's uniform workloads).
+func kvInput(seed uint64, n int) []pam.KV[uint64, int64] {
+	ks, vs := workload.KeyValues(seed, n, uint64(2*n))
+	out := make([]pam.KV[uint64, int64], n)
+	for i := range out {
+		out[i] = pam.KV[uint64, int64]{Key: ks[i], Val: vs[i]}
+	}
+	return out
+}
+
+func addV(a, b int64) int64 { return a + b }
+
+// buildSum builds a SumMap from n seeded pairs.
+func buildSum(seed uint64, n int) SumMap {
+	return newSumMap().Build(kvInput(seed, n), addV)
+}
+
+func buildMax(seed uint64, n int) MaxMap {
+	return newMaxMap().Build(kvInput(seed, n), nil)
+}
+
+func buildPlain(seed uint64, n int) PlainMap {
+	return newPlainMap().Build(kvInput(seed, n), nil)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes tables as aligned text, the pambench output format.
+func Render(w io.Writer, tables []Table) {
+	for _, t := range tables {
+		fmt.Fprintf(w, "\n%s\n", t.Title)
+		if t.Note != "" {
+			fmt.Fprintf(w, "  (%s)\n", t.Note)
+		}
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, cell := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			}
+			fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		}
+		line(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		line(sep)
+		for _, row := range t.Rows {
+			line(row)
+		}
+	}
+}
+
+// RenderCSV writes tables as CSV blocks (one blank-line-separated block
+// per table) for plotting.
+func RenderCSV(w io.Writer, tables []Table) {
+	for _, t := range tables {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+		fmt.Fprintln(w, strings.Join(t.Header, ","))
+		for _, row := range t.Rows {
+			fmt.Fprintln(w, strings.Join(row, ","))
+		}
+		fmt.Fprintln(w)
+	}
+}

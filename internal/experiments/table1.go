@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/interval"
+	"repro/invindex"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// Table 1: the headline summary — construction and query time,
+// sequential vs parallel, for all four applications.
+
+func init() {
+	register(Experiment{
+		Name: "table1",
+		Desc: "Application summary: construct + query, seq/par/speedup (Table 1)",
+		Run:  runTable1,
+	})
+}
+
+func runTable1(c Config) []Table {
+	c = c.WithDefaults()
+	p := maxThreads(c)
+	var rows [][]string
+	addRow := func(app string, n, q int, bc1, bcp, q1, qp float64) {
+		rows = append(rows, []string{
+			app, fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", bc1), fmt.Sprintf("%.4f", bcp), fmt.Sprintf("%.2f", safeDiv(bc1, bcp)),
+			fmt.Sprintf("%d", q), fmt.Sprintf("%.4f", q1), fmt.Sprintf("%.4f", qp), fmt.Sprintf("%.2f", safeDiv(q1, qp)),
+		})
+	}
+
+	// Range sum (the augmented-sum map).
+	n, q := c.N, c.Q
+	items := kvInput(c.Seed, n)
+	b1 := timeAt(1, func() { _ = newSumMap().Build(items, addV) })
+	bp := timeAt(p, func() { _ = newSumMap().Build(items, addV) })
+	m := newSumMap().Build(items, addV)
+	los := workload.Keys(c.Seed+1, q, uint64(2*n))
+	span := uint64(max(2*n/100, 1))
+	q1 := timeAt(1, func() {
+		for _, lo := range los {
+			_ = m.AugRange(lo, lo+span)
+		}
+	})
+	qp := timeAt(p, func() { parallelQueries(p, q, func(i int) { _ = m.AugRange(los[i], los[i]+span) }) })
+	addRow("Range Sum", n, q, b1.Seconds(), bp.Seconds(), q1.Seconds(), qp.Seconds())
+
+	// Interval tree: build + stabbing queries.
+	ivsIn := workload.Intervals(c.Seed+2, n, float64(n), float64(n)/1000)
+	ivs := make([]interval.Interval, n)
+	for i, iv := range ivsIn {
+		ivs[i] = interval.Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	b1 = timeAt(1, func() { _ = interval.New(pam.Options{}).Build(ivs) })
+	bp = timeAt(p, func() { _ = interval.New(pam.Options{}).Build(ivs) })
+	im := interval.New(pam.Options{}).Build(ivs)
+	probes := workload.Keys(c.Seed+3, q, uint64(n))
+	q1 = timeAt(1, func() {
+		for _, pr := range probes {
+			_ = im.Stab(float64(pr))
+		}
+	})
+	qp = timeAt(p, func() { parallelQueries(p, q, func(i int) { _ = im.Stab(float64(probes[i])) }) })
+	addRow("Interval Tree", n, q, b1.Seconds(), bp.Seconds(), q1.Seconds(), qp.Seconds())
+
+	// 2D range tree: build is heavier (nested maps), scale n down as the
+	// paper scales queries down.
+	rn := max(c.N/10, 1000)
+	ptsIn := workload.Points(c.Seed+4, rn, float64(rn), 100)
+	pts := make([]rangetree.Weighted, rn)
+	for i, pt := range ptsIn {
+		pts[i] = rangetree.Weighted{Point: rangetree.Point{X: pt.X, Y: pt.Y}, W: pt.W}
+	}
+	b1 = timeAt(1, func() { _ = rangetree.New(pam.Options{}).Build(pts) })
+	bp = timeAt(p, func() { _ = rangetree.New(pam.Options{}).Build(pts) })
+	rt := rangetree.New(pam.Options{}).Build(pts)
+	rq := max(q/10, 100)
+	rects := rectsFor(c.Seed+5, rq, float64(rn))
+	q1 = timeAt(1, func() {
+		for _, r := range rects {
+			_ = rt.QuerySum(r)
+		}
+	})
+	qp = timeAt(p, func() { parallelQueries(p, rq, func(i int) { _ = rt.QuerySum(rects[i]) }) })
+	addRow("2d Range Tree", rn, rq, b1.Seconds(), bp.Seconds(), q1.Seconds(), qp.Seconds())
+
+	// Inverted index: build + (and, top-10) queries.
+	spec := workload.DefaultCorpus(c.N, c.Seed+6)
+	occ := spec.Generate()
+	triples := make([]invindex.Triple, len(occ))
+	for i, o := range occ {
+		triples[i] = invindex.Triple{Word: o.Word, Doc: invindex.DocID(o.Doc), W: invindex.Weight(o.W)}
+	}
+	b1 = timeAt(1, func() { _ = invindex.Build(triples) })
+	bp = timeAt(p, func() { _ = invindex.Build(triples) })
+	ix := invindex.Build(triples)
+	iq := max(q/10, 100)
+	queries := spec.QueryWords(iq)
+	runQ := func(i int) {
+		and := ix.QueryAnd(queries[i][0], queries[i][1])
+		_ = invindex.TopK(and, 10)
+	}
+	q1 = timeAt(1, func() {
+		for i := range queries {
+			runQ(i)
+		}
+	})
+	qp = timeAt(p, func() { parallelQueries(p, iq, runQ) })
+	addRow("Inverted Index", len(triples), iq, b1.Seconds(), bp.Seconds(), q1.Seconds(), qp.Seconds())
+
+	return []Table{{
+		Title:  "Table 1: application summary",
+		Note:   fmt.Sprintf("p = %d threads; paper: 72 cores / 144 hyperthreads, n = 10^8..10^10", p),
+		Header: []string{"Application", "n", "Build T1", "Build Tp", "Spd", "q", "Query T1", "Query Tp", "Spd"},
+		Rows:   rows,
+	}}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func rectsFor(seed uint64, q int, span float64) []rangetree.Rect {
+	xs := workload.Points(seed, q, span, 1)
+	out := make([]rangetree.Rect, q)
+	w := span / 10
+	for i, p := range xs {
+		out[i] = rangetree.Rect{XLo: p.X, XHi: p.X + w, YLo: p.Y, YHi: p.Y + w}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package seq
+
+// DedupSortedBy collapses runs of equal elements (equality defined by eq)
+// in the sorted slice s into a single element each, combining values
+// left-to-right with combine (combine(acc, next) where acc is the earlier
+// element). It returns a fresh slice. BUILD uses this after sorting to
+// implement the paper's REMOVEDUPLICATES with a user-supplied value
+// combiner (the "h" argument of build in Figure 1).
+//
+// The algorithm is the standard parallel one: mark run heads, prefix-sum
+// the marks to get output slots, then for each head scan its run and fold
+// the values. Runs are typically tiny (duplicate keys are rare), so the
+// per-head scan does not hurt the work bound in practice; a single run of
+// length n degrades to O(n) sequential folding, matching the inherently
+// sequential left-to-right combine semantics.
+func DedupSortedBy[T any](s []T, eq func(a, b T) bool, combine func(acc, next T) T) []T {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	isHead := func(i int) bool { return i == 0 || !eq(s[i-1], s[i]) }
+	return PackIndex(n, isHead, func(i int) T {
+		acc := s[i]
+		for j := i + 1; j < n && eq(s[j-1], s[j]); j++ {
+			acc = combine(acc, s[j])
+		}
+		return acc
+	})
+}

@@ -1,0 +1,146 @@
+package seq
+
+import "repro/internal/parallel"
+
+// ScanExclusive replaces s with its exclusive prefix sums and returns the
+// total. It uses the classic two-pass blocked algorithm: a parallel pass
+// computes per-block sums, a sequential pass scans the (few) block sums,
+// and a second parallel pass scans within blocks seeded by the block
+// offsets. O(n) work, O(blocks + grain) span.
+func ScanExclusive(s []int64) int64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	blocks, grain := parallel.NumBlocks(n, 0)
+	if blocks == 1 {
+		return scanSeq(s, 0)
+	}
+	sums := make([]int64, blocks)
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		var t int64
+		for i := lo; i < hi; i++ {
+			t += s[i]
+		}
+		sums[lo/grain] = t
+	})
+	var total int64
+	for b := range sums {
+		t := sums[b]
+		sums[b] = total
+		total += t
+	}
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		scanSeq(s[lo:hi], sums[lo/grain])
+	})
+	return total
+}
+
+func scanSeq(s []int64, offset int64) int64 {
+	acc := offset
+	for i := range s {
+		v := s[i]
+		s[i] = acc
+		acc += v
+	}
+	return acc - offset
+}
+
+// Count returns the number of indices in [0, n) for which pred is true,
+// evaluated in parallel.
+func Count(n int, pred func(i int) bool) int64 {
+	blocks, grain := parallel.NumBlocks(n, 0)
+	if blocks <= 1 {
+		var c int64
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		return c
+	}
+	sums := make([]int64, blocks)
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		sums[lo/grain] = c
+	})
+	var total int64
+	for _, c := range sums {
+		total += c
+	}
+	return total
+}
+
+// PackIndex returns the elements make(i) for every index i in [0, n) with
+// flag(i) true, in index order, using flags → prefix sums → parallel
+// scatter (the standard parallel pack).
+func PackIndex[T any](n int, flag func(i int) bool, make_ func(i int) T) []T {
+	if n == 0 {
+		return nil
+	}
+	blocks, grain := parallel.NumBlocks(n, 0)
+	offsets := make([]int64, blocks)
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				c++
+			}
+		}
+		offsets[lo/grain] = c
+	})
+	total := ScanExclusive(offsets)
+	out := make([]T, total)
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		k := offsets[lo/grain]
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				out[k] = make_(i)
+				k++
+			}
+		}
+	})
+	return out
+}
+
+// Pack returns the elements of s whose flag is true, in order.
+func Pack[T any](s []T, flag func(x T) bool) []T {
+	return PackIndex(len(s), func(i int) bool { return flag(s[i]) }, func(i int) T { return s[i] })
+}
+
+// Fill populates a fresh slice of length n with gen(i) in parallel.
+func Fill[T any](n int, gen func(i int) T) []T {
+	out := make([]T, n)
+	parallel.For(n, 0, func(i int) { out[i] = gen(i) })
+	return out
+}
+
+// ReduceInt64 sums f(i) over [0, n) in parallel.
+func ReduceInt64(n int, f func(i int) int64) int64 {
+	blocks, grain := parallel.NumBlocks(n, 0)
+	if blocks <= 1 {
+		var t int64
+		for i := 0; i < n; i++ {
+			t += f(i)
+		}
+		return t
+	}
+	sums := make([]int64, blocks)
+	parallel.ForBlocked(n, grain, func(lo, hi int) {
+		var t int64
+		for i := lo; i < hi; i++ {
+			t += f(i)
+		}
+		sums[lo/grain] = t
+	})
+	var total int64
+	for _, v := range sums {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+package seq
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 1000, 50000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(n/2 + 1) // force duplicates
+		}
+		want := slices.Clone(s)
+		slices.Sort(want)
+		Sort(s, intLess)
+		if !slices.Equal(s, want) {
+			t.Fatalf("n=%d: parallel sort differs from stdlib", n)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(s []int16) bool {
+		in := make([]int, len(s))
+		for i, v := range s {
+			in[i] = int(v)
+		}
+		want := slices.Clone(in)
+		slices.Sort(want)
+		Sort(in, intLess)
+		return slices.Equal(in, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type kv struct{ k, seq int }
+
+func TestSortStableKeepsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 30000
+	s := make([]kv, n)
+	for i := range s {
+		s[i] = kv{k: rng.Intn(50), seq: i}
+	}
+	SortStable(s, func(a, b kv) bool { return a.k < b.k })
+	for i := 1; i < n; i++ {
+		if s[i-1].k == s[i].k && s[i-1].seq > s[i].seq {
+			t.Fatalf("stability violated at %d: %v then %v", i, s[i-1], s[i])
+		}
+		if s[i-1].k > s[i].k {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sizes := range [][2]int{{0, 0}, {0, 5}, {5, 0}, {1000, 1}, {1, 1000}, {9000, 11000}} {
+		a := make([]int, sizes[0])
+		b := make([]int, sizes[1])
+		for i := range a {
+			a[i] = rng.Intn(1000)
+		}
+		for i := range b {
+			b[i] = rng.Intn(1000)
+		}
+		slices.Sort(a)
+		slices.Sort(b)
+		out := make([]int, len(a)+len(b))
+		MergeInto(a, b, out, intLess)
+		want := append(slices.Clone(a), b...)
+		slices.Sort(want)
+		if !slices.Equal(out, want) {
+			t.Fatalf("sizes %v: merge incorrect", sizes)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := []int{1, 3, 3, 3, 7}
+	if got := LowerBound(s, 3, intLess); got != 1 {
+		t.Fatalf("LowerBound=%d want 1", got)
+	}
+	if got := UpperBound(s, 3, intLess); got != 4 {
+		t.Fatalf("UpperBound=%d want 4", got)
+	}
+	if got := LowerBound(s, 0, intLess); got != 0 {
+		t.Fatalf("LowerBound(0)=%d want 0", got)
+	}
+	if got := UpperBound(s, 9, intLess); got != 5 {
+		t.Fatalf("UpperBound(9)=%d want 5", got)
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100000} {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(i%7 - 3)
+		}
+		want := make([]int64, n)
+		var acc int64
+		for i := range s {
+			want[i] = acc
+			acc += s[i]
+		}
+		total := ScanExclusive(s)
+		if total != acc {
+			t.Fatalf("n=%d: total=%d want %d", n, total, acc)
+		}
+		if !slices.Equal(s, want) {
+			t.Fatalf("n=%d: prefix sums wrong", n)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	n := 100000
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	got := Pack(s, func(x int) bool { return x%3 == 0 })
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("Pack[%d]=%d want %d", i, v, i*3)
+		}
+	}
+	if len(got) != (n+2)/3 {
+		t.Fatalf("Pack length %d", len(got))
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count(100000, func(i int) bool { return i%10 == 0 }); got != 10000 {
+		t.Fatalf("Count=%d want 10000", got)
+	}
+}
+
+func TestDedupSortedBy(t *testing.T) {
+	type pair struct{ k, v int }
+	in := []pair{{1, 1}, {1, 2}, {2, 5}, {3, 1}, {3, 1}, {3, 1}, {9, 9}}
+	got := DedupSortedBy(in,
+		func(a, b pair) bool { return a.k == b.k },
+		func(acc, next pair) pair { return pair{acc.k, acc.v + next.v} })
+	want := []pair{{1, 3}, {2, 5}, {3, 3}, {9, 9}}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if DedupSortedBy([]pair(nil), func(a, b pair) bool { return a.k == b.k }, func(a, b pair) pair { return a }) != nil {
+		t.Fatalf("empty dedup should be nil")
+	}
+}
+
+func TestDedupLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 200000
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(1000)
+	}
+	slices.Sort(s)
+	got := DedupSortedBy(s, func(a, b int) bool { return a == b }, func(a, b int) int { return a })
+	want := slices.Compact(slices.Clone(s))
+	if !slices.Equal(got, want) {
+		t.Fatalf("dedup mismatch: got %d unique, want %d", len(got), len(want))
+	}
+}
+
+func TestFillAndReduce(t *testing.T) {
+	s := Fill(1000, func(i int) int64 { return int64(i) })
+	for i, v := range s {
+		if v != int64(i) {
+			t.Fatalf("Fill[%d]=%d", i, v)
+		}
+	}
+	if got := ReduceInt64(1001, func(i int) int64 { return int64(i) }); got != 500500 {
+		t.Fatalf("ReduceInt64=%d want 500500", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	r := NewRNG(42)
+	if r.At(5) != NewRNG(42).At(5) {
+		t.Fatal("RNG not deterministic")
+	}
+	if r.At(5) == r.At(6) {
+		t.Fatal("adjacent RNG outputs identical")
+	}
+	if r.Split(1).At(0) == r.Split(2).At(0) {
+		t.Fatal("split streams identical")
+	}
+	// Crude uniformity check on AtRange.
+	var buckets [10]int
+	for i := uint64(0); i < 100000; i++ {
+		buckets[r.AtRange(i, 10)]++
+	}
+	for b, c := range buckets {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("bucket %d badly skewed: %d", b, c)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f := r.AtFloat(i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("AtFloat out of range: %v", f)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package seq provides the parallel sequence primitives that the paper's
+// BUILD and MULTI-INSERT functions depend on (§4 "Build"): work-efficient
+// parallel sorting, parallel merging, removal of duplicates in sorted
+// order, prefix sums, and packing, plus the deterministic random streams
+// used by the workload generators.
+//
+// All functions take explicit comparison or predicate closures and are
+// deterministic; parallelism comes from internal/parallel and respects its
+// configured level, so the same code path produces the paper's T1 and Tp
+// measurements.
+package seq
+
+import (
+	"slices"
+
+	"repro/internal/parallel"
+)
+
+// sortSeqCutoff is the subproblem size below which parallel sort falls
+// back to the (sequential) standard-library sort: small slices are
+// cheaper to sort in place than to fork over.
+const sortSeqCutoff = 4096
+
+// mergeSeqCutoff bounds the sequential base case of parallel merge.
+const mergeSeqCutoff = 4096
+
+// Sort sorts s in place with a work-efficient parallel merge sort:
+// O(n log n) work and O(log^3 n) span (binary-search parallel merge).
+// The sort is not stable; see SortStable.
+func Sort[T any](s []T, less func(a, b T) bool) {
+	if len(s) < sortSeqCutoff || parallel.Parallelism() == 1 {
+		slices.SortFunc(s, lessToCmp(less))
+		return
+	}
+	buf := make([]T, len(s))
+	mergeSortInto(s, buf, false, less)
+}
+
+// SortStable is Sort but preserves the relative order of equal elements;
+// BUILD relies on this so that duplicate-key combining sees values in
+// input order.
+func SortStable[T any](s []T, less func(a, b T) bool) {
+	if len(s) < sortSeqCutoff || parallel.Parallelism() == 1 {
+		slices.SortStableFunc(s, lessToCmp(less))
+		return
+	}
+	buf := make([]T, len(s))
+	mergeSortInto(s, buf, false, less)
+}
+
+func lessToCmp[T any](less func(a, b T) bool) func(a, b T) int {
+	return func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// mergeSortInto sorts s; if intoBuf is true the sorted data ends up in buf,
+// otherwise in s. buf must have the same length as s. The ping-pong
+// between the two arrays avoids a copy per merge level. Merging is stable
+// (left side wins ties), so the overall sort is stable.
+func mergeSortInto[T any](s, buf []T, intoBuf bool, less func(a, b T) bool) {
+	if len(s) <= sortSeqCutoff {
+		slices.SortStableFunc(s, lessToCmp(less))
+		if intoBuf {
+			copy(buf, s)
+		}
+		return
+	}
+	mid := len(s) / 2
+	parallel.Do(
+		func() { mergeSortInto(s[:mid], buf[:mid], !intoBuf, less) },
+		func() { mergeSortInto(s[mid:], buf[mid:], !intoBuf, less) },
+	)
+	if intoBuf {
+		mergeInto(s[:mid], s[mid:], buf, less)
+	} else {
+		mergeInto(buf[:mid], buf[mid:], s, less)
+	}
+}
+
+// MergeInto merges sorted a and b into out (len(out) must be
+// len(a)+len(b)) in parallel. The merge is stable: on ties, elements of a
+// precede elements of b.
+func MergeInto[T any](a, b, out []T, less func(a, b T) bool) {
+	mergeInto(a, b, out, less)
+}
+
+func mergeInto[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(a)+len(b) <= mergeSeqCutoff {
+		seqMerge(a, b, out, less)
+		return
+	}
+	// Split the larger side at its midpoint and binary-search the split
+	// point in the other side; recurse on the two halves in parallel.
+	if len(a) < len(b) {
+		// Keep a as the larger side. b's elements must stay *after* equal
+		// elements of a, so when splitting on a b-element we binary search
+		// for the first a-element greater than it (upper bound).
+		mid := len(b) / 2
+		pivot := b[mid]
+		i := upperBound(a, pivot, less)
+		parallel.Do(
+			func() { mergeInto(a[:i], b[:mid], out[:i+mid], less) },
+			func() { mergeInto(a[i:], b[mid:], out[i+mid:], less) },
+		)
+		return
+	}
+	mid := len(a) / 2
+	pivot := a[mid]
+	j := lowerBound(b, pivot, less)
+	parallel.Do(
+		func() { mergeInto(a[:mid], b[:j], out[:mid+j], less) },
+		func() { mergeInto(a[mid:], b[j:], out[mid+j:], less) },
+	)
+}
+
+func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// lowerBound returns the first index i with !less(s[i], x), i.e. the
+// insertion point before any elements equal to x.
+func lowerBound[T any](s []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(s[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i with less(x, s[i]), i.e. the
+// insertion point after any elements equal to x.
+func upperBound[T any](s []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(x, s[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LowerBound exposes lowerBound for callers outside the package.
+func LowerBound[T any](s []T, x T, less func(a, b T) bool) int {
+	return lowerBound(s, x, less)
+}
+
+// UpperBound exposes upperBound for callers outside the package.
+func UpperBound[T any](s []T, x T, less func(a, b T) bool) int {
+	return upperBound(s, x, less)
+}
+
+// IsSorted reports whether s is sorted by less.
+func IsSorted[T any](s []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(s); i++ {
+		if less(s[i], s[i-1]) {
+			return false
+		}
+	}
+	return true
+}

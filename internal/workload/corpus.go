@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// Corpus generation — the substitute for the paper's Wikipedia dump
+// (8.13M documents, 1.96G words, 5.09M unique words). What the inverted
+// index experiments depend on is the *shape* of the word-frequency
+// distribution (Zipfian, so posting-list lengths span from millions of
+// documents to singletons) and random weights; both are reproduced
+// synthetically and scale down with n. See DESIGN.md §1.
+
+// Occurrence is one (word, document, weight) token, the build input of
+// the inverted index.
+type Occurrence struct {
+	Word string
+	Doc  uint32
+	W    float64
+}
+
+// CorpusSpec sizes a synthetic corpus.
+type CorpusSpec struct {
+	Docs        int     // number of documents
+	WordsPerDoc int     // tokens per document
+	Vocabulary  int     // number of distinct words
+	ZipfS       float64 // word-frequency skew (Wikipedia-like: ~1.0)
+	Seed        uint64
+}
+
+// DefaultCorpus returns a spec with totalWords tokens, scaling the
+// paper's corpus shape down: vocabulary ~ totalWords/400 (Wikipedia:
+// 1.96e9 words, 5.09e6 unique ≈ 385:1), 400 words per document.
+func DefaultCorpus(totalWords int, seed uint64) CorpusSpec {
+	wpd := 400
+	docs := max(totalWords/wpd, 1)
+	vocab := max(totalWords/400, 16)
+	return CorpusSpec{Docs: docs, WordsPerDoc: wpd, Vocabulary: vocab, ZipfS: 1.0, Seed: seed}
+}
+
+// TotalWords returns the token count of the spec.
+func (c CorpusSpec) TotalWords() int { return c.Docs * c.WordsPerDoc }
+
+// Generate produces the corpus occurrences in parallel. Words are named
+// w<zipf-rank>, so w0 is the most frequent word.
+func (c CorpusSpec) Generate() []Occurrence {
+	z := NewZipf(c.Seed, c.ZipfS, c.Vocabulary-1)
+	wr := seq.NewRNG(c.Seed).Split(7)
+	n := c.TotalWords()
+	out := make([]Occurrence, n)
+	parallel.For(n, 0, func(i int) {
+		out[i] = Occurrence{
+			Word: wordName(z.At(uint64(i))),
+			Doc:  uint32(i / c.WordsPerDoc),
+			W:    wr.AtFloat(uint64(i)),
+		}
+	})
+	return out
+}
+
+// QueryWords returns q two-word conjunction queries sampled from the
+// vocabulary with the same skew as the corpus (frequent words are asked
+// about often, like real search traffic).
+func (c CorpusSpec) QueryWords(q int) [][2]string {
+	z := NewZipf(c.Seed^0xabcdef, c.ZipfS, c.Vocabulary-1)
+	out := make([][2]string, q)
+	parallel.For(q, 0, func(i int) {
+		a := z.At(uint64(2 * i))
+		b := z.At(uint64(2*i + 1))
+		if a == b {
+			b = (b + 1) % c.Vocabulary
+		}
+		out[i] = [2]string{wordName(a), wordName(b)}
+	})
+	return out
+}
+
+func wordName(rank int) string { return fmt.Sprintf("w%06d", rank) }

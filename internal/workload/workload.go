@@ -1,0 +1,139 @@
+// Package workload generates the deterministic synthetic inputs driving
+// every experiment: uniform and Zipf-distributed 64-bit keys, intervals,
+// weighted 2D points, YCSB-C style read streams, and — standing in for
+// the paper's Wikipedia dump — a Zipf-worded document corpus (see
+// DESIGN.md §1 for the substitution rationale).
+//
+// Everything is generated from splittable splitmix64 streams, so inputs
+// are reproducible across runs and machines and can be produced in
+// parallel.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// Keys returns n uniform uint64 keys in [0, space) from the given seed
+// stream (deterministic, generated in parallel).
+func Keys(seed uint64, n int, space uint64) []uint64 {
+	r := seq.NewRNG(seed)
+	out := make([]uint64, n)
+	parallel.For(n, 0, func(i int) { out[i] = r.AtRange(uint64(i), space) })
+	return out
+}
+
+// KeyValues returns n uniform key-value pairs (values derived from keys).
+func KeyValues(seed uint64, n int, space uint64) ([]uint64, []int64) {
+	r := seq.NewRNG(seed)
+	ks := make([]uint64, n)
+	vs := make([]int64, n)
+	parallel.For(n, 0, func(i int) {
+		ks[i] = r.AtRange(uint64(i), space)
+		vs[i] = int64(r.Split(1).At(uint64(i)) % 1000)
+	})
+	return ks, vs
+}
+
+// Zipf samples n values in [0, imax] with P(k) ∝ 1/(k+1)^s using
+// inverse-CDF over a precomputed table (exact, not approximate; table
+// size imax+1 so keep imax ≤ ~10^7).
+type Zipf struct {
+	cdf []float64
+	rng seq.RNG
+}
+
+// NewZipf builds a sampler with exponent s over [0, imax].
+func NewZipf(seed uint64, s float64, imax int) *Zipf {
+	cdf := make([]float64, imax+1)
+	acc := 0.0
+	for k := 0; k <= imax; k++ {
+		acc += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = acc
+	}
+	for k := range cdf {
+		cdf[k] /= acc
+	}
+	return &Zipf{cdf: cdf, rng: seq.NewRNG(seed)}
+}
+
+// At returns the i-th sample of the stream.
+func (z *Zipf) At(i uint64) int {
+	u := z.rng.AtFloat(i)
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Interval is a generated [Lo, Hi] interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Intervals returns n random intervals with left endpoints uniform in
+// [0, span) and lengths exponential-ish with the given mean.
+func Intervals(seed uint64, n int, span, meanLen float64) []Interval {
+	r := seq.NewRNG(seed)
+	lenR := r.Split(1)
+	out := make([]Interval, n)
+	parallel.For(n, 0, func(i int) {
+		lo := r.AtFloat(uint64(i)) * span
+		// Inverse-CDF exponential with the requested mean.
+		u := lenR.AtFloat(uint64(i))
+		if u >= 1 {
+			u = 0.999999
+		}
+		length := -meanLen * math.Log(1-u)
+		out[i] = Interval{Lo: lo, Hi: lo + length}
+	})
+	return out
+}
+
+// Point is a generated weighted point.
+type Point struct {
+	X, Y float64
+	W    int64
+}
+
+// Points returns n random weighted points in [0, span)^2.
+func Points(seed uint64, n int, span float64, maxW int64) []Point {
+	r := seq.NewRNG(seed)
+	ry := r.Split(1)
+	rw := r.Split(2)
+	out := make([]Point, n)
+	parallel.For(n, 0, func(i int) {
+		out[i] = Point{
+			X: r.AtFloat(uint64(i)) * span,
+			Y: ry.AtFloat(uint64(i)) * span,
+			W: int64(rw.AtRange(uint64(i), uint64(maxW))),
+		}
+	})
+	return out
+}
+
+// ReadStream returns n keys to look up, sampled from the loaded key set
+// (YCSB workload C: 100% reads). If zipf is true the sampled indices are
+// Zipf-skewed (YCSB's default request distribution), else uniform.
+func ReadStream(seed uint64, n int, loaded []uint64, zipf bool) []uint64 {
+	out := make([]uint64, n)
+	if len(loaded) == 0 {
+		return out
+	}
+	if zipf {
+		z := NewZipf(seed, 0.99, min(len(loaded)-1, 1<<20))
+		parallel.For(n, 0, func(i int) { out[i] = loaded[z.At(uint64(i))%len(loaded)] })
+		return out
+	}
+	r := seq.NewRNG(seed)
+	parallel.For(n, 0, func(i int) { out[i] = loaded[r.AtRange(uint64(i), uint64(len(loaded)))] })
+	return out
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestKeysDeterministicAndInRange(t *testing.T) {
+	a := Keys(42, 10000, 1000)
+	b := Keys(42, 10000, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Keys not deterministic")
+		}
+		if a[i] >= 1000 {
+			t.Fatalf("key %d out of range", a[i])
+		}
+	}
+	c := Keys(43, 100, 1000)
+	same := true
+	for i := range c {
+		if c[i] != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical keys")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1, 1.0, 999)
+	counts := make([]int, 1000)
+	n := 200_000
+	for i := 0; i < n; i++ {
+		v := z.At(uint64(i))
+		if v < 0 || v > 999 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 99 by roughly 100x (within loose bounds).
+	if counts[0] < counts[99]*20 {
+		t.Fatalf("zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// And the tail must still be populated.
+	tail := 0
+	for _, c := range counts[500:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatal("zipf tail empty")
+	}
+}
+
+func TestIntervalsShape(t *testing.T) {
+	ivs := Intervals(7, 10000, 1000, 5)
+	var totalLen float64
+	for _, iv := range ivs {
+		if iv.Lo < 0 || iv.Lo >= 1000 {
+			t.Fatalf("interval lo out of range: %v", iv)
+		}
+		if iv.Hi < iv.Lo {
+			t.Fatalf("inverted interval: %v", iv)
+		}
+		totalLen += iv.Hi - iv.Lo
+	}
+	mean := totalLen / float64(len(ivs))
+	if mean < 3 || mean > 7 {
+		t.Fatalf("interval mean length %v, want ~5", mean)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	pts := Points(9, 5000, 100, 50)
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 100 || p.Y < 0 || p.Y >= 100 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+		if p.W < 0 || p.W >= 50 {
+			t.Fatalf("weight out of range: %+v", p)
+		}
+	}
+}
+
+func TestReadStream(t *testing.T) {
+	loaded := Keys(1, 1000, 1_000_000)
+	inSet := map[uint64]bool{}
+	for _, k := range loaded {
+		inSet[k] = true
+	}
+	for _, zipf := range []bool{false, true} {
+		reads := ReadStream(2, 5000, loaded, zipf)
+		for _, k := range reads {
+			if !inSet[k] {
+				t.Fatalf("read key %d not in loaded set (zipf=%v)", k, zipf)
+			}
+		}
+	}
+	if got := ReadStream(3, 10, nil, false); len(got) != 10 {
+		t.Fatal("empty loaded set mishandled")
+	}
+}
+
+func TestCorpusGenerate(t *testing.T) {
+	spec := DefaultCorpus(50_000, 5)
+	occ := spec.Generate()
+	if len(occ) != spec.TotalWords() {
+		t.Fatalf("generated %d tokens want %d", len(occ), spec.TotalWords())
+	}
+	freq := map[string]int{}
+	maxDoc := uint32(0)
+	for _, o := range occ {
+		freq[o.Word]++
+		if o.Doc > maxDoc {
+			maxDoc = o.Doc
+		}
+		if o.W < 0 || o.W >= 1 {
+			t.Fatalf("weight out of range: %v", o.W)
+		}
+	}
+	if int(maxDoc) != spec.Docs-1 {
+		t.Fatalf("doc ids up to %d want %d", maxDoc, spec.Docs-1)
+	}
+	// Zipf head dominates.
+	if freq["w000000"] < freq["w000050"] {
+		t.Fatal("corpus word frequencies not skewed")
+	}
+	qs := spec.QueryWords(100)
+	if len(qs) != 100 {
+		t.Fatal("query count")
+	}
+	for _, q := range qs {
+		if q[0] == q[1] {
+			t.Fatalf("degenerate query %v", q)
+		}
+	}
+}

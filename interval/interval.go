@@ -1,0 +1,160 @@
+// Package interval implements interval maps (§5.1 of the PAM paper): a
+// set of closed intervals on the real line supporting stabbing queries
+// ("is point p covered by any interval?", "report all intervals covering
+// p") in logarithmic or output-sensitive time.
+//
+// It is a direct instantiation of an augmented map, the Go analogue of
+// the ~30-line C++ definition in Figure 3 of the paper: intervals are
+// keyed by left endpoint, and the augmentation keeps the maximum right
+// endpoint of every subtree (g(k,v) = right, f = max). A point p is
+// covered iff the maximum right endpoint among intervals starting at or
+// before p reaches p — one AugLeft call.
+//
+// Keys are full (Lo, Hi) pairs ordered lexicographically, so intervals
+// sharing a left endpoint coexist; exact duplicates behave as a set.
+package interval
+
+import (
+	"math"
+
+	"repro/pam"
+)
+
+// Interval is a closed interval [Lo, Hi]; it covers p iff Lo <= p <= Hi.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Covers reports whether the interval contains p.
+func (iv Interval) Covers(p float64) bool { return iv.Lo <= p && p <= iv.Hi }
+
+// entry is the augmented-map specification: keys are intervals ordered
+// by (Lo, Hi), values are empty, and the augmented value is the maximum
+// right endpoint (identity -Inf). This mirrors Figure 3's entry struct.
+type entry struct{}
+
+func (entry) Less(a, b Interval) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return a.Hi < b.Hi
+}
+
+func (entry) Id() float64 { return math.Inf(-1) }
+
+func (entry) Base(k Interval, _ struct{}) float64 { return k.Hi }
+
+func (entry) Combine(x, y float64) float64 { return max(x, y) }
+
+// amap is the underlying augmented map type.
+type amap = pam.AugMap[Interval, struct{}, float64, entry]
+
+// Map is a persistent interval map. The zero value is empty and usable;
+// all operations are functional (old versions remain valid) and the bulk
+// ones run in parallel.
+type Map struct {
+	m amap
+}
+
+// New returns an empty interval map with the given options.
+func New(opts pam.Options) Map {
+	return Map{m: pam.NewAugMap[Interval, struct{}, float64, entry](opts)}
+}
+
+// Build returns a map (with m's options) holding the given intervals;
+// duplicates collapse. O(n log n) work, polylogarithmic span.
+func (m Map) Build(ivs []Interval) Map {
+	items := make([]pam.KV[Interval, struct{}], len(ivs))
+	for i, iv := range ivs {
+		items[i] = pam.KV[Interval, struct{}]{Key: iv}
+	}
+	return Map{m: m.m.Build(items, nil)}
+}
+
+// Size returns the number of intervals.
+func (m Map) Size() int64 { return m.m.Size() }
+
+// IsEmpty reports whether the map is empty.
+func (m Map) IsEmpty() bool { return m.m.IsEmpty() }
+
+// Insert returns m with iv added. O(log n).
+func (m Map) Insert(iv Interval) Map {
+	return Map{m: m.m.Insert(iv, struct{}{})}
+}
+
+// Delete returns m without iv. O(log n).
+func (m Map) Delete(iv Interval) Map { return Map{m: m.m.Delete(iv)} }
+
+// MultiInsert returns m with a batch of intervals added (parallel).
+func (m Map) MultiInsert(ivs []Interval) Map {
+	items := make([]pam.KV[Interval, struct{}], len(ivs))
+	for i, iv := range ivs {
+		items[i] = pam.KV[Interval, struct{}]{Key: iv}
+	}
+	return Map{m: m.m.MultiInsert(items, nil)}
+}
+
+// Union merges two interval maps (parallel, persistent).
+func (m Map) Union(other Map) Map { return Map{m: m.m.Union(other.m)} }
+
+// Stab reports whether any interval covers p: the maximum right endpoint
+// over intervals with Lo <= p, against p. O(log n) — Figure 3's stab.
+func (m Map) Stab(p float64) bool {
+	return m.m.AugLeft(Interval{Lo: p, Hi: math.Inf(1)}) >= p
+}
+
+// ReportAll returns the intervals covering p, in (Lo, Hi) order: the
+// intervals starting at or before p whose right endpoint reaches p,
+// selected with an augmented filter — O(k log(n/k + 1)) work for k
+// results (Figure 3's report_all).
+func (m Map) ReportAll(p float64) []Interval {
+	candidates := m.m.UpTo(Interval{Lo: p, Hi: math.Inf(1)})
+	hits := candidates.AugFilter(func(maxHi float64) bool { return maxHi >= p })
+	out := make([]Interval, 0, hits.Size())
+	hits.ForEach(func(iv Interval, _ struct{}) bool {
+		out = append(out, iv)
+		return true
+	})
+	return out
+}
+
+// CountStab returns the number of intervals covering p, with the same
+// output-sensitive cost as ReportAll.
+func (m Map) CountStab(p float64) int64 {
+	candidates := m.m.UpTo(Interval{Lo: p, Hi: math.Inf(1)})
+	return candidates.AugFilter(func(maxHi float64) bool { return maxHi >= p }).Size()
+}
+
+// Intervals materializes all intervals in order.
+func (m Map) Intervals() []Interval {
+	out := make([]Interval, 0, m.m.Size())
+	m.m.ForEach(func(iv Interval, _ struct{}) bool {
+		out = append(out, iv)
+		return true
+	})
+	return out
+}
+
+// Validate checks the underlying tree invariants (for tests).
+func (m Map) Validate() error {
+	return m.m.Validate(func(a, b float64) bool { return a == b })
+}
+
+// RankByLo returns the number of intervals strictly below iv in the
+// (Lo, Hi) key order — the rank primitive overlap counting builds on.
+func (m Map) RankByLo(iv Interval) int64 { return m.m.Rank(iv) }
+
+// ReportOverlapping returns the intervals overlapping the closed query
+// interval [lo, hi], in (Lo, Hi) order: candidates starting at or before
+// hi, augment-filtered down to those whose right endpoint reaches lo.
+// O(log n + k log(n/k+1)) for k results.
+func (m Map) ReportOverlapping(lo, hi float64) []Interval {
+	candidates := m.m.UpTo(Interval{Lo: hi, Hi: math.Inf(1)})
+	hits := candidates.AugFilter(func(maxHi float64) bool { return maxHi >= lo })
+	out := make([]Interval, 0, hits.Size())
+	hits.ForEach(func(iv Interval, _ struct{}) bool {
+		out = append(out, iv)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+package interval
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/pam"
+)
+
+// naiveStab is the reference implementation: linear scan.
+func naiveStab(ivs []Interval, p float64) bool {
+	for _, iv := range ivs {
+		if iv.Covers(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func naiveReport(ivs []Interval, p float64) []Interval {
+	var out []Interval
+	for _, iv := range ivs {
+		if iv.Covers(p) {
+			out = append(out, iv)
+		}
+	}
+	slices.SortFunc(out, cmpIv)
+	return out
+}
+
+func cmpIv(a, b Interval) int {
+	switch {
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func randIntervals(rng *rand.Rand, n int, span float64) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		lo := rng.Float64() * span
+		out[i] = Interval{Lo: lo, Hi: lo + rng.Float64()*span/10}
+	}
+	return out
+}
+
+func TestStabMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := randIntervals(rng, 2000, 1000)
+	m := New(pam.Options{}).Build(ivs)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != int64(len(ivs)) {
+		t.Fatalf("size %d", m.Size())
+	}
+	for trial := 0; trial < 2000; trial++ {
+		p := rng.Float64() * 1100
+		if got, want := m.Stab(p), naiveStab(ivs, p); got != want {
+			t.Fatalf("Stab(%v) = %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestReportAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ivs := randIntervals(rng, 1000, 500)
+	m := New(pam.Options{}).Build(ivs)
+	for trial := 0; trial < 300; trial++ {
+		p := rng.Float64() * 550
+		got := m.ReportAll(p)
+		want := naiveReport(ivs, p)
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportAll(%v): got %d intervals want %d", p, len(got), len(want))
+		}
+		if cnt := m.CountStab(p); cnt != int64(len(want)) {
+			t.Fatalf("CountStab(%v) = %d want %d", p, cnt, len(want))
+		}
+		for _, iv := range got {
+			if !iv.Covers(p) {
+				t.Fatalf("reported interval %v does not cover %v", iv, p)
+			}
+		}
+	}
+}
+
+func TestInsertDeletePersistent(t *testing.T) {
+	m := New(pam.Options{})
+	a := Interval{1, 5}
+	b := Interval{3, 9}
+	m1 := m.Insert(a)
+	m2 := m1.Insert(b)
+	if m1.Stab(7) {
+		t.Fatal("old version sees new interval")
+	}
+	if !m2.Stab(7) {
+		t.Fatal("new version misses interval")
+	}
+	m3 := m2.Delete(b)
+	if m3.Stab(7) || !m3.Stab(4) {
+		t.Fatal("delete wrong")
+	}
+	if !m2.Stab(7) {
+		t.Fatal("delete mutated old version")
+	}
+	if m3.Size() != 1 {
+		t.Fatalf("size %d", m3.Size())
+	}
+}
+
+func TestDuplicateLeftEndpoints(t *testing.T) {
+	m := New(pam.Options{}).Build([]Interval{{1, 2}, {1, 5}, {1, 9}, {1, 9}})
+	if m.Size() != 3 { // exact duplicate collapses
+		t.Fatalf("size %d want 3", m.Size())
+	}
+	if !m.Stab(8) || m.Stab(9.5) {
+		t.Fatal("stab on shared-left intervals wrong")
+	}
+	got := m.ReportAll(4)
+	want := []Interval{{1, 5}, {1, 9}}
+	if !slices.Equal(got, want) {
+		t.Fatalf("ReportAll(4) = %v", got)
+	}
+}
+
+func TestEmptyAndBoundaries(t *testing.T) {
+	m := New(pam.Options{})
+	if m.Stab(0) || m.CountStab(0) != 0 || len(m.ReportAll(0)) != 0 {
+		t.Fatal("empty map stabbed")
+	}
+	m = m.Insert(Interval{2, 4})
+	// Closed interval: both endpoints covered.
+	if !m.Stab(2) || !m.Stab(4) {
+		t.Fatal("endpoints not covered")
+	}
+	if m.Stab(1.999) || m.Stab(4.001) {
+		t.Fatal("outside endpoints covered")
+	}
+	// Degenerate (point) interval.
+	m = m.Insert(Interval{7, 7})
+	if !m.Stab(7) {
+		t.Fatal("point interval not stabbed")
+	}
+}
+
+func TestMultiInsertAndUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randIntervals(rng, 500, 100)
+	b := randIntervals(rng, 500, 100)
+	viaMI := New(pam.Options{}).Build(a).MultiInsert(b)
+	viaUnion := New(pam.Options{}).Build(a).Union(New(pam.Options{}).Build(b))
+	if viaMI.Size() != viaUnion.Size() {
+		t.Fatalf("sizes differ: %d vs %d", viaMI.Size(), viaUnion.Size())
+	}
+	all := append(slices.Clone(a), b...)
+	for trial := 0; trial < 500; trial++ {
+		p := rng.Float64() * 110
+		want := naiveStab(all, p)
+		if viaMI.Stab(p) != want || viaUnion.Stab(p) != want {
+			t.Fatalf("stab mismatch at %v", p)
+		}
+	}
+}
+
+// Property test: stabbing results always match the naive scan.
+func TestStabQuick(t *testing.T) {
+	f := func(raw []struct{ A, B uint16 }, probe uint16) bool {
+		ivs := make([]Interval, len(raw))
+		for i, r := range raw {
+			lo, hi := float64(r.A), float64(r.B)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			ivs[i] = Interval{lo, hi}
+		}
+		m := New(pam.Options{}).Build(ivs)
+		p := float64(probe)
+		return m.Stab(p) == naiveStab(ivs, p) &&
+			m.CountStab(p) == int64(len(naiveReport(ivs, p)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package invindex implements a weighted inverted index with ranked
+// and/or queries (§5.3 of the PAM paper), the kind used by search
+// engines.
+//
+// The index maps each word to a *posting map* from document id to
+// weight, augmented by the maximum weight:
+//
+//	M_I = AM(D, <_D, W, W, v, max, 0)
+//	M_O = M(T, <_T, M_I)
+//
+// Conjunction (and) and disjunction (or) over words are posting-map
+// Intersect and Union with weight combination, running in parallel in
+// O(m log(n/m + 1)) work — often far below the output size. The
+// max-weight augmentation then extracts the k best documents without
+// scanning the result (AugTopK), so "query and return the top 10" never
+// materializes more than it needs.
+//
+// All query-side structures are persistent, so any number of concurrent
+// searches can share the index while computing their own intermediate
+// posting maps (this is the paper's concurrent-query experiment,
+// Table 6).
+package invindex
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/seq"
+	"repro/pam"
+)
+
+// DocID identifies a document.
+type DocID uint32
+
+// Weight scores a word within a document.
+type Weight float64
+
+// Posting is a posting map: document -> weight, augmented by max weight.
+type Posting = pam.AugMap[DocID, Weight, Weight, pam.MaxEntry[DocID, Weight]]
+
+// Triple is one (word, document, weight) occurrence, the build input.
+type Triple struct {
+	Word string
+	Doc  DocID
+	W    Weight
+}
+
+// DocWeight is a scored document, the query output.
+type DocWeight struct {
+	Doc DocID
+	W   Weight
+}
+
+// Index is a persistent weighted inverted index.
+type Index struct {
+	m pam.Map[string, Posting]
+}
+
+// AddWeights is the weight combiner used for duplicate occurrences and
+// disjunctions; conjunctions use it too, matching weights being additive
+// relevance scores.
+func AddWeights(a, b Weight) Weight { return a + b }
+
+// Build constructs an index from occurrence triples: parallel sort by
+// (word, doc), combine duplicate (word, doc) weights, build one posting
+// map per word, and assemble the word map — O(n log n) work end to end,
+// all phases parallel. The input slice is not modified.
+func Build(triples []Triple) Index {
+	if len(triples) == 0 {
+		return Index{m: pam.NewMap[string, Posting](pam.Options{})}
+	}
+	s := make([]Triple, len(triples))
+	copy(s, triples)
+	seq.SortStable(s, func(a, b Triple) bool {
+		if a.Word != b.Word {
+			return a.Word < b.Word
+		}
+		return a.Doc < b.Doc
+	})
+	// Combine duplicate (word, doc) occurrences by adding weights.
+	s = seq.DedupSortedBy(s,
+		func(a, b Triple) bool { return a.Word == b.Word && a.Doc == b.Doc },
+		func(acc, next Triple) Triple { acc.W += next.W; return acc })
+	// Locate word-run boundaries and build one posting map per word, in
+	// parallel across words.
+	starts := seq.PackIndex(len(s),
+		func(i int) bool { return i == 0 || s[i-1].Word != s[i].Word },
+		func(i int) int { return i })
+	words := make([]pam.KV[string, Posting], len(starts))
+	parallel.For(len(starts), 1, func(w int) {
+		lo := starts[w]
+		hi := len(s)
+		if w+1 < len(starts) {
+			hi = starts[w+1]
+		}
+		docs := make([]pam.KV[DocID, Weight], hi-lo)
+		for i := lo; i < hi; i++ {
+			docs[i-lo] = pam.KV[DocID, Weight]{Key: s[i].Doc, Val: s[i].W}
+		}
+		words[w] = pam.KV[string, Posting]{
+			Key: s[lo].Word,
+			Val: Posting{}.BuildSorted(docs),
+		}
+	})
+	return Index{m: pam.NewMap[string, Posting](pam.Options{}).BuildSorted(words)}
+}
+
+// Words returns the number of distinct words.
+func (ix Index) Words() int64 { return ix.m.Size() }
+
+// Posting returns the posting map of word (the empty posting if absent).
+func (ix Index) Posting(word string) Posting {
+	p, _ := ix.m.Find(word)
+	return p
+}
+
+// And intersects posting maps, adding weights: documents containing all
+// the requested words. For three or more words the reduction is a
+// balanced binary tree evaluated in parallel, so a q-word conjunction
+// has O(log q) combining depth rather than a left-to-right chain.
+func And(ps ...Posting) Posting {
+	return reduce(ps, func(a, b Posting) Posting { return a.IntersectWith(b, AddWeights) })
+}
+
+// Or unions posting maps, adding weights: documents containing any of
+// the requested words. Balanced parallel reduction, like And.
+func Or(ps ...Posting) Posting {
+	return reduce(ps, func(a, b Posting) Posting { return a.UnionWith(b, AddWeights) })
+}
+
+func reduce(ps []Posting, combine func(a, b Posting) Posting) Posting {
+	switch len(ps) {
+	case 0:
+		return Posting{}
+	case 1:
+		return ps[0]
+	case 2:
+		return combine(ps[0], ps[1])
+	}
+	mid := len(ps) / 2
+	var l, r Posting
+	parallel.Do(
+		func() { l = reduce(ps[:mid], combine) },
+		func() { r = reduce(ps[mid:], combine) },
+	)
+	return combine(l, r)
+}
+
+// AndNot removes from p the documents present in q.
+func AndNot(p, q Posting) Posting { return p.Difference(q) }
+
+// QueryAnd returns the documents containing every word, scored.
+func (ix Index) QueryAnd(words ...string) Posting {
+	ps := make([]Posting, len(words))
+	for i, w := range words {
+		ps[i] = ix.Posting(w)
+	}
+	return And(ps...)
+}
+
+// QueryOr returns the documents containing any word, scored.
+func (ix Index) QueryOr(words ...string) Posting {
+	ps := make([]Posting, len(words))
+	for i, w := range words {
+		ps[i] = ix.Posting(w)
+	}
+	return Or(ps...)
+}
+
+// TopK returns the k highest-weighted documents of a posting map in
+// nonincreasing weight order, in O(k log n) time via the max-weight
+// augmentation.
+func TopK(p Posting, k int) []DocWeight {
+	top := pam.AugTopK(p, k, func(a, b Weight) bool { return a < b })
+	out := make([]DocWeight, len(top))
+	for i, e := range top {
+		out[i] = DocWeight{Doc: e.Key, W: e.Val}
+	}
+	return out
+}

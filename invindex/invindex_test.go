@@ -1,0 +1,217 @@
+package invindex
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+)
+
+var corpus = []Triple{
+	{"go", 1, 2}, {"maps", 1, 1}, {"parallel", 1, 3},
+	{"go", 2, 1}, {"trees", 2, 2},
+	{"parallel", 3, 5}, {"trees", 3, 1}, {"maps", 3, 2},
+	{"go", 4, 4}, {"parallel", 4, 1}, {"maps", 4, 1},
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	ix := Build(corpus)
+	if ix.Words() != 4 {
+		t.Fatalf("words %d want 4", ix.Words())
+	}
+	p := ix.Posting("go")
+	if p.Size() != 3 {
+		t.Fatalf("posting size %d", p.Size())
+	}
+	if w, ok := p.Find(4); !ok || w != 4 {
+		t.Fatalf("weight of doc 4: %v %v", w, ok)
+	}
+	if !ix.Posting("nonexistent").IsEmpty() {
+		t.Fatal("absent word returned entries")
+	}
+}
+
+func TestDuplicateOccurrencesCombine(t *testing.T) {
+	ix := Build([]Triple{
+		{"w", 1, 1}, {"w", 1, 2}, {"w", 1, 4},
+	})
+	if w, _ := ix.Posting("w").Find(1); w != 7 {
+		t.Fatalf("combined weight %v want 7", w)
+	}
+}
+
+func TestAndOrQueries(t *testing.T) {
+	ix := Build(corpus)
+	and := ix.QueryAnd("go", "parallel")
+	// docs with both: 1 and 4.
+	if and.Size() != 2 {
+		t.Fatalf("and size %d", and.Size())
+	}
+	if w, ok := and.Find(1); !ok || w != 5 { // 2+3
+		t.Fatalf("and weight doc1 %v %v", w, ok)
+	}
+	or := ix.QueryOr("go", "trees")
+	// docs with either: 1,2,3,4.
+	if or.Size() != 4 {
+		t.Fatalf("or size %d", or.Size())
+	}
+	if w, _ := or.Find(2); w != 3 { // 1+2
+		t.Fatalf("or weight doc2 %v", w)
+	}
+	diff := AndNot(ix.Posting("parallel"), ix.Posting("go"))
+	// parallel docs 1,3,4 minus go docs 1,2,4 = {3}.
+	if diff.Size() != 1 || !diff.Contains(3) {
+		t.Fatalf("andnot wrong: size %d", diff.Size())
+	}
+	// Empty word lists.
+	if !And().IsEmpty() || !Or().IsEmpty() {
+		t.Fatal("empty queries not empty")
+	}
+}
+
+func TestTopKOrderAndContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	triples := make([]Triple, n)
+	for i := range triples {
+		triples[i] = Triple{Word: "x", Doc: DocID(i), W: Weight(rng.Float64() * 1000)}
+	}
+	ix := Build(triples)
+	p := ix.Posting("x")
+	for _, k := range []int{0, 1, 10, 100, n, n + 5} {
+		top := TopK(p, k)
+		wantLen := min(k, n)
+		if len(top) != wantLen {
+			t.Fatalf("TopK(%d) returned %d", k, len(top))
+		}
+		// Nonincreasing weights.
+		for i := 1; i < len(top); i++ {
+			if top[i].W > top[i-1].W {
+				t.Fatalf("TopK not sorted at %d", i)
+			}
+		}
+		if len(top) == 0 {
+			continue
+		}
+		// Matches a full sort.
+		ws := make([]float64, n)
+		for i, tr := range triples {
+			ws[i] = float64(tr.W)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+		for i := range top {
+			if float64(top[i].W) != ws[i] {
+				t.Fatalf("TopK(%d)[%d] weight %v want %v", k, i, top[i].W, ws[i])
+			}
+		}
+	}
+}
+
+func TestTopKAfterAnd(t *testing.T) {
+	// Table 6's query shape: intersect posting lists, then top-10.
+	rng := rand.New(rand.NewSource(8))
+	var triples []Triple
+	for d := 0; d < 2000; d++ {
+		if d%2 == 0 {
+			triples = append(triples, Triple{"alpha", DocID(d), Weight(rng.Float64())})
+		}
+		if d%3 == 0 {
+			triples = append(triples, Triple{"beta", DocID(d), Weight(rng.Float64())})
+		}
+	}
+	ix := Build(triples)
+	and := ix.QueryAnd("alpha", "beta")
+	if and.Size() != 2000/6+1 { // multiples of 6 in [0,2000)
+		t.Fatalf("and size %d", and.Size())
+	}
+	top := TopK(and, 10)
+	if len(top) != 10 {
+		t.Fatalf("top10 len %d", len(top))
+	}
+	// Every returned doc is a multiple of 6 and weights nonincreasing.
+	for i, dw := range top {
+		if dw.Doc%6 != 0 {
+			t.Fatalf("doc %d not in intersection", dw.Doc)
+		}
+		if i > 0 && top[i-1].W < dw.W {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// The paper's Table 6 runs 100k concurrent and/top-k queries against
+	// a shared index; validate correctness under concurrency (-race).
+	rng := rand.New(rand.NewSource(9))
+	var triples []Triple
+	words := []string{"a", "b", "c", "d", "e"}
+	for d := 0; d < 3000; d++ {
+		for _, w := range words {
+			if rng.Intn(3) == 0 {
+				triples = append(triples, Triple{w, DocID(d), Weight(rng.Float64())})
+			}
+		}
+	}
+	ix := Build(triples)
+	want := ix.QueryAnd("a", "b").Size()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := ix.QueryAnd("a", "b")
+				if got.Size() != want {
+					errs <- "intersection size changed across concurrent queries"
+					return
+				}
+				top := TopK(got, 5)
+				if len(top) > 5 {
+					errs <- "topk overflow"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := Build(nil)
+	if ix.Words() != 0 {
+		t.Fatal("empty build has words")
+	}
+	if !ix.QueryAnd("x", "y").IsEmpty() {
+		t.Fatal("query on empty index returned docs")
+	}
+	if len(TopK(ix.Posting("x"), 10)) != 0 {
+		t.Fatal("topk on empty posting")
+	}
+}
+
+func TestBuildInputNotModified(t *testing.T) {
+	in := []Triple{{"z", 2, 1}, {"a", 1, 1}}
+	Build(in)
+	if in[0].Word != "z" || in[1].Word != "a" {
+		t.Fatalf("Build reordered input: %v", in)
+	}
+}
+
+func TestOrEqualsManualUnion(t *testing.T) {
+	ix := Build(corpus)
+	got := ix.QueryOr("go", "maps", "trees")
+	manual := Or(ix.Posting("go"), ix.Posting("maps"), ix.Posting("trees"))
+	if got.Size() != manual.Size() {
+		t.Fatal("QueryOr != Or")
+	}
+	ge, me := got.Entries(), manual.Entries()
+	if !slices.Equal(ge, me) {
+		t.Fatal("entries differ")
+	}
+}

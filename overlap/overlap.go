@@ -1,0 +1,109 @@
+// Package overlap implements interval-overlap queries, one of the
+// further augmented-map applications listed in §1 of the PAM paper
+// ("range overlaps"): maintain a set of closed intervals and report or
+// count, for a query interval [lo, hi], the intervals overlapping it.
+//
+// Counting uses the complement identity
+//
+//	#overlapping [lo,hi] = n - #(Hi < lo) - #(Lo > hi)
+//
+// where both complement counts are rank queries on ordered maps: one
+// keyed by (Hi, Lo), one keyed by (Lo, Hi). Both maps are persistent PAM
+// maps sharing the same interval set, so the structure inherits
+// snapshots, bulk construction, and parallel set operations. Reporting
+// combines a DownTo extraction with the interval package's max-endpoint
+// augmentation pattern.
+//
+// All operations: Insert/Delete O(log n); Count O(log n); Report
+// O(log n + k·log(n/k+1)) for k results; Build O(n log n).
+package overlap
+
+import (
+	"math"
+
+	"repro/interval"
+	"repro/pam"
+)
+
+// Interval is a closed interval [Lo, Hi]; it overlaps [a, b] iff
+// Lo <= b && Hi >= a.
+type Interval = interval.Interval
+
+// byHi orders intervals by (Hi, Lo) — the complement-rank map.
+type byHi struct{}
+
+func (byHi) Less(a, b Interval) bool {
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.Lo < b.Lo
+}
+func (byHi) Id() struct{}                        { return struct{}{} }
+func (byHi) Base(Interval, struct{}) struct{}    { return struct{}{} }
+func (byHi) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+type hiMap = pam.AugMap[Interval, struct{}, struct{}, byHi]
+
+// Set is a persistent set of intervals supporting overlap queries. The
+// zero value is empty and usable.
+type Set struct {
+	byLo interval.Map // interval map: (Lo, Hi) order + max-Hi augmentation
+	byHi hiMap        // (Hi, Lo) order, for the complement rank
+}
+
+// New returns an empty set with the given options.
+func New(opts pam.Options) Set {
+	return Set{
+		byLo: interval.New(opts),
+		byHi: pam.NewAugMap[Interval, struct{}, struct{}, byHi](opts),
+	}
+}
+
+// Build returns a set holding the given intervals (duplicates collapse).
+func (s Set) Build(ivs []Interval) Set {
+	items := make([]pam.KV[Interval, struct{}], len(ivs))
+	for i, iv := range ivs {
+		items[i] = pam.KV[Interval, struct{}]{Key: iv}
+	}
+	return Set{
+		byLo: s.byLo.Build(ivs),
+		byHi: s.byHi.Build(items, nil),
+	}
+}
+
+// Size returns the number of intervals.
+func (s Set) Size() int64 { return s.byLo.Size() }
+
+// Insert returns s with iv added.
+func (s Set) Insert(iv Interval) Set {
+	return Set{byLo: s.byLo.Insert(iv), byHi: s.byHi.Insert(iv, struct{}{})}
+}
+
+// Delete returns s without iv.
+func (s Set) Delete(iv Interval) Set {
+	return Set{byLo: s.byLo.Delete(iv), byHi: s.byHi.Delete(iv)}
+}
+
+// CountOverlapping returns the number of intervals overlapping [lo, hi]
+// in O(log n): total minus those ending before lo minus those starting
+// after hi.
+func (s Set) CountOverlapping(lo, hi float64) int64 {
+	n := s.byHi.Size()
+	// #(Hi < lo): rank of the (lo, -Inf) sentinel in (Hi, Lo) order.
+	endBefore := s.byHi.Rank(Interval{Hi: lo, Lo: math.Inf(-1)})
+	// #(Lo > hi): n - rank of the (hi, +Inf) sentinel in (Lo, Hi) order.
+	startAfterRank := s.byLo.RankByLo(Interval{Lo: hi, Hi: math.Inf(1)})
+	startAfter := n - startAfterRank
+	return n - endBefore - startAfter
+}
+
+// Overlapping reports whether any interval overlaps [lo, hi].
+func (s Set) Overlapping(lo, hi float64) bool { return s.CountOverlapping(lo, hi) > 0 }
+
+// ReportOverlapping returns the intervals overlapping [lo, hi] in
+// (Lo, Hi) order: candidates starting at or before hi, filtered by the
+// max-right-endpoint augmentation to those reaching lo —
+// O(log n + k·log(n/k+1)).
+func (s Set) ReportOverlapping(lo, hi float64) []Interval {
+	return s.byLo.ReportOverlapping(lo, hi)
+}

@@ -1,0 +1,160 @@
+package overlap
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/pam"
+)
+
+func overlaps(iv Interval, lo, hi float64) bool { return iv.Lo <= hi && iv.Hi >= lo }
+
+func naiveCount(ivs []Interval, lo, hi float64) int64 {
+	var c int64
+	for _, iv := range ivs {
+		if overlaps(iv, lo, hi) {
+			c++
+		}
+	}
+	return c
+}
+
+func randIvs(rng *rand.Rand, n int, span float64) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		lo := rng.Float64() * span
+		out[i] = Interval{Lo: lo, Hi: lo + rng.Float64()*span/8}
+	}
+	return out
+}
+
+func TestCountOverlappingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := randIvs(rng, 2000, 1000)
+	s := New(pam.Options{}).Build(ivs)
+	if s.Size() != int64(len(ivs)) {
+		t.Fatalf("size %d", s.Size())
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := rng.Float64()*1100, rng.Float64()*1100
+		lo, hi := min(a, b), max(a, b)
+		if got, want := s.CountOverlapping(lo, hi), naiveCount(ivs, lo, hi); got != want {
+			t.Fatalf("CountOverlapping(%v,%v) = %d want %d", lo, hi, got, want)
+		}
+		if s.Overlapping(lo, hi) != (naiveCount(ivs, lo, hi) > 0) {
+			t.Fatal("Overlapping mismatch")
+		}
+	}
+}
+
+func TestReportOverlappingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ivs := randIvs(rng, 800, 400)
+	s := New(pam.Options{}).Build(ivs)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Float64()*440, rng.Float64()*440
+		lo, hi := min(a, b), max(a, b)
+		got := s.ReportOverlapping(lo, hi)
+		var want []Interval
+		for _, iv := range ivs {
+			if overlaps(iv, lo, hi) {
+				want = append(want, iv)
+			}
+		}
+		slices.SortFunc(want, func(x, y Interval) int {
+			switch {
+			case x.Lo < y.Lo:
+				return -1
+			case x.Lo > y.Lo:
+				return 1
+			case x.Hi < y.Hi:
+				return -1
+			case x.Hi > y.Hi:
+				return 1
+			default:
+				return 0
+			}
+		})
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportOverlapping(%v,%v): %d results want %d", lo, hi, len(got), len(want))
+		}
+		if int64(len(got)) != s.CountOverlapping(lo, hi) {
+			t.Fatal("count and report disagree")
+		}
+	}
+}
+
+func TestInsertDeletePersistence(t *testing.T) {
+	s := New(pam.Options{})
+	a := Interval{Lo: 1, Hi: 4}
+	b := Interval{Lo: 6, Hi: 9}
+	s1 := s.Insert(a)
+	s2 := s1.Insert(b)
+	if s1.CountOverlapping(5, 10) != 0 {
+		t.Fatal("old version sees new interval")
+	}
+	if s2.CountOverlapping(5, 10) != 1 {
+		t.Fatal("new version misses interval")
+	}
+	s3 := s2.Delete(a)
+	if s3.Size() != 1 || s3.Overlapping(0, 5) {
+		t.Fatal("delete wrong")
+	}
+	if s2.Size() != 2 {
+		t.Fatal("delete mutated old version")
+	}
+}
+
+func TestBoundaryTouching(t *testing.T) {
+	s := New(pam.Options{}).Build([]Interval{{Lo: 2, Hi: 4}})
+	// Closed intervals: touching endpoints overlap.
+	if !s.Overlapping(4, 10) || !s.Overlapping(0, 2) {
+		t.Fatal("endpoint touch not counted")
+	}
+	if s.Overlapping(4.0001, 10) || s.Overlapping(0, 1.9999) {
+		t.Fatal("non-overlap counted")
+	}
+	// Query interval inside a stored interval and vice versa.
+	if !s.Overlapping(2.5, 3.5) || !s.Overlapping(0, 100) {
+		t.Fatal("containment cases missed")
+	}
+	// Empty set.
+	if New(pam.Options{}).Overlapping(0, 1) {
+		t.Fatal("empty set overlapped")
+	}
+}
+
+// Property: count always matches the naive scan for small integer
+// interval sets.
+func TestCountQuick(t *testing.T) {
+	f := func(raw []struct{ A, B uint8 }, q struct{ A, B uint8 }) bool {
+		ivs := make([]Interval, len(raw))
+		for i, r := range raw {
+			lo, hi := float64(r.A), float64(r.B)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			ivs[i] = Interval{Lo: lo, Hi: hi}
+		}
+		s := New(pam.Options{}).Build(ivs)
+		qlo, qhi := float64(q.A), float64(q.B)
+		if qlo > qhi {
+			qlo, qhi = qhi, qlo
+		}
+		// Deduplicate for the naive count (Build collapses duplicates).
+		seen := map[Interval]bool{}
+		var uniq []Interval
+		for _, iv := range ivs {
+			if !seen[iv] {
+				seen[iv] = true
+				uniq = append(uniq, iv)
+			}
+		}
+		return s.CountOverlapping(qlo, qhi) == naiveCount(uniq, qlo, qhi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

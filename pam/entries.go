@@ -1,0 +1,143 @@
+package pam
+
+import "math"
+
+// Ready-made entry (augmentation) specifications. Each is a zero-size
+// struct implementing Aug for a family of key/value types, mirroring the
+// entry structs users write for PAM in C++ (Figure 3 of the paper).
+
+// SumEntry augments with the sum of values: the paper's Equation 1 map
+// AM(K, <, V, V, (k,v) -> v, +, 0).
+type SumEntry[K Ordered, V Number] struct{}
+
+// Less orders keys with <.
+func (SumEntry[K, V]) Less(a, b K) bool { return a < b }
+
+// Id returns 0.
+func (SumEntry[K, V]) Id() V { var z V; return z }
+
+// Base returns the entry's value.
+func (SumEntry[K, V]) Base(_ K, v V) V { return v }
+
+// Combine adds.
+func (SumEntry[K, V]) Combine(x, y V) V { return x + y }
+
+// MaxEntry augments with the maximum value. Id is the minimum of V, so
+// the augmented value of an empty map compares below every real value.
+type MaxEntry[K Ordered, V Ordered] struct{}
+
+// Less orders keys with <.
+func (MaxEntry[K, V]) Less(a, b K) bool { return a < b }
+
+// Id returns the minimum value of V.
+func (MaxEntry[K, V]) Id() V { return minOf[V]() }
+
+// Base returns the entry's value.
+func (MaxEntry[K, V]) Base(_ K, v V) V { return v }
+
+// Combine takes the maximum.
+func (MaxEntry[K, V]) Combine(x, y V) V { return max(x, y) }
+
+// MinEntry augments with the minimum value.
+type MinEntry[K Ordered, V Ordered] struct{}
+
+// Less orders keys with <.
+func (MinEntry[K, V]) Less(a, b K) bool { return a < b }
+
+// Id returns the maximum value of V.
+func (MinEntry[K, V]) Id() V { return maxOf[V]() }
+
+// Base returns the entry's value.
+func (MinEntry[K, V]) Base(_ K, v V) V { return v }
+
+// Combine takes the minimum.
+func (MinEntry[K, V]) Combine(x, y V) V { return min(x, y) }
+
+// CountEntry augments with the entry count (so AugRange counts entries
+// in a key range in O(log n); note Size/Rank already cover the common
+// cases — CountEntry exists for composition with filtered views).
+type CountEntry[K Ordered, V any] struct{}
+
+// Less orders keys with <.
+func (CountEntry[K, V]) Less(a, b K) bool { return a < b }
+
+// Id returns 0.
+func (CountEntry[K, V]) Id() int64 { return 0 }
+
+// Base returns 1.
+func (CountEntry[K, V]) Base(K, V) int64 { return 1 }
+
+// Combine adds.
+func (CountEntry[K, V]) Combine(x, y int64) int64 { return x + y }
+
+// NoAug is the trivial augmentation used by plain Maps.
+type NoAug[K Ordered, V any] struct{}
+
+// Less orders keys with <.
+func (NoAug[K, V]) Less(a, b K) bool { return a < b }
+
+// Id returns the empty struct.
+func (NoAug[K, V]) Id() struct{} { return struct{}{} }
+
+// Base returns the empty struct.
+func (NoAug[K, V]) Base(K, V) struct{} { return struct{}{} }
+
+// Combine returns the empty struct.
+func (NoAug[K, V]) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+// minOf returns the least value of an ordered numeric or string type.
+func minOf[V Ordered]() V {
+	var z V
+	switch p := any(&z).(type) {
+	case *int:
+		*p = math.MinInt
+	case *int8:
+		*p = math.MinInt8
+	case *int16:
+		*p = math.MinInt16
+	case *int32:
+		*p = math.MinInt32
+	case *int64:
+		*p = math.MinInt64
+	case *float32:
+		*p = float32(math.Inf(-1))
+	case *float64:
+		*p = math.Inf(-1)
+	}
+	// Unsigned and string types: the zero value is already the minimum.
+	return z
+}
+
+// maxOf returns the greatest value of an ordered numeric type. For
+// strings there is no maximum; MinEntry on string values would need a
+// custom entry.
+func maxOf[V Ordered]() V {
+	var z V
+	switch p := any(&z).(type) {
+	case *int:
+		*p = math.MaxInt
+	case *int8:
+		*p = math.MaxInt8
+	case *int16:
+		*p = math.MaxInt16
+	case *int32:
+		*p = math.MaxInt32
+	case *int64:
+		*p = math.MaxInt64
+	case *uint:
+		*p = math.MaxUint
+	case *uint8:
+		*p = math.MaxUint8
+	case *uint16:
+		*p = math.MaxUint16
+	case *uint32:
+		*p = math.MaxUint32
+	case *uint64:
+		*p = math.MaxUint64
+	case *float32:
+		*p = float32(math.Inf(1))
+	case *float64:
+		*p = math.Inf(1)
+	}
+	return z
+}

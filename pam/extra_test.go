@@ -1,0 +1,208 @@
+package pam
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestMapWrapperOps(t *testing.T) {
+	mk := func(keys ...string) Map[string, int] {
+		m := NewMap[string, int](Options{})
+		for i, k := range keys {
+			m = m.Insert(k, i)
+		}
+		return m
+	}
+	a := mk("a", "b", "c", "d")
+	b := mk("c", "d", "e")
+
+	if got := a.UnionWith(b, func(x, y int) int { return x + y }).Size(); got != 5 {
+		t.Fatalf("UnionWith size %d", got)
+	}
+	if got := a.IntersectWith(b, func(x, y int) int { return 100 }).Size(); got != 2 {
+		t.Fatalf("IntersectWith size %d", got)
+	}
+	if v, _ := a.IntersectWith(b, func(x, y int) int { return 100 }).Find("c"); v != 100 {
+		t.Fatalf("IntersectWith value %d", v)
+	}
+	if got := a.Range("b", "c").Keys(); !slices.Equal(got, []string{"b", "c"}) {
+		t.Fatalf("Range keys %v", got)
+	}
+	if got := a.UpTo("b").Size(); got != 2 {
+		t.Fatalf("UpTo size %d", got)
+	}
+	if got := a.DownTo("c").Size(); got != 2 {
+		t.Fatalf("DownTo size %d", got)
+	}
+	if got := a.Filter(func(k string, _ int) bool { return k > "b" }).Size(); got != 2 {
+		t.Fatalf("Filter size %d", got)
+	}
+	dbl := a.MapValues(func(_ string, v int) int { return v * 2 })
+	if v, _ := dbl.Find("d"); v != 6 {
+		t.Fatalf("MapValues %d", v)
+	}
+	md := a.MultiDelete([]string{"a", "z"})
+	if md.Size() != 3 || md.Contains("a") {
+		t.Fatal("MultiDelete wrong")
+	}
+	mi := a.MultiInsert([]KV[string, int]{{Key: "x", Val: 9}}, nil)
+	if v, _ := mi.Find("x"); v != 9 {
+		t.Fatal("MultiInsert wrong")
+	}
+	bs := NewMap[string, int](Options{}).BuildSorted([]KV[string, int]{{Key: "m", Val: 1}, {Key: "n", Val: 2}})
+	if bs.Size() != 2 {
+		t.Fatal("BuildSorted wrong")
+	}
+	iw := a.InsertWith("a", 10, func(old, new int) int { return old + new })
+	if v, _ := iw.Find("a"); v != 10 { // old value was 0
+		t.Fatalf("InsertWith %d", v)
+	}
+}
+
+func TestForEachRangeAndValues(t *testing.T) {
+	m := newSumMap()
+	for i := uint64(0); i < 100; i++ {
+		m = m.Insert(i, int64(i))
+	}
+	var got []uint64
+	m.ForEachRange(10, 20, func(k uint64, _ int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("ForEachRange got %v", got)
+	}
+	vals := m.Values()
+	if len(vals) != 100 || vals[42] != 42 {
+		t.Fatalf("Values wrong: len=%d", len(vals))
+	}
+}
+
+func TestAugTopK(t *testing.T) {
+	m := NewAugMap[int, int64, int64, MaxEntry[int, int64]](Options{})
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	all := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := int64(rng.Intn(1 << 20))
+		m = m.Insert(i, v)
+		all[i] = v
+	}
+	slices.Sort(all)
+	slices.Reverse(all)
+	top := AugTopK(m, 25, func(a, b int64) bool { return a < b })
+	if len(top) != 25 {
+		t.Fatalf("AugTopK returned %d", len(top))
+	}
+	for i, e := range top {
+		if e.Val != all[i] {
+			t.Fatalf("AugTopK[%d] = %d want %d", i, e.Val, all[i])
+		}
+	}
+}
+
+func TestAugFilterWithAtFacade(t *testing.T) {
+	m := NewAugMap[int, int64, int64, MaxEntry[int, int64]](Options{})
+	for i := 0; i < 1000; i++ {
+		m = m.Insert(i, int64(i))
+	}
+	// hAny: some entry >= 500; hAll cannot be expressed with max for
+	// "all >= 500", so pass nil and check equivalence with AugFilter.
+	a := m.AugFilterWith(func(x int64) bool { return x >= 500 }, nil)
+	b := m.AugFilter(func(x int64) bool { return x >= 500 })
+	if a.Size() != b.Size() || a.Size() != 500 {
+		t.Fatalf("sizes %d vs %d", a.Size(), b.Size())
+	}
+}
+
+func TestInPlaceAndRetain(t *testing.T) {
+	st := &Stats{}
+	m := NewAugMap[uint64, int64, int64, SumEntry[uint64, int64]](Options{Stats: st})
+	for i := uint64(0); i < 1000; i++ {
+		m.InsertInPlace(i, 1)
+	}
+	if m.AugVal() != 1000 {
+		t.Fatalf("in-place inserts lost entries: %d", m.AugVal())
+	}
+	snap := m.Retain()
+	m.InsertInPlace(5000, 1)
+	if snap.Contains(5000) {
+		t.Fatal("retained snapshot observed in-place update")
+	}
+	m.DeleteInPlace(0)
+	if !snap.Contains(0) {
+		t.Fatal("retained snapshot lost a key")
+	}
+	m.MultiInsertInPlace([]KV[uint64, int64]{{Key: 7000, Val: 3}}, nil)
+	if v, _ := m.Find(7000); v != 3 {
+		t.Fatal("MultiInsertInPlace missed")
+	}
+	m.Release()
+	snapCopy := snap
+	snapCopy.Release()
+	if st.Live() != 0 {
+		t.Fatalf("leaked %d nodes", st.Live())
+	}
+}
+
+func TestSharedUpdate(t *testing.T) {
+	s := NewShared(newSumMap())
+	s.Update(func(m sumMap) sumMap { return m.Insert(1, 10) })
+	s.Update(func(m sumMap) sumMap { return m.Insert(2, 20) })
+	if got := s.Snapshot().AugVal(); got != 30 {
+		t.Fatalf("after updates AugVal = %d", got)
+	}
+	s.Store(newSumMap())
+	if !s.Snapshot().IsEmpty() {
+		t.Fatal("Store did not replace")
+	}
+}
+
+func TestSetOperationsComplete(t *testing.T) {
+	s := NewSet[string](Options{}).FromKeys([]string{"b", "a", "c"})
+	var seen []string
+	s.ForEach(func(k string) bool {
+		seen = append(seen, k)
+		return true
+	})
+	if !slices.Equal(seen, []string{"a", "b", "c"}) {
+		t.Fatalf("ForEach order %v", seen)
+	}
+	s2 := s.Add("d").Remove("a")
+	if s2.Contains("a") || !s2.Contains("d") {
+		t.Fatal("Add/Remove wrong")
+	}
+	if s.Contains("d") {
+		t.Fatal("set not persistent")
+	}
+	u := s.Union(s2)
+	if u.Size() != 4 {
+		t.Fatalf("set union size %d", u.Size())
+	}
+	if s.IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+}
+
+func TestMinEntryIdentities(t *testing.T) {
+	// Exercise minOf/maxOf across value types.
+	mInt8 := NewAugMap[int, int8, int8, MaxEntry[int, int8]](Options{})
+	if mInt8.AugVal() != -128 {
+		t.Fatalf("int8 max identity %d", mInt8.AugVal())
+	}
+	mU16 := NewAugMap[int, uint16, uint16, MinEntry[int, uint16]](Options{})
+	if mU16.AugVal() != 65535 {
+		t.Fatalf("uint16 min identity %d", mU16.AugVal())
+	}
+	mF32 := NewAugMap[int, float32, float32, MaxEntry[int, float32]](Options{})
+	if !(mF32.AugVal() < -1e38) {
+		t.Fatalf("float32 max identity %v", mF32.AugVal())
+	}
+	// Strings: min identity is "", usable for MaxEntry.
+	mStr := NewAugMap[int, string, string, MaxEntry[int, string]](Options{})
+	mStr = mStr.Insert(1, "b").Insert(2, "a")
+	if mStr.AugVal() != "b" {
+		t.Fatalf("string max aug %q", mStr.AugVal())
+	}
+}

@@ -1,0 +1,161 @@
+package pam
+
+// Map is a plain (unaugmented) persistent ordered map over cmp.Ordered
+// keys: AugMap with the trivial augmentation, matching the paper's
+// M(K, <, V) notation. The zero value is an empty usable map.
+type Map[K Ordered, V any] struct {
+	AugMap[K, V, struct{}, NoAug[K, V]]
+}
+
+// NewMap returns an empty plain map with the given options.
+func NewMap[K Ordered, V any](opts Options) Map[K, V] {
+	return Map[K, V]{AugMap: NewAugMap[K, V, struct{}, NoAug[K, V]](opts)}
+}
+
+func wrapMap[K Ordered, V any](m AugMap[K, V, struct{}, NoAug[K, V]]) Map[K, V] {
+	return Map[K, V]{AugMap: m}
+}
+
+// The wrappers below re-type the AugMap results so Map operations stay
+// closed over Map.
+
+// Insert returns m with (k, v) added, replacing any existing value.
+func (m Map[K, V]) Insert(k K, v V) Map[K, V] { return wrapMap(m.AugMap.Insert(k, v)) }
+
+// InsertWith returns m with (k, v) added, combining as h(old, v).
+func (m Map[K, V]) InsertWith(k K, v V, h func(old, new V) V) Map[K, V] {
+	return wrapMap(m.AugMap.InsertWith(k, v, h))
+}
+
+// Delete returns m without k.
+func (m Map[K, V]) Delete(k K) Map[K, V] { return wrapMap(m.AugMap.Delete(k)) }
+
+// Union returns the union of m and other (other's values win).
+func (m Map[K, V]) Union(other Map[K, V]) Map[K, V] { return wrapMap(m.AugMap.Union(other.AugMap)) }
+
+// UnionWith returns the union combining shared keys with h.
+func (m Map[K, V]) UnionWith(other Map[K, V], h func(v1, v2 V) V) Map[K, V] {
+	return wrapMap(m.AugMap.UnionWith(other.AugMap, h))
+}
+
+// Intersect returns the intersection keeping other's values.
+func (m Map[K, V]) Intersect(other Map[K, V]) Map[K, V] {
+	return wrapMap(m.AugMap.Intersect(other.AugMap))
+}
+
+// IntersectWith returns the intersection with values h(v1, v2).
+func (m Map[K, V]) IntersectWith(other Map[K, V], h func(v1, v2 V) V) Map[K, V] {
+	return wrapMap(m.AugMap.IntersectWith(other.AugMap, h))
+}
+
+// Difference returns the entries of m not keyed in other.
+func (m Map[K, V]) Difference(other Map[K, V]) Map[K, V] {
+	return wrapMap(m.AugMap.Difference(other.AugMap))
+}
+
+// Filter returns the entries satisfying pred.
+func (m Map[K, V]) Filter(pred func(k K, v V) bool) Map[K, V] {
+	return wrapMap(m.AugMap.Filter(pred))
+}
+
+// Build returns a map holding items, combining duplicate keys with h.
+func (m Map[K, V]) Build(items []KV[K, V], h func(old, new V) V) Map[K, V] {
+	return wrapMap(m.AugMap.Build(items, h))
+}
+
+// BuildSorted is Build for strictly-increasing keyed input.
+func (m Map[K, V]) BuildSorted(items []KV[K, V]) Map[K, V] {
+	return wrapMap(m.AugMap.BuildSorted(items))
+}
+
+// MultiInsert returns m with the batch inserted.
+func (m Map[K, V]) MultiInsert(items []KV[K, V], h func(old, new V) V) Map[K, V] {
+	return wrapMap(m.AugMap.MultiInsert(items, h))
+}
+
+// MultiDelete returns m without the given keys.
+func (m Map[K, V]) MultiDelete(keys []K) Map[K, V] { return wrapMap(m.AugMap.MultiDelete(keys)) }
+
+// Range returns the submap with lo <= key <= hi.
+func (m Map[K, V]) Range(lo, hi K) Map[K, V] { return wrapMap(m.AugMap.Range(lo, hi)) }
+
+// UpTo returns the submap with key <= hi.
+func (m Map[K, V]) UpTo(hi K) Map[K, V] { return wrapMap(m.AugMap.UpTo(hi)) }
+
+// DownTo returns the submap with key >= lo.
+func (m Map[K, V]) DownTo(lo K) Map[K, V] { return wrapMap(m.AugMap.DownTo(lo)) }
+
+// MapValues returns m with values fn(k, v).
+func (m Map[K, V]) MapValues(fn func(k K, v V) V) Map[K, V] {
+	return wrapMap(m.AugMap.MapValues(fn))
+}
+
+// Set is a persistent ordered set: a Map with empty values.
+type Set[K Ordered] struct {
+	m Map[K, struct{}]
+}
+
+// NewSet returns an empty set with the given options.
+func NewSet[K Ordered](opts Options) Set[K] { return Set[K]{m: NewMap[K, struct{}](opts)} }
+
+// Size returns the number of elements.
+func (s Set[K]) Size() int64 { return s.m.Size() }
+
+// IsEmpty reports whether the set is empty.
+func (s Set[K]) IsEmpty() bool { return s.m.IsEmpty() }
+
+// Contains reports membership.
+func (s Set[K]) Contains(k K) bool { return s.m.Contains(k) }
+
+// Add returns s with k added.
+func (s Set[K]) Add(k K) Set[K] { return Set[K]{m: s.m.Insert(k, struct{}{})} }
+
+// Remove returns s without k.
+func (s Set[K]) Remove(k K) Set[K] { return Set[K]{m: s.m.Delete(k)} }
+
+// Union returns the set union.
+func (s Set[K]) Union(other Set[K]) Set[K] { return Set[K]{m: s.m.Union(other.m)} }
+
+// Intersect returns the set intersection.
+func (s Set[K]) Intersect(other Set[K]) Set[K] { return Set[K]{m: s.m.Intersect(other.m)} }
+
+// Difference returns the elements of s not in other.
+func (s Set[K]) Difference(other Set[K]) Set[K] { return Set[K]{m: s.m.Difference(other.m)} }
+
+// FromKeys returns a set (with s's options) holding the given elements.
+func (s Set[K]) FromKeys(keys []K) Set[K] {
+	items := make([]KV[K, struct{}], len(keys))
+	for i, k := range keys {
+		items[i] = KV[K, struct{}]{Key: k}
+	}
+	return Set[K]{m: s.m.Build(items, nil)}
+}
+
+// Elements materializes the elements in order.
+func (s Set[K]) Elements() []K { return s.m.Keys() }
+
+// ForEach visits elements in order until visit returns false.
+func (s Set[K]) ForEach(visit func(k K) bool) {
+	s.m.ForEach(func(k K, _ struct{}) bool { return visit(k) })
+}
+
+// First returns the minimum element.
+func (s Set[K]) First() (K, bool) {
+	k, _, ok := s.m.First()
+	return k, ok
+}
+
+// Last returns the maximum element.
+func (s Set[K]) Last() (K, bool) {
+	k, _, ok := s.m.Last()
+	return k, ok
+}
+
+// Rank returns the number of elements < k.
+func (s Set[K]) Rank(k K) int64 { return s.m.Rank(k) }
+
+// Select returns the i-th smallest element.
+func (s Set[K]) Select(i int64) (K, bool) {
+	k, _, ok := s.m.Select(i)
+	return k, ok
+}

@@ -1,0 +1,288 @@
+package pam
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+)
+
+type sumMap = AugMap[uint64, int64, int64, SumEntry[uint64, int64]]
+
+func newSumMap() sumMap {
+	return NewAugMap[uint64, int64, int64, SumEntry[uint64, int64]](Options{})
+}
+
+func TestAugMapBasics(t *testing.T) {
+	m := newSumMap()
+	m = m.Insert(5, 50).Insert(1, 10).Insert(9, 90)
+	if m.Size() != 3 {
+		t.Fatalf("size %d", m.Size())
+	}
+	if v, ok := m.Find(5); !ok || v != 50 {
+		t.Fatalf("Find(5) = %d,%v", v, ok)
+	}
+	if m.AugVal() != 150 {
+		t.Fatalf("AugVal %d", m.AugVal())
+	}
+	if m.AugRange(2, 9) != 140 {
+		t.Fatalf("AugRange(2,9) = %d", m.AugRange(2, 9))
+	}
+	if m.AugLeft(5) != 60 {
+		t.Fatalf("AugLeft(5) = %d", m.AugLeft(5))
+	}
+	if m.AugRight(5) != 140 {
+		t.Fatalf("AugRight(5) = %d", m.AugRight(5))
+	}
+	m2 := m.Delete(5)
+	if m2.Contains(5) || !m.Contains(5) {
+		t.Fatal("persistence violated by Delete")
+	}
+	if err := m.Validate(func(a, b int64) bool { return a == b }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAndSet(t *testing.T) {
+	m := NewMap[string, int](Options{})
+	m = m.Insert("b", 2).Insert("a", 1).Insert("c", 3)
+	if v, ok := m.Find("b"); !ok || v != 2 {
+		t.Fatalf("Find(b) = %d,%v", v, ok)
+	}
+	keys := m.Keys()
+	if !slices.Equal(keys, []string{"a", "b", "c"}) {
+		t.Fatalf("keys %v", keys)
+	}
+	m = m.Delete("b")
+	if m.Contains("b") {
+		t.Fatal("delete failed")
+	}
+	u := m.Union(NewMap[string, int](Options{}).Insert("z", 26))
+	if u.Size() != 3 {
+		t.Fatalf("union size %d", u.Size())
+	}
+
+	s := NewSet[int](Options{}).FromKeys([]int{3, 1, 4, 1, 5, 9, 2, 6})
+	if s.Size() != 7 {
+		t.Fatalf("set size %d", s.Size())
+	}
+	if !s.Contains(4) || s.Contains(7) {
+		t.Fatal("set membership wrong")
+	}
+	s2 := s.FromKeys([]int{4, 7, 10})
+	if got := s.Intersect(s2).Elements(); !slices.Equal(got, []int{4}) {
+		t.Fatalf("intersect %v", got)
+	}
+	if got := s.Difference(s2).Size(); got != 6 {
+		t.Fatalf("difference size %d", got)
+	}
+	if k, ok := s.First(); !ok || k != 1 {
+		t.Fatalf("First %d", k)
+	}
+	if k, ok := s.Last(); !ok || k != 9 {
+		t.Fatalf("Last %d", k)
+	}
+	if k, ok := s.Select(2); !ok || k != 3 {
+		t.Fatalf("Select(2) = %d", k)
+	}
+	if s.Rank(5) != 4 {
+		t.Fatalf("Rank(5) = %d", s.Rank(5))
+	}
+}
+
+func TestReadyMadeEntries(t *testing.T) {
+	maxM := NewAugMap[int, float64, float64, MaxEntry[int, float64]](Options{})
+	maxM = maxM.Insert(1, 1.5).Insert(2, -3.0).Insert(3, 2.5)
+	if got := maxM.AugVal(); got != 2.5 {
+		t.Fatalf("max AugVal %v", got)
+	}
+	if got := maxM.AugRange(1, 2); got != 1.5 {
+		t.Fatalf("max AugRange %v", got)
+	}
+	empty := NewAugMap[int, float64, float64, MaxEntry[int, float64]](Options{})
+	if !empty.IsEmpty() || empty.AugVal() > -1e300 {
+		t.Fatalf("empty max identity %v", empty.AugVal())
+	}
+
+	minM := NewAugMap[int, int32, int32, MinEntry[int, int32]](Options{})
+	minM = minM.Insert(1, 5).Insert(2, -7).Insert(3, 9)
+	if got := minM.AugVal(); got != -7 {
+		t.Fatalf("min AugVal %v", got)
+	}
+
+	cntM := NewAugMap[int, string, int64, CountEntry[int, string]](Options{})
+	for i := 0; i < 100; i++ {
+		cntM = cntM.Insert(i, "x")
+	}
+	if got := cntM.AugRange(10, 19); got != 10 {
+		t.Fatalf("count AugRange %d", got)
+	}
+}
+
+func TestBuildAndBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]KV[uint64, int64], 20000)
+	for i := range items {
+		items[i] = KV[uint64, int64]{Key: rng.Uint64() % 50000, Val: 1}
+	}
+	m := newSumMap().Build(items, func(old, new int64) int64 { return old + new })
+	if m.AugVal() != int64(len(items)) {
+		t.Fatalf("duplicate-combining build lost values: %d", m.AugVal())
+	}
+	keys := m.Keys()
+	if !slices.IsSorted(keys) {
+		t.Fatal("keys not sorted")
+	}
+	batch := make([]KV[uint64, int64], 5000)
+	for i := range batch {
+		batch[i] = KV[uint64, int64]{Key: rng.Uint64() % 50000, Val: 1}
+	}
+	m2 := m.MultiInsert(batch, func(old, new int64) int64 { return old + new })
+	if m2.AugVal() != int64(len(items)+len(batch)) {
+		t.Fatalf("multi-insert sum %d", m2.AugVal())
+	}
+	if m.AugVal() != int64(len(items)) {
+		t.Fatal("multi-insert modified its input")
+	}
+	m3 := m2.MultiDelete(keys[:100])
+	for _, k := range keys[:100] {
+		if m3.Contains(k) {
+			t.Fatalf("key %d survived MultiDelete", k)
+		}
+	}
+}
+
+func TestSplitJoinConcat(t *testing.T) {
+	m := newSumMap()
+	for i := uint64(0); i < 100; i++ {
+		m = m.Insert(i, int64(i))
+	}
+	l, v, found, r := m.Split(50)
+	if !found || v != 50 {
+		t.Fatalf("Split found=%v v=%d", found, v)
+	}
+	if l.Size() != 50 || r.Size() != 49 {
+		t.Fatalf("split sizes %d/%d", l.Size(), r.Size())
+	}
+	back := l.Join(50, 50, r)
+	if back.Size() != 100 || back.AugVal() != m.AugVal() {
+		t.Fatal("join did not invert split")
+	}
+	cat := l.Concat(r)
+	if cat.Size() != 99 || cat.Contains(50) {
+		t.Fatal("concat wrong")
+	}
+}
+
+func TestMapReduceAndAugProject(t *testing.T) {
+	m := newSumMap()
+	for i := uint64(1); i <= 1000; i++ {
+		m = m.Insert(i, int64(i))
+	}
+	cnt := MapReduce(m, func(_ uint64, v int64) int { return 1 }, func(a, b int) int { return a + b }, 0)
+	if cnt != 1000 {
+		t.Fatalf("MapReduce count %d", cnt)
+	}
+	s := AugProject(m, 10, 20,
+		func(a int64) int64 { return a },
+		func(x, y int64) int64 { return x + y }, 0)
+	if s != 165 {
+		t.Fatalf("AugProject sum %d", s)
+	}
+}
+
+func TestAugFilterTopValues(t *testing.T) {
+	m := NewAugMap[int, int64, int64, MaxEntry[int, int64]](Options{})
+	rng := rand.New(rand.NewSource(4))
+	n := 10000
+	items := make([]KV[int, int64], n)
+	for i := range items {
+		items[i] = KV[int, int64]{Key: i, Val: int64(rng.Intn(1_000_000))}
+	}
+	m = m.Build(items, nil)
+	th := int64(995_000)
+	top := m.AugFilter(func(a int64) bool { return a >= th })
+	cnt := 0
+	for _, e := range items {
+		if e.Val >= th {
+			cnt++
+		}
+	}
+	if int(top.Size()) != cnt {
+		t.Fatalf("AugFilter kept %d entries, want %d", top.Size(), cnt)
+	}
+	top.ForEach(func(_ int, v int64) bool {
+		if v < th {
+			t.Errorf("value %d below threshold", v)
+		}
+		return true
+	})
+}
+
+func TestSharedSnapshotIsolation(t *testing.T) {
+	s := NewShared(newSumMap())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				sz := snap.Size()
+				// A snapshot's size must never change underneath us.
+				for j := 0; j < 10; j++ {
+					if snap.Size() != sz {
+						panic("snapshot changed size")
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		batch := []KV[uint64, int64]{{Key: uint64(i), Val: int64(i)}}
+		s.MultiInsert(batch, nil)
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Snapshot().Size(); got != 100 {
+		t.Fatalf("final size %d", got)
+	}
+}
+
+func TestOptionsSchemes(t *testing.T) {
+	for _, sch := range []Scheme{WeightBalanced, AVL, RedBlack, Treap} {
+		m := NewAugMap[int, int64, int64, SumEntry[int, int64]](Options{Scheme: sch})
+		for i := 0; i < 500; i++ {
+			m = m.Insert(i, 1)
+		}
+		if m.AugVal() != 500 {
+			t.Fatalf("%v: AugVal %d", sch, m.AugVal())
+		}
+		if err := m.Validate(func(a, b int64) bool { return a == b }); err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+	}
+}
+
+func ExampleAugMap() {
+	// The paper's running example (Equation 1): an ordered map from int
+	// keys to int values augmented with the sum of values.
+	m := NewAugMap[int, int64, int64, SumEntry[int, int64]](Options{})
+	sales := []KV[int, int64]{
+		{Key: 900, Val: 20}, {Key: 930, Val: 35}, {Key: 1000, Val: 10},
+		{Key: 1430, Val: 50}, {Key: 1600, Val: 25},
+	}
+	m = m.Build(sales, nil)
+	fmt.Println("total:", m.AugVal())
+	fmt.Println("morning:", m.AugRange(900, 1200))
+	// Output:
+	// total: 140
+	// morning: 65
+}

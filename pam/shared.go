@@ -1,0 +1,51 @@
+package pam
+
+import "sync"
+
+// Shared implements the paper's concurrency model (§4 "Concurrency"):
+// any number of readers take atomic snapshots of the current map version
+// and work on them without locks or interference, while writers prepare
+// new versions functionally and publish them by swapping the root.
+// Updates are serialized (the paper: "updates are sequentialized...
+// accumulated and applied when needed in bulk using the parallel
+// multi-insert"); reads never block reads and never observe partial
+// updates, giving snapshot isolation.
+type Shared[K, V, A any, E Aug[K, V, A]] struct {
+	mu      sync.Mutex
+	current AugMap[K, V, A, E]
+}
+
+// NewShared returns a shared cell holding m.
+func NewShared[K, V, A any, E Aug[K, V, A]](m AugMap[K, V, A, E]) *Shared[K, V, A, E] {
+	return &Shared[K, V, A, E]{current: m}
+}
+
+// Snapshot returns the current version. The snapshot is immutable and
+// remains valid indefinitely.
+func (s *Shared[K, V, A, E]) Snapshot() AugMap[K, V, A, E] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// Store publishes m as the current version.
+func (s *Shared[K, V, A, E]) Store(m AugMap[K, V, A, E]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current = m
+}
+
+// Update atomically replaces the current version with f(current). f must
+// be pure (it may be retried never, but runs under the update lock, so
+// it should not block on other updates).
+func (s *Shared[K, V, A, E]) Update(f func(AugMap[K, V, A, E]) AugMap[K, V, A, E]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current = f(s.current)
+}
+
+// MultiInsert applies a bulk insertion to the shared map, the paper's
+// recommended write path for concurrent workloads.
+func (s *Shared[K, V, A, E]) MultiInsert(items []KV[K, V], h func(old, new V) V) {
+	s.Update(func(m AugMap[K, V, A, E]) AugMap[K, V, A, E] { return m.MultiInsert(items, h) })
+}

@@ -1,0 +1,227 @@
+// Package rangetree implements 2D range trees (§5.2 of the PAM paper):
+// a set of weighted points in the plane answering rectangle weight-sum,
+// count, and report queries.
+//
+// It is the paper's flagship demonstration of nested augmented maps: the
+// outer map stores points sorted by (x, y) and its *augmented value is
+// itself an augmented map* — all points of the subtree sorted by (y, x),
+// augmented by the sum of weights:
+//
+//	R_I = AM(P, <_y, W, W,  v,        +, 0)
+//	R_O = AM(P, <_x, W, R_I, singleton, union, empty)
+//
+// Because maps are persistent, the inner map of a node shares structure
+// with the inner maps of its children (Table 4 measures this sharing).
+// A rectangle weight query runs two nested logarithmic searches: an
+// AugProject over x projects each covered inner map through an AugRange
+// over y — O(log^2 n) total.
+package rangetree
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/core"
+	"repro/pam"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Weighted is a point with an integer weight.
+type Weighted struct {
+	Point
+	W int64
+}
+
+// innerEntry: points ordered by (y, x), values are weights, augmented by
+// the weight sum.
+type innerEntry struct{}
+
+func (innerEntry) Less(a, b Point) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+func (innerEntry) Id() int64 { return 0 }
+
+func (innerEntry) Base(_ Point, w int64) int64 { return w }
+
+func (innerEntry) Combine(x, y int64) int64 { return x + y }
+
+// Inner is the inner map type: by-(y,x) points augmented with weight sum.
+type Inner = pam.AugMap[Point, int64, int64, innerEntry]
+
+// outerEntry: points ordered by (x, y), values are weights, augmented by
+// the inner map; Combine is (persistent, parallel) map union.
+type outerEntry struct{}
+
+func (outerEntry) Less(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+func (outerEntry) Id() Inner { return Inner{} }
+
+func (outerEntry) Base(p Point, w int64) Inner {
+	return Inner{}.Insert(p, w)
+}
+
+func (outerEntry) Combine(x, y Inner) Inner {
+	return x.UnionWith(y, func(a, b int64) int64 { return a + b })
+}
+
+// outer is the outer map type.
+type outer = pam.AugMap[Point, int64, Inner, outerEntry]
+
+// Tree is a persistent 2D range tree over weighted points. Duplicate
+// points combine by adding weights. Construction is O(n log n) work;
+// QuerySum and QueryCount are O(log^2 n); ReportAll is O(log^2 n + k)
+// for k reported points.
+//
+// The structure is built once (Build) and queried; as in the paper's
+// evaluation, dynamic single-point insertion is not part of the design —
+// the union-augmentation makes per-update augmented-value recomputation
+// linear in the worst case. Merge combines two trees when batching.
+type Tree struct {
+	m outer
+}
+
+// New returns an empty range tree with the given options.
+func New(opts pam.Options) Tree {
+	return Tree{m: pam.NewAugMap[Point, int64, Inner, outerEntry](opts)}
+}
+
+// Build returns a range tree (with t's options) over the given points.
+func (t Tree) Build(pts []Weighted) Tree {
+	items := make([]pam.KV[Point, int64], len(pts))
+	for i, p := range pts {
+		items[i] = pam.KV[Point, int64]{Key: p.Point, Val: p.W}
+	}
+	return Tree{m: t.m.Build(items, func(old, new int64) int64 { return old + new })}
+}
+
+// Merge combines two range trees (weights of identical points add).
+func (t Tree) Merge(other Tree) Tree {
+	return Tree{m: t.m.UnionWith(other.m, func(a, b int64) int64 { return a + b })}
+}
+
+// Size returns the number of distinct points.
+func (t Tree) Size() int64 { return t.m.Size() }
+
+// Rect is a closed query rectangle.
+type Rect struct {
+	XLo, XHi float64
+	YLo, YHi float64
+}
+
+func (r Rect) contains(p Point) bool {
+	return p.X >= r.XLo && p.X <= r.XHi && p.Y >= r.YLo && p.Y <= r.YHi
+}
+
+// xLoKey/xHiKey are the outer-key sentinels bounding the x-range.
+func (r Rect) xLoKey() Point { return Point{X: r.XLo, Y: math.Inf(-1)} }
+func (r Rect) xHiKey() Point { return Point{X: r.XHi, Y: math.Inf(1)} }
+
+func (r Rect) yLoKey() Point { return Point{Y: r.YLo, X: math.Inf(-1)} }
+func (r Rect) yHiKey() Point { return Point{Y: r.YHi, X: math.Inf(1)} }
+
+// QuerySum returns the sum of weights of the points inside r: the
+// paper's QUERY — AugProject over the x-range, projecting each inner map
+// through a y-range weight sum. O(log^2 n).
+func (t Tree) QuerySum(r Rect) int64 {
+	return pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+		func(in Inner) int64 { return in.AugRange(r.yLoKey(), r.yHiKey()) },
+		func(a, b int64) int64 { return a + b },
+		0)
+}
+
+// QueryCount returns the number of points inside r, by projecting inner
+// maps through rank differences instead of weight sums. O(log^2 n).
+func (t Tree) QueryCount(r Rect) int64 {
+	lo, hi := r.yLoKey(), r.yHiKey()
+	return pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+		// Rank counts keys strictly below its argument; the ±Inf x
+		// sentinels make the difference exactly the per-subtree count of
+		// points with YLo <= y <= YHi.
+		func(in Inner) int64 { return in.Rank(hi) - in.Rank(lo) },
+		func(a, b int64) int64 { return a + b },
+		0)
+}
+
+// ReportAll returns the points inside r with their weights, sorted by
+// (x, y). O(log^2 n + k) for k results.
+func (t Tree) ReportAll(r Rect) []Weighted {
+	parts := pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+		func(in Inner) []Weighted {
+			sub := in.Range(r.yLoKey(), r.yHiKey())
+			out := make([]Weighted, 0, sub.Size())
+			sub.ForEach(func(p Point, w int64) bool {
+				out = append(out, Weighted{Point: p, W: w})
+				return true
+			})
+			return out
+		},
+		func(a, b []Weighted) []Weighted { return append(a, b...) },
+		nil)
+	slices.SortFunc(parts, func(a, b Weighted) int {
+		if a.X != b.X {
+			if a.X < b.X {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Y < b.Y:
+			return -1
+		case a.Y > b.Y:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return parts
+}
+
+// Validate checks outer-tree invariants including that every node's
+// inner map holds exactly the subtree's points with correct weight sums
+// (for tests). O(n log n).
+func (t Tree) Validate() error {
+	return t.m.Validate(func(a, b Inner) bool {
+		if a.Size() != b.Size() {
+			return false
+		}
+		if a.AugVal() != b.AugVal() {
+			return false
+		}
+		ae, be := a.Entries(), b.Entries()
+		for i := range ae {
+			if ae[i] != be[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// InnerNodeCounts reports the space effect of persistence on the inner
+// maps (Table 4): unshared is the node count if every outer node stored
+// its own copy of its inner map (the sum of inner sizes over all outer
+// nodes); actual is the number of physically distinct inner nodes, which
+// path copying makes far smaller because each parent's inner map shares
+// structure with its children's.
+func (t Tree) InnerNodeCounts() (unshared, actual int64) {
+	augs := core.NodeAugs(t.m.Tree())
+	trees := make([]core.Tree[Point, int64, int64, innerEntry], 0, len(augs))
+	for _, in := range augs {
+		unshared += in.Size()
+		trees = append(trees, in.Tree())
+	}
+	return unshared, core.CountUniqueNodes(trees...)
+}

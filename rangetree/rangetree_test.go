@@ -1,0 +1,192 @@
+package rangetree
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/pam"
+)
+
+func naiveSum(pts []Weighted, r Rect) int64 {
+	var s int64
+	for _, p := range pts {
+		if r.contains(p.Point) {
+			s += p.W
+		}
+	}
+	return s
+}
+
+func naiveCount(pts []Weighted, r Rect) int64 {
+	var c int64
+	for _, p := range pts {
+		if r.contains(p.Point) {
+			c++
+		}
+	}
+	return c
+}
+
+func randPoints(rng *rand.Rand, n int, span float64) []Weighted {
+	out := make([]Weighted, n)
+	for i := range out {
+		out[i] = Weighted{
+			Point: Point{X: rng.Float64() * span, Y: rng.Float64() * span},
+			W:     int64(rng.Intn(100)),
+		}
+	}
+	return out
+}
+
+func randRect(rng *rand.Rand, span float64) Rect {
+	x1, x2 := rng.Float64()*span, rng.Float64()*span
+	y1, y2 := rng.Float64()*span, rng.Float64()*span
+	return Rect{XLo: min(x1, x2), XHi: max(x1, x2), YLo: min(y1, y2), YHi: max(y1, y2)}
+}
+
+func TestQuerySumMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 2000, 1000)
+	tr := New(pam.Options{}).Build(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		r := randRect(rng, 1000)
+		if got, want := tr.QuerySum(r), naiveSum(pts, r); got != want {
+			t.Fatalf("QuerySum(%+v) = %d want %d", r, got, want)
+		}
+		if got, want := tr.QueryCount(r), naiveCount(pts, r); got != want {
+			t.Fatalf("QueryCount(%+v) = %d want %d", r, got, want)
+		}
+	}
+}
+
+func TestReportAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 800, 300)
+	tr := New(pam.Options{}).Build(pts)
+	for trial := 0; trial < 100; trial++ {
+		r := randRect(rng, 300)
+		got := tr.ReportAll(r)
+		var want []Weighted
+		for _, p := range pts {
+			if r.contains(p.Point) {
+				want = append(want, p)
+			}
+		}
+		slices.SortFunc(want, func(a, b Weighted) int {
+			switch {
+			case a.X != b.X:
+				if a.X < b.X {
+					return -1
+				}
+				return 1
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
+			default:
+				return 0
+			}
+		})
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportAll: got %d points want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestDuplicatePointsCombineWeights(t *testing.T) {
+	pts := []Weighted{
+		{Point{1, 1}, 5}, {Point{1, 1}, 7}, {Point{2, 2}, 1},
+	}
+	tr := New(pam.Options{}).Build(pts)
+	if tr.Size() != 2 {
+		t.Fatalf("size %d want 2", tr.Size())
+	}
+	all := Rect{XLo: 0, XHi: 10, YLo: 0, YHi: 10}
+	if got := tr.QuerySum(all); got != 13 {
+		t.Fatalf("sum %d want 13", got)
+	}
+	if got := tr.QueryCount(all); got != 2 {
+		t.Fatalf("count %d want 2", got)
+	}
+}
+
+func TestBoundariesInclusive(t *testing.T) {
+	tr := New(pam.Options{}).Build([]Weighted{
+		{Point{0, 0}, 1}, {Point{5, 5}, 10}, {Point{10, 10}, 100},
+	})
+	// Closed rectangle: corners included.
+	if got := tr.QuerySum(Rect{0, 10, 0, 10}); got != 111 {
+		t.Fatalf("full sum %d", got)
+	}
+	if got := tr.QuerySum(Rect{5, 5, 5, 5}); got != 10 {
+		t.Fatalf("point rect sum %d", got)
+	}
+	if got := tr.QuerySum(Rect{XLo: 5.0001, XHi: 10, YLo: 0, YHi: 10}); got != 100 {
+		t.Fatalf("open-edge sum %d", got)
+	}
+	// Empty/inverted rectangles.
+	if got := tr.QuerySum(Rect{XLo: 6, XHi: 4, YLo: 0, YHi: 10}); got != 0 {
+		t.Fatalf("inverted rect sum %d", got)
+	}
+	// x-range covers a point but y-range excludes it (exercises the
+	// nested query rejecting on the inner dimension).
+	if got := tr.QuerySum(Rect{XLo: 4, XHi: 6, YLo: 6, YHi: 9}); got != 0 {
+		t.Fatalf("y-excluded sum %d", got)
+	}
+}
+
+func TestMergePersistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randPoints(rng, 300, 100)
+	b := randPoints(rng, 300, 100)
+	ta := New(pam.Options{}).Build(a)
+	tb := New(pam.Options{}).Build(b)
+	merged := ta.Merge(tb)
+	all := append(slices.Clone(a), b...)
+	for trial := 0; trial < 100; trial++ {
+		r := randRect(rng, 100)
+		if got, want := merged.QuerySum(r), naiveSum(all, r); got != want {
+			t.Fatalf("merged QuerySum = %d want %d", got, want)
+		}
+		// Originals unchanged.
+		if got, want := ta.QuerySum(r), naiveSum(a, r); got != want {
+			t.Fatalf("merge mutated input a")
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(pam.Options{})
+	r := Rect{0, 100, 0, 100}
+	if tr.QuerySum(r) != 0 || tr.QueryCount(r) != 0 || len(tr.ReportAll(r)) != 0 {
+		t.Fatal("empty tree returned non-empty results")
+	}
+}
+
+// Property: QuerySum always equals the naive scan for arbitrary small
+// integer point sets.
+func TestQuerySumQuick(t *testing.T) {
+	f := func(raw []struct{ X, Y, W uint8 }, rect struct{ A, B, C, D uint8 }) bool {
+		pts := make([]Weighted, len(raw))
+		for i, r := range raw {
+			pts[i] = Weighted{Point{float64(r.X), float64(r.Y)}, int64(r.W)}
+		}
+		// Duplicates combine additively in the tree; mirror that in the
+		// naive model by summing weights directly (contains() is on
+		// points, so duplicate coordinates just add twice).
+		tr := New(pam.Options{}).Build(pts)
+		r := Rect{
+			XLo: float64(min(rect.A, rect.B)), XHi: float64(max(rect.A, rect.B)),
+			YLo: float64(min(rect.C, rect.D)), YHi: float64(max(rect.C, rect.D)),
+		}
+		return tr.QuerySum(r) == naiveSum(pts, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
