@@ -1,0 +1,31 @@
+# Development targets; `make ci` is what a CI pipeline should run.
+
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrency-heavy packages.
+race:
+	$(GO) test -race ./internal/core ./internal/parallel
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short exploratory fuzz burst over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzTreeOps -fuzztime=10s ./internal/core
+	$(GO) test -fuzz=FuzzSegQueries -fuzztime=10s ./segcount
+	$(GO) test -fuzz=FuzzRectQueries -fuzztime=10s ./stabbing
+
+ci: vet build test race

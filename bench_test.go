@@ -14,6 +14,8 @@ import (
 
 	"repro/internal/baseline/btree"
 	"repro/internal/baseline/llrb"
+	"repro/internal/baseline/naiverect"
+	"repro/internal/baseline/naiveseg"
 	"repro/internal/baseline/seqrangetree"
 	"repro/internal/baseline/skiplist"
 	"repro/internal/baseline/sortedarray"
@@ -25,6 +27,8 @@ import (
 	"repro/invindex"
 	"repro/pam"
 	"repro/rangetree"
+	"repro/segcount"
+	"repro/stabbing"
 )
 
 const benchN = 100_000 // paper: 10^8; scaled for the suite
@@ -580,5 +584,111 @@ func BenchmarkFig6e_RangeTreeBuildBySize(b *testing.B) {
 				_ = seqrangetree.Build(spts)
 			}
 		})
+	}
+}
+
+// ------------------------------------------ arXiv:1803.08621: segment & rectangle queries
+
+func benchSegments(n int) []segcount.Segment {
+	raw := workload.Segments(13, n, float64(n), float64(n)/1000)
+	out := make([]segcount.Segment, n)
+	for i, s := range raw {
+		out[i] = segcount.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	return out
+}
+
+func BenchmarkSegRect_SegCountBuild(b *testing.B) {
+	segs := benchSegments(benchN / 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = segcount.New(pam.Options{}).Build(segs)
+	}
+}
+
+func BenchmarkSegRect_SegCountCrossing(b *testing.B) {
+	n := benchN / 10
+	m := segcount.New(pam.Options{}).Build(benchSegments(n))
+	w := float64(n) / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = m.CountCrossing(x, x-w, x+w)
+	}
+}
+
+func BenchmarkSegRect_SegReportWindow(b *testing.B) {
+	n := benchN / 10
+	m := segcount.New(pam.Options{}).Build(benchSegments(n))
+	w := float64(n) / 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = m.ReportWindow(x, x+w, x, x+w)
+	}
+}
+
+func BenchmarkSegRect_SegCountNaive(b *testing.B) {
+	raw := workload.Segments(13, 10_000, 10_000, 10)
+	segs := make([]naiveseg.Segment, len(raw))
+	for i, s := range raw {
+		segs[i] = naiveseg.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	set := naiveseg.Build(segs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % 10_000)
+		_ = set.CountCrossing(x, x-1000, x+1000)
+	}
+}
+
+func benchRects(n int) []stabbing.Rect {
+	raw := workload.Rects(14, n, float64(n), float64(n)/1000)
+	out := make([]stabbing.Rect, n)
+	for i, r := range raw {
+		out[i] = stabbing.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	return out
+}
+
+func BenchmarkSegRect_StabBuild(b *testing.B) {
+	rects := benchRects(benchN / 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stabbing.New(pam.Options{}).Build(rects)
+	}
+}
+
+func BenchmarkSegRect_StabCount(b *testing.B) {
+	n := benchN / 10
+	m := stabbing.New(pam.Options{}).Build(benchRects(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = m.CountStab(x, x)
+	}
+}
+
+func BenchmarkSegRect_StabReport(b *testing.B) {
+	n := benchN / 10
+	m := stabbing.New(pam.Options{}).Build(benchRects(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = m.ReportStab(x, x)
+	}
+}
+
+func BenchmarkSegRect_StabCountNaive(b *testing.B) {
+	raw := workload.Rects(14, 10_000, 10_000, 10)
+	rects := make([]naiverect.Rect, len(raw))
+	for i, r := range raw {
+		rects[i] = naiverect.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	set := naiverect.Build(rects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % 10_000)
+		_ = set.CountStab(x, x)
 	}
 }

@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/interval"
+	"repro/overlap"
+	"repro/pam"
+	"repro/segcount"
+	"repro/stabbing"
+)
+
+// Cross-structure boundary-semantics tests. interval, overlap, segcount
+// and stabbing all treat their geometry as closed on every side, and a
+// 1D interval [lo, hi] embeds into each of them: directly, as a
+// degenerate horizontal segment at y = 0, and as a degenerate rectangle
+// with y-extent [0, 0]. All four must therefore agree exactly on
+// stabbing counts — including at touching endpoints, single-point
+// intervals, and on empty structures — so a caller can move between the
+// packages without re-learning open/closed conventions.
+
+// quad bundles the four structures built from one interval set.
+type quad struct {
+	iv interval.Map
+	ov overlap.Set
+	sc segcount.Map
+	st stabbing.Map
+}
+
+func buildQuad(ivs []interval.Interval) quad {
+	segs := make([]segcount.Segment, len(ivs))
+	rects := make([]stabbing.Rect, len(ivs))
+	for i, v := range ivs {
+		segs[i] = segcount.Segment{XLo: v.Lo, XHi: v.Hi, Y: 0}
+		rects[i] = stabbing.Rect{XLo: v.Lo, XHi: v.Hi, YLo: 0, YHi: 0}
+	}
+	return quad{
+		iv: interval.New(pam.Options{}).Build(ivs),
+		ov: overlap.New(pam.Options{}).Build(ivs),
+		sc: segcount.New(pam.Options{}).Build(segs),
+		st: stabbing.New(pam.Options{}).Build(rects),
+	}
+}
+
+// counts returns the stab count at p from each structure, in the order
+// interval, overlap, segcount, stabbing.
+func (q quad) counts(p float64) [4]int64 {
+	return [4]int64{
+		q.iv.CountStab(p),
+		q.ov.CountOverlapping(p, p),
+		q.sc.CountLine(p),
+		q.st.CountStab(p, 0),
+	}
+}
+
+func assertAgree(t *testing.T, q quad, p float64, want int64) {
+	t.Helper()
+	got := q.counts(p)
+	for i, name := range [4]string{"interval", "overlap", "segcount", "stabbing"} {
+		if got[i] != want {
+			t.Fatalf("%s count at %v = %d, want %d (all: %v)", name, p, got[i], want, got)
+		}
+	}
+}
+
+func TestTouchingEndpointsAgree(t *testing.T) {
+	q := buildQuad([]interval.Interval{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}})
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{-0.5, 0},
+		{0, 1},
+		{0.5, 1},
+		{1, 2}, // touching endpoint: both [0,1] and [1,2], closed on both sides
+		{1.5, 1},
+		{2, 2},
+		{3, 1},
+		{3.5, 0},
+	}
+	for _, c := range cases {
+		assertAgree(t, q, c.p, c.want)
+	}
+}
+
+func TestEmptyStructuresAgree(t *testing.T) {
+	q := buildQuad(nil)
+	for _, p := range []float64{-1, 0, 1, math.Inf(-1), math.Inf(1)} {
+		assertAgree(t, q, p, 0)
+	}
+	if q.iv.Stab(0) || q.ov.Overlapping(0, 0) || q.st.Stabbed(0, 0) {
+		t.Fatal("empty structures should stab nothing")
+	}
+	if len(q.sc.ReportLine(0)) != 0 || len(q.st.ReportStab(0, 0)) != 0 {
+		t.Fatal("empty structures should report nothing")
+	}
+}
+
+func TestSinglePointStabsAgree(t *testing.T) {
+	q := buildQuad([]interval.Interval{{Lo: 5, Hi: 5}})
+	assertAgree(t, q, 5, 1)
+	assertAgree(t, q, 4.9999, 0)
+	assertAgree(t, q, 5.0001, 0)
+	// The degenerate interval must also be found by range/window queries
+	// that merely touch it.
+	if got := q.ov.CountOverlapping(5, 7); got != 1 {
+		t.Fatalf("overlap [5,7] = %d, want 1", got)
+	}
+	if got := q.ov.CountOverlapping(3, 5); got != 1 {
+		t.Fatalf("overlap [3,5] = %d, want 1", got)
+	}
+	if got := q.sc.CountWindow(5, 7, -1, 1); got != 1 {
+		t.Fatalf("segcount window touching [5,5] = %d, want 1", got)
+	}
+	if got := q.ov.CountOverlapping(5.0001, 7); got != 0 {
+		t.Fatalf("overlap just past the point = %d, want 0", got)
+	}
+}
+
+// TestDegenerateEmbeddingsAgree drives all four structures with the same
+// random interval set over a tiny integer universe (maximizing touching
+// endpoints and duplicates) and checks counts and report sets agree at
+// every probe.
+func TestDegenerateEmbeddingsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const universe = 16
+	ivs := make([]interval.Interval, 200)
+	for i := range ivs {
+		lo := float64(rng.Intn(universe))
+		ivs[i] = interval.Interval{Lo: lo, Hi: lo + float64(rng.Intn(5))}
+	}
+	q := buildQuad(ivs)
+
+	// Distinct intervals (set semantics) as the reference model.
+	distinct := append([]interval.Interval{}, ivs...)
+	slices.SortFunc(distinct, func(a, b interval.Interval) int {
+		switch {
+		case a.Lo != b.Lo:
+			if a.Lo < b.Lo {
+				return -1
+			}
+			return 1
+		case a.Hi < b.Hi:
+			return -1
+		case a.Hi > b.Hi:
+			return 1
+		default:
+			return 0
+		}
+	})
+	distinct = slices.Compact(distinct)
+
+	for p := -1.0; p <= universe+5; p += 0.5 {
+		var want int64
+		var wantIvs []interval.Interval
+		for _, v := range distinct {
+			if v.Covers(p) {
+				want++
+				wantIvs = append(wantIvs, v)
+			}
+		}
+		assertAgree(t, q, p, want)
+
+		segs := q.sc.ReportLine(p)
+		gotIvs := make([]interval.Interval, len(segs))
+		for i, s := range segs {
+			gotIvs[i] = interval.Interval{Lo: s.XLo, Hi: s.XHi}
+		}
+		// segcount reports in (y, xLo, xHi) order; with y = 0 throughout
+		// that is (Lo, Hi) order, matching the model's order.
+		if !slices.Equal(gotIvs, wantIvs) {
+			t.Fatalf("segcount report at %v = %v, want %v", p, gotIvs, wantIvs)
+		}
+		rects := q.st.ReportStab(p, 0)
+		gotIvs = gotIvs[:0]
+		for _, r := range rects {
+			gotIvs = append(gotIvs, interval.Interval{Lo: r.XLo, Hi: r.XHi})
+		}
+		if !slices.Equal(gotIvs, wantIvs) {
+			t.Fatalf("stabbing report at %v = %v, want %v", p, gotIvs, wantIvs)
+		}
+	}
+}

@@ -2,17 +2,23 @@
 // PPoPP 2018): a parallel, persistent, join-based balanced-tree library for
 // augmented ordered maps, together with the paper's four applications
 // (augmented range sums, interval trees, 2D range trees, and weighted
-// inverted indices), the baselines it compares against, and a benchmark
-// harness that regenerates every table and figure in the evaluation.
+// inverted indices), the segment- and rectangle-query structures of the
+// follow-up paper (arXiv:1803.08621), the baselines the evaluation
+// compares against, and a benchmark harness that regenerates every table
+// and figure in the evaluation.
 //
 // The public entry points are:
 //
 //   - repro/pam: the augmented map library (the paper's contribution)
 //   - repro/interval: interval maps with stabbing queries (§5.1)
+//   - repro/overlap: interval-overlap counting and reporting (§1)
 //   - repro/rangetree: 2D range trees with nested augmented maps (§5.2)
 //   - repro/invindex: weighted inverted indices with top-k search (§5.3)
+//   - repro/segcount: segment-crossing queries (arXiv:1803.08621 §4)
+//   - repro/stabbing: rectangle stabbing queries (arXiv:1803.08621 §5)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured results. The benchmarks in bench_test.go regenerate
-// the evaluation tables and figures; cmd/pambench is the CLI driver.
+// See README.md for the package map, the paper-to-code mapping, and how
+// to run the tests and reproductions. The benchmarks in bench_test.go
+// regenerate the evaluation tables and figures; cmd/pambench is the CLI
+// driver.
 package repro

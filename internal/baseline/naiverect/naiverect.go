@@ -1,0 +1,74 @@
+// Package naiverect is the linear-scan baseline for rectangle stabbing:
+// the differential-testing oracle for the stabbing package and the O(n)
+// reference point its benchmarks compare against.
+package naiverect
+
+import "sort"
+
+// Rect is a closed axis-parallel rectangle [XLo, XHi] x [YLo, YHi].
+type Rect struct {
+	XLo, XHi, YLo, YHi float64
+}
+
+// Contains reports whether the rectangle contains (x, y).
+func (r Rect) Contains(x, y float64) bool {
+	return r.XLo <= x && x <= r.XHi && r.YLo <= y && y <= r.YHi
+}
+
+// Set is an unordered rectangle collection with O(n) queries. Exact
+// duplicates collapse, matching stabbing's set semantics.
+type Set struct {
+	rects []Rect
+}
+
+// Build stores the rectangles, deduplicated. O(n log n).
+func Build(rects []Rect) *Set {
+	s := make([]Rect, len(rects))
+	copy(s, rects)
+	sort.Slice(s, func(i, j int) bool {
+		a, b := s[i], s[j]
+		if a.XLo != b.XLo {
+			return a.XLo < b.XLo
+		}
+		if a.XHi != b.XHi {
+			return a.XHi < b.XHi
+		}
+		if a.YLo != b.YLo {
+			return a.YLo < b.YLo
+		}
+		return a.YHi < b.YHi
+	})
+	out := s[:0]
+	for i, r := range s {
+		if i == 0 || r != s[i-1] {
+			out = append(out, r)
+		}
+	}
+	return &Set{rects: out}
+}
+
+// Size returns the number of distinct rectangles.
+func (s *Set) Size() int { return len(s.rects) }
+
+// CountStab counts rectangles containing (x, y). O(n).
+func (s *Set) CountStab(x, y float64) int {
+	n := 0
+	for _, r := range s.rects {
+		if r.Contains(x, y) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReportStab returns the rectangles containing (x, y), in
+// (XLo, XHi, YLo, YHi) order. O(n).
+func (s *Set) ReportStab(x, y float64) []Rect {
+	var out []Rect
+	for _, r := range s.rects {
+		if r.Contains(x, y) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package naiverect
+
+import "testing"
+
+func TestBuildDedupsAndQueries(t *testing.T) {
+	s := Build([]Rect{
+		{XLo: 0, XHi: 10, YLo: 0, YHi: 10},
+		{XLo: 0, XHi: 10, YLo: 0, YHi: 10}, // duplicate
+		{XLo: 5, XHi: 15, YLo: 5, YHi: 15},
+		{XLo: 20, XHi: 30, YLo: 0, YHi: 1},
+	})
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (duplicate should collapse)", s.Size())
+	}
+	if got := s.CountStab(7, 7); got != 2 {
+		t.Fatalf("CountStab(7,7) = %d, want 2", got)
+	}
+	if got := s.CountStab(12, 12); got != 1 {
+		t.Fatalf("CountStab(12,12) = %d, want 1", got)
+	}
+	if got := len(s.ReportStab(7, 7)); got != 2 {
+		t.Fatalf("ReportStab(7,7) returned %d rects, want 2", got)
+	}
+}
+
+func TestClosedEdges(t *testing.T) {
+	s := Build([]Rect{{XLo: 0, XHi: 1, YLo: 0, YHi: 1}})
+	for _, pt := range [][2]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}} {
+		if s.CountStab(pt[0], pt[1]) != 1 {
+			t.Fatalf("corner (%v,%v) should stab (closed rectangle)", pt[0], pt[1])
+		}
+	}
+	if s.CountStab(1.0001, 0.5) != 0 {
+		t.Fatal("point past the right edge should not stab")
+	}
+}

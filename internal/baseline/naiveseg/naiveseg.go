@@ -1,0 +1,96 @@
+// Package naiveseg is the linear-scan baseline for segment queries: the
+// differential-testing oracle for the segcount package and the O(n)
+// reference point its benchmarks compare against.
+package naiveseg
+
+import "sort"
+
+// Segment is a closed horizontal segment [XLo, XHi] at height Y.
+type Segment struct {
+	XLo, XHi, Y float64
+}
+
+// Set is an unordered segment collection with O(n) queries. Exact
+// duplicates collapse, matching segcount's set semantics.
+type Set struct {
+	segs []Segment
+}
+
+// Build stores the segments, deduplicated. O(n log n).
+func Build(segs []Segment) *Set {
+	s := make([]Segment, len(segs))
+	copy(s, segs)
+	sort.Slice(s, func(i, j int) bool {
+		a, b := s[i], s[j]
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.XLo != b.XLo {
+			return a.XLo < b.XLo
+		}
+		return a.XHi < b.XHi
+	})
+	out := s[:0]
+	for i, seg := range s {
+		if i == 0 || seg != s[i-1] {
+			out = append(out, seg)
+		}
+	}
+	return &Set{segs: out}
+}
+
+// Size returns the number of distinct segments.
+func (s *Set) Size() int { return len(s.segs) }
+
+func crosses(seg Segment, x, yLo, yHi float64) bool {
+	return seg.XLo <= x && x <= seg.XHi && yLo <= seg.Y && seg.Y <= yHi
+}
+
+func inWindow(seg Segment, xLo, xHi, yLo, yHi float64) bool {
+	return seg.XLo <= xHi && seg.XHi >= xLo && yLo <= seg.Y && seg.Y <= yHi
+}
+
+// CountCrossing counts segments crossing the vertical query segment at x
+// spanning [yLo, yHi]. O(n).
+func (s *Set) CountCrossing(x, yLo, yHi float64) int {
+	n := 0
+	for _, seg := range s.segs {
+		if crosses(seg, x, yLo, yHi) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReportCrossing returns the crossing segments in (Y, XLo, XHi) order. O(n).
+func (s *Set) ReportCrossing(x, yLo, yHi float64) []Segment {
+	var out []Segment
+	for _, seg := range s.segs {
+		if crosses(seg, x, yLo, yHi) {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// CountWindow counts segments intersecting the closed window. O(n).
+func (s *Set) CountWindow(xLo, xHi, yLo, yHi float64) int {
+	n := 0
+	for _, seg := range s.segs {
+		if inWindow(seg, xLo, xHi, yLo, yHi) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReportWindow returns the intersecting segments in (Y, XLo, XHi) order. O(n).
+func (s *Set) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
+	var out []Segment
+	for _, seg := range s.segs {
+		if inWindow(seg, xLo, xHi, yLo, yHi) {
+			out = append(out, seg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package naiveseg
+
+import "testing"
+
+func TestBuildDedupsAndQueries(t *testing.T) {
+	s := Build([]Segment{
+		{XLo: 0, XHi: 10, Y: 1},
+		{XLo: 0, XHi: 10, Y: 1}, // duplicate
+		{XLo: 5, XHi: 6, Y: 2},
+		{XLo: 20, XHi: 30, Y: 1},
+	})
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (duplicate should collapse)", s.Size())
+	}
+	if got := s.CountCrossing(5, 0, 3); got != 2 {
+		t.Fatalf("CountCrossing(5, [0,3]) = %d, want 2", got)
+	}
+	if got := s.CountCrossing(5, 1.5, 3); got != 1 {
+		t.Fatalf("CountCrossing(5, [1.5,3]) = %d, want 1", got)
+	}
+	if got := s.CountWindow(8, 25, 0, 1); got != 2 {
+		t.Fatalf("CountWindow([8,25]x[0,1]) = %d, want 2", got)
+	}
+	if got := len(s.ReportCrossing(5, 0, 3)); got != 2 {
+		t.Fatalf("ReportCrossing returned %d segments, want 2", got)
+	}
+	if got := len(s.ReportWindow(8, 25, 0, 1)); got != 2 {
+		t.Fatalf("ReportWindow returned %d segments, want 2", got)
+	}
+}
+
+func TestClosedEndpoints(t *testing.T) {
+	s := Build([]Segment{{XLo: 0, XHi: 1, Y: 5}})
+	if s.CountCrossing(1, 5, 5) != 1 {
+		t.Fatal("right endpoint should be included (closed segment)")
+	}
+	if s.CountCrossing(0, 5, 5) != 1 {
+		t.Fatal("left endpoint should be included (closed segment)")
+	}
+	if s.CountCrossing(1.0001, 5, 5) != 0 {
+		t.Fatal("point past the right endpoint should not cross")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/naiverect"
+	"repro/internal/baseline/naiveseg"
+	"repro/internal/workload"
+	"repro/pam"
+	"repro/segcount"
+	"repro/stabbing"
+)
+
+// The segment- and rectangle-query structures from the follow-up paper
+// "Parallel Range, Segment and Rectangle Queries with Augmented Maps"
+// (Sun & Blelloch, arXiv:1803.08621): build and query times against the
+// linear-scan baselines, in the same format as the Table 5 applications.
+
+func init() {
+	register(Experiment{
+		Name: "segrect",
+		Desc: "Segment crossing and rectangle stabbing: build/query vs naive scans (arXiv:1803.08621)",
+		Run:  runSegRect,
+	})
+}
+
+func runSegRect(c Config) []Table {
+	c = c.WithDefaults()
+	p := maxThreads(c)
+	// The nested union augmentations make builds ~log n times more
+	// expensive than a flat map's, like the range tree: scale n down.
+	n := max(c.N/10, 1000)
+	q := max(c.Q/10, 100)
+
+	// ---- Segment queries ----
+	span := float64(n)
+	segsIn := workload.Segments(c.Seed, n, span, span/1000)
+	segs := make([]segcount.Segment, n)
+	nsegs := make([]naiveseg.Segment, n)
+	for i, s := range segsIn {
+		segs[i] = segcount.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+		nsegs[i] = naiveseg.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	probes := make([][3]float64, q)
+	pr := workload.Keys(c.Seed+1, 3*q, uint64(n))
+	for i := range probes {
+		yLo := float64(pr[3*i+1])
+		probes[i] = [3]float64{float64(pr[3*i]), yLo, yLo + float64(pr[3*i+2])/20}
+	}
+
+	var segRows [][]string
+	b1 := timeAt(1, func() { _ = segcount.New(pam.Options{}).Build(segs) })
+	bp := timeAt(p, func() { _ = segcount.New(pam.Options{}).Build(segs) })
+	segRows = append(segRows, []string{"PAM segcount", "Build", fmt.Sprint(n), "-", secs(b1), secs(bp), speedup(b1, bp)})
+	sm := segcount.New(pam.Options{}).Build(segs)
+	q1 := timeAt(1, func() {
+		for _, pq := range probes {
+			_ = sm.CountCrossing(pq[0], pq[1], pq[2])
+		}
+	})
+	qp := timeAt(p, func() {
+		parallelQueries(p, q, func(i int) { _ = sm.CountCrossing(probes[i][0], probes[i][1], probes[i][2]) })
+	})
+	segRows = append(segRows, []string{"PAM segcount", "Count", fmt.Sprint(n), fmt.Sprint(q), secs(q1), secs(qp), speedup(q1, qp)})
+	q1 = timeAt(1, func() {
+		for _, pq := range probes {
+			_ = sm.ReportCrossing(pq[0], pq[1], pq[2])
+		}
+	})
+	qp = timeAt(p, func() {
+		parallelQueries(p, q, func(i int) { _ = sm.ReportCrossing(probes[i][0], probes[i][1], probes[i][2]) })
+	})
+	segRows = append(segRows, []string{"PAM segcount", "Report", fmt.Sprint(n), fmt.Sprint(q), secs(q1), secs(qp), speedup(q1, qp)})
+
+	nn := min(n, 20_000)
+	nq := min(q, 200)
+	naiveS := naiveseg.Build(nsegs[:nn])
+	nq1 := timeIt(func() {
+		for _, pq := range probes[:nq] {
+			_ = naiveS.CountCrossing(pq[0], pq[1], pq[2])
+		}
+	})
+	segRows = append(segRows, []string{"naive scan", "Count", fmt.Sprint(nn), fmt.Sprint(nq), secs(nq1), "-", "-"})
+	segTable := Table{
+		Title:  "Segment queries (arXiv:1803.08621 §4)",
+		Note:   "expected: PAM count ~log^2 n per query via nested count maps; naive baseline linear per query",
+		Header: []string{"Impl", "Op", "n", "q", "T1 (s)", "Tp (s)", "Speedup"},
+		Rows:   segRows,
+	}
+
+	// ---- Rectangle stabbing ----
+	rectsIn := workload.Rects(c.Seed+2, n, span, span/1000)
+	rects := make([]stabbing.Rect, n)
+	nrects := make([]naiverect.Rect, n)
+	for i, r := range rectsIn {
+		rects[i] = stabbing.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+		nrects[i] = naiverect.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	pts := workload.Points(c.Seed+3, q, span, 1)
+
+	var rcRows [][]string
+	b1 = timeAt(1, func() { _ = stabbing.New(pam.Options{}).Build(rects) })
+	bp = timeAt(p, func() { _ = stabbing.New(pam.Options{}).Build(rects) })
+	rcRows = append(rcRows, []string{"PAM stabbing", "Build", fmt.Sprint(n), "-", secs(b1), secs(bp), speedup(b1, bp)})
+	rm := stabbing.New(pam.Options{}).Build(rects)
+	q1 = timeAt(1, func() {
+		for _, pt := range pts {
+			_ = rm.CountStab(pt.X, pt.Y)
+		}
+	})
+	qp = timeAt(p, func() { parallelQueries(p, q, func(i int) { _ = rm.CountStab(pts[i].X, pts[i].Y) }) })
+	rcRows = append(rcRows, []string{"PAM stabbing", "Count", fmt.Sprint(n), fmt.Sprint(q), secs(q1), secs(qp), speedup(q1, qp)})
+	q1 = timeAt(1, func() {
+		for _, pt := range pts {
+			_ = rm.ReportStab(pt.X, pt.Y)
+		}
+	})
+	qp = timeAt(p, func() { parallelQueries(p, q, func(i int) { _ = rm.ReportStab(pts[i].X, pts[i].Y) }) })
+	rcRows = append(rcRows, []string{"PAM stabbing", "Report", fmt.Sprint(n), fmt.Sprint(q), secs(q1), secs(qp), speedup(q1, qp)})
+
+	naiveR := naiverect.Build(nrects[:nn])
+	nq1 = timeIt(func() {
+		for _, pt := range pts[:nq] {
+			_ = naiveR.CountStab(pt.X, pt.Y)
+		}
+	})
+	rcRows = append(rcRows, []string{"naive scan", "Count", fmt.Sprint(nn), fmt.Sprint(nq), secs(nq1), "-", "-"})
+	rcTable := Table{
+		Title:  "Rectangle stabbing (arXiv:1803.08621 §5)",
+		Note:   "expected: PAM count ~log^2 n per query composing the interval-map idea in both dimensions; naive baseline linear per query",
+		Header: []string{"Impl", "Op", "n", "q", "T1 (s)", "Tp (s)", "Speedup"},
+		Rows:   rcRows,
+	}
+	return []Table{segTable, rcTable}
+}

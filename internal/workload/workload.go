@@ -79,6 +79,17 @@ type Interval struct {
 	Lo, Hi float64
 }
 
+// expSample draws the i-th sample of an inverse-CDF exponential stream
+// with the given mean (shared by the interval, segment, and rectangle
+// generators so their length distributions stay identical).
+func expSample(r seq.RNG, i uint64, mean float64) float64 {
+	u := r.AtFloat(i)
+	if u >= 1 {
+		u = 0.999999
+	}
+	return -mean * math.Log(1-u)
+}
+
 // Intervals returns n random intervals with left endpoints uniform in
 // [0, span) and lengths exponential-ish with the given mean.
 func Intervals(seed uint64, n int, span, meanLen float64) []Interval {
@@ -87,13 +98,7 @@ func Intervals(seed uint64, n int, span, meanLen float64) []Interval {
 	out := make([]Interval, n)
 	parallel.For(n, 0, func(i int) {
 		lo := r.AtFloat(uint64(i)) * span
-		// Inverse-CDF exponential with the requested mean.
-		u := lenR.AtFloat(uint64(i))
-		if u >= 1 {
-			u = 0.999999
-		}
-		length := -meanLen * math.Log(1-u)
-		out[i] = Interval{Lo: lo, Hi: lo + length}
+		out[i] = Interval{Lo: lo, Hi: lo + expSample(lenR, uint64(i), meanLen)}
 	})
 	return out
 }
@@ -115,6 +120,54 @@ func Points(seed uint64, n int, span float64, maxW int64) []Point {
 			X: r.AtFloat(uint64(i)) * span,
 			Y: ry.AtFloat(uint64(i)) * span,
 			W: int64(rw.AtRange(uint64(i), uint64(maxW))),
+		}
+	})
+	return out
+}
+
+// Seg is a generated horizontal segment [XLo, XHi] at height Y.
+type Seg struct {
+	XLo, XHi, Y float64
+}
+
+// Segments returns n random horizontal segments with left endpoints and
+// heights uniform in [0, span) and lengths exponential-ish with the
+// given mean (the segment-query analogue of Intervals).
+func Segments(seed uint64, n int, span, meanLen float64) []Seg {
+	r := seq.NewRNG(seed)
+	lenR := r.Split(1)
+	yR := r.Split(2)
+	out := make([]Seg, n)
+	parallel.For(n, 0, func(i int) {
+		lo := r.AtFloat(uint64(i)) * span
+		out[i] = Seg{
+			XLo: lo,
+			XHi: lo + expSample(lenR, uint64(i), meanLen),
+			Y:   yR.AtFloat(uint64(i)) * span,
+		}
+	})
+	return out
+}
+
+// Rect is a generated axis-parallel rectangle.
+type Rect struct {
+	XLo, XHi, YLo, YHi float64
+}
+
+// Rects returns n random rectangles with lower-left corners uniform in
+// [0, span)^2 and side lengths exponential-ish with the given mean.
+func Rects(seed uint64, n int, span, meanSide float64) []Rect {
+	r := seq.NewRNG(seed)
+	yR := r.Split(1)
+	wR := r.Split(2)
+	hR := r.Split(3)
+	out := make([]Rect, n)
+	parallel.For(n, 0, func(i int) {
+		xlo := r.AtFloat(uint64(i)) * span
+		ylo := yR.AtFloat(uint64(i)) * span
+		out[i] = Rect{
+			XLo: xlo, XHi: xlo + expSample(wR, uint64(i), meanSide),
+			YLo: ylo, YHi: ylo + expSample(hR, uint64(i), meanSide),
 		}
 	})
 	return out

@@ -1,0 +1,27 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"repro/interval"
+	"repro/pam"
+)
+
+// An interval map answers stabbing queries through the max-right-endpoint
+// augmentation: Stab is one O(log n) AugLeft call, ReportAll an
+// output-sensitive AugFilter.
+func ExampleMap_Stab() {
+	m := interval.New(pam.Options{}).Build([]interval.Interval{
+		{Lo: 0, Hi: 10}, {Lo: 5, Hi: 6}, {Lo: 20, Hi: 30},
+	})
+
+	fmt.Println(m.Stab(5.5))
+	fmt.Println(m.CountStab(5.5))
+	fmt.Println(m.Stab(15))
+	fmt.Println(m.ReportAll(5.5))
+	// Output:
+	// true
+	// 2
+	// false
+	// [{0 10} {5 6}]
+}

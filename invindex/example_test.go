@@ -1,0 +1,28 @@
+package invindex_test
+
+import (
+	"fmt"
+
+	"repro/invindex"
+)
+
+// An inverted index maps words to posting maps (document -> weight,
+// augmented by max weight); TopK extracts the best documents in
+// O(k log n) through the augmentation.
+func ExampleBuild() {
+	ix := invindex.Build([]invindex.Triple{
+		{Word: "parallel", Doc: 1, W: 2},
+		{Word: "maps", Doc: 1, W: 1},
+		{Word: "parallel", Doc: 2, W: 1},
+		{Word: "trees", Doc: 2, W: 3},
+	})
+
+	for _, dw := range invindex.TopK(ix.QueryAnd("parallel"), 2) {
+		fmt.Println(dw.Doc, dw.W)
+	}
+	fmt.Println(ix.QueryAnd("parallel", "trees").Size())
+	// Output:
+	// 1 2
+	// 2 1
+	// 1
+}

@@ -1,0 +1,26 @@
+package overlap_test
+
+import (
+	"fmt"
+
+	"repro/overlap"
+	"repro/pam"
+)
+
+// CountOverlapping counts in O(log n) via the complement identity
+// (total minus intervals ending before lo minus intervals starting
+// after hi); intervals touching the query at an endpoint count, since
+// all intervals are closed.
+func ExampleSet_CountOverlapping() {
+	s := overlap.New(pam.Options{}).Build([]overlap.Interval{
+		{Lo: 0, Hi: 2}, {Lo: 1, Hi: 5}, {Lo: 8, Hi: 9},
+	})
+
+	fmt.Println(s.CountOverlapping(2, 8)) // [0,2] and [8,9] touch, [1,5] overlaps
+	fmt.Println(s.CountOverlapping(6, 7))
+	fmt.Println(s.ReportOverlapping(2, 8))
+	// Output:
+	// 3
+	// 0
+	// [{0 2} {1 5} {8 9}]
+}

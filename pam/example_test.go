@@ -1,0 +1,66 @@
+package pam_test
+
+import (
+	"fmt"
+
+	"repro/pam"
+)
+
+// Plain maps are persistent ordered maps with parallel bulk operations;
+// Union merges two of them without modifying either.
+func ExampleMap_Union() {
+	inventory := pam.NewMap[string, int](pam.Options{}).
+		Build([]pam.KV[string, int]{{Key: "apple", Val: 3}, {Key: "pear", Val: 5}}, nil)
+	delivery := pam.NewMap[string, int](pam.Options{}).
+		Build([]pam.KV[string, int]{{Key: "apple", Val: 7}, {Key: "plum", Val: 2}}, nil)
+
+	merged := inventory.UnionWith(delivery, func(a, b int) int { return a + b })
+	merged.ForEach(func(k string, v int) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// inventory is unchanged (persistence):
+	fmt.Println(inventory.Size())
+	// Output:
+	// apple 10
+	// pear 5
+	// plum 2
+	// 2
+}
+
+// An augmented map maintains a monoid over its entries — here the sum of
+// values (the paper's Equation 1 map) — so any key range can be summed
+// in O(log n) without visiting its entries.
+func ExampleAugMap_AugRange() {
+	sales := pam.NewAugMap[int, int64, int64, pam.SumEntry[int, int64]](pam.Options{}).
+		Build([]pam.KV[int, int64]{
+			{Key: 1, Val: 10}, {Key: 2, Val: 20}, {Key: 3, Val: 30}, {Key: 4, Val: 40},
+		}, nil)
+
+	fmt.Println(sales.AugVal())       // whole-map sum, O(1)
+	fmt.Println(sales.AugRange(2, 3)) // sum over keys in [2, 3], O(log n)
+	fmt.Println(sales.AugLeft(3))     // sum over keys <= 3
+	// Output:
+	// 100
+	// 50
+	// 60
+}
+
+// AugFilter selects entries through the augmentation, pruning whole
+// subtrees whose augmented value fails the predicate — output-sensitive
+// instead of linear.
+func ExampleAugMap_AugFilter() {
+	scores := pam.NewAugMap[string, int64, int64, pam.MaxEntry[string, int64]](pam.Options{}).
+		Build([]pam.KV[string, int64]{
+			{Key: "a", Val: 4}, {Key: "b", Val: 9}, {Key: "c", Val: 2}, {Key: "d", Val: 7},
+		}, nil)
+
+	high := scores.AugFilter(func(maxBelow int64) bool { return maxBelow >= 7 })
+	high.ForEach(func(k string, v int64) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// b 9
+	// d 7
+}

@@ -1,0 +1,28 @@
+package rangetree_test
+
+import (
+	"fmt"
+
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// A 2D range tree sums, counts, or reports the weighted points inside a
+// rectangle: nested augmented maps make QuerySum and QueryCount
+// O(log^2 n).
+func ExampleTree_QuerySum() {
+	t := rangetree.New(pam.Options{}).Build([]rangetree.Weighted{
+		{Point: rangetree.Point{X: 1, Y: 1}, W: 10},
+		{Point: rangetree.Point{X: 2, Y: 5}, W: 20},
+		{Point: rangetree.Point{X: 6, Y: 2}, W: 40},
+	})
+
+	box := rangetree.Rect{XLo: 0, XHi: 5, YLo: 0, YHi: 5}
+	fmt.Println(t.QuerySum(box))
+	fmt.Println(t.QueryCount(box))
+	fmt.Println(t.ReportAll(box))
+	// Output:
+	// 30
+	// 2
+	// [{{1 1} 10} {{2 5} 20}]
+}

@@ -1,0 +1,27 @@
+package segcount_test
+
+import (
+	"fmt"
+
+	"repro/pam"
+	"repro/segcount"
+)
+
+// CountCrossing answers "how many segments cross the vertical segment
+// x = q, yLo <= y <= yHi" in O(log^2 n) via endpoint maps augmented with
+// nested count maps; ReportWindow reports output-sensitively.
+func ExampleMap_CountCrossing() {
+	m := segcount.New(pam.Options{}).Build([]segcount.Segment{
+		{XLo: 0, XHi: 10, Y: 1},
+		{XLo: 2, XHi: 4, Y: 2},
+		{XLo: 3, XHi: 12, Y: 8},
+	})
+
+	fmt.Println(m.CountCrossing(3, 0, 5)) // vertical segment at x=3 spanning y in [0,5]
+	fmt.Println(m.CountLine(3))           // the whole vertical line x=3
+	fmt.Println(m.ReportWindow(0, 3, 0, 2))
+	// Output:
+	// 2
+	// 3
+	// [{0 10 1} {2 4 2}]
+}

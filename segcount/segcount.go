@@ -1,0 +1,367 @@
+// Package segcount implements segment queries from the follow-up paper
+// "Parallel Range, Segment and Rectangle Queries with Augmented Maps"
+// (Sun & Blelloch, arXiv:1803.08621, §4): maintain a set of axis-parallel
+// (horizontal) segments in the plane and, for a vertical query segment
+// x = q, yLo <= y <= yHi, count or report the segments crossing it. A
+// window variant counts/reports the segments intersecting an axis-parallel
+// query rectangle.
+//
+// Two nested-augmented-map structures back the queries, both direct
+// instantiations of pam.AugMap:
+//
+//   - SegCount (the paper's §4 structure): two maps keyed by segment
+//     endpoints in x — one by left endpoints ("opens"), one by right
+//     endpoints ("closes") — whose augmented values are *nested count
+//     maps*: the subtree's segments keyed by y, combined by parallel
+//     persistent map union. (The paper stores one endpoint map augmented
+//     with a pair of count maps; splitting the pair into two maps is the
+//     same factoring the overlap package uses for its complement ranks.)
+//     A segment [xl, xh] at height y crosses the vertical line x iff
+//     xl <= x <= xh, so with C(m, p) counting segments of a nested map m
+//     whose y lies in the query range,
+//
+//     count = C(opens with xl <= x) - C(closes with xh < x)
+//
+//     and both terms are AugProject prefix sums projecting each nested
+//     map through an O(log n) rank difference: O(log^2 n) per query.
+//
+//   - A by-y map for reporting: segments keyed by y, augmented with an
+//     interval-map pair over their x-extents ((xl, xh, y) order with
+//     max-xh augmentation, plus the (xh, xl, y) order for complement
+//     ranks — the §5.1 interval-map idea nested as an augmented value).
+//     A window query AugProjects over the y-range, stabbing each of the
+//     O(log n) covered interval maps: O(log^2 n) counts and
+//     O(log^2 n + k log(n/k + 1)) output-sensitive reports.
+//
+// Segments are closed on both endpoints and behave as a set: exact
+// duplicates collapse. All maps are persistent — snapshots taken before
+// a Merge remain valid — and Build and Merge run in parallel.
+package segcount
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/parallel"
+	"repro/pam"
+)
+
+// Segment is a closed horizontal segment [XLo, XHi] at height Y.
+type Segment struct {
+	XLo, XHi, Y float64
+}
+
+// CrossesLine reports whether the segment crosses the vertical line at x.
+func (s Segment) CrossesLine(x float64) bool { return s.XLo <= x && x <= s.XHi }
+
+// IntersectsWindow reports whether the segment intersects the closed
+// window [xLo, xHi] x [yLo, yHi].
+func (s Segment) IntersectsWindow(xLo, xHi, yLo, yHi float64) bool {
+	return s.Y >= yLo && s.Y <= yHi && s.XLo <= xHi && s.XHi >= xLo
+}
+
+// The three key orders. Ties break lexicographically on the remaining
+// coordinates so distinct segments always compare distinct and ±Inf
+// sentinels bound exactly the prefixes the queries need.
+
+func lessYX(a, b Segment) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.XHi < b.XHi
+}
+
+func lessXLo(a, b Segment) bool {
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	if a.XHi != b.XHi {
+		return a.XHi < b.XHi
+	}
+	return a.Y < b.Y
+}
+
+func lessXHi(a, b Segment) bool {
+	if a.XHi != b.XHi {
+		return a.XHi < b.XHi
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.Y < b.Y
+}
+
+// yKey orders the nested count maps by (Y, XLo, XHi) with no augmentation;
+// counting in a y-range is a Rank difference.
+type yKey struct{}
+
+func (yKey) Less(a, b Segment) bool              { return lessYX(a, b) }
+func (yKey) Id() struct{}                        { return struct{}{} }
+func (yKey) Base(Segment, struct{}) struct{}     { return struct{}{} }
+func (yKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+// yMap is the nested count map: the subtree's segments keyed by y.
+type yMap = pam.AugMap[Segment, struct{}, struct{}, yKey]
+
+// yRangeCount counts entries of a nested map with yLo <= Y <= yHi.
+func yRangeCount(in yMap, yLo, yHi float64) int64 {
+	hi := in.Rank(Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)})   // #(Y <= yHi)
+	lo := in.Rank(Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)}) // #(Y < yLo)
+	return hi - lo
+}
+
+// loKey orders segments by (XLo, XHi, Y) augmented with the maximum
+// right endpoint — the interval-map augmentation of §5.1.
+type loKey struct{}
+
+func (loKey) Less(a, b Segment) bool             { return lessXLo(a, b) }
+func (loKey) Id() float64                        { return math.Inf(-1) }
+func (loKey) Base(s Segment, _ struct{}) float64 { return s.XHi }
+func (loKey) Combine(x, y float64) float64       { return max(x, y) }
+
+type loMap = pam.AugMap[Segment, struct{}, float64, loKey]
+
+// hiKey orders segments by (XHi, XLo, Y), unaugmented (complement rank).
+type hiKey struct{}
+
+func (hiKey) Less(a, b Segment) bool              { return lessXHi(a, b) }
+func (hiKey) Id() struct{}                        { return struct{}{} }
+func (hiKey) Base(Segment, struct{}) struct{}     { return struct{}{} }
+func (hiKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+type hiMap = pam.AugMap[Segment, struct{}, struct{}, hiKey]
+
+// xSet is the nested x-extent interval structure augmenting the by-y
+// map: the subtree's segments in left-endpoint order with max-right
+// augmentation, plus in right-endpoint order for the complement rank.
+type xSet struct {
+	byLo loMap
+	byHi hiMap
+}
+
+func (s xSet) union(o xSet) xSet {
+	return xSet{byLo: s.byLo.Union(o.byLo), byHi: s.byHi.Union(o.byHi)}
+}
+
+// countOverlapping counts segments whose x-extent meets [xLo, xHi] in
+// O(log n): those starting at or before xHi minus those ending before
+// xLo (the two miss-sets are disjoint, so inclusion-exclusion is exact).
+func (s xSet) countOverlapping(xLo, xHi float64) int64 {
+	startAtOrBefore := s.byLo.Rank(Segment{XLo: xHi, XHi: math.Inf(1), Y: math.Inf(1)})
+	endBefore := s.byHi.Rank(Segment{XHi: xLo, XLo: math.Inf(-1), Y: math.Inf(-1)})
+	return startAtOrBefore - endBefore
+}
+
+// reportOverlapping appends the segments whose x-extent meets [xLo, xHi]:
+// candidates starting at or before xHi, pruned by the max-right-endpoint
+// augmentation to those reaching xLo — O(log n + k log(n/k + 1)).
+func (s xSet) reportOverlapping(xLo, xHi float64, out []Segment) []Segment {
+	candidates := s.byLo.UpTo(Segment{XLo: xHi, XHi: math.Inf(1), Y: math.Inf(1)})
+	hits := candidates.AugFilter(func(maxHi float64) bool { return maxHi >= xLo })
+	hits.ForEach(func(seg Segment, _ struct{}) bool {
+		out = append(out, seg)
+		return true
+	})
+	return out
+}
+
+// byYEntry: the reporting map — segments keyed by y, augmented with the
+// nested xSet of the subtree, combined by persistent parallel union.
+type byYEntry struct{}
+
+func (byYEntry) Less(a, b Segment) bool { return lessYX(a, b) }
+func (byYEntry) Id() xSet               { return xSet{} }
+func (byYEntry) Base(s Segment, _ struct{}) xSet {
+	return xSet{byLo: loMap{}.Insert(s, struct{}{}), byHi: hiMap{}.Insert(s, struct{}{})}
+}
+func (byYEntry) Combine(x, y xSet) xSet { return x.union(y) }
+
+// opensEntry: segments keyed by left endpoint, augmented with the nested
+// count map of the subtree keyed by y.
+type opensEntry struct{}
+
+func (opensEntry) Less(a, b Segment) bool { return lessXLo(a, b) }
+func (opensEntry) Id() yMap               { return yMap{} }
+func (opensEntry) Base(s Segment, _ struct{}) yMap {
+	return yMap{}.Insert(s, struct{}{})
+}
+func (opensEntry) Combine(x, y yMap) yMap { return x.Union(y) }
+
+// closesEntry: the same nested count maps keyed by right endpoint.
+type closesEntry struct{}
+
+func (closesEntry) Less(a, b Segment) bool { return lessXHi(a, b) }
+func (closesEntry) Id() yMap               { return yMap{} }
+func (closesEntry) Base(s Segment, _ struct{}) yMap {
+	return yMap{}.Insert(s, struct{}{})
+}
+func (closesEntry) Combine(x, y yMap) yMap { return x.Union(y) }
+
+type byYMap = pam.AugMap[Segment, struct{}, xSet, byYEntry]
+type opensMap = pam.AugMap[Segment, struct{}, yMap, opensEntry]
+type closesMap = pam.AugMap[Segment, struct{}, yMap, closesEntry]
+
+// Map is a persistent segment-query structure. The zero value is empty
+// and usable. As with rangetree, the union-valued augmentations make
+// single-segment updates linear in the worst case, so the structure is
+// built in bulk (Build) and composed with Merge; all versions persist.
+type Map struct {
+	byY    byYMap
+	opens  opensMap
+	closes closesMap
+}
+
+// New returns an empty segment map with the given options.
+func New(opts pam.Options) Map {
+	return Map{
+		byY:    pam.NewAugMap[Segment, struct{}, xSet, byYEntry](opts),
+		opens:  pam.NewAugMap[Segment, struct{}, yMap, opensEntry](opts),
+		closes: pam.NewAugMap[Segment, struct{}, yMap, closesEntry](opts),
+	}
+}
+
+// Build returns a map (with m's options) over the given segments
+// (duplicates collapse). O(n log^2 n) work, polylogarithmic span; the
+// three constituent maps build in parallel.
+func (m Map) Build(segs []Segment) Map {
+	items := make([]pam.KV[Segment, struct{}], len(segs))
+	for i, s := range segs {
+		items[i] = pam.KV[Segment, struct{}]{Key: s}
+	}
+	var out Map
+	parallel.Do3(
+		func() { out.byY = m.byY.Build(items, nil) },
+		func() { out.opens = m.opens.Build(items, nil) },
+		func() { out.closes = m.closes.Build(items, nil) },
+	)
+	return out
+}
+
+// Merge returns the union of two segment maps (parallel, persistent).
+func (m Map) Merge(other Map) Map {
+	var out Map
+	parallel.Do3(
+		func() { out.byY = m.byY.Union(other.byY) },
+		func() { out.opens = m.opens.Union(other.opens) },
+		func() { out.closes = m.closes.Union(other.closes) },
+	)
+	return out
+}
+
+// Size returns the number of distinct segments.
+func (m Map) Size() int64 { return m.byY.Size() }
+
+// IsEmpty reports whether the map is empty.
+func (m Map) IsEmpty() bool { return m.byY.IsEmpty() }
+
+// CountCrossing counts the segments crossing the vertical query segment
+// at x spanning [yLo, yHi], via the paper's SegCount endpoint maps:
+// segments opened at or before x minus segments closed before x, each an
+// AugProject prefix sum over nested count maps. O(log^2 n).
+func (m Map) CountCrossing(x, yLo, yHi float64) int64 {
+	neg := math.Inf(-1)
+	count := func(in yMap) int64 { return yRangeCount(in, yLo, yHi) }
+	add := func(a, b int64) int64 { return a + b }
+	opened := pam.AugProject(m.opens,
+		Segment{XLo: neg, XHi: neg, Y: neg},
+		Segment{XLo: x, XHi: math.Inf(1), Y: math.Inf(1)},
+		count, add, 0)
+	closed := pam.AugProject(m.closes,
+		Segment{XHi: neg, XLo: neg, Y: neg},
+		Segment{XHi: x, XLo: neg, Y: neg},
+		count, add, 0)
+	return opened - closed
+}
+
+// CountLine counts the segments crossing the full vertical line at x.
+func (m Map) CountLine(x float64) int64 {
+	return m.CountCrossing(x, math.Inf(-1), math.Inf(1))
+}
+
+// CountWindow counts the segments intersecting the closed window
+// [xLo, xHi] x [yLo, yHi], AugProjecting the by-y map over the y-range
+// and stabbing each covered nested interval structure. O(log^2 n).
+func (m Map) CountWindow(xLo, xHi, yLo, yHi float64) int64 {
+	return pam.AugProject(m.byY,
+		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
+		Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
+		func(in xSet) int64 { return in.countOverlapping(xLo, xHi) },
+		func(a, b int64) int64 { return a + b },
+		0)
+}
+
+// ReportWindow returns the segments intersecting the closed window, in
+// (y, xLo, xHi) order. Output-sensitive: O(log^2 n + k log(n/k + 1))
+// for k results.
+func (m Map) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
+	out := pam.AugProject(m.byY,
+		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
+		Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
+		func(in xSet) []Segment { return in.reportOverlapping(xLo, xHi, nil) },
+		func(a, b []Segment) []Segment { return append(a, b...) },
+		nil)
+	// Each projected xSet reports in (xLo, xHi, y) order; restore the
+	// global (y, xLo, xHi) order across the O(log n) blocks (as
+	// rangetree.ReportAll does for its x-blocks).
+	slices.SortFunc(out, func(a, b Segment) int {
+		switch {
+		case lessYX(a, b):
+			return -1
+		case lessYX(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}
+
+// ReportCrossing returns the segments crossing the vertical query
+// segment at x spanning [yLo, yHi], in (y, xLo, xHi) order, with
+// ReportWindow's output-sensitive cost.
+func (m Map) ReportCrossing(x, yLo, yHi float64) []Segment {
+	return m.ReportWindow(x, x, yLo, yHi)
+}
+
+// ReportLine returns the segments crossing the full vertical line at x.
+func (m Map) ReportLine(x float64) []Segment {
+	return m.ReportCrossing(x, math.Inf(-1), math.Inf(1))
+}
+
+// Segments materializes all segments in (y, xLo, xHi) order.
+func (m Map) Segments() []Segment { return m.byY.Keys() }
+
+// Validate checks the structural invariants of all three constituent
+// trees, including that every node's nested maps hold exactly the
+// subtree's segments (for tests). O(n log n).
+func (m Map) Validate() error {
+	sameKeys := func(a, b []Segment) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	yEq := func(a, b yMap) bool {
+		return a.Size() == b.Size() && sameKeys(a.Keys(), b.Keys())
+	}
+	if err := m.byY.Validate(func(a, b xSet) bool {
+		if a.byLo.Size() != b.byLo.Size() || a.byLo.AugVal() != b.byLo.AugVal() {
+			return false
+		}
+		return sameKeys(a.byLo.Keys(), b.byLo.Keys()) && sameKeys(a.byHi.Keys(), b.byHi.Keys())
+	}); err != nil {
+		return err
+	}
+	if err := m.opens.Validate(yEq); err != nil {
+		return err
+	}
+	return m.closes.Validate(yEq)
+}

@@ -1,0 +1,399 @@
+package segcount
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/baseline/naiveseg"
+	"repro/internal/parallel"
+	"repro/pam"
+)
+
+func cmpSeg(a, b Segment) int {
+	if a.Y != b.Y {
+		if a.Y < b.Y {
+			return -1
+		}
+		return 1
+	}
+	if a.XLo != b.XLo {
+		if a.XLo < b.XLo {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.XHi < b.XHi:
+		return -1
+	case a.XHi > b.XHi:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// randSegments draws coordinates from a small integer universe so
+// touching endpoints, shared heights, and exact duplicates all occur.
+func randSegments(rng *rand.Rand, n int, universe int) []Segment {
+	out := make([]Segment, n)
+	for i := range out {
+		lo := float64(rng.Intn(universe))
+		out[i] = Segment{
+			XLo: lo,
+			XHi: lo + float64(rng.Intn(universe/3)),
+			Y:   float64(rng.Intn(universe)),
+		}
+	}
+	return out
+}
+
+func toNaive(segs []Segment) []naiveseg.Segment {
+	out := make([]naiveseg.Segment, len(segs))
+	for i, s := range segs {
+		out[i] = naiveseg.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	return out
+}
+
+func fromNaive(segs []naiveseg.Segment) []Segment {
+	out := make([]Segment, len(segs))
+	for i, s := range segs {
+		out[i] = Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	return out
+}
+
+// queryCoord sometimes lands exactly on endpoints (integer) and
+// sometimes strictly between them.
+func queryCoord(rng *rand.Rand, universe int) float64 {
+	c := float64(rng.Intn(universe + 2))
+	if rng.Intn(2) == 0 {
+		c += 0.5
+	}
+	return c
+}
+
+func TestCountsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const universe = 24
+	for _, n := range []int{0, 1, 7, 300} {
+		segs := randSegments(rng, n, universe)
+		m := New(pam.Options{}).Build(segs)
+		naive := naiveseg.Build(toNaive(segs))
+		if m.Size() != int64(naive.Size()) {
+			t.Fatalf("n=%d: Size = %d, naive %d", n, m.Size(), naive.Size())
+		}
+		for q := 0; q < 500; q++ {
+			x := queryCoord(rng, universe)
+			yLo := queryCoord(rng, universe)
+			yHi := queryCoord(rng, universe)
+			if yHi < yLo {
+				yLo, yHi = yHi, yLo
+			}
+			want := int64(naive.CountCrossing(x, yLo, yHi))
+			if got := m.CountCrossing(x, yLo, yHi); got != want {
+				t.Fatalf("n=%d CountCrossing(%v,[%v,%v]) = %d, naive %d", n, x, yLo, yHi, got, want)
+			}
+			// The by-y window path must agree with the endpoint-map path.
+			if got := m.CountWindow(x, x, yLo, yHi); got != want {
+				t.Fatalf("n=%d CountWindow(x=x) = %d, endpoint-map count %d", n, got, want)
+			}
+			xHi := x + float64(rng.Intn(6))
+			wantW := int64(naive.CountWindow(x, xHi, yLo, yHi))
+			if got := m.CountWindow(x, xHi, yLo, yHi); got != wantW {
+				t.Fatalf("n=%d CountWindow([%v,%v]x[%v,%v]) = %d, naive %d", n, x, xHi, yLo, yHi, got, wantW)
+			}
+		}
+	}
+}
+
+func TestReportsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const universe = 24
+	segs := randSegments(rng, 250, universe)
+	m := New(pam.Options{}).Build(segs)
+	naive := naiveseg.Build(toNaive(segs))
+	for q := 0; q < 300; q++ {
+		xLo := queryCoord(rng, universe)
+		xHi := xLo + float64(rng.Intn(8))
+		yLo := queryCoord(rng, universe)
+		yHi := yLo + float64(rng.Intn(8))
+		got := m.ReportWindow(xLo, xHi, yLo, yHi)
+		if !slices.IsSortedFunc(got, cmpSeg) {
+			t.Fatalf("ReportWindow output not in (y, xLo, xHi) order: %v", got)
+		}
+		want := fromNaive(naive.ReportWindow(xLo, xHi, yLo, yHi))
+		slices.SortFunc(got, cmpSeg)
+		slices.SortFunc(want, cmpSeg)
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportWindow([%v,%v]x[%v,%v]) = %v, naive %v", xLo, xHi, yLo, yHi, got, want)
+		}
+		if int64(len(got)) != m.CountWindow(xLo, xHi, yLo, yHi) {
+			t.Fatalf("report length %d disagrees with CountWindow", len(got))
+		}
+		line := m.ReportCrossing(xLo, yLo, yHi)
+		wantLine := fromNaive(naive.ReportCrossing(xLo, yLo, yHi))
+		slices.SortFunc(line, cmpSeg)
+		slices.SortFunc(wantLine, cmpSeg)
+		if !slices.Equal(line, wantLine) {
+			t.Fatalf("ReportCrossing(%v,[%v,%v]) = %v, naive %v", xLo, yLo, yHi, line, wantLine)
+		}
+	}
+}
+
+func TestMergeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSegments(rng, 150, 24)
+	b := randSegments(rng, 150, 24)
+	merged := New(pam.Options{}).Build(a).Merge(New(pam.Options{}).Build(b))
+	rebuilt := New(pam.Options{}).Build(append(append([]Segment{}, a...), b...))
+	if merged.Size() != rebuilt.Size() {
+		t.Fatalf("merged size %d != rebuilt size %d", merged.Size(), rebuilt.Size())
+	}
+	if !slices.Equal(merged.Segments(), rebuilt.Segments()) {
+		t.Fatal("merged segments differ from rebuilt")
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged map invalid: %v", err)
+	}
+	for q := 0; q < 100; q++ {
+		x, y := queryCoord(rng, 24), queryCoord(rng, 24)
+		if merged.CountCrossing(x, y-3, y+3) != rebuilt.CountCrossing(x, y-3, y+3) {
+			t.Fatalf("merged and rebuilt disagree at x=%v y=%v", x, y)
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := randSegments(rng, 200, 24)
+	m1 := New(pam.Options{}).Build(base)
+	naive1 := naiveseg.Build(toNaive(base))
+
+	// Record pre-merge answers, merge in more segments, and verify the
+	// old snapshot still answers from the old segment set.
+	type query struct{ x, yLo, yHi float64 }
+	queries := make([]query, 50)
+	before := make([]int64, len(queries))
+	for i := range queries {
+		q := query{queryCoord(rng, 24), queryCoord(rng, 24), queryCoord(rng, 24)}
+		if q.yHi < q.yLo {
+			q.yLo, q.yHi = q.yHi, q.yLo
+		}
+		queries[i] = q
+		before[i] = m1.CountCrossing(q.x, q.yLo, q.yHi)
+	}
+	m2 := m1.Merge(New(pam.Options{}).Build(randSegments(rng, 200, 24)))
+	for i, q := range queries {
+		if got := m1.CountCrossing(q.x, q.yLo, q.yHi); got != before[i] {
+			t.Fatalf("snapshot changed after Merge: query %d was %d, now %d", i, before[i], got)
+		}
+		if got := m1.CountCrossing(q.x, q.yLo, q.yHi); got != int64(naive1.CountCrossing(q.x, q.yLo, q.yHi)) {
+			t.Fatalf("snapshot no longer matches its own naive set")
+		}
+	}
+	if m2.Size() < m1.Size() {
+		t.Fatal("merge lost segments")
+	}
+	if err := m1.Validate(); err != nil {
+		t.Fatalf("snapshot invalid after merge: %v", err)
+	}
+}
+
+func TestValidateAndZeroValue(t *testing.T) {
+	var m Map // zero value must be usable
+	if !m.IsEmpty() || m.Size() != 0 {
+		t.Fatal("zero-value map should be empty")
+	}
+	if got := m.CountCrossing(1, 0, 10); got != 0 {
+		t.Fatalf("empty CountCrossing = %d", got)
+	}
+	if got := m.ReportLine(1); len(got) != 0 {
+		t.Fatalf("empty ReportLine = %v", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	m = m.Build(randSegments(rng, 500, 24))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built map invalid: %v", err)
+	}
+}
+
+func TestSchemesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	segs := randSegments(rng, 200, 24)
+	ref := New(pam.Options{}).Build(segs)
+	for _, sch := range []pam.Scheme{pam.AVL, pam.RedBlack, pam.Treap} {
+		m := New(pam.Options{Scheme: sch}).Build(segs)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("scheme %v: invalid: %v", sch, err)
+		}
+		for q := 0; q < 100; q++ {
+			x, y := queryCoord(rng, 24), queryCoord(rng, 24)
+			if m.CountCrossing(x, y-2, y+2) != ref.CountCrossing(x, y-2, y+2) {
+				t.Fatalf("scheme %v disagrees with weight-balanced at x=%v y=%v", sch, x, y)
+			}
+		}
+	}
+}
+
+// withSequential forces parallelism 1 so allocation counts are exact and
+// deterministic (the complexity tests below count allocations the way
+// internal/core/complexity_test.go counts comparisons).
+func withSequential(t *testing.T, f func()) {
+	t.Helper()
+	old := parallel.Parallelism()
+	parallel.SetParallelism(1)
+	defer parallel.SetParallelism(old)
+	f()
+}
+
+// disjointSegments builds n pairwise x-disjoint unit segments at
+// distinct heights, so any vertical line crosses at most one.
+func disjointSegments(n int) []Segment {
+	out := make([]Segment, n)
+	for i := range out {
+		out[i] = Segment{XLo: float64(2 * i), XHi: float64(2*i + 1), Y: float64(i)}
+	}
+	return out
+}
+
+// TestReportComplexity verifies the output-sensitivity bound the way
+// internal/core/complexity_test.go verifies work bounds, with heap
+// allocations standing in for comparisons: reporting k of n segments
+// must cost polylog(n) + O(k·log), far below the Θ(n) a scan pays, and
+// growing n at fixed k must not grow the cost linearly.
+func TestReportComplexity(t *testing.T) {
+	withSequential(t, func() {
+		const small, large = 1 << 13, 1 << 17
+		allocsAt := func(n int) float64 {
+			m := New(pam.Options{}).Build(disjointSegments(n))
+			x := float64(n) // crosses exactly segment n/2's span? no: line x=n lies in segment n/2 iff n even
+			return testing.AllocsPerRun(10, func() {
+				if len(m.ReportLine(x)) > 1 {
+					t.Fatal("disjoint segments: at most one crossing expected")
+				}
+			})
+		}
+		aSmall, aLarge := allocsAt(small), allocsAt(large)
+		// Far below linear: a scan (or an unpruned filter) allocates or
+		// touches Θ(n); the augmented report must stay polylogarithmic.
+		if aLarge > float64(large)/64 {
+			t.Fatalf("report on n=%d did %v allocations — near-linear work", large, aLarge)
+		}
+		// Growth check: n grew 16x; polylog cost must grow far slower.
+		if aLarge > 4*aSmall+64 {
+			t.Fatalf("report cost not output-sensitive: n 16x => allocs %v -> %v", aSmall, aLarge)
+		}
+	})
+}
+
+// TestCountComplexity: the O(log^2 n) count query, same methodology.
+func TestCountComplexity(t *testing.T) {
+	withSequential(t, func() {
+		const small, large = 1 << 13, 1 << 17
+		allocsAt := func(n int) float64 {
+			m := New(pam.Options{}).Build(disjointSegments(n))
+			x := float64(n)
+			return testing.AllocsPerRun(10, func() {
+				m.CountCrossing(x, 0, float64(n))
+			})
+		}
+		aSmall, aLarge := allocsAt(small), allocsAt(large)
+		if aLarge > float64(large)/64 {
+			t.Fatalf("count on n=%d did %v allocations — near-linear work", large, aLarge)
+		}
+		if aLarge > 4*aSmall+64 {
+			t.Fatalf("count cost not polylogarithmic: n 16x => allocs %v -> %v", aSmall, aLarge)
+		}
+	})
+}
+
+// TestReportScalesWithOutput: at fixed n, reporting k results costs
+// roughly proportional to k, not n.
+func TestReportScalesWithOutput(t *testing.T) {
+	withSequential(t, func() {
+		const n = 1 << 15
+		segs := disjointSegments(n)
+		// Add wide segments all crossing x = -10 (nothing else does).
+		const kBig = 1 << 10
+		for i := 0; i < kBig; i++ {
+			segs = append(segs, Segment{XLo: -20, XHi: -5, Y: float64(i)})
+		}
+		m := New(pam.Options{}).Build(segs)
+		allocsFor := func(k int) float64 {
+			return testing.AllocsPerRun(10, func() {
+				got := m.ReportCrossing(-10, 0, float64(k-1))
+				if len(got) != k {
+					t.Fatalf("expected %d results, got %d", k, len(got))
+				}
+			})
+		}
+		aSmall := allocsFor(16)
+		aBig := allocsFor(kBig)
+		if aSmall*8 > aBig {
+			t.Fatalf("k=16 report (%v allocs) not far cheaper than k=%d report (%v allocs)", aSmall, kBig, aBig)
+		}
+		if aBig > float64(n)/4 {
+			t.Fatalf("k=%d report did %v allocations on n=%d — near-linear", kBig, aBig, n+kBig)
+		}
+	})
+}
+
+func FuzzSegQueries(f *testing.F) {
+	f.Add([]byte{0, 4, 1, 2, 3, 2, 8, 1, 5}, byte(3), byte(0), byte(9))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, byte(1), byte(1), byte(1))
+	f.Add([]byte{}, byte(0), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, qx, qy1, qy2 byte) {
+		var segs []Segment
+		for i := 0; i+2 < len(data) && len(segs) < 64; i += 3 {
+			lo := float64(data[i] % 16)
+			segs = append(segs, Segment{
+				XLo: lo,
+				XHi: lo + float64(data[i+1]%8),
+				Y:   float64(data[i+2] % 16),
+			})
+		}
+		m := New(pam.Options{}).Build(segs)
+		naive := naiveseg.Build(toNaive(segs))
+		x := float64(qx % 24)
+		yLo, yHi := float64(qy1%24), float64(qy2%24)
+		if yHi < yLo {
+			yLo, yHi = yHi, yLo
+		}
+		if got, want := m.CountCrossing(x, yLo, yHi), int64(naive.CountCrossing(x, yLo, yHi)); got != want {
+			t.Fatalf("CountCrossing(%v,[%v,%v]) = %d, naive %d (segs %v)", x, yLo, yHi, got, want, segs)
+		}
+		got := m.ReportWindow(x, x+2, yLo, yHi)
+		want := fromNaive(naive.ReportWindow(x, x+2, yLo, yHi))
+		slices.SortFunc(got, cmpSeg)
+		slices.SortFunc(want, cmpSeg)
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportWindow mismatch: %v vs naive %v (segs %v)", got, want, segs)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid map: %v (segs %v)", err, segs)
+		}
+	})
+}
+
+func TestInfiniteRangesAndCountLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	segs := randSegments(rng, 100, 24)
+	m := New(pam.Options{}).Build(segs)
+	naive := naiveseg.Build(toNaive(segs))
+	for q := 0; q < 50; q++ {
+		x := queryCoord(rng, 24)
+		want := int64(naive.CountCrossing(x, math.Inf(-1), math.Inf(1)))
+		if got := m.CountLine(x); got != want {
+			t.Fatalf("CountLine(%v) = %d, naive %d", x, got, want)
+		}
+		if got := int64(len(m.ReportLine(x))); got != want {
+			t.Fatalf("len(ReportLine(%v)) = %d, want %d", x, got, want)
+		}
+	}
+	if got := m.CountWindow(math.Inf(-1), math.Inf(1), math.Inf(-1), math.Inf(1)); got != m.Size() {
+		t.Fatalf("full-window count %d != size %d", got, m.Size())
+	}
+}

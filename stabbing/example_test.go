@@ -1,0 +1,27 @@
+package stabbing_test
+
+import (
+	"fmt"
+
+	"repro/pam"
+	"repro/stabbing"
+)
+
+// CountStab answers "how many rectangles contain the point (x, y)" in
+// O(log^2 n) by composing the interval-map idea in both dimensions;
+// ReportStab lists them output-sensitively.
+func ExampleMap_CountStab() {
+	m := stabbing.New(pam.Options{}).Build([]stabbing.Rect{
+		{XLo: 0, XHi: 4, YLo: 0, YHi: 4},
+		{XLo: 2, XHi: 6, YLo: 2, YHi: 6},
+		{XLo: 5, XHi: 9, YLo: 0, YHi: 1},
+	})
+
+	fmt.Println(m.CountStab(3, 3))
+	fmt.Println(m.Stabbed(8, 0.5))
+	fmt.Println(m.ReportStab(2, 2))
+	// Output:
+	// 2
+	// true
+	// [{0 4 0 4} {2 6 2 6}]
+}

@@ -1,0 +1,318 @@
+// Package stabbing implements rectangle stabbing queries from the
+// follow-up paper "Parallel Range, Segment and Rectangle Queries with
+// Augmented Maps" (Sun & Blelloch, arXiv:1803.08621, §5): maintain a set
+// of closed axis-parallel rectangles and, for a query point (x, y),
+// count or report the rectangles containing it.
+//
+// Counting composes the §5.1 interval-map idea in both dimensions. A
+// rectangle [xl, xh] x [yl, yh] contains (x, y) iff its x-extent stabs x
+// and its y-extent stabs y, and since no rectangle can be simultaneously
+// entirely left and entirely right of x,
+//
+//	count(x, y) = #(xl <= x, y-extent stabs y) - #(xh < x, y-extent stabs y)
+//
+// Each term is a prefix sum over an endpoint-keyed augmented map — one
+// keyed by left x-endpoints ("opens"), one by right ("closes") — whose
+// augmented values are *nested y-interval count structures*: the
+// subtree's rectangles keyed by yl and by yh, combined by persistent
+// parallel union, so a nested structure answers "how many y-extents stab
+// y" as a rank difference in O(log n). AugProject folds the O(log n)
+// nested structures on the prefix without ever invoking the expensive
+// union Combine: O(log^2 n) per count query.
+//
+// Reporting uses a third map with the cheap interval-tree augmentation
+// alone — rectangles keyed by left x-endpoint, augmented with the
+// maximum right x-endpoint: an AugFilter keeps the rectangles whose
+// x-extent stabs x in output-sensitive time, and the y-extent check
+// filters the survivors. (The report path deliberately avoids splitting
+// the union-augmented endpoint maps: restricting those recombines nested
+// maps along the split path, which is not polylogarithmic.) With kx
+// rectangles stabbed in x alone, ReportStab costs
+// O(log n + kx log(n/kx + 1)).
+//
+// Rectangles are closed on all sides and behave as a set: exact
+// duplicates collapse. All maps are persistent — snapshots taken before
+// a Merge remain valid — and Build and Merge run in parallel.
+package stabbing
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/pam"
+)
+
+// Rect is a closed axis-parallel rectangle [XLo, XHi] x [YLo, YHi].
+type Rect struct {
+	XLo, XHi, YLo, YHi float64
+}
+
+// Contains reports whether the rectangle contains the point (x, y).
+func (r Rect) Contains(x, y float64) bool {
+	return r.XLo <= x && x <= r.XHi && r.YLo <= y && y <= r.YHi
+}
+
+// Key orders; ties break lexicographically on the remaining coordinates
+// so distinct rectangles compare distinct and ±Inf sentinels bound
+// exactly the prefixes the queries need.
+
+func lessXLo(a, b Rect) bool {
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	if a.XHi != b.XHi {
+		return a.XHi < b.XHi
+	}
+	if a.YLo != b.YLo {
+		return a.YLo < b.YLo
+	}
+	return a.YHi < b.YHi
+}
+
+func lessXHi(a, b Rect) bool {
+	if a.XHi != b.XHi {
+		return a.XHi < b.XHi
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	if a.YLo != b.YLo {
+		return a.YLo < b.YLo
+	}
+	return a.YHi < b.YHi
+}
+
+func lessYLo(a, b Rect) bool {
+	if a.YLo != b.YLo {
+		return a.YLo < b.YLo
+	}
+	if a.YHi != b.YHi {
+		return a.YHi < b.YHi
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.XHi < b.XHi
+}
+
+func lessYHi(a, b Rect) bool {
+	if a.YHi != b.YHi {
+		return a.YHi < b.YHi
+	}
+	if a.YLo != b.YLo {
+		return a.YLo < b.YLo
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.XHi < b.XHi
+}
+
+// yloKey / yhiKey order the nested count maps by (YLo, ...) and
+// (YHi, ...) with no augmentation; stab counting is a rank difference.
+type yloKey struct{}
+
+func (yloKey) Less(a, b Rect) bool                 { return lessYLo(a, b) }
+func (yloKey) Id() struct{}                        { return struct{}{} }
+func (yloKey) Base(Rect, struct{}) struct{}        { return struct{}{} }
+func (yloKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+type yhiKey struct{}
+
+func (yhiKey) Less(a, b Rect) bool                 { return lessYHi(a, b) }
+func (yhiKey) Id() struct{}                        { return struct{}{} }
+func (yhiKey) Base(Rect, struct{}) struct{}        { return struct{}{} }
+func (yhiKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+type yloMap = pam.AugMap[Rect, struct{}, struct{}, yloKey]
+type yhiMap = pam.AugMap[Rect, struct{}, struct{}, yhiKey]
+
+// ySet is the nested y-interval count structure: the subtree's
+// rectangles keyed by bottom edge and by top edge.
+type ySet struct {
+	byLo yloMap
+	byHi yhiMap
+}
+
+func (s ySet) union(o ySet) ySet {
+	return ySet{byLo: s.byLo.Union(o.byLo), byHi: s.byHi.Union(o.byHi)}
+}
+
+func singletonYSet(r Rect) ySet {
+	return ySet{byLo: yloMap{}.Insert(r, struct{}{}), byHi: yhiMap{}.Insert(r, struct{}{})}
+}
+
+// countStab counts rectangles whose y-extent contains y in O(log n):
+// those whose bottom edge is at or below y minus those whose top edge is
+// strictly below y (the two miss-sets are disjoint, so
+// inclusion-exclusion is exact).
+func (s ySet) countStab(y float64) int64 {
+	pos, neg := math.Inf(1), math.Inf(-1)
+	bottomAtOrBelow := s.byLo.Rank(Rect{YLo: y, YHi: pos, XLo: pos, XHi: pos}) // #(YLo <= y)
+	topBelow := s.byHi.Rank(Rect{YHi: y, YLo: neg, XLo: neg, XHi: neg})        // #(YHi < y)
+	return bottomAtOrBelow - topBelow
+}
+
+// opensEntry: rectangles keyed by left x-endpoint with the nested
+// y-interval count structure.
+type opensEntry struct{}
+
+func (opensEntry) Less(a, b Rect) bool { return lessXLo(a, b) }
+func (opensEntry) Id() ySet            { return ySet{} }
+func (opensEntry) Base(r Rect, _ struct{}) ySet {
+	return singletonYSet(r)
+}
+func (opensEntry) Combine(x, y ySet) ySet { return x.union(y) }
+
+// reportEntry: rectangles keyed by left x-endpoint, augmented with the
+// maximum right x-endpoint (the §5.1 interval-map augmentation) for
+// output-sensitive stabbing reports.
+type reportEntry struct{}
+
+func (reportEntry) Less(a, b Rect) bool             { return lessXLo(a, b) }
+func (reportEntry) Id() float64                     { return math.Inf(-1) }
+func (reportEntry) Base(r Rect, _ struct{}) float64 { return r.XHi }
+func (reportEntry) Combine(x, y float64) float64    { return max(x, y) }
+
+// closesEntry: rectangles keyed by right x-endpoint with the nested
+// y-interval count structure.
+type closesEntry struct{}
+
+func (closesEntry) Less(a, b Rect) bool { return lessXHi(a, b) }
+func (closesEntry) Id() ySet            { return ySet{} }
+func (closesEntry) Base(r Rect, _ struct{}) ySet {
+	return singletonYSet(r)
+}
+func (closesEntry) Combine(x, y ySet) ySet { return x.union(y) }
+
+type opensMap = pam.AugMap[Rect, struct{}, ySet, opensEntry]
+type closesMap = pam.AugMap[Rect, struct{}, ySet, closesEntry]
+type reportMap = pam.AugMap[Rect, struct{}, float64, reportEntry]
+
+// Map is a persistent rectangle-stabbing structure. The zero value is
+// empty and usable. As with rangetree, the union-valued augmentations
+// make single-rectangle updates linear in the worst case, so the
+// structure is built in bulk (Build) and composed with Merge; all
+// versions persist.
+type Map struct {
+	opens  opensMap
+	closes closesMap
+	report reportMap
+}
+
+// New returns an empty rectangle map with the given options.
+func New(opts pam.Options) Map {
+	return Map{
+		opens:  pam.NewAugMap[Rect, struct{}, ySet, opensEntry](opts),
+		closes: pam.NewAugMap[Rect, struct{}, ySet, closesEntry](opts),
+		report: pam.NewAugMap[Rect, struct{}, float64, reportEntry](opts),
+	}
+}
+
+// Build returns a map (with m's options) over the given rectangles
+// (duplicates collapse). O(n log^2 n) work, polylogarithmic span; the
+// three constituent maps build in parallel.
+func (m Map) Build(rects []Rect) Map {
+	items := make([]pam.KV[Rect, struct{}], len(rects))
+	for i, r := range rects {
+		items[i] = pam.KV[Rect, struct{}]{Key: r}
+	}
+	var out Map
+	parallel.Do3(
+		func() { out.opens = m.opens.Build(items, nil) },
+		func() { out.closes = m.closes.Build(items, nil) },
+		func() { out.report = m.report.Build(items, nil) },
+	)
+	return out
+}
+
+// Merge returns the union of two rectangle maps (parallel, persistent).
+func (m Map) Merge(other Map) Map {
+	var out Map
+	parallel.Do3(
+		func() { out.opens = m.opens.Union(other.opens) },
+		func() { out.closes = m.closes.Union(other.closes) },
+		func() { out.report = m.report.Union(other.report) },
+	)
+	return out
+}
+
+// Size returns the number of distinct rectangles.
+func (m Map) Size() int64 { return m.opens.Size() }
+
+// IsEmpty reports whether the map is empty.
+func (m Map) IsEmpty() bool { return m.opens.IsEmpty() }
+
+// CountStab returns the number of rectangles containing (x, y):
+// AugProject prefix sums over the opens and closes endpoint maps,
+// stabbing each covered nested y-interval structure. O(log^2 n).
+func (m Map) CountStab(x, y float64) int64 {
+	neg := math.Inf(-1)
+	add := func(a, b int64) int64 { return a + b }
+	opened := pam.AugProject(m.opens,
+		Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg},
+		Rect{XLo: x, XHi: math.Inf(1), YLo: math.Inf(1), YHi: math.Inf(1)},
+		func(s ySet) int64 { return s.countStab(y) },
+		add, 0)
+	closed := pam.AugProject(m.closes,
+		Rect{XHi: neg, XLo: neg, YLo: neg, YHi: neg},
+		Rect{XHi: x, XLo: neg, YLo: neg, YHi: neg},
+		func(s ySet) int64 { return s.countStab(y) },
+		add, 0)
+	return opened - closed
+}
+
+// Stabbed reports whether any rectangle contains (x, y).
+func (m Map) Stabbed(x, y float64) bool { return m.CountStab(x, y) > 0 }
+
+// ReportStab returns the rectangles containing (x, y), in
+// (xLo, xHi, yLo, yHi) order: candidates opening at or before x, pruned
+// by the max-right-endpoint augmentation to those whose x-extent reaches
+// x, then filtered on the y-extent. O(log n + kx log(n/kx + 1)) for kx
+// rectangles stabbed in x alone.
+func (m Map) ReportStab(x, y float64) []Rect {
+	pos := math.Inf(1)
+	candidates := m.report.UpTo(Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos})
+	hits := candidates.AugFilter(func(maxXHi float64) bool { return maxXHi >= x })
+	var out []Rect
+	hits.ForEach(func(r Rect, _ struct{}) bool {
+		if r.YLo <= y && y <= r.YHi {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Rects materializes all rectangles in (xLo, xHi, yLo, yHi) order.
+func (m Map) Rects() []Rect { return m.opens.Keys() }
+
+// Validate checks the structural invariants of both constituent trees,
+// including that every node's nested maps hold exactly the subtree's
+// rectangles (for tests). O(n log n).
+func (m Map) Validate() error {
+	sameKeys := func(a, b []Rect) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	ysEq := func(a, b ySet) bool {
+		if a.byLo.Size() != b.byLo.Size() {
+			return false
+		}
+		return sameKeys(a.byLo.Keys(), b.byLo.Keys()) && sameKeys(a.byHi.Keys(), b.byHi.Keys())
+	}
+	if err := m.opens.Validate(ysEq); err != nil {
+		return err
+	}
+	if err := m.closes.Validate(ysEq); err != nil {
+		return err
+	}
+	return m.report.Validate(func(a, b float64) bool { return a == b })
+}

@@ -1,0 +1,334 @@
+package stabbing
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/baseline/naiverect"
+	"repro/internal/parallel"
+	"repro/pam"
+)
+
+func cmpRect(a, b Rect) int {
+	for _, p := range [][2]float64{{a.XLo, b.XLo}, {a.XHi, b.XHi}, {a.YLo, b.YLo}, {a.YHi, b.YHi}} {
+		if p[0] < p[1] {
+			return -1
+		}
+		if p[0] > p[1] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// randRects draws coordinates from a small integer universe so touching
+// edges, shared corners, and exact duplicates all occur.
+func randRects(rng *rand.Rand, n int, universe int) []Rect {
+	out := make([]Rect, n)
+	for i := range out {
+		xlo := float64(rng.Intn(universe))
+		ylo := float64(rng.Intn(universe))
+		out[i] = Rect{
+			XLo: xlo, XHi: xlo + float64(rng.Intn(universe/3)),
+			YLo: ylo, YHi: ylo + float64(rng.Intn(universe/3)),
+		}
+	}
+	return out
+}
+
+func toNaive(rects []Rect) []naiverect.Rect {
+	out := make([]naiverect.Rect, len(rects))
+	for i, r := range rects {
+		out[i] = naiverect.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	return out
+}
+
+func fromNaive(rects []naiverect.Rect) []Rect {
+	out := make([]Rect, len(rects))
+	for i, r := range rects {
+		out[i] = Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	return out
+}
+
+func queryCoord(rng *rand.Rand, universe int) float64 {
+	c := float64(rng.Intn(universe + 2))
+	if rng.Intn(2) == 0 {
+		c += 0.5
+	}
+	return c
+}
+
+func TestCountStabMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const universe = 24
+	for _, n := range []int{0, 1, 7, 300} {
+		rects := randRects(rng, n, universe)
+		m := New(pam.Options{}).Build(rects)
+		naive := naiverect.Build(toNaive(rects))
+		if m.Size() != int64(naive.Size()) {
+			t.Fatalf("n=%d: Size = %d, naive %d", n, m.Size(), naive.Size())
+		}
+		for q := 0; q < 600; q++ {
+			x, y := queryCoord(rng, universe), queryCoord(rng, universe)
+			want := int64(naive.CountStab(x, y))
+			if got := m.CountStab(x, y); got != want {
+				t.Fatalf("n=%d CountStab(%v,%v) = %d, naive %d", n, x, y, got, want)
+			}
+			if got := m.Stabbed(x, y); got != (want > 0) {
+				t.Fatalf("n=%d Stabbed(%v,%v) = %v, want %v", n, x, y, got, want > 0)
+			}
+		}
+	}
+}
+
+func TestReportStabMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const universe = 24
+	rects := randRects(rng, 250, universe)
+	m := New(pam.Options{}).Build(rects)
+	naive := naiverect.Build(toNaive(rects))
+	for q := 0; q < 400; q++ {
+		x, y := queryCoord(rng, universe), queryCoord(rng, universe)
+		got := m.ReportStab(x, y)
+		want := fromNaive(naive.ReportStab(x, y))
+		slices.SortFunc(got, cmpRect)
+		slices.SortFunc(want, cmpRect)
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportStab(%v,%v) = %v, naive %v", x, y, got, want)
+		}
+		if int64(len(got)) != m.CountStab(x, y) {
+			t.Fatalf("report length %d disagrees with CountStab %d", len(got), m.CountStab(x, y))
+		}
+	}
+}
+
+func TestMergeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randRects(rng, 150, 24)
+	b := randRects(rng, 150, 24)
+	merged := New(pam.Options{}).Build(a).Merge(New(pam.Options{}).Build(b))
+	rebuilt := New(pam.Options{}).Build(append(append([]Rect{}, a...), b...))
+	if merged.Size() != rebuilt.Size() {
+		t.Fatalf("merged size %d != rebuilt size %d", merged.Size(), rebuilt.Size())
+	}
+	if !slices.Equal(merged.Rects(), rebuilt.Rects()) {
+		t.Fatal("merged rectangles differ from rebuilt")
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged map invalid: %v", err)
+	}
+	for q := 0; q < 100; q++ {
+		x, y := queryCoord(rng, 24), queryCoord(rng, 24)
+		if merged.CountStab(x, y) != rebuilt.CountStab(x, y) {
+			t.Fatalf("merged and rebuilt disagree at (%v,%v)", x, y)
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := randRects(rng, 200, 24)
+	m1 := New(pam.Options{}).Build(base)
+	naive1 := naiverect.Build(toNaive(base))
+
+	type query struct{ x, y float64 }
+	queries := make([]query, 50)
+	before := make([]int64, len(queries))
+	for i := range queries {
+		queries[i] = query{queryCoord(rng, 24), queryCoord(rng, 24)}
+		before[i] = m1.CountStab(queries[i].x, queries[i].y)
+	}
+	m2 := m1.Merge(New(pam.Options{}).Build(randRects(rng, 200, 24)))
+	for i, q := range queries {
+		if got := m1.CountStab(q.x, q.y); got != before[i] {
+			t.Fatalf("snapshot changed after Merge: query %d was %d, now %d", i, before[i], got)
+		}
+		if got := m1.CountStab(q.x, q.y); got != int64(naive1.CountStab(q.x, q.y)) {
+			t.Fatal("snapshot no longer matches its own naive set")
+		}
+	}
+	if m2.Size() < m1.Size() {
+		t.Fatal("merge lost rectangles")
+	}
+	if err := m1.Validate(); err != nil {
+		t.Fatalf("snapshot invalid after merge: %v", err)
+	}
+}
+
+func TestValidateAndZeroValue(t *testing.T) {
+	var m Map // zero value must be usable
+	if !m.IsEmpty() || m.Size() != 0 {
+		t.Fatal("zero-value map should be empty")
+	}
+	if got := m.CountStab(1, 1); got != 0 {
+		t.Fatalf("empty CountStab = %d", got)
+	}
+	if got := m.ReportStab(1, 1); len(got) != 0 {
+		t.Fatalf("empty ReportStab = %v", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	m = m.Build(randRects(rng, 500, 24))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built map invalid: %v", err)
+	}
+}
+
+func TestSchemesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rects := randRects(rng, 200, 24)
+	ref := New(pam.Options{}).Build(rects)
+	for _, sch := range []pam.Scheme{pam.AVL, pam.RedBlack, pam.Treap} {
+		m := New(pam.Options{Scheme: sch}).Build(rects)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("scheme %v: invalid: %v", sch, err)
+		}
+		for q := 0; q < 100; q++ {
+			x, y := queryCoord(rng, 24), queryCoord(rng, 24)
+			if m.CountStab(x, y) != ref.CountStab(x, y) {
+				t.Fatalf("scheme %v disagrees with weight-balanced at (%v,%v)", sch, x, y)
+			}
+		}
+	}
+}
+
+// withSequential forces parallelism 1 so allocation counts are exact and
+// deterministic (the complexity tests below count allocations the way
+// internal/core/complexity_test.go counts comparisons).
+func withSequential(t *testing.T, f func()) {
+	t.Helper()
+	old := parallel.Parallelism()
+	parallel.SetParallelism(1)
+	defer parallel.SetParallelism(old)
+	f()
+}
+
+// disjointRects builds n pairwise x-disjoint unit squares climbing in y,
+// so any point is contained in at most one.
+func disjointRects(n int) []Rect {
+	out := make([]Rect, n)
+	for i := range out {
+		out[i] = Rect{
+			XLo: float64(2 * i), XHi: float64(2*i + 1),
+			YLo: float64(i), YHi: float64(i + 1),
+		}
+	}
+	return out
+}
+
+// TestReportComplexity verifies output-sensitivity the way
+// internal/core/complexity_test.go verifies work bounds, with heap
+// allocations standing in for comparisons: stabbing k of n rectangles
+// must cost polylog(n) + O(k·log), far below the Θ(n) a scan pays.
+func TestReportComplexity(t *testing.T) {
+	withSequential(t, func() {
+		const small, large = 1 << 13, 1 << 17
+		allocsAt := func(n int) float64 {
+			m := New(pam.Options{}).Build(disjointRects(n))
+			x, y := float64(n), float64(n)/2
+			return testing.AllocsPerRun(10, func() {
+				if len(m.ReportStab(x, y)) > 1 {
+					t.Fatal("disjoint rects: at most one hit expected")
+				}
+			})
+		}
+		aSmall, aLarge := allocsAt(small), allocsAt(large)
+		if aLarge > float64(large)/64 {
+			t.Fatalf("report on n=%d did %v allocations — near-linear work", large, aLarge)
+		}
+		if aLarge > 4*aSmall+64 {
+			t.Fatalf("report cost not output-sensitive: n 16x => allocs %v -> %v", aSmall, aLarge)
+		}
+	})
+}
+
+// TestCountComplexity: the O(log^2 n) count query, same methodology.
+func TestCountComplexity(t *testing.T) {
+	withSequential(t, func() {
+		const small, large = 1 << 13, 1 << 17
+		allocsAt := func(n int) float64 {
+			m := New(pam.Options{}).Build(disjointRects(n))
+			x, y := float64(n), float64(n)/2
+			return testing.AllocsPerRun(10, func() {
+				m.CountStab(x, y)
+			})
+		}
+		aSmall, aLarge := allocsAt(small), allocsAt(large)
+		if aLarge > float64(large)/64 {
+			t.Fatalf("count on n=%d did %v allocations — near-linear work", large, aLarge)
+		}
+		if aLarge > 4*aSmall+64 {
+			t.Fatalf("count cost not polylogarithmic: n 16x => allocs %v -> %v", aSmall, aLarge)
+		}
+	})
+}
+
+// TestReportScalesWithOutput: at fixed n, reporting k results costs
+// roughly proportional to k, not n. ReportStab's bound is stated in kx
+// (rectangles stabbed in x alone), so the two query sites are built to
+// have kx = 16 and kx = kBig respectively.
+func TestReportScalesWithOutput(t *testing.T) {
+	withSequential(t, func() {
+		const n = 1 << 15
+		const kBig = 1 << 10
+		rects := disjointRects(n)
+		for i := 0; i < 16; i++ {
+			rects = append(rects, Rect{XLo: -20, XHi: -5, YLo: float64(-i), YHi: float64(i)})
+		}
+		for i := 0; i < kBig; i++ {
+			rects = append(rects, Rect{XLo: -50, XHi: -35, YLo: float64(-i), YHi: float64(i)})
+		}
+		m := New(pam.Options{}).Build(rects)
+		allocsFor := func(x float64, k int) float64 {
+			return testing.AllocsPerRun(10, func() {
+				got := m.ReportStab(x, 0)
+				if len(got) != k {
+					t.Fatalf("expected %d results at x=%v, got %d", k, x, len(got))
+				}
+			})
+		}
+		aSmall := allocsFor(-10, 16) // the [-20,-5] cluster only
+		aBig := allocsFor(-40, kBig) // the [-50,-35] cluster only
+		if aSmall*8 > aBig {
+			t.Fatalf("kx=16 report (%v allocs) not far cheaper than kx=%d report (%v allocs)", aSmall, kBig, aBig)
+		}
+		if aBig > float64(n)/4 {
+			t.Fatalf("kx=%d report did %v allocations on n=%d — near-linear", kBig, aBig, n+kBig+16)
+		}
+	})
+}
+
+func FuzzRectQueries(f *testing.F) {
+	f.Add([]byte{0, 4, 1, 2, 3, 2, 8, 1}, byte(3), byte(2))
+	f.Add([]byte{1, 1, 1, 1}, byte(1), byte(1))
+	f.Add([]byte{}, byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, qx, qy byte) {
+		var rects []Rect
+		for i := 0; i+3 < len(data) && len(rects) < 64; i += 4 {
+			xlo := float64(data[i] % 16)
+			ylo := float64(data[i+2] % 16)
+			rects = append(rects, Rect{
+				XLo: xlo, XHi: xlo + float64(data[i+1]%8),
+				YLo: ylo, YHi: ylo + float64(data[i+3]%8),
+			})
+		}
+		m := New(pam.Options{}).Build(rects)
+		naive := naiverect.Build(toNaive(rects))
+		x, y := float64(qx%24), float64(qy%24)
+		if got, want := m.CountStab(x, y), int64(naive.CountStab(x, y)); got != want {
+			t.Fatalf("CountStab(%v,%v) = %d, naive %d (rects %v)", x, y, got, want, rects)
+		}
+		got := m.ReportStab(x, y)
+		want := fromNaive(naive.ReportStab(x, y))
+		slices.SortFunc(got, cmpRect)
+		slices.SortFunc(want, cmpRect)
+		if !slices.Equal(got, want) {
+			t.Fatalf("ReportStab mismatch: %v vs naive %v (rects %v)", got, want, rects)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid map: %v (rects %v)", err, rects)
+		}
+	})
+}
