@@ -1,6 +1,8 @@
-# Development targets; `make ci` is what a CI pipeline should run.
+# Development targets; `make ci` is what a CI pipeline should run
+# (.github/workflows/ci.yml does exactly that, plus a fuzz smoke job).
 
 GO ?= go
+FUZZTIME ?= 10s
 
 .PHONY: all build test vet race bench fuzz ci
 
@@ -15,17 +17,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the concurrency-heavy packages.
+# Race-detector pass over the concurrency-heavy packages plus the
+# dynamic-structure snapshot stress test (concurrent readers vs. an
+# inserting/folding writer).
 race:
 	$(GO) test -race ./internal/core ./internal/parallel
+	$(GO) test -race -run 'TestDynamicConcurrent' .
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Short exploratory fuzz burst over every fuzz target.
+# Short exploratory fuzz burst over every fuzz target (each already
+# runs its seed corpus under plain `go test`).
 fuzz:
-	$(GO) test -fuzz=FuzzTreeOps -fuzztime=10s ./internal/core
-	$(GO) test -fuzz=FuzzSegQueries -fuzztime=10s ./segcount
-	$(GO) test -fuzz=FuzzRectQueries -fuzztime=10s ./stabbing
+	$(GO) test -fuzz=FuzzTreeOps -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzSegQueries -fuzztime=$(FUZZTIME) ./segcount
+	$(GO) test -fuzz=FuzzRectQueries -fuzztime=$(FUZZTIME) ./stabbing
+	$(GO) test -fuzz=FuzzDynamicRangeTree -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzDynamicSegCount -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzDynamicStabbing -fuzztime=$(FUZZTIME) -run '^$$' .
 
 ci: vet build test race

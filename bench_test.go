@@ -692,3 +692,86 @@ func BenchmarkSegRect_StabCountNaive(b *testing.B) {
 		_ = set.CountStab(x, x)
 	}
 }
+
+// ------------------------------------------------- Dynamic updates
+
+// Update-throughput benchmarks for the dynamic (bulk-rebuild-amortized)
+// nested-augmentation structures: persistent single-element Insert into
+// a pre-built structure, folds included, so the reported ns/op is the
+// amortized cost the complexity test bounds. The ByRebuild variant is
+// the naive alternative — a full rebuild per update — that the layering
+// exists to beat.
+
+func BenchmarkDynamic_RangeTreeInsert(b *testing.B) {
+	n := benchN / 10
+	t := rangetree.New(pam.Options{}).Build(benchPoints(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Insert(rangetree.Point{X: float64(i%n) + 0.25, Y: float64(i / n)}, 1)
+	}
+}
+
+func BenchmarkDynamic_RangeTreeDeleteInsert(b *testing.B) {
+	// One delete + one re-insert of the same point per iteration, so
+	// the tree stays at size n and every delete hits a live point
+	// (deleting into an emptied tree would be a no-op).
+	n := benchN / 10
+	pts := benchPoints(n)
+	t := rangetree.New(pam.Options{}).Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%n]
+		t = t.Delete(p.Point)
+		t = t.Insert(p.Point, p.W)
+	}
+}
+
+func BenchmarkDynamic_RangeTreeInsertByRebuild(b *testing.B) {
+	// The linear baseline at a tenth of the scale: one seqrangetree
+	// rebuild per insert.
+	raw := workload.Points(12, benchN/100, float64(benchN/100), 100)
+	pts := make([]seqrangetree.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = seqrangetree.Point{X: p.X, Y: p.Y, W: p.W}
+	}
+	t := seqrangetree.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Insert(seqrangetree.Point{X: float64(i), Y: float64(i), W: 1})
+	}
+}
+
+func BenchmarkDynamic_SegCountInsert(b *testing.B) {
+	n := benchN / 10
+	m := segcount.New(pam.Options{}).Build(benchSegments(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i%n) + 0.25
+		m = m.Insert(segcount.Segment{XLo: x, XHi: x + 50, Y: float64(i / n)})
+	}
+}
+
+func BenchmarkDynamic_StabbingInsert(b *testing.B) {
+	n := benchN / 10
+	m := stabbing.New(pam.Options{}).Build(benchRects(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i%n) + 0.25
+		m = m.Insert(stabbing.Rect{XLo: x, XHi: x + 20, YLo: x, YHi: x + 20})
+	}
+}
+
+func BenchmarkDynamic_SegCountQueryWhileBuffered(b *testing.B) {
+	// Query cost with a part-full update buffer: the layered read path.
+	n := benchN / 10
+	m := segcount.New(pam.Options{}).Build(benchSegments(n))
+	for i := 0; i < n/20; i++ {
+		x := float64(i) + 0.25
+		m = m.Insert(segcount.Segment{XLo: x, XHi: x + 50, Y: float64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64(i % n)
+		_ = m.CountCrossing(x, x, x+100)
+	}
+}

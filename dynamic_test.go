@@ -1,0 +1,640 @@
+// The shared differential op-sequence harness for the dynamic
+// nested-augmentation structures: random interleaved
+// Insert/Delete/Query/Merge/Snapshot sequences (internal/workload.Ops)
+// are applied in lockstep to rangetree, segcount, and stabbing and to
+// their naive baselines, and every query — including re-queries of old
+// snapshots taken before later updates — must agree exactly. The same
+// drivers back the FuzzDynamic* targets (fuzzer bytes decode to op
+// sequences), an allocation-based amortized-complexity check, and a
+// concurrent snapshot-reader stress test for `go test -race`.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline/naiverect"
+	"repro/internal/baseline/naiveseg"
+	"repro/internal/baseline/seqrangetree"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+	"repro/pam"
+	"repro/rangetree"
+	"repro/segcount"
+	"repro/stabbing"
+)
+
+// dynUniverse is the coordinate grid: small, so random inserts collide,
+// random deletes hit live elements, and random queries graze boundaries.
+const dynUniverse = 12
+
+// dynGrid snaps a unit coordinate onto the integer grid.
+func dynGrid(u float64) float64 { return math.Floor(u * dynUniverse) }
+
+// dynQ maps a unit coordinate onto half-integers, so query boundaries
+// land both exactly on element coordinates and strictly between them.
+func dynQ(u float64) float64 { return math.Floor(u*dynUniverse*2) / 2 }
+
+// dynDiff runs one structure/baseline pair through an op sequence.
+// apply handles OpInsert/OpDelete/OpMerge and returns the new pair;
+// check runs the op-derived queries on both and fails on any mismatch.
+// Both must be persistent: run re-queries old snapshots after later
+// updates and expects frozen answers.
+type dynDiff[S any] struct {
+	apply func(S, workload.Op) S
+	check func(t *testing.T, s S, op workload.Op, label string)
+}
+
+func (d dynDiff[S]) run(t *testing.T, s S, ops []workload.Op) {
+	t.Helper()
+	type snap struct {
+		s    S
+		step int
+	}
+	var snaps []snap
+	for i, op := range ops {
+		switch op.Kind {
+		case workload.OpQuery:
+			d.check(t, s, op, fmt.Sprintf("step %d", i))
+		case workload.OpSnapshot:
+			snaps = append(snaps, snap{s, i})
+		default:
+			s = d.apply(s, op)
+			if len(snaps) > 0 {
+				// An old snapshot must answer the op's query from its
+				// frozen contents, updates and folds notwithstanding.
+				sn := snaps[i%len(snaps)]
+				d.check(t, sn.s, op, fmt.Sprintf("snapshot@%d re-queried after step %d", sn.step, i))
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	for _, sn := range snaps {
+		d.check(t, sn.s, ops[sn.step], fmt.Sprintf("snapshot@%d at end", sn.step))
+	}
+}
+
+// ---- rangetree vs seqrangetree -------------------------------------
+
+type dynRT struct {
+	tr   rangetree.Tree
+	base *seqrangetree.Tree
+}
+
+func dynRTFresh() dynRT {
+	return dynRT{tr: rangetree.New(pam.Options{}), base: seqrangetree.Build(nil)}
+}
+
+func dynRTPoint(op workload.Op) rangetree.Point {
+	return rangetree.Point{X: dynGrid(op.A), Y: dynGrid(op.B)}
+}
+
+// dynRTAggregate collapses the duplicate-keeping baseline report into
+// rangetree's distinct-point form: weights of identical points add.
+func dynRTAggregate(pts []seqrangetree.Point) []rangetree.Weighted {
+	sums := make(map[rangetree.Point]int64, len(pts))
+	for _, p := range pts {
+		sums[rangetree.Point{X: p.X, Y: p.Y}] += p.W
+	}
+	out := make([]rangetree.Weighted, 0, len(sums))
+	for p, w := range sums {
+		out = append(out, rangetree.Weighted{Point: p, W: w})
+	}
+	slices.SortFunc(out, func(a, b rangetree.Weighted) int {
+		switch {
+		case a.X != b.X && a.X < b.X:
+			return -1
+		case a.X != b.X:
+			return 1
+		case a.Y < b.Y:
+			return -1
+		case a.Y > b.Y:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}
+
+func dynRTApply(s dynRT, op workload.Op) dynRT {
+	switch op.Kind {
+	case workload.OpInsert:
+		p := dynRTPoint(op)
+		s.tr = s.tr.Insert(p, op.W)
+		s.base = s.base.Insert(seqrangetree.Point{X: p.X, Y: p.Y, W: op.W})
+	case workload.OpDelete:
+		p := dynRTPoint(op)
+		s.tr = s.tr.Delete(p)
+		s.base = s.base.Delete(p.X, p.Y)
+	case workload.OpMerge:
+		n := 1 + int(op.C*6)
+		raw := workload.Points(uint64(op.A*1e9), n, 1, 9)
+		batch := make([]rangetree.Weighted, n)
+		basePts := s.base.Points()
+		for i, p := range raw {
+			w := rangetree.Weighted{
+				Point: rangetree.Point{X: dynGrid(p.X), Y: dynGrid(p.Y)},
+				W:     p.W + 1,
+			}
+			batch[i] = w
+			basePts = append(basePts, seqrangetree.Point{X: w.X, Y: w.Y, W: w.W})
+		}
+		s.tr = s.tr.Merge(rangetree.New(pam.Options{}).Build(batch))
+		s.base = seqrangetree.Build(basePts)
+	}
+	return s
+}
+
+func dynRTCheck(t *testing.T, s dynRT, op workload.Op, label string) {
+	t.Helper()
+	xa, xb := dynQ(op.A), dynQ(op.B)
+	ya, yb := dynQ(op.C), dynQ(op.D)
+	r := rangetree.Rect{XLo: min(xa, xb), XHi: max(xa, xb), YLo: min(ya, yb), YHi: max(ya, yb)}
+	want := dynRTAggregate(s.base.ReportAll(r.XLo, r.XHi, r.YLo, r.YHi))
+	var wantSum int64
+	for _, p := range want {
+		wantSum += p.W
+	}
+	if got := s.tr.QuerySum(r); got != wantSum {
+		t.Errorf("%s: QuerySum(%+v) = %d, baseline %d", label, r, got, wantSum)
+		return
+	}
+	if got := s.tr.QueryCount(r); got != int64(len(want)) {
+		t.Errorf("%s: QueryCount(%+v) = %d, baseline %d", label, r, got, len(want))
+		return
+	}
+	if got := s.tr.ReportAll(r); !slices.Equal(got, want) {
+		t.Errorf("%s: ReportAll(%+v) = %v, baseline %v", label, r, got, want)
+		return
+	}
+	if op.W == 1 { // ~1 in 9 checks: the expensive full-structure assertions
+		full := dynRTAggregate(s.base.Points())
+		if got := s.tr.Size(); got != int64(len(full)) {
+			t.Errorf("%s: Size = %d, baseline %d", label, got, len(full))
+			return
+		}
+		if err := s.tr.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", label, err)
+		}
+	}
+}
+
+func dynRTDiff() dynDiff[dynRT] { return dynDiff[dynRT]{apply: dynRTApply, check: dynRTCheck} }
+
+// ---- segcount vs naiveseg ------------------------------------------
+
+type dynSC struct {
+	m    segcount.Map
+	base *naiveseg.Set
+}
+
+func dynSCFresh() dynSC {
+	return dynSC{m: segcount.New(pam.Options{}), base: naiveseg.Build(nil)}
+}
+
+func dynSCSeg(op workload.Op) segcount.Segment {
+	lo := dynGrid(op.A)
+	return segcount.Segment{XLo: lo, XHi: lo + math.Floor(op.B*5), Y: dynGrid(op.C)}
+}
+
+func dynSCApply(s dynSC, op workload.Op) dynSC {
+	switch op.Kind {
+	case workload.OpInsert:
+		seg := dynSCSeg(op)
+		s.m = s.m.Insert(seg)
+		s.base = s.base.Insert(naiveseg.Segment(seg))
+	case workload.OpDelete:
+		seg := dynSCSeg(op)
+		s.m = s.m.Delete(seg)
+		s.base = s.base.Delete(naiveseg.Segment(seg))
+	case workload.OpMerge:
+		n := 1 + int(op.C*6)
+		raw := workload.Segments(uint64(op.A*1e9), n, dynUniverse, 3)
+		batch := make([]segcount.Segment, n)
+		naive := make([]naiveseg.Segment, n)
+		for i, g := range raw {
+			seg := segcount.Segment{XLo: math.Floor(g.XLo), XHi: math.Floor(g.XHi), Y: math.Floor(g.Y)}
+			batch[i] = seg
+			naive[i] = naiveseg.Segment(seg)
+		}
+		s.m = s.m.Merge(segcount.New(pam.Options{}).Build(batch))
+		s.base = s.base.Merge(naiveseg.Build(naive))
+	}
+	return s
+}
+
+func dynSCCheck(t *testing.T, s dynSC, op workload.Op, label string) {
+	t.Helper()
+	x := dynQ(op.A)
+	xHi := x + math.Floor(op.B*5)
+	ya, yb := dynQ(op.C), dynQ(op.D)
+	yLo, yHi := min(ya, yb), max(ya, yb)
+	if got, want := s.m.CountCrossing(x, yLo, yHi), int64(s.base.CountCrossing(x, yLo, yHi)); got != want {
+		t.Errorf("%s: CountCrossing(%v,[%v,%v]) = %d, baseline %d", label, x, yLo, yHi, got, want)
+		return
+	}
+	if got, want := s.m.CountWindow(x, xHi, yLo, yHi), int64(s.base.CountWindow(x, xHi, yLo, yHi)); got != want {
+		t.Errorf("%s: CountWindow([%v,%v]x[%v,%v]) = %d, baseline %d", label, x, xHi, yLo, yHi, got, want)
+		return
+	}
+	got := s.m.ReportWindow(x, xHi, yLo, yHi)
+	want := make([]segcount.Segment, 0)
+	for _, g := range s.base.ReportWindow(x, xHi, yLo, yHi) {
+		want = append(want, segcount.Segment(g))
+	}
+	if !slices.Equal(got, want) { // both are in (y, xLo, xHi) order
+		t.Errorf("%s: ReportWindow([%v,%v]x[%v,%v]) = %v, baseline %v", label, x, xHi, yLo, yHi, got, want)
+		return
+	}
+	if op.W == 1 { // ~1 in 9 checks: the expensive full-structure assertions
+		if got, want := s.m.Size(), int64(s.base.Size()); got != want {
+			t.Errorf("%s: Size = %d, baseline %d", label, got, want)
+			return
+		}
+		segs := s.m.Segments()
+		base := s.base.Segments()
+		for i := range segs {
+			if segcount.Segment(base[i]) != segs[i] {
+				t.Errorf("%s: Segments()[%d] = %v, baseline %v", label, i, segs[i], base[i])
+				return
+			}
+		}
+		if err := s.m.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", label, err)
+		}
+	}
+}
+
+func dynSCDiff() dynDiff[dynSC] { return dynDiff[dynSC]{apply: dynSCApply, check: dynSCCheck} }
+
+// ---- stabbing vs naiverect -----------------------------------------
+
+type dynST struct {
+	m    stabbing.Map
+	base *naiverect.Set
+}
+
+func dynSTFresh() dynST {
+	return dynST{m: stabbing.New(pam.Options{}), base: naiverect.Build(nil)}
+}
+
+func dynSTRect(op workload.Op) stabbing.Rect {
+	xlo, ylo := dynGrid(op.A), dynGrid(op.B)
+	return stabbing.Rect{
+		XLo: xlo, XHi: xlo + math.Floor(op.C*5),
+		YLo: ylo, YHi: ylo + math.Floor(op.D*5),
+	}
+}
+
+func dynSTApply(s dynST, op workload.Op) dynST {
+	switch op.Kind {
+	case workload.OpInsert:
+		r := dynSTRect(op)
+		s.m = s.m.Insert(r)
+		s.base = s.base.Insert(naiverect.Rect(r))
+	case workload.OpDelete:
+		r := dynSTRect(op)
+		s.m = s.m.Delete(r)
+		s.base = s.base.Delete(naiverect.Rect(r))
+	case workload.OpMerge:
+		n := 1 + int(op.C*6)
+		raw := workload.Rects(uint64(op.A*1e9), n, dynUniverse, 3)
+		batch := make([]stabbing.Rect, n)
+		naive := make([]naiverect.Rect, n)
+		for i, g := range raw {
+			r := stabbing.Rect{
+				XLo: math.Floor(g.XLo), XHi: math.Floor(g.XHi),
+				YLo: math.Floor(g.YLo), YHi: math.Floor(g.YHi),
+			}
+			batch[i] = r
+			naive[i] = naiverect.Rect(r)
+		}
+		s.m = s.m.Merge(stabbing.New(pam.Options{}).Build(batch))
+		s.base = s.base.Merge(naiverect.Build(naive))
+	}
+	return s
+}
+
+func dynSTCheck(t *testing.T, s dynST, op workload.Op, label string) {
+	t.Helper()
+	x, y := dynQ(op.A), dynQ(op.B)
+	if got, want := s.m.CountStab(x, y), int64(s.base.CountStab(x, y)); got != want {
+		t.Errorf("%s: CountStab(%v,%v) = %d, baseline %d", label, x, y, got, want)
+		return
+	}
+	got := s.m.ReportStab(x, y)
+	want := make([]stabbing.Rect, 0)
+	for _, g := range s.base.ReportStab(x, y) {
+		want = append(want, stabbing.Rect(g))
+	}
+	if !slices.Equal(got, want) { // both are in (xLo, xHi, yLo, yHi) order
+		t.Errorf("%s: ReportStab(%v,%v) = %v, baseline %v", label, x, y, got, want)
+		return
+	}
+	if s.m.Stabbed(x, y) != (len(want) > 0) {
+		t.Errorf("%s: Stabbed(%v,%v) disagrees with report", label, x, y)
+		return
+	}
+	if op.W == 1 { // ~1 in 9 checks: the expensive full-structure assertions
+		if got, want := s.m.Size(), int64(s.base.Size()); got != want {
+			t.Errorf("%s: Size = %d, baseline %d", label, got, want)
+			return
+		}
+		rects := s.m.Rects()
+		base := s.base.Rects()
+		for i := range rects {
+			if stabbing.Rect(base[i]) != rects[i] {
+				t.Errorf("%s: Rects()[%d] = %v, baseline %v", label, i, rects[i], base[i])
+				return
+			}
+		}
+		if err := s.m.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", label, err)
+		}
+	}
+}
+
+func dynSTDiff() dynDiff[dynST] { return dynDiff[dynST]{apply: dynSTApply, check: dynSTCheck} }
+
+// ---- the differential op-sequence tests ----------------------------
+
+const dynOpCount = 1200 // interleaved ops per structure, > 1000
+
+func TestDynamicRangeTreeDifferential(t *testing.T) {
+	dynRTDiff().run(t, dynRTFresh(), workload.Ops(101, dynOpCount, workload.DefaultMix))
+}
+
+func TestDynamicSegCountDifferential(t *testing.T) {
+	dynSCDiff().run(t, dynSCFresh(), workload.Ops(202, dynOpCount, workload.DefaultMix))
+}
+
+func TestDynamicStabbingDifferential(t *testing.T) {
+	dynSTDiff().run(t, dynSTFresh(), workload.Ops(303, dynOpCount, workload.DefaultMix))
+}
+
+// TestDynamicUpdateHeavy skews the mix toward updates so the buffer
+// folds many times at many sizes, with no merges muddying attribution.
+func TestDynamicUpdateHeavy(t *testing.T) {
+	mix := workload.Mix{Insert: 12, Delete: 6, Query: 3, Snapshot: 1}
+	t.Run("rangetree", func(t *testing.T) {
+		dynRTDiff().run(t, dynRTFresh(), workload.Ops(404, dynOpCount, mix))
+	})
+	t.Run("segcount", func(t *testing.T) {
+		dynSCDiff().run(t, dynSCFresh(), workload.Ops(505, dynOpCount, mix))
+	})
+	t.Run("stabbing", func(t *testing.T) {
+		dynSTDiff().run(t, dynSTFresh(), workload.Ops(606, dynOpCount, mix))
+	})
+}
+
+// ---- fuzz targets ---------------------------------------------------
+
+// dynOpsFromBytes decodes fuzzer bytes into an op sequence: five bytes
+// per op — kind, then the four unit coordinates in 1/256 steps.
+func dynOpsFromBytes(data []byte) []workload.Op {
+	var ops []workload.Op
+	for i := 0; i+4 < len(data) && len(ops) < 80; i += 5 {
+		ops = append(ops, workload.Op{
+			Kind: workload.OpKind(data[i] % 5),
+			A:    float64(data[i+1]) / 256,
+			B:    float64(data[i+2]) / 256,
+			C:    float64(data[i+3]) / 256,
+			D:    float64(data[i+4]) / 256,
+			W:    int64(data[i]%7) + 1,
+		})
+	}
+	return ops
+}
+
+// dynFuzzSeeds covers every op kind (first byte mod 5 selects it):
+// insert/query bursts, delete-after-insert, a merge, and snapshots
+// re-queried after updates.
+func dynFuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{
+		0, 10, 20, 200, 40, // insert
+		2, 10, 60, 200, 80, // query
+	})
+	f.Add([]byte{
+		0, 128, 128, 128, 128, // insert
+		4, 0, 0, 0, 0, // snapshot
+		1, 128, 128, 128, 128, // delete the same element
+		2, 130, 130, 130, 130, // query
+		3, 77, 20, 180, 40, // merge a small batch
+		2, 0, 255, 0, 255, // query the full range
+	})
+	f.Add([]byte{
+		5, 30, 40, 50, 60, // insert (5 % 5 == 0)
+		6, 30, 40, 50, 60, // delete
+		7, 30, 40, 50, 60, // query
+		9, 1, 2, 3, 4, // snapshot
+		8, 90, 10, 10, 10, // merge
+		7, 0, 0, 255, 255, // query
+	})
+}
+
+func FuzzDynamicRangeTree(f *testing.F) {
+	dynFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dynRTDiff().run(t, dynRTFresh(), dynOpsFromBytes(data))
+	})
+}
+
+func FuzzDynamicSegCount(f *testing.F) {
+	dynFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dynSCDiff().run(t, dynSCFresh(), dynOpsFromBytes(data))
+	})
+}
+
+func FuzzDynamicStabbing(f *testing.F) {
+	dynFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dynSTDiff().run(t, dynSTFresh(), dynOpsFromBytes(data))
+	})
+}
+
+// ---- amortized complexity ------------------------------------------
+
+// dynAllocs counts heap allocations across one call of f, single-
+// threaded (the way segcount's complexity tests count allocations, but
+// without AllocsPerRun's warm-up call — f here is a whole build, too
+// expensive to run twice).
+func dynAllocs(f func()) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs - before.Mallocs)
+}
+
+// TestDynamicInsertComplexity asserts the amortized insert bound of the
+// bulk-rebuild scheme: growing an empty structure to n by single
+// Inserts must cost amortized polylog(n) allocations per insert — the
+// fold series is geometric, so total fold work is O(n · polylog n) —
+// far below the Θ(n) per insert a rebuild-per-update design pays.
+// rangetree runs the issue's full 1k → 64k range; segcount and
+// stabbing (three bulk maps per fold, so ~3x the constant) run 1k →
+// 16k to keep the suite fast, asserting the same growth bounds.
+func TestDynamicInsertComplexity(t *testing.T) {
+	old := parallel.Parallelism()
+	parallel.SetParallelism(1)
+	defer parallel.SetParallelism(old)
+
+	check := func(t *testing.T, small, large int, perInsert func(n int) float64) {
+		t.Helper()
+		aSmall, aLarge := perInsert(small), perInsert(large)
+		// Far below linear: a rebuild-per-insert design allocates
+		// Θ(n log n) per insert — millions of allocations at these
+		// sizes, where the amortized scheme stays in the hundreds
+		// (polylog with a per-fold constant of one nested-augmented
+		// map for rangetree, three for segcount/stabbing).
+		if aLarge > float64(large)/8 {
+			t.Fatalf("amortized insert at n=%d cost %v allocs — near-linear work", large, aLarge)
+		}
+		// Growth check: n grew %dx, amortized polylog cost must grow
+		// like (log n)^c, i.e. by a small constant factor.
+		if aLarge > 6*aSmall+64 {
+			t.Fatalf("amortized insert cost not polylog: n %dx => allocs/insert %v -> %v",
+				large/small, aSmall, aLarge)
+		}
+		t.Logf("allocs/insert: n=%d: %.1f, n=%d: %.1f", small, aSmall, large, aLarge)
+	}
+
+	t.Run("rangetree", func(t *testing.T) {
+		check(t, 1<<10, 1<<16, func(n int) float64 {
+			return dynAllocs(func() {
+				tr := rangetree.New(pam.Options{})
+				for i := 0; i < n; i++ {
+					tr = tr.Insert(rangetree.Point{X: float64(i % 509), Y: float64(i / 509)}, 1)
+				}
+				if tr.Size() != int64(n) {
+					t.Fatalf("lost inserts: size %d of %d", tr.Size(), n)
+				}
+			}) / float64(n)
+		})
+	})
+	t.Run("segcount", func(t *testing.T) {
+		check(t, 1<<10, 1<<14, func(n int) float64 {
+			return dynAllocs(func() {
+				m := segcount.New(pam.Options{})
+				for i := 0; i < n; i++ {
+					x := float64(i % 509)
+					m = m.Insert(segcount.Segment{XLo: x, XHi: x + 1, Y: float64(i / 509)})
+				}
+				if m.Size() != int64(n) {
+					t.Fatalf("lost inserts: size %d of %d", m.Size(), n)
+				}
+			}) / float64(n)
+		})
+	})
+	t.Run("stabbing", func(t *testing.T) {
+		check(t, 1<<10, 1<<14, func(n int) float64 {
+			return dynAllocs(func() {
+				m := stabbing.New(pam.Options{})
+				for i := 0; i < n; i++ {
+					x, y := float64(i%509), float64(i/509)
+					m = m.Insert(stabbing.Rect{XLo: x, XHi: x + 1, YLo: y, YHi: y + 1})
+				}
+				if m.Size() != int64(n) {
+					t.Fatalf("lost inserts: size %d of %d", m.Size(), n)
+				}
+			}) / float64(n)
+		})
+	})
+}
+
+// ---- concurrency ----------------------------------------------------
+
+// TestDynamicConcurrentSnapshotReads stresses the snapshot-isolation
+// model the dynamic layering inherits from pam: one writer inserts and
+// deletes (triggering buffer folds and bulk rebuilds) while readers
+// hammer a frozen snapshot — whose answers must never change — and
+// whatever the latest published version is. `make race` runs this
+// under the race detector.
+func TestDynamicConcurrentSnapshotReads(t *testing.T) {
+	raw := workload.Segments(31, 256, 64, 8)
+	segs := make([]segcount.Segment, len(raw))
+	for i, g := range raw {
+		segs[i] = segcount.Segment(g)
+	}
+	m0 := segcount.New(pam.Options{}).Build(segs)
+	const probes = 32
+	want := [probes]int64{}
+	for i := range want {
+		want[i] = m0.CountLine(float64(i * 2))
+	}
+
+	var latest atomic.Pointer[segcount.Map]
+	latest.Store(&m0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := i % probes
+				if got := m0.CountLine(float64(p * 2)); got != want[p] {
+					t.Errorf("frozen snapshot changed: CountLine(%d) = %d, want %d", p*2, got, want[p])
+					return
+				}
+				cur := latest.Load()
+				if got := cur.CountCrossing(float64(p*2), 0, 64); got < 0 {
+					t.Errorf("latest version returned negative count %d", got)
+					return
+				}
+			}
+		}()
+	}
+
+	updates := workload.Segments(32, 1500, 64, 8)
+	m := m0
+	for i, g := range updates {
+		m = m.Insert(segcount.Segment(g))
+		if i%3 == 0 {
+			m = m.Delete(segcount.Segment(updates[i/2]))
+		}
+		cp := m
+		latest.Store(&cp)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The writer's final version answers like a from-scratch oracle.
+	final := naiveseg.Build(nil)
+	for _, s := range segs {
+		final = final.Insert(naiveseg.Segment(s))
+	}
+	for i, g := range updates {
+		final = final.Insert(naiveseg.Segment(g))
+		if i%3 == 0 {
+			final = final.Delete(naiveseg.Segment(updates[i/2]))
+		}
+	}
+	if m.Size() != int64(final.Size()) {
+		t.Fatalf("final size %d, oracle %d", m.Size(), final.Size())
+	}
+	for p := 0; p < probes; p++ {
+		x := float64(p * 2)
+		if got, want := m.CountLine(x), int64(final.CountCrossing(x, math.Inf(-1), math.Inf(1))); got != want {
+			t.Fatalf("final CountLine(%v) = %d, oracle %d", x, got, want)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("final version invalid: %v", err)
+	}
+}

@@ -15,29 +15,33 @@ func (r Rect) Contains(x, y float64) bool {
 	return r.XLo <= x && x <= r.XHi && r.YLo <= y && y <= r.YHi
 }
 
-// Set is an unordered rectangle collection with O(n) queries. Exact
-// duplicates collapse, matching stabbing's set semantics.
+// Set is a rectangle collection (stored in (XLo, XHi, YLo, YHi) order)
+// with O(n) queries. Exact duplicates collapse, matching stabbing's set
+// semantics. Updates are persistent — Insert and Delete copy the slice
+// and return a new Set — so snapshots mirror stabbing's and the
+// differential harness can re-query old versions.
 type Set struct {
 	rects []Rect
+}
+
+func rectLess(a, b Rect) bool {
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	if a.XHi != b.XHi {
+		return a.XHi < b.XHi
+	}
+	if a.YLo != b.YLo {
+		return a.YLo < b.YLo
+	}
+	return a.YHi < b.YHi
 }
 
 // Build stores the rectangles, deduplicated. O(n log n).
 func Build(rects []Rect) *Set {
 	s := make([]Rect, len(rects))
 	copy(s, rects)
-	sort.Slice(s, func(i, j int) bool {
-		a, b := s[i], s[j]
-		if a.XLo != b.XLo {
-			return a.XLo < b.XLo
-		}
-		if a.XHi != b.XHi {
-			return a.XHi < b.XHi
-		}
-		if a.YLo != b.YLo {
-			return a.YLo < b.YLo
-		}
-		return a.YHi < b.YHi
-	})
+	sort.Slice(s, func(i, j int) bool { return rectLess(s[i], s[j]) })
 	out := s[:0]
 	for i, r := range s {
 		if i == 0 || r != s[i-1] {
@@ -49,6 +53,73 @@ func Build(rects []Rect) *Set {
 
 // Size returns the number of distinct rectangles.
 func (s *Set) Size() int { return len(s.rects) }
+
+// Rects returns the distinct rectangles in (XLo, XHi, YLo, YHi) order.
+func (s *Set) Rects() []Rect {
+	return append([]Rect(nil), s.rects...)
+}
+
+// search returns the insertion index of r in the sorted slice.
+func (s *Set) search(r Rect) int {
+	return sort.Search(len(s.rects), func(i int) bool { return !rectLess(s.rects[i], r) })
+}
+
+// Contains reports whether r is present. O(log n).
+func (s *Set) Contains(r Rect) bool {
+	i := s.search(r)
+	return i < len(s.rects) && s.rects[i] == r
+}
+
+// Insert returns a new Set with r added (s is unchanged); inserting a
+// duplicate returns s. O(n).
+func (s *Set) Insert(r Rect) *Set {
+	i := s.search(r)
+	if i < len(s.rects) && s.rects[i] == r {
+		return s
+	}
+	out := make([]Rect, 0, len(s.rects)+1)
+	out = append(out, s.rects[:i]...)
+	out = append(out, r)
+	out = append(out, s.rects[i:]...)
+	return &Set{rects: out}
+}
+
+// Delete returns a new Set without r (s is unchanged); deleting an
+// absent rectangle returns s. O(n).
+func (s *Set) Delete(r Rect) *Set {
+	i := s.search(r)
+	if i >= len(s.rects) || s.rects[i] != r {
+		return s
+	}
+	out := make([]Rect, 0, len(s.rects)-1)
+	out = append(out, s.rects[:i]...)
+	out = append(out, s.rects[i+1:]...)
+	return &Set{rects: out}
+}
+
+// Merge returns a new Set holding the union of s and other (both
+// unchanged). O(n + m).
+func (s *Set) Merge(other *Set) *Set {
+	out := make([]Rect, 0, len(s.rects)+len(other.rects))
+	i, j := 0, 0
+	for i < len(s.rects) && j < len(other.rects) {
+		switch {
+		case s.rects[i] == other.rects[j]:
+			out = append(out, s.rects[i])
+			i++
+			j++
+		case rectLess(s.rects[i], other.rects[j]):
+			out = append(out, s.rects[i])
+			i++
+		default:
+			out = append(out, other.rects[j])
+			j++
+		}
+	}
+	out = append(out, s.rects[i:]...)
+	out = append(out, other.rects[j:]...)
+	return &Set{rects: out}
+}
 
 // CountStab counts rectangles containing (x, y). O(n).
 func (s *Set) CountStab(x, y float64) int {

@@ -10,26 +10,30 @@ type Segment struct {
 	XLo, XHi, Y float64
 }
 
-// Set is an unordered segment collection with O(n) queries. Exact
-// duplicates collapse, matching segcount's set semantics.
+// Set is a segment collection (stored in (Y, XLo, XHi) order) with O(n)
+// queries. Exact duplicates collapse, matching segcount's set
+// semantics. Updates are persistent — Insert and Delete copy the slice
+// and return a new Set — so snapshots mirror segcount's and the
+// differential harness can re-query old versions.
 type Set struct {
 	segs []Segment
+}
+
+func segLess(a, b Segment) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.XHi < b.XHi
 }
 
 // Build stores the segments, deduplicated. O(n log n).
 func Build(segs []Segment) *Set {
 	s := make([]Segment, len(segs))
 	copy(s, segs)
-	sort.Slice(s, func(i, j int) bool {
-		a, b := s[i], s[j]
-		if a.Y != b.Y {
-			return a.Y < b.Y
-		}
-		if a.XLo != b.XLo {
-			return a.XLo < b.XLo
-		}
-		return a.XHi < b.XHi
-	})
+	sort.Slice(s, func(i, j int) bool { return segLess(s[i], s[j]) })
 	out := s[:0]
 	for i, seg := range s {
 		if i == 0 || seg != s[i-1] {
@@ -41,6 +45,73 @@ func Build(segs []Segment) *Set {
 
 // Size returns the number of distinct segments.
 func (s *Set) Size() int { return len(s.segs) }
+
+// Segments returns the distinct segments in (Y, XLo, XHi) order.
+func (s *Set) Segments() []Segment {
+	return append([]Segment(nil), s.segs...)
+}
+
+// search returns the insertion index of seg in the sorted slice.
+func (s *Set) search(seg Segment) int {
+	return sort.Search(len(s.segs), func(i int) bool { return !segLess(s.segs[i], seg) })
+}
+
+// Contains reports whether seg is present. O(log n).
+func (s *Set) Contains(seg Segment) bool {
+	i := s.search(seg)
+	return i < len(s.segs) && s.segs[i] == seg
+}
+
+// Insert returns a new Set with seg added (s is unchanged); inserting a
+// duplicate returns s. O(n).
+func (s *Set) Insert(seg Segment) *Set {
+	i := s.search(seg)
+	if i < len(s.segs) && s.segs[i] == seg {
+		return s
+	}
+	out := make([]Segment, 0, len(s.segs)+1)
+	out = append(out, s.segs[:i]...)
+	out = append(out, seg)
+	out = append(out, s.segs[i:]...)
+	return &Set{segs: out}
+}
+
+// Delete returns a new Set without seg (s is unchanged); deleting an
+// absent segment returns s. O(n).
+func (s *Set) Delete(seg Segment) *Set {
+	i := s.search(seg)
+	if i >= len(s.segs) || s.segs[i] != seg {
+		return s
+	}
+	out := make([]Segment, 0, len(s.segs)-1)
+	out = append(out, s.segs[:i]...)
+	out = append(out, s.segs[i+1:]...)
+	return &Set{segs: out}
+}
+
+// Merge returns a new Set holding the union of s and other (both
+// unchanged). O(n + m).
+func (s *Set) Merge(other *Set) *Set {
+	out := make([]Segment, 0, len(s.segs)+len(other.segs))
+	i, j := 0, 0
+	for i < len(s.segs) && j < len(other.segs) {
+		switch {
+		case s.segs[i] == other.segs[j]:
+			out = append(out, s.segs[i])
+			i++
+			j++
+		case segLess(s.segs[i], other.segs[j]):
+			out = append(out, s.segs[i])
+			i++
+		default:
+			out = append(out, other.segs[j])
+			j++
+		}
+	}
+	out = append(out, s.segs[i:]...)
+	out = append(out, other.segs[j:]...)
+	return &Set{segs: out}
+}
 
 func crosses(seg Segment, x, yLo, yHi float64) bool {
 	return seg.XLo <= x && x <= seg.XHi && yLo <= seg.Y && seg.Y <= yHi

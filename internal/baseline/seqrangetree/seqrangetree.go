@@ -96,6 +96,36 @@ func (t *Tree) build(node, lo, hi int) {
 // Size returns the number of points (duplicates included).
 func (t *Tree) Size() int { return len(t.xs) }
 
+// Points returns the stored points in (x, y) order (duplicates
+// included).
+func (t *Tree) Points() []Point {
+	return append([]Point(nil), t.xs...)
+}
+
+// Insert returns a new tree with p added (t is unchanged): the naive
+// dynamic baseline — a full O(n log n) rebuild per update, the linear
+// cost the PAM-based rangetree's buffered updates amortize away.
+// Duplicate coordinates coexist; queries sum their weights, matching
+// rangetree's weight-adding Insert.
+func (t *Tree) Insert(p Point) *Tree {
+	pts := make([]Point, 0, len(t.xs)+1)
+	pts = append(pts, t.xs...)
+	pts = append(pts, p)
+	return Build(pts)
+}
+
+// Delete returns a new tree without any point at (x, y), whatever the
+// weights (t is unchanged); full rebuild, mirroring rangetree.Delete.
+func (t *Tree) Delete(x, y float64) *Tree {
+	pts := make([]Point, 0, len(t.xs))
+	for _, p := range t.xs {
+		if p.X != x || p.Y != y {
+			pts = append(pts, p)
+		}
+	}
+	return Build(pts)
+}
+
 // xRange returns the index range [i, j) of points with XLo <= x <= XHi.
 func (t *Tree) xRange(xlo, xhi float64) (int, int) {
 	i := sort.Search(len(t.xs), func(i int) bool { return t.xs[i].X >= xlo })

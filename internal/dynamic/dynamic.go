@@ -1,0 +1,219 @@
+// Package dynamic implements the shared bulk-rebuild amortization that
+// turns the build-once nested-augmentation structures (rangetree,
+// segcount, stabbing) into dynamic ones supporting Insert and Delete.
+//
+// Those structures cannot afford single-key tree updates: their
+// augmented values are themselves maps combined by union, so
+// recomputing the augmentation along a root path costs up to O(n) per
+// update. Following the secondary-structure design sketched for exactly
+// these structures in the follow-up paper (arXiv:1803.08621), each
+// dynamic structure instead keeps two layers:
+//
+//   - an immutable bulk layer — the existing nested-augmentation
+//     structure, rebuilt only in bulk; and
+//   - a Buffer — a pair of small plain persistent maps recording the
+//     updates since the last rebuild: Adds holds inserted entries
+//     (absolute values, overriding the bulk layer) and Dels holds
+//     tombstones for bulk entries that were deleted or overwritten.
+//
+// Queries consult both layers: counts and sums add the Adds
+// contribution and subtract the Dels contribution, reports concatenate
+// the Adds matches and cancel the tombstoned ones. When the buffer
+// grows past a fixed fraction of the bulk layer (ShouldFold) the owner
+// folds it down: materialize the surviving entries, apply the buffer,
+// and rebuild the bulk layer with the structure's existing parallel
+// Build/Merge machinery. A fold over n elements costs O(n·polylog n)
+// but is paid for by the Ω(n/FoldRatio) buffered updates that
+// triggered it, so updates cost amortized O(polylog n) — against the
+// O(n) a rebuild-per-update design pays — while queries pay at most
+// O(|buffer|) = O(n/FoldRatio) extra on top of their polylog bulk cost
+// (and nothing while the buffer is empty, the state Build and Merge
+// always return).
+//
+// Both buffer maps are persistent pam maps and the bulk layer is only
+// ever replaced wholesale, so the layered structures inherit the pam
+// snapshot guarantee: an update returns a new handle and every old
+// handle keeps answering from exactly the contents it had.
+package dynamic
+
+import "repro/pam"
+
+// Fold policy: fold once at least FoldMin updates are buffered AND the
+// buffer is at least 1/FoldRatio of the bulk layer. FoldMin keeps tiny
+// structures from rebuilding on every update; FoldRatio trades query
+// overhead (buffer scans, at most bulk/FoldRatio entries) against
+// amortized update cost (O(FoldRatio · polylog n)).
+const (
+	FoldMin   = 16
+	FoldRatio = 8
+)
+
+// ShouldFold reports whether a buffer holding pending updates over a
+// bulk layer of bulkSize entries must be folded down.
+func ShouldFold(pending, bulkSize int64) bool {
+	return pending >= FoldMin && pending*FoldRatio >= bulkSize
+}
+
+// Buffer is the secondary layer: the updates not yet folded into the
+// bulk structure. E fixes the key order (the augmentation slot is
+// unused); K and V are the bulk structure's element and value types —
+// set structures use struct{} values.
+//
+// Invariants (maintained by Insert/Delete given truthful bulk lookups):
+//   - every Dels key is present in the bulk layer, with the bulk value;
+//   - every Adds key that is present in the bulk layer is also in Dels
+//     (its bulk contribution is cancelled, the Adds value overrides).
+//
+// The logical contents of the layered structure are therefore
+// (bulk − Dels) ∪ Adds, with all three key sets involved in the union
+// disjoint. The zero value is an empty buffer, immediately usable; all
+// methods are persistent.
+type Buffer[K, V any, E pam.Aug[K, V, struct{}]] struct {
+	Adds pam.AugMap[K, V, struct{}, E]
+	Dels pam.AugMap[K, V, struct{}, E]
+}
+
+// Pending returns the number of buffered update records (the size
+// ShouldFold is fed).
+func (b Buffer[K, V, E]) Pending() int64 { return b.Adds.Size() + b.Dels.Size() }
+
+// IsEmpty reports whether no updates are buffered.
+func (b Buffer[K, V, E]) IsEmpty() bool { return b.Adds.IsEmpty() && b.Dels.IsEmpty() }
+
+// LogicalSize returns the entry count of the layered structure given
+// the bulk layer's entry count.
+func (b Buffer[K, V, E]) LogicalSize(bulkSize int64) int64 {
+	return bulkSize - b.Dels.Size() + b.Adds.Size()
+}
+
+// ShouldFold reports whether the buffer must be folded into a bulk
+// layer of bulkSize entries.
+func (b Buffer[K, V, E]) ShouldFold(bulkSize int64) bool {
+	return ShouldFold(b.Pending(), bulkSize)
+}
+
+// Insert returns the buffer with (k, v) inserted. bulkVal and inBulk
+// are the bulk layer's lookup of k. When k is logically present and
+// combine is non-nil the stored value becomes combine(current, v);
+// with a nil combine v overwrites.
+func (b Buffer[K, V, E]) Insert(k K, v V, bulkVal V, inBulk bool, combine func(old, new V) V) Buffer[K, V, E] {
+	if combine != nil {
+		if cur, ok := b.Adds.Find(k); ok {
+			v = combine(cur, v)
+		} else if inBulk && !b.Dels.Contains(k) {
+			v = combine(bulkVal, v)
+		}
+	}
+	nb := b
+	nb.Adds = b.Adds.Insert(k, v)
+	if inBulk {
+		// Cancel the bulk contribution; the Adds value is absolute.
+		nb.Dels = b.Dels.Insert(k, bulkVal)
+	}
+	return nb
+}
+
+// Delete returns the buffer with k removed from the logical contents.
+// bulkVal and inBulk are the bulk layer's lookup of k. Deleting an
+// absent key is a no-op.
+func (b Buffer[K, V, E]) Delete(k K, bulkVal V, inBulk bool) Buffer[K, V, E] {
+	nb := b
+	nb.Adds = b.Adds.Delete(k)
+	if inBulk {
+		nb.Dels = b.Dels.Insert(k, bulkVal)
+	}
+	return nb
+}
+
+// Contains reports whether k is logically present, given whether the
+// bulk layer holds it.
+func (b Buffer[K, V, E]) Contains(k K, inBulk bool) bool {
+	if b.Adds.Contains(k) {
+		return true
+	}
+	return inBulk && !b.Dels.Contains(k)
+}
+
+// Find returns the logical value at k, given the bulk layer's lookup.
+func (b Buffer[K, V, E]) Find(k K, bulkVal V, inBulk bool) (V, bool) {
+	if v, ok := b.Adds.Find(k); ok {
+		return v, true
+	}
+	if inBulk && !b.Dels.Contains(k) {
+		return bulkVal, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Apply folds the buffer into a materialized bulk entry list: it drops
+// the tombstoned entries and appends the Adds entries. The result's
+// keys are pairwise distinct (by the Buffer invariants) but not sorted
+// across the two parts; feed it to the structure's parallel Build. The
+// input slice is consumed (filtered in place).
+func (b Buffer[K, V, E]) Apply(bulk []pam.KV[K, V]) []pam.KV[K, V] {
+	if b.IsEmpty() {
+		return bulk
+	}
+	keep := bulk[:0]
+	for _, e := range bulk {
+		if !b.Dels.Contains(e.Key) {
+			keep = append(keep, e)
+		}
+	}
+	return append(keep, b.Adds.Entries()...)
+}
+
+// ApplyKeys is Apply for set structures that materialize bare keys.
+func (b Buffer[K, V, E]) ApplyKeys(bulk []K) []K {
+	if b.IsEmpty() {
+		return bulk
+	}
+	keep := bulk[:0]
+	for _, k := range bulk {
+		if !b.Dels.Contains(k) {
+			keep = append(keep, k)
+		}
+	}
+	return append(keep, b.Adds.Keys()...)
+}
+
+// Validate checks the Buffer invariants against the bulk layer's
+// lookup function and value equality; it returns a non-nil error
+// naming the first violation (for the structures' Validate methods).
+func (b Buffer[K, V, E]) Validate(bulkFind func(K) (V, bool), valEq func(a, b V) bool) error {
+	var err error
+	b.Dels.ForEach(func(k K, v V) bool {
+		bv, ok := bulkFind(k)
+		if !ok {
+			err = errTombstoneMissing
+			return false
+		}
+		if valEq != nil && !valEq(bv, v) {
+			err = errTombstoneValue
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	b.Adds.ForEach(func(k K, _ V) bool {
+		if _, ok := bulkFind(k); ok && !b.Dels.Contains(k) {
+			err = errAddNotCancelled
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+type bufferError string
+
+func (e bufferError) Error() string { return string(e) }
+
+const (
+	errTombstoneMissing = bufferError("dynamic: tombstone for a key absent from the bulk layer")
+	errTombstoneValue   = bufferError("dynamic: tombstone value differs from the bulk layer's")
+	errAddNotCancelled  = bufferError("dynamic: buffered insert shadows a live bulk entry without a tombstone")
+)

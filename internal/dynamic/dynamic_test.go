@@ -1,0 +1,162 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/pam"
+)
+
+type buf = Buffer[int, int64, pam.NoAug[int, int64]]
+
+func addv(a, b int64) int64 { return a + b }
+
+// bulkOf builds a lookup function over a fixed bulk layer.
+func bulkOf(m map[int]int64) func(int) (int64, bool) {
+	return func(k int) (int64, bool) { v, ok := m[k]; return v, ok }
+}
+
+func TestShouldFold(t *testing.T) {
+	cases := []struct {
+		pending, bulk int64
+		want          bool
+	}{
+		{0, 0, false},
+		{FoldMin - 1, 0, false}, // below the minimum, never
+		{FoldMin, 0, true},      // empty bulk: fold at the minimum
+		{FoldMin, FoldMin * FoldRatio, true},
+		{FoldMin, FoldMin*FoldRatio + 1, false}, // buffer under bulk/ratio
+		{1000, 8000, true},
+		{999, 8000, false},
+	}
+	for _, c := range cases {
+		if got := ShouldFold(c.pending, c.bulk); got != c.want {
+			t.Errorf("ShouldFold(%d, %d) = %v, want %v", c.pending, c.bulk, got, c.want)
+		}
+	}
+}
+
+func TestBufferInsertDeleteFind(t *testing.T) {
+	bulk := map[int]int64{1: 10, 2: 20}
+	lookup := bulkOf(bulk)
+	var b buf
+
+	ins := func(b buf, k int, v int64) buf {
+		bv, ok := lookup(k)
+		return b.Insert(k, v, bv, ok, addv)
+	}
+	del := func(b buf, k int) buf {
+		bv, ok := lookup(k)
+		return b.Delete(k, bv, ok)
+	}
+	find := func(b buf, k int) (int64, bool) {
+		bv, ok := lookup(k)
+		return b.Find(k, bv, ok)
+	}
+
+	// Fresh key: stored as-is.
+	b = ins(b, 5, 7)
+	if v, ok := find(b, 5); !ok || v != 7 {
+		t.Fatalf("Find(5) = %v, %v; want 7, true", v, ok)
+	}
+	// Key in bulk: combined with the bulk value, bulk copy tombstoned.
+	b = ins(b, 1, 3)
+	if v, ok := find(b, 1); !ok || v != 13 {
+		t.Fatalf("Find(1) = %v, %v; want 13, true", v, ok)
+	}
+	if !b.Dels.Contains(1) {
+		t.Fatal("insert over a bulk key must tombstone the bulk entry")
+	}
+	// Key untouched by the buffer: answered from bulk.
+	if v, ok := find(b, 2); !ok || v != 20 {
+		t.Fatalf("Find(2) = %v, %v; want 20, true", v, ok)
+	}
+	// Delete a bulk key: tombstone only.
+	b = del(b, 2)
+	if _, ok := find(b, 2); ok {
+		t.Fatal("deleted bulk key still logically present")
+	}
+	// Re-insert after delete: the combine must NOT see the dead bulk value.
+	b = ins(b, 2, 4)
+	if v, ok := find(b, 2); !ok || v != 4 {
+		t.Fatalf("reinserted Find(2) = %v, %v; want 4, true", v, ok)
+	}
+	// Delete a buffered-only key.
+	b = del(b, 5)
+	if b.Contains(5, false) {
+		t.Fatal("deleted buffered key still present")
+	}
+	// Deleting an absent key is a no-op.
+	before := b.Pending()
+	b = del(b, 99)
+	if b.Pending() != before {
+		t.Fatal("deleting an absent key changed the buffer")
+	}
+	if err := b.Validate(lookup, func(a, c int64) bool { return a == c }); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Logical size: bulk {1,2} both tombstoned, adds {1, 2}.
+	if got := b.LogicalSize(int64(len(bulk))); got != 2 {
+		t.Fatalf("LogicalSize = %d, want 2", got)
+	}
+}
+
+func TestBufferPersistence(t *testing.T) {
+	var b0 buf
+	b1 := b0.Insert(1, 1, 0, false, addv)
+	b2 := b1.Insert(2, 2, 0, false, addv)
+	b3 := b2.Delete(1, 0, false)
+	if b0.Pending() != 0 || b1.Pending() != 1 || b2.Pending() != 2 {
+		t.Fatal("older buffer handles changed by later updates")
+	}
+	if !b2.Contains(1, false) || b3.Contains(1, false) {
+		t.Fatal("snapshot isolation violated across Delete")
+	}
+}
+
+func TestBufferApply(t *testing.T) {
+	bulk := map[int]int64{1: 10, 2: 20, 3: 30}
+	lookup := bulkOf(bulk)
+	var b buf
+	bv, ok := lookup(2)
+	b = b.Delete(2, bv, ok)
+	bv, ok = lookup(3)
+	b = b.Insert(3, 5, bv, ok, nil) // overwrite semantics
+	b = b.Insert(7, 70, 0, false, nil)
+
+	entries := []pam.KV[int, int64]{{Key: 1, Val: 10}, {Key: 2, Val: 20}, {Key: 3, Val: 30}}
+	got := b.Apply(entries)
+	want := map[int]int64{1: 10, 3: 5, 7: 70}
+	if len(got) != len(want) {
+		t.Fatalf("Apply returned %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for _, e := range got {
+		if want[e.Key] != e.Val {
+			t.Fatalf("Apply entry %v, want value %d", e, want[e.Key])
+		}
+	}
+	keys := b.ApplyKeys([]int{1, 2, 3})
+	if len(keys) != 3 { // 1, 3 (re-added), 7
+		t.Fatalf("ApplyKeys = %v, want three keys", keys)
+	}
+}
+
+func TestBufferValidateDetectsViolations(t *testing.T) {
+	lookup := bulkOf(map[int]int64{1: 10})
+	eq := func(a, b int64) bool { return a == b }
+
+	var b buf
+	b.Dels = b.Dels.Insert(9, 0) // tombstone for a key not in bulk
+	if err := b.Validate(lookup, eq); err == nil {
+		t.Fatal("missing-key tombstone not detected")
+	}
+	var b2 buf
+	b2.Dels = b2.Dels.Insert(1, 999) // wrong cached bulk value
+	if err := b2.Validate(lookup, eq); err == nil {
+		t.Fatal("stale tombstone value not detected")
+	}
+	var b3 buf
+	b3.Adds = b3.Adds.Insert(1, 5) // shadows a live bulk entry, no tombstone
+	if err := b3.Validate(lookup, eq); err == nil {
+		t.Fatal("uncancelled shadowing insert not detected")
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import "repro/internal/seq"
+
+// OpKind enumerates the steps of a dynamic operation sequence, the
+// input of the differential op-sequence harness exercising the dynamic
+// nested-augmentation structures (rangetree, segcount, stabbing)
+// against their naive baselines.
+type OpKind uint8
+
+const (
+	// OpInsert adds an element derived from the op's coordinates.
+	OpInsert OpKind = iota
+	// OpDelete removes the element derived from the op's coordinates
+	// (often a live one when coordinates are drawn from a small grid).
+	OpDelete
+	// OpQuery compares a query derived from the op's coordinates
+	// between the structure and its baseline.
+	OpQuery
+	// OpMerge merges in a small freshly built structure derived from
+	// the op's coordinates.
+	OpMerge
+	// OpSnapshot retains the current version for later re-querying —
+	// the persistence check.
+	OpSnapshot
+	numOpKinds
+)
+
+// Op is one step of a dynamic operation sequence. A, B, C, D are
+// uniform in [0, 1); interpreters scale them onto whatever geometry the
+// structure under test needs (a point, a segment, a query window, or a
+// seed for a merge batch). W is a small positive weight.
+type Op struct {
+	Kind       OpKind
+	A, B, C, D float64
+	W          int64
+}
+
+// Mix weights the op kinds of a generated sequence (a zero weight
+// disables the kind).
+type Mix struct {
+	Insert, Delete, Query, Merge, Snapshot int
+}
+
+// DefaultMix interleaves updates with queries, the occasional merge,
+// and snapshots — the proportions the differential harness wants:
+// enough updates to trigger buffer folds, enough queries to catch a
+// divergence near the op that introduced it.
+var DefaultMix = Mix{Insert: 8, Delete: 4, Query: 8, Merge: 1, Snapshot: 1}
+
+func (m Mix) total() int { return m.Insert + m.Delete + m.Query + m.Merge + m.Snapshot }
+
+// Ops returns a deterministic sequence of n ops drawn from the mix
+// (same seed, same sequence — the splittable-stream discipline of the
+// other generators).
+func Ops(seed uint64, n int, mix Mix) []Op {
+	total := mix.total()
+	if total <= 0 || n <= 0 {
+		return nil
+	}
+	r := seq.NewRNG(seed)
+	ra, rb, rc, rd, rw := r.Split(1), r.Split(2), r.Split(3), r.Split(4), r.Split(5)
+	out := make([]Op, n)
+	for i := range out {
+		t := int(r.AtRange(uint64(i), uint64(total)))
+		var k OpKind
+		switch {
+		case t < mix.Insert:
+			k = OpInsert
+		case t < mix.Insert+mix.Delete:
+			k = OpDelete
+		case t < mix.Insert+mix.Delete+mix.Query:
+			k = OpQuery
+		case t < mix.Insert+mix.Delete+mix.Query+mix.Merge:
+			k = OpMerge
+		default:
+			k = OpSnapshot
+		}
+		out[i] = Op{
+			Kind: k,
+			A:    ra.AtFloat(uint64(i)),
+			B:    rb.AtFloat(uint64(i)),
+			C:    rc.AtFloat(uint64(i)),
+			D:    rd.AtFloat(uint64(i)),
+			W:    int64(rw.AtRange(uint64(i), 9)) + 1,
+		}
+	}
+	return out
+}

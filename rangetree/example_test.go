@@ -26,3 +26,25 @@ func ExampleTree_QuerySum() {
 	// 2
 	// [{{1 1} 10} {{2 5} 20}]
 }
+
+// Insert and Delete are persistent amortized-polylog updates: each
+// returns a new tree, and old handles — like the snapshot taken before
+// the updates — keep answering from exactly the contents they had.
+func ExampleTree_Insert() {
+	t := rangetree.New(pam.Options{}).Build([]rangetree.Weighted{
+		{Point: rangetree.Point{X: 1, Y: 1}, W: 10},
+		{Point: rangetree.Point{X: 2, Y: 5}, W: 20},
+	})
+	box := rangetree.Rect{XLo: 0, XHi: 5, YLo: 0, YHi: 5}
+
+	snapshot := t
+	t = t.Insert(rangetree.Point{X: 3, Y: 2}, 5) // new point
+	t = t.Insert(rangetree.Point{X: 1, Y: 1}, 1) // weights add
+	t = t.Delete(rangetree.Point{X: 2, Y: 5})
+
+	fmt.Println(t.QuerySum(box), t.QueryCount(box))
+	fmt.Println(snapshot.QuerySum(box), snapshot.QueryCount(box))
+	// Output:
+	// 16 2
+	// 30 2
+}

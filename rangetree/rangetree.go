@@ -22,6 +22,7 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/pam"
 )
 
@@ -80,40 +81,111 @@ func (outerEntry) Combine(x, y Inner) Inner {
 // outer is the outer map type.
 type outer = pam.AugMap[Point, int64, Inner, outerEntry]
 
+// bufEntry orders buffered points like the outer map, unaugmented.
+type bufEntry struct{}
+
+func (bufEntry) Less(a, b Point) bool                { return outerEntry{}.Less(a, b) }
+func (bufEntry) Id() struct{}                        { return struct{}{} }
+func (bufEntry) Base(Point, int64) struct{}          { return struct{}{} }
+func (bufEntry) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+// buffer is the secondary update layer (see internal/dynamic).
+type buffer = dynamic.Buffer[Point, int64, bufEntry]
+
+func addWeights(a, b int64) int64 { return a + b }
+
 // Tree is a persistent 2D range tree over weighted points. Duplicate
 // points combine by adding weights. Construction is O(n log n) work;
 // QuerySum and QueryCount are O(log^2 n); ReportAll is O(log^2 n + k)
 // for k reported points.
 //
-// The structure is built once (Build) and queried; as in the paper's
-// evaluation, dynamic single-point insertion is not part of the design —
-// the union-augmentation makes per-update augmented-value recomputation
-// linear in the worst case. Merge combines two trees when batching.
+// The union-augmentation makes per-update augmented-value recomputation
+// linear in the worst case, so single-point tree updates are off the
+// table; instead the tree is layered (internal/dynamic): an immutable
+// bulk structure plus a small persistent update buffer that queries
+// consult alongside it. Insert and Delete write the buffer in O(log n)
+// and fold it down with a full parallel rebuild once it outgrows a
+// fixed fraction of the bulk layer — amortized O(polylog n) per
+// update. Build and Merge return fully folded trees. Every operation
+// is persistent: it returns a new handle and old handles keep
+// answering from exactly the contents they had.
 type Tree struct {
-	m outer
+	bulk outer
+	buf  buffer
 }
 
 // New returns an empty range tree with the given options.
 func New(opts pam.Options) Tree {
-	return Tree{m: pam.NewAugMap[Point, int64, Inner, outerEntry](opts)}
+	return Tree{bulk: pam.NewAugMap[Point, int64, Inner, outerEntry](opts)}
 }
 
-// Build returns a range tree (with t's options) over the given points.
+// Build returns a range tree (with t's options) over the given points,
+// ignoring t's contents.
 func (t Tree) Build(pts []Weighted) Tree {
 	items := make([]pam.KV[Point, int64], len(pts))
 	for i, p := range pts {
 		items[i] = pam.KV[Point, int64]{Key: p.Point, Val: p.W}
 	}
-	return Tree{m: t.m.Build(items, func(old, new int64) int64 { return old + new })}
+	return Tree{bulk: t.bulk.Build(items, addWeights)}
 }
 
-// Merge combines two range trees (weights of identical points add).
+// Insert returns a tree with the weighted point added (the weight of an
+// already-present point increases by w, matching Build and Merge).
+// Amortized O(polylog n): the point lands in the update buffer, which
+// periodically folds into the bulk layer with a parallel rebuild.
+func (t Tree) Insert(p Point, w int64) Tree {
+	bv, inBulk := t.bulk.Find(p)
+	nt := Tree{bulk: t.bulk, buf: t.buf.Insert(p, w, bv, inBulk, addWeights)}
+	if nt.buf.ShouldFold(nt.bulk.Size()) {
+		return nt.fold()
+	}
+	return nt
+}
+
+// Delete returns a tree without the given point (whatever its weight);
+// deleting an absent point is a no-op. Amortized O(polylog n).
+func (t Tree) Delete(p Point) Tree {
+	bv, inBulk := t.bulk.Find(p)
+	nt := Tree{bulk: t.bulk, buf: t.buf.Delete(p, bv, inBulk)}
+	if nt.buf.ShouldFold(nt.bulk.Size()) {
+		return nt.fold()
+	}
+	return nt
+}
+
+// fold rebuilds the bulk layer over the buffered updates, returning a
+// tree with an empty buffer.
+func (t Tree) fold() Tree {
+	if t.buf.IsEmpty() {
+		return Tree{bulk: t.bulk}
+	}
+	return Tree{bulk: t.bulk.Build(t.buf.Apply(t.bulk.Entries()), addWeights)}
+}
+
+// Pending returns the number of buffered updates not yet folded into
+// the bulk layer (0 after Build, Merge, or a fold).
+func (t Tree) Pending() int64 { return t.buf.Pending() }
+
+// Contains reports whether the point is present.
+func (t Tree) Contains(p Point) bool {
+	return t.buf.Contains(p, t.bulk.Contains(p))
+}
+
+// Weight returns the weight at p.
+func (t Tree) Weight(p Point) (int64, bool) {
+	bv, inBulk := t.bulk.Find(p)
+	return t.buf.Find(p, bv, inBulk)
+}
+
+// Merge combines two range trees (weights of identical points add),
+// folding both sides' buffered updates first.
 func (t Tree) Merge(other Tree) Tree {
-	return Tree{m: t.m.UnionWith(other.m, func(a, b int64) int64 { return a + b })}
+	a, b := t.fold(), other.fold()
+	return Tree{bulk: a.bulk.UnionWith(b.bulk, addWeights)}
 }
 
 // Size returns the number of distinct points.
-func (t Tree) Size() int64 { return t.m.Size() }
+func (t Tree) Size() int64 { return t.buf.LogicalSize(t.bulk.Size()) }
 
 // Rect is a closed query rectangle.
 type Rect struct {
@@ -132,33 +204,60 @@ func (r Rect) xHiKey() Point { return Point{X: r.XHi, Y: math.Inf(1)} }
 func (r Rect) yLoKey() Point { return Point{Y: r.YLo, X: math.Inf(-1)} }
 func (r Rect) yHiKey() Point { return Point{Y: r.YHi, X: math.Inf(1)} }
 
+// bufDelta folds the update buffer's contribution to a per-point
+// aggregate over r: + each buffered insert inside r, − each tombstone
+// inside r. O(log b + matches in the x-range) for a buffer of b points.
+func (t Tree) bufDelta(r Rect, f func(sign int64, p Point, w int64)) {
+	if t.buf.IsEmpty() {
+		return
+	}
+	t.buf.Adds.ForEachRange(r.xLoKey(), r.xHiKey(), func(p Point, w int64) bool {
+		if r.contains(p) {
+			f(+1, p, w)
+		}
+		return true
+	})
+	t.buf.Dels.ForEachRange(r.xLoKey(), r.xHiKey(), func(p Point, w int64) bool {
+		if r.contains(p) {
+			f(-1, p, w)
+		}
+		return true
+	})
+}
+
 // QuerySum returns the sum of weights of the points inside r: the
 // paper's QUERY — AugProject over the x-range, projecting each inner map
-// through a y-range weight sum. O(log^2 n).
+// through a y-range weight sum, plus the update buffer's correction.
+// O(log^2 n + |buffer|).
 func (t Tree) QuerySum(r Rect) int64 {
-	return pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+	sum := pam.AugProject(t.bulk, r.xLoKey(), r.xHiKey(),
 		func(in Inner) int64 { return in.AugRange(r.yLoKey(), r.yHiKey()) },
 		func(a, b int64) int64 { return a + b },
 		0)
+	t.bufDelta(r, func(sign int64, _ Point, w int64) { sum += sign * w })
+	return sum
 }
 
 // QueryCount returns the number of points inside r, by projecting inner
-// maps through rank differences instead of weight sums. O(log^2 n).
+// maps through rank differences instead of weight sums.
+// O(log^2 n + |buffer|).
 func (t Tree) QueryCount(r Rect) int64 {
 	lo, hi := r.yLoKey(), r.yHiKey()
-	return pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+	count := pam.AugProject(t.bulk, r.xLoKey(), r.xHiKey(),
 		// Rank counts keys strictly below its argument; the ±Inf x
 		// sentinels make the difference exactly the per-subtree count of
 		// points with YLo <= y <= YHi.
 		func(in Inner) int64 { return in.Rank(hi) - in.Rank(lo) },
 		func(a, b int64) int64 { return a + b },
 		0)
+	t.bufDelta(r, func(sign int64, _ Point, _ int64) { count += sign })
+	return count
 }
 
 // ReportAll returns the points inside r with their weights, sorted by
-// (x, y). O(log^2 n + k) for k results.
+// (x, y). O(log^2 n + k + |buffer|) for k results.
 func (t Tree) ReportAll(r Rect) []Weighted {
-	parts := pam.AugProject(t.m, r.xLoKey(), r.xHiKey(),
+	parts := pam.AugProject(t.bulk, r.xLoKey(), r.xHiKey(),
 		func(in Inner) []Weighted {
 			sub := in.Range(r.yLoKey(), r.yHiKey())
 			out := make([]Weighted, 0, sub.Size())
@@ -170,6 +269,24 @@ func (t Tree) ReportAll(r Rect) []Weighted {
 		},
 		func(a, b []Weighted) []Weighted { return append(a, b...) },
 		nil)
+	if !t.buf.IsEmpty() {
+		// Cancel tombstoned points, then append the buffered inserts
+		// inside r (points in both layers are tombstoned, so no point
+		// appears twice).
+		kept := parts[:0]
+		for _, p := range parts {
+			if !t.buf.Dels.Contains(p.Point) {
+				kept = append(kept, p)
+			}
+		}
+		parts = kept
+		t.buf.Adds.ForEachRange(r.xLoKey(), r.xHiKey(), func(p Point, w int64) bool {
+			if r.contains(p) {
+				parts = append(parts, Weighted{Point: p, W: w})
+			}
+			return true
+		})
+	}
 	slices.SortFunc(parts, func(a, b Weighted) int {
 		if a.X != b.X {
 			if a.X < b.X {
@@ -190,10 +307,13 @@ func (t Tree) ReportAll(r Rect) []Weighted {
 }
 
 // Validate checks outer-tree invariants including that every node's
-// inner map holds exactly the subtree's points with correct weight sums
-// (for tests). O(n log n).
+// inner map holds exactly the subtree's points with correct weight sums,
+// plus the update-buffer invariants (for tests). O(n log n).
 func (t Tree) Validate() error {
-	return t.m.Validate(func(a, b Inner) bool {
+	if err := t.buf.Validate(t.bulk.Find, func(a, b int64) bool { return a == b }); err != nil {
+		return err
+	}
+	return t.bulk.Validate(func(a, b Inner) bool {
 		if a.Size() != b.Size() {
 			return false
 		}
@@ -211,13 +331,13 @@ func (t Tree) Validate() error {
 }
 
 // InnerNodeCounts reports the space effect of persistence on the inner
-// maps (Table 4): unshared is the node count if every outer node stored
-// its own copy of its inner map (the sum of inner sizes over all outer
-// nodes); actual is the number of physically distinct inner nodes, which
-// path copying makes far smaller because each parent's inner map shares
-// structure with its children's.
+// maps of the bulk layer (Table 4): unshared is the node count if every
+// outer node stored its own copy of its inner map (the sum of inner
+// sizes over all outer nodes); actual is the number of physically
+// distinct inner nodes, which path copying makes far smaller because
+// each parent's inner map shares structure with its children's.
 func (t Tree) InnerNodeCounts() (unshared, actual int64) {
-	augs := core.NodeAugs(t.m.Tree())
+	augs := core.NodeAugs(t.bulk.Tree())
 	trees := make([]core.Tree[Point, int64, int64, innerEntry], 0, len(augs))
 	for _, in := range augs {
 		unshared += in.Size()

@@ -25,3 +25,23 @@ func ExampleMap_CountCrossing() {
 	// 3
 	// [{0 10 1} {2 4 2}]
 }
+
+// Insert and Delete are persistent amortized-polylog updates: each
+// returns a new map, and old handles — like the snapshot taken before
+// the updates — keep answering from exactly the contents they had.
+func ExampleMap_Insert() {
+	m := segcount.New(pam.Options{}).Build([]segcount.Segment{
+		{XLo: 0, XHi: 4, Y: 1},
+		{XLo: 2, XHi: 6, Y: 3},
+	})
+
+	snapshot := m
+	m = m.Insert(segcount.Segment{XLo: 1, XHi: 5, Y: 2})
+	m = m.Delete(segcount.Segment{XLo: 2, XHi: 6, Y: 3})
+
+	fmt.Println(m.CountLine(3), m.Size())
+	fmt.Println(snapshot.CountLine(3), snapshot.Size())
+	// Output:
+	// 2 2
+	// 2 2
+}

@@ -42,6 +42,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/dynamic"
 	"repro/internal/parallel"
 	"repro/pam"
 )
@@ -204,14 +205,34 @@ type byYMap = pam.AugMap[Segment, struct{}, xSet, byYEntry]
 type opensMap = pam.AugMap[Segment, struct{}, yMap, opensEntry]
 type closesMap = pam.AugMap[Segment, struct{}, yMap, closesEntry]
 
+// bufKey orders buffered segments in the canonical (y, xLo, xHi) order,
+// unaugmented.
+type bufKey struct{}
+
+func (bufKey) Less(a, b Segment) bool              { return lessYX(a, b) }
+func (bufKey) Id() struct{}                        { return struct{}{} }
+func (bufKey) Base(Segment, struct{}) struct{}     { return struct{}{} }
+func (bufKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+// buffer is the secondary update layer (see internal/dynamic).
+type buffer = dynamic.Buffer[Segment, struct{}, bufKey]
+
 // Map is a persistent segment-query structure. The zero value is empty
 // and usable. As with rangetree, the union-valued augmentations make
-// single-segment updates linear in the worst case, so the structure is
-// built in bulk (Build) and composed with Merge; all versions persist.
+// single-segment tree updates linear in the worst case, so the
+// structure is layered (internal/dynamic): an immutable bulk layer —
+// the three maps above, built and merged in parallel — plus a small
+// persistent update buffer that queries consult alongside it. Insert
+// and Delete write the buffer in O(log n) and fold it down with a full
+// parallel rebuild once it outgrows a fixed fraction of the bulk layer,
+// for amortized O(polylog n) updates; Build and Merge return fully
+// folded maps. All versions persist: updates return new handles and
+// old handles keep answering from exactly the contents they had.
 type Map struct {
 	byY    byYMap
 	opens  opensMap
 	closes closesMap
+	buf    buffer
 }
 
 // New returns an empty segment map with the given options.
@@ -240,27 +261,96 @@ func (m Map) Build(segs []Segment) Map {
 	return out
 }
 
-// Merge returns the union of two segment maps (parallel, persistent).
+// Insert returns a map with the segment added (a duplicate is a no-op).
+// Amortized O(polylog n): the segment lands in the update buffer, which
+// periodically folds into the bulk layer with a parallel rebuild.
+func (m Map) Insert(s Segment) Map {
+	nm := m
+	nm.buf = m.buf.Insert(s, struct{}{}, struct{}{}, m.byY.Contains(s), nil)
+	if nm.buf.ShouldFold(nm.byY.Size()) {
+		return nm.fold()
+	}
+	return nm
+}
+
+// Delete returns a map without the segment; deleting an absent segment
+// is a no-op. Amortized O(polylog n).
+func (m Map) Delete(s Segment) Map {
+	nm := m
+	nm.buf = m.buf.Delete(s, struct{}{}, m.byY.Contains(s))
+	if nm.buf.ShouldFold(nm.byY.Size()) {
+		return nm.fold()
+	}
+	return nm
+}
+
+// fold rebuilds the bulk layer over the buffered updates, returning a
+// map with an empty buffer.
+func (m Map) fold() Map {
+	bulk := Map{byY: m.byY, opens: m.opens, closes: m.closes}
+	if m.buf.IsEmpty() {
+		return bulk
+	}
+	return bulk.Build(m.buf.ApplyKeys(m.byY.Keys()))
+}
+
+// Pending returns the number of buffered updates not yet folded into
+// the bulk layer (0 after Build, Merge, or a fold).
+func (m Map) Pending() int64 { return m.buf.Pending() }
+
+// Contains reports whether the segment is present.
+func (m Map) Contains(s Segment) bool { return m.buf.Contains(s, m.byY.Contains(s)) }
+
+// Merge returns the union of two segment maps (parallel, persistent),
+// folding both sides' buffered updates first.
 func (m Map) Merge(other Map) Map {
+	a, b := m.fold(), other.fold()
 	var out Map
 	parallel.Do3(
-		func() { out.byY = m.byY.Union(other.byY) },
-		func() { out.opens = m.opens.Union(other.opens) },
-		func() { out.closes = m.closes.Union(other.closes) },
+		func() { out.byY = a.byY.Union(b.byY) },
+		func() { out.opens = a.opens.Union(b.opens) },
+		func() { out.closes = a.closes.Union(b.closes) },
 	)
 	return out
 }
 
 // Size returns the number of distinct segments.
-func (m Map) Size() int64 { return m.byY.Size() }
+func (m Map) Size() int64 { return m.buf.LogicalSize(m.byY.Size()) }
 
 // IsEmpty reports whether the map is empty.
-func (m Map) IsEmpty() bool { return m.byY.IsEmpty() }
+func (m Map) IsEmpty() bool { return m.Size() == 0 }
+
+// bufDelta folds the update buffer's contribution to a per-segment
+// aggregate over the y-range: +1 for each buffered insert matching
+// pred, −1 for each matching tombstone. O(log b + matches in the
+// y-range) for a buffer of b segments.
+func (m Map) bufDelta(yLo, yHi float64, pred func(Segment) bool) int64 {
+	if m.buf.IsEmpty() {
+		return 0
+	}
+	lo := Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)}
+	hi := Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)}
+	var d int64
+	m.buf.Adds.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+		if pred(s) {
+			d++
+		}
+		return true
+	})
+	m.buf.Dels.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+		if pred(s) {
+			d--
+		}
+		return true
+	})
+	return d
+}
 
 // CountCrossing counts the segments crossing the vertical query segment
 // at x spanning [yLo, yHi], via the paper's SegCount endpoint maps:
 // segments opened at or before x minus segments closed before x, each an
-// AugProject prefix sum over nested count maps. O(log^2 n).
+// AugProject prefix sum over nested count maps, plus the update
+// buffer's correction. O(log^2 n + |buffer|).
 func (m Map) CountCrossing(x, yLo, yHi float64) int64 {
 	neg := math.Inf(-1)
 	count := func(in yMap) int64 { return yRangeCount(in, yLo, yHi) }
@@ -273,7 +363,7 @@ func (m Map) CountCrossing(x, yLo, yHi float64) int64 {
 		Segment{XHi: neg, XLo: neg, Y: neg},
 		Segment{XHi: x, XLo: neg, Y: neg},
 		count, add, 0)
-	return opened - closed
+	return opened - closed + m.bufDelta(yLo, yHi, func(s Segment) bool { return s.CrossesLine(x) })
 }
 
 // CountLine counts the segments crossing the full vertical line at x.
@@ -283,19 +373,23 @@ func (m Map) CountLine(x float64) int64 {
 
 // CountWindow counts the segments intersecting the closed window
 // [xLo, xHi] x [yLo, yHi], AugProjecting the by-y map over the y-range
-// and stabbing each covered nested interval structure. O(log^2 n).
+// and stabbing each covered nested interval structure, plus the update
+// buffer's correction. O(log^2 n + |buffer|).
 func (m Map) CountWindow(xLo, xHi, yLo, yHi float64) int64 {
-	return pam.AugProject(m.byY,
+	bulk := pam.AugProject(m.byY,
 		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
 		Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
 		func(in xSet) int64 { return in.countOverlapping(xLo, xHi) },
 		func(a, b int64) int64 { return a + b },
 		0)
+	return bulk + m.bufDelta(yLo, yHi, func(s Segment) bool {
+		return s.IntersectsWindow(xLo, xHi, yLo, yHi)
+	})
 }
 
 // ReportWindow returns the segments intersecting the closed window, in
-// (y, xLo, xHi) order. Output-sensitive: O(log^2 n + k log(n/k + 1))
-// for k results.
+// (y, xLo, xHi) order. Output-sensitive in the bulk layer:
+// O(log^2 n + k log(n/k + 1) + |buffer|) for k results.
 func (m Map) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
 	out := pam.AugProject(m.byY,
 		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
@@ -303,6 +397,27 @@ func (m Map) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
 		func(in xSet) []Segment { return in.reportOverlapping(xLo, xHi, nil) },
 		func(a, b []Segment) []Segment { return append(a, b...) },
 		nil)
+	if !m.buf.IsEmpty() {
+		// Cancel tombstoned segments, then append the buffered inserts
+		// that hit the window (segments in both layers are tombstoned,
+		// so none appears twice).
+		kept := out[:0]
+		for _, s := range out {
+			if !m.buf.Dels.Contains(s) {
+				kept = append(kept, s)
+			}
+		}
+		out = kept
+		m.buf.Adds.ForEachRange(
+			Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
+			Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
+			func(s Segment, _ struct{}) bool {
+				if s.IntersectsWindow(xLo, xHi, yLo, yHi) {
+					out = append(out, s)
+				}
+				return true
+			})
+	}
 	// Each projected xSet reports in (xLo, xHi, y) order; restore the
 	// global (y, xLo, xHi) order across the O(log n) blocks (as
 	// rangetree.ReportAll does for its x-blocks).
@@ -332,12 +447,31 @@ func (m Map) ReportLine(x float64) []Segment {
 }
 
 // Segments materializes all segments in (y, xLo, xHi) order.
-func (m Map) Segments() []Segment { return m.byY.Keys() }
+func (m Map) Segments() []Segment {
+	keys := m.buf.ApplyKeys(m.byY.Keys())
+	// ApplyKeys appends the buffered inserts after the surviving bulk
+	// keys; both halves are already in (y, xLo, xHi) order.
+	slices.SortFunc(keys, func(a, b Segment) int {
+		switch {
+		case lessYX(a, b):
+			return -1
+		case lessYX(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return keys
+}
 
 // Validate checks the structural invariants of all three constituent
 // trees, including that every node's nested maps hold exactly the
-// subtree's segments (for tests). O(n log n).
+// subtree's segments, plus the update-buffer invariants (for tests).
+// O(n log n).
 func (m Map) Validate() error {
+	if err := m.buf.Validate(m.byY.Find, nil); err != nil {
+		return err
+	}
 	sameKeys := func(a, b []Segment) bool {
 		if len(a) != len(b) {
 			return false

@@ -25,3 +25,23 @@ func ExampleMap_CountStab() {
 	// true
 	// [{0 4 0 4} {2 6 2 6}]
 }
+
+// Insert and Delete are persistent amortized-polylog updates: each
+// returns a new map, and old handles — like the snapshot taken before
+// the updates — keep answering from exactly the contents they had.
+func ExampleMap_Insert() {
+	m := stabbing.New(pam.Options{}).Build([]stabbing.Rect{
+		{XLo: 0, XHi: 4, YLo: 0, YHi: 4},
+		{XLo: 2, XHi: 6, YLo: 2, YHi: 6},
+	})
+
+	snapshot := m
+	m = m.Insert(stabbing.Rect{XLo: 1, XHi: 3, YLo: 1, YHi: 3})
+	m = m.Delete(stabbing.Rect{XLo: 0, XHi: 4, YLo: 0, YHi: 4})
+
+	fmt.Println(m.CountStab(3, 3), m.Size())
+	fmt.Println(snapshot.CountStab(3, 3), snapshot.Size())
+	// Output:
+	// 2 2
+	// 2 2
+}

@@ -37,7 +37,9 @@ package stabbing
 
 import (
 	"math"
+	"slices"
 
+	"repro/internal/dynamic"
 	"repro/internal/parallel"
 	"repro/pam"
 )
@@ -189,15 +191,34 @@ type opensMap = pam.AugMap[Rect, struct{}, ySet, opensEntry]
 type closesMap = pam.AugMap[Rect, struct{}, ySet, closesEntry]
 type reportMap = pam.AugMap[Rect, struct{}, float64, reportEntry]
 
+// bufKey orders buffered rectangles in the canonical
+// (xLo, xHi, yLo, yHi) order, unaugmented.
+type bufKey struct{}
+
+func (bufKey) Less(a, b Rect) bool                 { return lessXLo(a, b) }
+func (bufKey) Id() struct{}                        { return struct{}{} }
+func (bufKey) Base(Rect, struct{}) struct{}        { return struct{}{} }
+func (bufKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
+
+// buffer is the secondary update layer (see internal/dynamic).
+type buffer = dynamic.Buffer[Rect, struct{}, bufKey]
+
 // Map is a persistent rectangle-stabbing structure. The zero value is
 // empty and usable. As with rangetree, the union-valued augmentations
-// make single-rectangle updates linear in the worst case, so the
-// structure is built in bulk (Build) and composed with Merge; all
-// versions persist.
+// make single-rectangle tree updates linear in the worst case, so the
+// structure is layered (internal/dynamic): an immutable bulk layer —
+// the three maps above, built and merged in parallel — plus a small
+// persistent update buffer that queries consult alongside it. Insert
+// and Delete write the buffer in O(log n) and fold it down with a full
+// parallel rebuild once it outgrows a fixed fraction of the bulk layer,
+// for amortized O(polylog n) updates; Build and Merge return fully
+// folded maps. All versions persist: updates return new handles and
+// old handles keep answering from exactly the contents they had.
 type Map struct {
 	opens  opensMap
 	closes closesMap
 	report reportMap
+	buf    buffer
 }
 
 // New returns an empty rectangle map with the given options.
@@ -226,22 +247,65 @@ func (m Map) Build(rects []Rect) Map {
 	return out
 }
 
-// Merge returns the union of two rectangle maps (parallel, persistent).
+// Insert returns a map with the rectangle added (a duplicate is a
+// no-op). Amortized O(polylog n): the rectangle lands in the update
+// buffer, which periodically folds into the bulk layer with a parallel
+// rebuild.
+func (m Map) Insert(r Rect) Map {
+	nm := m
+	nm.buf = m.buf.Insert(r, struct{}{}, struct{}{}, m.opens.Contains(r), nil)
+	if nm.buf.ShouldFold(nm.opens.Size()) {
+		return nm.fold()
+	}
+	return nm
+}
+
+// Delete returns a map without the rectangle; deleting an absent
+// rectangle is a no-op. Amortized O(polylog n).
+func (m Map) Delete(r Rect) Map {
+	nm := m
+	nm.buf = m.buf.Delete(r, struct{}{}, m.opens.Contains(r))
+	if nm.buf.ShouldFold(nm.opens.Size()) {
+		return nm.fold()
+	}
+	return nm
+}
+
+// fold rebuilds the bulk layer over the buffered updates, returning a
+// map with an empty buffer.
+func (m Map) fold() Map {
+	bulk := Map{opens: m.opens, closes: m.closes, report: m.report}
+	if m.buf.IsEmpty() {
+		return bulk
+	}
+	return bulk.Build(m.buf.ApplyKeys(m.opens.Keys()))
+}
+
+// Pending returns the number of buffered updates not yet folded into
+// the bulk layer (0 after Build, Merge, or a fold).
+func (m Map) Pending() int64 { return m.buf.Pending() }
+
+// Contains reports whether the rectangle is present.
+func (m Map) Contains(r Rect) bool { return m.buf.Contains(r, m.opens.Contains(r)) }
+
+// Merge returns the union of two rectangle maps (parallel, persistent),
+// folding both sides' buffered updates first.
 func (m Map) Merge(other Map) Map {
+	a, b := m.fold(), other.fold()
 	var out Map
 	parallel.Do3(
-		func() { out.opens = m.opens.Union(other.opens) },
-		func() { out.closes = m.closes.Union(other.closes) },
-		func() { out.report = m.report.Union(other.report) },
+		func() { out.opens = a.opens.Union(b.opens) },
+		func() { out.closes = a.closes.Union(b.closes) },
+		func() { out.report = a.report.Union(b.report) },
 	)
 	return out
 }
 
 // Size returns the number of distinct rectangles.
-func (m Map) Size() int64 { return m.opens.Size() }
+func (m Map) Size() int64 { return m.buf.LogicalSize(m.opens.Size()) }
 
 // IsEmpty reports whether the map is empty.
-func (m Map) IsEmpty() bool { return m.opens.IsEmpty() }
+func (m Map) IsEmpty() bool { return m.Size() == 0 }
 
 // CountStab returns the number of rectangles containing (x, y):
 // AugProject prefix sums over the opens and closes endpoint maps,
@@ -259,7 +323,33 @@ func (m Map) CountStab(x, y float64) int64 {
 		Rect{XHi: x, XLo: neg, YLo: neg, YHi: neg},
 		func(s ySet) int64 { return s.countStab(y) },
 		add, 0)
-	return opened - closed
+	return opened - closed + m.bufDelta(x, y)
+}
+
+// bufDelta is the update buffer's correction to CountStab: +1 for each
+// buffered insert containing (x, y), −1 for each containing tombstone.
+// O(log b + prefix matches) for a buffer of b rectangles.
+func (m Map) bufDelta(x, y float64) int64 {
+	if m.buf.IsEmpty() {
+		return 0
+	}
+	neg, pos := math.Inf(-1), math.Inf(1)
+	lo := Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg}
+	hi := Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos}
+	var d int64
+	m.buf.Adds.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+		if r.Contains(x, y) {
+			d++
+		}
+		return true
+	})
+	m.buf.Dels.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+		if r.Contains(x, y) {
+			d--
+		}
+		return true
+	})
+	return d
 }
 
 // Stabbed reports whether any rectangle contains (x, y).
@@ -281,16 +371,60 @@ func (m Map) ReportStab(x, y float64) []Rect {
 		}
 		return true
 	})
+	if !m.buf.IsEmpty() {
+		// Cancel tombstoned rectangles, then append the buffered inserts
+		// stabbed by (x, y) and restore the global order (rectangles in
+		// both layers are tombstoned, so none appears twice).
+		kept := out[:0]
+		for _, r := range out {
+			if !m.buf.Dels.Contains(r) {
+				kept = append(kept, r)
+			}
+		}
+		out = kept
+		neg := math.Inf(-1)
+		m.buf.Adds.ForEachRange(
+			Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg},
+			Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos},
+			func(r Rect, _ struct{}) bool {
+				if r.Contains(x, y) {
+					out = append(out, r)
+				}
+				return true
+			})
+		slices.SortFunc(out, cmpXLo)
+	}
 	return out
 }
 
+func cmpXLo(a, b Rect) int {
+	switch {
+	case lessXLo(a, b):
+		return -1
+	case lessXLo(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Rects materializes all rectangles in (xLo, xHi, yLo, yHi) order.
-func (m Map) Rects() []Rect { return m.opens.Keys() }
+func (m Map) Rects() []Rect {
+	keys := m.buf.ApplyKeys(m.opens.Keys())
+	// ApplyKeys appends the buffered inserts after the surviving bulk
+	// keys; both halves are already in (xLo, xHi, yLo, yHi) order.
+	slices.SortFunc(keys, cmpXLo)
+	return keys
+}
 
 // Validate checks the structural invariants of both constituent trees,
 // including that every node's nested maps hold exactly the subtree's
-// rectangles (for tests). O(n log n).
+// rectangles, plus the update-buffer invariants (for tests).
+// O(n log n).
 func (m Map) Validate() error {
+	if err := m.buf.Validate(m.opens.Find, nil); err != nil {
+		return err
+	}
 	sameKeys := func(a, b []Rect) bool {
 		if len(a) != len(b) {
 			return false
