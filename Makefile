@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race bench fuzz ci
+.PHONY: all build test vet race bench bench-json fuzz ci
 
 all: ci
 
@@ -26,6 +26,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The committed perf trajectory: the pambench perf suite (ns/op,
+# allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
+# it; bump the filename each PR that re-measures.
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 
 # Short exploratory fuzz burst over every fuzz target (each already
 # runs its seed corpus under plain `go test`).

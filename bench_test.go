@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline/sortedarray"
 	"repro/internal/baseline/sortrebuild"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 	"repro/interval"
@@ -695,12 +696,12 @@ func BenchmarkSegRect_StabCountNaive(b *testing.B) {
 
 // ------------------------------------------------- Dynamic updates
 
-// Update-throughput benchmarks for the dynamic (bulk-rebuild-amortized)
-// nested-augmentation structures: persistent single-element Insert into
-// a pre-built structure, folds included, so the reported ns/op is the
-// amortized cost the complexity test bounds. The ByRebuild variant is
-// the naive alternative — a full rebuild per update — that the layering
-// exists to beat.
+// Update-throughput benchmarks for the dynamic (logarithmic-method
+// ladder) nested-augmentation structures: persistent single-element
+// Insert into a pre-built structure, carries included, so the reported
+// ns/op is the amortized cost the complexity test bounds. The
+// ByRebuild variant is the naive alternative — a full rebuild per
+// update — that the layering exists to beat.
 
 func BenchmarkDynamic_RangeTreeInsert(b *testing.B) {
 	n := benchN / 10
@@ -728,7 +729,8 @@ func BenchmarkDynamic_RangeTreeDeleteInsert(b *testing.B) {
 
 func BenchmarkDynamic_RangeTreeInsertByRebuild(b *testing.B) {
 	// The linear baseline at a tenth of the scale: one seqrangetree
-	// rebuild per insert.
+	// index rebuild per insert (its index builds lazily, so a query per
+	// iteration forces the rebuild this baseline exists to show).
 	raw := workload.Points(12, benchN/100, float64(benchN/100), 100)
 	pts := make([]seqrangetree.Point, len(raw))
 	for i, p := range raw {
@@ -738,6 +740,7 @@ func BenchmarkDynamic_RangeTreeInsertByRebuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t = t.Insert(seqrangetree.Point{X: float64(i), Y: float64(i), W: 1})
+		_ = t.QuerySum(float64(i), float64(i)+1, 0, 1)
 	}
 }
 
@@ -762,7 +765,9 @@ func BenchmarkDynamic_StabbingInsert(b *testing.B) {
 }
 
 func BenchmarkDynamic_SegCountQueryWhileBuffered(b *testing.B) {
-	// Query cost with a part-full update buffer: the layered read path.
+	// Query cost with pending updates spread across the ladder: the
+	// layered read path (O(log n) levels plus the constant write
+	// buffer).
 	n := benchN / 10
 	m := segcount.New(pam.Options{}).Build(benchSegments(n))
 	for i := 0; i < n/20; i++ {
@@ -774,4 +779,92 @@ func BenchmarkDynamic_SegCountQueryWhileBuffered(b *testing.B) {
 		x := float64(i % n)
 		_ = m.CountCrossing(x, x, x+100)
 	}
+}
+
+// BenchmarkDynamicQueryTail is the worst-case-latency acceptance
+// benchmark: p50/p99 CountLine latency under a sustained insert stream
+// at n = 64k, for the ladder engine and for the PR-2 single-buffer
+// design it replaced (re-implemented in internal/experiments). The
+// ladder's win is the p99 gap: the buffer design's queries scan up to
+// n/8 pending records, the ladder's scan at most dynamic.BufCap plus
+// O(log n) polylog level queries. `pambench -json` commits the same
+// numbers to the perf trajectory.
+func BenchmarkDynamicQueryTail(b *testing.B) {
+	const n = 1 << 16
+	report := func(b *testing.B, run func(n, updates int) experiments.TailStats) {
+		var last experiments.TailStats
+		for i := 0; i < b.N; i++ {
+			last = run(n, n/4)
+		}
+		b.ReportMetric(float64(last.P50.Nanoseconds()), "p50-ns/query")
+		b.ReportMetric(float64(last.P99.Nanoseconds()), "p99-ns/query")
+		b.ReportMetric(float64(last.Mean.Nanoseconds()), "mean-ns/query")
+	}
+	b.Run("ladder", func(b *testing.B) { report(b, experiments.QueryTailLadder) })
+	b.Run("pr2buffer", func(b *testing.B) { report(b, experiments.QueryTailBuffer) })
+}
+
+// ------------------------------------------------- Grain sweep
+
+// Granularity sweep for the parallel bulk operations: Union, Build,
+// and MapReduce across Options.Grain values bracketing
+// core.DefaultGrain, at an elevated parallelism level so fork overhead
+// is visible even on small machines. Too-small grains pay
+// fork/scheduling overhead; too-large grains serialize. The committed
+// constants were chosen from this sweep (see the PR); re-run with
+//
+//	go test -bench BenchmarkGrainSweep -benchmem .
+func BenchmarkGrainSweep(b *testing.B) {
+	grains := []int64{64, 256, 1024, 4096, 16384}
+	withGrain := func(g int64, seed uint64, n int) sumMap {
+		return pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{Grain: g}).
+			Build(benchItems(seed, n), addv)
+	}
+	atParallelism := func(b *testing.B, p int, f func()) {
+		old := parallel.Parallelism()
+		parallel.SetParallelism(p)
+		defer parallel.SetParallelism(old)
+		b.ResetTimer()
+		f()
+	}
+	b.Run("Union", func(b *testing.B) {
+		for _, g := range grains {
+			t1, t2 := withGrain(g, 1, benchN), withGrain(g, 2, benchN)
+			b.Run(fmt.Sprintf("grain=%d", g), func(b *testing.B) {
+				atParallelism(b, 4, func() {
+					for i := 0; i < b.N; i++ {
+						_ = t1.UnionWith(t2, addv)
+					}
+				})
+			})
+		}
+	})
+	b.Run("Build", func(b *testing.B) {
+		items := benchItems(5, benchN)
+		for _, g := range grains {
+			m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{Grain: g})
+			b.Run(fmt.Sprintf("grain=%d", g), func(b *testing.B) {
+				atParallelism(b, 4, func() {
+					for i := 0; i < b.N; i++ {
+						_ = m.Build(items, addv)
+					}
+				})
+			})
+		}
+	})
+	b.Run("MapReduce", func(b *testing.B) {
+		for _, g := range grains {
+			m := withGrain(g, 1, benchN)
+			b.Run(fmt.Sprintf("grain=%d", g), func(b *testing.B) {
+				atParallelism(b, 4, func() {
+					for i := 0; i < b.N; i++ {
+						_ = pam.MapReduce(m,
+							func(_ uint64, v int64) int64 { return v },
+							func(x, y int64) int64 { return x + y },
+							0)
+					}
+				})
+			})
+		}
+	})
 }

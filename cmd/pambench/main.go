@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,8 +34,35 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "workload seed (default fixed)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list    = flag.Bool("list", false, "list experiments")
+		jsonOut = flag.Bool("json", false, "run the perf suite and emit JSON (the BENCH_PRn.json trajectory; `make bench-json`)")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		start := time.Now()
+		fmt.Fprintln(os.Stderr, "== perf suite (ns/op, allocs/op, query-tail percentiles)")
+		report := struct {
+			Go      string                    `json:"go"`
+			GOOS    string                    `json:"goos"`
+			GOARCH  string                    `json:"goarch"`
+			NumCPU  int                       `json:"num_cpu"`
+			Results []experiments.BenchResult `json:"results"`
+		}{
+			Go:      runtime.Version(),
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+			NumCPU:  runtime.NumCPU(),
+			Results: experiments.RunPerfSuite(),
+		}
+		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(start).Round(time.Millisecond))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "pambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *expName == "" {
 		fmt.Println("experiments:")

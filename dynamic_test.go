@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline/naiverect"
 	"repro/internal/baseline/naiveseg"
 	"repro/internal/baseline/seqrangetree"
+	"repro/internal/dynamic"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 	"repro/pam"
@@ -369,20 +370,24 @@ func dynSTDiff() dynDiff[dynST] { return dynDiff[dynST]{apply: dynSTApply, check
 const dynOpCount = 1200 // interleaved ops per structure, > 1000
 
 func TestDynamicRangeTreeDifferential(t *testing.T) {
+	dynSmallFlushCap(t)
 	dynRTDiff().run(t, dynRTFresh(), workload.Ops(101, dynOpCount, workload.DefaultMix))
 }
 
 func TestDynamicSegCountDifferential(t *testing.T) {
+	dynSmallFlushCap(t)
 	dynSCDiff().run(t, dynSCFresh(), workload.Ops(202, dynOpCount, workload.DefaultMix))
 }
 
 func TestDynamicStabbingDifferential(t *testing.T) {
+	dynSmallFlushCap(t)
 	dynSTDiff().run(t, dynSTFresh(), workload.Ops(303, dynOpCount, workload.DefaultMix))
 }
 
 // TestDynamicUpdateHeavy skews the mix toward updates so the buffer
 // folds many times at many sizes, with no merges muddying attribution.
 func TestDynamicUpdateHeavy(t *testing.T) {
+	dynSmallFlushCap(t)
 	mix := workload.Mix{Insert: 12, Delete: 6, Query: 3, Snapshot: 1}
 	t.Run("rangetree", func(t *testing.T) {
 		dynRTDiff().run(t, dynRTFresh(), workload.Ops(404, dynOpCount, mix))
@@ -414,9 +419,30 @@ func dynOpsFromBytes(data []byte) []workload.Op {
 	return ops
 }
 
+// dynCarrySeed builds a carry-edge seed: a run of distinct inserts
+// crossing the write-buffer cascade boundary, a snapshot, then
+// deletes cancelling every insert, then a full-range query — the
+// delete-heavy whole-level-cancellation shape at fuzz scale.
+func dynCarrySeed(inserts int) []byte {
+	var s []byte
+	coord := func(i int) (byte, byte) { return byte((i * 5) % 251), byte((i * 7) % 251) }
+	for i := 0; i < inserts; i++ {
+		a, b := coord(i)
+		s = append(s, 0, a, b, 10, 10)
+	}
+	s = append(s, 4, 0, 0, 0, 0) // snapshot (re-queried after the deletes fold)
+	for i := 0; i < inserts; i++ {
+		a, b := coord(i)
+		s = append(s, 1, a, b, 10, 10)
+	}
+	s = append(s, 2, 0, 255, 0, 255) // query the full range
+	return s
+}
+
 // dynFuzzSeeds covers every op kind (first byte mod 5 selects it):
-// insert/query bursts, delete-after-insert, a merge, and snapshots
-// re-queried after updates.
+// insert/query bursts, delete-after-insert, a merge, snapshots
+// re-queried after updates, and carry-edge shapes around the ladder's
+// BufCap flush boundary.
 func dynFuzzSeeds(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{
@@ -439,9 +465,17 @@ func dynFuzzSeeds(f *testing.F) {
 		8, 90, 10, 10, 10, // merge
 		7, 0, 0, 255, 255, // query
 	})
+	// Carry-propagation edges: insert runs one short of, exactly at,
+	// and one past the write-buffer capacity, each followed by a
+	// cancelling delete run (the 80-op cap trims the longest tail).
+	f.Add(dynCarrySeed(dynamic.FlushCap() - 1))
+	f.Add(dynCarrySeed(dynamic.FlushCap()))
+	f.Add(dynCarrySeed(dynamic.FlushCap() + 1))
 }
 
 func FuzzDynamicRangeTree(f *testing.F) {
+	old := dynamic.SetFlushCap(16)
+	f.Cleanup(func() { dynamic.SetFlushCap(old) })
 	dynFuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dynRTDiff().run(t, dynRTFresh(), dynOpsFromBytes(data))
@@ -449,6 +483,8 @@ func FuzzDynamicRangeTree(f *testing.F) {
 }
 
 func FuzzDynamicSegCount(f *testing.F) {
+	old := dynamic.SetFlushCap(16)
+	f.Cleanup(func() { dynamic.SetFlushCap(old) })
 	dynFuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dynSCDiff().run(t, dynSCFresh(), dynOpsFromBytes(data))
@@ -456,9 +492,234 @@ func FuzzDynamicSegCount(f *testing.F) {
 }
 
 func FuzzDynamicStabbing(f *testing.F) {
+	old := dynamic.SetFlushCap(16)
+	f.Cleanup(func() { dynamic.SetFlushCap(old) })
 	dynFuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dynSTDiff().run(t, dynSTFresh(), dynOpsFromBytes(data))
+	})
+}
+
+// ---- ladder carry-propagation edges --------------------------------
+
+// dynSmallFlushCap shrinks the ladder's write-buffer capacity so a
+// short update sequence packs in many carry cascades, restoring the
+// default when the test ends.
+func dynSmallFlushCap(t *testing.T) {
+	old := dynamic.SetFlushCap(16)
+	t.Cleanup(func() { dynamic.SetFlushCap(old) })
+}
+
+// dynCheckLadderShape asserts the geometric level bound: level i holds
+// at most (cap+1)<<i records (one update can append a live entry
+// plus a tombstone), and the level count stays logarithmic in the
+// total records ever inserted.
+func dynCheckLadderShape(t *testing.T, counts []int64, totalOps int, label string) {
+	t.Helper()
+	cap := int64(dynamic.FlushCap())
+	for i, c := range counts {
+		if c > (cap+1)<<i {
+			t.Fatalf("%s: level %d holds %d records, capacity %d", label, i, c, (cap+1)<<i)
+		}
+	}
+	maxLevels := 2
+	for cap<<maxLevels < int64(2*totalOps)+1 {
+		maxLevels++
+	}
+	if len(counts) > maxLevels+1 {
+		t.Fatalf("%s: %d levels for %d ops — not logarithmic", label, len(counts), totalOps)
+	}
+}
+
+// TestDynamicLadderCarryEdges drives each structure through adversarial
+// sizes around the flush boundaries — 2^k−1, 2^k, and 2^k+1 distinct
+// inserts, so the final insert of the 2^k runs triggers a full
+// cascaded carry — then a delete-heavy run that cancels whole levels,
+// re-querying pre-fold snapshots after the cascades. Differential
+// against flat oracles.
+func TestDynamicLadderCarryEdges(t *testing.T) {
+	dynSmallFlushCap(t)
+	bufCap := dynamic.FlushCap()
+	type snapshotRT struct {
+		tr   rangetree.Tree
+		size int64
+		sum  int64
+	}
+	t.Run("rangetree", func(t *testing.T) {
+		for _, k := range []int{6, 9, 11} {
+			for _, n := range []int{1<<k - 1, 1 << k, 1<<k + 1} {
+				t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+					tr := rangetree.New(pam.Options{})
+					oracle := make(map[rangetree.Point]int64, n)
+					var oracleSum int64
+					pt := func(i int) rangetree.Point {
+						return rangetree.Point{X: float64(i % 61), Y: float64(i / 61)}
+					}
+					var snaps []snapshotRT
+					for i := 0; i < n; i++ {
+						w := int64(i%7) + 1
+						tr = tr.Insert(pt(i), w)
+						oracle[pt(i)] += w
+						oracleSum += w
+						// Snapshot one op before each power-of-two flush
+						// count, i.e. right before a fully cascaded carry.
+						if c := i + 2; c >= 2*bufCap && c&(c-1) == 0 {
+							snaps = append(snaps, snapshotRT{tr, int64(len(oracle)), oracleSum})
+						}
+					}
+					all := rangetree.Rect{XLo: -1, XHi: 1e9, YLo: -1, YHi: 1e9}
+					if got := tr.QueryCount(all); got != int64(len(oracle)) {
+						t.Fatalf("QueryCount after inserts = %d, want %d", got, len(oracle))
+					}
+					if got := tr.QuerySum(all); got != oracleSum {
+						t.Fatalf("QuerySum after inserts = %d, want %d", got, oracleSum)
+					}
+					// Spot rectangle against the oracle.
+					spot := rangetree.Rect{XLo: 5, XHi: 30, YLo: 2, YHi: 20}
+					var spotSum int64
+					for p, w := range oracle {
+						if p.X >= spot.XLo && p.X <= spot.XHi && p.Y >= spot.YLo && p.Y <= spot.YHi {
+							spotSum += w
+						}
+					}
+					if got := tr.QuerySum(spot); got != spotSum {
+						t.Fatalf("QuerySum(spot) = %d, want %d", got, spotSum)
+					}
+					dynCheckLadderShape(t, tr.LevelRecordCounts(), n, "after inserts")
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("Validate after inserts: %v", err)
+					}
+
+					// Delete everything, evens first then odds, so carries
+					// annihilate whole levels on the way down.
+					for i := 0; i < n; i += 2 {
+						tr = tr.Delete(pt(i))
+					}
+					for i := 1; i < n; i += 2 {
+						tr = tr.Delete(pt(i))
+					}
+					if got := tr.Size(); got != 0 {
+						t.Fatalf("Size after deleting all = %d", got)
+					}
+					if got := tr.QueryCount(all); got != 0 {
+						t.Fatalf("QueryCount after deleting all = %d", got)
+					}
+					// Mass cancellation must condense the ladder: with zero
+					// live entries, at most the engine's condense floor of
+					// dead records may remain in the levels.
+					var records int64
+					for _, c := range tr.LevelRecordCounts() {
+						records += c
+					}
+					if records > 4*int64(bufCap) {
+						t.Fatalf("%d level records after deleting everything — cancelled levels not condensed", records)
+					}
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("Validate after deletes: %v", err)
+					}
+
+					// Pre-fold snapshots answer from frozen contents after
+					// every later cascade and the delete storm.
+					for i, sn := range snaps {
+						if got := sn.tr.Size(); got != sn.size {
+							t.Fatalf("snapshot %d: Size = %d, want %d", i, got, sn.size)
+						}
+						if got := sn.tr.QuerySum(all); got != sn.sum {
+							t.Fatalf("snapshot %d: QuerySum = %d, want %d", i, got, sn.sum)
+						}
+					}
+
+					// The emptied structure keeps working.
+					tr = tr.Insert(rangetree.Point{X: 1, Y: 1}, 9)
+					if got := tr.QuerySum(all); got != 9 {
+						t.Fatalf("QuerySum after re-insert = %d, want 9", got)
+					}
+				})
+			}
+		}
+	})
+
+	t.Run("segcount", func(t *testing.T) {
+		for _, k := range []int{6, 8} {
+			for _, n := range []int{1<<k - 1, 1 << k, 1<<k + 1} {
+				t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+					m := segcount.New(pam.Options{})
+					seg := func(i int) segcount.Segment {
+						x := float64(i % 41)
+						return segcount.Segment{XLo: x, XHi: x + 3, Y: float64(i / 41)}
+					}
+					var snaps []segcount.Map
+					var snapCounts []int64
+					for i := 0; i < n; i++ {
+						m = m.Insert(seg(i))
+						if c := i + 2; c >= 2*bufCap && c&(c-1) == 0 {
+							snaps = append(snaps, m)
+							snapCounts = append(snapCounts, m.CountLine(2))
+						}
+					}
+					want := int64(0)
+					for i := 0; i < n; i++ {
+						if s := seg(i); s.CrossesLine(2) {
+							want++
+						}
+					}
+					if got := m.CountLine(2); got != want {
+						t.Fatalf("CountLine(2) = %d, want %d", got, want)
+					}
+					dynCheckLadderShape(t, m.LevelRecordCounts(), n, "after inserts")
+					if err := m.Validate(); err != nil {
+						t.Fatalf("Validate after inserts: %v", err)
+					}
+					for i := n - 1; i >= 0; i-- {
+						m = m.Delete(seg(i))
+					}
+					if m.Size() != 0 || m.CountLine(2) != 0 {
+						t.Fatalf("size %d, CountLine %d after deleting all", m.Size(), m.CountLine(2))
+					}
+					for i := range snaps {
+						if got := snaps[i].CountLine(2); got != snapCounts[i] {
+							t.Fatalf("snapshot %d: CountLine = %d, want %d", i, got, snapCounts[i])
+						}
+					}
+				})
+			}
+		}
+	})
+
+	t.Run("stabbing", func(t *testing.T) {
+		for _, k := range []int{6, 8} {
+			for _, n := range []int{1<<k - 1, 1 << k, 1<<k + 1} {
+				t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+					m := stabbing.New(pam.Options{})
+					rect := func(i int) stabbing.Rect {
+						x, y := float64(i%37), float64(i/37)
+						return stabbing.Rect{XLo: x, XHi: x + 4, YLo: y, YHi: y + 4}
+					}
+					for i := 0; i < n; i++ {
+						m = m.Insert(rect(i))
+					}
+					want := int64(0)
+					for i := 0; i < n; i++ {
+						if rect(i).Contains(3, 3) {
+							want++
+						}
+					}
+					if got := m.CountStab(3, 3); got != want {
+						t.Fatalf("CountStab(3,3) = %d, want %d", got, want)
+					}
+					dynCheckLadderShape(t, m.LevelRecordCounts(), n, "after inserts")
+					if err := m.Validate(); err != nil {
+						t.Fatalf("Validate after inserts: %v", err)
+					}
+					for i := 0; i < n; i++ {
+						m = m.Delete(rect(i))
+					}
+					if m.Size() != 0 || m.CountStab(3, 3) != 0 {
+						t.Fatalf("size %d, CountStab %d after deleting all", m.Size(), m.CountStab(3, 3))
+					}
+				})
+			}
+		}
 	})
 }
 
@@ -477,12 +738,15 @@ func dynAllocs(f func()) float64 {
 }
 
 // TestDynamicInsertComplexity asserts the amortized insert bound of the
-// bulk-rebuild scheme: growing an empty structure to n by single
-// Inserts must cost amortized polylog(n) allocations per insert — the
-// fold series is geometric, so total fold work is O(n · polylog n) —
-// far below the Θ(n) per insert a rebuild-per-update design pays.
-// rangetree runs the issue's full 1k → 64k range; segcount and
-// stabbing (three bulk maps per fold, so ~3x the constant) run 1k →
+// logarithmic-method ladder: growing an empty structure to n by single
+// Inserts must cost amortized polylog(n) allocations per insert — each
+// record is rebuilt once per level it carries through, and the levels
+// are geometric, so total carry work is O(n · polylog n) — far below
+// the Θ(n) per insert a rebuild-per-update design pays. The resulting
+// ladder must also have the binary-counter shape: per-level record
+// counts bounded by the geometric capacities, logarithmically many
+// levels. rangetree runs the issue's full 1k → 64k range; segcount and
+// stabbing (three bulk maps per level, so ~3x the constant) run 1k →
 // 16k to keep the suite fast, asserting the same growth bounds.
 func TestDynamicInsertComplexity(t *testing.T) {
 	old := parallel.Parallelism()
@@ -519,6 +783,7 @@ func TestDynamicInsertComplexity(t *testing.T) {
 				if tr.Size() != int64(n) {
 					t.Fatalf("lost inserts: size %d of %d", tr.Size(), n)
 				}
+				dynCheckLadderShape(t, tr.LevelRecordCounts(), n, fmt.Sprintf("n=%d", n))
 			}) / float64(n)
 		})
 	})

@@ -51,7 +51,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	want := []string{"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "segrect",
+	want := []string{"dynamic", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "segrect",
 		"table1", "table2", "table3", "table4", "table5", "table6"}
 	all := experiments.All()
 	if len(all) != len(want) {

@@ -22,56 +22,79 @@ type Point struct {
 	W    int64
 }
 
-// Tree is the static range tree.
+// Tree is the range tree. The y-sorted node arrays are built lazily on
+// the first query and cached — the oracle analogue of the bulk-rebuild
+// idea — so persistent Insert/Delete cost O(n) array copies instead of
+// an O(n log n) rebuild each, which keeps the large adversarial
+// differential runs (thousands of updates) affordable. Not safe for
+// concurrent use.
 type Tree struct {
 	// xs: points sorted by (x, y); the implicit segment tree over this
 	// array defines the x-recursion.
 	xs []Point
-	// node i covers xs[lo:hi]; ys[i] holds those points sorted by y and
-	// pre[i] the exclusive prefix sums of their weights.
+	// idx is the lazily-built static index over xs.
+	idx *index
+}
+
+// index holds the per-node y-sorted arrays: node i covers xs[lo:hi];
+// ys[i] holds those points sorted by y and pre[i] the exclusive prefix
+// sums of their weights.
+type index struct {
 	ys  [][]Point
 	pre [][]int64
 }
 
-// Build constructs the tree. O(n log n): each level of the implicit
-// segment tree merges its children's y-sorted arrays.
+func cmpXY(a, b Point) int {
+	switch {
+	case a.X < b.X:
+		return -1
+	case a.X > b.X:
+		return 1
+	case a.Y < b.Y:
+		return -1
+	case a.Y > b.Y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Build constructs the tree over the points; the query index is built
+// on first use.
 func Build(pts []Point) *Tree {
 	xs := make([]Point, len(pts))
 	copy(xs, pts)
-	slices.SortFunc(xs, func(a, b Point) int {
-		switch {
-		case a.X < b.X:
-			return -1
-		case a.X > b.X:
-			return 1
-		case a.Y < b.Y:
-			return -1
-		case a.Y > b.Y:
-			return 1
-		default:
-			return 0
-		}
-	})
-	t := &Tree{xs: xs}
-	if len(xs) == 0 {
-		return t
-	}
-	t.ys = make([][]Point, 4*len(xs))
-	t.pre = make([][]int64, 4*len(xs))
-	t.build(1, 0, len(xs))
-	return t
+	slices.SortFunc(xs, cmpXY)
+	return &Tree{xs: xs}
 }
 
-func (t *Tree) build(node, lo, hi int) {
+// ensure builds and caches the static index. O(n log n): each level of
+// the implicit segment tree merges its children's y-sorted arrays.
+func (t *Tree) ensure() *index {
+	if t.idx != nil {
+		return t.idx
+	}
+	ix := &index{
+		ys:  make([][]Point, 4*len(t.xs)),
+		pre: make([][]int64, 4*len(t.xs)),
+	}
+	if len(t.xs) > 0 {
+		t.buildNode(ix, 1, 0, len(t.xs))
+	}
+	t.idx = ix
+	return ix
+}
+
+func (t *Tree) buildNode(ix *index, node, lo, hi int) {
 	if hi-lo == 1 {
-		t.ys[node] = t.xs[lo : lo+1]
-		t.pre[node] = []int64{0, t.xs[lo].W}
+		ix.ys[node] = t.xs[lo : lo+1]
+		ix.pre[node] = []int64{0, t.xs[lo].W}
 		return
 	}
 	mid := (lo + hi) / 2
-	t.build(2*node, lo, mid)
-	t.build(2*node+1, mid, hi)
-	l, r := t.ys[2*node], t.ys[2*node+1]
+	t.buildNode(ix, 2*node, lo, mid)
+	t.buildNode(ix, 2*node+1, mid, hi)
+	l, r := ix.ys[2*node], ix.ys[2*node+1]
 	merged := make([]Point, 0, len(l)+len(r))
 	i, j := 0, 0
 	for i < len(l) && j < len(r) {
@@ -85,12 +108,12 @@ func (t *Tree) build(node, lo, hi int) {
 	}
 	merged = append(merged, l[i:]...)
 	merged = append(merged, r[j:]...)
-	t.ys[node] = merged
+	ix.ys[node] = merged
 	pre := make([]int64, len(merged)+1)
 	for k, p := range merged {
 		pre[k+1] = pre[k] + p.W
 	}
-	t.pre[node] = pre
+	ix.pre[node] = pre
 }
 
 // Size returns the number of points (duplicates included).
@@ -102,20 +125,23 @@ func (t *Tree) Points() []Point {
 	return append([]Point(nil), t.xs...)
 }
 
-// Insert returns a new tree with p added (t is unchanged): the naive
-// dynamic baseline — a full O(n log n) rebuild per update, the linear
-// cost the PAM-based rangetree's buffered updates amortize away.
-// Duplicate coordinates coexist; queries sum their weights, matching
-// rangetree's weight-adding Insert.
+// Insert returns a new tree with p added (t is unchanged): an O(n)
+// sorted-array copy, with the O(n log n) index rebuild deferred to the
+// next query — the linear per-update cost the PAM-based rangetree's
+// ladder amortizes away. Duplicate coordinates coexist; queries sum
+// their weights, matching rangetree's weight-adding Insert.
 func (t *Tree) Insert(p Point) *Tree {
+	i := sort.Search(len(t.xs), func(i int) bool { return cmpXY(t.xs[i], p) >= 0 })
 	pts := make([]Point, 0, len(t.xs)+1)
-	pts = append(pts, t.xs...)
+	pts = append(pts, t.xs[:i]...)
 	pts = append(pts, p)
-	return Build(pts)
+	pts = append(pts, t.xs[i:]...)
+	return &Tree{xs: pts}
 }
 
 // Delete returns a new tree without any point at (x, y), whatever the
-// weights (t is unchanged); full rebuild, mirroring rangetree.Delete.
+// weights (t is unchanged); O(n) copy, index rebuild deferred,
+// mirroring rangetree.Delete.
 func (t *Tree) Delete(x, y float64) *Tree {
 	pts := make([]Point, 0, len(t.xs))
 	for _, p := range t.xs {
@@ -123,7 +149,7 @@ func (t *Tree) Delete(x, y float64) *Tree {
 			pts = append(pts, p)
 		}
 	}
-	return Build(pts)
+	return &Tree{xs: pts}
 }
 
 // xRange returns the index range [i, j) of points with XLo <= x <= XHi.
@@ -134,7 +160,7 @@ func (t *Tree) xRange(xlo, xhi float64) (int, int) {
 }
 
 // QuerySum returns the weight sum inside the closed rectangle.
-// O(log^2 n).
+// O(log^2 n) once the index is built.
 func (t *Tree) QuerySum(xlo, xhi, ylo, yhi float64) int64 {
 	if len(t.xs) == 0 {
 		return 0
@@ -143,29 +169,29 @@ func (t *Tree) QuerySum(xlo, xhi, ylo, yhi float64) int64 {
 	if i >= j {
 		return 0
 	}
-	return t.querySum(1, 0, len(t.xs), i, j, ylo, yhi)
+	return t.querySum(t.ensure(), 1, 0, len(t.xs), i, j, ylo, yhi)
 }
 
-func (t *Tree) querySum(node, lo, hi, i, j int, ylo, yhi float64) int64 {
+func (t *Tree) querySum(ix *index, node, lo, hi, i, j int, ylo, yhi float64) int64 {
 	if j <= lo || hi <= i {
 		return 0
 	}
 	if i <= lo && hi <= j {
-		ys := t.ys[node]
+		ys := ix.ys[node]
 		a := sort.Search(len(ys), func(k int) bool { return ys[k].Y >= ylo })
 		b := sort.Search(len(ys), func(k int) bool { return ys[k].Y > yhi })
 		if a >= b {
 			return 0
 		}
-		return t.pre[node][b] - t.pre[node][a]
+		return ix.pre[node][b] - ix.pre[node][a]
 	}
 	mid := (lo + hi) / 2
-	return t.querySum(2*node, lo, mid, i, j, ylo, yhi) +
-		t.querySum(2*node+1, mid, hi, i, j, ylo, yhi)
+	return t.querySum(ix, 2*node, lo, mid, i, j, ylo, yhi) +
+		t.querySum(ix, 2*node+1, mid, hi, i, j, ylo, yhi)
 }
 
 // ReportAll returns the points inside the closed rectangle.
-// O(log^2 n + k).
+// O(log^2 n + k) once the index is built.
 func (t *Tree) ReportAll(xlo, xhi, ylo, yhi float64) []Point {
 	if len(t.xs) == 0 {
 		return nil
@@ -175,16 +201,16 @@ func (t *Tree) ReportAll(xlo, xhi, ylo, yhi float64) []Point {
 	if i >= j {
 		return nil
 	}
-	t.report(1, 0, len(t.xs), i, j, ylo, yhi, &out)
+	t.report(t.ensure(), 1, 0, len(t.xs), i, j, ylo, yhi, &out)
 	return out
 }
 
-func (t *Tree) report(node, lo, hi, i, j int, ylo, yhi float64, out *[]Point) {
+func (t *Tree) report(ix *index, node, lo, hi, i, j int, ylo, yhi float64, out *[]Point) {
 	if j <= lo || hi <= i {
 		return
 	}
 	if i <= lo && hi <= j {
-		ys := t.ys[node]
+		ys := ix.ys[node]
 		a := sort.Search(len(ys), func(k int) bool { return ys[k].Y >= ylo })
 		for ; a < len(ys) && ys[a].Y <= yhi; a++ {
 			*out = append(*out, ys[a])
@@ -192,6 +218,6 @@ func (t *Tree) report(node, lo, hi, i, j int, ylo, yhi float64, out *[]Point) {
 		return
 	}
 	mid := (lo + hi) / 2
-	t.report(2*node, lo, mid, i, j, ylo, yhi, out)
-	t.report(2*node+1, mid, hi, i, j, ylo, yhi, out)
+	t.report(ix, 2*node, lo, mid, i, j, ylo, yhi, out)
+	t.report(ix, 2*node+1, mid, hi, i, j, ylo, yhi, out)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -62,7 +63,10 @@ type ops[K, V, A any, T Traits[K, V, A]] struct {
 
 // DefaultGrain is the subproblem size below which bulk operations stop
 // forking. PAM uses a node-count granularity of a few hundred; the same
-// magnitude works here.
+// magnitude works here. BenchmarkGrainSweep (root bench_test.go) sweeps
+// Union/Build/MapReduce over 64..16384 at elevated parallelism; on the
+// reference machine every grain lands within ~5% and 1024–4096 sit at
+// the minimum, so 1024 stays — re-run the sweep before changing it.
 const DefaultGrain = 1024
 
 func (o *ops[K, V, A, T]) grainSize() int64 {
@@ -92,6 +96,15 @@ func (o *ops[K, V, A, T]) augOf(t *node[K, V, A]) A {
 	return t.aug
 }
 
+// freedRef is the poisoned refcount of a node sitting in the pool.
+// Any release or mutation reaching such a node — a Tree handle used
+// after Release, the misuse Config.Pool's invariant forbids — trips a
+// panic instead of silently corrupting whatever tree adopts the node
+// next. Detection is best-effort: it holds until the pool re-issues
+// the node (and the poison write itself gives the race detector a
+// racing address for concurrent misuse).
+const freedRef = math.MinInt32 / 2
+
 // alloc returns a fresh node with refs == 1 and the scheme's singleton
 // aux value. Children, size, aug are set by the caller (via update).
 func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
@@ -99,6 +112,9 @@ func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
 	if o.pool != nil {
 		if x := o.pool.Get(); x != nil {
 			n = x.(*node[K, V, A])
+			if n.refs.Load() != freedRef {
+				panic("core: pooled node resurrected with a live refcount — tree handle used after Release?")
+			}
 			*n = node[K, V, A]{}
 		}
 	}
@@ -167,7 +183,10 @@ func (o *ops[K, V, A, T]) dec(t *node[K, V, A]) {
 	if t == nil {
 		return
 	}
-	if t.refs.Add(-1) != 0 {
+	if n := t.refs.Add(-1); n != 0 {
+		if n < freedRef/2 {
+			panic("core: releasing an already-freed node — tree handle used after Release?")
+		}
 		return
 	}
 	l, r := t.left, t.right
@@ -176,13 +195,16 @@ func (o *ops[K, V, A, T]) dec(t *node[K, V, A]) {
 	o.dec(r)
 }
 
-// free recycles a dead node. The children must already have been released.
+// free recycles a dead node. The children must already have been
+// released; the caller observed the refcount hit zero. Pooled nodes
+// are poisoned (see freedRef) so stale handles fail loudly.
 func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 	if o.stats != nil {
 		o.stats.Freed.Add(1)
 	}
 	if o.pool != nil {
 		t.left, t.right = nil, nil
+		t.refs.Store(freedRef)
 		o.pool.Put(t)
 	}
 }
@@ -192,11 +214,13 @@ func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 // copy (with child references taken) while t's own reference is dropped.
 // t must be non-nil and owned by the caller.
 func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
-	if t.refs.Load() == 1 {
+	if r := t.refs.Load(); r == 1 {
 		if o.stats != nil {
 			o.stats.Reuses.Add(1)
 		}
 		return t
+	} else if r < freedRef/2 {
+		panic("core: mutating an already-freed node — tree handle used after Release?")
 	}
 	n := o.alloc(t.key, t.val)
 	n.left, n.right = inc(t.left), inc(t.right)

@@ -51,3 +51,51 @@ func projectLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K,
 	r := projectLE(o, t.right, hi, g, f, id)
 	return f(f(g(o.augOf(t.left)), g(o.tr.Base(t.key, t.val))), r)
 }
+
+// augProjectKV is augProject with the projection of a single boundary
+// entry supplied directly as gEntry, which must satisfy
+// gEntry(k, v) == g(Base(k, v)). The generic version materializes
+// Base(k, v) for every node on the two O(log n) search paths; when the
+// augmented value is itself a map (range trees, segment maps) each
+// Base is a heap-allocated singleton structure, so the direct
+// projection removes O(log n) allocations per query — the difference
+// between an allocation-free count query and one that feeds the GC.
+
+func augProjectKVNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
+	for t != nil {
+		switch {
+		case o.tr.Less(t.key, lo):
+			t = t.right
+		case o.tr.Less(hi, t.key):
+			t = t.left
+		default:
+			l := projectKVGE(o, t.left, lo, gEntry, g, f, id)
+			m := gEntry(t.key, t.val)
+			r := projectKVLE(o, t.right, hi, gEntry, g, f, id)
+			return f(l, f(m, r))
+		}
+	}
+	return id
+}
+
+func projectKVGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
+	if t == nil {
+		return id
+	}
+	if o.tr.Less(t.key, lo) {
+		return projectKVGE(o, t.right, lo, gEntry, g, f, id)
+	}
+	l := projectKVGE(o, t.left, lo, gEntry, g, f, id)
+	return f(l, f(gEntry(t.key, t.val), g(o.augOf(t.right))))
+}
+
+func projectKVLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
+	if t == nil {
+		return id
+	}
+	if o.tr.Less(hi, t.key) {
+		return projectKVLE(o, t.left, hi, gEntry, g, f, id)
+	}
+	r := projectKVLE(o, t.right, hi, gEntry, g, f, id)
+	return f(f(g(o.augOf(t.left)), gEntry(t.key, t.val)), r)
+}

@@ -135,6 +135,54 @@ func TestStressPooledParallel(t *testing.T) {
 	}
 }
 
+// TestPooledUseAfterReleasePanics pins the Config.Pool safety
+// invariant: a Tree handle used after Release must fail loudly. The
+// freed nodes' poisoned refcounts turn the TestStressPooledParallel
+// misuse shape — keeping a second handle across a Release instead of
+// Retain — into a panic rather than silent cross-tree corruption (and
+// give `go test -race` a racing address when the misuse is
+// concurrent).
+func TestPooledUseAfterReleasePanics(t *testing.T) {
+	build := func() Tree[int, int64, int64, sumTraits] {
+		tr := New[int, int64, int64, sumTraits](Config{Pool: true})
+		items := make([]Entry[int, int64], 64)
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+		}
+		return tr.BuildSorted(items)
+	}
+	mustPanic := func(t *testing.T, name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s through a stale pooled handle did not panic", name)
+			}
+		}()
+		f()
+	}
+	t.Run("double-release", func(t *testing.T) {
+		tr := build()
+		stale := tr // snapshot without Retain: dead once tr releases
+		tr.Release()
+		mustPanic(t, "Release", func() { stale.Release() })
+	})
+	t.Run("mutate-after-release", func(t *testing.T) {
+		tr := build()
+		stale := tr
+		tr.Release()
+		mustPanic(t, "InsertInPlace", func() { stale.InsertInPlace(999, 1) })
+	})
+	t.Run("retain-is-safe", func(t *testing.T) {
+		tr := build()
+		snap := tr.Retain()
+		tr.Release()
+		if snap.Size() != 64 {
+			t.Fatalf("retained snapshot lost entries: %d", snap.Size())
+		}
+		snap.Release()
+	})
+}
+
 // TestStressHighParallelism runs the same workload at an exaggerated
 // parallelism level to shake out token accounting and fork storms.
 func TestStressHighParallelism(t *testing.T) {

@@ -16,8 +16,16 @@ type Config struct {
 	// (Table 4 experiments).
 	Stats *Stats
 	// Pool enables sync.Pool node recycling (the analogue of PAM's
-	// local/global allocator pools). Only safe when no Tree value is
-	// used after Release.
+	// local/global allocator pools). Safety invariant: no Tree value —
+	// including snapshots and handles sharing structure with one — may
+	// be used after a Release whose reference count drops their shared
+	// nodes to zero. Releasing hands nodes back to the pool for
+	// immediate reuse, so a stale handle reads (or worse, releases)
+	// another tree's nodes. Freed nodes carry a poisoned refcount:
+	// releasing or mutating through a stale handle panics (best-effort,
+	// until the pool re-issues the node), and under the race detector
+	// concurrent misuse additionally reports a race on the freed node's
+	// fields.
 	Pool bool
 }
 
@@ -306,6 +314,15 @@ func MapReduce[K, V, A, B any, T Traits[K, V, A]](t Tree[K, V, A, T], g func(k K
 // applications of f and g even when Combine is expensive.
 func AugProject[K, V, A, B any, T Traits[K, V, A]](t Tree[K, V, A, T], lo, hi K, g func(A) B, f func(x, y B) B, id B) B {
 	return augProjectNode(t.o(), t.root, lo, hi, g, f, id)
+}
+
+// AugProjectKV is AugProject with the projection of a single boundary
+// entry supplied directly: gEntry must satisfy
+// gEntry(k, v) == g(Base(k, v)). It skips materializing Base on the
+// search paths, which for map-valued augmentations removes O(log n)
+// singleton-structure allocations per query.
+func AugProjectKV[K, V, A, B any, T Traits[K, V, A]](t Tree[K, V, A, T], lo, hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
+	return augProjectKVNode(t.o(), t.root, lo, hi, gEntry, g, f, id)
 }
 
 // AugFilterWith is AugFilter with an additional take-all predicate

@@ -1,195 +1,200 @@
-// Package dynamic implements the shared bulk-rebuild amortization that
-// turns the build-once nested-augmentation structures (rangetree,
-// segcount, stabbing) into dynamic ones supporting Insert and Delete.
+// Package dynamic implements the shared dynamization engine that turns
+// the build-once nested-augmentation structures (rangetree, segcount,
+// stabbing) into dynamic ones supporting Insert and Delete with
+// worst-case polylogarithmic queries.
 //
 // Those structures cannot afford single-key tree updates: their
 // augmented values are themselves maps combined by union, so
 // recomputing the augmentation along a root path costs up to O(n) per
-// update. Following the secondary-structure design sketched for exactly
-// these structures in the follow-up paper (arXiv:1803.08621), each
-// dynamic structure instead keeps two layers:
+// update. PR 2 layered each structure as {immutable bulk layer + one
+// flat persistent update buffer}, which makes updates amortized polylog
+// but leaves queries paying an O(|buffer|) tail (up to n/FoldRatio
+// records) while updates are pending. This package replaces that single
+// buffer with the logarithmic method (Bentley–Saxe): a Ladder of
+// O(log n) immutable levels of geometrically increasing capacity, so
+// no query ever scans an unbounded buffer.
 //
-//   - an immutable bulk layer — the existing nested-augmentation
-//     structure, rebuilt only in bulk; and
-//   - a Buffer — a pair of small plain persistent maps recording the
-//     updates since the last rebuild: Adds holds inserted entries
-//     (absolute values, overriding the bulk layer) and Dels holds
-//     tombstones for bulk entries that were deleted or overwritten.
+//   - Level -1 (the write Buffer) absorbs single updates in O(log B)
+//     for a constant capacity B = BufCap; queries scan it in O(B) =
+//     O(1).
+//   - Level i >= 0 is an immutable pair of static structures of the
+//     consumer's own type (capacity BufCap << i records): Adds holds
+//     live entries, Dels holds tombstones. Queries consult every
+//     nonempty level — O(log n) of them, each answering in its own
+//     polylog bound — and add the Adds contribution while subtracting
+//     the Dels contribution.
 //
-// Queries consult both layers: counts and sums add the Adds
-// contribution and subtract the Dels contribution, reports concatenate
-// the Adds matches and cancel the tombstoned ones. When the buffer
-// grows past a fixed fraction of the bulk layer (ShouldFold) the owner
-// folds it down: materialize the surviving entries, apply the buffer,
-// and rebuild the bulk layer with the structure's existing parallel
-// Build/Merge machinery. A fold over n elements costs O(n·polylog n)
-// but is paid for by the Ω(n/FoldRatio) buffered updates that
-// triggered it, so updates cost amortized O(polylog n) — against the
-// O(n) a rebuild-per-update design pays — while queries pay at most
-// O(|buffer|) = O(n/FoldRatio) extra on top of their polylog bulk cost
-// (and nothing while the buffer is empty, the state Build and Merge
-// always return).
+// When the write buffer fills, it is flushed into a run and carried
+// down the ladder exactly like incrementing a binary counter: while the
+// next level is occupied, the run and that level merge (annihilating
+// tombstones against the live entries they cancel) and the carry
+// continues; the run settles in the first empty level. Each record is
+// therefore rebuilt O(log n) times in total, each time by the
+// consumer's parallel Build machinery, so updates stay amortized
+// O(polylog n) while queries become worst-case O(polylog n).
 //
-// Both buffer maps are persistent pam maps and the bulk layer is only
-// ever replaced wholesale, so the layered structures inherit the pam
-// snapshot guarantee: an update returns a new handle and every old
+// # The carry-propagation invariant
+//
+// Levels are ordered by age: every record in level i is newer than
+// every record in level j > i, and the write buffer is newer than all
+// levels. A tombstone always cancels exactly one live entry that is
+// strictly older (deeper) than it, and carries the cancelled entry's
+// value. Because carries always merge a contiguous, newest-first prefix
+// of the ladder, this age ordering is preserved by every merge, and
+// within any merged run at most one live entry and at most one
+// tombstone per key survive annihilation:
+//
+//   - a surviving live entry is the key's current value;
+//   - a surviving tombstone cancels a live entry deeper than the run.
+//
+// Consequently each level stores at most one record of each kind per
+// key, lookups resolve a key at the first (newest) level holding any
+// record for it — a live record means present, a tombstone means absent
+// — and counting queries are exact under signed summation. A full
+// cascade over every level (Entries/Condense) must consume every
+// tombstone; a leftover tombstone is an invariant violation.
+//
+// All level structures are persistent pam maps (or consumer composites
+// of them) and the level vector is copied on write, so the layered
+// structures inherit the pam snapshot guarantee: an update returns a
+// new handle capturing the level vector by reference, and every old
 // handle keeps answering from exactly the contents it had.
 package dynamic
 
-import "repro/pam"
+import (
+	"sync/atomic"
 
-// Fold policy: fold once at least FoldMin updates are buffered AND the
-// buffer is at least 1/FoldRatio of the bulk layer. FoldMin keeps tiny
-// structures from rebuilding on every update; FoldRatio trades query
-// overhead (buffer scans, at most bulk/FoldRatio entries) against
-// amortized update cost (O(FoldRatio · polylog n)).
-const (
-	FoldMin   = 16
-	FoldRatio = 8
+	"repro/pam"
 )
 
-// ShouldFold reports whether a buffer holding pending updates over a
-// bulk layer of bulkSize entries must be folded down.
-func ShouldFold(pending, bulkSize int64) bool {
-	return pending >= FoldMin && pending*FoldRatio >= bulkSize
+// BufCap is the default capacity of the level -1 write buffer: the
+// number of buffered update records that triggers a flush into the
+// ladder, and the worst-case number of extra records any query scans
+// linearly. Small enough to be "O(1)" for the worst-case query bound,
+// large enough that flush builds amortize their constant overhead and
+// the ladder stays shallow (each halving of the capacity adds one
+// level to every query).
+const BufCap = 256
+
+// flushCap is the active write-buffer capacity (see SetFlushCap).
+var flushCap atomic.Int64
+
+func init() { flushCap.Store(BufCap) }
+
+// FlushCap reports the active write-buffer capacity.
+func FlushCap() int { return int(flushCap.Load()) }
+
+// SetFlushCap overrides the write-buffer capacity and returns the
+// previous value. It exists for tests (like parallel.SetParallelism):
+// a small capacity packs many carry cascades into a short update
+// sequence. Set it before building any ladder and restore it after —
+// Validate checks level capacities against the active value.
+func SetFlushCap(c int) int {
+	if c < 2 {
+		c = 2
+	}
+	return int(flushCap.Swap(int64(c)))
 }
 
-// Buffer is the secondary layer: the updates not yet folded into the
-// bulk structure. E fixes the key order (the augmentation slot is
-// unused); K and V are the bulk structure's element and value types —
-// set structures use struct{} values.
+// Buffer is the write buffer: the updates not yet flushed into the
+// ladder levels. E fixes the key order (the augmentation slot is
+// unused); K and V are the consumer structure's element and value types
+// — set structures use struct{} values.
 //
-// Invariants (maintained by Insert/Delete given truthful bulk lookups):
-//   - every Dels key is present in the bulk layer, with the bulk value;
-//   - every Adds key that is present in the bulk layer is also in Dels
-//     (its bulk contribution is cancelled, the Adds value overrides).
+// Invariants (maintained by Insert/Delete given truthful lookups of the
+// static levels beneath it):
+//   - every Dels key is live in the static levels, with that value;
+//   - every Adds key that is live in the static levels is also in Dels
+//     (its static contribution is cancelled, the Adds value overrides).
 //
-// The logical contents of the layered structure are therefore
-// (bulk − Dels) ∪ Adds, with all three key sets involved in the union
-// disjoint. The zero value is an empty buffer, immediately usable; all
-// methods are persistent.
+// The logical contents of the buffered structure are therefore
+// (static − Dels) ∪ Adds, with all three key sets involved in the
+// union disjoint. The zero value is an empty buffer, immediately
+// usable; all methods are persistent.
 type Buffer[K, V any, E pam.Aug[K, V, struct{}]] struct {
 	Adds pam.AugMap[K, V, struct{}, E]
 	Dels pam.AugMap[K, V, struct{}, E]
 }
 
-// Pending returns the number of buffered update records (the size
-// ShouldFold is fed).
+// Pending returns the number of buffered update records.
 func (b Buffer[K, V, E]) Pending() int64 { return b.Adds.Size() + b.Dels.Size() }
 
 // IsEmpty reports whether no updates are buffered.
 func (b Buffer[K, V, E]) IsEmpty() bool { return b.Adds.IsEmpty() && b.Dels.IsEmpty() }
 
-// LogicalSize returns the entry count of the layered structure given
-// the bulk layer's entry count.
-func (b Buffer[K, V, E]) LogicalSize(bulkSize int64) int64 {
-	return bulkSize - b.Dels.Size() + b.Adds.Size()
+// LogicalSize returns the entry count of the buffered structure given
+// the entry count of the layers beneath it.
+func (b Buffer[K, V, E]) LogicalSize(staticSize int64) int64 {
+	return staticSize - b.Dels.Size() + b.Adds.Size()
 }
 
-// ShouldFold reports whether the buffer must be folded into a bulk
-// layer of bulkSize entries.
-func (b Buffer[K, V, E]) ShouldFold(bulkSize int64) bool {
-	return ShouldFold(b.Pending(), bulkSize)
-}
-
-// Insert returns the buffer with (k, v) inserted. bulkVal and inBulk
-// are the bulk layer's lookup of k. When k is logically present and
-// combine is non-nil the stored value becomes combine(current, v);
-// with a nil combine v overwrites.
-func (b Buffer[K, V, E]) Insert(k K, v V, bulkVal V, inBulk bool, combine func(old, new V) V) Buffer[K, V, E] {
+// Insert returns the buffer with (k, v) inserted. staticVal and
+// inStatic are the static levels' logical lookup of k. When k is
+// logically present and combine is non-nil the stored value becomes
+// combine(current, v); with a nil combine v overwrites.
+func (b Buffer[K, V, E]) Insert(k K, v V, staticVal V, inStatic bool, combine func(old, new V) V) Buffer[K, V, E] {
 	if combine != nil {
 		if cur, ok := b.Adds.Find(k); ok {
 			v = combine(cur, v)
-		} else if inBulk && !b.Dels.Contains(k) {
-			v = combine(bulkVal, v)
+		} else if inStatic && !b.Dels.Contains(k) {
+			v = combine(staticVal, v)
 		}
 	}
 	nb := b
 	nb.Adds = b.Adds.Insert(k, v)
-	if inBulk {
-		// Cancel the bulk contribution; the Adds value is absolute.
-		nb.Dels = b.Dels.Insert(k, bulkVal)
+	if inStatic {
+		// Cancel the static contribution; the Adds value is absolute.
+		nb.Dels = b.Dels.Insert(k, staticVal)
 	}
 	return nb
 }
 
 // Delete returns the buffer with k removed from the logical contents.
-// bulkVal and inBulk are the bulk layer's lookup of k. Deleting an
-// absent key is a no-op.
-func (b Buffer[K, V, E]) Delete(k K, bulkVal V, inBulk bool) Buffer[K, V, E] {
+// staticVal and inStatic are the static levels' logical lookup of k.
+// Deleting an absent key is a no-op.
+func (b Buffer[K, V, E]) Delete(k K, staticVal V, inStatic bool) Buffer[K, V, E] {
 	nb := b
 	nb.Adds = b.Adds.Delete(k)
-	if inBulk {
-		nb.Dels = b.Dels.Insert(k, bulkVal)
+	if inStatic {
+		nb.Dels = b.Dels.Insert(k, staticVal)
 	}
 	return nb
 }
 
 // Contains reports whether k is logically present, given whether the
-// bulk layer holds it.
-func (b Buffer[K, V, E]) Contains(k K, inBulk bool) bool {
+// static levels hold it live.
+func (b Buffer[K, V, E]) Contains(k K, inStatic bool) bool {
 	if b.Adds.Contains(k) {
 		return true
 	}
-	return inBulk && !b.Dels.Contains(k)
+	return inStatic && !b.Dels.Contains(k)
 }
 
-// Find returns the logical value at k, given the bulk layer's lookup.
-func (b Buffer[K, V, E]) Find(k K, bulkVal V, inBulk bool) (V, bool) {
+// Find returns the logical value at k, given the static levels' lookup.
+func (b Buffer[K, V, E]) Find(k K, staticVal V, inStatic bool) (V, bool) {
 	if v, ok := b.Adds.Find(k); ok {
 		return v, true
 	}
-	if inBulk && !b.Dels.Contains(k) {
-		return bulkVal, true
+	if inStatic && !b.Dels.Contains(k) {
+		return staticVal, true
 	}
 	var zero V
 	return zero, false
 }
 
-// Apply folds the buffer into a materialized bulk entry list: it drops
-// the tombstoned entries and appends the Adds entries. The result's
-// keys are pairwise distinct (by the Buffer invariants) but not sorted
-// across the two parts; feed it to the structure's parallel Build. The
-// input slice is consumed (filtered in place).
-func (b Buffer[K, V, E]) Apply(bulk []pam.KV[K, V]) []pam.KV[K, V] {
-	if b.IsEmpty() {
-		return bulk
-	}
-	keep := bulk[:0]
-	for _, e := range bulk {
-		if !b.Dels.Contains(e.Key) {
-			keep = append(keep, e)
-		}
-	}
-	return append(keep, b.Adds.Entries()...)
-}
-
-// ApplyKeys is Apply for set structures that materialize bare keys.
-func (b Buffer[K, V, E]) ApplyKeys(bulk []K) []K {
-	if b.IsEmpty() {
-		return bulk
-	}
-	keep := bulk[:0]
-	for _, k := range bulk {
-		if !b.Dels.Contains(k) {
-			keep = append(keep, k)
-		}
-	}
-	return append(keep, b.Adds.Keys()...)
-}
-
-// Validate checks the Buffer invariants against the bulk layer's
-// lookup function and value equality; it returns a non-nil error
-// naming the first violation (for the structures' Validate methods).
-func (b Buffer[K, V, E]) Validate(bulkFind func(K) (V, bool), valEq func(a, b V) bool) error {
+// Validate checks the Buffer invariants against the static levels'
+// logical lookup function and value equality; it returns a non-nil
+// error naming the first violation (for the structures' Validate
+// methods).
+func (b Buffer[K, V, E]) Validate(staticFind func(K) (V, bool), valEq func(a, b V) bool) error {
 	var err error
 	b.Dels.ForEach(func(k K, v V) bool {
-		bv, ok := bulkFind(k)
+		sv, ok := staticFind(k)
 		if !ok {
 			err = errTombstoneMissing
 			return false
 		}
-		if valEq != nil && !valEq(bv, v) {
+		if valEq != nil && !valEq(sv, v) {
 			err = errTombstoneValue
 			return false
 		}
@@ -199,7 +204,7 @@ func (b Buffer[K, V, E]) Validate(bulkFind func(K) (V, bool), valEq func(a, b V)
 		return err
 	}
 	b.Adds.ForEach(func(k K, _ V) bool {
-		if _, ok := bulkFind(k); ok && !b.Dels.Contains(k) {
+		if _, ok := staticFind(k); ok && !b.Dels.Contains(k) {
 			err = errAddNotCancelled
 			return false
 		}
@@ -208,12 +213,18 @@ func (b Buffer[K, V, E]) Validate(bulkFind func(K) (V, bool), valEq func(a, b V)
 	return err
 }
 
-type bufferError string
+type ladderError string
 
-func (e bufferError) Error() string { return string(e) }
+func (e ladderError) Error() string { return string(e) }
 
 const (
-	errTombstoneMissing = bufferError("dynamic: tombstone for a key absent from the bulk layer")
-	errTombstoneValue   = bufferError("dynamic: tombstone value differs from the bulk layer's")
-	errAddNotCancelled  = bufferError("dynamic: buffered insert shadows a live bulk entry without a tombstone")
+	errTombstoneMissing = ladderError("dynamic: tombstone for a key not live in the static levels")
+	errTombstoneValue   = ladderError("dynamic: tombstone value differs from the static levels'")
+	errAddNotCancelled  = ladderError("dynamic: buffered insert shadows a live static entry without a tombstone")
+	errDupLive          = ladderError("dynamic: two live entries for one key in a merged run")
+	errDupTombstone     = ladderError("dynamic: two tombstones for one key in a merged run")
+	errTombstoneValues  = ladderError("dynamic: tombstone annihilated a live entry with a different value")
+	errOrphanTombstone  = ladderError("dynamic: tombstone without a matching live entry after a full cascade")
+	errLevelSize        = ladderError("dynamic: level record count disagrees with its structure size")
+	errLevelCap         = ladderError("dynamic: level exceeds its geometric capacity")
 )

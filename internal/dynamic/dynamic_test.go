@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/pam"
@@ -10,29 +11,9 @@ type buf = Buffer[int, int64, pam.NoAug[int, int64]]
 
 func addv(a, b int64) int64 { return a + b }
 
-// bulkOf builds a lookup function over a fixed bulk layer.
+// bulkOf builds a lookup function over a fixed static layer.
 func bulkOf(m map[int]int64) func(int) (int64, bool) {
 	return func(k int) (int64, bool) { v, ok := m[k]; return v, ok }
-}
-
-func TestShouldFold(t *testing.T) {
-	cases := []struct {
-		pending, bulk int64
-		want          bool
-	}{
-		{0, 0, false},
-		{FoldMin - 1, 0, false}, // below the minimum, never
-		{FoldMin, 0, true},      // empty bulk: fold at the minimum
-		{FoldMin, FoldMin * FoldRatio, true},
-		{FoldMin, FoldMin*FoldRatio + 1, false}, // buffer under bulk/ratio
-		{1000, 8000, true},
-		{999, 8000, false},
-	}
-	for _, c := range cases {
-		if got := ShouldFold(c.pending, c.bulk); got != c.want {
-			t.Errorf("ShouldFold(%d, %d) = %v, want %v", c.pending, c.bulk, got, c.want)
-		}
-	}
 }
 
 func TestBufferInsertDeleteFind(t *testing.T) {
@@ -58,24 +39,24 @@ func TestBufferInsertDeleteFind(t *testing.T) {
 	if v, ok := find(b, 5); !ok || v != 7 {
 		t.Fatalf("Find(5) = %v, %v; want 7, true", v, ok)
 	}
-	// Key in bulk: combined with the bulk value, bulk copy tombstoned.
+	// Key in the static layer: combined with its value, which is tombstoned.
 	b = ins(b, 1, 3)
 	if v, ok := find(b, 1); !ok || v != 13 {
 		t.Fatalf("Find(1) = %v, %v; want 13, true", v, ok)
 	}
 	if !b.Dels.Contains(1) {
-		t.Fatal("insert over a bulk key must tombstone the bulk entry")
+		t.Fatal("insert over a static key must tombstone the static entry")
 	}
-	// Key untouched by the buffer: answered from bulk.
+	// Key untouched by the buffer: answered from the static layer.
 	if v, ok := find(b, 2); !ok || v != 20 {
 		t.Fatalf("Find(2) = %v, %v; want 20, true", v, ok)
 	}
-	// Delete a bulk key: tombstone only.
+	// Delete a static key: tombstone only.
 	b = del(b, 2)
 	if _, ok := find(b, 2); ok {
-		t.Fatal("deleted bulk key still logically present")
+		t.Fatal("deleted static key still logically present")
 	}
-	// Re-insert after delete: the combine must NOT see the dead bulk value.
+	// Re-insert after delete: the combine must NOT see the dead value.
 	b = ins(b, 2, 4)
 	if v, ok := find(b, 2); !ok || v != 4 {
 		t.Fatalf("reinserted Find(2) = %v, %v; want 4, true", v, ok)
@@ -94,7 +75,7 @@ func TestBufferInsertDeleteFind(t *testing.T) {
 	if err := b.Validate(lookup, func(a, c int64) bool { return a == c }); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	// Logical size: bulk {1,2} both tombstoned, adds {1, 2}.
+	// Logical size: static {1,2} both tombstoned, adds {1, 2}.
 	if got := b.LogicalSize(int64(len(bulk))); got != 2 {
 		t.Fatalf("LogicalSize = %d, want 2", got)
 	}
@@ -113,50 +94,202 @@ func TestBufferPersistence(t *testing.T) {
 	}
 }
 
-func TestBufferApply(t *testing.T) {
-	bulk := map[int]int64{1: 10, 2: 20, 3: 30}
-	lookup := bulkOf(bulk)
-	var b buf
-	bv, ok := lookup(2)
-	b = b.Delete(2, bv, ok)
-	bv, ok = lookup(3)
-	b = b.Insert(3, 5, bv, ok, nil) // overwrite semantics
-	b = b.Insert(7, 70, 0, false, nil)
-
-	entries := []pam.KV[int, int64]{{Key: 1, Val: 10}, {Key: 2, Val: 20}, {Key: 3, Val: 30}}
-	got := b.Apply(entries)
-	want := map[int]int64{1: 10, 3: 5, 7: 70}
-	if len(got) != len(want) {
-		t.Fatalf("Apply returned %d entries, want %d: %v", len(got), len(want), got)
-	}
-	for _, e := range got {
-		if want[e.Key] != e.Val {
-			t.Fatalf("Apply entry %v, want value %d", e, want[e.Key])
-		}
-	}
-	keys := b.ApplyKeys([]int{1, 2, 3})
-	if len(keys) != 3 { // 1, 3 (re-added), 7
-		t.Fatalf("ApplyKeys = %v, want three keys", keys)
-	}
-}
-
 func TestBufferValidateDetectsViolations(t *testing.T) {
 	lookup := bulkOf(map[int]int64{1: 10})
 	eq := func(a, b int64) bool { return a == b }
 
 	var b buf
-	b.Dels = b.Dels.Insert(9, 0) // tombstone for a key not in bulk
+	b.Dels = b.Dels.Insert(9, 0) // tombstone for a key not in the static layer
 	if err := b.Validate(lookup, eq); err == nil {
 		t.Fatal("missing-key tombstone not detected")
 	}
 	var b2 buf
-	b2.Dels = b2.Dels.Insert(1, 999) // wrong cached bulk value
+	b2.Dels = b2.Dels.Insert(1, 999) // wrong cached static value
 	if err := b2.Validate(lookup, eq); err == nil {
 		t.Fatal("stale tombstone value not detected")
 	}
 	var b3 buf
-	b3.Adds = b3.Adds.Insert(1, 5) // shadows a live bulk entry, no tombstone
+	b3.Adds = b3.Adds.Insert(1, 5) // shadows a live static entry, no tombstone
 	if err := b3.Validate(lookup, eq); err == nil {
 		t.Fatal("uncancelled shadowing insert not detected")
+	}
+}
+
+// ---- the ladder over a plain sum map -------------------------------
+
+type testS = pam.AugMap[int, int64, struct{}, pam.NoAug[int, int64]]
+type testLadder = Ladder[int, int64, testS, pam.NoAug[int, int64]]
+
+var testBE = &Backend[int, int64, testS]{
+	Build:   func(proto testS, items []pam.KV[int, int64]) testS { return proto.Build(items, nil) },
+	Entries: testS.Entries,
+	Size:    testS.Size,
+	Find:    testS.Find,
+	Less:    func(a, b int) bool { return a < b },
+	ValEq:   func(a, b int64) bool { return a == b },
+}
+
+func ladderMustAgree(t *testing.T, l testLadder, m map[int]int64, label string) {
+	t.Helper()
+	if got, want := l.Size(), int64(len(m)); got != want {
+		t.Fatalf("%s: Size = %d, oracle %d", label, got, want)
+	}
+	for _, e := range l.Entries(testBE) {
+		if v, ok := m[e.Key]; !ok || v != e.Val {
+			t.Fatalf("%s: Entries has (%d, %d), oracle %v %v", label, e.Key, e.Val, v, ok)
+		}
+	}
+	if err := l.Validate(testBE); err != nil {
+		t.Fatalf("%s: Validate: %v", label, err)
+	}
+}
+
+func TestLadderDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	m := map[int]int64{}
+	type snap struct {
+		l testLadder
+		m map[int]int64
+	}
+	var snaps []snap
+	for i := 0; i < 4000; i++ {
+		k := rng.Intn(400)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert with combine
+			l = l.Insert(testBE, k, int64(i), addv)
+			m[k] += int64(i)
+		case 6, 7: // delete
+			l = l.Delete(testBE, k)
+			delete(m, k)
+		case 8: // point lookups
+			v, ok := l.Find(testBE, k)
+			wv, wok := m[k]
+			if ok != wok || v != wv {
+				t.Fatalf("step %d: Find(%d) = %d,%v, oracle %d,%v", i, k, v, ok, wv, wok)
+			}
+		case 9: // snapshot
+			mc := make(map[int]int64, len(m))
+			for k, v := range m {
+				mc[k] = v
+			}
+			snaps = append(snaps, snap{l, mc})
+		}
+		if i%500 == 499 {
+			ladderMustAgree(t, l, m, "current")
+		}
+	}
+	ladderMustAgree(t, l, m, "final")
+	for i, s := range snaps {
+		if got, want := s.l.Size(), int64(len(s.m)); got != want {
+			t.Fatalf("snapshot %d: Size = %d, frozen oracle %d", i, got, want)
+		}
+	}
+	if len(snaps) > 0 {
+		ladderMustAgree(t, snaps[0].l, snaps[0].m, "snapshot 0")
+	}
+}
+
+// TestLadderGeometricLevels checks the binary-counter shape: after n
+// distinct inserts, levels are capacity-bounded (level i holds at most
+// BufCap<<i records), the level count is logarithmic, and the occupied
+// levels mirror the binary representation of n/BufCap.
+func TestLadderGeometricLevels(t *testing.T) {
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	const n = 20 * BufCap
+	for i := 0; i < n; i++ {
+		l = l.Insert(testBE, i, 1, nil)
+	}
+	counts := l.LevelRecordCounts()
+	var total int64 = l.Pending()
+	for i, c := range counts {
+		if c > int64(BufCap)<<i {
+			t.Fatalf("level %d holds %d records, capacity %d", i, c, BufCap<<i)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("records across ladder = %d, want %d", total, n)
+	}
+	// 20*BufCap inserts = binary 10100 flushes: levels 2 and 4 occupied.
+	want := map[int]int64{2: 4 * BufCap, 4: 16 * BufCap}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("level %d holds %d records, want %d (counter shape)", i, c, want[i])
+		}
+	}
+}
+
+// TestLadderDeleteCancelsLevels checks mass annihilation: deleting
+// everything must cancel whole levels and condense back to an empty
+// ladder with no tombstone residue.
+func TestLadderDeleteCancelsLevels(t *testing.T) {
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	const n = 8 * BufCap
+	for i := 0; i < n; i++ {
+		l = l.Insert(testBE, i, int64(i), nil)
+	}
+	snapshot := l
+	for i := 0; i < n; i++ {
+		l = l.Delete(testBE, i)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size after deleting all = %d", l.Size())
+	}
+	if got := l.records(); got != 0 {
+		t.Fatalf("physical records after deleting all = %d, want 0 (condensed)", got)
+	}
+	if err := l.Validate(testBE); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The pre-delete snapshot still answers from its frozen contents.
+	if snapshot.Size() != n {
+		t.Fatalf("snapshot Size = %d, want %d", snapshot.Size(), n)
+	}
+	if v, ok := snapshot.Find(testBE, 7); !ok || v != 7 {
+		t.Fatalf("snapshot Find(7) = %d, %v", v, ok)
+	}
+}
+
+func TestLadderWithStaticAndCondense(t *testing.T) {
+	items := make([]pam.KV[int, int64], 100)
+	for i := range items {
+		items[i] = pam.KV[int, int64]{Key: i, Val: int64(i)}
+	}
+	s := testBE.Build(testS{}, items)
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{}).WithStatic(testBE, s)
+	if l.Pending() != 0 || l.Size() != 100 {
+		t.Fatalf("WithStatic: pending %d size %d", l.Pending(), l.Size())
+	}
+	// Condense of a pure single level returns the level itself.
+	if got := l.Condense(testBE); got.Size() != 100 {
+		t.Fatalf("Condense size = %d", got.Size())
+	}
+	// After updates, Condense folds everything into live entries.
+	l = l.Insert(testBE, 1000, 5, nil).Delete(testBE, 0)
+	c := l.Condense(testBE)
+	if c.Size() != 100 {
+		t.Fatalf("Condense after updates size = %d, want 100", c.Size())
+	}
+	if _, ok := c.Find(0); ok {
+		t.Fatal("deleted key survived Condense")
+	}
+	if v, ok := c.Find(1000); !ok || v != 5 {
+		t.Fatalf("inserted key lost by Condense: %d, %v", v, ok)
+	}
+}
+
+func TestFitLevel(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {BufCap, 0}, {BufCap + 1, 1}, {2 * BufCap, 1},
+		{2*BufCap + 1, 2}, {64 * BufCap, 6},
+	}
+	for _, c := range cases {
+		if got := fitLevel(c.n); got != c.want {
+			t.Errorf("fitLevel(%d) = %d, want %d", c.n, got, c.want)
+		}
 	}
 }

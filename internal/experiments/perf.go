@@ -1,0 +1,281 @@
+// Perf suite: the measured performance trajectory. `pambench -json`
+// (and `make bench-json`) runs RunPerfSuite and emits BENCH_PRn.json —
+// one record per operation with ns/op, allocs/op, and worst-case query
+// percentiles where measured — so successive PRs can be compared with
+// benchstat-style tooling over committed artifacts.
+//
+// The headline entry is the dynamic query tail: p50/p99 query latency
+// under a sustained update stream, measured for the logarithmic-method
+// ladder (the current engine) and for an in-file re-implementation of
+// the PR-2 single-buffer design (static bulk structure + one flat
+// persistent update buffer scanned by every query, folded at the
+// size-ratio threshold). The ladder's worst-case polylog claim is
+// exactly the p99 gap between the two.
+package experiments
+
+import (
+	"slices"
+	"strconv"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/workload"
+	"repro/pam"
+	"repro/rangetree"
+	"repro/segcount"
+	"repro/stabbing"
+)
+
+// The PR-2 fold policy (the constants the single-buffer design used):
+// fold once at least pr2FoldMin updates are buffered AND the buffer is
+// at least 1/pr2FoldRatio of the bulk layer.
+const (
+	pr2FoldMin   = 16
+	pr2FoldRatio = 8
+)
+
+// TailStats summarizes per-query latencies under an update stream.
+type TailStats struct {
+	P50, P99, Mean time.Duration
+	Queries        int
+}
+
+// timeQuery measures the structural latency of one query as the
+// minimum of three back-to-back runs: single-shot timings on a busy
+// machine fold scheduler preemptions and GC assists (triggered by the
+// untimed update stream) into the tail, drowning the structural
+// difference the benchmark exists to measure. The minimum keeps every
+// deterministic cost — the PR-2 buffer scan is identical on all three
+// runs — and sheds only transient stalls. Both engines are measured
+// identically.
+func timeQuery(f func()) time.Duration {
+	best := time.Duration(1 << 62)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func tailStats(lat []time.Duration) TailStats {
+	slices.Sort(lat)
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return TailStats{
+		P50:     lat[len(lat)/2],
+		P99:     lat[len(lat)*99/100],
+		Mean:    sum / time.Duration(len(lat)),
+		Queries: len(lat),
+	}
+}
+
+// tailSegments builds the base set and the update stream for the
+// query-tail workloads.
+func tailSegments(n, updates int) (base, stream []segcount.Segment) {
+	raw := workload.Segments(99, n, float64(n), float64(n)/1000)
+	base = make([]segcount.Segment, n)
+	for i, s := range raw {
+		base[i] = segcount.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	stream = make([]segcount.Segment, updates)
+	for i := range stream {
+		x := float64(i%n) + 0.25
+		stream[i] = segcount.Segment{XLo: x, XHi: x + 50, Y: float64(n + i)}
+	}
+	return base, stream
+}
+
+// QueryTailLadder measures CountLine latency after every insert of a
+// sustained stream into the ladder-based segcount map: the worst-case
+// polylog read path (folds happen inside the untimed Insert).
+func QueryTailLadder(n, updates int) TailStats {
+	base, stream := tailSegments(n, updates)
+	m := segcount.New(pam.Options{}).Build(base)
+	lat := make([]time.Duration, 0, updates)
+	for i, s := range stream {
+		m = m.Insert(s)
+		x := float64(i % n)
+		lat = append(lat, timeQuery(func() { _ = m.CountLine(x) }))
+	}
+	return tailStats(lat)
+}
+
+// pr2Entry orders the PR-2 emulation buffer in segcount's canonical
+// (y, xLo, xHi) order, unaugmented.
+type pr2Entry struct{}
+
+func (pr2Entry) Less(a, b segcount.Segment) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	if a.XLo != b.XLo {
+		return a.XLo < b.XLo
+	}
+	return a.XHi < b.XHi
+}
+func (pr2Entry) Id() struct{}                             { return struct{}{} }
+func (pr2Entry) Base(segcount.Segment, struct{}) struct{} { return struct{}{} }
+func (pr2Entry) Combine(struct{}, struct{}) struct{}      { return struct{}{} }
+
+// QueryTailBuffer is the PR-2 design re-implemented for comparison: a
+// fully built (static) segcount map plus one flat persistent update
+// buffer (dynamic.Buffer, exactly the PR-2 secondary layer); every
+// query pays the static polylog cost plus a scan of the whole buffer —
+// the O(|buffer|) tail the ladder eliminates — and the buffer folds
+// into a full rebuild at the PR-2 size-ratio threshold.
+func QueryTailBuffer(n, updates int) TailStats {
+	base, stream := tailSegments(n, updates)
+	static := segcount.New(pam.Options{}).Build(base)
+	var buf dynamic.Buffer[segcount.Segment, struct{}, pr2Entry]
+	lat := make([]time.Duration, 0, updates)
+	for i, s := range stream {
+		buf = buf.Insert(s, struct{}{}, struct{}{}, static.Contains(s), nil)
+		if p := buf.Pending(); p >= pr2FoldMin && p*pr2FoldRatio >= static.Size() {
+			// PR-2 fold: materialize survivors, apply the buffer,
+			// rebuild the bulk layer.
+			keys := static.Segments()
+			kept := keys[:0]
+			for _, k := range keys {
+				if !buf.Dels.Contains(k) {
+					kept = append(kept, k)
+				}
+			}
+			buf.Adds.ForEach(func(k segcount.Segment, _ struct{}) bool {
+				kept = append(kept, k)
+				return true
+			})
+			static = static.Build(kept)
+			buf = dynamic.Buffer[segcount.Segment, struct{}, pr2Entry]{}
+		}
+		x := float64(i % n)
+		lat = append(lat, timeQuery(func() {
+			c := static.CountLine(x)
+			// The PR-2 read path: correct the bulk answer by scanning
+			// the buffered updates.
+			buf.Adds.ForEach(func(s segcount.Segment, _ struct{}) bool {
+				if s.CrossesLine(x) {
+					c++
+				}
+				return true
+			})
+			buf.Dels.ForEach(func(s segcount.Segment, _ struct{}) bool {
+				if s.CrossesLine(x) {
+					c--
+				}
+				return true
+			})
+			_ = c
+		}))
+	}
+	return tailStats(lat)
+}
+
+func init() {
+	register(Experiment{
+		Name: "dynamic",
+		Desc: "dynamic-structure query tail: p50/p99 CountLine latency under a sustained insert stream, ladder vs PR-2 buffer",
+		Run: func(cfg Config) []Table {
+			cfg = cfg.WithDefaults()
+			n := cfg.N
+			if n > 1<<16 {
+				n = 1 << 16
+			}
+			if n < 1<<12 {
+				n = 1 << 12
+			}
+			updates := n / 4
+			lad := QueryTailLadder(n, updates)
+			buf := QueryTailBuffer(n, updates)
+			row := func(name string, s TailStats) []string {
+				return []string{
+					name,
+					time.Duration(s.P50).String(),
+					time.Duration(s.P99).String(),
+					time.Duration(s.Mean).String(),
+				}
+			}
+			return []Table{{
+				Title:  "Dynamic query tail",
+				Note:   "CountLine latency after each of " + strconv.Itoa(updates) + " inserts into a " + strconv.Itoa(n) + "-segment segcount map",
+				Header: []string{"engine", "p50", "p99", "mean"},
+				Rows: [][]string{
+					row("ladder (this PR)", lad),
+					row("PR-2 buffer", buf),
+				},
+			}}
+		},
+	})
+}
+
+// ---- the JSON perf suite -------------------------------------------
+
+// BenchResult is one line of the committed perf trajectory.
+type BenchResult struct {
+	Op          string  `json:"op"`
+	N           int     `json:"n,omitempty"`
+	NsPerOp     float64 `json:"ns_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+}
+
+// RunPerfSuite measures the registered perf-suite operations (via
+// testing.Benchmark) plus the dynamic query-tail percentiles, and
+// returns the records `pambench -json` serializes.
+func RunPerfSuite() []BenchResult {
+	return runPerfSuite()
+}
+
+// tailResult converts TailStats to a BenchResult.
+func tailResult(op string, n int, s TailStats) BenchResult {
+	return BenchResult{
+		Op:      op,
+		N:       n,
+		NsPerOp: float64(s.Mean.Nanoseconds()),
+		P50Ns:   float64(s.P50.Nanoseconds()),
+		P99Ns:   float64(s.P99.Nanoseconds()),
+	}
+}
+
+// Workloads shared by the ns/op entries.
+
+func perfItems(seed uint64, n int) []pam.KV[uint64, int64] {
+	ks, vs := workload.KeyValues(seed, n, uint64(2*n))
+	out := make([]pam.KV[uint64, int64], n)
+	for i := range out {
+		out[i] = pam.KV[uint64, int64]{Key: ks[i], Val: vs[i]}
+	}
+	return out
+}
+
+func perfPoints(n int) []rangetree.Weighted {
+	raw := workload.Points(12, n, float64(n), 100)
+	out := make([]rangetree.Weighted, n)
+	for i, p := range raw {
+		out[i] = rangetree.Weighted{Point: rangetree.Point{X: p.X, Y: p.Y}, W: p.W}
+	}
+	return out
+}
+
+func perfSegs(n int) []segcount.Segment {
+	raw := workload.Segments(13, n, float64(n), float64(n)/1000)
+	out := make([]segcount.Segment, n)
+	for i, s := range raw {
+		out[i] = segcount.Segment{XLo: s.XLo, XHi: s.XHi, Y: s.Y}
+	}
+	return out
+}
+
+func perfRects(n int) []stabbing.Rect {
+	raw := workload.Rects(14, n, float64(n), float64(n)/1000)
+	out := make([]stabbing.Rect, n)
+	for i, r := range raw {
+		out[i] = stabbing.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi}
+	}
+	return out
+}

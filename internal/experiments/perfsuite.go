@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/pam"
+	"repro/rangetree"
+	"repro/segcount"
+	"repro/stabbing"
+)
+
+// bench measures one operation with the testing harness (usable outside
+// go test) and records ns/op and allocs/op.
+func bench(op string, n int, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return BenchResult{
+		Op:          op,
+		N:           n,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+	}
+}
+
+// runPerfSuite is the curated operation list behind `pambench -json`:
+// the core map operations, the static query structures, the dynamic
+// update paths, and the dynamic query-tail percentiles. Sizes are
+// laptop-scale so the whole suite runs in a couple of minutes.
+func runPerfSuite() []BenchResult {
+	const (
+		coreN = 100_000
+		geomN = 10_000
+		tailN = 1 << 16
+		tailU = tailN / 4
+	)
+	var out []BenchResult
+
+	type sumMap = pam.AugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+	add := func(a, b int64) int64 { return a + b }
+	mkSum := func(seed uint64, n int) sumMap {
+		return pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}).
+			Build(perfItems(seed, n), add)
+	}
+
+	items := perfItems(1, coreN)
+	out = append(out, bench("rangesum_build", coreN, func(b *testing.B) {
+		m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+		for i := 0; i < b.N; i++ {
+			_ = m.Build(items, add)
+		}
+	}))
+
+	m1 := mkSum(1, coreN)
+	span := uint64(2 * coreN / 100)
+	out = append(out, bench("rangesum_query", coreN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := uint64(i%coreN) * 2
+			_ = m1.AugRange(lo, lo+span)
+		}
+	}))
+
+	m2 := mkSum(2, coreN)
+	out = append(out, bench("union_equal", coreN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m1.UnionWith(m2, add)
+		}
+	}))
+
+	out = append(out, bench("find", coreN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m1.Find(uint64(i % (2 * coreN)))
+		}
+	}))
+
+	pts := perfPoints(geomN)
+	out = append(out, bench("rangetree_build", geomN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rangetree.New(pam.Options{}).Build(pts)
+		}
+	}))
+
+	segs := perfSegs(geomN)
+	out = append(out, bench("segcount_build", geomN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = segcount.New(pam.Options{}).Build(segs)
+		}
+	}))
+
+	sc := segcount.New(pam.Options{}).Build(segs)
+	out = append(out, bench("segcount_count_crossing", geomN, func(b *testing.B) {
+		w := float64(geomN) / 10
+		for i := 0; i < b.N; i++ {
+			x := float64(i % geomN)
+			_ = sc.CountCrossing(x, x-w, x+w)
+		}
+	}))
+
+	rt := rangetree.New(pam.Options{}).Build(pts)
+	out = append(out, bench("dynamic_rangetree_insert", geomN, func(b *testing.B) {
+		t := rt
+		for i := 0; i < b.N; i++ {
+			t = t.Insert(rangetree.Point{X: float64(i%geomN) + 0.25, Y: float64(i / geomN)}, 1)
+		}
+	}))
+
+	out = append(out, bench("dynamic_segcount_insert", geomN, func(b *testing.B) {
+		m := sc
+		for i := 0; i < b.N; i++ {
+			x := float64(i%geomN) + 0.25
+			m = m.Insert(segcount.Segment{XLo: x, XHi: x + 50, Y: float64(i / geomN)})
+		}
+	}))
+
+	st := stabbing.New(pam.Options{}).Build(perfRects(geomN))
+	out = append(out, bench("dynamic_stabbing_insert", geomN, func(b *testing.B) {
+		m := st
+		for i := 0; i < b.N; i++ {
+			x := float64(i%geomN) + 0.25
+			m = m.Insert(stabbing.Rect{XLo: x, XHi: x + 20, YLo: x, YHi: x + 20})
+		}
+	}))
+
+	// Let the allocations of the ns/op entries above get collected
+	// before the latency-percentile runs, so their GC debt doesn't
+	// bleed into the tails.
+	runtime.GC()
+	ladTail := QueryTailLadder(tailN, tailU)
+	runtime.GC()
+	bufTail := QueryTailBuffer(tailN, tailU)
+	out = append(out,
+		tailResult("dynamic_querytail_ladder", tailN, ladTail),
+		tailResult("dynamic_querytail_pr2buffer", tailN, bufTail),
+	)
+	return out
+}

@@ -78,8 +78,15 @@ type Options struct {
 	Grain int64
 	// Stats, when non-nil, collects node allocation counters.
 	Stats *Stats
-	// Pool enables node recycling through a sync.Pool; see
-	// core.Config.Pool for the safety requirements.
+	// Pool enables node recycling through a sync.Pool. Safety
+	// invariant: snapshots must not outlive releases — once Release
+	// (or an InPlace operation) drops the last reference to nodes a
+	// handle shares, that handle and every map derived from it are
+	// dead, because the nodes return to the pool for immediate reuse.
+	// Use Retain to keep a snapshot alive across a Release. Misuse
+	// fails loudly (best-effort): freed nodes are poisoned so a stale
+	// release or mutation panics, and `go test -race` flags concurrent
+	// stale reads. See core.Config.Pool.
 	Pool bool
 }
 
@@ -291,6 +298,17 @@ func MapReduce[K, V, A, B any, E Aug[K, V, A]](m AugMap[K, V, A, E], g func(k K,
 // key query on range trees, §5.2).
 func AugProject[K, V, A, B any, E Aug[K, V, A]](m AugMap[K, V, A, E], lo, hi K, g func(A) B, f func(x, y B) B, id B) B {
 	return core.AugProject(m.t, lo, hi, g, f, id)
+}
+
+// AugProjectKV is AugProject with the projection of a single boundary
+// entry supplied directly: gEntry must satisfy
+// gEntry(k, v) == g(E{}.Base(k, v)). It avoids materializing Base for
+// the O(log n) entries on the search paths — for map-valued
+// augmentations (range trees, segment maps) each Base is a
+// heap-allocated singleton map, so direct projection makes count
+// queries allocation-free.
+func AugProjectKV[K, V, A, B any, E Aug[K, V, A]](m AugMap[K, V, A, E], lo, hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
+	return core.AugProjectKV(m.t, lo, hi, gEntry, g, f, id)
 }
 
 func toEntries[K, V any](items []KV[K, V]) []core.Entry[K, V] {

@@ -205,6 +205,37 @@ type byYMap = pam.AugMap[Segment, struct{}, xSet, byYEntry]
 type opensMap = pam.AugMap[Segment, struct{}, yMap, opensEntry]
 type closesMap = pam.AugMap[Segment, struct{}, yMap, closesEntry]
 
+// static is the immutable bulk structure one ladder level holds: the
+// three constituent maps, built and merged in parallel.
+type static struct {
+	byY    byYMap
+	opens  opensMap
+	closes closesMap
+}
+
+// build constructs the three maps over the items in parallel; proto
+// supplies the options.
+func (s static) build(items []pam.KV[Segment, struct{}]) static {
+	var out static
+	parallel.Do3(
+		func() { out.byY = s.byY.Build(items, nil) },
+		func() { out.opens = s.opens.Build(items, nil) },
+		func() { out.closes = s.closes.Build(items, nil) },
+	)
+	return out
+}
+
+// union merges two static structures with parallel persistent union.
+func (s static) union(o static) static {
+	var out static
+	parallel.Do3(
+		func() { out.byY = s.byY.Union(o.byY) },
+		func() { out.opens = s.opens.Union(o.opens) },
+		func() { out.closes = s.closes.Union(o.closes) },
+	)
+	return out
+}
+
 // bufKey orders buffered segments in the canonical (y, xLo, xHi) order,
 // unaugmented.
 type bufKey struct{}
@@ -214,34 +245,43 @@ func (bufKey) Id() struct{}                        { return struct{}{} }
 func (bufKey) Base(Segment, struct{}) struct{}     { return struct{}{} }
 func (bufKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
 
-// buffer is the secondary update layer (see internal/dynamic).
-type buffer = dynamic.Buffer[Segment, struct{}, bufKey]
+// ladder is the dynamization engine instance (see internal/dynamic).
+type ladder = dynamic.Ladder[Segment, struct{}, static, bufKey]
+
+// backend drives the generic ladder with this package's static
+// structure; the by-y map is the canonical key order.
+var backend = &dynamic.Backend[Segment, struct{}, static]{
+	Build:   func(proto static, items []pam.KV[Segment, struct{}]) static { return proto.build(items) },
+	Entries: func(s static) []pam.KV[Segment, struct{}] { return s.byY.Entries() },
+	Size:    func(s static) int64 { return s.byY.Size() },
+	Find:    func(s static, k Segment) (struct{}, bool) { return s.byY.Find(k) },
+	Less:    lessYX,
+	ValEq:   nil,
+}
 
 // Map is a persistent segment-query structure. The zero value is empty
 // and usable. As with rangetree, the union-valued augmentations make
 // single-segment tree updates linear in the worst case, so the
-// structure is layered (internal/dynamic): an immutable bulk layer —
-// the three maps above, built and merged in parallel — plus a small
-// persistent update buffer that queries consult alongside it. Insert
-// and Delete write the buffer in O(log n) and fold it down with a full
-// parallel rebuild once it outgrows a fixed fraction of the bulk layer,
-// for amortized O(polylog n) updates; Build and Merge return fully
-// folded maps. All versions persist: updates return new handles and
-// old handles keep answering from exactly the contents they had.
+// structure is dynamized by a logarithmic-method ladder
+// (internal/dynamic): O(log n) immutable bulk structures — each the
+// three maps above, built and merged in parallel — of geometrically
+// increasing size, plus a constant-capacity write buffer. Insert and
+// Delete write the buffer in O(log n) and carry it down the ladder
+// with parallel rebuilds, for amortized O(polylog n) updates and
+// worst-case polylog queries; Build and Merge return fully condensed
+// single-level maps. All versions persist: updates return new handles
+// and old handles keep answering from exactly the contents they had.
 type Map struct {
-	byY    byYMap
-	opens  opensMap
-	closes closesMap
-	buf    buffer
+	lad ladder
 }
 
 // New returns an empty segment map with the given options.
 func New(opts pam.Options) Map {
-	return Map{
+	return Map{lad: dynamic.New[Segment, struct{}, static, bufKey](static{
 		byY:    pam.NewAugMap[Segment, struct{}, xSet, byYEntry](opts),
 		opens:  pam.NewAugMap[Segment, struct{}, yMap, opensEntry](opts),
 		closes: pam.NewAugMap[Segment, struct{}, yMap, closesEntry](opts),
-	}
+	})}
 }
 
 // Build returns a map (with m's options) over the given segments
@@ -252,92 +292,67 @@ func (m Map) Build(segs []Segment) Map {
 	for i, s := range segs {
 		items[i] = pam.KV[Segment, struct{}]{Key: s}
 	}
-	var out Map
-	parallel.Do3(
-		func() { out.byY = m.byY.Build(items, nil) },
-		func() { out.opens = m.opens.Build(items, nil) },
-		func() { out.closes = m.closes.Build(items, nil) },
-	)
-	return out
+	return Map{lad: m.lad.WithStatic(backend, m.lad.Proto().build(items))}
 }
 
 // Insert returns a map with the segment added (a duplicate is a no-op).
-// Amortized O(polylog n): the segment lands in the update buffer, which
-// periodically folds into the bulk layer with a parallel rebuild.
+// Amortized O(polylog n): the segment lands in the ladder's write
+// buffer, which carries down the geometric levels with parallel
+// rebuilds.
 func (m Map) Insert(s Segment) Map {
-	nm := m
-	nm.buf = m.buf.Insert(s, struct{}{}, struct{}{}, m.byY.Contains(s), nil)
-	if nm.buf.ShouldFold(nm.byY.Size()) {
-		return nm.fold()
-	}
-	return nm
+	return Map{lad: m.lad.Insert(backend, s, struct{}{}, nil)}
 }
 
 // Delete returns a map without the segment; deleting an absent segment
 // is a no-op. Amortized O(polylog n).
 func (m Map) Delete(s Segment) Map {
-	nm := m
-	nm.buf = m.buf.Delete(s, struct{}{}, m.byY.Contains(s))
-	if nm.buf.ShouldFold(nm.byY.Size()) {
-		return nm.fold()
-	}
-	return nm
+	return Map{lad: m.lad.Delete(backend, s)}
 }
 
-// fold rebuilds the bulk layer over the buffered updates, returning a
-// map with an empty buffer.
-func (m Map) fold() Map {
-	bulk := Map{byY: m.byY, opens: m.opens, closes: m.closes}
-	if m.buf.IsEmpty() {
-		return bulk
-	}
-	return bulk.Build(m.buf.ApplyKeys(m.byY.Keys()))
-}
+// Pending returns the number of updates in the ladder's write buffer,
+// bounded by the write-buffer capacity (dynamic.BufCap by default;
+// 0 after Build or Merge).
+func (m Map) Pending() int64 { return m.lad.Pending() }
 
-// Pending returns the number of buffered updates not yet folded into
-// the bulk layer (0 after Build, Merge, or a fold).
-func (m Map) Pending() int64 { return m.buf.Pending() }
+// LevelRecordCounts reports the record count of each ladder level
+// (diagnostics for the geometric-growth tests).
+func (m Map) LevelRecordCounts() []int64 { return m.lad.LevelRecordCounts() }
 
 // Contains reports whether the segment is present.
-func (m Map) Contains(s Segment) bool { return m.buf.Contains(s, m.byY.Contains(s)) }
+func (m Map) Contains(s Segment) bool { return m.lad.Contains(backend, s) }
 
 // Merge returns the union of two segment maps (parallel, persistent),
-// folding both sides' buffered updates first.
+// condensing both sides' ladders first; the result is fully condensed.
 func (m Map) Merge(other Map) Map {
-	a, b := m.fold(), other.fold()
-	var out Map
-	parallel.Do3(
-		func() { out.byY = a.byY.Union(b.byY) },
-		func() { out.opens = a.opens.Union(b.opens) },
-		func() { out.closes = a.closes.Union(b.closes) },
-	)
-	return out
+	a, b := m.lad.Condense(backend), other.lad.Condense(backend)
+	return Map{lad: m.lad.WithStatic(backend, a.union(b))}
 }
 
 // Size returns the number of distinct segments.
-func (m Map) Size() int64 { return m.buf.LogicalSize(m.byY.Size()) }
+func (m Map) Size() int64 { return m.lad.Size() }
 
 // IsEmpty reports whether the map is empty.
 func (m Map) IsEmpty() bool { return m.Size() == 0 }
 
-// bufDelta folds the update buffer's contribution to a per-segment
+// bufDelta folds the write buffer's contribution to a per-segment
 // aggregate over the y-range: +1 for each buffered insert matching
-// pred, −1 for each matching tombstone. O(log b + matches in the
-// y-range) for a buffer of b segments.
+// pred, −1 for each matching tombstone. O(dynamic.BufCap) = O(1)
+// records scanned.
 func (m Map) bufDelta(yLo, yHi float64, pred func(Segment) bool) int64 {
-	if m.buf.IsEmpty() {
+	buf := m.lad.Buf()
+	if buf.IsEmpty() {
 		return 0
 	}
 	lo := Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)}
 	hi := Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)}
 	var d int64
-	m.buf.Adds.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+	buf.Adds.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
 		if pred(s) {
 			d++
 		}
 		return true
 	})
-	m.buf.Dels.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+	buf.Dels.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
 		if pred(s) {
 			d--
 		}
@@ -346,24 +361,40 @@ func (m Map) bufDelta(yLo, yHi float64, pred func(Segment) bool) int64 {
 	return d
 }
 
-// CountCrossing counts the segments crossing the vertical query segment
-// at x spanning [yLo, yHi], via the paper's SegCount endpoint maps:
-// segments opened at or before x minus segments closed before x, each an
-// AugProject prefix sum over nested count maps, plus the update
-// buffer's correction. O(log^2 n + |buffer|).
-func (m Map) CountCrossing(x, yLo, yHi float64) int64 {
+// countCrossingIn counts the crossing segments of one static structure:
+// segments opened at or before x minus segments closed before x, each
+// an AugProjectKV prefix sum over nested count maps (boundary segments
+// are counted directly, allocation free — a singleton nested map
+// contributes 1 exactly when its segment's y is in range).
+func countCrossingIn(s static, x, yLo, yHi float64) int64 {
 	neg := math.Inf(-1)
+	countOne := func(seg Segment, _ struct{}) int64 {
+		if seg.Y >= yLo && seg.Y <= yHi {
+			return 1
+		}
+		return 0
+	}
 	count := func(in yMap) int64 { return yRangeCount(in, yLo, yHi) }
 	add := func(a, b int64) int64 { return a + b }
-	opened := pam.AugProject(m.opens,
+	opened := pam.AugProjectKV(s.opens,
 		Segment{XLo: neg, XHi: neg, Y: neg},
 		Segment{XLo: x, XHi: math.Inf(1), Y: math.Inf(1)},
-		count, add, 0)
-	closed := pam.AugProject(m.closes,
+		countOne, count, add, 0)
+	closed := pam.AugProjectKV(s.closes,
 		Segment{XHi: neg, XLo: neg, Y: neg},
 		Segment{XHi: x, XLo: neg, Y: neg},
-		count, add, 0)
-	return opened - closed + m.bufDelta(yLo, yHi, func(s Segment) bool { return s.CrossesLine(x) })
+		countOne, count, add, 0)
+	return opened - closed
+}
+
+// CountCrossing counts the segments crossing the vertical query segment
+// at x spanning [yLo, yHi], via the paper's SegCount endpoint maps,
+// summing the signed contributions of every ladder level plus the
+// write buffer's correction. Worst-case O(log^3 n).
+func (m Map) CountCrossing(x, yLo, yHi float64) int64 {
+	var count int64
+	m.lad.EachSide(func(sign int64, s static) { count += sign * countCrossingIn(s, x, yLo, yHi) })
+	return count + m.bufDelta(yLo, yHi, func(s Segment) bool { return s.CrossesLine(x) })
 }
 
 // CountLine counts the segments crossing the full vertical line at x.
@@ -372,56 +403,103 @@ func (m Map) CountLine(x float64) int64 {
 }
 
 // CountWindow counts the segments intersecting the closed window
-// [xLo, xHi] x [yLo, yHi], AugProjecting the by-y map over the y-range
-// and stabbing each covered nested interval structure, plus the update
-// buffer's correction. O(log^2 n + |buffer|).
+// [xLo, xHi] x [yLo, yHi], AugProjecting each level's by-y map over the
+// y-range and stabbing each covered nested interval structure, plus the
+// write buffer's correction. Worst-case O(log^3 n).
 func (m Map) CountWindow(xLo, xHi, yLo, yHi float64) int64 {
-	bulk := pam.AugProject(m.byY,
-		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
-		Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
-		func(in xSet) int64 { return in.countOverlapping(xLo, xHi) },
-		func(a, b int64) int64 { return a + b },
-		0)
-	return bulk + m.bufDelta(yLo, yHi, func(s Segment) bool {
+	var count int64
+	m.lad.EachSide(func(sign int64, s static) {
+		count += sign * pam.AugProjectKV(s.byY,
+			Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
+			Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
+			func(seg Segment, _ struct{}) int64 {
+				if seg.XLo <= xHi && seg.XHi >= xLo {
+					return 1
+				}
+				return 0
+			},
+			func(in xSet) int64 { return in.countOverlapping(xLo, xHi) },
+			func(a, b int64) int64 { return a + b },
+			0)
+	})
+	return count + m.bufDelta(yLo, yHi, func(s Segment) bool {
 		return s.IntersectsWindow(xLo, xHi, yLo, yHi)
 	})
 }
 
 // ReportWindow returns the segments intersecting the closed window, in
-// (y, xLo, xHi) order. Output-sensitive in the bulk layer:
-// O(log^2 n + k log(n/k + 1) + |buffer|) for k results.
+// (y, xLo, xHi) order. Each level reports its matches
+// output-sensitively; a tombstoned segment appears once live and once
+// as a tombstone, so per-segment signed aggregation leaves exactly the
+// live matches.
 func (m Map) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
-	out := pam.AugProject(m.byY,
-		Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
-		Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
-		func(in xSet) []Segment { return in.reportOverlapping(xLo, xHi, nil) },
-		func(a, b []Segment) []Segment { return append(a, b...) },
-		nil)
-	if !m.buf.IsEmpty() {
-		// Cancel tombstoned segments, then append the buffered inserts
-		// that hit the window (segments in both layers are tombstoned,
-		// so none appears twice).
-		kept := out[:0]
-		for _, s := range out {
-			if !m.buf.Dels.Contains(s) {
-				kept = append(kept, s)
-			}
-		}
-		out = kept
-		m.buf.Adds.ForEachRange(
+	// Fully condensed map (fresh from Build or Merge): one pure level,
+	// nothing to cancel — append matches directly, no aggregation map.
+	if s, ok := m.lad.Single(); ok {
+		out := pam.AugProjectKV(s.byY,
 			Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
 			Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
-			func(s Segment, _ struct{}) bool {
-				if s.IntersectsWindow(xLo, xHi, yLo, yHi) {
-					out = append(out, s)
+			func(seg Segment, _ struct{}) []Segment {
+				if seg.XLo <= xHi && seg.XHi >= xLo {
+					return []Segment{seg}
 				}
-				return true
-			})
+				return nil
+			},
+			func(in xSet) []Segment { return in.reportOverlapping(xLo, xHi, nil) },
+			func(a, b []Segment) []Segment { return append(a, b...) },
+			nil)
+		sortYX(out)
+		return out
 	}
-	// Each projected xSet reports in (xLo, xHi, y) order; restore the
-	// global (y, xLo, xHi) order across the O(log n) blocks (as
-	// rangetree.ReportAll does for its x-blocks).
-	slices.SortFunc(out, func(a, b Segment) int {
+	counts := make(map[Segment]int64)
+	m.lad.EachSide(func(sign int64, s static) {
+		pam.AugProjectKV(s.byY,
+			Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)},
+			Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)},
+			func(seg Segment, _ struct{}) struct{} {
+				if seg.XLo <= xHi && seg.XHi >= xLo {
+					counts[seg] += sign
+				}
+				return struct{}{}
+			},
+			func(in xSet) struct{} {
+				for _, seg := range in.reportOverlapping(xLo, xHi, nil) {
+					counts[seg] += sign
+				}
+				return struct{}{}
+			},
+			func(a, b struct{}) struct{} { return a },
+			struct{}{})
+	})
+	buf := m.lad.Buf()
+	if !buf.IsEmpty() {
+		lo := Segment{Y: yLo, XLo: math.Inf(-1), XHi: math.Inf(-1)}
+		hi := Segment{Y: yHi, XLo: math.Inf(1), XHi: math.Inf(1)}
+		buf.Adds.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+			if s.IntersectsWindow(xLo, xHi, yLo, yHi) {
+				counts[s]++
+			}
+			return true
+		})
+		buf.Dels.ForEachRange(lo, hi, func(s Segment, _ struct{}) bool {
+			if s.IntersectsWindow(xLo, xHi, yLo, yHi) {
+				counts[s]--
+			}
+			return true
+		})
+	}
+	out := make([]Segment, 0, len(counts))
+	for seg, c := range counts {
+		if c > 0 {
+			out = append(out, seg)
+		}
+	}
+	sortYX(out)
+	return out
+}
+
+func sortYX(segs []Segment) {
+	slices.SortFunc(segs, func(a, b Segment) int {
 		switch {
 		case lessYX(a, b):
 			return -1
@@ -431,7 +509,6 @@ func (m Map) ReportWindow(xLo, xHi, yLo, yHi float64) []Segment {
 			return 0
 		}
 	})
-	return out
 }
 
 // ReportCrossing returns the segments crossing the vertical query
@@ -448,28 +525,20 @@ func (m Map) ReportLine(x float64) []Segment {
 
 // Segments materializes all segments in (y, xLo, xHi) order.
 func (m Map) Segments() []Segment {
-	keys := m.buf.ApplyKeys(m.byY.Keys())
-	// ApplyKeys appends the buffered inserts after the surviving bulk
-	// keys; both halves are already in (y, xLo, xHi) order.
-	slices.SortFunc(keys, func(a, b Segment) int {
-		switch {
-		case lessYX(a, b):
-			return -1
-		case lessYX(b, a):
-			return 1
-		default:
-			return 0
-		}
-	})
-	return keys
+	entries := m.lad.Entries(backend)
+	out := make([]Segment, len(entries))
+	for i, e := range entries {
+		out[i] = e.Key
+	}
+	return out
 }
 
-// Validate checks the structural invariants of all three constituent
-// trees, including that every node's nested maps hold exactly the
-// subtree's segments, plus the update-buffer invariants (for tests).
-// O(n log n).
+// Validate checks the ladder invariants (carry propagation, buffer
+// contract, level capacities) and the structural invariants of every
+// level's three constituent trees, including that every node's nested
+// maps hold exactly the subtree's segments (for tests). O(n log n).
 func (m Map) Validate() error {
-	if err := m.buf.Validate(m.byY.Find, nil); err != nil {
+	if err := m.lad.Validate(backend); err != nil {
 		return err
 	}
 	sameKeys := func(a, b []Segment) bool {
@@ -486,16 +555,23 @@ func (m Map) Validate() error {
 	yEq := func(a, b yMap) bool {
 		return a.Size() == b.Size() && sameKeys(a.Keys(), b.Keys())
 	}
-	if err := m.byY.Validate(func(a, b xSet) bool {
-		if a.byLo.Size() != b.byLo.Size() || a.byLo.AugVal() != b.byLo.AugVal() {
-			return false
+	var err error
+	m.lad.EachSide(func(_ int64, s static) {
+		if err != nil {
+			return
 		}
-		return sameKeys(a.byLo.Keys(), b.byLo.Keys()) && sameKeys(a.byHi.Keys(), b.byHi.Keys())
-	}); err != nil {
-		return err
-	}
-	if err := m.opens.Validate(yEq); err != nil {
-		return err
-	}
-	return m.closes.Validate(yEq)
+		err = s.byY.Validate(func(a, b xSet) bool {
+			if a.byLo.Size() != b.byLo.Size() || a.byLo.AugVal() != b.byLo.AugVal() {
+				return false
+			}
+			return sameKeys(a.byLo.Keys(), b.byLo.Keys()) && sameKeys(a.byHi.Keys(), b.byHi.Keys())
+		})
+		if err == nil {
+			err = s.opens.Validate(yEq)
+		}
+		if err == nil {
+			err = s.closes.Validate(yEq)
+		}
+	})
+	return err
 }

@@ -191,6 +191,37 @@ type opensMap = pam.AugMap[Rect, struct{}, ySet, opensEntry]
 type closesMap = pam.AugMap[Rect, struct{}, ySet, closesEntry]
 type reportMap = pam.AugMap[Rect, struct{}, float64, reportEntry]
 
+// static is the immutable bulk structure one ladder level holds: the
+// three constituent maps, built and merged in parallel.
+type static struct {
+	opens  opensMap
+	closes closesMap
+	report reportMap
+}
+
+// build constructs the three maps over the items in parallel; the
+// receiver supplies the options.
+func (s static) build(items []pam.KV[Rect, struct{}]) static {
+	var out static
+	parallel.Do3(
+		func() { out.opens = s.opens.Build(items, nil) },
+		func() { out.closes = s.closes.Build(items, nil) },
+		func() { out.report = s.report.Build(items, nil) },
+	)
+	return out
+}
+
+// union merges two static structures with parallel persistent union.
+func (s static) union(o static) static {
+	var out static
+	parallel.Do3(
+		func() { out.opens = s.opens.Union(o.opens) },
+		func() { out.closes = s.closes.Union(o.closes) },
+		func() { out.report = s.report.Union(o.report) },
+	)
+	return out
+}
+
 // bufKey orders buffered rectangles in the canonical
 // (xLo, xHi, yLo, yHi) order, unaugmented.
 type bufKey struct{}
@@ -200,34 +231,43 @@ func (bufKey) Id() struct{}                        { return struct{}{} }
 func (bufKey) Base(Rect, struct{}) struct{}        { return struct{}{} }
 func (bufKey) Combine(struct{}, struct{}) struct{} { return struct{}{} }
 
-// buffer is the secondary update layer (see internal/dynamic).
-type buffer = dynamic.Buffer[Rect, struct{}, bufKey]
+// ladder is the dynamization engine instance (see internal/dynamic).
+type ladder = dynamic.Ladder[Rect, struct{}, static, bufKey]
+
+// backend drives the generic ladder with this package's static
+// structure; the opens map is the canonical key order.
+var backend = &dynamic.Backend[Rect, struct{}, static]{
+	Build:   func(proto static, items []pam.KV[Rect, struct{}]) static { return proto.build(items) },
+	Entries: func(s static) []pam.KV[Rect, struct{}] { return s.opens.Entries() },
+	Size:    func(s static) int64 { return s.opens.Size() },
+	Find:    func(s static, k Rect) (struct{}, bool) { return s.opens.Find(k) },
+	Less:    lessXLo,
+	ValEq:   nil,
+}
 
 // Map is a persistent rectangle-stabbing structure. The zero value is
 // empty and usable. As with rangetree, the union-valued augmentations
 // make single-rectangle tree updates linear in the worst case, so the
-// structure is layered (internal/dynamic): an immutable bulk layer —
-// the three maps above, built and merged in parallel — plus a small
-// persistent update buffer that queries consult alongside it. Insert
-// and Delete write the buffer in O(log n) and fold it down with a full
-// parallel rebuild once it outgrows a fixed fraction of the bulk layer,
-// for amortized O(polylog n) updates; Build and Merge return fully
-// folded maps. All versions persist: updates return new handles and
-// old handles keep answering from exactly the contents they had.
+// structure is dynamized by a logarithmic-method ladder
+// (internal/dynamic): O(log n) immutable bulk structures — each the
+// three maps above, built and merged in parallel — of geometrically
+// increasing size, plus a constant-capacity write buffer. Insert and
+// Delete write the buffer in O(log n) and carry it down the ladder
+// with parallel rebuilds, for amortized O(polylog n) updates and
+// worst-case polylog queries; Build and Merge return fully condensed
+// single-level maps. All versions persist: updates return new handles
+// and old handles keep answering from exactly the contents they had.
 type Map struct {
-	opens  opensMap
-	closes closesMap
-	report reportMap
-	buf    buffer
+	lad ladder
 }
 
 // New returns an empty rectangle map with the given options.
 func New(opts pam.Options) Map {
-	return Map{
+	return Map{lad: dynamic.New[Rect, struct{}, static, bufKey](static{
 		opens:  pam.NewAugMap[Rect, struct{}, ySet, opensEntry](opts),
 		closes: pam.NewAugMap[Rect, struct{}, ySet, closesEntry](opts),
 		report: pam.NewAugMap[Rect, struct{}, float64, reportEntry](opts),
-	}
+	})}
 }
 
 // Build returns a map (with m's options) over the given rectangles
@@ -238,112 +278,106 @@ func (m Map) Build(rects []Rect) Map {
 	for i, r := range rects {
 		items[i] = pam.KV[Rect, struct{}]{Key: r}
 	}
-	var out Map
-	parallel.Do3(
-		func() { out.opens = m.opens.Build(items, nil) },
-		func() { out.closes = m.closes.Build(items, nil) },
-		func() { out.report = m.report.Build(items, nil) },
-	)
-	return out
+	return Map{lad: m.lad.WithStatic(backend, m.lad.Proto().build(items))}
 }
 
 // Insert returns a map with the rectangle added (a duplicate is a
-// no-op). Amortized O(polylog n): the rectangle lands in the update
-// buffer, which periodically folds into the bulk layer with a parallel
-// rebuild.
+// no-op). Amortized O(polylog n): the rectangle lands in the ladder's
+// write buffer, which carries down the geometric levels with parallel
+// rebuilds.
 func (m Map) Insert(r Rect) Map {
-	nm := m
-	nm.buf = m.buf.Insert(r, struct{}{}, struct{}{}, m.opens.Contains(r), nil)
-	if nm.buf.ShouldFold(nm.opens.Size()) {
-		return nm.fold()
-	}
-	return nm
+	return Map{lad: m.lad.Insert(backend, r, struct{}{}, nil)}
 }
 
 // Delete returns a map without the rectangle; deleting an absent
 // rectangle is a no-op. Amortized O(polylog n).
 func (m Map) Delete(r Rect) Map {
-	nm := m
-	nm.buf = m.buf.Delete(r, struct{}{}, m.opens.Contains(r))
-	if nm.buf.ShouldFold(nm.opens.Size()) {
-		return nm.fold()
-	}
-	return nm
+	return Map{lad: m.lad.Delete(backend, r)}
 }
 
-// fold rebuilds the bulk layer over the buffered updates, returning a
-// map with an empty buffer.
-func (m Map) fold() Map {
-	bulk := Map{opens: m.opens, closes: m.closes, report: m.report}
-	if m.buf.IsEmpty() {
-		return bulk
-	}
-	return bulk.Build(m.buf.ApplyKeys(m.opens.Keys()))
-}
+// Pending returns the number of updates in the ladder's write buffer,
+// bounded by the write-buffer capacity (dynamic.BufCap by default;
+// 0 after Build or Merge).
+func (m Map) Pending() int64 { return m.lad.Pending() }
 
-// Pending returns the number of buffered updates not yet folded into
-// the bulk layer (0 after Build, Merge, or a fold).
-func (m Map) Pending() int64 { return m.buf.Pending() }
+// LevelRecordCounts reports the record count of each ladder level
+// (diagnostics for the geometric-growth tests).
+func (m Map) LevelRecordCounts() []int64 { return m.lad.LevelRecordCounts() }
 
 // Contains reports whether the rectangle is present.
-func (m Map) Contains(r Rect) bool { return m.buf.Contains(r, m.opens.Contains(r)) }
+func (m Map) Contains(r Rect) bool { return m.lad.Contains(backend, r) }
 
 // Merge returns the union of two rectangle maps (parallel, persistent),
-// folding both sides' buffered updates first.
+// condensing both sides' ladders first; the result is fully condensed.
 func (m Map) Merge(other Map) Map {
-	a, b := m.fold(), other.fold()
-	var out Map
-	parallel.Do3(
-		func() { out.opens = a.opens.Union(b.opens) },
-		func() { out.closes = a.closes.Union(b.closes) },
-		func() { out.report = a.report.Union(b.report) },
-	)
-	return out
+	a, b := m.lad.Condense(backend), other.lad.Condense(backend)
+	return Map{lad: m.lad.WithStatic(backend, a.union(b))}
 }
 
 // Size returns the number of distinct rectangles.
-func (m Map) Size() int64 { return m.buf.LogicalSize(m.opens.Size()) }
+func (m Map) Size() int64 { return m.lad.Size() }
 
 // IsEmpty reports whether the map is empty.
 func (m Map) IsEmpty() bool { return m.Size() == 0 }
 
-// CountStab returns the number of rectangles containing (x, y):
-// AugProject prefix sums over the opens and closes endpoint maps,
-// stabbing each covered nested y-interval structure. O(log^2 n).
-func (m Map) CountStab(x, y float64) int64 {
+// countStabIn counts the rectangles of one static structure containing
+// (x, y): AugProjectKV prefix sums over the opens and closes endpoint
+// maps, stabbing each covered nested y-interval structure and counting
+// boundary rectangles directly (allocation free — a singleton nested
+// structure contributes 1 exactly when its rectangle's y-extent stabs
+// y).
+func countStabIn(s static, x, y float64) int64 {
 	neg := math.Inf(-1)
+	countOne := func(r Rect, _ struct{}) int64 {
+		if r.YLo <= y && y <= r.YHi {
+			return 1
+		}
+		return 0
+	}
 	add := func(a, b int64) int64 { return a + b }
-	opened := pam.AugProject(m.opens,
+	opened := pam.AugProjectKV(s.opens,
 		Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg},
 		Rect{XLo: x, XHi: math.Inf(1), YLo: math.Inf(1), YHi: math.Inf(1)},
-		func(s ySet) int64 { return s.countStab(y) },
+		countOne,
+		func(ys ySet) int64 { return ys.countStab(y) },
 		add, 0)
-	closed := pam.AugProject(m.closes,
+	closed := pam.AugProjectKV(s.closes,
 		Rect{XHi: neg, XLo: neg, YLo: neg, YHi: neg},
 		Rect{XHi: x, XLo: neg, YLo: neg, YHi: neg},
-		func(s ySet) int64 { return s.countStab(y) },
+		countOne,
+		func(ys ySet) int64 { return ys.countStab(y) },
 		add, 0)
-	return opened - closed + m.bufDelta(x, y)
+	return opened - closed
 }
 
-// bufDelta is the update buffer's correction to CountStab: +1 for each
+// CountStab returns the number of rectangles containing (x, y), summing
+// the signed contributions of every ladder level plus the write
+// buffer's correction. Worst-case O(log^3 n).
+func (m Map) CountStab(x, y float64) int64 {
+	var count int64
+	m.lad.EachSide(func(sign int64, s static) { count += sign * countStabIn(s, x, y) })
+	return count + m.bufDelta(x, y)
+}
+
+// bufDelta is the write buffer's correction to CountStab: +1 for each
 // buffered insert containing (x, y), −1 for each containing tombstone.
-// O(log b + prefix matches) for a buffer of b rectangles.
+// O(dynamic.BufCap) = O(1) records scanned.
 func (m Map) bufDelta(x, y float64) int64 {
-	if m.buf.IsEmpty() {
+	buf := m.lad.Buf()
+	if buf.IsEmpty() {
 		return 0
 	}
 	neg, pos := math.Inf(-1), math.Inf(1)
 	lo := Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg}
 	hi := Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos}
 	var d int64
-	m.buf.Adds.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+	buf.Adds.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
 		if r.Contains(x, y) {
 			d++
 		}
 		return true
 	})
-	m.buf.Dels.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+	buf.Dels.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
 		if r.Contains(x, y) {
 			d--
 		}
@@ -356,44 +390,64 @@ func (m Map) bufDelta(x, y float64) int64 {
 func (m Map) Stabbed(x, y float64) bool { return m.CountStab(x, y) > 0 }
 
 // ReportStab returns the rectangles containing (x, y), in
-// (xLo, xHi, yLo, yHi) order: candidates opening at or before x, pruned
-// by the max-right-endpoint augmentation to those whose x-extent reaches
-// x, then filtered on the y-extent. O(log n + kx log(n/kx + 1)) for kx
-// rectangles stabbed in x alone.
+// (xLo, xHi, yLo, yHi) order. Per level: candidates opening at or
+// before x, pruned by the max-right-endpoint augmentation to those
+// whose x-extent reaches x, then filtered on the y-extent —
+// O(log n + kx log(n/kx + 1)) for kx rectangles stabbed in x alone. A
+// tombstoned rectangle appears once live and once as a tombstone, so
+// per-rectangle signed aggregation leaves exactly the live matches.
 func (m Map) ReportStab(x, y float64) []Rect {
 	pos := math.Inf(1)
-	candidates := m.report.UpTo(Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos})
-	hits := candidates.AugFilter(func(maxXHi float64) bool { return maxXHi >= x })
-	var out []Rect
-	hits.ForEach(func(r Rect, _ struct{}) bool {
-		if r.YLo <= y && y <= r.YHi {
+	// Fully condensed map (fresh from Build or Merge): one pure level,
+	// nothing to cancel — append matches directly, no aggregation map.
+	if s, ok := m.lad.Single(); ok {
+		candidates := s.report.UpTo(Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos})
+		hits := candidates.AugFilter(func(maxXHi float64) bool { return maxXHi >= x })
+		var out []Rect
+		hits.ForEach(func(r Rect, _ struct{}) bool {
+			if r.YLo <= y && y <= r.YHi {
+				out = append(out, r)
+			}
+			return true
+		})
+		return out
+	}
+	counts := make(map[Rect]int64)
+	m.lad.EachSide(func(sign int64, s static) {
+		candidates := s.report.UpTo(Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos})
+		hits := candidates.AugFilter(func(maxXHi float64) bool { return maxXHi >= x })
+		hits.ForEach(func(r Rect, _ struct{}) bool {
+			if r.YLo <= y && y <= r.YHi {
+				counts[r] += sign
+			}
+			return true
+		})
+	})
+	buf := m.lad.Buf()
+	if !buf.IsEmpty() {
+		neg := math.Inf(-1)
+		lo := Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg}
+		hi := Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos}
+		buf.Adds.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+			if r.Contains(x, y) {
+				counts[r]++
+			}
+			return true
+		})
+		buf.Dels.ForEachRange(lo, hi, func(r Rect, _ struct{}) bool {
+			if r.Contains(x, y) {
+				counts[r]--
+			}
+			return true
+		})
+	}
+	out := make([]Rect, 0, len(counts))
+	for r, c := range counts {
+		if c > 0 {
 			out = append(out, r)
 		}
-		return true
-	})
-	if !m.buf.IsEmpty() {
-		// Cancel tombstoned rectangles, then append the buffered inserts
-		// stabbed by (x, y) and restore the global order (rectangles in
-		// both layers are tombstoned, so none appears twice).
-		kept := out[:0]
-		for _, r := range out {
-			if !m.buf.Dels.Contains(r) {
-				kept = append(kept, r)
-			}
-		}
-		out = kept
-		neg := math.Inf(-1)
-		m.buf.Adds.ForEachRange(
-			Rect{XLo: neg, XHi: neg, YLo: neg, YHi: neg},
-			Rect{XLo: x, XHi: pos, YLo: pos, YHi: pos},
-			func(r Rect, _ struct{}) bool {
-				if r.Contains(x, y) {
-					out = append(out, r)
-				}
-				return true
-			})
-		slices.SortFunc(out, cmpXLo)
 	}
+	slices.SortFunc(out, cmpXLo)
 	return out
 }
 
@@ -410,19 +464,20 @@ func cmpXLo(a, b Rect) int {
 
 // Rects materializes all rectangles in (xLo, xHi, yLo, yHi) order.
 func (m Map) Rects() []Rect {
-	keys := m.buf.ApplyKeys(m.opens.Keys())
-	// ApplyKeys appends the buffered inserts after the surviving bulk
-	// keys; both halves are already in (xLo, xHi, yLo, yHi) order.
-	slices.SortFunc(keys, cmpXLo)
-	return keys
+	entries := m.lad.Entries(backend)
+	out := make([]Rect, len(entries))
+	for i, e := range entries {
+		out[i] = e.Key
+	}
+	return out
 }
 
-// Validate checks the structural invariants of both constituent trees,
-// including that every node's nested maps hold exactly the subtree's
-// rectangles, plus the update-buffer invariants (for tests).
-// O(n log n).
+// Validate checks the ladder invariants (carry propagation, buffer
+// contract, level capacities) and the structural invariants of every
+// level's three constituent trees, including that every node's nested
+// maps hold exactly the subtree's rectangles (for tests). O(n log n).
 func (m Map) Validate() error {
-	if err := m.buf.Validate(m.opens.Find, nil); err != nil {
+	if err := m.lad.Validate(backend); err != nil {
 		return err
 	}
 	sameKeys := func(a, b []Rect) bool {
@@ -442,11 +497,18 @@ func (m Map) Validate() error {
 		}
 		return sameKeys(a.byLo.Keys(), b.byLo.Keys()) && sameKeys(a.byHi.Keys(), b.byHi.Keys())
 	}
-	if err := m.opens.Validate(ysEq); err != nil {
-		return err
-	}
-	if err := m.closes.Validate(ysEq); err != nil {
-		return err
-	}
-	return m.report.Validate(func(a, b float64) bool { return a == b })
+	var err error
+	m.lad.EachSide(func(_ int64, s static) {
+		if err != nil {
+			return
+		}
+		err = s.opens.Validate(ysEq)
+		if err == nil {
+			err = s.closes.Validate(ysEq)
+		}
+		if err == nil {
+			err = s.report.Validate(func(a, b float64) bool { return a == b })
+		}
+	})
+	return err
 }
