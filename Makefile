@@ -19,10 +19,13 @@ vet:
 
 # Race-detector pass over the concurrency-heavy packages plus the
 # dynamic-structure snapshot stress test (concurrent readers vs. an
-# inserting/folding writer).
+# inserting/folding writer) and the whole serving layer, including the
+# 1000-schedule differential harness and the writer/reader/snapshotter/
+# rebalancer stress tests.
 race:
 	$(GO) test -race ./internal/core ./internal/parallel
 	$(GO) test -race -run 'TestDynamicConcurrent' .
+	$(GO) test -race ./serve
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -30,7 +33,7 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 
@@ -43,5 +46,6 @@ fuzz:
 	$(GO) test -fuzz=FuzzDynamicRangeTree -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzDynamicSegCount -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzDynamicStabbing -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzServe -fuzztime=$(FUZZTIME) -run '^$$' ./serve
 
 ci: vet build test race

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline/btree"
@@ -23,12 +24,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/seq"
 	"repro/internal/workload"
 	"repro/interval"
 	"repro/invindex"
 	"repro/pam"
 	"repro/rangetree"
 	"repro/segcount"
+	"repro/serve"
 	"repro/stabbing"
 )
 
@@ -867,4 +870,123 @@ func BenchmarkGrainSweep(b *testing.B) {
 			})
 		}
 	})
+}
+
+// ---- the serving layer (serve): PR 4 --------------------------------
+
+func serveBenchStore(b *testing.B, shards int) *serve.Store[uint64, int64, int64, pam.SumEntry[uint64, int64]] {
+	s := serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, shards, seq.Mix64)
+	b.Cleanup(s.Close)
+	return s
+}
+
+// BenchmarkServe_WriteThroughput measures batched write throughput
+// against shard count: each iteration is one 64-op batch, submitted by
+// concurrent writer goroutines through the sequencer and shard
+// mailboxes. The ops/s metric is the one recorded in BENCH_PRn.json.
+func BenchmarkServe_WriteThroughput(b *testing.B) {
+	const batchLen = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := serveBenchStore(b, shards)
+			var ctr atomic.Uint64
+			b.SetParallelism(4) // 4×GOMAXPROCS writer goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]serve.Op[uint64, int64], batchLen)
+				for pb.Next() {
+					base := ctr.Add(1) * batchLen
+					for j := range batch {
+						batch[j] = serve.Put((base+uint64(j))%(1<<20), int64(j))
+					}
+					s.Apply(batch)
+				}
+			})
+			b.ReportMetric(float64(b.N)*batchLen/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkServe_SnapshotFindUnderWrites measures the serving read
+// path — Snapshot + routed Find — while a background writer streams
+// 64-op batches into the store.
+func BenchmarkServe_SnapshotFindUnderWrites(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := serveBenchStore(b, shards)
+			for i := 0; i < 1<<14; i += 64 {
+				batch := make([]serve.Op[uint64, int64], 64)
+				for j := range batch {
+					batch[j] = serve.Put(uint64(i+j), int64(j))
+				}
+				s.Apply(batch)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				batch := make([]serve.Op[uint64, int64], 64)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for j := range batch {
+						batch[j] = serve.Put(uint64(i*64+j)%(1<<14), int64(j))
+					}
+					s.Apply(batch)
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := s.Snapshot()
+				v.Find(uint64(i) % (1 << 14))
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}
+
+// BenchmarkServe_PointQueryUnderWrites is the spatial serving path:
+// Snapshot + cross-shard QuerySum on the sharded ladder-backed range
+// tree while a background writer streams point inserts.
+func BenchmarkServe_PointQueryUnderWrites(b *testing.B) {
+	s := serve.NewPointStore(pam.Options{}, []float64{256, 512, 768})
+	b.Cleanup(s.Close)
+	pts := workload.Points(77, 1<<13, 1024, 100)
+	batch := make([]serve.PointOp, 0, 64)
+	for _, p := range pts {
+		batch = append(batch, serve.InsertPoint(rangetree.Point{X: p.X, Y: p.Y}, p.W))
+		if len(batch) == cap(batch) {
+			s.Apply(batch)
+			batch = batch[:0]
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x := float64(i % 1024)
+			s.Insert(rangetree.Point{X: x, Y: float64((i * 7) % 1024)}, 1)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := s.Snapshot()
+		x := float64(i % 512)
+		v.QuerySum(rangetree.Rect{XLo: x, XHi: x + 256, YLo: 0, YHi: 512})
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }

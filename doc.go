@@ -16,6 +16,8 @@
 //   - repro/invindex: weighted inverted indices with top-k search (§5.3)
 //   - repro/segcount: segment-crossing queries (arXiv:1803.08621 §4)
 //   - repro/stabbing: rectangle stabbing queries (arXiv:1803.08621 §5)
+//   - repro/serve: the sharded serving layer with snapshot-consistent
+//     cross-shard reads
 //
 // See README.md for the package map, the paper-to-code mapping, and how
 // to run the tests and reproductions. The benchmarks in bench_test.go

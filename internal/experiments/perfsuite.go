@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/pam"
@@ -122,6 +123,21 @@ func runPerfSuite() []BenchResult {
 			m = m.Insert(stabbing.Rect{XLo: x, XHi: x + 20, YLo: x, YHi: x + 20})
 		}
 	}))
+
+	// The serving layer (PR 4): batched write throughput per shard
+	// count, and the read tail under a sustained write stream.
+	const serveOps = 1 << 17
+	for _, nsh := range serveShardCounts() {
+		ops := ServeWriteThroughput(nsh, serveOps)
+		out = append(out, BenchResult{
+			Op:      "serve_write_" + strconv.Itoa(nsh) + "shard",
+			N:       serveOps,
+			NsPerOp: 1e9 / ops,
+		})
+	}
+	runtime.GC()
+	out = append(out, tailResult("serve_read_under_writes", 2048,
+		ServeReadUnderWrites(min(4, 2*runtime.NumCPU()), 2048)))
 
 	// Let the allocations of the ns/op entries above get collected
 	// before the latency-percentile runs, so their GC debt doesn't

@@ -1,0 +1,178 @@
+// The serving-layer experiment and its perf-suite entries: write
+// throughput against shard count (concurrent writers submitting
+// batches through the shard mailboxes) and read latency under a
+// sustained write stream (each read is a full Snapshot + routed Find on
+// the assembled view).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/seq"
+	"repro/pam"
+	"repro/serve"
+)
+
+// serveStore is the store shape every serving measurement uses: a
+// sum-augmented uint64->int64 map, hash-partitioned with the shared
+// splitmix64 finalizer.
+type serveStore = serve.Store[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+func newServeStore(shards int) *serveStore {
+	return serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, shards, seq.Mix64)
+}
+
+const (
+	serveBatchLen = 64
+	serveWriters  = 4
+	serveKeySpace = 1 << 20
+)
+
+// serveWriteOnce has w concurrent writers push totalOps ops in
+// serveBatchLen-sized batches through the store and returns the
+// duration.
+func serveWriteOnce(s *serveStore, writers, totalOps int) time.Duration {
+	perWriter := totalOps / writers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * uint64(perWriter)
+			batch := make([]serve.Op[uint64, int64], 0, serveBatchLen)
+			for i := 0; i < perWriter; i++ {
+				k := (base + uint64(i)*0x9e3779b9) % serveKeySpace
+				batch = append(batch, serve.Put(k, int64(i)))
+				if len(batch) == serveBatchLen {
+					s.Apply(batch)
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				s.Apply(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// ServeWriteThroughput measures sustained batched write throughput
+// (ops/s) at the given shard count.
+func ServeWriteThroughput(shards, totalOps int) float64 {
+	s := newServeStore(shards)
+	defer s.Close()
+	d := serveWriteOnce(s, serveWriters, totalOps)
+	return float64(totalOps) / d.Seconds()
+}
+
+// ServeReadUnderWrites measures per-read latency (Snapshot + Find)
+// while a background writer streams batches, returning tail stats over
+// q reads.
+func ServeReadUnderWrites(shards, q int) TailStats {
+	s := newServeStore(shards)
+	defer s.Close()
+	// Preload so reads have something to find.
+	serveWriteOnce(s, 1, 1<<14)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]serve.Op[uint64, int64], serveBatchLen)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range batch {
+				batch[j] = serve.Put(uint64(i*serveBatchLen+j)%serveKeySpace, int64(j))
+			}
+			s.Apply(batch)
+		}
+	}()
+	lat := make([]time.Duration, 0, q)
+	for i := 0; i < q; i++ {
+		k := uint64(i) * 0x9e3779b9 % serveKeySpace
+		lat = append(lat, timeQuery(func() {
+			v := s.Snapshot()
+			v.Find(k)
+		}))
+	}
+	close(stop)
+	wg.Wait()
+	return tailStats(lat)
+}
+
+// serveShardCounts is the sweep 1, 2, 4, ... up to at least NumCPU
+// (shard count may exceed the core count: shards are goroutines, not
+// threads, and the sweep's point is the 1 -> GOMAXPROCS scaling shape).
+func serveShardCounts() []int {
+	var out []int
+	for p := 1; p <= runtime.NumCPU(); p *= 2 {
+		out = append(out, p)
+	}
+	if last := out[len(out)-1]; last < 4 {
+		// Keep the sweep meaningful on small machines.
+		for p := last * 2; p <= 4; p *= 2 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func init() {
+	register(Experiment{
+		Name: "serve",
+		Desc: "sharded serving layer: write throughput vs shard count, read latency under sustained writes",
+		Run: func(cfg Config) []Table {
+			cfg = cfg.WithDefaults()
+			totalOps := cfg.N
+			if totalOps > 1<<20 {
+				totalOps = 1 << 20
+			}
+			if totalOps < 1<<14 {
+				totalOps = 1 << 14
+			}
+			var wrows [][]string
+			for _, sc := range serveShardCounts() {
+				ops := ServeWriteThroughput(sc, totalOps)
+				wrows = append(wrows, []string{
+					strconv.Itoa(sc),
+					fmt.Sprintf("%.0f", ops),
+				})
+			}
+			q := cfg.Q
+			if q > 4096 {
+				q = 4096
+			}
+			if q < 256 {
+				q = 256
+			}
+			rd := ServeReadUnderWrites(min(4, runtime.NumCPU()*2), q)
+			return []Table{
+				{
+					Title:  "Serve write throughput",
+					Note:   fmt.Sprintf("%d ops in %d-op batches from %d concurrent writers", totalOps, serveBatchLen, serveWriters),
+					Header: []string{"shards", "ops/s"},
+					Rows:   wrows,
+				},
+				{
+					Title:  "Serve read latency under writes",
+					Note:   fmt.Sprintf("Snapshot+Find per read, %d reads, background writer streaming %d-op batches", q, serveBatchLen),
+					Header: []string{"p50", "p99", "mean"},
+					Rows: [][]string{{
+						rd.P50.String(), rd.P99.String(), rd.Mean.String(),
+					}},
+				},
+			}
+		},
+	})
+}

@@ -1,0 +1,82 @@
+package workload
+
+import "repro/internal/seq"
+
+// Concurrent schedules: the deterministic inputs of the serve
+// differential harness. A schedule is one batched op stream per writer;
+// the writers submit their batches concurrently, so the global
+// interleaving is decided at run time by the store's sequencer — the
+// harness reads it back and replays it against a sequential oracle.
+
+// KVOp is one key-value operation of a concurrent serving schedule.
+type KVOp struct {
+	Del bool
+	Key uint64
+	Val int64
+}
+
+// KVBatch is one write batch. Snap marks batches after which the
+// issuing writer takes (and records) a snapshot — the real-time
+// visibility probe of the harness.
+type KVBatch struct {
+	Ops  []KVOp
+	Snap bool
+}
+
+// ScheduleCfg sizes a concurrent schedule. The key space should be
+// small enough that concurrent writers collide on keys, or the
+// interleaving order would be unobservable.
+type ScheduleCfg struct {
+	Writers   int
+	Batches   int    // batches per writer
+	BatchLen  int    // maximum ops per batch (actual lengths vary in [1, BatchLen])
+	KeySpace  uint64 // keys are uniform in [0, KeySpace)
+	DelEvery  int    // about 1 op in DelEvery is a delete; 0 disables deletes
+	SnapEvery int    // about 1 batch in SnapEvery is snapshot-marked; 0 disables
+}
+
+// Schedule returns the per-writer batched op streams for seed and cfg
+// (same inputs, same schedule — the splittable-stream discipline of the
+// other generators).
+func Schedule(seed uint64, cfg ScheduleCfg) [][]KVBatch {
+	out := make([][]KVBatch, cfg.Writers)
+	for w := range out {
+		r := seq.NewRNG(seed).Split(uint64(w + 1))
+		kr, vr, lr, dr, sr := r.Split(1), r.Split(2), r.Split(3), r.Split(4), r.Split(5)
+		batches := make([]KVBatch, cfg.Batches)
+		idx := uint64(0)
+		for b := range batches {
+			ln := 1 + int(lr.AtRange(uint64(b), uint64(max(cfg.BatchLen, 1))))
+			ops := make([]KVOp, ln)
+			for i := range ops {
+				idx++
+				op := KVOp{
+					Key: kr.AtRange(idx, max(cfg.KeySpace, 1)),
+					Val: int64(vr.AtRange(idx, 1000)),
+				}
+				if cfg.DelEvery > 0 && dr.AtRange(idx, uint64(cfg.DelEvery)) == 0 {
+					op.Del = true
+				}
+				ops[i] = op
+			}
+			batches[b] = KVBatch{
+				Ops:  ops,
+				Snap: cfg.SnapEvery > 0 && sr.AtRange(uint64(b), uint64(cfg.SnapEvery)) == 0,
+			}
+		}
+		out[w] = batches
+	}
+	return out
+}
+
+// WriterOps splits one deterministic dynamic-structure op stream (the
+// Mix/Ops machinery of opseq.go) into per-writer streams, for
+// concurrent harnesses over the spatial structures.
+func WriterOps(seed uint64, writers, n int, mix Mix) [][]Op {
+	out := make([][]Op, writers)
+	r := seq.NewRNG(seed)
+	for w := range out {
+		out[w] = Ops(r.At(uint64(w)), n, mix)
+	}
+	return out
+}

@@ -136,3 +136,74 @@ func TestCorpusGenerate(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleDeterministicAndShaped(t *testing.T) {
+	cfg := ScheduleCfg{Writers: 3, Batches: 8, BatchLen: 6, KeySpace: 64, DelEvery: 3, SnapEvery: 2}
+	a := Schedule(7, cfg)
+	b := Schedule(7, cfg)
+	if len(a) != cfg.Writers {
+		t.Fatalf("writers = %d", len(a))
+	}
+	var dels, snaps, ops int
+	for w := range a {
+		if len(a[w]) != cfg.Batches {
+			t.Fatalf("writer %d has %d batches", w, len(a[w]))
+		}
+		for bi, batch := range a[w] {
+			if len(batch.Ops) < 1 || len(batch.Ops) > cfg.BatchLen {
+				t.Fatalf("batch length %d outside [1,%d]", len(batch.Ops), cfg.BatchLen)
+			}
+			if batch.Snap != b[w][bi].Snap {
+				t.Fatal("Schedule not deterministic (Snap)")
+			}
+			if batch.Snap {
+				snaps++
+			}
+			for oi, op := range batch.Ops {
+				if op != b[w][bi].Ops[oi] {
+					t.Fatal("Schedule not deterministic (op)")
+				}
+				if op.Key >= cfg.KeySpace {
+					t.Fatalf("key %d outside space", op.Key)
+				}
+				if op.Del {
+					dels++
+				}
+				ops++
+			}
+		}
+	}
+	if dels == 0 || dels == ops {
+		t.Fatalf("delete mix degenerate: %d of %d", dels, ops)
+	}
+	if snaps == 0 {
+		t.Fatal("no snapshot-marked batches")
+	}
+	// Writers must differ from each other.
+	if a[0][0].Ops[0] == a[1][0].Ops[0] && a[0][1].Ops[0] == a[1][1].Ops[0] {
+		t.Fatal("writers share a stream")
+	}
+}
+
+func TestWriterOpsSplitsStreams(t *testing.T) {
+	streams := WriterOps(3, 3, 50, DefaultMix)
+	if len(streams) != 3 {
+		t.Fatalf("writers = %d", len(streams))
+	}
+	for w, ops := range streams {
+		if len(ops) != 50 {
+			t.Fatalf("writer %d has %d ops", w, len(ops))
+		}
+	}
+	if streams[0][0] == streams[1][0] && streams[0][1] == streams[1][1] {
+		t.Fatal("writer streams identical")
+	}
+	again := WriterOps(3, 3, 50, DefaultMix)
+	for w := range streams {
+		for i := range streams[w] {
+			if streams[w][i] != again[w][i] {
+				t.Fatal("WriterOps not deterministic")
+			}
+		}
+	}
+}

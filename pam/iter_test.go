@@ -1,0 +1,161 @@
+package pam
+
+// Iteration and order-statistic edge cases at map boundaries — the
+// primitives the serve package's merged cross-shard iterator leans on
+// (seek via Find+Next, advance via Next, k-way merge termination).
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestNextPreviousEmptyMap(t *testing.T) {
+	m := newSumMap()
+	if _, _, ok := m.First(); ok {
+		t.Fatal("First on empty map reported an entry")
+	}
+	if _, _, ok := m.Last(); ok {
+		t.Fatal("Last on empty map reported an entry")
+	}
+	if _, _, ok := m.Next(0); ok {
+		t.Fatal("Next on empty map reported an entry")
+	}
+	if _, _, ok := m.Previous(^uint64(0)); ok {
+		t.Fatal("Previous on empty map reported an entry")
+	}
+}
+
+func TestSelectRankEmptyMap(t *testing.T) {
+	m := newSumMap()
+	if _, _, ok := m.Select(0); ok {
+		t.Fatal("Select(0) on empty map reported an entry")
+	}
+	if _, _, ok := m.Select(-1); ok {
+		t.Fatal("Select(-1) reported an entry")
+	}
+	if got := m.Rank(123); got != 0 {
+		t.Fatalf("Rank on empty map = %d", got)
+	}
+}
+
+func TestSingleEntryBoundaries(t *testing.T) {
+	m := newSumMap().Insert(5, 50)
+	if k, v, ok := m.First(); !ok || k != 5 || v != 50 {
+		t.Fatalf("First = %d,%d,%v", k, v, ok)
+	}
+	if k, _, ok := m.Last(); !ok || k != 5 {
+		t.Fatalf("Last = %d,%v", k, ok)
+	}
+	// Next is strict: from below it finds the entry, from the entry and
+	// above nothing.
+	if k, _, ok := m.Next(4); !ok || k != 5 {
+		t.Fatalf("Next(4) = %d,%v", k, ok)
+	}
+	if _, _, ok := m.Next(5); ok {
+		t.Fatal("Next(5) found an entry past the maximum")
+	}
+	if _, _, ok := m.Next(6); ok {
+		t.Fatal("Next(6) found an entry")
+	}
+	// Previous mirrors.
+	if k, _, ok := m.Previous(6); !ok || k != 5 {
+		t.Fatalf("Previous(6) = %d,%v", k, ok)
+	}
+	if _, _, ok := m.Previous(5); ok {
+		t.Fatal("Previous(5) found an entry before the minimum")
+	}
+	// Select/Rank.
+	if k, _, ok := m.Select(0); !ok || k != 5 {
+		t.Fatalf("Select(0) = %d,%v", k, ok)
+	}
+	if _, _, ok := m.Select(1); ok {
+		t.Fatal("Select(1) on a single-entry map reported an entry")
+	}
+	if m.Rank(5) != 0 || m.Rank(6) != 1 || m.Rank(0) != 0 {
+		t.Fatalf("single-entry ranks: %d %d %d", m.Rank(5), m.Rank(6), m.Rank(0))
+	}
+}
+
+// TestNextWalkReconstructs checks that seek-then-Next iteration (the
+// merged iterator's cursor discipline) reconstructs the map exactly,
+// including across gaps and at both boundaries.
+func TestNextWalkReconstructs(t *testing.T) {
+	m := newSumMap()
+	var want []uint64
+	for i := uint64(0); i < 60; i++ {
+		k := i*3 + 1 // gaps: keys 1, 4, 7, ...
+		m = m.Insert(k, int64(k))
+		want = append(want, k)
+	}
+	// Walk from the front.
+	var got []uint64
+	k, _, ok := m.First()
+	for ok {
+		got = append(got, k)
+		k, _, ok = m.Next(k)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Next walk got %d keys, want %d", len(got), len(want))
+	}
+	// Walk backwards.
+	var back []uint64
+	k, _, ok = m.Last()
+	for ok {
+		back = append(back, k)
+		k, _, ok = m.Previous(k)
+	}
+	slices.Reverse(back)
+	if !slices.Equal(back, want) {
+		t.Fatalf("Previous walk got %d keys, want %d", len(back), len(want))
+	}
+	// Next from a gap key (absent) finds the successor; Next from before
+	// the first key finds the first.
+	if k, _, ok := m.Next(2); !ok || k != 4 {
+		t.Fatalf("Next(2) = %d,%v, want 4", k, ok)
+	}
+	if k, _, ok := m.Next(0); !ok || k != 1 {
+		t.Fatalf("Next(0) = %d,%v, want 1", k, ok)
+	}
+	// Select agrees with the walk at both ends and the middle.
+	for _, i := range []int64{0, 1, 29, 58, 59} {
+		if k, _, ok := m.Select(i); !ok || k != want[i] {
+			t.Fatalf("Select(%d) = %d,%v, want %d", i, k, ok, want[i])
+		}
+	}
+	if _, _, ok := m.Select(60); ok {
+		t.Fatal("Select past the end reported an entry")
+	}
+	// Rank is the inverse of Select and counts strictly-below keys for
+	// absent arguments too.
+	if got := m.Rank(want[30]); got != 30 {
+		t.Fatalf("Rank(%d) = %d", want[30], got)
+	}
+	if got := m.Rank(want[30] + 1); got != 31 {
+		t.Fatalf("Rank(%d) = %d", want[30]+1, got)
+	}
+}
+
+// TestForEachRangeDegenerate pins ForEachRange behavior at degenerate
+// bounds: inverted ranges visit nothing, point ranges visit one entry.
+func TestForEachRangeDegenerate(t *testing.T) {
+	m := newSumMap()
+	for i := uint64(0); i < 20; i++ {
+		m = m.Insert(i*2, int64(i))
+	}
+	visited := 0
+	m.ForEachRange(10, 4, func(uint64, int64) bool { visited++; return true })
+	if visited != 0 {
+		t.Fatalf("inverted range visited %d entries", visited)
+	}
+	var point []uint64
+	m.ForEachRange(8, 8, func(k uint64, _ int64) bool { point = append(point, k); return true })
+	if !slices.Equal(point, []uint64{8}) {
+		t.Fatalf("point range visited %v", point)
+	}
+	// Bounds between keys (both absent): exactly the interior entries.
+	var interior []uint64
+	m.ForEachRange(5, 11, func(k uint64, _ int64) bool { interior = append(interior, k); return true })
+	if !slices.Equal(interior, []uint64{6, 8, 10}) {
+		t.Fatalf("absent-bound range visited %v", interior)
+	}
+}

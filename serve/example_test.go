@@ -1,0 +1,48 @@
+package serve_test
+
+import (
+	"fmt"
+
+	"repro/pam"
+	"repro/serve"
+)
+
+// Example serves a sum-augmented map from four range-partitioned
+// shards: batched writes go through the shard mailboxes, and Snapshot
+// assembles a consistent zero-copy view that answers point lookups,
+// augmented range sums, and merged ordered iteration.
+func Example() {
+	// Keys 0..99 | 100..199 | 200..299 | 300.. across four shards.
+	store := serve.NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, []uint64{100, 200, 300})
+	defer store.Close()
+
+	// One atomic batch spanning three shards.
+	store.Apply([]serve.Op[uint64, int64]{
+		serve.Put[uint64, int64](42, 10),
+		serve.Put[uint64, int64](150, 20),
+		serve.Put[uint64, int64](250, 30),
+	})
+	store.Put(350, 40)
+	store.Delete(150)
+
+	v := store.Snapshot()
+	if val, ok := v.Find(42); ok {
+		fmt.Println("find 42:", val)
+	}
+	fmt.Println("size:", v.Size())
+	fmt.Println("sum:", v.AugVal())
+	fmt.Println("sum 0..299:", v.AugRange(0, 299))
+	v.ForEach(func(k uint64, val int64) bool {
+		fmt.Println("entry:", k, val)
+		return true
+	})
+	// Output:
+	// find 42: 10
+	// size: 3
+	// sum: 80
+	// sum 0..299: 40
+	// entry: 42 10
+	// entry: 250 30
+	// entry: 350 40
+}

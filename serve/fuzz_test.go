@@ -1,0 +1,39 @@
+package serve
+
+// FuzzServe fuzzes the differential harness itself: every input is one
+// randomized concurrent schedule (map leg + ladder-backed spatial leg)
+// whose snapshots must all equal their sequential prefix states. The
+// seed corpus interleaves snapshot acquisition with carry cascades:
+// tiny flush capacities and op counts just past powers of two keep the
+// spatial shards mid-carry when markers arrive.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func FuzzServe(f *testing.F) {
+	// seed, shards, writers, batches, batchLen, flushCap, ranged
+	f.Add(uint64(1), uint8(2), uint8(2), uint8(4), uint8(6), uint8(4), true)
+	f.Add(uint64(7), uint8(3), uint8(3), uint8(8), uint8(3), uint8(2), false)
+	// Carry-cascade seeds: flushCap 2 with op counts crossing 2^k flushes,
+	// snapshots interleaved with the cascades.
+	f.Add(uint64(17), uint8(4), uint8(2), uint8(9), uint8(7), uint8(2), true)
+	f.Add(uint64(33), uint8(1), uint8(3), uint8(5), uint8(5), uint8(3), true)
+	f.Add(uint64(64), uint8(2), uint8(4), uint8(7), uint8(4), uint8(2), false)
+
+	f.Fuzz(func(t *testing.T, seed uint64, shards, writers, batches, batchLen, flushCap uint8, ranged bool) {
+		cfg := workload.ScheduleCfg{
+			Writers:   1 + int(writers)%3,
+			Batches:   1 + int(batches)%8,
+			BatchLen:  1 + int(batchLen)%8,
+			KeySpace:  64,
+			DelEvery:  3,
+			SnapEvery: 2,
+		}
+		nShards := 1 + int(shards)%4
+		runMapSchedule(t, seed, cfg, nShards, ranged, ranged)
+		runPointSchedule(t, seed, cfg.Writers, 16+int(batches)*8, 1+int(shards)%3, 2+int(flushCap)%14)
+	})
+}

@@ -1,0 +1,493 @@
+package serve
+
+// The linearizability-style differential harness: randomized concurrent
+// schedules (internal/workload.Schedule) run against a sharded store,
+// with every acknowledged batch replayed — in the global order the
+// store's sequencer assigned — against a single sequential pam map, and
+// every snapshot asserted to equal the sequential state at exactly its
+// sequence position. Run under -race by `make race` and the CI
+// serve-stress job.
+//
+// What the harness proves, per schedule:
+//   - sequence numbers are unique and contiguous (one total write order);
+//   - the final view equals the full sequential replay (so the assigned
+//     order is the real one: a wrong order shows up as a wrong value on
+//     any key written twice);
+//   - every snapshot equals the sequential prefix state at its Seq —
+//     atomic, gapless cuts (prefix consistency);
+//   - snapshots taken by a writer right after an acknowledged batch have
+//     Seq above the batch's (the real-time visibility bound);
+//   - version vectors and Seq are monotonic across a snapshotter's
+//     successive snapshots;
+//   - merged cross-shard iteration yields strictly increasing keys and
+//     agrees with the oracle's entries, full and range-bounded.
+
+import (
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/workload"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// maxRecordedSnaps bounds the snapshots a background snapshotter
+// records for oracle verification (it keeps snapshotting past the cap,
+// still checking monotonicity).
+const maxRecordedSnaps = 48
+
+type ackedBatch struct {
+	seq uint64
+	ops []workload.KVOp
+}
+
+func toOps(b []workload.KVOp) []kvop {
+	out := make([]kvop, len(b))
+	for i, op := range b {
+		if op.Del {
+			out[i] = kvop{Kind: OpDelete, Key: op.Key}
+		} else {
+			out[i] = kvop{Kind: OpPut, Key: op.Key, Val: op.Val}
+		}
+	}
+	return out
+}
+
+// runMapSchedule runs one randomized concurrent schedule against a
+// sharded store (range- or hash-partitioned) and differentially
+// verifies every snapshot. rebalance additionally keeps a concurrent
+// rebalancer running (range stores only).
+func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards int, ranged, rebalance bool) {
+	t.Helper()
+	var s *sumStore
+	if ranged {
+		splits := make([]uint64, shards-1)
+		for i := range splits {
+			splits[i] = uint64(i+1) * cfg.KeySpace / uint64(shards)
+		}
+		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits)
+	} else {
+		s = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+	}
+	defer s.Close()
+
+	sched := workload.Schedule(seed, cfg)
+	var mu sync.Mutex
+	var acked []ackedBatch
+	var snaps []sumView
+
+	var wg sync.WaitGroup
+	for w := range sched {
+		wg.Add(1)
+		go func(batches []workload.KVBatch) {
+			defer wg.Done()
+			for _, b := range batches {
+				seqn := s.Apply(toOps(b.Ops))
+				mu.Lock()
+				acked = append(acked, ackedBatch{seq: seqn, ops: b.Ops})
+				mu.Unlock()
+				if b.Snap {
+					v := s.Snapshot()
+					if v.Seq() <= seqn {
+						t.Errorf("real-time violation: batch acked at seq %d invisible to later snapshot at seq %d", seqn, v.Seq())
+					}
+					mu.Lock()
+					snaps = append(snaps, v)
+					mu.Unlock()
+				}
+			}
+		}(sched[w])
+	}
+
+	// A concurrent snapshotter: records early views for the oracle check
+	// and asserts Seq/version monotonicity throughout.
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		var prev sumView
+		have := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.Snapshot()
+			if have {
+				if v.Seq() < prev.Seq() {
+					t.Errorf("snapshot Seq went backwards: %d then %d", prev.Seq(), v.Seq())
+				}
+				for i, ver := range v.Versions() {
+					if ver < prev.Versions()[i] {
+						t.Errorf("shard %d version went backwards: %d then %d", i, prev.Versions()[i], ver)
+					}
+				}
+			}
+			prev, have = v, true
+			mu.Lock()
+			if len(snaps) < maxRecordedSnaps {
+				snaps = append(snaps, v)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+		}
+	}()
+	if rebalance && ranged {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Rebalance()
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	snaps = append(snaps, s.Snapshot())
+	verifyMapSnapshots(t, acked, snaps, cfg.KeySpace)
+}
+
+// verifyMapSnapshots replays the acknowledged batches in sequence order
+// against a sequential pam oracle and checks every snapshot against the
+// prefix state at its Seq.
+func verifyMapSnapshots(t *testing.T, acked []ackedBatch, snaps []sumView, keySpace uint64) {
+	t.Helper()
+	sort.Slice(acked, func(i, j int) bool { return acked[i].seq < acked[j].seq })
+	for i, b := range acked {
+		if b.seq != uint64(i) {
+			t.Fatalf("sequence numbers not contiguous: batch %d has seq %d", i, b.seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Seq() < snaps[j].Seq() })
+	if last := snaps[len(snaps)-1]; last.Seq() != uint64(len(acked)) {
+		t.Fatalf("final snapshot Seq = %d, want %d (all batches)", last.Seq(), len(acked))
+	}
+
+	oracle := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+	ai := 0
+	for _, v := range snaps {
+		for uint64(ai) < v.Seq() {
+			for _, op := range acked[ai].ops {
+				if op.Del {
+					oracle = oracle.Delete(op.Key)
+				} else {
+					oracle = oracle.Insert(op.Key, op.Val)
+				}
+			}
+			ai++
+		}
+		compareViewOracle(t, v, oracle, keySpace)
+		if t.Failed() {
+			t.Fatalf("snapshot at seq %d diverged from the sequential prefix", v.Seq())
+		}
+	}
+}
+
+// compareViewOracle checks a snapshot against the sequential state it
+// must equal: size, entries, augmented values, range sums, point
+// lookups, and merged ordered iteration.
+func compareViewOracle(t *testing.T, v sumView, oracle pam.AugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]], keySpace uint64) {
+	t.Helper()
+	if got, want := v.Size(), oracle.Size(); got != want {
+		t.Errorf("Size = %d, oracle %d", got, want)
+		return
+	}
+	want := oracle.Entries()
+	if got := v.Entries(); !slices.Equal(got, want) {
+		t.Errorf("Entries diverged: view %v, oracle %v", got, want)
+		return
+	}
+	if got, wantA := v.AugVal(), oracle.AugVal(); got != wantA {
+		t.Errorf("AugVal = %d, oracle %d", got, wantA)
+	}
+	// Range sums and lookups at fixed fractions of the key space.
+	for _, frac := range [][2]uint64{{0, 4}, {1, 3}, {2, 4}, {0, 1}} {
+		lo := frac[0] * keySpace / 4
+		hi := frac[1] * keySpace / 4
+		if got, wantA := v.AugRange(lo, hi), oracle.AugRange(lo, hi); got != wantA {
+			t.Errorf("AugRange(%d,%d) = %d, oracle %d", lo, hi, got, wantA)
+		}
+		gv, gok := v.Find(lo)
+		wv, wok := oracle.Find(lo)
+		if gv != wv || gok != wok {
+			t.Errorf("Find(%d) = %d,%v, oracle %d,%v", lo, gv, gok, wv, wok)
+		}
+	}
+	// Merged iteration: strictly increasing and equal to Entries.
+	var prev uint64
+	first := true
+	i := 0
+	v.ForEach(func(k uint64, val int64) bool {
+		if !first && k <= prev {
+			t.Errorf("merged iteration not strictly increasing: %d after %d", k, prev)
+			return false
+		}
+		if i >= len(want) || want[i].Key != k || want[i].Val != val {
+			t.Errorf("merged iteration diverged at index %d: (%d,%d)", i, k, val)
+			return false
+		}
+		prev, first = k, false
+		i++
+		return true
+	})
+	if !t.Failed() && i != len(want) {
+		t.Errorf("merged iteration visited %d entries, oracle %d", i, len(want))
+	}
+	// Bounded iteration against the oracle's Range.
+	lo, hi := keySpace/4, 3*keySpace/4
+	wantR := oracle.Range(lo, hi).Entries()
+	var gotR []pam.KV[uint64, int64]
+	v.ForEachRange(lo, hi, func(k uint64, val int64) bool {
+		gotR = append(gotR, pam.KV[uint64, int64]{Key: k, Val: val})
+		return true
+	})
+	if !slices.Equal(gotR, wantR) {
+		t.Errorf("ForEachRange(%d,%d) = %v, oracle %v", lo, hi, gotR, wantR)
+	}
+}
+
+// TestServeDifferentialSchedules is the headline check: 1000+
+// randomized concurrent schedules, alternating hash and range
+// partitioning across varied shard/writer/batch shapes, each
+// differentially verified against the sequential oracle. Run under
+// -race by `make race` and CI.
+func TestServeDifferentialSchedules(t *testing.T) {
+	schedules := 1000
+	if testing.Short() {
+		schedules = 120
+	}
+	for i := 0; i < schedules; i++ {
+		cfg := workload.ScheduleCfg{
+			Writers:   1 + i%3,
+			Batches:   3 + i%5,
+			BatchLen:  1 + i%8,
+			KeySpace:  32 << (i % 3),
+			DelEvery:  3,
+			SnapEvery: 2,
+		}
+		shards := 1 + i%5
+		runMapSchedule(t, uint64(i+1), cfg, shards, i%2 == 0, false)
+		if t.Failed() {
+			t.Fatalf("schedule %d (seed %d, %+v, shards %d) failed", i, i+1, cfg, shards)
+		}
+	}
+}
+
+// TestServeDifferentialDeep runs fewer, much larger schedules with a
+// concurrent rebalancer in flight.
+func TestServeDifferentialDeep(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := workload.ScheduleCfg{
+			Writers:   4,
+			Batches:   30,
+			BatchLen:  16,
+			KeySpace:  256,
+			DelEvery:  3,
+			SnapEvery: 3,
+		}
+		runMapSchedule(t, seed, cfg, 4, true, true)
+		if t.Failed() {
+			t.Fatalf("deep schedule seed %d failed", seed)
+		}
+	}
+}
+
+// ---- the spatial store, differentially -----------------------------
+
+// gridPoint quantizes an op's unit-square coordinates onto a small
+// integer grid, so concurrent writers collide on points and deletes hit
+// live entries.
+func gridPoint(a, b float64) rangetree.Point {
+	const grid = 16
+	return rangetree.Point{X: float64(int(a * grid)), Y: float64(int(b * grid))}
+}
+
+type pointAck struct {
+	seq uint64
+	del bool
+	p   rangetree.Point
+	w   int64
+}
+
+// runPointSchedule runs concurrent writers + snapshotters + a
+// rebalancer against a sharded PointStore with the given ladder write
+// buffer capacity (small capacities pack carry cascades between
+// snapshots), then differentially verifies every snapshot.
+func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap int) {
+	t.Helper()
+	old := dynamic.SetFlushCap(flushCap)
+	defer dynamic.SetFlushCap(old)
+
+	splits := make([]float64, shards-1)
+	for i := range splits {
+		splits[i] = float64(i+1) * 16 / float64(shards)
+	}
+	s := NewPointStore(pam.Options{}, splits)
+	defer s.Close()
+
+	mix := workload.Mix{Insert: 8, Delete: 4, Snapshot: 3}
+	streams := workload.WriterOps(seed, writers, n, mix)
+
+	var mu sync.Mutex
+	var acked []pointAck
+	var snaps []PointView
+
+	var wg sync.WaitGroup
+	for _, ops := range streams {
+		wg.Add(1)
+		go func(ops []workload.Op) {
+			defer wg.Done()
+			lastSeq := uint64(0)
+			wrote := false
+			for _, op := range ops {
+				p := gridPoint(op.A, op.B)
+				switch op.Kind {
+				case workload.OpInsert:
+					seqn := s.Insert(p, op.W)
+					mu.Lock()
+					acked = append(acked, pointAck{seq: seqn, p: p, w: op.W})
+					mu.Unlock()
+					lastSeq, wrote = seqn, true
+				case workload.OpDelete:
+					seqn := s.Delete(p)
+					mu.Lock()
+					acked = append(acked, pointAck{seq: seqn, del: true, p: p})
+					mu.Unlock()
+					lastSeq, wrote = seqn, true
+				case workload.OpSnapshot:
+					v := s.Snapshot()
+					if wrote && v.Seq() <= lastSeq {
+						t.Errorf("real-time violation: write at seq %d invisible to later snapshot at seq %d", lastSeq, v.Seq())
+					}
+					mu.Lock()
+					if len(snaps) < maxRecordedSnaps {
+						snaps = append(snaps, v)
+					}
+					mu.Unlock()
+				}
+			}
+		}(ops)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() { // rebalancer in flight
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Rebalance()
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	snaps = append(snaps, s.Snapshot())
+	verifyPointSnapshots(t, acked, snaps)
+}
+
+// verifyPointSnapshots replays the acknowledged point ops in sequence
+// order against a brute-force oracle and checks each snapshot's size,
+// rectangle sums/counts, full report, and point lookups.
+func verifyPointSnapshots(t *testing.T, acked []pointAck, snaps []PointView) {
+	t.Helper()
+	sort.Slice(acked, func(i, j int) bool { return acked[i].seq < acked[j].seq })
+	for i, a := range acked {
+		if a.seq != uint64(i) {
+			t.Fatalf("sequence numbers not contiguous: op %d has seq %d", i, a.seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Seq() < snaps[j].Seq() })
+	oracle := map[rangetree.Point]int64{}
+	ai := 0
+	rects := []rangetree.Rect{
+		{XLo: 0, XHi: 16, YLo: 0, YHi: 16},
+		{XLo: 3, XHi: 9, YLo: 2, YHi: 14},
+		{XLo: 7.5, XHi: 12, YLo: 0, YHi: 7.5},
+	}
+	for _, v := range snaps {
+		for uint64(ai) < v.Seq() {
+			a := acked[ai]
+			if a.del {
+				delete(oracle, a.p)
+			} else {
+				oracle[a.p] += a.w
+			}
+			ai++
+		}
+		if got, want := v.Size(), int64(len(oracle)); got != want {
+			t.Fatalf("snapshot seq %d: Size = %d, oracle %d", v.Seq(), got, want)
+		}
+		for _, r := range rects {
+			var wantSum, wantCnt int64
+			for p, w := range oracle {
+				if p.X >= r.XLo && p.X <= r.XHi && p.Y >= r.YLo && p.Y <= r.YHi {
+					wantSum += w
+					wantCnt++
+				}
+			}
+			if got := v.QuerySum(r); got != wantSum {
+				t.Fatalf("snapshot seq %d: QuerySum(%v) = %d, oracle %d", v.Seq(), r, got, wantSum)
+			}
+			if got := v.QueryCount(r); got != wantCnt {
+				t.Fatalf("snapshot seq %d: QueryCount(%v) = %d, oracle %d", v.Seq(), r, got, wantCnt)
+			}
+		}
+		rep := v.ReportAll(everything)
+		if len(rep) != len(oracle) {
+			t.Fatalf("snapshot seq %d: ReportAll returned %d points, oracle %d", v.Seq(), len(rep), len(oracle))
+		}
+		for i, p := range rep {
+			if i > 0 {
+				prev := rep[i-1]
+				if p.X < prev.X || (p.X == prev.X && p.Y <= prev.Y) {
+					t.Fatalf("snapshot seq %d: ReportAll not sorted at %d", v.Seq(), i)
+				}
+			}
+			if w, ok := oracle[p.Point]; !ok || w != p.W {
+				t.Fatalf("snapshot seq %d: reported (%v, %d), oracle %d,%v", v.Seq(), p.Point, p.W, w, ok)
+			}
+			if w, ok := v.Weight(p.Point); !ok || w != p.W {
+				t.Fatalf("snapshot seq %d: Weight(%v) = %d,%v, report says %d", v.Seq(), p.Point, w, ok, p.W)
+			}
+		}
+	}
+}
+
+// TestServePointsDifferential exercises the ladder-backed spatial store
+// under concurrency, with small flush capacities so snapshot
+// acquisition interleaves with carry cascades.
+func TestServePointsDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		seed               uint64
+		writers, n, shards int
+		flushCap           int
+	}{
+		{seed: 1, writers: 3, n: 120, shards: 3, flushCap: 4},
+		{seed: 2, writers: 2, n: 200, shards: 2, flushCap: 16},
+		{seed: 3, writers: 4, n: 80, shards: 4, flushCap: 2},
+	} {
+		runPointSchedule(t, tc.seed, tc.writers, tc.n, tc.shards, tc.flushCap)
+		if t.Failed() {
+			t.Fatalf("point schedule %+v failed", tc)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"math"
+
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// PointOp is one write of a PointStore batch.
+type PointOp struct {
+	Kind OpKind
+	P    rangetree.Point
+	W    int64 // ignored by OpDelete
+}
+
+// InsertPoint returns an OpPut point op (weights of an already-present
+// point add, matching rangetree.Tree.Insert).
+func InsertPoint(p rangetree.Point, w int64) PointOp { return PointOp{Kind: OpPut, P: p, W: w} }
+
+// DeletePoint returns an OpDelete point op.
+func DeletePoint(p rangetree.Point) PointOp { return PointOp{Kind: OpDelete, P: p} }
+
+// PointStore shards a dynamic 2D range tree (rangetree.Tree, backed by
+// the internal/dynamic ladder) across goroutine-owned x-range
+// partitions, so spatial queries are servable under the same
+// snapshot-consistency guarantee as Store: each shard's ladder carries
+// its own write buffer and geometric levels, and a snapshot freezes all
+// of them at one sequencer point. All methods are safe for concurrent
+// use.
+type PointStore struct {
+	eng   *engine[PointOp, rangetree.Tree]
+	proto rangetree.Tree // empty tree with the configured options, for rebuilds
+}
+
+// NewPointStore returns a point store partitioned at the given strictly
+// increasing x splits (len(splits)+1 shards): a point belongs to the
+// shard of its x coordinate, points with x at or above a split go
+// right. Point stores support Rebalance.
+func NewPointStore(opts pam.Options, splits []float64) *PointStore {
+	states := make([]rangetree.Tree, len(splits)+1)
+	for i := range states {
+		states[i] = rangetree.New(opts)
+	}
+	return &PointStore{
+		eng:   newEngine(states, pointRouter(splits), applyPointOps),
+		proto: rangetree.New(opts),
+	}
+}
+
+// pointRouter routes a point to the count of splits at or below its x.
+func pointRouter(splits []float64) func(PointOp) int {
+	return func(o PointOp) int {
+		lo, hi := 0, len(splits)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if o.P.X < splits[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+}
+
+// applyPointOps feeds a sub-batch through the shard tree's ladder;
+// carry cascades and condenses happen here, inside the shard goroutine.
+func applyPointOps(t rangetree.Tree, ops []PointOp) rangetree.Tree {
+	for _, op := range ops {
+		if op.Kind == OpPut {
+			t = t.Insert(op.P, op.W)
+		} else {
+			t = t.Delete(op.P)
+		}
+	}
+	return t
+}
+
+// Apply submits one write batch, blocks until every involved shard has
+// applied it, and returns the batch's global sequence number.
+func (s *PointStore) Apply(ops []PointOp) uint64 { return s.eng.applyBatch(ops) }
+
+// Insert adds the weighted point (weights add for an already-present
+// point) and returns the write's sequence number.
+func (s *PointStore) Insert(p rangetree.Point, w int64) uint64 {
+	return s.Apply([]PointOp{InsertPoint(p, w)})
+}
+
+// Delete removes the point (a no-op when absent) and returns the
+// write's sequence number.
+func (s *PointStore) Delete(p rangetree.Point) uint64 {
+	return s.Apply([]PointOp{DeletePoint(p)})
+}
+
+// Snapshot assembles a consistent cross-shard view of the point set;
+// see Store.Snapshot for the guarantee.
+func (s *PointStore) Snapshot() PointView {
+	states, versions, seq, route := s.eng.snapshot()
+	return PointView{shards: states, versions: versions, seq: seq, route: route}
+}
+
+// NumShards returns the partition count.
+func (s *PointStore) NumShards() int { return s.eng.numShards() }
+
+// Close stops the shard goroutines; see Store.Close.
+func (s *PointStore) Close() { s.eng.close() }
+
+// everything is the whole plane.
+var everything = rangetree.Rect{
+	XLo: math.Inf(-1), XHi: math.Inf(1),
+	YLo: math.Inf(-1), YHi: math.Inf(1),
+}
+
+// Rebalance re-splits the x partitions so shard point counts are as
+// equal as the distinct x coordinates allow (routing is by x, so
+// points sharing an x can never be split across shards), rebuilding
+// each shard tree (fully condensed ladders) from the redistributed
+// points. Blocks writers and snapshotters for the duration; changes no
+// logical content.
+func (s *PointStore) Rebalance() bool {
+	s.eng.rebalance(func(states []rangetree.Tree) ([]rangetree.Tree, func(PointOp) int) {
+		n := len(states)
+		var pts []rangetree.Weighted
+		for _, t := range states {
+			pts = append(pts, t.ReportAll(everything)...)
+		}
+		if len(pts) == 0 || n == 1 {
+			return states, nil
+		}
+		// states are ascending x ranges and ReportAll sorts by (x, y),
+		// so pts is globally sorted; split j at rank j*len/n, advanced
+		// past any x already used so splits stay strictly increasing
+		// (a dominant x value would otherwise produce duplicate splits
+		// and unroutable empty shards).
+		splits := make([]float64, 0, n-1)
+		for j := 1; j < n; j++ {
+			r := j * len(pts) / n
+			if r >= len(pts) {
+				r = len(pts) - 1
+			}
+			x := pts[r].X
+			for len(splits) > 0 && x <= splits[len(splits)-1] {
+				for r < len(pts) && pts[r].X <= splits[len(splits)-1] {
+					r++
+				}
+				if r == len(pts) {
+					break
+				}
+				x = pts[r].X
+			}
+			if len(splits) > 0 && x <= splits[len(splits)-1] {
+				break // no distinct x left; fewer, strictly increasing splits
+			}
+			splits = append(splits, x)
+		}
+		for pad := pts[len(pts)-1].X; len(splits) < n-1; {
+			// Pad with strictly increasing splits above every point so
+			// the shard count is preserved; the trailing shards stay
+			// empty (with fewer distinct xs than shards, some must).
+			pad++
+			splits = append(splits, pad)
+		}
+		route := pointRouter(splits)
+		buckets := make([][]rangetree.Weighted, n)
+		for _, p := range pts {
+			i := route(PointOp{P: p.Point})
+			buckets[i] = append(buckets[i], p)
+		}
+		newStates := make([]rangetree.Tree, n)
+		for i := range newStates {
+			newStates[i] = s.proto.Build(buckets[i])
+		}
+		return newStates, route
+	})
+	return true
+}
+
+// PointView is a consistent cross-shard snapshot of a PointStore. The
+// shard trees are immutable; every query sums or concatenates disjoint
+// per-shard answers.
+type PointView struct {
+	shards   []rangetree.Tree
+	versions []uint64
+	seq      uint64
+	route    func(PointOp) int
+}
+
+// Seq returns the snapshot's position in the global write sequence: the
+// view contains exactly the batches sequenced before it.
+func (v PointView) Seq() uint64 { return v.seq }
+
+// Versions returns the per-shard version vector (applied sub-batch
+// counts); treat it as read-only.
+func (v PointView) Versions() []uint64 { return v.versions }
+
+// NumShards returns the partition count.
+func (v PointView) NumShards() int { return len(v.shards) }
+
+// Shard exposes one frozen shard tree.
+func (v PointView) Shard(i int) rangetree.Tree { return v.shards[i] }
+
+// Size returns the number of distinct points.
+func (v PointView) Size() int64 {
+	var n int64
+	for _, t := range v.shards {
+		n += t.Size()
+	}
+	return n
+}
+
+// Weight returns the weight at p.
+func (v PointView) Weight(p rangetree.Point) (int64, bool) {
+	return v.shards[v.route(PointOp{P: p})].Weight(p)
+}
+
+// Contains reports whether the point is present.
+func (v PointView) Contains(p rangetree.Point) bool {
+	_, ok := v.Weight(p)
+	return ok
+}
+
+// QuerySum returns the total weight inside r, summing the disjoint
+// per-shard answers.
+func (v PointView) QuerySum(r rangetree.Rect) int64 {
+	var sum int64
+	for _, t := range v.shards {
+		sum += t.QuerySum(r)
+	}
+	return sum
+}
+
+// QueryCount returns the number of points inside r.
+func (v PointView) QueryCount(r rangetree.Rect) int64 {
+	var n int64
+	for _, t := range v.shards {
+		n += t.QueryCount(r)
+	}
+	return n
+}
+
+// ReportAll returns the points inside r with their weights, sorted by
+// (x, y): the shards are ascending disjoint x ranges, so concatenating
+// their sorted reports is already globally sorted.
+func (v PointView) ReportAll(r rangetree.Rect) []rangetree.Weighted {
+	var out []rangetree.Weighted
+	for _, t := range v.shards {
+		out = append(out, t.ReportAll(r)...)
+	}
+	return out
+}

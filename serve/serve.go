@@ -1,0 +1,285 @@
+// Package serve is the sharded serving layer: it spreads a persistent
+// pam structure across N goroutine-owned partitions so many writers and
+// many readers can hit it concurrently, while every reader still sees a
+// consistent whole-store state.
+//
+// # Architecture
+//
+// Each shard is one goroutine owning one persistent structure (a
+// pam.AugMap for Store, a rangetree.Tree for PointStore) and an op
+// mailbox. Writers never touch shard state: Apply splits a batch by the
+// routing function under a global sequencer lock, pushes the per-shard
+// sub-batches into the mailboxes, and waits for every involved shard to
+// acknowledge. Shards drain their mailboxes, coalescing adjacent write
+// sub-batches into larger bulk updates (MultiInsert/MultiDelete for
+// maps), so a burst of small writes amortizes into the structures'
+// parallel bulk machinery — the paper's "updates are sequentialized ...
+// applied when needed in bulk" concurrency model, scaled out across
+// partitions.
+//
+// Because the per-shard structures are persistent, a snapshot is
+// zero-copy: Snapshot injects a marker into every mailbox at a single
+// sequencer point and assembles the per-shard versions the markers
+// observe. No writer is blocked for more than the marker push, and the
+// returned view stays valid (and race-free to read) forever.
+//
+// # The snapshot-consistency guarantee
+//
+// Every write batch is assigned a position in one global sequence (its
+// sequence number, returned by Apply) the moment it is submitted, and
+// shards apply sub-batches in exactly that order. A snapshot taken at
+// sequence position S (View.Seq reports S) contains exactly the batches
+// sequenced before it:
+//
+//   - Atomicity: a batch is never partially visible — either all of its
+//     per-shard effects are in the view or none are, even when the batch
+//     spans shards.
+//   - Prefix consistency: the view equals the state reached by applying
+//     batches 0..S-1, in sequence order, to an initially empty store. No
+//     gaps: a view can never show batch j without every batch i < j.
+//   - Real-time bound: if Apply(b) returned before Snapshot was called,
+//     then b's sequence number is below S, so b is visible. A batch
+//     still in flight when the snapshot was taken may be included
+//     (if it was sequenced before the marker) or not — never partially.
+//
+// Readers therefore observe the store as if all acknowledged writes and
+// some subset of in-flight writes ran sequentially — the differential
+// harness in harness_test.go checks exactly this against a sequential
+// pam oracle, under -race, across thousands of randomized schedules.
+//
+// # Limits
+//
+// Updates to a single key are totally ordered, but Apply's global order
+// is assigned at submission: two racing Apply calls may be sequenced in
+// either order. Rebalance (range-sharded stores) briefly blocks writers
+// and snapshotters — never readers of existing views — while entries
+// move between shards; it changes no logical content and consumes no
+// sequence number.
+package serve
+
+import "sync"
+
+const (
+	// mailCap is the per-shard mailbox depth: how many sub-batches may
+	// queue before writers feel backpressure through the sequencer.
+	mailCap = 64
+	// maxCoalesce caps the ops a shard folds into one bulk apply, so a
+	// deep mailbox cannot delay a pending snapshot marker indefinitely.
+	maxCoalesce = 4096
+)
+
+// shardState is what a shard reports when it meets a snapshot or
+// rebalance marker: its structure and its version (the count of applied
+// sub-batches plus rebalance installs).
+type shardState[T any] struct {
+	idx     int
+	state   T
+	version uint64
+}
+
+// msg is one mailbox item: a write sub-batch (ops + done), a snapshot
+// marker (snap), or a rebalance marker (snap + install).
+type msg[O, T any] struct {
+	ops     []O
+	done    *sync.WaitGroup
+	snap    chan<- shardState[T]
+	install <-chan T
+}
+
+// shard is one partition: a mailbox plus the goroutine-owned structure.
+// state and version are touched only by the shard goroutine.
+type shard[O, T any] struct {
+	idx     int
+	mail    chan msg[O, T]
+	state   T
+	version uint64
+}
+
+// engine is the generic sharded serving core, shared by Store and
+// PointStore: the sequencer, the shard goroutines, and the
+// marker-based snapshot/rebalance protocol.
+type engine[O, T any] struct {
+	apply func(T, []O) T
+
+	mu     sync.Mutex // the sequencer: guards seq, route, closed, mailbox pushes
+	seq    uint64
+	route  func(O) int
+	shards []*shard[O, T]
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newEngine[O, T any](states []T, route func(O) int, apply func(T, []O) T) *engine[O, T] {
+	e := &engine[O, T]{apply: apply, route: route}
+	e.shards = make([]*shard[O, T], len(states))
+	for i, st := range states {
+		s := &shard[O, T]{idx: i, mail: make(chan msg[O, T], mailCap), state: st}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.shardLoop(s)
+	}
+	return e
+}
+
+// shardLoop drains the mailbox: write sub-batches are coalesced (up to
+// maxCoalesce ops, stopping at any marker so the global order is
+// preserved) and applied in bulk; markers report the current state and,
+// for rebalance, block until the replacement state arrives.
+func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
+	defer e.wg.Done()
+	var held msg[O, T]
+	haveHeld := false
+	for {
+		var m msg[O, T]
+		if haveHeld {
+			m, haveHeld = held, false
+		} else {
+			var ok bool
+			if m, ok = <-s.mail; !ok {
+				return
+			}
+		}
+		if m.snap != nil {
+			m.snap <- shardState[T]{idx: s.idx, state: s.state, version: s.version}
+			if m.install != nil {
+				s.state = <-m.install
+				s.version++
+			}
+			continue
+		}
+		ops := m.ops
+		dones := []*sync.WaitGroup{m.done}
+	drain:
+		for len(ops) < maxCoalesce {
+			select {
+			case m2, ok := <-s.mail:
+				if !ok {
+					break drain
+				}
+				if m2.snap != nil {
+					held, haveHeld = m2, true
+					break drain
+				}
+				ops = append(ops, m2.ops...)
+				dones = append(dones, m2.done)
+			default:
+				break drain
+			}
+		}
+		s.state = e.apply(s.state, ops)
+		s.version += uint64(len(dones))
+		for _, d := range dones {
+			d.Done()
+		}
+	}
+}
+
+// applyBatch sequences one batch, pushes its per-shard sub-batches, and
+// waits for every involved shard to apply them. Returns the batch's
+// global sequence number.
+func (e *engine[O, T]) applyBatch(ops []O) uint64 {
+	var done sync.WaitGroup
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("serve: Apply on a closed store")
+	}
+	seq := e.seq
+	e.seq++
+	per := make([][]O, len(e.shards))
+	for _, op := range ops {
+		i := e.route(op)
+		per[i] = append(per[i], op)
+	}
+	for i, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		done.Add(1)
+		e.shards[i].mail <- msg[O, T]{ops: sub, done: &done}
+	}
+	e.mu.Unlock()
+	done.Wait()
+	return seq
+}
+
+// snapshot pushes a marker into every mailbox at one sequencer point
+// and assembles the states the markers observe: the store's contents
+// after exactly the batches sequenced before seq.
+func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, route func(O) int) {
+	n := len(e.shards)
+	ch := make(chan shardState[T], n)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("serve: Snapshot on a closed store")
+	}
+	for _, s := range e.shards {
+		s.mail <- msg[O, T]{snap: ch}
+	}
+	seq = e.seq
+	route = e.route
+	e.mu.Unlock()
+	states = make([]T, n)
+	versions = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		st := <-ch
+		states[st.idx] = st.state
+		versions[st.idx] = st.version
+	}
+	return states, versions, seq, route
+}
+
+// rebalance freezes the store at one sequencer point: every shard
+// reports its state and blocks; redistribute maps the old states to new
+// ones (and optionally a new router); the new states are installed and
+// the shards resume. Writers queue behind the sequencer lock for the
+// duration; readers of existing views are untouched.
+func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int)) {
+	n := len(e.shards)
+	ch := make(chan shardState[T], n)
+	installs := make([]chan T, n)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		panic("serve: Rebalance on a closed store")
+	}
+	for i, s := range e.shards {
+		installs[i] = make(chan T, 1)
+		s.mail <- msg[O, T]{snap: ch, install: installs[i]}
+	}
+	states := make([]T, n)
+	for i := 0; i < n; i++ {
+		st := <-ch
+		states[st.idx] = st.state
+	}
+	newStates, newRoute := redistribute(states)
+	if len(newStates) != n {
+		panic("serve: rebalance must preserve the shard count")
+	}
+	for i := range installs {
+		installs[i] <- newStates[i]
+	}
+	if newRoute != nil {
+		e.route = newRoute
+	}
+}
+
+// close shuts the shard goroutines down after the mailboxes drain. The
+// caller must have stopped submitting; Apply/Snapshot/Rebalance after
+// close panic.
+func (e *engine[O, T]) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.mail)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *engine[O, T]) numShards() int { return len(e.shards) }

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"sort"
+
+	"repro/pam"
+)
+
+// OpKind says what one serving op does.
+type OpKind uint8
+
+const (
+	// OpPut stores Val at Key, overwriting any existing value.
+	OpPut OpKind = iota
+	// OpDelete removes Key; deleting an absent key is a no-op.
+	OpDelete
+)
+
+// Op is one key-value operation of a write batch. Within a batch, ops
+// apply in slice order.
+type Op[K, V any] struct {
+	Kind OpKind
+	Key  K
+	Val  V // ignored by OpDelete
+}
+
+// Put returns an OpPut op.
+func Put[K, V any](k K, v V) Op[K, V] { return Op[K, V]{Kind: OpPut, Key: k, Val: v} }
+
+// Del returns an OpDelete op. V is not inferrable from the arguments;
+// either instantiate it explicitly or use an Op literal in a typed
+// slice.
+func Del[K, V any](k K) Op[K, V] { return Op[K, V]{Kind: OpDelete, Key: k} }
+
+// Store is a sharded serving layer over a persistent augmented map: a
+// pam.AugMap[K, V, A, E] hash- or range-partitioned across N
+// goroutine-owned shards, with batched writes and snapshot-consistent
+// cross-shard reads (see the package comment for the exact guarantee).
+// All methods are safe for concurrent use.
+type Store[K, V, A any, E pam.Aug[K, V, A]] struct {
+	eng    *engine[Op[K, V], pam.AugMap[K, V, A, E]]
+	ranged bool
+}
+
+// NewHashStore returns a store hash-partitioned across the given number
+// of shards: key k lives in shard hash(k) % shards. Hash must be
+// deterministic. With hash partitioning the shards hold interleaved key
+// ranges, so View.AugVal and View.AugRange additionally require Combine
+// to be commutative (true of the ready-made entries); range queries and
+// ordered iteration remain correct regardless via the merged iterator.
+func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64) *Store[K, V, A, E] {
+	if shards < 1 {
+		panic("serve: NewHashStore needs at least one shard")
+	}
+	states := make([]pam.AugMap[K, V, A, E], shards)
+	for i := range states {
+		states[i] = pam.NewAugMap[K, V, A, E](opts)
+	}
+	n := uint64(shards)
+	route := func(o Op[K, V]) int { return int(hash(o.Key) % n) }
+	return &Store[K, V, A, E]{eng: newEngine(states, route, applyOps[K, V, A, E])}
+}
+
+// NewRangeStore returns a store range-partitioned at the given split
+// keys (strictly increasing in E's order): shard 0 owns keys below
+// splits[0], shard i owns splits[i-1] <= k < splits[i], and the last
+// shard owns keys at or above the last split — len(splits)+1 shards in
+// ascending key order. Range stores support Rebalance.
+func NewRangeStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, splits []K) *Store[K, V, A, E] {
+	states := make([]pam.AugMap[K, V, A, E], len(splits)+1)
+	for i := range states {
+		states[i] = pam.NewAugMap[K, V, A, E](opts)
+	}
+	return &Store[K, V, A, E]{
+		eng:    newEngine(states, opRouter[K, V](rangeRouter[K, E](splits)), applyOps[K, V, A, E]),
+		ranged: true,
+	}
+}
+
+// rangeRouter routes a key to the count of splits at or below it.
+func rangeRouter[K any, E interface{ Less(a, b K) bool }](splits []K) func(K) int {
+	var less E
+	return func(k K) int {
+		lo, hi := 0, len(splits)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if less.Less(k, splits[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+}
+
+func opRouter[K, V any](key func(K) int) func(Op[K, V]) int {
+	return func(o Op[K, V]) int { return key(o.Key) }
+}
+
+// applyOps applies a sub-batch to one shard's map, grouping consecutive
+// runs of the same kind into the parallel bulk operations.
+func applyOps[K, V, A any, E pam.Aug[K, V, A]](m pam.AugMap[K, V, A, E], ops []Op[K, V]) pam.AugMap[K, V, A, E] {
+	for i := 0; i < len(ops); {
+		j := i
+		for j < len(ops) && ops[j].Kind == ops[i].Kind {
+			j++
+		}
+		if ops[i].Kind == OpPut {
+			items := make([]pam.KV[K, V], j-i)
+			for t, op := range ops[i:j] {
+				items[t] = pam.KV[K, V]{Key: op.Key, Val: op.Val}
+			}
+			m = m.MultiInsert(items, nil) // nil combine: last write in the run wins
+		} else {
+			keys := make([]K, j-i)
+			for t, op := range ops[i:j] {
+				keys[t] = op.Key
+			}
+			m = m.MultiDelete(keys)
+		}
+		i = j
+	}
+	return m
+}
+
+// Apply submits one write batch, blocks until every involved shard has
+// applied it, and returns the batch's global sequence number. Ops apply
+// in slice order; a batch is atomic with respect to snapshots.
+func (s *Store[K, V, A, E]) Apply(ops []Op[K, V]) uint64 { return s.eng.applyBatch(ops) }
+
+// Put stores (k, v), overwriting any existing value, and returns the
+// write's sequence number.
+func (s *Store[K, V, A, E]) Put(k K, v V) uint64 {
+	return s.Apply([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
+}
+
+// Delete removes k (a no-op when absent) and returns the write's
+// sequence number.
+func (s *Store[K, V, A, E]) Delete(k K) uint64 {
+	return s.Apply([]Op[K, V]{{Kind: OpDelete, Key: k}})
+}
+
+// Snapshot assembles a consistent cross-shard view: the store's exact
+// contents after the batches sequenced before View.Seq, nothing else.
+// Zero-copy (the per-shard maps are persistent); the view stays valid
+// forever and is safe to read from any goroutine.
+func (s *Store[K, V, A, E]) Snapshot() View[K, V, A, E] {
+	states, versions, seq, route := s.eng.snapshot()
+	return View[K, V, A, E]{
+		shards:   states,
+		versions: versions,
+		seq:      seq,
+		route:    route,
+		ranged:   s.ranged,
+	}
+}
+
+// NumShards returns the partition count.
+func (s *Store[K, V, A, E]) NumShards() int { return s.eng.numShards() }
+
+// Close stops the shard goroutines after their mailboxes drain. The
+// caller must have stopped submitting first. Views taken earlier remain
+// valid.
+func (s *Store[K, V, A, E]) Close() { s.eng.close() }
+
+// Rebalance re-splits a range-partitioned store so shard sizes are
+// equal to within one entry, moving whole subtrees between shards via
+// persistent Split/Concat. It blocks writers and snapshotters for the
+// duration (readers of existing views are untouched), changes no
+// logical content, and consumes no sequence number. Returns false (and
+// does nothing) on hash-partitioned stores, whose balance is up to the
+// hash.
+func (s *Store[K, V, A, E]) Rebalance() bool {
+	if !s.ranged {
+		return false
+	}
+	type T = pam.AugMap[K, V, A, E]
+	s.eng.rebalance(func(states []T) ([]T, func(Op[K, V]) int) {
+		n := len(states)
+		cum := make([]int64, n+1)
+		for i, st := range states {
+			cum[i+1] = cum[i] + st.Size()
+		}
+		total := cum[n]
+		if total == 0 || n == 1 {
+			return states, nil
+		}
+		// New split j sits at global rank j*total/n; the states are
+		// disjoint ascending ranges, so rank r is Select(r - cum[i]) in
+		// the shard i whose cumulative range covers r.
+		splits := make([]K, 0, n-1)
+		for j := 1; j < n; j++ {
+			r := int64(j) * total / int64(n)
+			if r >= total {
+				r = total - 1
+			}
+			si := sort.Search(n, func(i int) bool { return cum[i+1] > r })
+			k, _, _ := states[si].Select(r - cum[si])
+			splits = append(splits, k)
+		}
+		return cutStates(states, splits), opRouter[K, V](rangeRouter[K, E](splits))
+	})
+	return true
+}
+
+// cutStates re-slices ordered disjoint range shards at the new splits:
+// each old shard is cut by persistent Split, and each new shard is the
+// ordered concatenation of its pieces (a split key belongs to the shard
+// at or above it, matching rangeRouter).
+func cutStates[K, V, A any, E pam.Aug[K, V, A]](states []pam.AugMap[K, V, A, E], splits []K) []pam.AugMap[K, V, A, E] {
+	n := len(states)
+	out := make([]pam.AugMap[K, V, A, E], n)
+	filled := make([]bool, n)
+	add := func(i int, piece pam.AugMap[K, V, A, E]) {
+		if !filled[i] {
+			out[i], filled[i] = piece, true
+			return
+		}
+		out[i] = out[i].Concat(piece)
+	}
+	for _, st := range states {
+		rem := st
+		for j, sp := range splits {
+			left, v, found, right := rem.Split(sp)
+			if found {
+				right = right.Insert(sp, v)
+			}
+			add(j, left)
+			rem = right
+		}
+		add(n-1, rem)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package serve
+
+// -race stress: concurrent writers, readers of shared views,
+// snapshotters, and a shard-rebalance in flight, on both store kinds.
+// These tests assert only run-time invariants (no oracle): sizes,
+// monotone versions, sorted iteration, and — for the spatial store —
+// the ladder/structure invariants of every frozen shard via Validate.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+func TestServeStressMap(t *testing.T) {
+	const (
+		writers  = 4
+		readers  = 3
+		perW     = 300
+		keySpace = 512
+	)
+	s := NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, []uint64{128, 256, 384})
+	defer s.Close()
+
+	var latest atomic.Pointer[sumView]
+	v0 := s.Snapshot()
+	latest.Store(&v0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := uint64((w*perW + i*7) % keySpace)
+				switch i % 3 {
+				case 0, 1:
+					s.Apply([]kvop{
+						{Kind: OpPut, Key: k, Val: int64(i)},
+						{Kind: OpPut, Key: (k + 97) % keySpace, Val: int64(-i)},
+					})
+				case 2:
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() { // snapshotter: publishes views, checks monotonicity
+		defer aux.Done()
+		var prev sumView
+		have := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.Snapshot()
+			if have && v.Seq() < prev.Seq() {
+				t.Errorf("Seq went backwards: %d then %d", prev.Seq(), v.Seq())
+			}
+			prev, have = v, true
+			latest.Store(&v)
+			runtime.Gosched()
+		}
+	}()
+	aux.Add(1)
+	go func() { // rebalancer in flight
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Rebalance()
+			runtime.Gosched()
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		aux.Add(1)
+		go func() { // readers hammer shared views while writers mutate
+			defer aux.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := *latest.Load()
+				var n, sum int64
+				var prev uint64
+				first := true
+				v.ForEach(func(k uint64, val int64) bool {
+					if !first && k <= prev {
+						t.Errorf("iteration not strictly increasing")
+						return false
+					}
+					prev, first = k, false
+					n++
+					sum += val
+					return true
+				})
+				if n != v.Size() {
+					t.Errorf("iterated %d entries, Size says %d", n, v.Size())
+				}
+				if sum != v.AugVal() {
+					t.Errorf("iterated sum %d, AugVal says %d", sum, v.AugVal())
+				}
+				v.Find(uint64(n) % keySpace)
+				v.AugRange(keySpace/4, keySpace/2)
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	final := s.Snapshot()
+	if final.Seq() != writers*perW {
+		t.Fatalf("final Seq = %d, want %d", final.Seq(), writers*perW)
+	}
+}
+
+// TestServeStressPoints runs the ladder-backed spatial store with a
+// tiny write-buffer capacity, so snapshot acquisition and rebalances
+// interleave with carry cascades inside the shard goroutines; every
+// recorded view's shard trees must pass the full ladder Validate.
+func TestServeStressPoints(t *testing.T) {
+	old := dynamic.SetFlushCap(3)
+	defer dynamic.SetFlushCap(old)
+
+	s := NewPointStore(pam.Options{}, []float64{5, 11})
+	defer s.Close()
+
+	const writers, perW = 3, 150
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				p := rangetree.Point{X: float64((w*3 + i) % 16), Y: float64(i % 16)}
+				if i%4 == 3 {
+					s.Delete(p)
+				} else {
+					s.Insert(p, int64(1+i%5))
+				}
+			}
+		}(w)
+	}
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Rebalance()
+			runtime.Gosched()
+		}
+	}()
+	aux.Add(1)
+	go func() { // snapshotting reader: queries + per-shard Validate
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.Snapshot()
+			if got := v.QueryCount(everything); got != v.Size() {
+				t.Errorf("QueryCount(everything) = %d, Size = %d", got, v.Size())
+			}
+			v.QuerySum(rangetree.Rect{XLo: 2, XHi: 9, YLo: 2, YHi: 9})
+			for i := 0; i < v.NumShards(); i++ {
+				if err := v.Shard(i).Validate(); err != nil {
+					t.Errorf("shard %d Validate: %v", i, err)
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	final := s.Snapshot()
+	for i := 0; i < final.NumShards(); i++ {
+		if err := final.Shard(i).Validate(); err != nil {
+			t.Fatalf("final shard %d Validate: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import "repro/pam"
+
+// View is a consistent cross-shard snapshot of a Store: one frozen
+// persistent map per shard, assembled at a single point of the global
+// write sequence (see the package comment for the exact guarantee).
+// Views are immutable, valid forever, and safe to read from any
+// goroutine; taking one copies no entries.
+type View[K, V, A any, E pam.Aug[K, V, A]] struct {
+	shards   []pam.AugMap[K, V, A, E]
+	versions []uint64
+	seq      uint64
+	route    func(Op[K, V]) int
+	ranged   bool
+}
+
+// Seq returns the snapshot's position in the global write sequence: the
+// view contains exactly the batches sequenced before it.
+func (v View[K, V, A, E]) Seq() uint64 { return v.seq }
+
+// Versions returns the per-shard version vector (applied sub-batch
+// counts, bumped once more per rebalance); treat it as read-only.
+// Successive snapshots have componentwise nondecreasing vectors.
+func (v View[K, V, A, E]) Versions() []uint64 { return v.versions }
+
+// NumShards returns the partition count.
+func (v View[K, V, A, E]) NumShards() int { return len(v.shards) }
+
+// Shard exposes one frozen shard map (for per-shard diagnostics and
+// tests).
+func (v View[K, V, A, E]) Shard(i int) pam.AugMap[K, V, A, E] { return v.shards[i] }
+
+// Find returns the value at k, routed to the owning shard: one O(log)
+// lookup, no cross-shard work.
+func (v View[K, V, A, E]) Find(k K) (V, bool) {
+	return v.shards[v.route(Op[K, V]{Key: k})].Find(k)
+}
+
+// Contains reports whether k is present.
+func (v View[K, V, A, E]) Contains(k K) bool {
+	_, ok := v.Find(k)
+	return ok
+}
+
+// Size returns the total entry count.
+func (v View[K, V, A, E]) Size() int64 {
+	var n int64
+	for _, m := range v.shards {
+		n += m.Size()
+	}
+	return n
+}
+
+// AugVal folds the shards' augmented values in shard order. Exact for
+// range-partitioned stores; hash-partitioned stores interleave key
+// ranges across shards, so the fold additionally requires Combine to be
+// commutative (true of the ready-made entries).
+func (v View[K, V, A, E]) AugVal() A {
+	var e E
+	a := e.Id()
+	for _, m := range v.shards {
+		a = e.Combine(a, m.AugVal())
+	}
+	return a
+}
+
+// AugRange folds the shards' augmented values over lo <= key <= hi, in
+// shard order; the same commutativity caveat as AugVal applies to
+// hash-partitioned stores. O(shards · log n).
+func (v View[K, V, A, E]) AugRange(lo, hi K) A {
+	var e E
+	a := e.Id()
+	for _, m := range v.shards {
+		a = e.Combine(a, m.AugRange(lo, hi))
+	}
+	return a
+}
+
+// cursor is one shard's position in the merged iteration.
+type cursor[K, V any] struct {
+	k  K
+	v  V
+	ok bool
+}
+
+// seekCursor positions a cursor at the first entry with key >= lo (nil
+// lo: the shard's first entry).
+func seekCursor[K, V, A any, E pam.Aug[K, V, A]](m pam.AugMap[K, V, A, E], lo *K) cursor[K, V] {
+	if lo == nil {
+		k, val, ok := m.First()
+		return cursor[K, V]{k: k, v: val, ok: ok}
+	}
+	if val, ok := m.Find(*lo); ok {
+		return cursor[K, V]{k: *lo, v: val, ok: true}
+	}
+	k, val, ok := m.Next(*lo)
+	return cursor[K, V]{k: k, v: val, ok: ok}
+}
+
+// forEachMerged visits entries in ascending key order, starting at lo
+// (nil: the smallest key) and stopping after hi (nil: the largest),
+// until visit returns false. Range-partitioned shards are already
+// disjoint ascending key ranges, so they iterate natively one after
+// another at O(1) amortized per entry; hash-partitioned shards pay a
+// k-way merge — O(shards) key comparisons plus one O(log n) successor
+// lookup per visited entry.
+func (v View[K, V, A, E]) forEachMerged(lo, hi *K, visit func(K, V) bool) {
+	var e E
+	if v.ranged {
+		// Callers pass either no bounds (ForEach) or both (ForEachRange).
+		stopped := false
+		wrapped := func(k K, val V) bool {
+			if !visit(k, val) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		for _, m := range v.shards {
+			if lo != nil && hi != nil {
+				m.ForEachRange(*lo, *hi, wrapped)
+			} else {
+				m.ForEach(wrapped)
+			}
+			if stopped {
+				return
+			}
+		}
+		return
+	}
+	cur := make([]cursor[K, V], len(v.shards))
+	for i, m := range v.shards {
+		cur[i] = seekCursor(m, lo)
+	}
+	for {
+		best := -1
+		for i := range cur {
+			if cur[i].ok && (best < 0 || e.Less(cur[i].k, cur[best].k)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := cur[best]
+		// c.k is the global minimum of the remaining entries, so once it
+		// passes hi, everything else does too.
+		if hi != nil && e.Less(*hi, c.k) {
+			return
+		}
+		if !visit(c.k, c.v) {
+			return
+		}
+		k, val, ok := v.shards[best].Next(c.k)
+		cur[best] = cursor[K, V]{k: k, v: val, ok: ok}
+	}
+}
+
+// ForEach visits all entries in ascending key order (merged across
+// shards) until visit returns false.
+func (v View[K, V, A, E]) ForEach(visit func(K, V) bool) { v.forEachMerged(nil, nil, visit) }
+
+// ForEachRange visits entries with lo <= key <= hi in ascending key
+// order until visit returns false.
+func (v View[K, V, A, E]) ForEachRange(lo, hi K, visit func(K, V) bool) {
+	v.forEachMerged(&lo, &hi, visit)
+}
+
+// Entries materializes all entries in ascending key order. For
+// range-partitioned stores this concatenates the shards' parallel
+// Entries; hash-partitioned stores pay the merged iteration.
+func (v View[K, V, A, E]) Entries() []pam.KV[K, V] {
+	out := make([]pam.KV[K, V], 0, v.Size())
+	if v.ranged {
+		for _, m := range v.shards {
+			out = append(out, m.Entries()...)
+		}
+		return out
+	}
+	v.ForEach(func(k K, val V) bool {
+		out = append(out, pam.KV[K, V]{Key: k, Val: val})
+		return true
+	})
+	return out
+}
+
+// Keys materializes all keys in ascending order.
+func (v View[K, V, A, E]) Keys() []K {
+	out := make([]K, 0, v.Size())
+	if v.ranged {
+		for _, m := range v.shards {
+			out = append(out, m.Keys()...)
+		}
+		return out
+	}
+	v.ForEach(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
