@@ -33,9 +33,18 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
+
+# Soft perf-regression gate (CI): compare a head perf-suite run against
+# a base run and fail only when an allowlisted tier-1 benchmark
+# regresses >25% in ns/op or allocs/op. Everything else is
+# informational. Both files should come from the same machine.
+GATE_BASE ?= $(BENCH_JSON)
+GATE_HEAD ?= /tmp/BENCH_head.json
+bench-gate:
+	$(GO) run ./cmd/benchgate -base $(GATE_BASE) -head $(GATE_HEAD)
 
 # Short exploratory fuzz burst over every fuzz target (each already
 # runs its seed corpus under plain `go test`).

@@ -872,6 +872,44 @@ func BenchmarkGrainSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelScaling measures the two headline bulk operations at
+// parallelism 1, 2, and 4 so the speedup (or its absence on small
+// machines — compare runtime.NumCPU in the output environment) is part
+// of the recorded trajectory. The same sweep backs the *_par entries of
+// BENCH_PRn.json; see the bench fidelity note in README.md.
+func BenchmarkParallelScaling(b *testing.B) {
+	atParallelism := func(b *testing.B, p int, f func()) {
+		old := parallel.Parallelism()
+		parallel.SetParallelism(p)
+		defer parallel.SetParallelism(old)
+		b.ResetTimer()
+		f()
+	}
+	items := benchItems(1, benchN)
+	mk := func(seed uint64) sumMap {
+		return pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}).
+			Build(benchItems(seed, benchN), addv)
+	}
+	t1, t2 := mk(1), mk(2)
+	empty := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("Build/par=%d", p), func(b *testing.B) {
+			atParallelism(b, p, func() {
+				for i := 0; i < b.N; i++ {
+					_ = empty.Build(items, addv)
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("Union/par=%d", p), func(b *testing.B) {
+			atParallelism(b, p, func() {
+				for i := 0; i < b.N; i++ {
+					_ = t1.UnionWith(t2, addv)
+				}
+			})
+		})
+	}
+}
+
 // ---- the serving layer (serve): PR 4 --------------------------------
 
 func serveBenchStore(b *testing.B, shards int) *serve.Store[uint64, int64, int64, pam.SumEntry[uint64, int64]] {

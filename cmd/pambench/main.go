@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -41,18 +42,26 @@ func main() {
 	if *jsonOut {
 		start := time.Now()
 		fmt.Fprintln(os.Stderr, "== perf suite (ns/op, allocs/op, query-tail percentiles)")
+		// Bench fidelity: num_cpu alone undersold the PR-4 numbers (they
+		// were captured at num_cpu 1); record the effective GOMAXPROCS
+		// and the library's fork-join parallelism cap alongside, so a
+		// trajectory point is interpretable without guessing.
 		report := struct {
-			Go      string                    `json:"go"`
-			GOOS    string                    `json:"goos"`
-			GOARCH  string                    `json:"goarch"`
-			NumCPU  int                       `json:"num_cpu"`
-			Results []experiments.BenchResult `json:"results"`
+			Go          string                    `json:"go"`
+			GOOS        string                    `json:"goos"`
+			GOARCH      string                    `json:"goarch"`
+			NumCPU      int                       `json:"num_cpu"`
+			GOMAXPROCS  int                       `json:"gomaxprocs"`
+			Parallelism int                       `json:"parallelism"`
+			Results     []experiments.BenchResult `json:"results"`
 		}{
-			Go:      runtime.Version(),
-			GOOS:    runtime.GOOS,
-			GOARCH:  runtime.GOARCH,
-			NumCPU:  runtime.NumCPU(),
-			Results: experiments.RunPerfSuite(),
+			Go:          runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Parallelism: parallel.Parallelism(),
+			Results:     experiments.RunPerfSuite(),
 		}
 		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(start).Round(time.Millisecond))
 		enc := json.NewEncoder(os.Stdout)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline/naiverect"
 	"repro/internal/baseline/naiveseg"
 	"repro/internal/baseline/seqrangetree"
+	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/parallel"
 	"repro/internal/workload"
@@ -471,6 +472,10 @@ func dynFuzzSeeds(f *testing.F) {
 	f.Add(dynCarrySeed(dynamic.FlushCap() - 1))
 	f.Add(dynCarrySeed(dynamic.FlushCap()))
 	f.Add(dynCarrySeed(dynamic.FlushCap() + 1))
+	// Leaf-block boundary: one past a full core block (default 32), so
+	// the ladder's level builds split a block and the cancelling deletes
+	// re-merge one, inside every backing structure.
+	f.Add(dynCarrySeed(core.DefaultBlock + 1))
 }
 
 func FuzzDynamicRangeTree(f *testing.F) {

@@ -1,18 +1,39 @@
 package core
 
 // Augmented queries (Table 2 "Augmented operations"). All borrow their
-// input. augVal is O(1); augLeft/augRight/augRange are O(log n): they
-// walk one or two root-to-leaf paths, combining whole-subtree augmented
-// values that fall inside the query range.
+// input. augVal is O(1); augLeft/augRight/augRange are O(log n + B):
+// they walk one or two root-to-leaf paths combining whole-subtree
+// augmented values that fall inside the query range, plus a partial fold
+// over the boundary leaf blocks (located by binary search, so only the
+// in-range entries are folded).
 
 // augVal returns the augmented value of the whole tree.
 func (o *ops[K, V, A, T]) augVal(t *node[K, V, A]) A { return o.augOf(t) }
+
+// leafAugSlice folds Base over items[i:j] of a leaf block, Id for an
+// empty range.
+func (o *ops[K, V, A, T]) leafAugSlice(items []Entry[K, V], i, j int) A {
+	if i >= j {
+		return o.tr.Id()
+	}
+	return o.leafAug(items[i:j])
+}
 
 // augLeft returns the augmented value over entries with keys <= k
 // (AUGLEFT in Figure 2; the paper's pseudocode includes the boundary key).
 func (o *ops[K, V, A, T]) augLeft(t *node[K, V, A], k K) A {
 	if t == nil {
 		return o.tr.Id()
+	}
+	if t.items != nil {
+		j, found := o.leafSearch(t.items, k)
+		if found {
+			j++
+		}
+		if j == len(t.items) {
+			return t.aug // whole block in range: use the stored fold
+		}
+		return o.leafAugSlice(t.items, 0, j)
 	}
 	if o.tr.Less(k, t.key) {
 		return o.augLeft(t.left, k)
@@ -26,6 +47,13 @@ func (o *ops[K, V, A, T]) augRight(t *node[K, V, A], k K) A {
 	if t == nil {
 		return o.tr.Id()
 	}
+	if t.items != nil {
+		i, _ := o.leafSearch(t.items, k)
+		if i == 0 {
+			return t.aug // whole block in range: use the stored fold
+		}
+		return o.leafAugSlice(t.items, i, len(t.items))
+	}
 	if o.tr.Less(t.key, k) {
 		return o.augRight(t.right, k)
 	}
@@ -36,6 +64,14 @@ func (o *ops[K, V, A, T]) augRight(t *node[K, V, A], k K) A {
 // augRange returns the augmented value over entries with lo <= key <= hi.
 func (o *ops[K, V, A, T]) augRange(t *node[K, V, A], lo, hi K) A {
 	for t != nil {
+		if t.items != nil {
+			i, _ := o.leafSearch(t.items, lo)
+			j, found := o.leafSearch(t.items, hi)
+			if found {
+				j++
+			}
+			return o.leafAugSlice(t.items, i, j)
+		}
 		switch {
 		case o.tr.Less(t.key, lo):
 			t = t.right

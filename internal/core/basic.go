@@ -1,6 +1,7 @@
 package core
 
-// Single-element operations (Table 2 "Map operations", all O(log n)).
+// Single-element operations (Table 2 "Map operations", all O(log n),
+// plus O(B) array work inside the leaf block an operation lands in).
 // insert and delete are built on join alone — independent of the
 // balancing scheme, as in Figure 2 of the paper.
 
@@ -9,6 +10,9 @@ package core
 func (o *ops[K, V, A, T]) insert(t *node[K, V, A], k K, v V, h func(old, new V) V) *node[K, V, A] {
 	if t == nil {
 		return o.singleton(k, v)
+	}
+	if t.items != nil {
+		return o.leafInsert(t, k, v, h)
 	}
 	switch {
 	case o.tr.Less(k, t.key):
@@ -31,10 +35,72 @@ func (o *ops[K, V, A, T]) insert(t *node[K, V, A], k K, v V, h func(old, new V) 
 	}
 }
 
+// leafInsert adds (k, v) to a leaf block (consumed). An overflowing
+// block is split into an interior node over two half blocks.
+func (o *ops[K, V, A, T]) leafInsert(t *node[K, V, A], k K, v V, h func(old, new V) V) *node[K, V, A] {
+	i, found := o.leafSearch(t.items, k)
+	if found {
+		t = o.mutable(t)
+		if h != nil {
+			t.items[i].Val = h(t.items[i].Val, v)
+		} else {
+			t.items[i].Val = v
+		}
+		t.aug = o.leafAug(t.items)
+		return t
+	}
+	b := o.blockSize()
+	if len(t.items) < b {
+		if t.refs.Load() == 1 && cap(t.items) > len(t.items) {
+			// Exclusively owned with slack: shift in place.
+			if o.stats != nil {
+				o.stats.Reuses.Add(1)
+			}
+			t.items = t.items[:len(t.items)+1]
+			copy(t.items[i+1:], t.items[i:])
+			t.items[i] = Entry[K, V]{Key: k, Val: v}
+			t.size = int64(len(t.items))
+			t.aug = o.leafAug(t.items)
+			return t
+		}
+		// Regrow with slack so in-place loads amortize reallocation.
+		grown := make([]Entry[K, V], len(t.items)+1, min(b, max(len(t.items)+1, 2*len(t.items))))
+		copy(grown, t.items[:i])
+		grown[i] = Entry[K, V]{Key: k, Val: v}
+		copy(grown[i+1:], t.items[i:])
+		if t.refs.Load() == 1 {
+			if o.stats != nil {
+				o.stats.Reuses.Add(1)
+			}
+			t.items = grown
+			t.size = int64(len(grown))
+			t.aug = o.leafAug(grown)
+			return t
+		}
+		n := o.mkLeafOwned(grown)
+		o.dec(t)
+		return n
+	}
+	// Full block: split around the median into two blocks.
+	all := make([]Entry[K, V], 0, len(t.items)+1)
+	all = append(all, t.items[:i]...)
+	all = append(all, Entry[K, V]{Key: k, Val: v})
+	all = append(all, t.items[i:]...)
+	o.dec(t)
+	return o.twoBlockNode(all)
+}
+
 // remove deletes k from t (consumed) if present.
 func (o *ops[K, V, A, T]) remove(t *node[K, V, A], k K) *node[K, V, A] {
 	if t == nil {
 		return nil
+	}
+	if t.items != nil {
+		i, found := o.leafSearch(t.items, k)
+		if !found {
+			return t
+		}
+		return o.leafWithout(t, i)
 	}
 	switch {
 	case o.tr.Less(k, t.key):
@@ -54,6 +120,12 @@ func (o *ops[K, V, A, T]) remove(t *node[K, V, A], k K) *node[K, V, A] {
 // find looks up k (borrows t).
 func (o *ops[K, V, A, T]) find(t *node[K, V, A], k K) (V, bool) {
 	for t != nil {
+		if t.items != nil {
+			if i, found := o.leafSearch(t.items, k); found {
+				return t.items[i].Val, true
+			}
+			break
+		}
 		switch {
 		case o.tr.Less(k, t.key):
 			t = t.left
@@ -69,16 +141,23 @@ func (o *ops[K, V, A, T]) find(t *node[K, V, A], k K) (V, bool) {
 
 // first returns the minimum entry (borrows t, which must be non-nil).
 func first[K, V, A any](t *node[K, V, A]) (K, V) {
-	for t.left != nil {
+	for t.items == nil && t.left != nil {
 		t = t.left
+	}
+	if t.items != nil {
+		return t.items[0].Key, t.items[0].Val
 	}
 	return t.key, t.val
 }
 
 // last returns the maximum entry (borrows t, which must be non-nil).
 func last[K, V, A any](t *node[K, V, A]) (K, V) {
-	for t.right != nil {
+	for t.items == nil && t.right != nil {
 		t = t.right
+	}
+	if t.items != nil {
+		e := t.items[len(t.items)-1]
+		return e.Key, e.Val
 	}
 	return t.key, t.val
 }
@@ -89,6 +168,12 @@ func (o *ops[K, V, A, T]) previous(t *node[K, V, A], k K) (K, V, bool) {
 	var bv V
 	ok := false
 	for t != nil {
+		if t.items != nil {
+			if i, _ := o.leafSearch(t.items, k); i > 0 {
+				bk, bv, ok = t.items[i-1].Key, t.items[i-1].Val, true
+			}
+			break
+		}
 		if o.tr.Less(t.key, k) {
 			bk, bv, ok = t.key, t.val, true
 			t = t.right
@@ -105,6 +190,16 @@ func (o *ops[K, V, A, T]) next(t *node[K, V, A], k K) (K, V, bool) {
 	var bv V
 	ok := false
 	for t != nil {
+		if t.items != nil {
+			i, found := o.leafSearch(t.items, k)
+			if found {
+				i++
+			}
+			if i < len(t.items) {
+				bk, bv, ok = t.items[i].Key, t.items[i].Val, true
+			}
+			break
+		}
 		if o.tr.Less(k, t.key) {
 			bk, bv, ok = t.key, t.val, true
 			t = t.left
@@ -119,6 +214,10 @@ func (o *ops[K, V, A, T]) next(t *node[K, V, A], k K) (K, V, bool) {
 func (o *ops[K, V, A, T]) rank(t *node[K, V, A], k K) int64 {
 	var r int64
 	for t != nil {
+		if t.items != nil {
+			i, _ := o.leafSearch(t.items, k)
+			return r + int64(i)
+		}
 		if o.tr.Less(t.key, k) {
 			r += size(t.left) + 1
 			t = t.right
@@ -133,6 +232,13 @@ func (o *ops[K, V, A, T]) rank(t *node[K, V, A], k K) int64 {
 // out of range.
 func (o *ops[K, V, A, T]) selectAt(t *node[K, V, A], i int64) (K, V, bool) {
 	for t != nil {
+		if t.items != nil {
+			if i < 0 || i >= int64(len(t.items)) {
+				break
+			}
+			e := t.items[i]
+			return e.Key, e.Val, true
+		}
 		ls := size(t.left)
 		switch {
 		case i < ls:

@@ -14,9 +14,9 @@ type Entry[K, V any] struct {
 
 // build constructs a tree from arbitrary entries, as in Figure 2: sort by
 // key (stable, in parallel), combine duplicates left-to-right with h (nil
-// h keeps the last value), then a balanced divide-and-conquer of joins.
-// O(n log n) work, O(log n) span beyond the sort. The input slice is not
-// modified.
+// h keeps the last value), then a balanced divide-and-conquer over leaf
+// blocks and joins. O(n log n) work, O(log n) span beyond the sort. The
+// input slice is not modified.
 func (o *ops[K, V, A, T]) build(items []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
 	if len(items) == 0 {
 		return nil
@@ -36,14 +36,14 @@ func (o *ops[K, V, A, T]) build(items []Entry[K, V], h func(old, new V) V) *node
 	return o.buildSorted(s)
 }
 
-// buildSorted constructs a tree from strictly-increasing entries by
-// balanced divide-and-conquer over joins (BUILD' in Figure 2).
+// buildSorted constructs a tree from strictly-increasing entries (BUILD'
+// in Figure 2, blocked): runs that fit a leaf block become one block
+// (with a private copy of the entries — the caller keeps its slice), and
+// larger inputs divide at the median over joins, which lay out the
+// fringe as blocks of at least half occupancy.
 func (o *ops[K, V, A, T]) buildSorted(s []Entry[K, V]) *node[K, V, A] {
-	switch len(s) {
-	case 0:
-		return nil
-	case 1:
-		return o.singleton(s[0].Key, s[0].Val)
+	if len(s) <= o.blockSize() {
+		return o.mkLeafCopy(s)
 	}
 	mid := len(s) / 2
 	var l, r *node[K, V, A]
@@ -56,7 +56,8 @@ func (o *ops[K, V, A, T]) buildSorted(s []Entry[K, V]) *node[K, V, A] {
 
 // multiInsert inserts a batch of entries into t (consumed): sort and
 // dedup the batch, then recursively partition it around tree nodes,
-// descending both sides in parallel. Keys already present combine as
+// descending both sides in parallel and merging batch runs directly into
+// the leaf blocks they land in. Keys already present combine as
 // h(old, new); nil h overwrites.
 func (o *ops[K, V, A, T]) multiInsert(t *node[K, V, A], items []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
 	if len(items) == 0 {
@@ -85,6 +86,9 @@ func (o *ops[K, V, A, T]) multiInsertSorted(t *node[K, V, A], s []Entry[K, V], h
 	if len(s) == 0 {
 		return t
 	}
+	if t.items != nil {
+		return o.leafMergeSorted(t, s, h)
+	}
 	t = o.mutable(t)
 	l, r := t.left, t.right
 	pos := seq.LowerBound(s, Entry[K, V]{Key: t.key}, func(a, b Entry[K, V]) bool {
@@ -109,6 +113,49 @@ func (o *ops[K, V, A, T]) multiInsertSorted(t *node[K, V, A], s []Entry[K, V], h
 	return o.join(nl, t, nr)
 }
 
+// leafMergeSorted merges a sorted, deduplicated batch into a leaf block
+// (consumed), rebuilding the region as blocks when it overflows.
+// Collisions combine as h(block value, batch value); nil h overwrites.
+func (o *ops[K, V, A, T]) leafMergeSorted(t *node[K, V, A], s []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
+	items := t.items
+	merged := make([]Entry[K, V], 0, len(items)+len(s))
+	i, j := 0, 0
+	for i < len(items) && j < len(s) {
+		switch {
+		case o.tr.Less(items[i].Key, s[j].Key):
+			merged = append(merged, items[i])
+			i++
+		case o.tr.Less(s[j].Key, items[i].Key):
+			merged = append(merged, s[j])
+			j++
+		default:
+			e := items[i]
+			if h != nil {
+				e.Val = h(e.Val, s[j].Val)
+			} else {
+				e.Val = s[j].Val
+			}
+			merged = append(merged, e)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, items[i:]...)
+	merged = append(merged, s[j:]...)
+	o.dec(t)
+	b := o.blockSize()
+	switch {
+	case len(merged) <= b:
+		return o.mkLeafOwned(merged)
+	case len(merged) <= 2*b+1:
+		// The common overflow (a block plus a batch tail): slice the
+		// owned merged array into two blocks without another copy.
+		return o.twoBlockNode(merged)
+	default:
+		return o.buildSorted(merged)
+	}
+}
+
 // multiDelete removes a batch of keys from t (consumed). The key slice is
 // not modified.
 func (o *ops[K, V, A, T]) multiDelete(t *node[K, V, A], keys []K) *node[K, V, A] {
@@ -127,6 +174,33 @@ func (o *ops[K, V, A, T]) multiDelete(t *node[K, V, A], keys []K) *node[K, V, A]
 func (o *ops[K, V, A, T]) multiDeleteSorted(t *node[K, V, A], s []K) *node[K, V, A] {
 	if t == nil || len(s) == 0 {
 		return t
+	}
+	if t.items != nil {
+		doomed := func(e Entry[K, V]) bool {
+			pos := seq.LowerBound(s, e.Key, o.tr.Less)
+			return pos < len(s) && !o.tr.Less(e.Key, s[pos])
+		}
+		// Allocation-free scan first: most visited blocks contain no
+		// batch key at all and are returned untouched.
+		first := -1
+		for i, e := range t.items {
+			if doomed(e) {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			return t
+		}
+		kept := make([]Entry[K, V], 0, len(t.items)-1)
+		kept = append(kept, t.items[:first]...)
+		for _, e := range t.items[first+1:] {
+			if !doomed(e) {
+				kept = append(kept, e)
+			}
+		}
+		o.dec(t)
+		return o.mkLeafOwned(kept)
 	}
 	pos := seq.LowerBound(s, t.key, o.tr.Less)
 	found := pos < len(s) && !o.tr.Less(t.key, s[pos])

@@ -7,6 +7,10 @@ import "repro/internal/parallel"
 // Table 2 — O(m·log(n/m + 1)) work and O(log n · log m) span for input
 // sizes n >= m. Each splits one tree by the other's root and recurses on
 // the two sides in parallel, down to a sequential grain.
+//
+// Blocked layout: once either side shrinks to a single leaf block the
+// recursion switches to flat-array merging — a block against a tree is a
+// sorted bulk update, and block against block is one array merge.
 
 // union merges t1 and t2 (both consumed). For keys present in both, the
 // result value is h(v1, v2); nil h keeps t2's value (the paper's "right
@@ -17,6 +21,24 @@ func (o *ops[K, V, A, T]) union(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *node
 	}
 	if t2 == nil {
 		return t1
+	}
+	if t2.items != nil {
+		// t2's entries are a sorted batch into t1; multiInsertSorted's
+		// h(old, new) = h(t1's value, t2's value) matches union, and its
+		// nil-h "overwrite with new" matches t2-wins.
+		n := o.multiInsertSorted(t1, t2.items, h)
+		o.dec(t2)
+		return n
+	}
+	if t1.items != nil {
+		// Mirror: t1's entries enter t2, so old/new swap roles.
+		hh := func(old, new V) V { return old } // t2 (the tree) wins
+		if h != nil {
+			hh = func(old, new V) V { return h(new, old) }
+		}
+		n := o.multiInsertSorted(t2, t1.items, hh)
+		o.dec(t1)
+		return n
 	}
 	// Reuse t2's root as the join middle (its entry survives into the
 	// output, with a possibly combined value).
@@ -43,6 +65,36 @@ func (o *ops[K, V, A, T]) intersect(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *
 		o.dec(t1)
 		o.dec(t2)
 		return nil
+	}
+	if t2.items != nil {
+		kept := make([]Entry[K, V], 0, len(t2.items))
+		for _, e := range t2.items {
+			if v1, ok := o.find(t1, e.Key); ok {
+				if h != nil {
+					e.Val = h(v1, e.Val)
+				}
+				kept = append(kept, e)
+			}
+		}
+		o.dec(t1)
+		o.dec(t2)
+		return o.mkLeafOwned(kept)
+	}
+	if t1.items != nil {
+		kept := make([]Entry[K, V], 0, len(t1.items))
+		for _, e := range t1.items {
+			if v2, ok := o.find(t2, e.Key); ok {
+				if h != nil {
+					e.Val = h(e.Val, v2)
+				} else {
+					e.Val = v2
+				}
+				kept = append(kept, e)
+			}
+		}
+		o.dec(t1)
+		o.dec(t2)
+		return o.mkLeafOwned(kept)
 	}
 	t2 = o.mutable(t2)
 	l2, r2 := t2.left, t2.right
@@ -73,6 +125,26 @@ func (o *ops[K, V, A, T]) difference(t1, t2 *node[K, V, A]) *node[K, V, A] {
 	}
 	if t2 == nil {
 		return t1
+	}
+	if t2.items != nil {
+		keys := make([]K, len(t2.items))
+		for i, e := range t2.items {
+			keys[i] = e.Key
+		}
+		n := o.multiDeleteSorted(t1, keys)
+		o.dec(t2)
+		return n
+	}
+	if t1.items != nil {
+		kept := make([]Entry[K, V], 0, len(t1.items))
+		for _, e := range t1.items {
+			if _, ok := o.find(t2, e.Key); !ok {
+				kept = append(kept, e)
+			}
+		}
+		o.dec(t1)
+		o.dec(t2)
+		return o.mkLeafOwned(kept)
 	}
 	k2 := t2.key
 	l2, r2 := o.detach(t2)

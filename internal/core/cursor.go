@@ -1,15 +1,19 @@
 package core
 
 // Cursor is a stateful in-order iterator over a tree snapshot: Seek in
-// O(log n), Next in amortized O(1). Because trees are persistent the
-// cursor stays valid regardless of later updates to other handles — it
-// iterates the version it was created from. Not safe for concurrent use
-// of a single Cursor; create one per goroutine.
+// O(log n), Next in amortized O(1) — and within a leaf block, a plain
+// array scan. Because trees are persistent the cursor stays valid
+// regardless of later updates to other handles — it iterates the version
+// it was created from. Not safe for concurrent use of a single Cursor;
+// create one per goroutine.
 type Cursor[K, V, A any, T Traits[K, V, A]] struct {
 	o *ops[K, V, A, T]
-	// stack holds the path of nodes whose entry is still to be emitted
-	// (each pushed node's left subtree has been fully handled).
+	// stack holds the path of interior nodes whose entry is still to be
+	// emitted (each pushed node's left subtree has been fully handled).
 	stack []*node[K, V, A]
+	// leaf/leafIdx point at the block currently being scanned, if any.
+	leaf    *node[K, V, A]
+	leafIdx int
 }
 
 // Cursor returns a cursor positioned before the first entry.
@@ -21,6 +25,10 @@ func (t Tree[K, V, A, T]) Cursor() *Cursor[K, V, A, T] {
 
 func (c *Cursor[K, V, A, T]) pushLeftSpine(n *node[K, V, A]) {
 	for n != nil {
+		if n.items != nil {
+			c.leaf, c.leafIdx = n, 0
+			return
+		}
 		c.stack = append(c.stack, n)
 		n = n.left
 	}
@@ -28,6 +36,14 @@ func (c *Cursor[K, V, A, T]) pushLeftSpine(n *node[K, V, A]) {
 
 // Next advances to the next entry; ok is false when exhausted.
 func (c *Cursor[K, V, A, T]) Next() (k K, v V, ok bool) {
+	if c.leaf != nil {
+		e := c.leaf.items[c.leafIdx]
+		c.leafIdx++
+		if c.leafIdx == len(c.leaf.items) {
+			c.leaf = nil
+		}
+		return e.Key, e.Val, true
+	}
 	if len(c.stack) == 0 {
 		return k, v, false
 	}
@@ -41,8 +57,15 @@ func (c *Cursor[K, V, A, T]) Next() (k K, v V, ok bool) {
 // first one with key >= target. O(log n).
 func (c *Cursor[K, V, A, T]) SeekGE(t Tree[K, V, A, T], target K) {
 	c.stack = c.stack[:0]
+	c.leaf = nil
 	n := t.root
 	for n != nil {
+		if n.items != nil {
+			if i, _ := c.o.leafSearch(n.items, target); i < len(n.items) {
+				c.leaf, c.leafIdx = n, i
+			}
+			return
+		}
 		if c.o.tr.Less(n.key, target) {
 			n = n.right
 		} else {

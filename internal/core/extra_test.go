@@ -249,9 +249,15 @@ func TestNodeAugsEnumeratesAllNodes(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		tr = tr.Insert(i, 1)
 	}
+	// One augmented value per node: interior nodes and leaf blocks each
+	// store exactly one, so the count matches CountUniqueNodes, and with
+	// blocking it is far below the entry count.
 	augs := NodeAugs(tr)
-	if int64(len(augs)) != tr.Size() {
-		t.Fatalf("NodeAugs returned %d values for %d nodes", len(augs), tr.Size())
+	if int64(len(augs)) != CountUniqueNodes(tr) {
+		t.Fatalf("NodeAugs returned %d values for %d nodes", len(augs), CountUniqueNodes(tr))
+	}
+	if int64(len(augs)) >= tr.Size() {
+		t.Fatalf("blocked tree stores %d augs for %d entries; want fewer", len(augs), tr.Size())
 	}
 	// The root's augmented value (the full sum) must be among them.
 	found := false
@@ -348,8 +354,9 @@ func TestReleaseParallel(t *testing.T) {
 	}
 	tr = tr.BuildSorted(items)
 	live := st.Live()
-	if live < 100_000 {
-		t.Fatalf("expected >= 100000 live nodes, got %d", live)
+	// Blocked layout: ~100000/B blocks plus the interior skeleton.
+	if live < 100_000/DefaultBlock {
+		t.Fatalf("expected >= %d live nodes, got %d", 100_000/DefaultBlock, live)
 	}
 	tr.ReleaseParallel()
 	if st.Live() != 0 {

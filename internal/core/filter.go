@@ -4,10 +4,14 @@ import "repro/internal/parallel"
 
 // filter keeps the entries satisfying pred (t consumed): recurse on both
 // children in parallel and recombine with join or join2 depending on the
-// root (FILTER in Figure 2). O(n) work, O(log^2 n) span.
+// root (FILTER in Figure 2); a leaf block filters its array in one pass.
+// O(n) work, O(log^2 n) span.
 func (o *ops[K, V, A, T]) filter(t *node[K, V, A], pred func(k K, v V) bool) *node[K, V, A] {
 	if t == nil {
 		return nil
+	}
+	if t.items != nil {
+		return o.leafFilter(t, pred)
 	}
 	keep := pred(t.key, t.val)
 	sz := t.size
@@ -30,47 +34,54 @@ func (o *ops[K, V, A, T]) filter(t *node[K, V, A], pred func(k K, v V) bool) *no
 	return o.join2(nl, nr)
 }
 
+// leafFilter keeps the block entries satisfying pred (t consumed). The
+// keep-everything case — the common one under selective AugFilter
+// pruning — is detected by an allocation-free scan first.
+func (o *ops[K, V, A, T]) leafFilter(t *node[K, V, A], pred func(k K, v V) bool) *node[K, V, A] {
+	first := -1
+	for i, e := range t.items {
+		if !pred(e.Key, e.Val) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return t
+	}
+	kept := make([]Entry[K, V], 0, len(t.items)-1)
+	kept = append(kept, t.items[:first]...)
+	for _, e := range t.items[first+1:] {
+		if pred(e.Key, e.Val) {
+			kept = append(kept, e)
+		}
+	}
+	o.dec(t)
+	return o.mkLeafOwned(kept)
+}
+
 // augFilter is filter for predicates expressed on augmented values
 // (AUGFILTER in Figure 2): h must satisfy h(f(a,b)) == h(a) || h(b), so
-// a subtree whose augmented value fails h contains no matching entries
-// and is discarded wholesale. O(k·log(n/k + 1)) work for k results,
-// O(log^2 n) span.
+// a subtree (or block) whose augmented value fails h contains no
+// matching entries and is discarded wholesale. O(k·log(n/k + 1)) work
+// for k results, O(log^2 n) span.
 func (o *ops[K, V, A, T]) augFilter(t *node[K, V, A], h func(a A) bool) *node[K, V, A] {
-	if t == nil {
-		return nil
-	}
-	if !h(t.aug) {
-		o.dec(t)
-		return nil
-	}
-	keep := h(o.tr.Base(t.key, t.val))
-	sz := t.size
-	var l, r *node[K, V, A]
-	if keep {
-		t = o.mutable(t)
-		l, r = t.left, t.right
-		t.left, t.right = nil, nil
-	} else {
-		l, r = o.detach(t)
-	}
-	var nl, nr *node[K, V, A]
-	parallel.DoIf(sz > o.grainSize(),
-		func() { nl = o.augFilter(l, h) },
-		func() { nr = o.augFilter(r, h) },
-	)
-	if keep {
-		return o.join(nl, t, nr)
-	}
-	return o.join2(nl, nr)
+	hv := func(k K, v V) bool { return h(o.tr.Base(k, v)) }
+	return o.augFilterPred(t, h, nil, hv)
 }
 
 // augFilter2 is augFilter with an additional take-all test (footnote 3
 // of the paper): hAll(a) true means *every* entry of a subtree with
-// augmented value a satisfies the filter, so the whole subtree is taken
-// by reference without being visited — the selected regions cost O(1)
-// each instead of O(size). hAll may be nil (no take-all pruning); when
-// non-nil it must satisfy hAll(f(a,b)) == hAll(a) && hAll(b).
+// augmented value a satisfies the filter, so the whole subtree (or
+// block) is taken by reference without being visited — the selected
+// regions cost O(1) each instead of O(size). hAll may be nil (no
+// take-all pruning); when non-nil it must satisfy
+// hAll(f(a,b)) == hAll(a) && hAll(b).
 func (o *ops[K, V, A, T]) augFilter2(t *node[K, V, A], hAny, hAll func(a A) bool) *node[K, V, A] {
+	hv := func(k K, v V) bool { return hAny(o.tr.Base(k, v)) }
+	return o.augFilterPred(t, hAny, hAll, hv)
+}
+
+func (o *ops[K, V, A, T]) augFilterPred(t *node[K, V, A], hAny, hAll func(a A) bool, entryPred func(K, V) bool) *node[K, V, A] {
 	if t == nil {
 		return nil
 	}
@@ -81,7 +92,10 @@ func (o *ops[K, V, A, T]) augFilter2(t *node[K, V, A], hAny, hAll func(a A) bool
 	if hAll != nil && hAll(t.aug) {
 		return t // take the whole subtree, keeping the reference
 	}
-	keep := hAny(o.tr.Base(t.key, t.val))
+	if t.items != nil {
+		return o.leafFilter(t, entryPred)
+	}
+	keep := entryPred(t.key, t.val)
 	sz := t.size
 	var l, r *node[K, V, A]
 	if keep {
@@ -93,8 +107,8 @@ func (o *ops[K, V, A, T]) augFilter2(t *node[K, V, A], hAny, hAll func(a A) bool
 	}
 	var nl, nr *node[K, V, A]
 	parallel.DoIf(sz > o.grainSize(),
-		func() { nl = o.augFilter2(l, hAny, hAll) },
-		func() { nr = o.augFilter2(r, hAny, hAll) },
+		func() { nl = o.augFilterPred(l, hAny, hAll, entryPred) },
+		func() { nr = o.augFilterPred(r, hAny, hAll, entryPred) },
 	)
 	if keep {
 		return o.join(nl, t, nr)

@@ -14,6 +14,18 @@ func FuzzTreeOps(f *testing.F) {
 	f.Add([]byte{0, 10, 1, 10, 0, 20, 2, 15, 3, 5, 25, 4})
 	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 3, 1, 9})
 	f.Add([]byte{5, 6, 7, 0, 200, 3, 0, 255, 2, 128})
+	// Leaf-block boundary seed: fill past a full block (DefaultBlock+2
+	// sequential inserts force a block split), split inside the block
+	// run, then delete back down so blocks re-merge.
+	var leafSeed []byte
+	for i := 0; i < DefaultBlock+2; i++ {
+		leafSeed = append(leafSeed, 0, byte(i))
+	}
+	leafSeed = append(leafSeed, 3, byte(DefaultBlock/2)) // split+rejoin mid-block
+	for i := 0; i < DefaultBlock; i++ {
+		leafSeed = append(leafSeed, 1, byte(i))
+	}
+	f.Add(leafSeed)
 	f.Fuzz(func(t *testing.T, prog []byte) {
 		for _, sch := range allSchemes {
 			tr := newSum(sch)

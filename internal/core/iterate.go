@@ -9,6 +9,19 @@ func (o *ops[K, V, A, T]) forEachRange(t *node[K, V, A], lo, hi K, visit func(k 
 	if t == nil {
 		return true
 	}
+	if t.items != nil {
+		i, _ := o.leafSearch(t.items, lo)
+		for ; i < len(t.items); i++ {
+			e := t.items[i]
+			if o.tr.Less(hi, e.Key) {
+				return true
+			}
+			if !visit(e.Key, e.Val) {
+				return false
+			}
+		}
+		return true
+	}
 	if o.tr.Less(t.key, lo) {
 		return o.forEachRange(t.right, lo, hi, visit)
 	}
@@ -36,6 +49,12 @@ func (t Tree[K, V, A, T]) Values() []V {
 
 func (o *ops[K, V, A, T]) fillValues(t *node[K, V, A], out []V) {
 	if t == nil {
+		return
+	}
+	if t.items != nil {
+		for i, e := range t.items {
+			out[i] = e.Val
+		}
 		return
 	}
 	ls := size(t.left)

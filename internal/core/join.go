@@ -4,10 +4,18 @@ package core
 // built from it. join(l, m, r) composes two trees and a middle node m
 // with max(l) < m.key < min(r), returning a balanced tree. All three
 // arguments are consumed: l and r transfer one reference each, and m must
-// be an exclusively-owned bare node (its child pointers are ignored and
-// overwritten; callers pass either a fresh allocation or a node they have
-// detached from its old children via mutable).
+// be an exclusively-owned bare interior node (its child pointers are
+// ignored and overwritten; callers pass either a fresh allocation or a
+// node they have detached from its old children via mutable).
+//
+// Blocked layout: when the whole result fits in one leaf block it is
+// collapsed into one — valid under every scheme, since join's contract
+// is "compose any two valid trees" and a leaf is a valid tree. This is
+// the single point where fragmented fringes re-compact.
 func (o *ops[K, V, A, T]) join(l *node[K, V, A], m *node[K, V, A], r *node[K, V, A]) *node[K, V, A] {
+	if size(l)+size(r)+1 <= int64(o.blockSize()) {
+		return o.collapseJoin(l, m, r)
+	}
 	switch o.sch {
 	case AVL:
 		return o.joinAVL(l, m, r)
@@ -20,9 +28,33 @@ func (o *ops[K, V, A, T]) join(l *node[K, V, A], m *node[K, V, A], r *node[K, V,
 	}
 }
 
-// joinKV is join with a freshly allocated middle entry.
+// joinKV is join with a middle entry supplied directly, so a collapse
+// into a leaf block skips allocating the middle node.
 func (o *ops[K, V, A, T]) joinKV(l *node[K, V, A], k K, v V, r *node[K, V, A]) *node[K, V, A] {
+	if total := size(l) + size(r) + 1; total <= int64(o.blockSize()) {
+		buf := make([]Entry[K, V], 0, total)
+		buf = gatherEntries(l, buf)
+		buf = append(buf, Entry[K, V]{Key: k, Val: v})
+		buf = gatherEntries(r, buf)
+		o.dec(l)
+		o.dec(r)
+		return o.mkLeafOwned(buf)
+	}
 	return o.join(l, o.alloc(k, v), r)
+}
+
+// collapseJoin merges l, m's entry, and r (all consumed; total size at
+// most one block) into a single leaf block.
+func (o *ops[K, V, A, T]) collapseJoin(l, m, r *node[K, V, A]) *node[K, V, A] {
+	buf := make([]Entry[K, V], 0, size(l)+size(r)+1)
+	buf = gatherEntries(l, buf)
+	buf = append(buf, Entry[K, V]{Key: m.key, Val: m.val})
+	buf = gatherEntries(r, buf)
+	o.dec(l)
+	o.dec(r)
+	m.left, m.right = nil, nil
+	o.dec(m)
+	return o.mkLeafOwned(buf)
 }
 
 // attach makes m the parent of l and r and recomputes its derived fields.
@@ -34,9 +66,14 @@ func (o *ops[K, V, A, T]) attach(m, l, r *node[K, V, A]) *node[K, V, A] {
 }
 
 // rotateLeft performs a left rotation at t (t.right becomes the root) and
-// returns the new root. t is consumed; t.right must be non-nil.
+// returns the new root. t is consumed; t.right must be non-nil. A leaf
+// pivot is expanded first (weight-balanced callers only — expansion is
+// weight-neutral).
 func (o *ops[K, V, A, T]) rotateLeft(t *node[K, V, A]) *node[K, V, A] {
 	t = o.mutable(t)
+	if isLeaf(t.right) {
+		t.right = o.expandLeaf(t.right)
+	}
 	r := o.mutable(t.right)
 	t.right = r.left
 	o.update(t)
@@ -48,6 +85,9 @@ func (o *ops[K, V, A, T]) rotateLeft(t *node[K, V, A]) *node[K, V, A] {
 // rotateRight performs a right rotation at t (t.left becomes the root).
 func (o *ops[K, V, A, T]) rotateRight(t *node[K, V, A]) *node[K, V, A] {
 	t = o.mutable(t)
+	if isLeaf(t.left) {
+		t.left = o.expandLeaf(t.left)
+	}
 	l := o.mutable(t.left)
 	t.left = l.right
 	o.update(t)
@@ -64,13 +104,26 @@ type splitOut[K, V, A any] struct {
 	found bool
 }
 
-// split divides t (consumed) around key k. O(log n) work for balanced t.
-// Nodes along the split path are reused as join middles when exclusively
-// owned (the reuse optimization), so splitting a uniquely-referenced tree
-// allocates nothing.
+// split divides t (consumed) around key k. O(log n + B) work for
+// balanced t. Interior nodes along the split path are reused as join
+// middles when exclusively owned (the reuse optimization); the leaf the
+// key lands in is cut into two fresh blocks.
 func (o *ops[K, V, A, T]) split(t *node[K, V, A], k K) splitOut[K, V, A] {
 	if t == nil {
 		return splitOut[K, V, A]{}
+	}
+	if t.items != nil {
+		i, found := o.leafSearch(t.items, k)
+		out := splitOut[K, V, A]{found: found}
+		j := i
+		if found {
+			out.v = t.items[i].Val
+			j = i + 1
+		}
+		out.l = o.mkLeafCopy(t.items[:i])
+		out.r = o.mkLeafCopy(t.items[j:])
+		o.dec(t)
+		return out
 	}
 	switch {
 	case o.tr.Less(k, t.key):
@@ -95,6 +148,11 @@ func (o *ops[K, V, A, T]) split(t *node[K, V, A], k K) splitOut[K, V, A] {
 // splitLast removes the maximum entry of t (consumed, non-nil), returning
 // the remaining tree and the removed entry.
 func (o *ops[K, V, A, T]) splitLast(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
+	if t.items != nil {
+		e := t.items[len(t.items)-1]
+		rest = o.leafWithout(t, len(t.items)-1)
+		return rest, e.Key, e.Val
+	}
 	if t.right == nil {
 		k, v = t.key, t.val
 		l0, _ := o.detach(t)
@@ -108,6 +166,11 @@ func (o *ops[K, V, A, T]) splitLast(t *node[K, V, A]) (rest *node[K, V, A], k K,
 
 // splitFirst removes the minimum entry of t (consumed, non-nil).
 func (o *ops[K, V, A, T]) splitFirst(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
+	if t.items != nil {
+		e := t.items[0]
+		rest = o.leafWithout(t, 0)
+		return rest, e.Key, e.Val
+	}
 	if t.left == nil {
 		k, v = t.key, t.val
 		_, r0 := o.detach(t)
@@ -117,6 +180,21 @@ func (o *ops[K, V, A, T]) splitFirst(t *node[K, V, A]) (rest *node[K, V, A], k K
 	l0, r0 := t.left, t.right
 	rest, k, v = o.splitFirst(l0)
 	return o.join(rest, t, r0), k, v
+}
+
+// leafWithout returns t (an owned leaf) without the entry at index i,
+// consuming t; nil when it was the last entry. An exclusively owned
+// block is edited in place.
+func (o *ops[K, V, A, T]) leafWithout(t *node[K, V, A], i int) *node[K, V, A] {
+	if len(t.items) == 1 {
+		o.dec(t)
+		return nil
+	}
+	t = o.mutable(t)
+	t.items = append(t.items[:i], t.items[i+1:]...)
+	t.size = int64(len(t.items))
+	t.aug = o.leafAug(t.items)
+	return t
 }
 
 // join2 composes two trees without a middle entry (max(l) < min(r)).

@@ -1,7 +1,17 @@
 package core
 
 // AVL join (SPAA'16, Figure 1). The aux word stores subtree height;
-// update() maintains it.
+// update() maintains it. A leaf block has height 1 regardless of how
+// many entries it holds, so the AVL criterion balances the interior
+// skeleton above the blocks.
+//
+// Blocked layout notes: the spine descent can never step *into* a block
+// (a block's height is 1, and the descent stops at the first subtree c
+// with h(c) <= h(r)+1, which any block satisfies since h(r) >= 0). The
+// one place a block can become a rotation pivot is the double-rotation
+// case with c a block and r empty/shallow; there the block is first
+// expanded at its median (making c an interior node of height <= 2) and
+// the step retried, after which the standard rotations apply.
 
 func avlHeight[K, V, A any](t *node[K, V, A]) uint32 {
 	if t == nil {
@@ -29,14 +39,22 @@ func (o *ops[K, V, A, T]) joinRightAVL(l, m, r *node[K, V, A]) *node[K, V, A] {
 	l = o.mutable(l)
 	c := l.right
 	if avlHeight(c) <= avlHeight(r)+1 {
+		// Double rotation fires when Node(c, m, r) would be two taller
+		// than l.left (only possible with h(c) == h(r)+1). Its first
+		// rotation pivots on c; a leaf block there is expanded at its
+		// median first and the step retried (the expanded c is interior,
+		// and if its height grew the retry descends into it instead).
+		if max(avlHeight(c), avlHeight(r))+1 > avlHeight(l.left)+1 && isLeaf(c) {
+			l.right = o.expandLeaf(c)
+			o.update(l)
+			return o.joinRightAVL(l, m, r)
+		}
 		t := o.attach(m, c, r)
 		if avlHeight(t) <= avlHeight(l.left)+1 {
 			l.right = t
 			o.update(l)
 			return l
 		}
-		// t = Node(c, m, r) is two taller than l.left, which can only
-		// happen when h(c) == h(r)+1: double rotation.
 		l.right = o.rotateRight(t)
 		o.update(l)
 		return o.rotateLeft(l)
@@ -54,6 +72,11 @@ func (o *ops[K, V, A, T]) joinLeftAVL(l, m, r *node[K, V, A]) *node[K, V, A] {
 	r = o.mutable(r)
 	c := r.left
 	if avlHeight(c) <= avlHeight(l)+1 {
+		if max(avlHeight(c), avlHeight(l))+1 > avlHeight(r.right)+1 && isLeaf(c) {
+			r.left = o.expandLeaf(c)
+			o.update(r)
+			return o.joinLeftAVL(l, m, r)
+		}
 		t := o.attach(m, l, c)
 		if avlHeight(t) <= avlHeight(r.right)+1 {
 			r.left = t

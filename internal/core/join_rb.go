@@ -3,7 +3,7 @@ package core
 // Red-black join. The aux word packs (blackHeight << 1) | redBit, where
 // blackHeight counts the black nodes on any path from the node down to
 // (but excluding) nil, including the node itself if black; nil has black
-// height 0.
+// height 0 and a leaf block is black with black height 1.
 //
 // joinRB blackens both roots, then:
 //   - equal black heights: a fresh *black* parent is always valid;
@@ -11,6 +11,14 @@ package core
 //     node whose black height matches the shorter tree, attach a *red*
 //     parent there, and repair red-red violations on the way up with the
 //     classic Okasaki restructuring, finally blackening the root.
+//
+// Blocked layout: blocks are black with black height 1, so a descent
+// with target >= 1 stops at or above every block and the classic
+// algorithm applies unchanged. Only target == 0 (the other side empty)
+// reaches *into* a block; there the middle entry is merged into the
+// block in place — or, when the block is full, the block is split under
+// a red parent of unchanged black height, which the normal red-red
+// repair machinery then absorbs.
 
 func rbMake(bh uint32, red bool) uint32 {
 	x := bh << 1
@@ -63,11 +71,76 @@ func (o *ops[K, V, A, T]) joinRB(l, m, r *node[K, V, A]) *node[K, V, A] {
 	}
 }
 
+// rbAbsorbRight merges m's entry (the maximum of the region) into the
+// leaf block l, consuming l and m. When the block is full it is split
+// under a red parent, preserving the block height 1 the context expects;
+// a resulting red-red violation with the caller's spine is repaired by
+// rbFixRight on the way up, exactly like the red parent the unblocked
+// algorithm attaches.
+func (o *ops[K, V, A, T]) rbAbsorbRight(l, m *node[K, V, A]) *node[K, V, A] {
+	items := l.items
+	if len(items) < o.blockSize() {
+		l = o.mutable(l)
+		l.items = append(l.items, Entry[K, V]{Key: m.key, Val: m.val})
+		l.size = int64(len(l.items))
+		l.aug = o.leafAug(l.items)
+		m.left, m.right = nil, nil
+		o.dec(m)
+		return l
+	}
+	mid := len(items) / 2
+	left := o.mkLeafCopy(items[:mid])
+	rest := make([]Entry[K, V], 0, len(items)-mid)
+	rest = append(rest, items[mid+1:]...)
+	rest = append(rest, Entry[K, V]{Key: m.key, Val: m.val})
+	piv := o.alloc(items[mid].Key, items[mid].Val)
+	m.left, m.right = nil, nil
+	o.dec(m)
+	o.dec(l)
+	t := o.attach(piv, left, o.mkLeafOwned(rest))
+	t.aux = rbMake(1, true)
+	return t
+}
+
+// rbAbsorbLeft is the mirror: m's entry is the minimum of the region.
+func (o *ops[K, V, A, T]) rbAbsorbLeft(m, r *node[K, V, A]) *node[K, V, A] {
+	items := r.items
+	if len(items) < o.blockSize() {
+		r = o.mutable(r)
+		grown := make([]Entry[K, V], 0, len(items)+1)
+		grown = append(grown, Entry[K, V]{Key: m.key, Val: m.val})
+		grown = append(grown, r.items...)
+		r.items = grown
+		r.size = int64(len(grown))
+		r.aug = o.leafAug(grown)
+		m.left, m.right = nil, nil
+		o.dec(m)
+		return r
+	}
+	mid := (len(items) - 1) / 2 // both halves non-empty, m included left
+	first := make([]Entry[K, V], 0, mid+1)
+	first = append(first, Entry[K, V]{Key: m.key, Val: m.val})
+	first = append(first, items[:mid]...)
+	right := o.mkLeafCopy(items[mid+1:])
+	piv := o.alloc(items[mid].Key, items[mid].Val)
+	m.left, m.right = nil, nil
+	o.dec(m)
+	o.dec(r)
+	t := o.attach(piv, o.mkLeafOwned(first), right)
+	t.aux = rbMake(1, true)
+	return t
+}
+
 // joinRightRB descends l's right spine to the first black node of black
 // height target, attaches a red parent of it and r there, and repairs on
 // the way up. Precondition: rbBH(l) > target, r black with
 // rbBH(r) == target.
 func (o *ops[K, V, A, T]) joinRightRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
+	if l != nil && l.items != nil && rbBH(l) > target {
+		// target == 0 (r empty) with the spine ending in a block: fold
+		// the middle entry into the block instead of descending.
+		return o.rbAbsorbRight(l, m)
+	}
 	if rbIsBlack(l) && rbBH(l) == target {
 		t := o.attach(m, l, r)
 		t.aux = rbMake(target, true)
@@ -106,6 +179,9 @@ func (o *ops[K, V, A, T]) rbFixRight(l *node[K, V, A]) *node[K, V, A] {
 }
 
 func (o *ops[K, V, A, T]) joinLeftRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
+	if r != nil && r.items != nil && rbBH(r) > target {
+		return o.rbAbsorbLeft(m, r)
+	}
 	if rbIsBlack(r) && rbBH(r) == target {
 		t := o.attach(m, l, r)
 		t.aux = rbMake(target, true)

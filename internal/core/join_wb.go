@@ -1,12 +1,18 @@
 package core
 
 // Weight-balanced (BB[alpha]) join, the PAM default scheme. Balance is
-// defined on weights (subtree size + 1): a node is balanced when each
-// child's weight is at least alpha times the node's weight. We use
-// alpha = 0.29, inside the valid range (1/4, 1 - 1/sqrt(2)] for which a
-// single or double rotation per level restores balance after join
-// (Blelloch, Ferizovic, Sun, SPAA'16). All arithmetic is integral:
-// alpha = 29/100.
+// defined on weights (subtree size + 1, counting entries — a leaf block
+// of m entries weighs m+1): a node is balanced when each child's weight
+// is at least alpha times the node's weight. We use alpha = 0.29, inside
+// the valid range (1/4, 1 - 1/sqrt(2)] for which a single or double
+// rotation per level restores balance after join (Blelloch, Ferizovic,
+// Sun, SPAA'16). All arithmetic is integral: alpha = 29/100.
+//
+// Blocked layout: collapsing a small subtree into a leaf block and
+// expanding a block at its median both preserve weights, so the
+// weight-balance argument is indifferent to blocking. The spine descent
+// collapses once the remaining region fits a block, and expands a block
+// when it must descend into (or rotate around) one.
 
 const wbAlphaNum, wbAlphaDen = 29, 100
 
@@ -32,8 +38,16 @@ func (o *ops[K, V, A, T]) joinWB(l, m, r *node[K, V, A]) *node[K, V, A] {
 // the remainder balances against r, attach there, and restore balance
 // with at most one single or double rotation per level on the way back.
 func (o *ops[K, V, A, T]) joinRightWB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	if size(l)+size(r)+1 <= int64(o.blockSize()) {
+		return o.collapseJoin(l, m, r)
+	}
 	if wbBalanced(weight(l), weight(r)) {
 		return o.attach(m, l, r)
+	}
+	if isLeaf(l) {
+		// The spine bottomed out in a block that is still too heavy for
+		// r: split it open and keep descending into its right half.
+		l = o.expandLeaf(l)
 	}
 	l = o.mutable(l)
 	t := o.joinRightWB(l.right, m, r)
@@ -44,7 +58,12 @@ func (o *ops[K, V, A, T]) joinRightWB(l, m, r *node[K, V, A]) *node[K, V, A] {
 		// t grew too heavy. A single left rotation promotes t; it is
 		// valid exactly when the resulting node (ll + t.left) balances
 		// both internally and against t.right. Otherwise rotate t right
-		// first (double rotation).
+		// first (double rotation). Rotation needs to look inside t, so a
+		// block there is expanded (weight-neutral).
+		if isLeaf(t) {
+			t = o.expandLeaf(t)
+			l.right = t
+		}
 		if wbBalanced(weight(ll), weight(t.left)) &&
 			wbBalanced(weight(ll)+weight(t.left), weight(t.right)) {
 			return o.rotateLeft(l)
@@ -57,8 +76,14 @@ func (o *ops[K, V, A, T]) joinRightWB(l, m, r *node[K, V, A]) *node[K, V, A] {
 
 // joinLeftWB is the mirror image of joinRightWB for the right-heavy case.
 func (o *ops[K, V, A, T]) joinLeftWB(l, m, r *node[K, V, A]) *node[K, V, A] {
+	if size(l)+size(r)+1 <= int64(o.blockSize()) {
+		return o.collapseJoin(l, m, r)
+	}
 	if wbBalanced(weight(l), weight(r)) {
 		return o.attach(m, l, r)
+	}
+	if isLeaf(r) {
+		r = o.expandLeaf(r)
 	}
 	r = o.mutable(r)
 	t := o.joinLeftWB(l, m, r.left)
@@ -66,6 +91,10 @@ func (o *ops[K, V, A, T]) joinLeftWB(l, m, r *node[K, V, A]) *node[K, V, A] {
 	o.update(r)
 	rr := r.right
 	if !wbBalanced(weight(t), weight(rr)) {
+		if isLeaf(t) {
+			t = o.expandLeaf(t)
+			r.left = t
+		}
 		if wbBalanced(weight(t.right), weight(rr)) &&
 			wbBalanced(weight(t.right)+weight(rr), weight(t.left)) {
 			return o.rotateRight(r)

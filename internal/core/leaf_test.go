@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Leaf-block boundary tests: occupancy at exactly B and B±1, splits and
+// joins landing inside a block, per-block copy-on-write between
+// snapshots, and the occupancy invariants enforced by Validate.
+
+func newSumBlock(sch Scheme, block int) sumTree {
+	return New[int, int64, int64, sumTraits](Config{Scheme: sch, Block: block})
+}
+
+// TestLeafBoundaryOccupancy drives a single block through the exact
+// fill boundary: B-1, B (still one block), and B+1 (must split), with
+// every invariant checked at each step, for several block sizes and all
+// schemes.
+func TestLeafBoundaryOccupancy(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		for _, b := range []int{2, 3, 4, 7, DefaultBlock} {
+			tr := newSumBlock(sch, b)
+			m := model{}
+			for i := 0; i < b+1; i++ {
+				tr = tr.Insert(i, int64(i))
+				m[i] = int64(i)
+				if err := tr.Validate(i64eq); err != nil {
+					t.Fatalf("block=%d after %d inserts: %v", b, i+1, err)
+				}
+			}
+			mustMatch(t, tr, m)
+			// At B entries the whole map must still be a single block
+			// (height 1); at B+1 it must have split.
+			probe := newSumBlock(sch, b)
+			for i := 0; i < b; i++ {
+				probe = probe.Insert(i, 1)
+			}
+			if h := probe.Height(); h != 1 {
+				t.Fatalf("block=%d: %d entries have height %d, want a single block", b, b, h)
+			}
+			if h := tr.Height(); h < 2 {
+				t.Fatalf("block=%d: %d entries still height %d, split expected", b, b+1, h)
+			}
+			// Shrink back across the boundary: delete down to 1 entry.
+			for i := b; i >= 1; i-- {
+				tr = tr.Delete(i)
+				delete(m, i)
+				if err := tr.Validate(i64eq); err != nil {
+					t.Fatalf("block=%d deleting %d: %v", b, i, err)
+				}
+			}
+			mustMatch(t, tr, m)
+		}
+	})
+}
+
+// TestSplitInsideLeaf splits at every possible position of a blocked
+// map — including keys in the interior of blocks and keys between
+// entries — and checks the pieces and their rejoin.
+func TestSplitInsideLeaf(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		n := 3*DefaultBlock + 5 // several blocks plus a partial one
+		items := make([]Entry[int, int64], n)
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: 2 * i, Val: int64(i)}
+		}
+		tr := newSum(sch).BuildSorted(items)
+		for k := -1; k <= 2*n; k++ {
+			l, v, found, r := tr.Split(k)
+			wantFound := k >= 0 && k < 2*n && k%2 == 0
+			if found != wantFound {
+				t.Fatalf("Split(%d) found=%v want %v", k, found, wantFound)
+			}
+			if found && v != int64(k/2) {
+				t.Fatalf("Split(%d) value %d", k, v)
+			}
+			if err := l.Validate(i64eq); err != nil {
+				t.Fatalf("left of Split(%d): %v", k, err)
+			}
+			if err := r.Validate(i64eq); err != nil {
+				t.Fatalf("right of Split(%d): %v", k, err)
+			}
+			var re sumTree
+			if found {
+				re = l.Join(k, v, r)
+			} else {
+				re = l.Concat(r)
+			}
+			if err := re.Validate(i64eq); err != nil {
+				t.Fatalf("rejoin of Split(%d): %v", k, err)
+			}
+			if re.Size() != int64(n) {
+				t.Fatalf("rejoin of Split(%d) lost entries: %d", k, re.Size())
+			}
+		}
+	})
+}
+
+// TestLeafSharingBetweenSnapshots pins the per-block copy-on-write
+// semantics: snapshots share blocks; updating one map copies only the
+// touched block while the other snapshot keeps the old one.
+func TestLeafSharingBetweenSnapshots(t *testing.T) {
+	st := &Stats{}
+	tr := New[int, int64, int64, sumTraits](Config{Stats: st})
+	items := make([]Entry[int, int64], 1000)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+	}
+	tr = tr.BuildSorted(items)
+	snap := tr
+
+	st.Reset()
+	upd := tr.Insert(500, -1) // lands inside an existing block
+	if c := st.Copies.Load(); c == 0 {
+		t.Fatal("insert into shared blocked tree did not copy-on-write")
+	}
+	// Only the one touched block plus the interior path may be new:
+	// everything else is shared between the three handles.
+	unique := CountUniqueNodes(tr, snap, upd)
+	base := CountUniqueNodes(tr)
+	if unique > base+64 {
+		t.Fatalf("block update copied too much: %d unique vs %d base", unique, base)
+	}
+	// The snapshot still sees the old value; the update the new one.
+	if v, _ := snap.Find(500); v != 500 {
+		t.Fatalf("snapshot value changed to %d", v)
+	}
+	if v, _ := upd.Find(500); v != -1 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if err := snap.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	if err := upd.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.SharesStructureWith(upd) {
+		t.Fatal("snapshot and update share nothing")
+	}
+}
+
+// TestLeafInPlaceGrowth: an unshared map grows its blocks in place —
+// inserting into an exclusively owned block must not allocate a node
+// per entry.
+func TestLeafInPlaceGrowth(t *testing.T) {
+	st := &Stats{}
+	tr := New[int, int64, int64, sumTraits](Config{Stats: st})
+	for i := 0; i < 10*DefaultBlock; i++ {
+		tr.InsertInPlace(i, int64(i))
+	}
+	if a := st.Allocated.Load(); a > int64(10*DefaultBlock/4) {
+		t.Fatalf("in-place fill of %d entries allocated %d nodes", 10*DefaultBlock, a)
+	}
+	if st.Copies.Load() != 0 {
+		t.Fatalf("unshared fill copied %d nodes", st.Copies.Load())
+	}
+	if err := tr.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateCatchesLeafViolations constructs corrupt blocks directly
+// and checks Validate rejects each: over-occupancy, out-of-order block
+// entries, a wrong block size field, and a stale block augmentation.
+func TestValidateCatchesLeafViolations(t *testing.T) {
+	base := newSum(WeightBalanced)
+	o := base.o()
+	mk := func(items []Entry[int, int64]) sumTree {
+		return base.with(o.mkLeafCopy(items))
+	}
+	over := make([]Entry[int, int64], DefaultBlock+1)
+	for i := range over {
+		over[i] = Entry[int, int64]{Key: i, Val: 1}
+	}
+	if err := mk(over).Validate(i64eq); err == nil {
+		t.Fatal("over-full block passed Validate")
+	}
+	if err := mk([]Entry[int, int64]{{Key: 5, Val: 1}, {Key: 3, Val: 1}}).Validate(i64eq); err == nil {
+		t.Fatal("out-of-order block passed Validate")
+	}
+	bad := mk([]Entry[int, int64]{{Key: 1, Val: 1}, {Key: 2, Val: 2}})
+	bad.root.size = 7
+	if err := bad.Validate(i64eq); err == nil {
+		t.Fatal("wrong block size field passed Validate")
+	}
+	stale := mk([]Entry[int, int64]{{Key: 1, Val: 1}, {Key: 2, Val: 2}})
+	stale.root.aug = 999
+	if err := stale.Validate(i64eq); err == nil {
+		t.Fatal("stale block augmentation passed Validate")
+	}
+}
+
+// TestBlockedRandomOps is the belt-and-braces differential run at small
+// block sizes, where every operation constantly crosses block
+// boundaries.
+func TestBlockedRandomOps(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		for _, b := range []int{2, 5} {
+			rng := rand.New(rand.NewSource(int64(100 + b)))
+			tr := newSumBlock(sch, b)
+			m := model{}
+			for step := 0; step < 1200; step++ {
+				k := rng.Intn(200)
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := int64(rng.Intn(1000))
+					tr = tr.Insert(k, v)
+					m[k] = v
+				case 2:
+					tr = tr.Delete(k)
+					delete(m, k)
+				case 3:
+					l, v, found, r := tr.Split(k)
+					if found {
+						tr = l.Join(k, v, r)
+					} else {
+						tr = l.Concat(r)
+					}
+				}
+				if step%200 == 199 {
+					mustMatch(t, tr, m)
+				}
+			}
+			mustMatch(t, tr, m)
+		}
+	})
+}
+
+// TestSpaceStats sanity-checks the blocked-layout space accounting.
+func TestSpaceStats(t *testing.T) {
+	items := make([]Entry[int, int64], 10_000)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+	}
+	tr := newSum(WeightBalanced).BuildSorted(items)
+	s := tr.SpaceStats()
+	if s.Entries != 10_000 {
+		t.Fatalf("entries %d", s.Entries)
+	}
+	if s.LeafBlocks < 10_000/DefaultBlock || s.LeafBlocks > 2*10_000/DefaultBlock+1 {
+		t.Fatalf("leaf blocks %d out of range", s.LeafBlocks)
+	}
+	if s.InteriorNodes >= 10_000/2 {
+		t.Fatalf("interior nodes %d — blocking not effective", s.InteriorNodes)
+	}
+	if s.BytesPerEntry <= 0 || s.BytesPerEntry > 64 {
+		t.Fatalf("bytes/entry %.1f implausible (entry is 16B)", s.BytesPerEntry)
+	}
+	// A per-entry layout for comparison: block 2 (the minimum).
+	s2 := New[int, int64, int64, sumTraits](Config{Block: 2}).BuildSorted(items).SpaceStats()
+	if s2.BytesPerEntry <= s.BytesPerEntry {
+		t.Fatalf("small blocks (%.1f B/entry) not costlier than default (%.1f)", s2.BytesPerEntry, s.BytesPerEntry)
+	}
+}

@@ -9,12 +9,20 @@ func forEach[K, V, A any](t *node[K, V, A], visit func(k K, v V) bool) bool {
 	if t == nil {
 		return true
 	}
+	if t.items != nil {
+		for _, e := range t.items {
+			if !visit(e.Key, e.Val) {
+				return false
+			}
+		}
+		return true
+	}
 	return forEach(t.left, visit) && visit(t.key, t.val) && forEach(t.right, visit)
 }
 
 // toSlice materializes the entries in key order. Each subtree writes into
-// its own slice segment (offsets are known from subtree sizes), so the
-// fill parallelizes perfectly. Borrows t.
+// its own slice segment (offsets are known from subtree sizes) and leaf
+// blocks bulk-copy, so the fill parallelizes perfectly. Borrows t.
 func (o *ops[K, V, A, T]) toSlice(t *node[K, V, A]) []Entry[K, V] {
 	out := make([]Entry[K, V], size(t))
 	o.fillSlice(t, out)
@@ -23,6 +31,10 @@ func (o *ops[K, V, A, T]) toSlice(t *node[K, V, A]) []Entry[K, V] {
 
 func (o *ops[K, V, A, T]) fillSlice(t *node[K, V, A], out []Entry[K, V]) {
 	if t == nil {
+		return
+	}
+	if t.items != nil {
+		copy(out, t.items)
 		return
 	}
 	ls := size(t.left)
@@ -44,6 +56,12 @@ func (o *ops[K, V, A, T]) fillKeys(t *node[K, V, A], out []K) {
 	if t == nil {
 		return
 	}
+	if t.items != nil {
+		for i, e := range t.items {
+			out[i] = e.Key
+		}
+		return
+	}
 	ls := size(t.left)
 	out[ls] = t.key
 	parallel.DoIf(t.size > o.grainSize(),
@@ -60,6 +78,13 @@ func (o *ops[K, V, A, T]) mapValues(t *node[K, V, A], fn func(k K, v V) V) *node
 		return nil
 	}
 	t = o.mutable(t)
+	if t.items != nil {
+		for i := range t.items {
+			t.items[i].Val = fn(t.items[i].Key, t.items[i].Val)
+		}
+		t.aug = o.leafAug(t.items)
+		return t
+	}
 	l, r := t.left, t.right
 	var nl, nr *node[K, V, A]
 	parallel.DoIf(t.size > o.grainSize(),
@@ -74,12 +99,19 @@ func (o *ops[K, V, A, T]) mapValues(t *node[K, V, A], fn func(k K, v V) V) *node
 
 // mapReduceNode applies g to every entry and combines the results with f
 // (identity id), in parallel over the tree structure (MAPREDUCE in
-// Figure 2). It is a free function because the result type B is not a
-// parameter of ops. Borrows t. O(n) work, O(log n) span given
-// constant-time f and g.
+// Figure 2); leaf blocks fold sequentially. It is a free function
+// because the result type B is not a parameter of ops. Borrows t. O(n)
+// work, O(log n) span given constant-time f and g.
 func mapReduceNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], g func(k K, v V) B, f func(x, y B) B, id B) B {
 	if t == nil {
 		return id
+	}
+	if t.items != nil {
+		acc := id
+		for _, e := range t.items {
+			acc = f(acc, g(e.Key, e.Val))
+		}
+		return acc
 	}
 	var lv, rv B
 	parallel.DoIf(t.size > o.grainSize(),

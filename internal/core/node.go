@@ -9,16 +9,27 @@ import (
 	"repro/internal/seq"
 )
 
-// node is a tree node. One layout serves all four balancing schemes:
-// size doubles as the weight-balance criterion and supports rank/select;
-// aux holds the AVL height, the red-black color+black-height, or the
-// treap priority.
+// node is a tree node. The tree is two-layered in the style of PaC-trees
+// (Dhulipala et al., arXiv:2204.06077): interior nodes carry one entry
+// each and one layout serves all four balancing schemes (size doubles as
+// the weight-balance criterion and supports rank/select; aux holds the
+// AVL height, the red-black color+black-height, or the treap priority),
+// while the fringe is made of *leaf blocks* — nodes whose items slice
+// holds up to blockSize() entries in strictly increasing key order, with
+// the block's augmented value precomputed in aug. A node is a leaf iff
+// items != nil; leaves have nil children, size == len(items), and unused
+// key/val. Blocking cuts the node count (and with it allocation and
+// pointer-chasing) by roughly a factor of B on every bulk path.
 //
 // Reference counts implement the paper's functional persistence: a node
 // is shared freely between trees, and only a node whose count is 1 may be
 // mutated in place (the reuse optimization described in §4 "Persistence").
+// For leaves the unit of copy-on-write is the whole block: a leaf's items
+// array is referenced by that leaf node alone, so refs == 1 licenses
+// in-place edits of the array.
 type node[K, V, A any] struct {
 	left, right *node[K, V, A]
+	items       []Entry[K, V] // non-nil: leaf block (sorted, 1..B entries)
 	key         K
 	val         V
 	aug         A
@@ -27,22 +38,34 @@ type node[K, V, A any] struct {
 	refs        atomic.Int32
 }
 
+// isLeaf reports whether t is a leaf block. nil is not a leaf.
+func isLeaf[K, V, A any](t *node[K, V, A]) bool { return t != nil && t.items != nil }
+
 // Stats tracks node allocation for the space experiments (Table 4). All
-// counters are cumulative; Live = Allocated - Freed.
+// counters are cumulative; Live = Allocated - Freed. Allocated/Freed
+// count nodes of both kinds; LeafAllocated/LeafFreed count the subset
+// that are leaf blocks (so interior = total - leaf).
 type Stats struct {
-	Allocated atomic.Int64
-	Freed     atomic.Int64
-	Copies    atomic.Int64 // path copies forced by sharing (refs > 1)
-	Reuses    atomic.Int64 // in-place reuses permitted by refs == 1
+	Allocated     atomic.Int64
+	Freed         atomic.Int64
+	LeafAllocated atomic.Int64 // leaf blocks, included in Allocated
+	LeafFreed     atomic.Int64 // leaf blocks, included in Freed
+	Copies        atomic.Int64 // path copies forced by sharing (refs > 1)
+	Reuses        atomic.Int64 // in-place reuses permitted by refs == 1
 }
 
-// Live reports currently-live node count.
+// Live reports currently-live node count (interior nodes + leaf blocks).
 func (s *Stats) Live() int64 { return s.Allocated.Load() - s.Freed.Load() }
+
+// LiveLeaves reports currently-live leaf block count.
+func (s *Stats) LiveLeaves() int64 { return s.LeafAllocated.Load() - s.LeafFreed.Load() }
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.Allocated.Store(0)
 	s.Freed.Store(0)
+	s.LeafAllocated.Store(0)
+	s.LeafFreed.Store(0)
 	s.Copies.Store(0)
 	s.Reuses.Store(0)
 }
@@ -50,13 +73,15 @@ func (s *Stats) Reset() {
 // prioSeed feeds deterministic-but-well-mixed treap priorities.
 var prioSeed atomic.Uint64
 
-// ops bundles the traits, scheme, grain, and statistics shared by every
-// operation on a tree type. It is embedded by value in Tree handles and
-// passed by pointer internally. The zero grain means DefaultGrain.
+// ops bundles the traits, scheme, grain, block size, and statistics
+// shared by every operation on a tree type. It is embedded by value in
+// Tree handles and passed by pointer internally. The zero grain means
+// DefaultGrain; the zero block means DefaultBlock.
 type ops[K, V, A any, T Traits[K, V, A]] struct {
 	tr    T
 	sch   Scheme
 	grain int64
+	block int
 	stats *Stats
 	pool  *sync.Pool // non-nil when node recycling is enabled
 }
@@ -69,6 +94,13 @@ type ops[K, V, A any, T Traits[K, V, A]] struct {
 // the minimum, so 1024 stays — re-run the sweep before changing it.
 const DefaultGrain = 1024
 
+// DefaultBlock is the default leaf block size B. PaC-trees report the
+// space/time sweet spot in the tens-of-entries range: large enough that
+// leaf arrays amortize the per-node header and fill cache lines, small
+// enough that the O(B) copy on a blocked insert or split stays cheap
+// next to the O(log n) search above it.
+const DefaultBlock = 32
+
 func (o *ops[K, V, A, T]) grainSize() int64 {
 	if o.grain > 0 {
 		return o.grain
@@ -76,7 +108,17 @@ func (o *ops[K, V, A, T]) grainSize() int64 {
 	return DefaultGrain
 }
 
-// size returns the subtree size of t (0 for nil).
+func (o *ops[K, V, A, T]) blockSize() int {
+	if o.block > 1 {
+		return o.block
+	}
+	if o.block != 0 {
+		return 2 // blocks below 2 break the red-black block split; clamp
+	}
+	return DefaultBlock
+}
+
+// size returns the subtree size of t (0 for nil), counting entries.
 func size[K, V, A any](t *node[K, V, A]) int64 {
 	if t == nil {
 		return 0
@@ -105,9 +147,9 @@ func (o *ops[K, V, A, T]) augOf(t *node[K, V, A]) A {
 // racing address for concurrent misuse).
 const freedRef = math.MinInt32 / 2
 
-// alloc returns a fresh node with refs == 1 and the scheme's singleton
-// aux value. Children, size, aug are set by the caller (via update).
-func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
+// getNode returns an uninitialized node with refs == 1, recycling from
+// the pool when enabled.
+func (o *ops[K, V, A, T]) getNode() *node[K, V, A] {
 	var n *node[K, V, A]
 	if o.pool != nil {
 		if x := o.pool.Get(); x != nil {
@@ -124,9 +166,17 @@ func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
 	if o.stats != nil {
 		o.stats.Allocated.Add(1)
 	}
+	n.refs.Store(1)
+	return n
+}
+
+// alloc returns a fresh interior node with refs == 1 and the scheme's
+// singleton aux value. Children, size, aug are set by the caller (via
+// update).
+func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
+	n := o.getNode()
 	n.key = k
 	n.val = v
-	n.refs.Store(1)
 	switch o.sch {
 	case AVL:
 		n.aux = 1
@@ -138,17 +188,70 @@ func (o *ops[K, V, A, T]) alloc(k K, v V) *node[K, V, A] {
 	return n
 }
 
-// singleton builds a one-entry tree.
-func (o *ops[K, V, A, T]) singleton(k K, v V) *node[K, V, A] {
-	n := o.alloc(k, v)
-	n.size = 1
-	n.aug = o.tr.Base(k, v)
+// leafAux is the aux value of a leaf block: AVL height 1, black with
+// black height 1, and the all-schemes-minimal treap priority 0 (leaves
+// sit at the fringe, so the heap-on-priority invariant holds trivially).
+func (o *ops[K, V, A, T]) leafAux() uint32 {
+	switch o.sch {
+	case AVL:
+		return 1
+	case RedBlack:
+		return rbMake(1, false)
+	default:
+		return 0
+	}
+}
+
+// leafAug folds the augmented value of a run of entries:
+// Combine(Base(e0), Base(e1), ...), associativity making the fold shape
+// irrelevant. items must be non-empty.
+func (o *ops[K, V, A, T]) leafAug(items []Entry[K, V]) A {
+	a := o.tr.Base(items[0].Key, items[0].Val)
+	for _, e := range items[1:] {
+		a = o.tr.Combine(a, o.tr.Base(e.Key, e.Val))
+	}
+	return a
+}
+
+// mkLeafOwned wraps a fresh leaf node around items, taking ownership of
+// the slice (the caller must not retain it). Empty items yield nil.
+// items must be sorted, deduplicated, and no longer than the block size.
+func (o *ops[K, V, A, T]) mkLeafOwned(items []Entry[K, V]) *node[K, V, A] {
+	if len(items) == 0 {
+		return nil
+	}
+	n := o.getNode()
+	if o.stats != nil {
+		o.stats.LeafAllocated.Add(1)
+	}
+	n.items = items
+	n.size = int64(len(items))
+	n.aug = o.leafAug(items)
+	n.aux = o.leafAux()
 	return n
+}
+
+// mkLeafCopy is mkLeafOwned over a private copy of items (for borrowed
+// input slices).
+func (o *ops[K, V, A, T]) mkLeafCopy(items []Entry[K, V]) *node[K, V, A] {
+	if len(items) == 0 {
+		return nil
+	}
+	own := make([]Entry[K, V], len(items))
+	copy(own, items)
+	return o.mkLeafOwned(own)
+}
+
+// singleton builds a one-entry tree (a one-entry leaf block, so
+// subsequent inserts grow the array instead of the node count).
+func (o *ops[K, V, A, T]) singleton(k K, v V) *node[K, V, A] {
+	return o.mkLeafOwned([]Entry[K, V]{{Key: k, Val: v}})
 }
 
 // update recomputes the derived fields of n (size, augmented value, and
 // for AVL the height) from its children. It must be called after any
-// change to n's children; n must be exclusively owned (refs == 1 or fresh).
+// change to n's children; n must be an exclusively owned interior node
+// (refs == 1 or fresh).
 func (o *ops[K, V, A, T]) update(n *node[K, V, A]) {
 	n.size = size(n.left) + size(n.right) + 1
 	// Two applications of Combine, exactly as §4 "Augmentation":
@@ -159,8 +262,8 @@ func (o *ops[K, V, A, T]) update(n *node[K, V, A]) {
 	}
 }
 
-// mkNode allocates a node with the given children and updates it. It
-// takes ownership of l and r.
+// mkNode allocates an interior node with the given children and updates
+// it. It takes ownership of l and r.
 func (o *ops[K, V, A, T]) mkNode(l *node[K, V, A], k K, v V, r *node[K, V, A]) *node[K, V, A] {
 	n := o.alloc(k, v)
 	n.left, n.right = l, r
@@ -201,9 +304,19 @@ func (o *ops[K, V, A, T]) dec(t *node[K, V, A]) {
 func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 	if o.stats != nil {
 		o.stats.Freed.Add(1)
+		if t.items != nil {
+			o.stats.LeafFreed.Add(1)
+		}
 	}
 	if o.pool != nil {
+		var zk K
+		var zv V
 		t.left, t.right = nil, nil
+		t.items = nil // the block array is garbage-collected, not pooled
+		// Zero the entry too: a recycled node reused as a leaf block
+		// never rewrites key/val, and stale values would otherwise stay
+		// reachable (pinned) for the new node's whole life.
+		t.key, t.val = zk, zv
 		t.refs.Store(freedRef)
 		o.pool.Put(t)
 	}
@@ -211,8 +324,9 @@ func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 
 // mutable returns a node with the contents of t that the caller may
 // mutate: t itself when the caller holds the only reference, otherwise a
-// copy (with child references taken) while t's own reference is dropped.
-// t must be non-nil and owned by the caller.
+// copy (with child references taken, and for leaves a private copy of
+// the items array) while t's own reference is dropped. t must be non-nil
+// and owned by the caller.
 func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
 	if r := t.refs.Load(); r == 1 {
 		if o.stats != nil {
@@ -222,8 +336,19 @@ func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
 	} else if r < freedRef/2 {
 		panic("core: mutating an already-freed node — tree handle used after Release?")
 	}
-	n := o.alloc(t.key, t.val)
-	n.left, n.right = inc(t.left), inc(t.right)
+	var n *node[K, V, A]
+	if t.items != nil {
+		n = o.getNode()
+		if o.stats != nil {
+			o.stats.LeafAllocated.Add(1)
+		}
+		n.items = make([]Entry[K, V], len(t.items))
+		copy(n.items, t.items)
+	} else {
+		n = o.getNode()
+		n.key, n.val = t.key, t.val
+		n.left, n.right = inc(t.left), inc(t.right)
+	}
 	n.size, n.aug, n.aux = t.size, t.aug, t.aux
 	if o.stats != nil {
 		o.stats.Copies.Add(1)
@@ -236,9 +361,10 @@ func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
 	return n
 }
 
-// detach dismantles an owned node, transferring ownership of its children
-// to the caller and releasing (or reusing) the node itself. It returns
-// the children. Used by split/union to consume input trees.
+// detach dismantles an owned interior node, transferring ownership of its
+// children to the caller and releasing (or reusing) the node itself. It
+// returns the children. Used by split/union to consume input trees. Must
+// not be called on a leaf (leaves have no children to transfer).
 func (o *ops[K, V, A, T]) detach(t *node[K, V, A]) (l, r *node[K, V, A]) {
 	l, r = t.left, t.right
 	if t.refs.Add(-1) == 0 {
@@ -262,6 +388,8 @@ func (o *ops[K, V, A, T]) detach(t *node[K, V, A]) (l, r *node[K, V, A]) {
 //     pointer passed to a consuming call transfers its reference.
 //   - Borrowing (read-only) functions never touch counts; when they embed
 //     a borrowed subtree into a new tree they inc it first.
+//   - A leaf's items array belongs to that leaf node alone; refs == 1 on
+//     the node therefore licenses in-place edits of the array.
 
 // decParallel is dec with the recursive child releases forked in
 // parallel for large subtrees. Used by Tree.ReleaseParallel.
@@ -279,4 +407,73 @@ func (o *ops[K, V, A, T]) decParallel(t *node[K, V, A]) {
 		func() { o.decParallel(l) },
 		func() { o.decParallel(r) },
 	)
+}
+
+// leafSearch binary-searches items for k, returning the index of the
+// first entry with key >= k and whether that entry's key equals k.
+func (o *ops[K, V, A, T]) leafSearch(items []Entry[K, V], k K) (int, bool) {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.tr.Less(items[mid].Key, k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(items) && !o.tr.Less(k, items[lo].Key)
+}
+
+// gatherEntries appends every entry of t (in key order) to buf, borrowing
+// t. Used to collapse small subtrees into leaf blocks.
+func gatherEntries[K, V, A any](t *node[K, V, A], buf []Entry[K, V]) []Entry[K, V] {
+	if t == nil {
+		return buf
+	}
+	if t.items != nil {
+		return append(buf, t.items...)
+	}
+	buf = gatherEntries(t.left, buf)
+	buf = append(buf, Entry[K, V]{Key: t.key, Val: t.val})
+	return gatherEntries(t.right, buf)
+}
+
+// twoBlockNode builds an interior node over two blocks from an owned,
+// sorted, deduplicated run of between blockSize+1 and 2*blockSize+1
+// entries, without re-copying: the blocks are backed by disjoint
+// subslices of all, capacity-clamped so a later in-place grow of either
+// block reallocates instead of crossing into its sibling's region.
+func (o *ops[K, V, A, T]) twoBlockNode(all []Entry[K, V]) *node[K, V, A] {
+	mid := len(all) / 2
+	n := o.mkNode(
+		o.mkLeafOwned(all[:mid:mid]),
+		all[mid].Key, all[mid].Val,
+		o.mkLeafOwned(all[mid+1:len(all):len(all)]),
+	)
+	if o.sch == RedBlack {
+		n.aux = rbMake(2, false) // black root over two bh-1 blocks
+	}
+	return n
+}
+
+// expandLeaf converts an owned leaf block into an interior node over two
+// half blocks split at the median (nil halves for tiny leaves). Both
+// halves are within every scheme's local balance criterion; expansion is
+// weight-neutral, so weight-balanced spine descents and rotations may
+// apply it freely when they need to look inside a block. Consumes t.
+func (o *ops[K, V, A, T]) expandLeaf(t *node[K, V, A]) *node[K, V, A] {
+	items := t.items
+	mid := len(items) / 2
+	l := o.mkLeafCopy(items[:mid])
+	r := o.mkLeafCopy(items[mid+1:])
+	m := o.alloc(items[mid].Key, items[mid].Val)
+	o.dec(t)
+	n := o.attach(m, l, r)
+	if o.sch == RedBlack {
+		// Unreachable from the red-black join (its descents stop at
+		// blocks), but keep the expansion closed over all schemes: a red
+		// root preserves the block's contextual black height of 1.
+		n.aux = rbMake(1, true)
+	}
+	return n
 }

@@ -95,16 +95,17 @@ func TestInPlaceOpsReuseNodes(t *testing.T) {
 		tr.InsertInPlace(i, int64(i))
 	}
 	st.Reset()
-	// Unshared tree: in-place inserts should mostly reuse nodes rather
-	// than copy (allocations ~ 1 per new key, copies ~ 0).
+	// Unshared tree: in-place inserts should mostly reuse nodes (and
+	// blocks) rather than copy. With blocked leaves the allocation rate
+	// is a few nodes per filled block, far below one per key.
 	for i := 1000; i < 2000; i++ {
 		tr.InsertInPlace(i, int64(i))
 	}
 	if c := st.Copies.Load(); c != 0 {
 		t.Fatalf("in-place insert into unshared tree copied %d nodes", c)
 	}
-	if a := st.Allocated.Load(); a != 1000 {
-		t.Fatalf("allocated %d nodes for 1000 new keys", a)
+	if a := st.Allocated.Load(); a >= 1000/2 {
+		t.Fatalf("allocated %d nodes for 1000 new keys; want ~3 per block of %d", a, DefaultBlock)
 	}
 	// Now share the tree and watch copies appear (persistence kicks in).
 	snap := tr.Retain()

@@ -6,63 +6,25 @@ package core
 // values with Combine (which may be expensive — for range trees Combine
 // is a map union) it projects each whole-subtree augmented value through
 // g and combines the small projected values with f. O(log n) work given
-// constant-time f and g.
+// constant-time f and g, plus per-entry projection over the two boundary
+// leaf blocks (whole blocks inside the range use their stored augmented
+// value: one g each).
 //
 // These are free functions because the projected type B is not a
 // parameter of ops.
 
 func augProjectNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, g func(A) B, f func(x, y B) B, id B) B {
-	for t != nil {
-		switch {
-		case o.tr.Less(t.key, lo):
-			t = t.right
-		case o.tr.Less(hi, t.key):
-			t = t.left
-		default:
-			l := projectGE(o, t.left, lo, g, f, id)
-			m := g(o.tr.Base(t.key, t.val))
-			r := projectLE(o, t.right, hi, g, f, id)
-			return f(l, f(m, r))
-		}
-	}
-	return id
+	gkv := func(k K, v V) B { return g(o.tr.Base(k, v)) }
+	return augProjectKVNode(o, t, lo, hi, gkv, g, f, id)
 }
 
-// projectGE projects entries with key >= lo.
-func projectGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo K, g func(A) B, f func(x, y B) B, id B) B {
-	if t == nil {
-		return id
-	}
-	if o.tr.Less(t.key, lo) {
-		return projectGE(o, t.right, lo, g, f, id)
-	}
-	l := projectGE(o, t.left, lo, g, f, id)
-	return f(l, f(g(o.tr.Base(t.key, t.val)), g(o.augOf(t.right))))
-}
-
-// projectLE projects entries with key <= hi.
-func projectLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], hi K, g func(A) B, f func(x, y B) B, id B) B {
-	if t == nil {
-		return id
-	}
-	if o.tr.Less(hi, t.key) {
-		return projectLE(o, t.left, hi, g, f, id)
-	}
-	r := projectLE(o, t.right, hi, g, f, id)
-	return f(f(g(o.augOf(t.left)), g(o.tr.Base(t.key, t.val))), r)
-}
-
-// augProjectKV is augProject with the projection of a single boundary
-// entry supplied directly as gEntry, which must satisfy
-// gEntry(k, v) == g(Base(k, v)). The generic version materializes
-// Base(k, v) for every node on the two O(log n) search paths; when the
-// augmented value is itself a map (range trees, segment maps) each
-// Base is a heap-allocated singleton structure, so the direct
-// projection removes O(log n) allocations per query — the difference
-// between an allocation-free count query and one that feeds the GC.
-
+// augProjectKVNode is the shared engine: gEntry projects one entry
+// (for the plain variant it is g∘Base).
 func augProjectKVNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
 	for t != nil {
+		if t.items != nil {
+			return projectLeafRange(o, t.items, lo, hi, true, true, gEntry, f, id)
+		}
 		switch {
 		case o.tr.Less(t.key, lo):
 			t = t.right
@@ -78,9 +40,35 @@ func augProjectKVNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *
 	return id
 }
 
+// projectLeafRange folds f over the projections of a block's entries
+// restricted to the query range (either bound optional).
+func projectLeafRange[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], items []Entry[K, V], lo, hi K, useLo, useHi bool, gEntry func(K, V) B, f func(x, y B) B, id B) B {
+	i, j := 0, len(items)
+	if useLo {
+		i, _ = o.leafSearch(items, lo)
+	}
+	if useHi {
+		var found bool
+		j, found = o.leafSearch(items, hi)
+		if found {
+			j++
+		}
+	}
+	acc := id
+	for ; i < j; i++ {
+		acc = f(acc, gEntry(items[i].Key, items[i].Val))
+	}
+	return acc
+}
+
+// projectKVGE projects entries with key >= lo.
 func projectKVGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
 	if t == nil {
 		return id
+	}
+	if t.items != nil {
+		var hi K
+		return projectLeafRange(o, t.items, lo, hi, true, false, gEntry, f, id)
 	}
 	if o.tr.Less(t.key, lo) {
 		return projectKVGE(o, t.right, lo, gEntry, g, f, id)
@@ -89,9 +77,14 @@ func projectKVGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[
 	return f(l, f(gEntry(t.key, t.val), g(o.augOf(t.right))))
 }
 
+// projectKVLE projects entries with key <= hi.
 func projectKVLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
 	if t == nil {
 		return id
+	}
+	if t.items != nil {
+		var lo K
+		return projectLeafRange(o, t.items, lo, hi, false, true, gEntry, f, id)
 	}
 	if o.tr.Less(hi, t.key) {
 		return projectKVLE(o, t.left, hi, gEntry, g, f, id)

@@ -3,11 +3,29 @@ package core
 // Range extraction (range, upTo, downTo in Figure 1). These borrow their
 // input and return a new tree that shares subtrees with it — persistence
 // makes the sharing safe. Each walks one or two root-to-leaf paths,
-// joining O(log n) shared subtrees.
+// joining O(log n) shared subtrees; the boundary leaf blocks are cut
+// into fresh blocks.
+
+// leafSlice returns a new leaf block over items[i:j] of a borrowed leaf
+// (nil when empty).
+func (o *ops[K, V, A, T]) leafSlice(t *node[K, V, A], i, j int) *node[K, V, A] {
+	return o.mkLeafCopy(t.items[i:j])
+}
 
 // rangeKeys extracts the entries with lo <= key <= hi.
 func (o *ops[K, V, A, T]) rangeKeys(t *node[K, V, A], lo, hi K) *node[K, V, A] {
 	for t != nil {
+		if t.items != nil {
+			i, _ := o.leafSearch(t.items, lo)
+			j, foundHi := o.leafSearch(t.items, hi)
+			if foundHi {
+				j++
+			}
+			if i >= j {
+				return nil
+			}
+			return o.leafSlice(t, i, j)
+		}
 		switch {
 		case o.tr.Less(t.key, lo):
 			t = t.right
@@ -27,6 +45,10 @@ func (o *ops[K, V, A, T]) rangeGE(t *node[K, V, A], lo K) *node[K, V, A] {
 	if t == nil {
 		return nil
 	}
+	if t.items != nil {
+		i, _ := o.leafSearch(t.items, lo)
+		return o.leafSlice(t, i, len(t.items))
+	}
 	if o.tr.Less(t.key, lo) {
 		return o.rangeGE(t.right, lo)
 	}
@@ -38,6 +60,13 @@ func (o *ops[K, V, A, T]) rangeGE(t *node[K, V, A], lo K) *node[K, V, A] {
 func (o *ops[K, V, A, T]) rangeLE(t *node[K, V, A], hi K) *node[K, V, A] {
 	if t == nil {
 		return nil
+	}
+	if t.items != nil {
+		j, found := o.leafSearch(t.items, hi)
+		if found {
+			j++
+		}
+		return o.leafSlice(t, 0, j)
 	}
 	if o.tr.Less(hi, t.key) {
 		return o.rangeLE(t.left, hi)

@@ -5,20 +5,79 @@ import "unsafe"
 // Space accounting helpers for the Table 4 experiments.
 
 // NodeSize reports the in-memory size in bytes of one tree node for the
-// given type instantiation, including the augmented-value field — the
-// quantity behind Table 4's "node size / aug size / overhead" columns.
+// given type instantiation, including the augmented-value field and the
+// (empty for interior nodes) leaf block slice header — the quantity
+// behind Table 4's "node size / aug size / overhead" columns.
 func NodeSize[K, V, A any, T Traits[K, V, A]]() uintptr {
 	return unsafe.Sizeof(node[K, V, A]{})
 }
 
-// NodeAugs returns the augmented value stored in every tree node (one
-// per node, in-order). Range trees use this to enumerate their inner
-// maps when measuring structural sharing. Borrows t; O(n).
+// EntrySize reports the in-memory size in bytes of one entry inside a
+// leaf block.
+func EntrySize[K, V any]() uintptr {
+	return unsafe.Sizeof(Entry[K, V]{})
+}
+
+// SpaceStats describes the physical footprint of one tree under the
+// blocked layout, the quantities behind the Table 4 reproduction: with
+// one entry per node (the original PAM layout) Entries == InteriorNodes
+// and BytesPerEntry is the node size; with blocked leaves the leaf
+// entries dominate and per-entry overhead drops toward
+// sizeof(Entry) + sizeof(node)/B.
+type SpaceStats struct {
+	InteriorNodes int64 // nodes carrying a single entry
+	LeafBlocks    int64 // fringe blocks
+	LeafEntries   int64 // entries stored inside blocks
+	Entries       int64 // total entries (interior + leaf)
+	Bytes         int64 // node structs + block arrays (by capacity)
+	BytesPerEntry float64
+}
+
+// SpaceStats walks the tree and reports its blocked-layout footprint.
+// Shared nodes are counted once per occurrence in this tree (the
+// sharing-aware unique count is CountUniqueNodes). Borrows t; O(n).
+func (t Tree[K, V, A, T]) SpaceStats() SpaceStats {
+	var s SpaceStats
+	nodeSz := int64(unsafe.Sizeof(node[K, V, A]{}))
+	entrySz := int64(unsafe.Sizeof(Entry[K, V]{}))
+	var rec func(n *node[K, V, A])
+	rec = func(n *node[K, V, A]) {
+		if n == nil {
+			return
+		}
+		s.Bytes += nodeSz
+		if n.items != nil {
+			s.LeafBlocks++
+			s.LeafEntries += int64(len(n.items))
+			s.Bytes += int64(cap(n.items)) * entrySz
+			return
+		}
+		s.InteriorNodes++
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	s.Entries = s.InteriorNodes + s.LeafEntries
+	if s.Entries > 0 {
+		s.BytesPerEntry = float64(s.Bytes) / float64(s.Entries)
+	}
+	return s
+}
+
+// NodeAugs returns the augmented value stored in every tree node — one
+// per interior node plus one per leaf block (a block stores a single
+// precomputed augmented value for all its entries), in key order. Range
+// trees use this to enumerate their inner maps when measuring structural
+// sharing. Borrows t; O(#nodes).
 func NodeAugs[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T]) []A {
 	out := make([]A, 0, size(t.root))
 	var rec func(n *node[K, V, A])
 	rec = func(n *node[K, V, A]) {
 		if n == nil {
+			return
+		}
+		if n.items != nil {
+			out = append(out, n.aug)
 			return
 		}
 		rec(n.left)

@@ -28,6 +28,14 @@ func TopKByAug[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], k int, less f
 			continue
 		}
 		n := it.n
+		if n.items != nil {
+			// A leaf block expands into its concrete entries, each
+			// bounded by its exact Base value.
+			for _, e := range n.items {
+				heap.Push(h, augItem[K, V, A]{k: e.Key, v: e.Val, prio: o.tr.Base(e.Key, e.Val)})
+			}
+			continue
+		}
 		// Expand: the node's own entry plus its children, each bounded
 		// by its exact priority.
 		heap.Push(h, augItem[K, V, A]{k: n.key, v: n.val, prio: o.tr.Base(n.key, n.val)})

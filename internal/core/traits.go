@@ -24,6 +24,14 @@
 //     style competitive with in-place balanced trees.
 //   - Bulk operations use binary fork-join parallelism over the tree
 //     structure with a granularity cutoff, via internal/parallel.
+//   - The fringe is blocked in the style of PaC-trees (arXiv:2204.06077):
+//     subtrees of up to Config.Block entries are stored as leaf blocks —
+//     sorted flat arrays with one precomputed augmented value and one
+//     reference count per block — so copy-on-write, allocation, and
+//     cache traffic are paid per block instead of per entry. join
+//     collapses small results into blocks and the scheme-specific joins
+//     cut blocks open when balancing must look inside one; everything
+//     else treats a block as a height-1 subtree.
 package core
 
 // Traits supplies the ordering and the augmentation of a map type, the Go

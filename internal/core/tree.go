@@ -12,6 +12,14 @@ type Config struct {
 	// Grain is the sequential-grain size for parallel bulk operations;
 	// 0 means DefaultGrain.
 	Grain int64
+	// Block is the leaf block size B: the fringe of the tree stores runs
+	// of up to B entries as sorted flat arrays (PaC-tree style), cutting
+	// node count, allocations, and pointer chasing by roughly a factor
+	// of B on bulk paths at the price of O(B) array work inside the
+	// block an update lands in. 0 means DefaultBlock; any other value
+	// below 2 is clamped to 2. Trees that are combined (Union, Concat,
+	// ...) must share the same Block, as they must the same Scheme.
+	Block int
 	// Stats, when non-nil, receives node allocation statistics
 	// (Table 4 experiments).
 	Stats *Stats
@@ -50,6 +58,7 @@ func New[K, V, A any, T Traits[K, V, A]](cfg Config) Tree[K, V, A, T] {
 	t := Tree[K, V, A, T]{}
 	t.op.sch = cfg.Scheme
 	t.op.grain = cfg.Grain
+	t.op.block = cfg.Block
 	t.op.stats = cfg.Stats
 	if cfg.Pool {
 		t.op.pool = &sync.Pool{}

@@ -4,8 +4,10 @@ import "fmt"
 
 // Validate checks every structural invariant of the tree: key ordering,
 // size fields, augmented values (compared with augEq; pass nil to skip),
-// positive reference counts, and the balance invariant of the configured
-// scheme. It is the backbone of the property-based tests and is O(n).
+// positive reference counts, the balance invariant of the configured
+// scheme, and the leaf block invariants (occupancy 1..B, in-block
+// ordering, precomputed block augmentation, scheme-correct block aux).
+// It is the backbone of the property-based tests and is O(n).
 func (t Tree[K, V, A, T]) Validate(augEq func(x, y A) bool) error {
 	o := t.o()
 	_, err := o.validateRec(t.root, augEq)
@@ -20,12 +22,42 @@ type nodeInfo struct {
 	height uint32 // AVL height or RB black height, scheme-dependent
 }
 
+func (o *ops[K, V, A, T]) validateLeaf(t *node[K, V, A], augEq func(x, y A) bool) (nodeInfo, error) {
+	if t.left != nil || t.right != nil {
+		return nodeInfo{}, fmt.Errorf("core: leaf block with children")
+	}
+	n := len(t.items)
+	if n < 1 || n > o.blockSize() {
+		return nodeInfo{}, fmt.Errorf("core: leaf occupancy %d outside [1, %d]", n, o.blockSize())
+	}
+	for i := 1; i < n; i++ {
+		if !o.tr.Less(t.items[i-1].Key, t.items[i].Key) {
+			return nodeInfo{}, fmt.Errorf("core: leaf block keys out of order at %d", i)
+		}
+	}
+	if t.size != int64(n) {
+		return nodeInfo{}, fmt.Errorf("core: leaf size field %d, want %d", t.size, n)
+	}
+	if augEq != nil && !augEq(t.aug, o.leafAug(t.items)) {
+		return nodeInfo{}, fmt.Errorf("core: leaf augmented value mismatch (%d entries)", n)
+	}
+	if t.aux != o.leafAux() {
+		return nodeInfo{}, fmt.Errorf("core: leaf aux %d, want %d (%v)", t.aux, o.leafAux(), o.sch)
+	}
+	// Height 1 for AVL; black height 1 for red-black; both encoded by
+	// leafAux and reported upward as 1.
+	return nodeInfo{size: int64(n), height: 1}, nil
+}
+
 func (o *ops[K, V, A, T]) validateRec(t *node[K, V, A], augEq func(x, y A) bool) (nodeInfo, error) {
 	if t == nil {
 		return nodeInfo{}, nil
 	}
 	if t.refs.Load() < 1 {
 		return nodeInfo{}, fmt.Errorf("core: node with nonpositive refcount %d", t.refs.Load())
+	}
+	if t.items != nil {
+		return o.validateLeaf(t, augEq)
 	}
 	li, err := o.validateRec(t.left, augEq)
 	if err != nil {
@@ -107,13 +139,16 @@ func (t Tree[K, V, A, T]) RootRefs() int32 {
 	return t.root.refs.Load()
 }
 
-// Height returns the height of the tree (0 for empty), for balance
-// diagnostics in tests and experiments.
+// Height returns the height of the tree (0 for empty, 1 for a single
+// leaf block), for balance diagnostics in tests and experiments.
 func (t Tree[K, V, A, T]) Height() int {
 	var h func(n *node[K, V, A]) int
 	h = func(n *node[K, V, A]) int {
 		if n == nil {
 			return 0
+		}
+		if n.items != nil {
+			return 1
 		}
 		return 1 + max(h(n.left), h(n.right))
 	}
@@ -151,9 +186,10 @@ func (t Tree[K, V, A, T]) SharesStructureWith(u Tree[K, V, A, T]) bool {
 	return found
 }
 
-// CountUniqueNodes returns the number of distinct nodes reachable from
-// any of the given trees, counting shared nodes once — the quantity
-// reported in Table 4 ("actual #nodes").
+// CountUniqueNodes returns the number of distinct nodes (interior nodes
+// plus leaf blocks) reachable from any of the given trees, counting
+// shared nodes once — the quantity reported in Table 4 ("actual
+// #nodes").
 func CountUniqueNodes[K, V, A any, T Traits[K, V, A]](ts ...Tree[K, V, A, T]) int64 {
 	seen := map[*node[K, V, A]]struct{}{}
 	var walk func(n *node[K, V, A])

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/pam"
 	"repro/rangetree"
 	"repro/segcount"
@@ -69,6 +70,27 @@ func runPerfSuite() []BenchResult {
 			_ = m1.UnionWith(m2, add)
 		}
 	}))
+
+	// Parallel scaling of the two headline bulk paths (the same sweep as
+	// BenchmarkParallelScaling): recorded per explicit parallelism level
+	// so the trajectory JSON shows speedup — or honestly shows its
+	// absence when num_cpu/gomaxprocs is 1.
+	for _, p := range []int{1, 2, 4} {
+		old := parallel.Parallelism()
+		parallel.SetParallelism(p)
+		out = append(out, bench("rangesum_build_par"+strconv.Itoa(p), coreN, func(b *testing.B) {
+			m := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{})
+			for i := 0; i < b.N; i++ {
+				_ = m.Build(items, add)
+			}
+		}))
+		out = append(out, bench("union_equal_par"+strconv.Itoa(p), coreN, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m1.UnionWith(m2, add)
+			}
+		}))
+		parallel.SetParallelism(old)
+	}
 
 	out = append(out, bench("find", coreN, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

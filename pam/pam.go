@@ -70,12 +70,29 @@ const (
 type Stats = core.Stats
 
 // Options configures a map family; the zero value is a weight-balanced
-// tree with default parallel grain and no statistics.
+// tree with default parallel grain, default leaf block size, and no
+// statistics.
 type Options struct {
 	// Scheme is the balancing scheme.
 	Scheme Scheme
 	// Grain overrides the sequential-cutoff size of parallel operations.
 	Grain int64
+	// Block is the leaf block size B (PaC-tree style blocked leaves):
+	// the fringe of every map stores sorted runs of up to B entries as
+	// flat arrays with one precomputed augmented value per block, so
+	// builds, unions and scans allocate and pointer-chase ~B times less
+	// at the price of O(B) array work in the one block an update lands
+	// in. 0 means the default (32, the PaC-tree sweet spot: big enough
+	// to amortize the node header and fill cache lines, small enough
+	// that block copies stay cheap next to the O(log n) search above).
+	// Raise it (64-128) for read-mostly scan/aggregate workloads; lower
+	// it (8-16) when values are large or single-key updates dominate.
+	// Block is independent of Grain (Grain caps parallel fork-out by
+	// subtree size; Block shapes the memory layout) and orthogonal to
+	// Pool (blocks are recycled through the same pool as nodes; their
+	// entry arrays are released to the GC). Like Scheme, Block must
+	// agree between maps that are combined (Union, Concat, ...).
+	Block int
 	// Stats, when non-nil, collects node allocation counters.
 	Stats *Stats
 	// Pool enables node recycling through a sync.Pool. Safety
@@ -91,7 +108,7 @@ type Options struct {
 }
 
 func (o Options) coreConfig() core.Config {
-	return core.Config{Scheme: o.Scheme, Grain: o.Grain, Stats: o.Stats, Pool: o.Pool}
+	return core.Config{Scheme: o.Scheme, Grain: o.Grain, Block: o.Block, Stats: o.Stats, Pool: o.Pool}
 }
 
 // AugMap is a persistent augmented ordered map with entry specification E.

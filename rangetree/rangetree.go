@@ -407,17 +407,17 @@ func (t Tree) Validate() error {
 }
 
 // InnerNodeCounts reports the space effect of persistence on the inner
-// maps across every ladder level (Table 4): unshared is the node count
-// if every outer node stored its own copy of its inner map (the sum of
-// inner sizes over all outer nodes); actual is the number of
-// physically distinct inner nodes, which path copying makes far
-// smaller because each parent's inner map shares structure with its
-// children's.
+// maps across every ladder level (Table 4): unshared is the physical
+// node count (interior nodes plus leaf blocks, one inner map per outer
+// node or leaf block) if every inner map stored its own private copy;
+// actual is the number of physically distinct inner nodes, which path
+// copying makes far smaller because each parent's inner map shares
+// structure with its children's.
 func (t Tree) InnerNodeCounts() (unshared, actual int64) {
 	var trees []core.Tree[Point, int64, int64, innerEntry]
 	t.lad.EachSide(func(_ int64, s outer) {
 		for _, in := range core.NodeAugs(s.Tree()) {
-			unshared += in.Size()
+			unshared += core.CountUniqueNodes(in.Tree())
 			trees = append(trees, in.Tree())
 		}
 	})

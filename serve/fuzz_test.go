@@ -22,6 +22,11 @@ func FuzzServe(f *testing.F) {
 	f.Add(uint64(17), uint8(4), uint8(2), uint8(9), uint8(7), uint8(2), true)
 	f.Add(uint64(33), uint8(1), uint8(3), uint8(5), uint8(5), uint8(3), true)
 	f.Add(uint64(64), uint8(2), uint8(4), uint8(7), uint8(4), uint8(2), false)
+	// Leaf-block boundary: a single shard with maximal batch volume on
+	// the 64-key space drives the shard map across the default 32-entry
+	// block size, so coalesced MultiInserts split and re-merge blocks
+	// while snapshots hold references to the old ones.
+	f.Add(uint64(91), uint8(1), uint8(3), uint8(8), uint8(8), uint8(3), true)
 
 	f.Fuzz(func(t *testing.T, seed uint64, shards, writers, batches, batchLen, flushCap uint8, ranged bool) {
 		cfg := workload.ScheduleCfg{

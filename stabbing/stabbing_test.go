@@ -291,7 +291,11 @@ func TestReportScalesWithOutput(t *testing.T) {
 		}
 		aSmall := allocsFor(-10, 16) // the [-20,-5] cluster only
 		aBig := allocsFor(-40, kBig) // the [-50,-35] cluster only
-		if aSmall*8 > aBig {
+		// Blocked leaves compress the gap: allocations scale with the
+		// number of ~B-entry blocks touched (k/B + log n), so the 64x
+		// output ratio shows up as a smaller — but still clear —
+		// allocation ratio.
+		if aSmall*4 > aBig {
 			t.Fatalf("kx=16 report (%v allocs) not far cheaper than kx=%d report (%v allocs)", aSmall, kBig, aBig)
 		}
 		if aBig > float64(n)/4 {
