@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race bench bench-json fuzz ci
+.PHONY: all build test vet race crash bench bench-json bench-gate fuzz ci
 
 all: ci
 
@@ -20,12 +20,18 @@ vet:
 # Race-detector pass over the concurrency-heavy packages plus the
 # dynamic-structure snapshot stress test (concurrent readers vs. an
 # inserting/folding writer) and the whole serving layer, including the
-# 1000-schedule differential harness and the writer/reader/snapshotter/
-# rebalancer stress tests.
+# 1000-schedule differential harness, the crash–recovery fault-injection
+# harness, and the writer/reader/snapshotter/rebalancer stress tests.
 race:
 	$(GO) test -race ./internal/core ./internal/parallel
 	$(GO) test -race -run 'TestDynamicConcurrent' .
 	$(GO) test -race ./serve
+
+# The durability suite on its own: the crash–recovery fault-injection
+# harness (1000+ randomized kill-point schedules) under -race, plus the
+# deterministic checkpoint/WAL/recovery tests.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashRecoverySchedules|TestPointCrashRecoverySchedules|TestDurable|TestLadderHydrate' ./serve
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -33,7 +39,7 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 
@@ -56,5 +62,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDynamicSegCount -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzDynamicStabbing -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzServe -fuzztime=$(FUZZTIME) -run '^$$' ./serve
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) -run '^$$' ./serve
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) -run '^$$' ./serve
 
 ci: vet build test race

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -37,14 +38,11 @@ type report struct {
 	Results []result `json:"results"`
 }
 
-func load(path string) (map[string]result, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// parseReport decodes one pambench -json report into an op-keyed map.
+func parseReport(raw []byte) (map[string]result, error) {
 	var r report
 	if err := json.Unmarshal(raw, &r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	out := make(map[string]result, len(r.Results))
 	for _, res := range r.Results {
@@ -53,11 +51,84 @@ func load(path string) (map[string]result, error) {
 	return out, nil
 }
 
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out, err := parseReport(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// parseGateList splits the -gate flag into the gated-op set.
+func parseGateList(list string) map[string]bool {
+	gated := map[string]bool{}
+	for _, op := range strings.Split(list, ",") {
+		if op = strings.TrimSpace(op); op != "" {
+			gated[op] = true
+		}
+	}
+	return gated
+}
+
 func pct(base, head float64) string {
 	if base <= 0 {
 		return "n/a"
 	}
 	return fmt.Sprintf("%+.1f%%", 100*(head/base-1))
+}
+
+// gateConfig carries the thresholds of one benchgate run.
+type gateConfig struct {
+	gated      map[string]bool
+	maxRegress float64
+	minGateNs  float64
+}
+
+// runGate prints the comparison table to w and returns the gated
+// regressions (empty means the gate passes).
+func runGate(base, head map[string]result, cfg gateConfig, w io.Writer) []string {
+	var failures []string
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s %9s  gate\n",
+		"op", "base ns/op", "head ns/op", "Δns", "base allocs", "head allocs", "Δallocs")
+	for _, h := range headOrder(head) {
+		b, ok := base[h.Op]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s %12s %12.0f %9s  new\n",
+				h.Op, "-", h.NsPerOp, "-", "-", h.AllocsPerOp, "-")
+			continue
+		}
+		mark := "info"
+		if cfg.gated[h.Op] {
+			mark = "GATED"
+			// Wall time is gated only above the noise floor: a ~100ns op
+			// on a shared runner can drift >25% with no code change, so
+			// fast ops are held to their (deterministic) allocation count.
+			if b.NsPerOp >= cfg.minGateNs && h.NsPerOp > b.NsPerOp*(1+cfg.maxRegress) {
+				failures = append(failures, fmt.Sprintf("%s ns/op %.0f -> %.0f (%s)", h.Op, b.NsPerOp, h.NsPerOp, pct(b.NsPerOp, h.NsPerOp)))
+			} else if b.NsPerOp > 0 && b.NsPerOp < cfg.minGateNs {
+				mark = "GATED (allocs only)"
+			}
+			// An allocation-free baseline is a deliverable: any alloc
+			// appearing on such an op fails (the threshold is relative,
+			// so with base 0 any head > 0 trips it).
+			if h.AllocsPerOp > b.AllocsPerOp*(1+cfg.maxRegress) {
+				failures = append(failures, fmt.Sprintf("%s allocs/op %.0f -> %.0f (%s)", h.Op, b.AllocsPerOp, h.AllocsPerOp, pct(b.AllocsPerOp, h.AllocsPerOp)))
+			}
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %9s %12.0f %12.0f %9s  %s\n",
+			h.Op, b.NsPerOp, h.NsPerOp, pct(b.NsPerOp, h.NsPerOp),
+			b.AllocsPerOp, h.AllocsPerOp, pct(b.AllocsPerOp, h.AllocsPerOp), mark)
+	}
+	for _, op := range sortedKeys(cfg.gated) {
+		if _, ok := head[op]; !ok {
+			failures = append(failures, fmt.Sprintf("gated op %q missing from head run", op))
+		}
+	}
+	return failures
 }
 
 func main() {
@@ -83,50 +154,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	gated := map[string]bool{}
-	for _, op := range strings.Split(*gateList, ",") {
-		if op = strings.TrimSpace(op); op != "" {
-			gated[op] = true
-		}
-	}
-
-	var failures []string
-	fmt.Printf("%-32s %14s %14s %9s %12s %12s %9s  gate\n",
-		"op", "base ns/op", "head ns/op", "Δns", "base allocs", "head allocs", "Δallocs")
-	for _, h := range headOrder(head) {
-		b, ok := base[h.Op]
-		if !ok {
-			fmt.Printf("%-32s %14s %14.0f %9s %12s %12.0f %9s  new\n",
-				h.Op, "-", h.NsPerOp, "-", "-", h.AllocsPerOp, "-")
-			continue
-		}
-		mark := "info"
-		if gated[h.Op] {
-			mark = "GATED"
-			// Wall time is gated only above the noise floor: a ~100ns op
-			// on a shared runner can drift >25% with no code change, so
-			// fast ops are held to their (deterministic) allocation count.
-			if b.NsPerOp >= *minGateNs && h.NsPerOp > b.NsPerOp*(1+*maxRegress) {
-				failures = append(failures, fmt.Sprintf("%s ns/op %.0f -> %.0f (%s)", h.Op, b.NsPerOp, h.NsPerOp, pct(b.NsPerOp, h.NsPerOp)))
-			} else if b.NsPerOp > 0 && b.NsPerOp < *minGateNs {
-				mark = "GATED (allocs only)"
-			}
-			// An allocation-free baseline is a deliverable: any alloc
-			// appearing on such an op fails (the threshold is relative,
-			// so with base 0 any head > 0 trips it).
-			if h.AllocsPerOp > b.AllocsPerOp*(1+*maxRegress) {
-				failures = append(failures, fmt.Sprintf("%s allocs/op %.0f -> %.0f (%s)", h.Op, b.AllocsPerOp, h.AllocsPerOp, pct(b.AllocsPerOp, h.AllocsPerOp)))
-			}
-		}
-		fmt.Printf("%-32s %14.0f %14.0f %9s %12.0f %12.0f %9s  %s\n",
-			h.Op, b.NsPerOp, h.NsPerOp, pct(b.NsPerOp, h.NsPerOp),
-			b.AllocsPerOp, h.AllocsPerOp, pct(b.AllocsPerOp, h.AllocsPerOp), mark)
-	}
-	for op := range gated {
-		if _, ok := head[op]; !ok {
-			failures = append(failures, fmt.Sprintf("gated op %q missing from head run", op))
-		}
-	}
+	cfg := gateConfig{gated: parseGateList(*gateList), maxRegress: *maxRegress, minGateNs: *minGateNs}
+	failures := runGate(base, head, cfg, os.Stdout)
 	if len(failures) > 0 {
 		fmt.Println()
 		for _, f := range failures {
@@ -145,5 +174,16 @@ func headOrder(head map[string]result) []result {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// sortedKeys returns m's keys in order, so missing-op failures are
+// reported deterministically.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }

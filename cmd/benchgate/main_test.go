@@ -1,0 +1,183 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func res(op string, ns, allocs float64) result {
+	return result{Op: op, N: 1000, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func toMap(rs ...result) map[string]result {
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.Op] = r
+	}
+	return out
+}
+
+func TestRunGate(t *testing.T) {
+	cfg := func(gate string) gateConfig {
+		return gateConfig{gated: parseGateList(gate), maxRegress: 0.25, minGateNs: 1000}
+	}
+	cases := []struct {
+		name     string
+		base     []result
+		head     []result
+		cfg      gateConfig
+		failures []string
+	}{
+		{
+			name: "within threshold passes",
+			base: []result{res("find", 2000, 0)},
+			head: []result{res("find", 2400, 0)}, // +20% < 25%
+			cfg:  cfg("find"),
+		},
+		{
+			name: "ns regression over 25% fails",
+			base: []result{res("find", 2000, 0)},
+			head: []result{res("find", 2600, 0)}, // +30%
+			cfg:  cfg("find"),
+			failures: []string{
+				"find ns/op 2000 -> 2600 (+30.0%)",
+			},
+		},
+		{
+			name: "exactly 25% passes (strict inequality)",
+			base: []result{res("find", 2000, 8)},
+			head: []result{res("find", 2500, 10)},
+			cfg:  cfg("find"),
+		},
+		{
+			name: "allocs regression fails even when ns improves",
+			base: []result{res("union_equal", 5000, 8)},
+			head: []result{res("union_equal", 3000, 11)}, // allocs +37.5%
+			cfg:  cfg("union_equal"),
+			failures: []string{
+				"union_equal allocs/op 8 -> 11 (+37.5%)",
+			},
+		},
+		{
+			name: "zero-alloc baseline trips on any alloc",
+			base: []result{res("find", 2000, 0)},
+			head: []result{res("find", 2000, 1)},
+			cfg:  cfg("find"),
+			failures: []string{
+				"find allocs/op 0 -> 1 (n/a)",
+			},
+		},
+		{
+			name: "sub-microsecond op gated on allocs only",
+			base: []result{res("find", 100, 2)},
+			head: []result{res("find", 900, 2)}, // 9× wall time but below minGateNs
+			cfg:  cfg("find"),
+		},
+		{
+			name: "sub-microsecond op still fails on allocs",
+			base: []result{res("find", 100, 2)},
+			head: []result{res("find", 100, 4)},
+			cfg:  cfg("find"),
+			failures: []string{
+				"find allocs/op 2 -> 4 (+100.0%)",
+			},
+		},
+		{
+			name: "ungated op never blocks",
+			base: []result{res("scan", 1000, 1)},
+			head: []result{res("scan", 9000, 99)},
+			cfg:  cfg("find,union_equal"),
+			failures: []string{
+				`gated op "find" missing from head run`,
+				`gated op "union_equal" missing from head run`,
+			},
+		},
+		{
+			name: "gated op missing from head fails",
+			base: []result{res("find", 2000, 0), res("union_equal", 5000, 8)},
+			head: []result{res("find", 2000, 0)},
+			cfg:  cfg("find,union_equal"),
+			failures: []string{
+				`gated op "union_equal" missing from head run`,
+			},
+		},
+		{
+			name: "op new in head is informational",
+			base: []result{res("find", 2000, 0)},
+			head: []result{res("find", 2000, 0), res("checkpoint_incremental", 12345, 99)},
+			cfg:  cfg("find"),
+		},
+		{
+			name: "empty gate list gates nothing",
+			base: []result{res("find", 2000, 0)},
+			head: []result{res("find", 99999, 99)},
+			cfg:  cfg(" , "),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runGate(toMap(tc.base...), toMap(tc.head...), tc.cfg, io.Discard)
+			if len(got) != len(tc.failures) {
+				t.Fatalf("failures = %q, want %q", got, tc.failures)
+			}
+			for i := range got {
+				if got[i] != tc.failures[i] {
+					t.Fatalf("failure %d = %q, want %q", i, got[i], tc.failures[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		wantErr bool
+		wantOps int
+	}{
+		{
+			name:    "valid report",
+			raw:     `{"results":[{"op":"find","n":10,"ns_op":123.4,"allocs_op":0},{"op":"union_equal","n":5,"ns_op":5000,"allocs_op":8}]}`,
+			wantOps: 2,
+		},
+		{name: "empty results", raw: `{"results":[]}`, wantOps: 0},
+		{name: "malformed JSON", raw: `{"results":[{"op":`, wantErr: true},
+		{name: "wrong type", raw: `{"results":[{"op":"find","ns_op":"fast"}]}`, wantErr: true},
+		{name: "not JSON at all", raw: `ns/op\t1234`, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseReport([]byte(tc.raw))
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if err == nil && len(got) != tc.wantOps {
+				t.Fatalf("parsed %d ops, want %d", len(got), tc.wantOps)
+			}
+		})
+	}
+	// Duplicate op names: last one wins, no error (pambench never emits
+	// duplicates; the map shape just makes the behavior explicit).
+	got, err := parseReport([]byte(`{"results":[{"op":"find","ns_op":1},{"op":"find","ns_op":2}]}`))
+	if err != nil || got["find"].NsPerOp != 2 {
+		t.Fatalf("duplicate ops: got %v, %v", got, err)
+	}
+}
+
+func TestRunGateReportLayout(t *testing.T) {
+	var sb strings.Builder
+	base := toMap(res("find", 100, 2), res("union_equal", 5000, 8))
+	head := toMap(res("find", 120, 2), res("union_equal", 5100, 8), res("fresh_op", 10, 0))
+	fails := runGate(base, head, gateConfig{gated: parseGateList("find,union_equal"), maxRegress: 0.25, minGateNs: 1000}, &sb)
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %q", fails)
+	}
+	out := sb.String()
+	for _, want := range []string{"GATED (allocs only)", "GATED", "new", "+2.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package dynamic
+
+import "repro/pam"
+
+// Ladder de/re-hydration: the durable-serving layer checkpoints a
+// ladder-backed structure (rangetree.Tree inside serve.PointStore) by
+// materializing its records per rung and rebuilds an equivalent ladder
+// at recovery. The dehydrated form is records, not tree bytes: level
+// structures are consumer composites (nested-augmentation maps) whose
+// static Build machinery already reconstructs them in parallel, so
+// re-hydration reuses Build per level instead of deserializing node
+// graphs — the level shapes (and therefore the amortization state of
+// the binary counter) are preserved exactly.
+
+// LevelState is one dehydrated ladder rung: the live entries and the
+// tombstones, each in ascending key order.
+type LevelState[K, V any] struct {
+	Adds, Dels []pam.KV[K, V]
+}
+
+// LadderState is a dehydrated ladder: the write buffer's records plus
+// one LevelState per rung (empty rungs included, preserving level
+// indices). FlushCap records the write-buffer capacity the ladder was
+// built under; Rehydrate rejects a state whose capacities no longer fit
+// (see SetFlushCap).
+type LadderState[K, V any] struct {
+	FlushCap         int64
+	BufAdds, BufDels []pam.KV[K, V]
+	Levels           []LevelState[K, V]
+}
+
+// Dehydrate materializes the ladder's exact layered contents — write
+// buffer and per-level records, preserving rung boundaries — for
+// serialization.
+func (l Ladder[K, V, S, E]) Dehydrate(be *Backend[K, V, S]) LadderState[K, V] {
+	st := LadderState[K, V]{
+		FlushCap: flushCap.Load(),
+		BufAdds:  l.buf.Adds.Entries(),
+		BufDels:  l.buf.Dels.Entries(),
+		Levels:   make([]LevelState[K, V], len(l.levels)),
+	}
+	for i, lv := range l.levels {
+		if lv.AddsN > 0 {
+			st.Levels[i].Adds = be.Entries(lv.Adds)
+		}
+		if lv.DelsN > 0 {
+			st.Levels[i].Dels = be.Entries(lv.Dels)
+		}
+	}
+	return st
+}
+
+// Rehydrate rebuilds a ladder from a dehydrated state, using l's
+// prototype for options: each nonempty level side is rebuilt with the
+// consumer's parallel Build, and the write buffer is rebuilt by sorted
+// insertion. The result is validated (capacities, the buffer contract,
+// and the carry-propagation invariant via a full cascade), so corrupt
+// or crafted states yield an error, never a structurally broken ladder.
+func (l Ladder[K, V, S, E]) Rehydrate(be *Backend[K, V, S], st LadderState[K, V]) (Ladder[K, V, S, E], error) {
+	if st.FlushCap != flushCap.Load() {
+		return Ladder[K, V, S, E]{}, errHydrateCap
+	}
+	nl := Ladder[K, V, S, E]{proto: l.proto}
+	if len(st.Levels) > 0 {
+		nl.levels = make([]Level[S], len(st.Levels))
+		for i, lv := range st.Levels {
+			nl.levels[i] = buildLevel(be, l.proto, runRec[K, V]{adds: lv.Adds, dels: lv.Dels})
+		}
+	}
+	for _, e := range st.BufAdds {
+		nl.buf.Adds = nl.buf.Adds.Insert(e.Key, e.Val)
+	}
+	for _, e := range st.BufDels {
+		nl.buf.Dels = nl.buf.Dels.Insert(e.Key, e.Val)
+	}
+	if nl.buf.Pending() >= flushCap.Load() {
+		return Ladder[K, V, S, E]{}, errHydrateBuf
+	}
+	if err := nl.Validate(be); err != nil {
+		return Ladder[K, V, S, E]{}, err
+	}
+	return nl, nil
+}
+
+const (
+	errHydrateCap = ladderError("dynamic: dehydrated ladder was built under a different flush capacity")
+	errHydrateBuf = ladderError("dynamic: dehydrated write buffer at or above the flush capacity")
+)

@@ -1,0 +1,136 @@
+// Durability measurements (PR 6): the WAL's write-path overhead,
+// incremental checkpoint cost, and recovery (checkpoint load + WAL
+// replay) time. All run against the in-memory failpoint filesystem, so
+// the numbers isolate the serialization and protocol cost from disk
+// hardware; the relative trajectory is what the perf suite tracks.
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/seq"
+	"repro/pam"
+	"repro/serve"
+)
+
+type durableStore = serve.DurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+func openDurableStore(fs serve.FS, shards int) (*durableStore, error) {
+	return serve.OpenDurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, shards, seq.Mix64, pam.Uint64Codec(), serve.DurableConfig{FS: fs})
+}
+
+// DurableWriteThroughput is ServeWriteThroughput with the WAL on: the
+// same writer/batch shape, but every batch is acknowledged only after
+// its log record is flushed. Read against serve_write_<n>shard, the
+// gap is the sequencer-granularity logging overhead (group commit
+// amortizes the flushes across concurrent writers).
+func DurableWriteThroughput(shards, totalOps int) float64 {
+	d, err := openDurableStore(serve.NewMemFS(), shards)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	perWriter := totalOps / serveWriters
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < serveWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * uint64(perWriter)
+			batch := make([]serve.Op[uint64, int64], 0, serveBatchLen)
+			for i := 0; i < perWriter; i++ {
+				k := (base + uint64(i)*0x9e3779b9) % serveKeySpace
+				batch = append(batch, serve.Put(k, int64(i)))
+				if len(batch) == serveBatchLen {
+					d.Apply(batch)
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				d.Apply(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(totalOps) / time.Since(start).Seconds()
+}
+
+// durableBase builds an n-entry durable store with one full checkpoint
+// taken, the starting state for the incremental-checkpoint and recovery
+// measurements.
+func durableBase(fs serve.FS, shards, n int) *durableStore {
+	d, err := openDurableStore(fs, shards)
+	if err != nil {
+		panic(err)
+	}
+	batch := make([]serve.Op[uint64, int64], 0, 1024)
+	for i := 0; i < n; i++ {
+		batch = append(batch, serve.Put(uint64(i), int64(i)))
+		if len(batch) == cap(batch) {
+			d.Apply(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		d.Apply(batch)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CheckpointIncremental returns the time for one incremental checkpoint
+// capturing k fresh single-key updates against an n-entry base —
+// O(k · polylog n) records, independent of n up to the log factor.
+// Reported per checkpoint, averaged over rounds.
+func CheckpointIncremental(n, k, rounds int) time.Duration {
+	d := durableBase(serve.NewMemFS(), 2, n)
+	defer d.Close()
+	var total time.Duration
+	key := uint64(n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < k; i++ {
+			key += 0x9e3779b9
+			d.Apply([]serve.Op[uint64, int64]{serve.Put(key%uint64(4*n), int64(i))})
+		}
+		start := time.Now()
+		if _, err := d.Checkpoint(); err != nil {
+			panic(err)
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(rounds)
+}
+
+// RecoveryReplay returns the time to reopen a durable store from a
+// checkpoint of n entries plus a WAL tail of tailBatches batches —
+// checkpoint decode, chain re-seeding, and sequential log replay.
+func RecoveryReplay(n, tailBatches, rounds int) time.Duration {
+	fs := serve.NewMemFS()
+	d := durableBase(fs, 2, n)
+	for i := 0; i < tailBatches; i++ {
+		batch := make([]serve.Op[uint64, int64], serveBatchLen)
+		for j := range batch {
+			batch[j] = serve.Put(uint64(i*serveBatchLen+j)%uint64(2*n), int64(j))
+		}
+		d.Apply(batch)
+	}
+	d.Close()
+	state := fs.DurableState()
+
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		rd, err := openDurableStore(serve.NewMemFSFrom(state), 2)
+		if err != nil {
+			panic(err)
+		}
+		total += time.Since(start)
+		rd.Close()
+	}
+	return total / time.Duration(rounds)
+}

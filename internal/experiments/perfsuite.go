@@ -161,6 +161,26 @@ func runPerfSuite() []BenchResult {
 	out = append(out, tailResult("serve_read_under_writes", 2048,
 		ServeReadUnderWrites(min(4, 2*runtime.NumCPU()), 2048)))
 
+	// Durability (PR 6): the same write shape with the WAL on (the gap
+	// to serve_write_4shard is the logging overhead), the cost of an
+	// incremental checkpoint capturing 64 updates against a 100k-entry
+	// base, and recovery time from that checkpoint plus a WAL tail.
+	out = append(out, BenchResult{
+		Op:      "serve_write_wal_4shard",
+		N:       serveOps,
+		NsPerOp: 1e9 / DurableWriteThroughput(4, serveOps),
+	})
+	out = append(out, BenchResult{
+		Op:      "checkpoint_incremental",
+		N:       coreN,
+		NsPerOp: float64(CheckpointIncremental(coreN, 64, 8).Nanoseconds()),
+	})
+	out = append(out, BenchResult{
+		Op:      "recovery_replay",
+		N:       coreN,
+		NsPerOp: float64(RecoveryReplay(coreN, 256, 8).Nanoseconds()),
+	})
+
 	// Let the allocations of the ns/op entries above get collected
 	// before the latency-percentile runs, so their GC debt doesn't
 	// bleed into the tails.

@@ -1,0 +1,125 @@
+package pam
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Structure-sharing-aware serialization (see internal/core/encode.go
+// for the wire format). Each leaf block is one contiguous record;
+// interior nodes reference children by record id; a RecordSet carried
+// across checkpoints makes encoding incremental — only nodes created
+// since the previous checkpoint are written. Augmented values are
+// recomputed on decode, never stored.
+//
+// Serialization requires Options.Pool == false: a RecordSet (and a
+// DecodeTable) identifies nodes by address, which pool recycling
+// invalidates.
+
+// Codec supplies the byte encoding of a map's key and value types. See
+// Uint64Codec for a ready-made instance and a template.
+type Codec[K, V any] = core.Codec[K, V]
+
+// RecordSet tracks which nodes already have on-disk records across a
+// chain of incremental checkpoints (it keeps those nodes reachable).
+type RecordSet[K, V, A any] = core.RecordSet[K, V, A]
+
+// NewRecordSet returns an empty record set.
+func NewRecordSet[K, V, A any]() *RecordSet[K, V, A] {
+	return core.NewRecordSet[K, V, A]()
+}
+
+// EncodeDelta appends records for every node of m not yet in rs to buf
+// and returns the extended buf, m's root record id (0 when empty), and
+// the number of new records written. Nodes shared with previously
+// encoded maps are referenced by id, not rewritten.
+func (m AugMap[K, V, A, E]) EncodeDelta(rs *RecordSet[K, V, A], c *Codec[K, V], buf []byte) ([]byte, uint64, int) {
+	return core.EncodeDelta(m.t, rs, c, buf)
+}
+
+// DecodeTable accumulates decoded records across the files of an
+// incremental checkpoint chain; maps taken from it share decoded nodes
+// exactly as the encoded maps shared them.
+type DecodeTable[K, V, A any, E Aug[K, V, A]] struct {
+	tb *core.DecodeTable[K, V, A, E]
+}
+
+// NewDecodeTable returns an empty table decoding into maps with the
+// given options (Scheme and Block must match the encoder's).
+func NewDecodeTable[K, V, A any, E Aug[K, V, A]](opts Options) *DecodeTable[K, V, A, E] {
+	return &DecodeTable[K, V, A, E]{tb: core.NewDecodeTable[K, V, A, E](opts.coreConfig())}
+}
+
+// NextID returns the id the next decoded record will receive; callers
+// check it against a file's first-id header to detect a broken chain.
+func (tb *DecodeTable[K, V, A, E]) NextID() uint64 { return tb.tb.NextID() }
+
+// DecodeRecords decodes exactly n records from the front of data and
+// returns the remaining bytes. Malformed input yields an error, never a
+// panic; run Validate on recovered maps to reject crafted streams that
+// decode but violate tree invariants.
+func (tb *DecodeTable[K, V, A, E]) DecodeRecords(c *Codec[K, V], data []byte, n int) ([]byte, error) {
+	return tb.tb.DecodeRecords(c, data, n)
+}
+
+// Map returns the map rooted at the given record id (0 for an empty
+// map).
+func (tb *DecodeTable[K, V, A, E]) Map(id uint64) (AugMap[K, V, A, E], error) {
+	t, err := tb.tb.Tree(id)
+	return wrap(t), err
+}
+
+// RecordSet converts the table into the encoder-side record set, so a
+// recovered process continues the incremental checkpoint chain where
+// the decoded files left it.
+func (tb *DecodeTable[K, V, A, E]) RecordSet() *RecordSet[K, V, A] { return tb.tb.RecordSet() }
+
+// Uint64Codec returns a Codec for uint64 keys and int64 values (varint
+// and zigzag-varint encoded), the instantiation used by the serve
+// tests and examples.
+func Uint64Codec() *Codec[uint64, int64] {
+	return &Codec[uint64, int64]{
+		AppendKey: func(buf []byte, k uint64) []byte { return binary.AppendUvarint(buf, k) },
+		KeyAt:     UvarintAt,
+		AppendVal: func(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) },
+		ValAt:     VarintAt,
+	}
+}
+
+// UvarintAt decodes a uvarint from the front of data (a ready-made
+// Codec field for unsigned keys).
+func UvarintAt(data []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, core.ErrCorrupt
+	}
+	return v, n, nil
+}
+
+// VarintAt decodes a zigzag varint from the front of data.
+func VarintAt(data []byte) (int64, int, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, 0, core.ErrCorrupt
+	}
+	return v, n, nil
+}
+
+// Float64At decodes a little-endian float64 from the front of data.
+func Float64At(data []byte) (float64, int, error) {
+	if len(data) < 8 {
+		return 0, 0, core.ErrCorrupt
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), 8, nil
+}
+
+// AppendFloat64 appends the little-endian encoding of f.
+func AppendFloat64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// ErrCorrupt is the generic malformed-stream error decoders return (and
+// Codec implementations should return for truncated input).
+var ErrCorrupt = core.ErrCorrupt

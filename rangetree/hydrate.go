@@ -1,0 +1,25 @@
+package rangetree
+
+import "repro/internal/dynamic"
+
+// State is the dehydrated form of a Tree: the ladder's write buffer and
+// per-level records with rung boundaries preserved (see
+// dynamic.LadderState). It is what the serving layer's checkpoints
+// serialize for a PointStore; Rehydrate rebuilds an equivalent tree —
+// same logical contents, same ladder shape — via the parallel bulk
+// Build per level.
+type State = dynamic.LadderState[Point, int64]
+
+// Dehydrate materializes the tree's ladder state for serialization.
+func (t Tree) Dehydrate() State { return t.lad.Dehydrate(backend) }
+
+// Rehydrate rebuilds a tree (with t's options) from a dehydrated state,
+// validating the ladder invariants; corrupt states yield an error,
+// never a structurally broken tree.
+func (t Tree) Rehydrate(st State) (Tree, error) {
+	lad, err := t.lad.Rehydrate(backend, st)
+	if err != nil {
+		return Tree{}, err
+	}
+	return Tree{lad: lad}, nil
+}

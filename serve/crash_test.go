@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// Crash–recovery fault injection. Each schedule runs a durable store on
+// a MemFS armed with a randomized kill point: after a random number of
+// mutating filesystem operations, the filesystem "loses power" — the
+// crashing write lands as a torn prefix and every later operation fails
+// with ErrCrashed. The kill point lands anywhere: mid-batch flush,
+// mid-checkpoint, mid-WAL append, mid-rename. Concurrent writers record
+// every batch they submitted (sequence number, ops, whether the write
+// was acknowledged). We then mount what DurableState says survived —
+// synced bytes plus a random torn prefix of unsynced tails — reopen,
+// and check the recovery contract:
+//
+//  1. the recovered store holds exactly the batches [0, R) for some R
+//     (a gapless sequence prefix, verified against an oracle replay),
+//  2. R covers every acknowledged batch (acked writes are never lost),
+//  3. the recovered store is live: it accepts writes and checkpoints.
+//
+// A third of schedules additionally crash during recovery itself and
+// then recover from that second wreckage; recovery must be idempotent.
+
+// crashBatch records one submitted batch as seen by its writer.
+type crashBatch struct {
+	seq   uint64
+	ops   []kvop
+	acked bool
+}
+
+func runCrashSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fs := NewMemFS()
+	if rng.Intn(5) > 0 { // 1 in 5 schedules runs with no kill point (clean shutdown)
+		fs.SetKillPoint(int64(rng.Intn(140)), rand.New(rand.NewSource(seed^0x5deece66d)))
+	}
+	shards := 1 + rng.Intn(3)
+	writers := 1 + rng.Intn(3)
+	every := rng.Intn(4) * 3 // 0 disables automatic checkpoints
+	const keySpace = 24
+
+	d, err := openDurSum(fs, shards, every)
+	if err != nil {
+		t.Fatalf("initial open on an empty filesystem: %v", err)
+	}
+
+	// Pre-generate each writer's plan so goroutines never touch rng.
+	type step struct {
+		ops  []kvop
+		ckpt bool
+	}
+	plans := make([][]step, writers)
+	for w := range plans {
+		for b := 2 + rng.Intn(8); b > 0; b-- {
+			ops := make([]kvop, 1+rng.Intn(5))
+			for i := range ops {
+				k := uint64(rng.Intn(keySpace))
+				if rng.Intn(3) == 0 {
+					ops[i] = kvop{Kind: OpDelete, Key: k}
+				} else {
+					ops[i] = kvop{Kind: OpPut, Key: k, Val: int64(rng.Intn(100))}
+				}
+			}
+			plans[w] = append(plans[w], step{ops: ops, ckpt: rng.Intn(4) == 0})
+		}
+	}
+
+	var mu sync.Mutex
+	var subs []crashBatch
+	var wg sync.WaitGroup
+	for w := range plans {
+		wg.Add(1)
+		go func(steps []step) {
+			defer wg.Done()
+			for _, s := range steps {
+				seq, err := d.Apply(s.ops)
+				mu.Lock()
+				subs = append(subs, crashBatch{seq: seq, ops: s.ops, acked: err == nil})
+				mu.Unlock()
+				if err != nil {
+					return // the filesystem is gone; this writer stops
+				}
+				if s.ckpt {
+					if _, err := d.Checkpoint(); err != nil {
+						return
+					}
+				}
+			}
+		}(plans[w])
+	}
+	wg.Wait()
+	d.Close() // after a crash this fails with ErrCrashed; a clean run flushes
+
+	// Mount the surviving bytes and recover.
+	fs2 := NewMemFSFrom(fs.DurableState())
+	if rng.Intn(3) == 0 {
+		// Crash during recovery, then recover from the second wreckage.
+		fs2.SetKillPoint(int64(rng.Intn(12)), rand.New(rand.NewSource(seed^0x2545f49)))
+		d2, err := openDurSum(fs2, shards, 0)
+		if err == nil {
+			// The kill point is still armed; liveness probes may trip it.
+			verifyCrashRecovery(t, d2, subs, true)
+			d2.Close()
+			return
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("recovery failed with a non-crash error: %v", err)
+		}
+		fs2 = NewMemFSFrom(fs2.DurableState())
+	}
+	d2, err := openDurSum(fs2, shards, 0)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	verifyCrashRecovery(t, d2, subs, false)
+	d2.Close()
+}
+
+// verifyCrashRecovery asserts the recovery contract against the record
+// of submitted batches. If mayStillCrash, the filesystem is armed and
+// liveness probes tolerate ErrCrashed.
+func verifyCrashRecovery(t *testing.T, d *durSumStore, subs []crashBatch, mayStillCrash bool) {
+	t.Helper()
+	v := d.Snapshot()
+	r := v.Seq()
+
+	sort.Slice(subs, func(i, j int) bool { return subs[i].seq < subs[j].seq })
+	for i, b := range subs {
+		if b.seq != uint64(i) {
+			t.Fatalf("submitted sequence numbers not dense: position %d holds seq %d", i, b.seq)
+		}
+	}
+	if r > uint64(len(subs)) {
+		t.Fatalf("recovered prefix [0,%d) extends past the %d submitted batches", r, len(subs))
+	}
+	for _, b := range subs {
+		if b.acked && b.seq >= r {
+			t.Fatalf("acknowledged batch seq=%d lost: recovered prefix ends at %d", b.seq, r)
+		}
+	}
+
+	oracle := map[uint64]int64{}
+	for _, b := range subs[:r] {
+		for _, op := range b.ops {
+			if op.Kind == OpDelete {
+				delete(oracle, op.Key)
+			} else {
+				oracle[op.Key] = op.Val
+			}
+		}
+	}
+	if got, want := v.Size(), int64(len(oracle)); got != want {
+		t.Fatalf("recovered Size = %d, oracle prefix [0,%d) has %d keys", got, r, want)
+	}
+	var sum int64
+	for k, want := range oracle {
+		sum += want
+		if got, ok := v.Find(k); !ok || got != want {
+			t.Fatalf("recovered Find(%d) = %d,%v; oracle prefix [0,%d) says %d", k, got, ok, r, want)
+		}
+	}
+	if got := v.AugVal(); got != sum {
+		t.Fatalf("recovered AugVal = %d, oracle sum %d", got, sum)
+	}
+
+	// Liveness: the recovered store must accept writes and checkpoints.
+	if _, err := d.Put(1<<40, 1); err != nil && !(mayStillCrash && errors.Is(err, ErrCrashed)) {
+		t.Fatalf("post-recovery Put: %v", err)
+	} else if err == nil {
+		if _, err := d.Checkpoint(); err != nil && !(mayStillCrash && errors.Is(err, ErrCrashed)) {
+			t.Fatalf("post-recovery Checkpoint: %v", err)
+		}
+	}
+}
+
+// TestCrashRecoverySchedules is the headline fault-injection run: 1000+
+// randomized kill-point schedules (a reduced count under -short), each
+// crashing the store at an arbitrary filesystem operation and checking
+// that recovery restores exactly an acknowledged-covering prefix.
+func TestCrashRecoverySchedules(t *testing.T) {
+	n := 1100
+	if testing.Short() {
+		n = 150
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(i) + 1
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runCrashSchedule(t, seed)
+		})
+	}
+}
+
+// pointCrashBatch records one submitted point batch.
+type pointCrashBatch struct {
+	seq   uint64
+	ops   []PointOp
+	acked bool
+}
+
+func runPointCrashSchedule(t *testing.T, seed int64) {
+	old := dynamic.SetFlushCap(4) // tiny buffer: checkpoints hit multi-level ladders
+	defer dynamic.SetFlushCap(old)
+
+	rng := rand.New(rand.NewSource(seed))
+	fs := NewMemFS()
+	if rng.Intn(5) > 0 {
+		fs.SetKillPoint(int64(rng.Intn(120)), rand.New(rand.NewSource(seed^0x9e3779b9)))
+	}
+	shards := 1 + rng.Intn(2)
+	splits := []float64{8, 16}[:shards-1]
+	writers := 1 + rng.Intn(2)
+
+	open := func(f FS) (*DurablePointStore, error) {
+		return OpenDurablePointStore(pam.Options{}, splits, DurableConfig{FS: f})
+	}
+	d, err := open(fs)
+	if err != nil {
+		t.Fatalf("initial open: %v", err)
+	}
+
+	type step struct {
+		ops  []PointOp
+		ckpt bool
+	}
+	plans := make([][]step, writers)
+	for w := range plans {
+		for b := 2 + rng.Intn(6); b > 0; b-- {
+			ops := make([]PointOp, 1+rng.Intn(4))
+			for i := range ops {
+				p := rangetree.Point{X: float64(rng.Intn(24)), Y: float64(rng.Intn(24))}
+				if rng.Intn(4) == 0 {
+					ops[i] = PointOp{Kind: OpDelete, P: p}
+				} else {
+					ops[i] = PointOp{Kind: OpPut, P: p, W: int64(1 + rng.Intn(3))}
+				}
+			}
+			plans[w] = append(plans[w], step{ops: ops, ckpt: rng.Intn(3) == 0})
+		}
+	}
+
+	var mu sync.Mutex
+	var subs []pointCrashBatch
+	var wg sync.WaitGroup
+	for w := range plans {
+		wg.Add(1)
+		go func(steps []step) {
+			defer wg.Done()
+			for _, s := range steps {
+				seq, err := d.Apply(s.ops)
+				mu.Lock()
+				subs = append(subs, pointCrashBatch{seq: seq, ops: s.ops, acked: err == nil})
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+				if s.ckpt {
+					if _, err := d.Checkpoint(); err != nil {
+						return
+					}
+				}
+			}
+		}(plans[w])
+	}
+	wg.Wait()
+	d.Close()
+
+	d2, err := open(NewMemFSFrom(fs.DurableState()))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer d2.Close()
+	v := d2.Snapshot()
+	r := v.Seq()
+
+	sort.Slice(subs, func(i, j int) bool { return subs[i].seq < subs[j].seq })
+	for i, b := range subs {
+		if b.seq != uint64(i) {
+			t.Fatalf("submitted sequence numbers not dense at position %d: %d", i, b.seq)
+		}
+	}
+	if r > uint64(len(subs)) {
+		t.Fatalf("recovered prefix [0,%d) extends past %d submitted batches", r, len(subs))
+	}
+	for _, b := range subs {
+		if b.acked && b.seq >= r {
+			t.Fatalf("acknowledged point batch seq=%d lost: prefix ends at %d", b.seq, r)
+		}
+	}
+	oracle := map[rangetree.Point]int64{}
+	for _, b := range subs[:r] {
+		for _, op := range b.ops {
+			if op.Kind == OpDelete {
+				delete(oracle, op.P)
+			} else {
+				oracle[op.P] += op.W
+			}
+		}
+	}
+	if got, want := v.Size(), int64(len(oracle)); got != want {
+		t.Fatalf("recovered Size = %d, oracle prefix [0,%d) has %d points", got, r, want)
+	}
+	var sum int64
+	for _, w := range oracle {
+		sum += w
+	}
+	if got := v.QuerySum(everything); got != sum {
+		t.Fatalf("recovered QuerySum = %d, oracle %d", got, sum)
+	}
+	for _, p := range v.ReportAll(everything) {
+		if w, ok := oracle[p.Point]; !ok || w != p.W {
+			t.Fatalf("recovered point (%v, %d); oracle %d,%v", p.Point, p.W, w, ok)
+		}
+	}
+}
+
+// TestPointCrashRecoverySchedules runs the fault-injection harness
+// against the durable point store (full-ladder checkpoints + WAL).
+func TestPointCrashRecoverySchedules(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(i) + 7001
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runPointCrashSchedule(t, seed)
+		})
+	}
+}

@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/pam"
+)
+
+// Durable serving: incremental block checkpoints plus the
+// sequencer-granularity WAL (wal.go), glued by a recovery protocol that
+// restores exactly an acknowledged-closed prefix of the write sequence.
+//
+// On-disk layout (one flat FS namespace per store):
+//
+//	ckpt-%06d   checkpoint files — an incremental chain for DurableStore
+//	wal-%06d    WAL generation g: the batches sequenced between
+//	            checkpoint g and checkpoint g+1
+//	ckpt.tmp,   scratch for atomic publication (write + sync + rename);
+//	wal.tmp     a crash leaves at worst a stale tmp, never a torn
+//	            published file
+//
+// Checkpoint file format (DurableStore):
+//
+//	"PAMCKPT1" | uvarint seq | uvarint shards | uvarint firstID |
+//	uvarint numRecords | records | shards × uvarint rootID |
+//	u32le crc32(everything before)
+//
+// The records are the structure-sharing delta encoding of
+// internal/core: each file carries only the tree records created since
+// the previous checkpoint (firstID states where the chain must resume;
+// a mismatch means a missing or reordered file). Recovery decodes the
+// chain oldest-first into one table, takes the last file's per-shard
+// roots, replays the WAL generations from the last checkpoint on top,
+// and reseeds the encoder's record set from the decoded table so the
+// chain continues incrementally across restarts.
+//
+// Crash-safety invariants:
+//
+//   - Apply acknowledges only after the batch's WAL record is fsynced;
+//     WAL order equals sequence order (the engine's logAppend hook runs
+//     under the sequencer lock), so the durable batches always form a
+//     gapless prefix extending past every acknowledged batch.
+//   - A checkpoint is published by rename after a full sync; a crash
+//     mid-checkpoint leaves the previous chain + WAL intact.
+//   - WAL generations are flushed strictly in order, so recovery's
+//     stop-at-first-torn-record rule drops only unacknowledged batches.
+
+// Errors recovery and the decoders return. All file parsing is
+// defensive: corrupt bytes yield an error, never a panic.
+var (
+	// ErrCorruptFile reports a checkpoint or WAL file whose contents
+	// fail the checksum or framing checks.
+	ErrCorruptFile = errors.New("serve: corrupt durable file")
+	// ErrBrokenChain reports a checkpoint chain with a missing or
+	// out-of-order incremental file (firstID mismatch).
+	ErrBrokenChain = errors.New("serve: broken checkpoint chain")
+)
+
+const (
+	ckptMagic   = "PAMCKPT1"
+	ckptTmpName = "ckpt.tmp"
+	walTmpName  = "wal.tmp"
+)
+
+func ckptName(idx int) string { return fmt.Sprintf("ckpt-%06d", idx) }
+
+// DurableConfig configures the durability layer of a store.
+type DurableConfig struct {
+	// FS is the filesystem holding this store's files (required). Use
+	// OSFS{Dir: ...} for a real directory, MemFS for fault injection.
+	FS FS
+	// CheckpointEvery, when positive, takes an automatic checkpoint
+	// after every that-many acknowledged batches. A failed automatic
+	// checkpoint does not fail the Apply that triggered it (the batch
+	// is already durable); the error is surfaced by Err.
+	CheckpointEvery int
+}
+
+// CheckpointStats reports what one checkpoint wrote.
+type CheckpointStats struct {
+	// Seq is the checkpoint's position in the write sequence: it covers
+	// exactly the batches sequenced below Seq.
+	Seq uint64
+	// Index is the checkpoint file's chain index.
+	Index int
+	// Records is the number of new tree records written — the
+	// incremental delta. After k updates to an n-entry store this is
+	// O(k · polylog n), not O(n): blocks shared with the previous
+	// checkpoint are referenced, not rewritten.
+	Records int
+	// Bytes is the checkpoint file's size.
+	Bytes int
+}
+
+// DurableStore wraps a hash-partitioned Store with a write-ahead log
+// and incremental block checkpoints. Apply acknowledges a batch only
+// once its WAL record is fsynced (group commit across concurrent
+// writers); OpenDurableStore recovers the latest checkpoint plus the
+// WAL suffix — a gapless prefix of the write sequence containing every
+// batch ever acknowledged, possibly followed by durable-but-unobserved
+// batches that crashed mid-acknowledgment.
+//
+// The same opts, shard count, hash, and codec must be passed at every
+// reopen; they are the store's schema, not part of the files.
+// Serialization requires opts.Pool == false. All methods are safe for
+// concurrent use.
+type DurableStore[K, V, A any, E pam.Aug[K, V, A]] struct {
+	s     *Store[K, V, A, E]
+	fs    FS
+	w     *wal[Op[K, V]]
+	codec *pam.Codec[K, V]
+
+	ckptMu sync.Mutex // serializes checkpoints; guards rs
+	rs     *pam.RecordSet[K, V, A]
+
+	every   uint64
+	batches atomic.Uint64
+
+	errMu sync.Mutex
+	bgErr error
+}
+
+// storeOpCodec encodes one Op for WAL records: kind byte, key, and (for
+// puts) value.
+func storeOpCodec[K, V any](c *pam.Codec[K, V]) opCodec[Op[K, V]] {
+	return opCodec[Op[K, V]]{
+		append: func(buf []byte, op Op[K, V]) []byte {
+			buf = append(buf, byte(op.Kind))
+			buf = c.AppendKey(buf, op.Key)
+			if op.Kind == OpPut {
+				buf = c.AppendVal(buf, op.Val)
+			}
+			return buf
+		},
+		at: func(data []byte) (Op[K, V], int, error) {
+			var op Op[K, V]
+			if len(data) == 0 {
+				return op, 0, ErrCorruptFile
+			}
+			op.Kind = OpKind(data[0])
+			if op.Kind != OpPut && op.Kind != OpDelete {
+				return op, 0, ErrCorruptFile
+			}
+			used := 1
+			k, n, err := c.KeyAt(data[used:])
+			if err != nil {
+				return op, 0, err
+			}
+			op.Key = k
+			used += n
+			if op.Kind == OpPut {
+				v, n, err := c.ValAt(data[used:])
+				if err != nil {
+					return op, 0, err
+				}
+				op.Val = v
+				used += n
+			}
+			return op, used, nil
+		},
+	}
+}
+
+// parseDurableDir splits a file listing into checkpoint indices and WAL
+// generations, each ascending; other names (tmp scratch) are ignored.
+func parseDurableDir(names []string) (ckpts, walGens []int) {
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(name, "ckpt-%06d", &n); err == nil {
+			ckpts = append(ckpts, n)
+		} else if _, err := fmt.Sscanf(name, "wal-%06d", &n); err == nil {
+			walGens = append(walGens, n)
+		}
+	}
+	sort.Ints(ckpts)
+	sort.Ints(walGens)
+	return ckpts, walGens
+}
+
+// writeFileAtomic publishes data under final via tmp + sync + rename:
+// after any crash, final holds either its old contents or all of data.
+func writeFileAtomic(fs FS, tmp, final string, data []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, final)
+}
+
+// decodeStoreCheckpoint decodes one chain file into the accumulating
+// table and returns its sequence number and per-shard root ids.
+func decodeStoreCheckpoint[K, V, A any, E pam.Aug[K, V, A]](tb *pam.DecodeTable[K, V, A, E], c *pam.Codec[K, V], shards int, data []byte) (uint64, []uint64, error) {
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, ErrCorruptFile
+	}
+	body := data[: len(data)-4 : len(data)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return 0, nil, ErrCorruptFile
+	}
+	p := body[len(ckptMagic):]
+	var hdr [4]uint64
+	for i := range hdr {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, nil, ErrCorruptFile
+		}
+		hdr[i] = v
+		p = p[n:]
+	}
+	seq, nShards, firstID, nRecs := hdr[0], hdr[1], hdr[2], hdr[3]
+	if nShards != uint64(shards) {
+		return 0, nil, fmt.Errorf("%w: checkpoint has %d shards, store has %d", ErrCorruptFile, nShards, shards)
+	}
+	if firstID != tb.NextID() {
+		return 0, nil, ErrBrokenChain
+	}
+	// Every record is at least two bytes; a larger count is framing
+	// corruption, not work to attempt.
+	if nRecs > uint64(len(p)) {
+		return 0, nil, ErrCorruptFile
+	}
+	rest, err := tb.DecodeRecords(c, p, int(nRecs))
+	if err != nil {
+		return 0, nil, err
+	}
+	roots := make([]uint64, shards)
+	for i := range roots {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, nil, ErrCorruptFile
+		}
+		roots[i] = v
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, ErrCorruptFile
+	}
+	return seq, roots, nil
+}
+
+// OpenDurableStore opens (or creates) a durable hash-partitioned store
+// on cfg.FS: it loads the checkpoint chain, replays the WAL suffix, and
+// resumes the write sequence where the recovered prefix ends. See
+// DurableStore for the recovery guarantee.
+func OpenDurableStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64, codec *pam.Codec[K, V], cfg DurableConfig) (*DurableStore[K, V, A, E], error) {
+	if cfg.FS == nil {
+		return nil, errors.New("serve: DurableConfig.FS is required")
+	}
+	if opts.Pool {
+		return nil, errors.New("serve: durable stores require Options.Pool == false")
+	}
+	if shards < 1 {
+		return nil, errors.New("serve: OpenDurableStore needs at least one shard")
+	}
+	names, err := cfg.FS.List()
+	if err != nil {
+		return nil, err
+	}
+	ckpts, walGens := parseDurableDir(names)
+
+	// Load the checkpoint chain, oldest first, into one decode table.
+	tb := pam.NewDecodeTable[K, V, A, E](opts)
+	roots := make([]uint64, shards)
+	var seq uint64
+	lastIdx := 0
+	for _, idx := range ckpts {
+		data, err := cfg.FS.ReadFile(ckptName(idx))
+		if err != nil {
+			return nil, err
+		}
+		s, r, err := decodeStoreCheckpoint(tb, codec, shards, data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ckptName(idx), err)
+		}
+		seq, roots, lastIdx = s, r, idx
+	}
+	states := make([]pam.AugMap[K, V, A, E], shards)
+	for i := range states {
+		m, err := tb.Map(roots[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ckptName(lastIdx), err)
+		}
+		states[i] = m
+	}
+
+	// Replay the WAL generations from the last checkpoint on: batches
+	// must continue the sequence gaplessly; a torn tail ends replay and
+	// is trimmed so the resumed log appends onto a clean file.
+	n := uint64(shards)
+	route := func(o Op[K, V]) int { return int(hash(o.Key) % n) }
+	enc := storeOpCodec(codec)
+	next := seq
+	maxGen := lastIdx
+	for _, g := range walGens {
+		if g < lastIdx {
+			continue // superseded by the checkpoint; awaiting removal
+		}
+		if g > maxGen {
+			maxGen = g
+		}
+		data, err := cfg.FS.ReadFile(walName(g))
+		if err != nil {
+			return nil, err
+		}
+		batches, valid := decodeWALFile(enc, data)
+		for _, b := range batches {
+			if b.seq != next {
+				return nil, fmt.Errorf("%s: %w: batch seq %d, want %d", walName(g), ErrCorruptFile, b.seq, next)
+			}
+			per := make([][]Op[K, V], shards)
+			for _, op := range b.ops {
+				i := route(op)
+				per[i] = append(per[i], op)
+			}
+			for i, sub := range per {
+				if len(sub) > 0 {
+					states[i] = applyOps(states[i], sub)
+				}
+			}
+			next++
+		}
+		if valid != len(data) {
+			if err := writeFileAtomic(cfg.FS, walTmpName, walName(g), data[:valid]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	w := newWAL(cfg.FS, enc, maxGen, next)
+	d := &DurableStore[K, V, A, E]{
+		s:     &Store[K, V, A, E]{eng: newEngineAt(states, route, applyOps[K, V, A, E], next, w.appendLocked)},
+		fs:    cfg.FS,
+		w:     w,
+		codec: codec,
+		rs:    tb.RecordSet(),
+		every: uint64(cfg.CheckpointEvery),
+	}
+	return d, nil
+}
+
+// Apply submits one write batch and blocks until every involved shard
+// has applied it AND its WAL record is durable; only then is the batch
+// acknowledged (nil error). On error the batch is unacknowledged: it
+// may or may not survive a crash, but never breaks the recovered
+// prefix. Returns the batch's global sequence number either way.
+func (d *DurableStore[K, V, A, E]) Apply(ops []Op[K, V]) (uint64, error) {
+	seq := d.s.eng.applyBatch(ops)
+	if err := d.w.Sync(seq); err != nil {
+		return seq, err
+	}
+	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
+		if _, err := d.Checkpoint(); err != nil {
+			d.setErr(err)
+		}
+	}
+	return seq, nil
+}
+
+// Put durably stores (k, v) and returns the write's sequence number.
+func (d *DurableStore[K, V, A, E]) Put(k K, v V) (uint64, error) {
+	return d.Apply([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
+}
+
+// Delete durably removes k and returns the write's sequence number.
+func (d *DurableStore[K, V, A, E]) Delete(k K) (uint64, error) {
+	return d.Apply([]Op[K, V]{{Kind: OpDelete, Key: k}})
+}
+
+// Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
+func (d *DurableStore[K, V, A, E]) Snapshot() View[K, V, A, E] { return d.s.Snapshot() }
+
+// NumShards returns the partition count.
+func (d *DurableStore[K, V, A, E]) NumShards() int { return d.s.NumShards() }
+
+// Checkpoint writes the next incremental checkpoint: it snapshots all
+// shards at one sequence point (rotating the WAL generation at exactly
+// that point), encodes only the tree records created since the previous
+// checkpoint, publishes the file atomically, and then drops the WAL
+// generations the new checkpoint supersedes. Concurrent writes proceed;
+// concurrent Checkpoint calls serialize.
+func (d *DurableStore[K, V, A, E]) Checkpoint() (CheckpointStats, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	var idx int
+	states, _, seq, _ := d.s.eng.snapshotWith(func() { idx = d.w.rotateLocked() })
+
+	// Encode against a clone: ids are committed only with the file, so
+	// a failed attempt never burns ids the on-disk chain hasn't seen.
+	rs := d.rs.Clone()
+	firstID := rs.NextID()
+	var recs []byte
+	roots := make([]uint64, len(states))
+	wrote := 0
+	for i, m := range states {
+		var w int
+		recs, roots[i], w = m.EncodeDelta(rs, d.codec, recs)
+		wrote += w
+	}
+	file := append([]byte(nil), ckptMagic...)
+	file = binary.AppendUvarint(file, seq)
+	file = binary.AppendUvarint(file, uint64(len(states)))
+	file = binary.AppendUvarint(file, firstID)
+	file = binary.AppendUvarint(file, uint64(wrote))
+	file = append(file, recs...)
+	for _, r := range roots {
+		file = binary.AppendUvarint(file, r)
+	}
+	file = binary.LittleEndian.AppendUint32(file, crc32.ChecksumIEEE(file))
+	if err := writeFileAtomic(d.fs, ckptTmpName, ckptName(idx), file); err != nil {
+		return CheckpointStats{}, err
+	}
+	d.rs = rs
+	// Old WAL generations are superseded, but only drop them once their
+	// records are flushed, so no in-flight group commit is still writing
+	// the files being removed.
+	if seq == 0 || d.w.Sync(seq-1) == nil {
+		dropOldWALs(d.fs, idx)
+	}
+	return CheckpointStats{Seq: seq, Index: idx, Records: wrote, Bytes: len(file)}, nil
+}
+
+// dropOldWALs removes WAL generations below idx, best-effort: a leftover
+// file is ignored by the next recovery and removed by the next
+// checkpoint.
+func dropOldWALs(fs FS, idx int) {
+	names, err := fs.List()
+	if err != nil {
+		return
+	}
+	_, gens := parseDurableDir(names)
+	for _, g := range gens {
+		if g < idx {
+			fs.Remove(walName(g))
+		}
+	}
+}
+
+// Err returns the first error from an automatic (CheckpointEvery)
+// checkpoint, which cannot be reported by the Apply that triggered it.
+func (d *DurableStore[K, V, A, E]) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.bgErr
+}
+
+func (d *DurableStore[K, V, A, E]) setErr(err error) {
+	d.errMu.Lock()
+	if d.bgErr == nil {
+		d.bgErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// Close stops the shard goroutines and flushes the WAL. The caller must
+// have stopped submitting first.
+func (d *DurableStore[K, V, A, E]) Close() error {
+	d.s.Close()
+	return d.w.Close()
+}

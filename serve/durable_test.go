@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/pam"
+	"repro/rangetree"
+)
+
+type durSumStore = DurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]]
+
+func openDurSum(fs FS, shards, every int) (*durSumStore, error) {
+	return OpenDurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		pam.Options{}, shards, mixHash, pam.Uint64Codec(),
+		DurableConfig{FS: fs, CheckpointEvery: every})
+}
+
+// applyAll applies a batch and fails the test on any durability error.
+func applyAll(t *testing.T, d *durSumStore, ops []kvop) uint64 {
+	t.Helper()
+	seq, err := d.Apply(ops)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return seq
+}
+
+// TestDurableStoreRoundTrip runs the full lifecycle on a real directory
+// (OSFS): write, checkpoint, write more, close, reopen, verify that the
+// recovered contents equal the acknowledged history, then keep writing.
+func TestDurableStoreRoundTrip(t *testing.T) {
+	fs := OSFS{Dir: t.TempDir()}
+	d, err := openDurSum(fs, 3, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	oracle := map[uint64]int64{}
+	put := func(k uint64, v int64) {
+		if _, err := d.Put(k, v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		oracle[k] = v
+	}
+	del := func(k uint64) {
+		if _, err := d.Delete(k); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		delete(oracle, k)
+	}
+	for i := uint64(0); i < 200; i++ {
+		put(i, int64(i)*3)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		del(i * 4)
+	}
+	put(1000, -7)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d, err = openDurSum(fs, 3, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d.Close()
+	v := d.Snapshot()
+	if got, want := v.Size(), int64(len(oracle)); got != want {
+		t.Fatalf("recovered Size = %d, want %d", got, want)
+	}
+	for k, want := range oracle {
+		if got, ok := v.Find(k); !ok || got != want {
+			t.Fatalf("recovered Find(%d) = %d,%v, want %d", k, got, ok, want)
+		}
+	}
+	// The store is live after recovery and continues the sequence.
+	seq, err := d.Put(2000, 5)
+	if err != nil {
+		t.Fatalf("post-recovery Put: %v", err)
+	}
+	if seq != v.Seq() {
+		t.Fatalf("post-recovery seq = %d, want %d (sequence must resume)", seq, v.Seq())
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatalf("post-recovery Checkpoint: %v", err)
+	}
+}
+
+// TestDurableStoreAutoCheckpoint checks CheckpointEvery triggers and
+// that reopening after only automatic checkpoints recovers everything.
+func TestDurableStoreAutoCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	d, err := openDurSum(fs, 2, 4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if _, err := d.Put(i, int64(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("automatic checkpoint failed: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, _ := fs.List()
+	ckpts, _ := parseDurableDir(names)
+	if len(ckpts) == 0 {
+		t.Fatalf("no automatic checkpoint written; files: %v", names)
+	}
+	d, err = openDurSum(fs, 2, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d.Close()
+	v := d.Snapshot()
+	if v.Seq() != 20 || v.Size() != 20 {
+		t.Fatalf("recovered Seq/Size = %d/%d, want 20/20", v.Seq(), v.Size())
+	}
+}
+
+// TestDurableCheckpointIncremental is the cost-bound acceptance test: a
+// checkpoint after k single-key updates to an n-entry store writes
+// O(k · polylog n) tree records — the structure-sharing delta — not the
+// O(n / B) records of the base, and a checkpoint with no intervening
+// writes writes none at all.
+func TestDurableCheckpointIncremental(t *testing.T) {
+	const n = 1 << 15
+	fs := NewMemFS()
+	d, err := openDurSum(fs, 2, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	for lo := 0; lo < n; lo += 1024 {
+		ops := make([]kvop, 1024)
+		for i := range ops {
+			ops[i] = kvop{Kind: OpPut, Key: uint64(lo + i), Val: int64(lo + i)}
+		}
+		applyAll(t, d, ops)
+	}
+	full, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("full checkpoint: %v", err)
+	}
+	if full.Records == 0 {
+		t.Fatal("base checkpoint wrote no records")
+	}
+
+	empty, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("empty checkpoint: %v", err)
+	}
+	if empty.Records != 0 {
+		t.Fatalf("checkpoint with no intervening writes wrote %d records", empty.Records)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	const k = 16
+	for i := 0; i < k; i++ {
+		applyAll(t, d, []kvop{{Kind: OpPut, Key: uint64(rng.Intn(2 * n)), Val: int64(i)}})
+	}
+	delta, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("delta checkpoint: %v", err)
+	}
+	// Per update: ≤ ~log n interior path copies plus a few leaf blocks
+	// (same bound as the core-level TestEncodeDeltaPolylog).
+	bound := k * int(4*math.Log2(n)+8)
+	if delta.Records > bound {
+		t.Fatalf("delta checkpoint after %d updates wrote %d records, bound %d (base: %d)",
+			k, delta.Records, bound, full.Records)
+	}
+	if delta.Records >= full.Records/4 {
+		t.Fatalf("delta checkpoint wrote %d records vs %d for the base — not incremental",
+			delta.Records, full.Records)
+	}
+}
+
+// TestDurablePointStoreRoundTrip checks the point store's full ladder
+// checkpoints and WAL replay across a clean restart, with a small flush
+// capacity so the checkpoint serializes a multi-level ladder mid-carry.
+func TestDurablePointStoreRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	open := func() *DurablePointStore {
+		d, err := OpenDurablePointStore(pam.Options{}, []float64{8}, DurableConfig{FS: fs})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return d
+	}
+	d := open()
+	oracle := map[rangetree.Point]int64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		p := rangetree.Point{X: float64(rng.Intn(16)), Y: float64(rng.Intn(16))}
+		if rng.Intn(4) == 0 {
+			if _, err := d.Delete(p); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(oracle, p)
+		} else {
+			if _, err := d.Insert(p, 1); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			oracle[p]++
+		}
+		if i == 150 {
+			if _, err := d.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d = open()
+	defer d.Close()
+	v := d.Snapshot()
+	if got, want := v.Size(), int64(len(oracle)); got != want {
+		t.Fatalf("recovered Size = %d, want %d", got, want)
+	}
+	for _, p := range v.ReportAll(everything) {
+		if w, ok := oracle[p.Point]; !ok || w != p.W {
+			t.Fatalf("recovered point (%v, %d), oracle %d,%v", p.Point, p.W, w, ok)
+		}
+	}
+	var sum int64
+	for _, w := range oracle {
+		sum += w
+	}
+	if got := v.QuerySum(everything); got != sum {
+		t.Fatalf("recovered QuerySum = %d, want %d", got, sum)
+	}
+}
+
+// TestLadderHydrateRoundTrip drives Dehydrate/Rehydrate directly: the
+// rebuilt tree must validate and preserve the exact level shapes.
+func TestLadderHydrateRoundTrip(t *testing.T) {
+	tr := rangetree.New(pam.Options{})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 600; i++ {
+		p := rangetree.Point{X: float64(rng.Intn(32)), Y: float64(rng.Intn(32))}
+		if rng.Intn(5) == 0 {
+			tr = tr.Delete(p)
+		} else {
+			tr = tr.Insert(p, int64(1+rng.Intn(3)))
+		}
+	}
+	st := tr.Dehydrate()
+	got, err := tr.Rehydrate(st)
+	if err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("rehydrated tree invalid: %v", err)
+	}
+	if got.Size() != tr.Size() {
+		t.Fatalf("rehydrated Size = %d, want %d", got.Size(), tr.Size())
+	}
+	if !slices.Equal(got.LevelRecordCounts(), tr.LevelRecordCounts()) {
+		t.Fatalf("level shapes diverged: %v vs %v", got.LevelRecordCounts(), tr.LevelRecordCounts())
+	}
+	w, g := tr.ReportAll(everything), got.ReportAll(everything)
+	if !slices.Equal(w, g) {
+		t.Fatalf("rehydrated contents diverged")
+	}
+	// A corrupt state (orphan tombstone) must be rejected.
+	bad := st
+	bad.BufDels = append([]pam.KV[rangetree.Point, int64](nil), bad.BufDels...)
+	bad.BufDels = append(bad.BufDels, pam.KV[rangetree.Point, int64]{Key: rangetree.Point{X: -99, Y: -99}, Val: 1})
+	if _, err := tr.Rehydrate(bad); err == nil {
+		t.Fatal("Rehydrate accepted a tombstone for a point that was never live")
+	}
+}

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dynamic"
+	"repro/pam"
+	"repro/rangetree"
+)
+
+// dynLevelState is one serialized ladder rung (see rangetree.State).
+type dynLevelState = dynamic.LevelState[rangetree.Point, int64]
+
+// Durable PointStore: the same WAL and recovery protocol as
+// DurableStore, with checkpoints that serialize each shard's full
+// ladder state (rangetree.State) instead of an incremental record
+// chain — the ladder's level structures are nested-augmentation
+// composites that are rebuilt by the parallel bulk Build on recovery,
+// preserving the exact rung boundaries (and so the amortization state
+// of the logarithmic method). Point checkpoints are therefore
+// standalone: recovery reads only the newest one, and older files are
+// dropped once a new one is published.
+//
+// Checkpoint file format:
+//
+//	"PAMPTCK1" | uvarint seq | uvarint shards | shards × ladder state |
+//	u32le crc32(everything before)
+//
+// with each ladder state encoded as
+//
+//	uvarint flushCap | run(bufAdds) | run(bufDels) |
+//	uvarint numLevels | numLevels × (run(adds) | run(dels))
+//	run: uvarint count | count × (f64le x | f64le y | varint w)
+
+const ptCkptMagic = "PAMPTCK1"
+
+// pointOpEnc encodes one PointOp for WAL records.
+var pointOpEnc = opCodec[PointOp]{
+	append: func(buf []byte, op PointOp) []byte {
+		buf = append(buf, byte(op.Kind))
+		buf = pam.AppendFloat64(buf, op.P.X)
+		buf = pam.AppendFloat64(buf, op.P.Y)
+		if op.Kind == OpPut {
+			buf = binary.AppendVarint(buf, op.W)
+		}
+		return buf
+	},
+	at: func(data []byte) (PointOp, int, error) {
+		var op PointOp
+		if len(data) < 17 {
+			return op, 0, ErrCorruptFile
+		}
+		op.Kind = OpKind(data[0])
+		if op.Kind != OpPut && op.Kind != OpDelete {
+			return op, 0, ErrCorruptFile
+		}
+		x, _, err := pam.Float64At(data[1:])
+		if err != nil {
+			return op, 0, err
+		}
+		y, _, err := pam.Float64At(data[9:])
+		if err != nil {
+			return op, 0, err
+		}
+		op.P = rangetree.Point{X: x, Y: y}
+		used := 17
+		if op.Kind == OpPut {
+			w, n, err := pam.VarintAt(data[17:])
+			if err != nil {
+				return op, 0, err
+			}
+			op.W = w
+			used += n
+		}
+		return op, used, nil
+	},
+}
+
+func appendPointRun(buf []byte, run []pam.KV[rangetree.Point, int64]) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(run)))
+	for _, e := range run {
+		buf = pam.AppendFloat64(buf, e.Key.X)
+		buf = pam.AppendFloat64(buf, e.Key.Y)
+		buf = binary.AppendVarint(buf, e.Val)
+	}
+	return buf
+}
+
+func pointRunAt(data []byte) ([]pam.KV[rangetree.Point, int64], int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, ErrCorruptFile
+	}
+	used := n
+	// Every entry is at least 17 bytes; a larger count is corruption,
+	// not an allocation request.
+	if count > uint64(len(data)-used)/17 {
+		return nil, 0, ErrCorruptFile
+	}
+	run := make([]pam.KV[rangetree.Point, int64], count)
+	for i := range run {
+		x, _, err := pam.Float64At(data[used:])
+		if err != nil {
+			return nil, 0, err
+		}
+		y, _, err := pam.Float64At(data[used+8:])
+		if err != nil {
+			return nil, 0, err
+		}
+		w, n, err := pam.VarintAt(data[used+16:])
+		if err != nil {
+			return nil, 0, err
+		}
+		run[i] = pam.KV[rangetree.Point, int64]{Key: rangetree.Point{X: x, Y: y}, Val: w}
+		used += 16 + n
+	}
+	return run, used, nil
+}
+
+func appendLadderState(buf []byte, st rangetree.State) []byte {
+	buf = binary.AppendUvarint(buf, uint64(st.FlushCap))
+	buf = appendPointRun(buf, st.BufAdds)
+	buf = appendPointRun(buf, st.BufDels)
+	buf = binary.AppendUvarint(buf, uint64(len(st.Levels)))
+	for _, lv := range st.Levels {
+		buf = appendPointRun(buf, lv.Adds)
+		buf = appendPointRun(buf, lv.Dels)
+	}
+	return buf
+}
+
+func ladderStateAt(data []byte) (rangetree.State, int, error) {
+	var st rangetree.State
+	cap64, n := binary.Uvarint(data)
+	if n <= 0 || cap64 > 1<<31 {
+		return st, 0, ErrCorruptFile
+	}
+	st.FlushCap = int64(cap64)
+	used := n
+	var err error
+	if st.BufAdds, n, err = pointRunAt(data[used:]); err != nil {
+		return st, 0, err
+	}
+	used += n
+	if st.BufDels, n, err = pointRunAt(data[used:]); err != nil {
+		return st, 0, err
+	}
+	used += n
+	numLevels, n := binary.Uvarint(data[used:])
+	if n <= 0 || numLevels > uint64(len(data)-used) {
+		return st, 0, ErrCorruptFile
+	}
+	used += n
+	st.Levels = make([]dynLevelState, numLevels)
+	for i := range st.Levels {
+		if st.Levels[i].Adds, n, err = pointRunAt(data[used:]); err != nil {
+			return st, 0, err
+		}
+		used += n
+		if st.Levels[i].Dels, n, err = pointRunAt(data[used:]); err != nil {
+			return st, 0, err
+		}
+		used += n
+	}
+	return st, used, nil
+}
+
+// decodePointCheckpoint decodes one standalone point checkpoint file.
+func decodePointCheckpoint(proto rangetree.Tree, shards int, data []byte) (uint64, []rangetree.Tree, error) {
+	if len(data) < len(ptCkptMagic)+4 || string(data[:len(ptCkptMagic)]) != ptCkptMagic {
+		return 0, nil, ErrCorruptFile
+	}
+	body := data[: len(data)-4 : len(data)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return 0, nil, ErrCorruptFile
+	}
+	p := body[len(ptCkptMagic):]
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrCorruptFile
+	}
+	p = p[n:]
+	nShards, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrCorruptFile
+	}
+	p = p[n:]
+	if nShards != uint64(shards) {
+		return 0, nil, fmt.Errorf("%w: checkpoint has %d shards, store has %d", ErrCorruptFile, nShards, shards)
+	}
+	states := make([]rangetree.Tree, shards)
+	for i := range states {
+		st, used, err := ladderStateAt(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		p = p[used:]
+		// Rehydrate rebuilds per level and validates the ladder
+		// invariants, so a crafted file cannot produce a broken tree.
+		t, err := proto.Rehydrate(st)
+		if err != nil {
+			return 0, nil, err
+		}
+		states[i] = t
+	}
+	if len(p) != 0 {
+		return 0, nil, ErrCorruptFile
+	}
+	return seq, states, nil
+}
+
+// DurablePointStore wraps a PointStore with the WAL and full ladder
+// checkpoints. The same opts and splits must be passed at every reopen;
+// requires opts.Pool == false. See DurableStore for the acknowledgment
+// and recovery guarantees — they are identical.
+type DurablePointStore struct {
+	s  *PointStore
+	fs FS
+	w  *wal[PointOp]
+
+	ckptMu  sync.Mutex
+	every   uint64
+	batches atomic.Uint64
+
+	errMu sync.Mutex
+	bgErr error
+}
+
+// OpenDurablePointStore opens (or creates) a durable point store on
+// cfg.FS, recovering the newest checkpoint plus the WAL suffix.
+func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig) (*DurablePointStore, error) {
+	if cfg.FS == nil {
+		return nil, errors.New("serve: DurableConfig.FS is required")
+	}
+	if opts.Pool {
+		return nil, errors.New("serve: durable stores require Options.Pool == false")
+	}
+	names, err := cfg.FS.List()
+	if err != nil {
+		return nil, err
+	}
+	ckpts, walGens := parseDurableDir(names)
+	shards := len(splits) + 1
+	proto := rangetree.New(opts)
+
+	states := make([]rangetree.Tree, shards)
+	for i := range states {
+		states[i] = rangetree.New(opts)
+	}
+	var seq uint64
+	lastIdx := 0
+	if len(ckpts) > 0 {
+		lastIdx = ckpts[len(ckpts)-1]
+		data, err := cfg.FS.ReadFile(ckptName(lastIdx))
+		if err != nil {
+			return nil, err
+		}
+		if seq, states, err = decodePointCheckpoint(proto, shards, data); err != nil {
+			return nil, fmt.Errorf("%s: %w", ckptName(lastIdx), err)
+		}
+	}
+
+	route := pointRouter(splits)
+	next := seq
+	maxGen := lastIdx
+	for _, g := range walGens {
+		if g < lastIdx {
+			continue
+		}
+		if g > maxGen {
+			maxGen = g
+		}
+		data, err := cfg.FS.ReadFile(walName(g))
+		if err != nil {
+			return nil, err
+		}
+		batches, valid := decodeWALFile(pointOpEnc, data)
+		for _, b := range batches {
+			if b.seq != next {
+				return nil, fmt.Errorf("%s: %w: batch seq %d, want %d", walName(g), ErrCorruptFile, b.seq, next)
+			}
+			per := make([][]PointOp, shards)
+			for _, op := range b.ops {
+				i := route(op)
+				per[i] = append(per[i], op)
+			}
+			for i, sub := range per {
+				if len(sub) > 0 {
+					states[i] = applyPointOps(states[i], sub)
+				}
+			}
+			next++
+		}
+		if valid != len(data) {
+			if err := writeFileAtomic(cfg.FS, walTmpName, walName(g), data[:valid]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	w := newWAL(cfg.FS, pointOpEnc, maxGen, next)
+	return &DurablePointStore{
+		s: &PointStore{
+			eng:   newEngineAt(states, route, applyPointOps, next, w.appendLocked),
+			proto: proto,
+		},
+		fs:    cfg.FS,
+		w:     w,
+		every: uint64(cfg.CheckpointEvery),
+	}, nil
+}
+
+// Apply submits one write batch; acknowledgment (nil error) means the
+// batch is durable. See DurableStore.Apply.
+func (d *DurablePointStore) Apply(ops []PointOp) (uint64, error) {
+	seq := d.s.eng.applyBatch(ops)
+	if err := d.w.Sync(seq); err != nil {
+		return seq, err
+	}
+	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
+		if _, err := d.Checkpoint(); err != nil {
+			d.setErr(err)
+		}
+	}
+	return seq, nil
+}
+
+// Insert durably adds the weighted point.
+func (d *DurablePointStore) Insert(p rangetree.Point, w int64) (uint64, error) {
+	return d.Apply([]PointOp{InsertPoint(p, w)})
+}
+
+// Delete durably removes the point.
+func (d *DurablePointStore) Delete(p rangetree.Point) (uint64, error) {
+	return d.Apply([]PointOp{DeletePoint(p)})
+}
+
+// Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
+func (d *DurablePointStore) Snapshot() PointView { return d.s.Snapshot() }
+
+// NumShards returns the partition count.
+func (d *DurablePointStore) NumShards() int { return d.s.NumShards() }
+
+// Checkpoint writes a standalone checkpoint of every shard's ladder
+// state at one sequence point, publishes it atomically, and drops the
+// files it supersedes. Records in the returned stats counts the ladder
+// records serialized (point checkpoints are full, not incremental).
+func (d *DurablePointStore) Checkpoint() (CheckpointStats, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	var idx int
+	states, _, seq, _ := d.s.eng.snapshotWith(func() { idx = d.w.rotateLocked() })
+
+	file := append([]byte(nil), ptCkptMagic...)
+	file = binary.AppendUvarint(file, seq)
+	file = binary.AppendUvarint(file, uint64(len(states)))
+	records := 0
+	for _, t := range states {
+		st := t.Dehydrate()
+		records += len(st.BufAdds) + len(st.BufDels)
+		for _, lv := range st.Levels {
+			records += len(lv.Adds) + len(lv.Dels)
+		}
+		file = appendLadderState(file, st)
+	}
+	file = binary.LittleEndian.AppendUint32(file, crc32.ChecksumIEEE(file))
+	if err := writeFileAtomic(d.fs, ckptTmpName, ckptName(idx), file); err != nil {
+		return CheckpointStats{}, err
+	}
+	if seq == 0 || d.w.Sync(seq-1) == nil {
+		dropOldWALs(d.fs, idx)
+		dropOldCkpts(d.fs, idx)
+	}
+	return CheckpointStats{Seq: seq, Index: idx, Records: records, Bytes: len(file)}, nil
+}
+
+// dropOldCkpts removes superseded standalone checkpoints, best-effort.
+func dropOldCkpts(fs FS, idx int) {
+	names, err := fs.List()
+	if err != nil {
+		return
+	}
+	ckpts, _ := parseDurableDir(names)
+	for _, c := range ckpts {
+		if c < idx {
+			fs.Remove(ckptName(c))
+		}
+	}
+}
+
+// Err returns the first automatic-checkpoint error; see DurableStore.Err.
+func (d *DurablePointStore) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.bgErr
+}
+
+func (d *DurablePointStore) setErr(err error) {
+	d.errMu.Lock()
+	if d.bgErr == nil {
+		d.bgErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// Close stops the shard goroutines and flushes the WAL.
+func (d *DurablePointStore) Close() error {
+	d.s.Close()
+	return d.w.Close()
+}

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"fmt"
 
+	"repro/internal/seq"
 	"repro/pam"
 	"repro/serve"
 )
@@ -45,4 +46,47 @@ func Example() {
 	// entry: 42 10
 	// entry: 250 30
 	// entry: 350 40
+}
+
+// ExampleOpenDurableStore walks the durability lifecycle: writes are
+// acknowledged only once they reach the write-ahead log, Checkpoint
+// persists the shard trees incrementally (only blocks created since the
+// previous checkpoint), and reopening the same filesystem recovers the
+// checkpoint plus the logged tail — the exact acknowledged history.
+func ExampleOpenDurableStore() {
+	fs := serve.NewMemFS() // or serve.OSFS{Dir: "/var/lib/mystore"}
+
+	open := func() *serve.DurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]] {
+		d, err := serve.OpenDurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+			pam.Options{}, 2, seq.Mix64, pam.Uint64Codec(), serve.DurableConfig{FS: fs})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+
+	d := open()
+	d.Put(1, 10)
+	d.Put(2, 20)
+	stats, _ := d.Checkpoint() // durable base image
+	fmt.Println("checkpointed seq:", stats.Seq)
+	d.Put(3, 30) // lands in the WAL generation after the checkpoint
+	d.Delete(1)  // ditto
+	d.Close()
+
+	d = open() // recovery: checkpoint chain + WAL replay
+	defer d.Close()
+	v := d.Snapshot()
+	fmt.Println("recovered seq:", v.Seq())
+	fmt.Println("recovered sum:", v.AugVal())
+	v.ForEach(func(k uint64, val int64) bool {
+		fmt.Println("entry:", k, val)
+		return true
+	})
+	// Output:
+	// checkpointed seq: 2
+	// recovered seq: 4
+	// recovered sum: 50
+	// entry: 2 20
+	// entry: 3 30
 }

@@ -100,6 +100,11 @@ type shard[O, T any] struct {
 // marker-based snapshot/rebalance protocol.
 type engine[O, T any] struct {
 	apply func(T, []O) T
+	// logAppend, when non-nil, is called under the sequencer lock with
+	// every batch in sequence order — the WAL hook: because the lock
+	// serializes it with sequencing, log order is exactly sequence
+	// order, and the durable layer's acknowledged prefix is gapless.
+	logAppend func(seq uint64, ops []O)
 
 	mu     sync.Mutex // the sequencer: guards seq, route, closed, mailbox pushes
 	seq    uint64
@@ -110,7 +115,14 @@ type engine[O, T any] struct {
 }
 
 func newEngine[O, T any](states []T, route func(O) int, apply func(T, []O) T) *engine[O, T] {
-	e := &engine[O, T]{apply: apply, route: route}
+	return newEngineAt(states, route, apply, 0, nil)
+}
+
+// newEngineAt starts an engine whose next batch gets sequence number
+// startSeq (recovery resumes the sequence where the replayed prefix
+// ended) with an optional WAL hook.
+func newEngineAt[O, T any](states []T, route func(O) int, apply func(T, []O) T, startSeq uint64, logAppend func(uint64, []O)) *engine[O, T] {
+	e := &engine[O, T]{apply: apply, route: route, seq: startSeq, logAppend: logAppend}
 	e.shards = make([]*shard[O, T], len(states))
 	for i, st := range states {
 		s := &shard[O, T]{idx: i, mail: make(chan msg[O, T], mailCap), state: st}
@@ -186,6 +198,9 @@ func (e *engine[O, T]) applyBatch(ops []O) uint64 {
 	}
 	seq := e.seq
 	e.seq++
+	if e.logAppend != nil {
+		e.logAppend(seq, ops)
+	}
 	per := make([][]O, len(e.shards))
 	for _, op := range ops {
 		i := e.route(op)
@@ -207,6 +222,14 @@ func (e *engine[O, T]) applyBatch(ops []O) uint64 {
 // and assembles the states the markers observe: the store's contents
 // after exactly the batches sequenced before seq.
 func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, route func(O) int) {
+	return e.snapshotWith(nil)
+}
+
+// snapshotWith additionally runs pre under the sequencer lock, after
+// the markers are pushed: whatever pre does (the checkpoint protocol
+// rotates the WAL generation) happens at exactly the snapshot's
+// sequence point.
+func (e *engine[O, T]) snapshotWith(pre func()) (states []T, versions []uint64, seq uint64, route func(O) int) {
 	n := len(e.shards)
 	ch := make(chan shardState[T], n)
 	e.mu.Lock()
@@ -219,6 +242,9 @@ func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, ro
 	}
 	seq = e.seq
 	route = e.route
+	if pre != nil {
+		pre()
+	}
 	e.mu.Unlock()
 	states = make([]T, n)
 	versions = make([]uint64, n)
