@@ -39,7 +39,7 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 

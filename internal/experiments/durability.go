@@ -58,6 +58,19 @@ func DurableWriteThroughput(shards, totalOps int) float64 {
 	return float64(totalOps) / time.Since(start).Seconds()
 }
 
+// DurableAsyncWriteLatency is ServeAsyncWriteLatency with the WAL on:
+// a pipelined async batch resolves only after its group-commit fsync,
+// so the gap to serve_write_async_<n>shard is the durability cost a
+// fire-and-forget writer pays per acknowledged batch.
+func DurableAsyncWriteLatency(shards, totalOps int) TailStats {
+	d, err := openDurableStore(serve.NewMemFS(), shards)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	return asyncWriteTail(d.ApplyAsync, serveWriters, totalOps)
+}
+
 // durableBase builds an n-entry durable store with one full checkpoint
 // taken, the starting state for the incremental-checkpoint and recovery
 // measurements.

@@ -161,6 +161,16 @@ func runPerfSuite() []BenchResult {
 	out = append(out, tailResult("serve_read_under_writes", 2048,
 		ServeReadUnderWrites(min(4, 2*runtime.NumCPU()), 2048)))
 
+	// Async pipeline (PR 7): per-batch commit latency of sustained
+	// pipelined fire-and-forget writes, in-memory and with the WAL on
+	// (the gap is the group-commit fsync each async ack waits for).
+	runtime.GC()
+	out = append(out, tailResult("serve_write_async_4shard", serveOps,
+		ServeAsyncWriteLatency(4, serveOps)))
+	runtime.GC()
+	out = append(out, tailResult("serve_write_async_wal_4shard", serveOps,
+		DurableAsyncWriteLatency(4, serveOps)))
+
 	// Durability (PR 6): the same write shape with the WAL on (the gap
 	// to serve_write_4shard is the logging overhead), the cost of an
 	// incremental checkpoint capturing 64 updates against a 100k-entry

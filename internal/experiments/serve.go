@@ -72,6 +72,64 @@ func ServeWriteThroughput(shards, totalOps int) float64 {
 	return float64(totalOps) / d.Seconds()
 }
 
+// asyncWriteTail drives writers that each keep a window of in-flight
+// async batches (apply is Store.ApplyAsync or DurableStore.ApplyAsync)
+// and collects every batch's commit latency — the enqueue-to-resolve
+// time of a sustained-load fire-and-forget write. The window models a
+// client pipelining writes instead of blocking per batch.
+func asyncWriteTail(apply func([]serve.Op[uint64, int64]) (*serve.Future, error), writers, totalOps int) TailStats {
+	const window = 64
+	batches := totalOps / writers / serveBatchLen
+	lats := make([][]time.Duration, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, batches)
+			inflight := make([]*serve.Future, 0, window)
+			reap := func(f *serve.Future) {
+				lats[w] = append(lats[w], f.Wait().CommitLatency())
+			}
+			base := uint64(w) * uint64(batches*serveBatchLen)
+			for b := 0; b < batches; b++ {
+				batch := make([]serve.Op[uint64, int64], serveBatchLen)
+				for j := range batch {
+					k := (base + uint64(b*serveBatchLen+j)*0x9e3779b9) % serveKeySpace
+					batch[j] = serve.Put(k, int64(j))
+				}
+				f, err := apply(batch)
+				if err != nil {
+					panic(err) // block-mode admission on an open store cannot fail
+				}
+				inflight = append(inflight, f)
+				if len(inflight) == window {
+					reap(inflight[0])
+					inflight = inflight[1:]
+				}
+			}
+			for _, f := range inflight {
+				reap(f)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return tailStats(all)
+}
+
+// ServeAsyncWriteLatency measures the commit-latency tail of sustained
+// pipelined async writes (ApplyAsync + future resolution) at the given
+// shard count.
+func ServeAsyncWriteLatency(shards, totalOps int) TailStats {
+	s := newServeStore(shards)
+	defer s.Close()
+	return asyncWriteTail(s.ApplyAsync, serveWriters, totalOps)
+}
+
 // ServeReadUnderWrites measures per-read latency (Snapshot + Find)
 // while a background writer streams batches, returning tail stats over
 // q reads.
@@ -157,6 +215,7 @@ func init() {
 				q = 256
 			}
 			rd := ServeReadUnderWrites(min(4, runtime.NumCPU()*2), q)
+			aw := ServeAsyncWriteLatency(min(4, runtime.NumCPU()*2), totalOps)
 			return []Table{
 				{
 					Title:  "Serve write throughput",
@@ -170,6 +229,14 @@ func init() {
 					Header: []string{"p50", "p99", "mean"},
 					Rows: [][]string{{
 						rd.P50.String(), rd.P99.String(), rd.Mean.String(),
+					}},
+				},
+				{
+					Title:  "Serve async write commit latency",
+					Note:   fmt.Sprintf("ApplyAsync enqueue-to-resolve per %d-op batch, %d writers pipelining 64 in-flight batches", serveBatchLen, serveWriters),
+					Header: []string{"p50", "p99", "mean"},
+					Rows: [][]string{{
+						aw.P50.String(), aw.P99.String(), aw.Mean.String(),
 					}},
 				},
 			}

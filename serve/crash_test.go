@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/pam"
@@ -48,9 +49,13 @@ func runCrashSchedule(t *testing.T, seed int64) {
 	shards := 1 + rng.Intn(3)
 	writers := 1 + rng.Intn(3)
 	every := rng.Intn(4) * 3 // 0 disables automatic checkpoints
+	var tuning []Tuning
+	if rng.Intn(2) == 0 { // half the schedules run a non-default pipeline
+		tuning = append(tuning, crashTuning(rng))
+	}
 	const keySpace = 24
 
-	d, err := openDurSum(fs, shards, every)
+	d, err := openDurSum(fs, shards, every, tuning...)
 	if err != nil {
 		t.Fatalf("initial open on an empty filesystem: %v", err)
 	}
@@ -198,6 +203,136 @@ func TestCrashRecoverySchedules(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			runCrashSchedule(t, seed)
+		})
+	}
+}
+
+// crashTuning derives a randomized async-pipeline tuning for a crash
+// schedule: small mailboxes and budgets keep the admission path hot,
+// short flush windows keep shards holding async batches when the
+// filesystem dies.
+func crashTuning(rng *rand.Rand) Tuning {
+	return Tuning{
+		MailboxDepth:  1 + rng.Intn(4),
+		ShardOpBudget: 2 + rng.Intn(24),
+		FlushOps:      1 + rng.Intn(8),
+		FlushWait:     time.Duration(rng.Intn(150)) * time.Microsecond,
+	}
+}
+
+// runAsyncCrashSchedule is the asynchronous twin of runCrashSchedule:
+// writers submit through ApplyAsync and keep going without waiting, so
+// the kill point lands anywhere between a future's enqueue and the WAL
+// fsync that would resolve it. Close resolves every outstanding future;
+// a future that resolved with a nil Ack.Err is an acknowledged durable
+// batch and must survive recovery exactly like a sync ack.
+func runAsyncCrashSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fs := NewMemFS()
+	if rng.Intn(5) > 0 {
+		fs.SetKillPoint(int64(rng.Intn(140)), rand.New(rand.NewSource(seed^0x7f4a7c15)))
+	}
+	shards := 1 + rng.Intn(3)
+	writers := 1 + rng.Intn(3)
+	every := rng.Intn(4) * 3
+	tun := crashTuning(rng)
+	const keySpace = 24
+
+	d, err := openDurSum(fs, shards, every, tun)
+	if err != nil {
+		t.Fatalf("initial open on an empty filesystem: %v", err)
+	}
+
+	type step struct {
+		ops  []kvop
+		ckpt bool
+	}
+	plans := make([][]step, writers)
+	for w := range plans {
+		for b := 2 + rng.Intn(8); b > 0; b-- {
+			ops := make([]kvop, 1+rng.Intn(5))
+			for i := range ops {
+				k := uint64(rng.Intn(keySpace))
+				if rng.Intn(3) == 0 {
+					ops[i] = kvop{Kind: OpDelete, Key: k}
+				} else {
+					ops[i] = kvop{Kind: OpPut, Key: k, Val: int64(rng.Intn(100))}
+				}
+			}
+			plans[w] = append(plans[w], step{ops: ops, ckpt: rng.Intn(5) == 0})
+		}
+	}
+
+	type asyncSub struct {
+		fut *Future
+		ops []kvop
+	}
+	var mu sync.Mutex
+	var pending []asyncSub
+	var wg sync.WaitGroup
+	for w := range plans {
+		wg.Add(1)
+		go func(steps []step) {
+			defer wg.Done()
+			for _, s := range steps {
+				f, err := d.ApplyAsync(s.ops)
+				if err != nil {
+					// Block-mode admission on an open store never fails;
+					// the WAL error surfaces in the Ack, not here.
+					t.Errorf("ApplyAsync: %v", err)
+					return
+				}
+				mu.Lock()
+				pending = append(pending, asyncSub{fut: f, ops: s.ops})
+				mu.Unlock()
+				if s.ckpt {
+					if _, err := d.Checkpoint(); err != nil {
+						return // the filesystem is gone; this writer stops
+					}
+				}
+			}
+		}(plans[w])
+	}
+	wg.Wait()
+	d.Close() // resolves every outstanding future, durably or with its error
+
+	subs := make([]crashBatch, 0, len(pending))
+	for _, s := range pending {
+		a, ok := s.fut.TryAck()
+		if !ok {
+			t.Fatalf("future seq %d still unresolved after Close", s.fut.Seq())
+		}
+		if a.Seq != s.fut.Seq() {
+			t.Fatalf("Ack.Seq %d != Future.Seq %d", a.Seq, s.fut.Seq())
+		}
+		if a.Err == nil && (a.Enqueued.After(a.Flushed) || a.Flushed.After(a.Committed)) {
+			t.Fatalf("seq %d: timestamps out of order: enq %v flush %v commit %v",
+				a.Seq, a.Enqueued, a.Flushed, a.Committed)
+		}
+		subs = append(subs, crashBatch{seq: s.fut.Seq(), ops: s.ops, acked: a.Err == nil})
+	}
+
+	d2, err := openDurSum(NewMemFSFrom(fs.DurableState()), shards, 0)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	verifyCrashRecovery(t, d2, subs, false)
+	d2.Close()
+}
+
+// TestAsyncCrashRecoverySchedules runs the fault-injection harness with
+// fire-and-forget writers: the recovery contract must hold with "acked"
+// meaning "future resolved with nil error" instead of "Apply returned".
+func TestAsyncCrashRecoverySchedules(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 120
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(i) + 40001
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAsyncCrashSchedule(t, seed)
 		})
 	}
 }

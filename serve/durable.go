@@ -80,6 +80,11 @@ type DurableConfig struct {
 	// checkpoint does not fail the Apply that triggered it (the batch
 	// is already durable); the error is surfaced by Err.
 	CheckpointEvery int
+	// Tuning configures the async write pipeline of the underlying
+	// store (mailbox bounds, backpressure, flush triggers).
+	// Tuning.AutoRebalance is ignored: a durable store's routing is
+	// part of its on-disk schema and never changes.
+	Tuning Tuning
 }
 
 // CheckpointStats reports what one checkpoint wrote.
@@ -345,32 +350,55 @@ func OpenDurableStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards 
 
 	w := newWAL(cfg.FS, enc, maxGen, next)
 	d := &DurableStore[K, V, A, E]{
-		s:     &Store[K, V, A, E]{eng: newEngineAt(states, route, applyOps[K, V, A, E], next, w.appendLocked)},
 		fs:    cfg.FS,
 		w:     w,
 		codec: codec,
 		rs:    tb.RecordSet(),
 		every: uint64(cfg.CheckpointEvery),
 	}
+	// The commit hook runs on the engine's resolver, in sequence order,
+	// after the batch is applied: group-commit the WAL through seq, then
+	// count the batch toward the automatic checkpoint. A future
+	// therefore resolves only once its batch is fsynced.
+	h := hooks[Op[K, V]]{logAppend: w.appendLocked, commit: d.commitSeq}
+	d.s = &Store[K, V, A, E]{eng: newEngineAt(states, route, applyOps[K, V, A, E], next, h, cfg.Tuning.withDefaults())}
 	return d, nil
+}
+
+// commitSeq is the resolver-side durability step: fsync the WAL through
+// seq (instant when a group commit already covered it) and take the
+// periodic automatic checkpoint.
+func (d *DurableStore[K, V, A, E]) commitSeq(seq uint64) error {
+	if err := d.w.Sync(seq); err != nil {
+		return err
+	}
+	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
+		// ErrClosed means the engine is shutting down under the resolver
+		// while it drains the final futures; the batches are already
+		// durable, so a skipped periodic checkpoint is not an error.
+		if _, err := d.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+			d.setErr(err)
+		}
+	}
+	return nil
 }
 
 // Apply submits one write batch and blocks until every involved shard
 // has applied it AND its WAL record is durable; only then is the batch
-// acknowledged (nil error). On error the batch is unacknowledged: it
-// may or may not survive a crash, but never breaks the recovered
-// prefix. Returns the batch's global sequence number either way.
+// acknowledged (nil error). On a WAL error the batch is unacknowledged:
+// it may or may not survive a crash, but never breaks the recovered
+// prefix; the returned sequence number is still the batch's. ErrClosed
+// and ErrOverloaded mean the batch was never admitted at all.
 func (d *DurableStore[K, V, A, E]) Apply(ops []Op[K, V]) (uint64, error) {
-	seq := d.s.eng.applyBatch(ops)
-	if err := d.w.Sync(seq); err != nil {
-		return seq, err
-	}
-	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
-		if _, err := d.Checkpoint(); err != nil {
-			d.setErr(err)
-		}
-	}
-	return seq, nil
+	return d.s.eng.applyBatch(ops)
+}
+
+// ApplyAsync submits one write batch fire-and-forget and returns its
+// completion future. The future resolves — in global sequence order —
+// only after the batch's WAL record is fsynced, so a nil Ack.Err is
+// the same durability guarantee the sync Apply gives.
+func (d *DurableStore[K, V, A, E]) ApplyAsync(ops []Op[K, V]) (*Future, error) {
+	return d.s.eng.applyAsync(ops, false)
 }
 
 // Put durably stores (k, v) and returns the write's sequence number.
@@ -378,10 +406,23 @@ func (d *DurableStore[K, V, A, E]) Put(k K, v V) (uint64, error) {
 	return d.Apply([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
 }
 
+// PutAsync is the fire-and-forget Put; see ApplyAsync.
+func (d *DurableStore[K, V, A, E]) PutAsync(k K, v V) (*Future, error) {
+	return d.ApplyAsync([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
+}
+
 // Delete durably removes k and returns the write's sequence number.
 func (d *DurableStore[K, V, A, E]) Delete(k K) (uint64, error) {
 	return d.Apply([]Op[K, V]{{Kind: OpDelete, Key: k}})
 }
+
+// DeleteAsync is the fire-and-forget Delete; see ApplyAsync.
+func (d *DurableStore[K, V, A, E]) DeleteAsync(k K) (*Future, error) {
+	return d.ApplyAsync([]Op[K, V]{{Kind: OpDelete, Key: k}})
+}
+
+// Stats samples the per-shard pipeline counters; see Store.Stats.
+func (d *DurableStore[K, V, A, E]) Stats() []ShardStats { return d.s.Stats() }
 
 // Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
 func (d *DurableStore[K, V, A, E]) Snapshot() View[K, V, A, E] { return d.s.Snapshot() }
@@ -399,7 +440,10 @@ func (d *DurableStore[K, V, A, E]) Checkpoint() (CheckpointStats, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	var idx int
-	states, _, seq, _ := d.s.eng.snapshotWith(func() { idx = d.w.rotateLocked() })
+	states, _, seq, _, ok := d.s.eng.trySnapshotWith(func() { idx = d.w.rotateLocked() })
+	if !ok {
+		return CheckpointStats{}, ErrClosed
+	}
 
 	// Encode against a clone: ids are committed only with the file, so
 	// a failed attempt never burns ids the on-disk chain hasn't seen.
@@ -468,8 +512,9 @@ func (d *DurableStore[K, V, A, E]) setErr(err error) {
 	d.errMu.Unlock()
 }
 
-// Close stops the shard goroutines and flushes the WAL. The caller must
-// have stopped submitting first.
+// Close stops the shard goroutines and flushes the WAL. In-flight
+// futures resolve (durably committed) before Close returns; subsequent
+// writes return ErrClosed.
 func (d *DurableStore[K, V, A, E]) Close() error {
 	d.s.Close()
 	return d.w.Close()

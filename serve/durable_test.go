@@ -12,10 +12,13 @@ import (
 
 type durSumStore = DurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]]
 
-func openDurSum(fs FS, shards, every int) (*durSumStore, error) {
+func openDurSum(fs FS, shards, every int, tuning ...Tuning) (*durSumStore, error) {
+	cfg := DurableConfig{FS: fs, CheckpointEvery: every}
+	if len(tuning) > 0 {
+		cfg.Tuning = tuning[0]
+	}
 	return OpenDurableStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
-		pam.Options{}, shards, mixHash, pam.Uint64Codec(),
-		DurableConfig{FS: fs, CheckpointEvery: every})
+		pam.Options{}, shards, mixHash, pam.Uint64Codec(), cfg)
 }
 
 // applyAll applies a batch and fails the test on any durability error.

@@ -304,30 +304,44 @@ func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig
 	}
 
 	w := newWAL(cfg.FS, pointOpEnc, maxGen, next)
-	return &DurablePointStore{
-		s: &PointStore{
-			eng:   newEngineAt(states, route, applyPointOps, next, w.appendLocked),
-			proto: proto,
-		},
+	d := &DurablePointStore{
 		fs:    cfg.FS,
 		w:     w,
 		every: uint64(cfg.CheckpointEvery),
-	}, nil
+	}
+	h := hooks[PointOp]{logAppend: w.appendLocked, commit: d.commitSeq}
+	d.s = &PointStore{
+		eng:   newEngineAt(states, route, applyPointOps, next, h, cfg.Tuning.withDefaults()),
+		proto: proto,
+	}
+	return d, nil
+}
+
+// commitSeq is the resolver-side durability step; see
+// DurableStore.commitSeq.
+func (d *DurablePointStore) commitSeq(seq uint64) error {
+	if err := d.w.Sync(seq); err != nil {
+		return err
+	}
+	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
+		if _, err := d.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+			d.setErr(err)
+		}
+	}
+	return nil
 }
 
 // Apply submits one write batch; acknowledgment (nil error) means the
 // batch is durable. See DurableStore.Apply.
 func (d *DurablePointStore) Apply(ops []PointOp) (uint64, error) {
-	seq := d.s.eng.applyBatch(ops)
-	if err := d.w.Sync(seq); err != nil {
-		return seq, err
-	}
-	if d.every > 0 && d.batches.Add(1)%d.every == 0 {
-		if _, err := d.Checkpoint(); err != nil {
-			d.setErr(err)
-		}
-	}
-	return seq, nil
+	return d.s.eng.applyBatch(ops)
+}
+
+// ApplyAsync submits one write batch fire-and-forget; the returned
+// future resolves only after the batch's WAL record is fsynced. See
+// DurableStore.ApplyAsync.
+func (d *DurablePointStore) ApplyAsync(ops []PointOp) (*Future, error) {
+	return d.s.eng.applyAsync(ops, false)
 }
 
 // Insert durably adds the weighted point.
@@ -335,10 +349,23 @@ func (d *DurablePointStore) Insert(p rangetree.Point, w int64) (uint64, error) {
 	return d.Apply([]PointOp{InsertPoint(p, w)})
 }
 
+// InsertAsync is the fire-and-forget Insert; see ApplyAsync.
+func (d *DurablePointStore) InsertAsync(p rangetree.Point, w int64) (*Future, error) {
+	return d.ApplyAsync([]PointOp{InsertPoint(p, w)})
+}
+
 // Delete durably removes the point.
 func (d *DurablePointStore) Delete(p rangetree.Point) (uint64, error) {
 	return d.Apply([]PointOp{DeletePoint(p)})
 }
+
+// DeleteAsync is the fire-and-forget Delete; see ApplyAsync.
+func (d *DurablePointStore) DeleteAsync(p rangetree.Point) (*Future, error) {
+	return d.ApplyAsync([]PointOp{DeletePoint(p)})
+}
+
+// Stats samples the per-shard pipeline counters; see Store.Stats.
+func (d *DurablePointStore) Stats() []ShardStats { return d.s.Stats() }
 
 // Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
 func (d *DurablePointStore) Snapshot() PointView { return d.s.Snapshot() }
@@ -354,7 +381,10 @@ func (d *DurablePointStore) Checkpoint() (CheckpointStats, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	var idx int
-	states, _, seq, _ := d.s.eng.snapshotWith(func() { idx = d.w.rotateLocked() })
+	states, _, seq, _, ok := d.s.eng.trySnapshotWith(func() { idx = d.w.rotateLocked() })
+	if !ok {
+		return CheckpointStats{}, ErrClosed
+	}
 
 	file := append([]byte(nil), ptCkptMagic...)
 	file = binary.AppendUvarint(file, seq)
@@ -408,7 +438,8 @@ func (d *DurablePointStore) setErr(err error) {
 	d.errMu.Unlock()
 }
 
-// Close stops the shard goroutines and flushes the WAL.
+// Close stops the shard goroutines and flushes the WAL. In-flight
+// futures resolve (durably committed) before Close returns.
 func (d *DurablePointStore) Close() error {
 	d.s.Close()
 	return d.w.Close()

@@ -2,33 +2,48 @@ package serve
 
 // FuzzServe fuzzes the differential harness itself: every input is one
 // randomized concurrent schedule (map leg + ladder-backed spatial leg)
-// whose snapshots must all equal their sequential prefix states. The
-// seed corpus interleaves snapshot acquisition with carry cascades:
-// tiny flush capacities and op counts just past powers of two keep the
-// spatial shards mid-carry when markers arrive.
+// whose snapshots must all equal their sequential prefix states, plus
+// an async leg running the same schedule through the future pipeline
+// under fuzzed tuning (mailbox depth, op budget, flush window,
+// backpressure mode, auto-rebalance). The seed corpus interleaves
+// snapshot acquisition with carry cascades and pins the async corner
+// cases: a perpetually full mailbox, a flush window that always fires
+// before the size trigger, and a skew that trips the rebalance policy.
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
 
 func FuzzServe(f *testing.F) {
-	// seed, shards, writers, batches, batchLen, flushCap, ranged
-	f.Add(uint64(1), uint8(2), uint8(2), uint8(4), uint8(6), uint8(4), true)
-	f.Add(uint64(7), uint8(3), uint8(3), uint8(8), uint8(3), uint8(2), false)
+	// seed, shards, writers, batches, batchLen, flushCap,
+	// depth, budget, waitMicros, ranged, fastfail, autoRe
+	f.Add(uint64(1), uint8(2), uint8(2), uint8(4), uint8(6), uint8(4), uint8(0), uint8(0), uint8(0), true, false, false)
+	f.Add(uint64(7), uint8(3), uint8(3), uint8(8), uint8(3), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false)
 	// Carry-cascade seeds: flushCap 2 with op counts crossing 2^k flushes,
 	// snapshots interleaved with the cascades.
-	f.Add(uint64(17), uint8(4), uint8(2), uint8(9), uint8(7), uint8(2), true)
-	f.Add(uint64(33), uint8(1), uint8(3), uint8(5), uint8(5), uint8(3), true)
-	f.Add(uint64(64), uint8(2), uint8(4), uint8(7), uint8(4), uint8(2), false)
+	f.Add(uint64(17), uint8(4), uint8(2), uint8(9), uint8(7), uint8(2), uint8(0), uint8(0), uint8(0), true, false, false)
+	f.Add(uint64(33), uint8(1), uint8(3), uint8(5), uint8(5), uint8(3), uint8(0), uint8(0), uint8(0), true, false, false)
+	f.Add(uint64(64), uint8(2), uint8(4), uint8(7), uint8(4), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false)
 	// Leaf-block boundary: a single shard with maximal batch volume on
 	// the 64-key space drives the shard map across the default 32-entry
 	// block size, so coalesced MultiInserts split and re-merge blocks
 	// while snapshots hold references to the old ones.
-	f.Add(uint64(91), uint8(1), uint8(3), uint8(8), uint8(8), uint8(3), true)
+	f.Add(uint64(91), uint8(1), uint8(3), uint8(8), uint8(8), uint8(3), uint8(0), uint8(0), uint8(0), true, false, false)
+	// Full-mailbox seed: depth 1 and a 2-op budget on a single shard keep
+	// every admission decision on the backpressure path, in both modes.
+	f.Add(uint64(1001), uint8(0), uint8(3), uint8(8), uint8(8), uint8(3), uint8(1), uint8(1), uint8(0), true, false, false)
+	f.Add(uint64(1002), uint8(0), uint8(3), uint8(8), uint8(8), uint8(3), uint8(1), uint8(1), uint8(0), true, true, false)
+	// Max-wait-fires-first seed: a huge budget with a tiny flush window
+	// means every flush is triggered by the timer, never by FlushOps.
+	f.Add(uint64(1003), uint8(2), uint8(2), uint8(6), uint8(2), uint8(4), uint8(7), uint8(31), uint8(49), true, false, false)
+	// Skew-triggered-rebalance seed: ranged with auto-rebalance armed at
+	// an aggressive threshold while writers hammer a 64-key space.
+	f.Add(uint64(1004), uint8(3), uint8(3), uint8(8), uint8(6), uint8(3), uint8(3), uint8(15), uint8(99), true, false, true)
 
-	f.Fuzz(func(t *testing.T, seed uint64, shards, writers, batches, batchLen, flushCap uint8, ranged bool) {
+	f.Fuzz(func(t *testing.T, seed uint64, shards, writers, batches, batchLen, flushCap, depth, budget, waitMicros uint8, ranged, fastfail, autoRe bool) {
 		cfg := workload.ScheduleCfg{
 			Writers:   1 + int(writers)%3,
 			Batches:   1 + int(batches)%8,
@@ -40,5 +55,24 @@ func FuzzServe(f *testing.F) {
 		nShards := 1 + int(shards)%4
 		runMapSchedule(t, seed, cfg, nShards, ranged, ranged)
 		runPointSchedule(t, seed, cfg.Writers, 16+int(batches)*8, 1+int(shards)%3, 2+int(flushCap)%14)
+
+		tun := Tuning{
+			MailboxDepth:  1 + int(depth)%8,
+			ShardOpBudget: 1 + int(budget)%32,
+			FlushOps:      1 + int(batchLen)%16,
+			FlushWait:     time.Duration(waitMicros%200) * time.Microsecond,
+		}
+		if fastfail {
+			tun.Backpressure = BackpressureFastFail
+		}
+		if autoRe && ranged {
+			tun.AutoRebalance = &AutoRebalance{
+				CheckEvery: 500 * time.Microsecond,
+				SizeSkew:   1.2,
+				Sustain:    1,
+				MinSize:    8,
+			}
+		}
+		runAsyncMapSchedule(t, seed, cfg, nShards, ranged, ranged, tun)
 	})
 }

@@ -23,11 +23,13 @@ package serve
 //     agrees with the oracle's entries, full and range-bounded.
 
 import (
+	"errors"
 	"runtime"
 	"slices"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/workload"
@@ -86,7 +88,11 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 		go func(batches []workload.KVBatch) {
 			defer wg.Done()
 			for _, b := range batches {
-				seqn := s.Apply(toOps(b.Ops))
+				seqn, err := s.Apply(toOps(b.Ops))
+				if err != nil {
+					t.Errorf("Apply: %v", err)
+					return
+				}
 				mu.Lock()
 				acked = append(acked, ackedBatch{seq: seqn, ops: b.Ops})
 				mu.Unlock()
@@ -306,6 +312,244 @@ func TestServeDifferentialDeep(t *testing.T) {
 	}
 }
 
+// ---- the async pipeline, differentially ----------------------------
+
+// runAsyncMapSchedule is the async-aware variant of runMapSchedule:
+// writers submit every batch fire-and-forget via ApplyAsync (retrying
+// on ErrOverloaded under fast-fail backpressure), record the assigned
+// seqno at enqueue, and only after the whole schedule has been
+// submitted are the futures collected — out of order (newest first per
+// writer) — and their acks verified. On top of runMapSchedule's
+// oracle checks it proves:
+//
+//   - every future resolves with a nil error and its enqueue-time seq;
+//   - ack timestamps are ordered: Enqueued <= Flushed <= Committed;
+//   - futures resolve in sequence order: whenever a future has
+//     resolved, so has every future with a smaller seq (checked per
+//     writer via TryAck, and globally via Committed monotone in seq);
+//   - a snapshot taken between enqueue and resolve already covers the
+//     enqueued batch's sequence position (v.Seq() > f.Seq()), and the
+//     oracle replay proves it shows the batch's prefix exactly;
+//   - fast-fail rejections consume no sequence number (the dense-seq
+//     check in verifyMapSnapshots would catch a burned seqno).
+func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards int, ranged, rebalance bool, tun Tuning) {
+	t.Helper()
+	var s *sumStore
+	if ranged {
+		splits := make([]uint64, shards-1)
+		for i := range splits {
+			splits[i] = uint64(i+1) * cfg.KeySpace / uint64(shards)
+		}
+		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits, tun)
+	} else {
+		s = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash, tun)
+	}
+	defer s.Close()
+
+	sched := workload.Schedule(seed, cfg)
+	var mu sync.Mutex
+	var acked []ackedBatch
+	var snaps []sumView
+	futsByWriter := make([][]*Future, len(sched))
+
+	var wg sync.WaitGroup
+	for w := range sched {
+		wg.Add(1)
+		go func(w int, batches []workload.KVBatch) {
+			defer wg.Done()
+			for _, b := range batches {
+				var f *Future
+				for {
+					var err error
+					f, err = s.ApplyAsync(toOps(b.Ops))
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("ApplyAsync: %v", err)
+						return
+					}
+					runtime.Gosched() // fast-fail backpressure: retry
+				}
+				futsByWriter[w] = append(futsByWriter[w], f)
+				mu.Lock()
+				acked = append(acked, ackedBatch{seq: f.Seq(), ops: b.Ops})
+				mu.Unlock()
+				if b.Snap {
+					// Between enqueue and resolve: the batch is already
+					// sequenced, so the snapshot must sit above it (and
+					// the oracle replay proves it contains the batch).
+					v := s.Snapshot()
+					if v.Seq() <= f.Seq() {
+						t.Errorf("snapshot at seq %d below enqueued batch seq %d", v.Seq(), f.Seq())
+					}
+					mu.Lock()
+					if len(snaps) < maxRecordedSnaps {
+						snaps = append(snaps, v)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w, sched[w])
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() { // concurrent snapshotter, as in runMapSchedule
+		defer aux.Done()
+		var prev sumView
+		have := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.Snapshot()
+			if have && v.Seq() < prev.Seq() {
+				t.Errorf("snapshot Seq went backwards: %d then %d", prev.Seq(), v.Seq())
+			}
+			prev, have = v, true
+			mu.Lock()
+			if len(snaps) < maxRecordedSnaps {
+				snaps = append(snaps, v)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+		}
+	}()
+	if rebalance && ranged {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Rebalance()
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	// Collect out of order: newest first within each writer. When a
+	// future has resolved, every earlier (smaller-seq) future of the
+	// same writer must have resolved too — resolution follows the
+	// sequencer, not completion luck.
+	var acks []Ack
+	for w, futs := range futsByWriter {
+		for i := len(futs) - 1; i >= 0; i-- {
+			a := futs[i].Wait()
+			if a.Err != nil {
+				t.Fatalf("writer %d future seq %d resolved with error: %v", w, futs[i].Seq(), a.Err)
+			}
+			if a.Seq != futs[i].Seq() {
+				t.Fatalf("ack seq %d != enqueue seq %d", a.Seq, futs[i].Seq())
+			}
+			if a.Flushed.Before(a.Enqueued) || a.Committed.Before(a.Flushed) {
+				t.Fatalf("ack timestamps out of order: enq %v flush %v commit %v", a.Enqueued, a.Flushed, a.Committed)
+			}
+			for j := 0; j < i; j++ {
+				if _, ok := futs[j].TryAck(); !ok {
+					t.Fatalf("future seq %d resolved before earlier future seq %d of the same writer", futs[i].Seq(), futs[j].Seq())
+				}
+			}
+			acks = append(acks, a)
+		}
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i].Seq < acks[j].Seq })
+	for i := 1; i < len(acks); i++ {
+		if acks[i].Committed.Before(acks[i-1].Committed) {
+			t.Errorf("commit timestamps violate sequence order: seq %d at %v before seq %d at %v",
+				acks[i].Seq, acks[i].Committed, acks[i-1].Seq, acks[i-1].Committed)
+		}
+	}
+
+	snaps = append(snaps, s.Snapshot())
+	verifyMapSnapshots(t, acked, snaps, cfg.KeySpace)
+}
+
+// asyncHarnessTuning varies the pipeline knobs across schedules: the
+// default greedy pipeline, tiny mailbox/op budgets (full-mailbox
+// admission paths), non-zero coalescing windows (max-wait flushes), and
+// every seventh schedule fast-fail backpressure (writers retry).
+func asyncHarnessTuning(i int) Tuning {
+	var tun Tuning
+	switch i % 4 {
+	case 0: // defaults: deep mailboxes, greedy flush
+	case 1:
+		tun.MailboxDepth = 1 + i%3
+		tun.ShardOpBudget = 4 + i%13
+	case 2:
+		tun.FlushWait = time.Duration(50+50*(i%7)) * time.Microsecond
+		tun.FlushOps = 2 + i%11
+	case 3:
+		tun.MailboxDepth = 2
+		tun.ShardOpBudget = 8
+		tun.FlushWait = 200 * time.Microsecond
+	}
+	if i%7 == 3 {
+		tun.Backpressure = BackpressureFastFail
+	}
+	return tun
+}
+
+// TestServeAsyncDifferentialSchedules is the async half of the headline
+// check: 1000+ randomized schedules of fire-and-forget writers across
+// varied partitioning, mailbox bounds, backpressure policies, and
+// coalescing windows, each differentially verified against the
+// sequential oracle. Run under -race by `make race` and CI.
+func TestServeAsyncDifferentialSchedules(t *testing.T) {
+	schedules := 1000
+	if testing.Short() {
+		schedules = 120
+	}
+	for i := 0; i < schedules; i++ {
+		cfg := workload.ScheduleCfg{
+			Writers:   1 + i%3,
+			Batches:   3 + i%5,
+			BatchLen:  1 + i%8,
+			KeySpace:  32 << (i % 3),
+			DelEvery:  3,
+			SnapEvery: 2,
+		}
+		shards := 1 + i%5
+		tun := asyncHarnessTuning(i)
+		runAsyncMapSchedule(t, uint64(i+1), cfg, shards, i%2 == 0, false, tun)
+		if t.Failed() {
+			t.Fatalf("async schedule %d (seed %d, %+v, shards %d, tuning %+v) failed", i, i+1, cfg, shards, tun)
+		}
+	}
+}
+
+// TestServeAsyncDeep runs fewer, larger async schedules with a
+// concurrent rebalancer in flight and tight budgets, so blocked
+// admission, coalescing holds, markers, and route changes interleave.
+func TestServeAsyncDeep(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := workload.ScheduleCfg{
+			Writers:   4,
+			Batches:   30,
+			BatchLen:  16,
+			KeySpace:  256,
+			DelEvery:  3,
+			SnapEvery: 3,
+		}
+		tun := Tuning{MailboxDepth: 2, ShardOpBudget: 48, FlushWait: 100 * time.Microsecond, FlushOps: 24}
+		runAsyncMapSchedule(t, seed, cfg, 4, true, true, tun)
+		if t.Failed() {
+			t.Fatalf("deep async schedule seed %d failed", seed)
+		}
+	}
+}
+
 // ---- the spatial store, differentially -----------------------------
 
 // gridPoint quantizes an op's unit-square coordinates onto a small
@@ -357,13 +601,21 @@ func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap in
 				p := gridPoint(op.A, op.B)
 				switch op.Kind {
 				case workload.OpInsert:
-					seqn := s.Insert(p, op.W)
+					seqn, err := s.Insert(p, op.W)
+					if err != nil {
+						t.Errorf("Insert: %v", err)
+						return
+					}
 					mu.Lock()
 					acked = append(acked, pointAck{seq: seqn, p: p, w: op.W})
 					mu.Unlock()
 					lastSeq, wrote = seqn, true
 				case workload.OpDelete:
-					seqn := s.Delete(p)
+					seqn, err := s.Delete(p)
+					if err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
 					mu.Lock()
 					acked = append(acked, pointAck{seq: seqn, del: true, p: p})
 					mu.Unlock()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"sync"
 
 	"repro/pam"
 	"repro/rangetree"
@@ -31,21 +32,35 @@ func DeletePoint(p rangetree.Point) PointOp { return PointOp{Kind: OpDelete, P: 
 type PointStore struct {
 	eng   *engine[PointOp, rangetree.Tree]
 	proto rangetree.Tree // empty tree with the configured options, for rebuilds
+
+	policyStop chan struct{}
+	policyWg   sync.WaitGroup
+	policyOnce sync.Once
 }
 
 // NewPointStore returns a point store partitioned at the given strictly
 // increasing x splits (len(splits)+1 shards): a point belongs to the
 // shard of its x coordinate, points with x at or above a split go
-// right. Point stores support Rebalance.
-func NewPointStore(opts pam.Options, splits []float64) *PointStore {
+// right. Point stores support Rebalance, and an optional Tuning with
+// AutoRebalance set starts the automatic skew-triggered rebalance
+// policy.
+func NewPointStore(opts pam.Options, splits []float64, tuning ...Tuning) *PointStore {
 	states := make([]rangetree.Tree, len(splits)+1)
 	for i := range states {
 		states[i] = rangetree.New(opts)
 	}
-	return &PointStore{
-		eng:   newEngine(states, pointRouter(splits), applyPointOps),
+	tun := pickTuning(tuning)
+	s := &PointStore{
+		eng:   newEngine(states, pointRouter(splits), applyPointOps, tun),
 		proto: rangetree.New(opts),
 	}
+	if tun.AutoRebalance != nil {
+		s.policyStop = make(chan struct{})
+		startAutoRebalance(s.eng, *tun.AutoRebalance,
+			func(t rangetree.Tree) int64 { return t.Size() },
+			s.Rebalance, s.policyStop, &s.policyWg)
+	}
+	return s
 }
 
 // pointRouter routes a point to the count of splits at or below its x.
@@ -78,20 +93,41 @@ func applyPointOps(t rangetree.Tree, ops []PointOp) rangetree.Tree {
 }
 
 // Apply submits one write batch, blocks until every involved shard has
-// applied it, and returns the batch's global sequence number.
-func (s *PointStore) Apply(ops []PointOp) uint64 { return s.eng.applyBatch(ops) }
+// applied it and every earlier batch has resolved, and returns the
+// batch's global sequence number. Returns ErrClosed after Close and
+// ErrOverloaded under fast-fail backpressure.
+func (s *PointStore) Apply(ops []PointOp) (uint64, error) { return s.eng.applyBatch(ops) }
+
+// ApplyAsync submits one write batch fire-and-forget and returns its
+// completion future; see Store.ApplyAsync.
+func (s *PointStore) ApplyAsync(ops []PointOp) (*Future, error) {
+	return s.eng.applyAsync(ops, false)
+}
 
 // Insert adds the weighted point (weights add for an already-present
 // point) and returns the write's sequence number.
-func (s *PointStore) Insert(p rangetree.Point, w int64) uint64 {
+func (s *PointStore) Insert(p rangetree.Point, w int64) (uint64, error) {
 	return s.Apply([]PointOp{InsertPoint(p, w)})
+}
+
+// InsertAsync is the fire-and-forget Insert.
+func (s *PointStore) InsertAsync(p rangetree.Point, w int64) (*Future, error) {
+	return s.ApplyAsync([]PointOp{InsertPoint(p, w)})
 }
 
 // Delete removes the point (a no-op when absent) and returns the
 // write's sequence number.
-func (s *PointStore) Delete(p rangetree.Point) uint64 {
+func (s *PointStore) Delete(p rangetree.Point) (uint64, error) {
 	return s.Apply([]PointOp{DeletePoint(p)})
 }
+
+// DeleteAsync is the fire-and-forget Delete.
+func (s *PointStore) DeleteAsync(p rangetree.Point) (*Future, error) {
+	return s.ApplyAsync([]PointOp{DeletePoint(p)})
+}
+
+// Stats samples the per-shard pipeline counters; see Store.Stats.
+func (s *PointStore) Stats() []ShardStats { return s.eng.stats() }
 
 // Snapshot assembles a consistent cross-shard view of the point set;
 // see Store.Snapshot for the guarantee.
@@ -103,8 +139,17 @@ func (s *PointStore) Snapshot() PointView {
 // NumShards returns the partition count.
 func (s *PointStore) NumShards() int { return s.eng.numShards() }
 
-// Close stops the shard goroutines; see Store.Close.
-func (s *PointStore) Close() { s.eng.close() }
+// Close stops the auto-rebalance policy (if any) and the shard
+// goroutines; see Store.Close.
+func (s *PointStore) Close() {
+	s.policyOnce.Do(func() {
+		if s.policyStop != nil {
+			close(s.policyStop)
+			s.policyWg.Wait()
+		}
+	})
+	s.eng.close()
+}
 
 // everything is the whole plane.
 var everything = rangetree.Rect{

@@ -6,13 +6,13 @@
 // # Architecture
 //
 // Each shard is one goroutine owning one persistent structure (a
-// pam.AugMap for Store, a rangetree.Tree for PointStore) and an op
-// mailbox. Writers never touch shard state: Apply splits a batch by the
-// routing function under a global sequencer lock, pushes the per-shard
-// sub-batches into the mailboxes, and waits for every involved shard to
-// acknowledge. Shards drain their mailboxes, coalescing adjacent write
-// sub-batches into larger bulk updates (MultiInsert/MultiDelete for
-// maps), so a burst of small writes amortizes into the structures'
+// pam.AugMap for Store, a rangetree.Tree for PointStore) and a bounded
+// op mailbox. Writers never touch shard state: a batch is admitted
+// against the target shards' budgets, split by the routing function
+// under a global sequencer lock, and its per-shard sub-batches pushed
+// into the mailboxes. Shards drain their mailboxes, coalescing adjacent
+// write sub-batches into larger bulk updates (MultiInsert/MultiDelete
+// for maps), so a burst of small writes amortizes into the structures'
 // parallel bulk machinery — the paper's "updates are sequentialized ...
 // applied when needed in bulk" concurrency model, scaled out across
 // partitions.
@@ -23,13 +23,44 @@
 // observe. No writer is blocked for more than the marker push, and the
 // returned view stays valid (and race-free to read) forever.
 //
+// # The asynchronous write pipeline
+//
+// Apply/Put/Delete have async variants (ApplyAsync/PutAsync/
+// DeleteAsync) that return a completion *Future instead of blocking.
+// The pipeline is:
+//
+//		admit -> sequence+enqueue -> shard flush (apply) -> resolve
+//
+//	  - Admission: each shard has a budget (Tuning.MailboxDepth queued
+//	    sub-batches, Tuning.ShardOpBudget queued ops). A batch over any
+//	    target shard's budget either parks the writer
+//	    (BackpressureBlock) or fails fast with ErrOverloaded
+//	    (BackpressureFastFail) — before a sequence number is consumed,
+//	    so a rejected batch leaves no trace.
+//	  - Sequencing: an admitted batch gets the next global seqno, is
+//	    appended to the WAL hook (durable stores), and its sub-batches
+//	    enter the mailboxes, all under one sequencer lock.
+//	  - Flush: each shard holds async sub-batches to coalesce them,
+//	    flushing when held ops reach Tuning.FlushOps, when
+//	    Tuning.FlushWait has passed since the oldest held op arrived,
+//	    when a synchronous writer is waiting, or when a snapshot/
+//	    rebalance marker (or Close) demands the up-to-date state.
+//	  - Resolution: a single resolver goroutine completes futures in
+//	    global sequence order — a future never resolves before every
+//	    batch sequenced ahead of it. On durable stores the resolver
+//	    first waits for the WAL group-commit fsync covering the batch,
+//	    so a resolved future is a durability guarantee (see Ack.Err).
+//
+// The sync Apply is the async pipeline with an urgent flag (shards skip
+// the coalescing hold) plus Future.Wait.
+//
 // # The snapshot-consistency guarantee
 //
 // Every write batch is assigned a position in one global sequence (its
-// sequence number, returned by Apply) the moment it is submitted, and
-// shards apply sub-batches in exactly that order. A snapshot taken at
-// sequence position S (View.Seq reports S) contains exactly the batches
-// sequenced before it:
+// sequence number, returned by Apply and Future.Seq) the moment it is
+// submitted, and shards apply sub-batches in exactly that order. A
+// snapshot taken at sequence position S (View.Seq reports S) contains
+// exactly the batches sequenced before it:
 //
 //   - Atomicity: a batch is never partially visible — either all of its
 //     per-shard effects are in the view or none are, even when the batch
@@ -37,35 +68,36 @@
 //   - Prefix consistency: the view equals the state reached by applying
 //     batches 0..S-1, in sequence order, to an initially empty store. No
 //     gaps: a view can never show batch j without every batch i < j.
-//   - Real-time bound: if Apply(b) returned before Snapshot was called,
-//     then b's sequence number is below S, so b is visible. A batch
-//     still in flight when the snapshot was taken may be included
-//     (if it was sequenced before the marker) or not — never partially.
+//     Held (coalescing) sub-batches don't weaken this: a marker forces
+//     the shard to flush everything held before reporting its state.
+//   - Real-time bound: if Apply(b) returned — or b's future resolved —
+//     before Snapshot was called, then b's sequence number is below S,
+//     so b is visible. A batch still unresolved when the snapshot was
+//     taken may be included (if it was sequenced before the marker) or
+//     not — never partially.
 //
 // Readers therefore observe the store as if all acknowledged writes and
 // some subset of in-flight writes ran sequentially — the differential
 // harness in harness_test.go checks exactly this against a sequential
-// pam oracle, under -race, across thousands of randomized schedules.
+// pam oracle, under -race, across thousands of randomized schedules,
+// with both sync and async writers.
 //
 // # Limits
 //
-// Updates to a single key are totally ordered, but Apply's global order
-// is assigned at submission: two racing Apply calls may be sequenced in
+// Updates to a single key are totally ordered, but the global order is
+// assigned at submission: two racing Apply calls may be sequenced in
 // either order. Rebalance (range-sharded stores) briefly blocks writers
 // and snapshotters — never readers of existing views — while entries
 // move between shards; it changes no logical content and consumes no
-// sequence number.
+// sequence number. Apply/ApplyAsync on a closed store return ErrClosed;
+// Snapshot and Rebalance on a closed store still panic, since a view of
+// a dead store is a programming error rather than a race to tolerate.
 package serve
 
-import "sync"
-
-const (
-	// mailCap is the per-shard mailbox depth: how many sub-batches may
-	// queue before writers feel backpressure through the sequencer.
-	mailCap = 64
-	// maxCoalesce caps the ops a shard folds into one bulk apply, so a
-	// deep mailbox cannot delay a pending snapshot marker indefinitely.
-	maxCoalesce = 4096
+import (
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // shardState is what a shard reports when it meets a snapshot or
@@ -77,165 +109,432 @@ type shardState[T any] struct {
 	version uint64
 }
 
-// msg is one mailbox item: a write sub-batch (ops + done), a snapshot
+// msg is one mailbox item: a write sub-batch (ops + fut), a snapshot
 // marker (snap), or a rebalance marker (snap + install).
 type msg[O, T any] struct {
-	ops     []O
-	done    *sync.WaitGroup
+	ops []O
+	fut *Future
+	// urgent marks a sub-batch whose writer is blocked on the result
+	// (sync Apply): the shard flushes immediately instead of holding
+	// it for the coalescing window.
+	urgent  bool
 	snap    chan<- shardState[T]
 	install <-chan T
 }
 
 // shard is one partition: a mailbox plus the goroutine-owned structure.
-// state and version are touched only by the shard goroutine.
+// state and version are touched only by the shard goroutine; the
+// counters are atomics shared with admission control and Stats.
 type shard[O, T any] struct {
 	idx     int
 	mail    chan msg[O, T]
 	state   T
 	version uint64
+
+	// qMsgs/qOps is the admission budget charge: sub-batches/ops
+	// admitted (under the sequencer lock) but not yet applied.
+	// Incremented by writers under the sequencer lock, decremented by
+	// the shard goroutine after a flush.
+	qMsgs atomic.Int64
+	qOps  atomic.Int64
+
+	appliedMsgs atomic.Uint64
+	appliedOps  atomic.Uint64
+	// flushNanos is an EWMA (alpha 1/8) of enqueue-to-applied latency,
+	// written only by the shard goroutine.
+	flushNanos atomic.Int64
 }
 
-// engine is the generic sharded serving core, shared by Store and
-// PointStore: the sequencer, the shard goroutines, and the
-// marker-based snapshot/rebalance protocol.
-type engine[O, T any] struct {
-	apply func(T, []O) T
+// hooks are the durable layer's attachment points.
+type hooks[O any] struct {
 	// logAppend, when non-nil, is called under the sequencer lock with
 	// every batch in sequence order — the WAL hook: because the lock
 	// serializes it with sequencing, log order is exactly sequence
 	// order, and the durable layer's acknowledged prefix is gapless.
 	logAppend func(seq uint64, ops []O)
+	// commit, when non-nil, is called by the resolver — in sequence
+	// order, after the batch is applied — before its future resolves.
+	// The durable stores make it the WAL group-commit fsync (plus the
+	// periodic auto-checkpoint), so async acks imply durability. Its
+	// error becomes Ack.Err.
+	commit func(seq uint64) error
+}
 
-	mu     sync.Mutex // the sequencer: guards seq, route, closed, mailbox pushes
+// engine is the generic sharded serving core, shared by Store and
+// PointStore: admission control, the sequencer, the shard goroutines,
+// the ordered resolver, and the marker-based snapshot/rebalance
+// protocol.
+type engine[O, T any] struct {
+	apply func(T, []O) T
+	hooks hooks[O]
+	tun   Tuning
+
+	mu     sync.Mutex // the sequencer: guards seq, route, closed, budget reserve, mailbox pushes
 	seq    uint64
 	route  func(O) int
 	shards []*shard[O, T]
 	closed bool
 	wg     sync.WaitGroup
+
+	// admitMu/admitCond park writers waiting out backpressure. A
+	// separate lock on purpose: shards broadcast budget releases here
+	// without ever taking the sequencer lock, so a full mailbox can
+	// always drain even while a snapshot holds the sequencer.
+	admitMu   sync.Mutex
+	admitCond *sync.Cond
+
+	resolveq  *futureQueue
+	resolveWg sync.WaitGroup
 }
 
-func newEngine[O, T any](states []T, route func(O) int, apply func(T, []O) T) *engine[O, T] {
-	return newEngineAt(states, route, apply, 0, nil)
+func newEngine[O, T any](states []T, route func(O) int, apply func(T, []O) T, tun Tuning) *engine[O, T] {
+	return newEngineAt(states, route, apply, 0, hooks[O]{}, tun)
 }
 
 // newEngineAt starts an engine whose next batch gets sequence number
 // startSeq (recovery resumes the sequence where the replayed prefix
-// ended) with an optional WAL hook.
-func newEngineAt[O, T any](states []T, route func(O) int, apply func(T, []O) T, startSeq uint64, logAppend func(uint64, []O)) *engine[O, T] {
-	e := &engine[O, T]{apply: apply, route: route, seq: startSeq, logAppend: logAppend}
+// ended) with optional durable hooks.
+func newEngineAt[O, T any](states []T, route func(O) int, apply func(T, []O) T, startSeq uint64, h hooks[O], tun Tuning) *engine[O, T] {
+	e := &engine[O, T]{
+		apply:    apply,
+		hooks:    h,
+		tun:      tun.withDefaults(),
+		route:    route,
+		seq:      startSeq,
+		resolveq: newFutureQueue(),
+	}
+	e.admitCond = sync.NewCond(&e.admitMu)
 	e.shards = make([]*shard[O, T], len(states))
 	for i, st := range states {
-		s := &shard[O, T]{idx: i, mail: make(chan msg[O, T], mailCap), state: st}
+		s := &shard[O, T]{idx: i, mail: make(chan msg[O, T], e.tun.MailboxDepth), state: st}
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.shardLoop(s)
 	}
+	e.resolveWg.Add(1)
+	go e.resolveLoop()
 	return e
 }
 
-// shardLoop drains the mailbox: write sub-batches are coalesced (up to
-// maxCoalesce ops, stopping at any marker so the global order is
-// preserved) and applied in bulk; markers report the current state and,
-// for rebalance, block until the replacement state arrives.
-func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
-	defer e.wg.Done()
-	var held msg[O, T]
-	haveHeld := false
-	for {
-		var m msg[O, T]
-		if haveHeld {
-			m, haveHeld = held, false
-		} else {
-			var ok bool
-			if m, ok = <-s.mail; !ok {
-				return
-			}
-		}
-		if m.snap != nil {
-			m.snap <- shardState[T]{idx: s.idx, state: s.state, version: s.version}
-			if m.install != nil {
-				s.state = <-m.install
-				s.version++
-			}
-			continue
-		}
-		ops := m.ops
-		dones := []*sync.WaitGroup{m.done}
-	drain:
-		for len(ops) < maxCoalesce {
-			select {
-			case m2, ok := <-s.mail:
-				if !ok {
-					break drain
-				}
-				if m2.snap != nil {
-					held, haveHeld = m2, true
-					break drain
-				}
-				ops = append(ops, m2.ops...)
-				dones = append(dones, m2.done)
-			default:
-				break drain
-			}
-		}
-		s.state = e.apply(s.state, ops)
-		s.version += uint64(len(dones))
-		for _, d := range dones {
-			d.Done()
-		}
-	}
-}
-
-// applyBatch sequences one batch, pushes its per-shard sub-batches, and
-// waits for every involved shard to apply them. Returns the batch's
-// global sequence number.
-func (e *engine[O, T]) applyBatch(ops []O) uint64 {
-	var done sync.WaitGroup
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		panic("serve: Apply on a closed store")
-	}
-	seq := e.seq
-	e.seq++
-	if e.logAppend != nil {
-		e.logAppend(seq, ops)
-	}
-	per := make([][]O, len(e.shards))
-	for _, op := range ops {
-		i := e.route(op)
-		per[i] = append(per[i], op)
-	}
+// overBudget returns the index of a target shard that cannot admit its
+// sub-batch, or -1 when every involved shard has room. An oversized
+// sub-batch (bigger than the whole op budget) is admitted when its
+// shard is idle, so it is never unschedulable.
+func (e *engine[O, T]) overBudget(per [][]O) int {
 	for i, sub := range per {
 		if len(sub) == 0 {
 			continue
 		}
-		done.Add(1)
-		e.shards[i].mail <- msg[O, T]{ops: sub, done: &done}
+		s := e.shards[i]
+		if s.qMsgs.Load() >= int64(e.tun.MailboxDepth) {
+			return i
+		}
+		if q := s.qOps.Load(); q > 0 && q+int64(len(sub)) > int64(e.tun.ShardOpBudget) {
+			return i
+		}
 	}
-	e.mu.Unlock()
-	done.Wait()
-	return seq
+	return -1
+}
+
+// applyAsync admits, sequences, and enqueues one batch, returning its
+// completion future. It returns ErrClosed after close, ErrOverloaded
+// under fast-fail backpressure; under blocking backpressure it parks
+// until the target shards drain enough budget.
+func (e *engine[O, T]) applyAsync(ops []O, urgent bool) (*Future, error) {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrClosed
+		}
+		// Route under the sequencer lock: rebalance may swap the
+		// router, and admission must charge the shards that will
+		// actually receive the sub-batches.
+		per := make([][]O, len(e.shards))
+		for _, op := range ops {
+			i := e.route(op)
+			per[i] = append(per[i], op)
+		}
+		if e.overBudget(per) < 0 {
+			f := e.submitLocked(ops, per, urgent)
+			e.mu.Unlock()
+			return f, nil
+		}
+		e.mu.Unlock()
+		if e.tun.Backpressure == BackpressureFastFail {
+			return nil, ErrOverloaded
+		}
+		// Park until some shard releases budget, then retry admission
+		// from scratch (the router may have changed meanwhile). No
+		// missed wakeup: releases decrement the counters before
+		// broadcasting under admitMu, so either this re-check sees the
+		// new budget or the broadcast happens after the Wait starts.
+		// Every park is finite: over-budget means sub-batches are
+		// queued, and their flush always broadcasts.
+		e.admitMu.Lock()
+		if e.overBudget(per) >= 0 {
+			e.admitCond.Wait()
+		}
+		e.admitMu.Unlock()
+	}
+}
+
+// submitLocked sequences an admitted batch: assign the seqno, append to
+// the WAL hook, charge the budgets, hand the future to the resolver
+// (FIFO = sequence order), and push the sub-batches. Caller holds e.mu;
+// the pushes cannot block on budgeted traffic because the budget was
+// just reserved (only unbudgeted markers can briefly occupy slots, and
+// shards always drain those).
+func (e *engine[O, T]) submitLocked(ops []O, per [][]O, urgent bool) *Future {
+	f := &Future{
+		seq:     e.seq,
+		enq:     time.Now(),
+		applied: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	e.seq++
+	if e.hooks.logAppend != nil {
+		e.hooks.logAppend(f.seq, ops)
+	}
+	var n int32
+	for _, sub := range per {
+		if len(sub) > 0 {
+			n++
+		}
+	}
+	f.pending.Store(n)
+	if n == 0 {
+		f.appliedAt = f.enq
+		close(f.applied)
+	}
+	e.resolveq.push(f)
+	for i, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		s := e.shards[i]
+		s.qMsgs.Add(1)
+		s.qOps.Add(int64(len(sub)))
+		s.mail <- msg[O, T]{ops: sub, fut: f, urgent: urgent}
+	}
+	return f
+}
+
+// applyBatch is the synchronous write path: the async pipeline with the
+// urgent flag plus Wait. Returns the batch's global sequence number;
+// for durable stores the error is the commit (WAL fsync) error, with
+// the seqno still valid.
+func (e *engine[O, T]) applyBatch(ops []O) (uint64, error) {
+	f, err := e.applyAsync(ops, true)
+	if err != nil {
+		return 0, err
+	}
+	a := f.Wait()
+	return a.Seq, a.Err
+}
+
+// resolveLoop completes futures strictly in sequence order: wait for
+// the batch to be fully applied, run the durable commit hook, stamp the
+// ack. One goroutine per engine, fed FIFO from the sequencer.
+func (e *engine[O, T]) resolveLoop() {
+	defer e.resolveWg.Done()
+	for {
+		f, ok := e.resolveq.pop()
+		if !ok {
+			return
+		}
+		<-f.applied
+		var err error
+		if e.hooks.commit != nil {
+			err = e.hooks.commit(f.seq)
+		}
+		f.ack = Ack{
+			Seq:       f.seq,
+			Err:       err,
+			Enqueued:  f.enq,
+			Flushed:   f.appliedAt,
+			Committed: time.Now(),
+		}
+		close(f.done)
+	}
+}
+
+// shardLoop drains the mailbox: write sub-batches are held to coalesce
+// (flushing on the FlushOps size trigger, the FlushWait time trigger,
+// an urgent sync writer, a marker, or mailbox close — markers always
+// force a flush first so the global order stays exact) and applied in
+// bulk; markers report the current state and, for rebalance, block
+// until the replacement state arrives.
+func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
+	defer e.wg.Done()
+	var (
+		held      []O       // coalesced ops, in arrival (= sequence) order
+		futs      []*Future // one per held sub-batch
+		urgent    bool      // a sync writer is waiting on a held sub-batch
+		holdStart time.Time // when the oldest held sub-batch arrived
+		deferred  msg[O, T] // marker met while draining greedily
+		haveDef   bool
+	)
+	accept := func(m msg[O, T]) {
+		if len(futs) == 0 {
+			holdStart = time.Now()
+		}
+		held = append(held, m.ops...)
+		futs = append(futs, m.fut)
+		urgent = urgent || m.urgent
+	}
+	flush := func() {
+		if len(futs) == 0 {
+			return
+		}
+		s.state = e.apply(s.state, held)
+		s.version += uint64(len(futs))
+		now := time.Now()
+		e.noteFlush(s, now.Sub(futs[0].enq))
+		s.appliedMsgs.Add(uint64(len(futs)))
+		s.appliedOps.Add(uint64(len(held)))
+		for _, f := range futs {
+			if f.pending.Add(-1) == 0 {
+				f.appliedAt = now
+				close(f.applied)
+			}
+		}
+		nOps, nMsgs := len(held), len(futs)
+		held, futs, urgent = nil, nil, false
+		// Release the budget, then wake parked writers. The decrement
+		// must happen-before the broadcast under admitMu — that pairing
+		// is what makes blocked admission free of missed wakeups.
+		s.qOps.Add(-int64(nOps))
+		s.qMsgs.Add(-int64(nMsgs))
+		e.admitMu.Lock()
+		e.admitCond.Broadcast()
+		e.admitMu.Unlock()
+	}
+	marker := func(m msg[O, T]) {
+		m.snap <- shardState[T]{idx: s.idx, state: s.state, version: s.version}
+		if m.install != nil {
+			s.state = <-m.install
+			s.version++
+		}
+	}
+	for {
+		var m msg[O, T]
+		var ok bool
+		switch {
+		case haveDef:
+			m, ok, haveDef = deferred, true, false
+		case len(futs) == 0:
+			if m, ok = <-s.mail; !ok {
+				return
+			}
+		default:
+			// Ops are held. Sync writers and the size trigger flush
+			// now; otherwise wait out the rest of the coalescing
+			// window for more work.
+			if urgent || len(held) >= e.tun.FlushOps {
+				flush()
+				continue
+			}
+			wait := e.tun.FlushWait - time.Since(holdStart)
+			if wait <= 0 {
+				flush()
+				continue
+			}
+			t := time.NewTimer(wait)
+			select {
+			case m, ok = <-s.mail:
+				t.Stop()
+				if !ok {
+					flush()
+					return
+				}
+			case <-t.C:
+				flush()
+				continue
+			}
+		}
+		if m.snap != nil {
+			flush()
+			marker(m)
+			continue
+		}
+		accept(m)
+		// Greedy drain: fold everything immediately available, up to
+		// the size trigger, stopping at any marker.
+	drain:
+		for len(held) < e.tun.FlushOps {
+			select {
+			case m2, ok2 := <-s.mail:
+				if !ok2 {
+					flush()
+					return
+				}
+				if m2.snap != nil {
+					deferred, haveDef = m2, true
+					break drain
+				}
+				accept(m2)
+			default:
+				break drain
+			}
+		}
+	}
+}
+
+// noteFlush folds one flush's oldest-sub-batch latency into the shard's
+// EWMA (alpha 1/8). Only the shard goroutine writes it.
+func (e *engine[O, T]) noteFlush(s *shard[O, T], d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	old := s.flushNanos.Load()
+	if old == 0 {
+		s.flushNanos.Store(d.Nanoseconds())
+		return
+	}
+	s.flushNanos.Store(old - old/8 + d.Nanoseconds()/8)
+}
+
+// stats samples the per-shard pipeline counters.
+func (e *engine[O, T]) stats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStats{
+			QueuedBatches:  s.qMsgs.Load(),
+			QueuedOps:      s.qOps.Load(),
+			AppliedBatches: s.appliedMsgs.Load(),
+			AppliedOps:     s.appliedOps.Load(),
+			FlushLatency:   time.Duration(s.flushNanos.Load()),
+		}
+	}
+	return out
 }
 
 // snapshot pushes a marker into every mailbox at one sequencer point
 // and assembles the states the markers observe: the store's contents
 // after exactly the batches sequenced before seq.
 func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, route func(O) int) {
-	return e.snapshotWith(nil)
+	states, versions, seq, route, ok := e.trySnapshotWith(nil)
+	if !ok {
+		panic("serve: Snapshot on a closed store")
+	}
+	return states, versions, seq, route
 }
 
-// snapshotWith additionally runs pre under the sequencer lock, after
+// trySnapshotWith additionally runs pre under the sequencer lock, after
 // the markers are pushed: whatever pre does (the checkpoint protocol
 // rotates the WAL generation) happens at exactly the snapshot's
-// sequence point.
-func (e *engine[O, T]) snapshotWith(pre func()) (states []T, versions []uint64, seq uint64, route func(O) int) {
+// sequence point. Returns ok == false instead of snapshotting when the
+// engine is closed — internal callers (the auto-checkpoint on the
+// resolver, the auto-rebalance policy) race Close legitimately and must
+// stand down rather than panic.
+func (e *engine[O, T]) trySnapshotWith(pre func()) (states []T, versions []uint64, seq uint64, route func(O) int, ok bool) {
 	n := len(e.shards)
 	ch := make(chan shardState[T], n)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		panic("serve: Snapshot on a closed store")
+		return nil, nil, 0, nil, false
 	}
 	for _, s := range e.shards {
 		s.mail <- msg[O, T]{snap: ch}
@@ -253,7 +552,7 @@ func (e *engine[O, T]) snapshotWith(pre func()) (states []T, versions []uint64, 
 		states[st.idx] = st.state
 		versions[st.idx] = st.version
 	}
-	return states, versions, seq, route
+	return states, versions, seq, route, true
 }
 
 // rebalance freezes the store at one sequencer point: every shard
@@ -291,9 +590,10 @@ func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int
 	}
 }
 
-// close shuts the shard goroutines down after the mailboxes drain. The
-// caller must have stopped submitting; Apply/Snapshot/Rebalance after
-// close panic.
+// close shuts the pipeline down: new writes get ErrClosed, parked
+// writers are woken into the error, shards flush everything held and
+// exit, and the resolver drains the remaining futures — every future
+// issued before close resolves.
 func (e *engine[O, T]) close() {
 	e.mu.Lock()
 	if e.closed {
@@ -305,7 +605,12 @@ func (e *engine[O, T]) close() {
 		close(s.mail)
 	}
 	e.mu.Unlock()
+	e.admitMu.Lock()
+	e.admitCond.Broadcast()
+	e.admitMu.Unlock()
 	e.wg.Wait()
+	e.resolveq.close()
+	e.resolveWg.Wait()
 }
 
 func (e *engine[O, T]) numShards() int { return len(e.shards) }

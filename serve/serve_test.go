@@ -41,13 +41,19 @@ func TestStoreBasics(t *testing.T) {
 			if s.NumShards() != 4 {
 				t.Fatalf("NumShards = %d", s.NumShards())
 			}
-			seq0 := s.Apply([]kvop{
+			seq0, err := s.Apply([]kvop{
 				{Kind: OpPut, Key: 42, Val: 1},
 				{Kind: OpPut, Key: 150, Val: 2},
 				{Kind: OpPut, Key: 250, Val: 3},
 				{Kind: OpPut, Key: 350, Val: 4},
 			})
-			seq1 := s.Put(42, 10)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			seq1, err := s.Put(42, 10)
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
 			if seq1 <= seq0 {
 				t.Fatalf("sequence not increasing: %d then %d", seq0, seq1)
 			}
@@ -148,7 +154,10 @@ func TestSnapshotImmutable(t *testing.T) {
 func TestSeqPrefix(t *testing.T) {
 	s := newHash(t, 3)
 	for i := uint64(0); i < 10; i++ {
-		seq := s.Put(i, int64(i))
+		seq, err := s.Put(i, int64(i))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
 		if seq != i {
 			t.Fatalf("batch %d got seq %d", i, seq)
 		}
@@ -221,7 +230,10 @@ func TestEmptyStoreAndEmptyBatch(t *testing.T) {
 		t.Fatalf("Entries len %d", got)
 	}
 	// An empty batch still gets a sequence slot and acks immediately.
-	seq := s.Apply(nil)
+	seq, err := s.Apply(nil)
+	if err != nil {
+		t.Fatalf("empty Apply: %v", err)
+	}
 	if s.Snapshot().Seq() != seq+1 {
 		t.Fatal("empty batch did not advance the sequence")
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sort"
+	"sync"
 
 	"repro/pam"
 )
@@ -34,12 +35,25 @@ func Del[K, V any](k K) Op[K, V] { return Op[K, V]{Kind: OpDelete, Key: k} }
 
 // Store is a sharded serving layer over a persistent augmented map: a
 // pam.AugMap[K, V, A, E] hash- or range-partitioned across N
-// goroutine-owned shards, with batched writes and snapshot-consistent
-// cross-shard reads (see the package comment for the exact guarantee).
-// All methods are safe for concurrent use.
+// goroutine-owned shards, with batched sync/async writes and
+// snapshot-consistent cross-shard reads (see the package comment for
+// the exact guarantees). All methods are safe for concurrent use.
 type Store[K, V, A any, E pam.Aug[K, V, A]] struct {
 	eng    *engine[Op[K, V], pam.AugMap[K, V, A, E]]
 	ranged bool
+
+	policyStop chan struct{}
+	policyWg   sync.WaitGroup
+	policyOnce sync.Once
+}
+
+// pickTuning normalizes the optional trailing Tuning argument of the
+// store constructors.
+func pickTuning(tuning []Tuning) Tuning {
+	if len(tuning) > 0 {
+		return tuning[0].withDefaults()
+	}
+	return Tuning{}.withDefaults()
 }
 
 // NewHashStore returns a store hash-partitioned across the given number
@@ -48,7 +62,9 @@ type Store[K, V, A any, E pam.Aug[K, V, A]] struct {
 // ranges, so View.AugVal and View.AugRange additionally require Combine
 // to be commutative (true of the ready-made entries); range queries and
 // ordered iteration remain correct regardless via the merged iterator.
-func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64) *Store[K, V, A, E] {
+// An optional Tuning configures the async pipeline (Tuning.AutoRebalance
+// is ignored: hash stores do not rebalance).
+func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64, tuning ...Tuning) *Store[K, V, A, E] {
 	if shards < 1 {
 		panic("serve: NewHashStore needs at least one shard")
 	}
@@ -58,23 +74,33 @@ func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int,
 	}
 	n := uint64(shards)
 	route := func(o Op[K, V]) int { return int(hash(o.Key) % n) }
-	return &Store[K, V, A, E]{eng: newEngine(states, route, applyOps[K, V, A, E])}
+	return &Store[K, V, A, E]{eng: newEngine(states, route, applyOps[K, V, A, E], pickTuning(tuning))}
 }
 
 // NewRangeStore returns a store range-partitioned at the given split
 // keys (strictly increasing in E's order): shard 0 owns keys below
 // splits[0], shard i owns splits[i-1] <= k < splits[i], and the last
 // shard owns keys at or above the last split — len(splits)+1 shards in
-// ascending key order. Range stores support Rebalance.
-func NewRangeStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, splits []K) *Store[K, V, A, E] {
+// ascending key order. Range stores support Rebalance, and an optional
+// Tuning with AutoRebalance set starts the automatic skew-triggered
+// rebalance policy.
+func NewRangeStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, splits []K, tuning ...Tuning) *Store[K, V, A, E] {
 	states := make([]pam.AugMap[K, V, A, E], len(splits)+1)
 	for i := range states {
 		states[i] = pam.NewAugMap[K, V, A, E](opts)
 	}
-	return &Store[K, V, A, E]{
-		eng:    newEngine(states, opRouter[K, V](rangeRouter[K, E](splits)), applyOps[K, V, A, E]),
+	tun := pickTuning(tuning)
+	s := &Store[K, V, A, E]{
+		eng:    newEngine(states, opRouter[K, V](rangeRouter[K, E](splits)), applyOps[K, V, A, E], tun),
 		ranged: true,
 	}
+	if tun.AutoRebalance != nil {
+		s.policyStop = make(chan struct{})
+		startAutoRebalance(s.eng, *tun.AutoRebalance,
+			func(m pam.AugMap[K, V, A, E]) int64 { return m.Size() },
+			s.Rebalance, s.policyStop, &s.policyWg)
+	}
+	return s
 }
 
 // rangeRouter routes a key to the count of splits at or below it.
@@ -125,20 +151,42 @@ func applyOps[K, V, A any, E pam.Aug[K, V, A]](m pam.AugMap[K, V, A, E], ops []O
 }
 
 // Apply submits one write batch, blocks until every involved shard has
-// applied it, and returns the batch's global sequence number. Ops apply
-// in slice order; a batch is atomic with respect to snapshots.
-func (s *Store[K, V, A, E]) Apply(ops []Op[K, V]) uint64 { return s.eng.applyBatch(ops) }
+// applied it and every earlier batch has resolved, and returns the
+// batch's global sequence number. Ops apply in slice order; a batch is
+// atomic with respect to snapshots. Returns ErrClosed after Close and
+// ErrOverloaded under fast-fail backpressure (in both cases no
+// sequence number was consumed).
+func (s *Store[K, V, A, E]) Apply(ops []Op[K, V]) (uint64, error) { return s.eng.applyBatch(ops) }
+
+// ApplyAsync submits one write batch fire-and-forget and returns its
+// completion future: the batch is already sequenced (Future.Seq) but
+// may not be applied yet. Shards may hold async batches up to
+// Tuning.FlushWait to coalesce them. Futures resolve in global
+// sequence order; see the package comment.
+func (s *Store[K, V, A, E]) ApplyAsync(ops []Op[K, V]) (*Future, error) {
+	return s.eng.applyAsync(ops, false)
+}
 
 // Put stores (k, v), overwriting any existing value, and returns the
 // write's sequence number.
-func (s *Store[K, V, A, E]) Put(k K, v V) uint64 {
+func (s *Store[K, V, A, E]) Put(k K, v V) (uint64, error) {
 	return s.Apply([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
+}
+
+// PutAsync is the fire-and-forget Put.
+func (s *Store[K, V, A, E]) PutAsync(k K, v V) (*Future, error) {
+	return s.ApplyAsync([]Op[K, V]{{Kind: OpPut, Key: k, Val: v}})
 }
 
 // Delete removes k (a no-op when absent) and returns the write's
 // sequence number.
-func (s *Store[K, V, A, E]) Delete(k K) uint64 {
+func (s *Store[K, V, A, E]) Delete(k K) (uint64, error) {
 	return s.Apply([]Op[K, V]{{Kind: OpDelete, Key: k}})
+}
+
+// DeleteAsync is the fire-and-forget Delete.
+func (s *Store[K, V, A, E]) DeleteAsync(k K) (*Future, error) {
+	return s.ApplyAsync([]Op[K, V]{{Kind: OpDelete, Key: k}})
 }
 
 // Snapshot assembles a consistent cross-shard view: the store's exact
@@ -156,13 +204,26 @@ func (s *Store[K, V, A, E]) Snapshot() View[K, V, A, E] {
 	}
 }
 
+// Stats samples the per-shard pipeline counters: queued (admission
+// budget charge) and applied batch/op counts plus the flush-latency
+// EWMA feeding the auto-rebalance policy.
+func (s *Store[K, V, A, E]) Stats() []ShardStats { return s.eng.stats() }
+
 // NumShards returns the partition count.
 func (s *Store[K, V, A, E]) NumShards() int { return s.eng.numShards() }
 
-// Close stops the shard goroutines after their mailboxes drain. The
-// caller must have stopped submitting first. Views taken earlier remain
-// valid.
-func (s *Store[K, V, A, E]) Close() { s.eng.close() }
+// Close stops the auto-rebalance policy (if any) and the shard
+// goroutines. In-flight batches are flushed and their futures resolve;
+// subsequent writes return ErrClosed. Views taken earlier remain valid.
+func (s *Store[K, V, A, E]) Close() {
+	s.policyOnce.Do(func() {
+		if s.policyStop != nil {
+			close(s.policyStop)
+			s.policyWg.Wait()
+		}
+	})
+	s.eng.close()
+}
 
 // Rebalance re-splits a range-partitioned store so shard sizes are
 // equal to within one entry, moving whole subtrees between shards via
@@ -170,7 +231,8 @@ func (s *Store[K, V, A, E]) Close() { s.eng.close() }
 // duration (readers of existing views are untouched), changes no
 // logical content, and consumes no sequence number. Returns false (and
 // does nothing) on hash-partitioned stores, whose balance is up to the
-// hash.
+// hash. With Tuning.AutoRebalance set this fires automatically on
+// sustained size or latency skew.
 func (s *Store[K, V, A, E]) Rebalance() bool {
 	if !s.ranged {
 		return false
