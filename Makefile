@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race crash bench bench-json bench-gate fuzz ci
+.PHONY: all build test vet race crash compact-crash bench bench-json bench-gate fuzz ci
 
 all: ci
 
@@ -33,13 +33,21 @@ race:
 crash:
 	$(GO) test -race -count=1 -run 'TestCrashRecoverySchedules|TestPointCrashRecoverySchedules|TestDurable|TestLadderHydrate' ./serve
 
+# The self-healing suite (PR 8): 1100+ randomized kill-point schedules
+# crashing mid-compaction and mid-scrub with bit-flip media corruption
+# layered on top, plus the deterministic compaction / Merkle tamper /
+# quarantine / repair tests. Contract: every injected corruption is
+# repaired or reported, never silent.
+compact-crash:
+	$(GO) test -race -count=1 -run 'TestCompactCrashSchedules|TestScrubCrashSchedules|TestCompact|TestMerkle|TestRecovery|TestScrub|TestVerify|TestTmpSweep|TestPointCheckpointTamper|TestMemFS' ./serve
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 
@@ -64,5 +72,6 @@ fuzz:
 	$(GO) test -fuzz=FuzzServe -fuzztime=$(FUZZTIME) -run '^$$' ./serve
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) -run '^$$' ./serve
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) -run '^$$' ./serve
+	$(GO) test -fuzz=FuzzCompactDecode -fuzztime=$(FUZZTIME) -run '^$$' ./serve
 
 ci: vet build test race

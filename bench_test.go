@@ -979,7 +979,7 @@ func BenchmarkServe_SnapshotFindUnderWrites(b *testing.B) {
 			}()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				v := s.Snapshot()
+				v, _ := s.Snapshot()
 				v.Find(uint64(i) % (1 << 14))
 			}
 			b.StopTimer()
@@ -1020,7 +1020,7 @@ func BenchmarkServe_PointQueryUnderWrites(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v := s.Snapshot()
+		v, _ := s.Snapshot()
 		x := float64(i % 512)
 		v.QuerySum(rangetree.Rect{XLo: x, XHi: x + 256, YLo: 0, YHi: 512})
 	}

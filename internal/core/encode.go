@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 )
@@ -44,6 +45,23 @@ type Codec[K, V any] struct {
 	ValAt     func(data []byte) (V, int, error)
 }
 
+// Digest is a record's Merkle content hash: for a leaf record the
+// sha256 of its encoded bytes, for an interior record the sha256 of its
+// tag, aux, entry, and its children's digests. Two subtrees have equal
+// digests iff their encoded content (including structure) is equal, so
+// root digests make snapshots cheaply diffable across checkpoints and
+// replicas; the zero Digest is the digest of the empty tree.
+type Digest = [sha256.Size]byte
+
+// recMeta is what a RecordSet (and, positionally, a DecodeTable)
+// remembers per encoded node: its chain-wide record id and its Merkle
+// digest, the latter so an incremental delta can chain a new parent to
+// children encoded in earlier checkpoints without re-walking them.
+type recMeta struct {
+	id  uint64
+	sum Digest
+}
+
 // RecordSet tracks the nodes that already have on-disk records, keyed
 // by node identity, across a chain of incremental checkpoints. The set
 // holds strong references to every node it has assigned an id, keeping
@@ -52,14 +70,14 @@ type Codec[K, V any] struct {
 // Release recycles nodes for immediate reuse while the set still maps
 // their addresses.
 type RecordSet[K, V, A any] struct {
-	ids  map[*node[K, V, A]]uint64
+	ids  map[*node[K, V, A]]recMeta
 	next uint64
 }
 
 // NewRecordSet returns an empty record set; the first record encoded
 // against it gets id 1.
 func NewRecordSet[K, V, A any]() *RecordSet[K, V, A] {
-	return &RecordSet[K, V, A]{ids: make(map[*node[K, V, A]]uint64), next: 1}
+	return &RecordSet[K, V, A]{ids: make(map[*node[K, V, A]]recMeta), next: 1}
 }
 
 // NextID returns the id the next new record will be assigned.
@@ -70,15 +88,63 @@ func (rs *RecordSet[K, V, A]) NextID() uint64 { return rs.next }
 // durably published, so a failed write never burns record ids the
 // on-disk chain has not seen.
 func (rs *RecordSet[K, V, A]) Clone() *RecordSet[K, V, A] {
-	ids := make(map[*node[K, V, A]]uint64, len(rs.ids))
-	for n, id := range rs.ids {
-		ids[n] = id
+	ids := make(map[*node[K, V, A]]recMeta, len(rs.ids))
+	for n, m := range rs.ids {
+		ids[n] = m
 	}
 	return &RecordSet[K, V, A]{ids: ids, next: rs.next}
 }
 
 // Len returns the number of records assigned so far.
 func (rs *RecordSet[K, V, A]) Len() int { return len(rs.ids) }
+
+// RootDigest returns the Merkle digest of t's root record, which is in
+// rs once t has been encoded against it (an empty tree has the zero
+// digest and ok == true). ok == false means t's root was never encoded
+// against rs.
+func RootDigest[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], rs *RecordSet[K, V, A]) (Digest, bool) {
+	if t.root == nil {
+		return Digest{}, true
+	}
+	m, ok := rs.ids[t.root]
+	return m.sum, ok
+}
+
+// RecordCount returns the number of records a from-scratch encode of t
+// would emit — the count of physical nodes (leaf blocks plus interior
+// nodes). The compaction dead-ratio policy compares it against the
+// record count of the on-disk chain to estimate how many chain records
+// no live tree references anymore.
+func RecordCount[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T]) int {
+	var walk func(n *node[K, V, A]) int
+	walk = func(n *node[K, V, A]) int {
+		if n == nil {
+			return 0
+		}
+		if n.items != nil {
+			return 1
+		}
+		return 1 + walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}
+
+// leafDigest hashes one leaf record: exactly its encoded bytes (tag,
+// count, entries), which contain no chain-position-dependent ids.
+func leafDigest(encoded []byte) Digest { return sha256.Sum256(encoded) }
+
+// interiorDigest hashes one interior record by chaining its children's
+// digests instead of their (position-dependent) record ids, so equal
+// subtrees have equal digests no matter where in a chain they were
+// encoded.
+func interiorDigest(scratch []byte, aux uint64, l, r Digest, entry []byte) ([]byte, Digest) {
+	scratch = append(scratch[:0], recInterior)
+	scratch = binary.AppendUvarint(scratch, aux)
+	scratch = append(scratch, l[:]...)
+	scratch = append(scratch, r[:]...)
+	scratch = append(scratch, entry...)
+	return scratch, sha256.Sum256(scratch)
+}
 
 const (
 	recLeaf     = 0x00
@@ -87,45 +153,53 @@ const (
 
 // EncodeDelta appends, to buf, one record for every node of t not yet
 // in rs (bottom-up, children before parents), assigns those nodes ids
-// in rs, and returns the extended buf, the root's record id (0 for an
-// empty tree), and the number of new records written. Nodes already in
-// rs — shared with a previously encoded tree — are referenced by id and
-// cost nothing, which is what makes checkpoints incremental.
+// and Merkle digests in rs, and returns the extended buf, the root's
+// record id (0 for an empty tree), and the number of new records
+// written. Nodes already in rs — shared with a previously encoded tree
+// — are referenced by id and cost nothing, which is what makes
+// checkpoints incremental. The root's digest is available afterwards
+// via RootDigest.
 func EncodeDelta[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], rs *RecordSet[K, V, A], c *Codec[K, V], buf []byte) ([]byte, uint64, int) {
 	var wrote int
-	var walk func(n *node[K, V, A]) uint64
-	walk = func(n *node[K, V, A]) uint64 {
+	var scratch []byte
+	var walk func(n *node[K, V, A]) recMeta
+	walk = func(n *node[K, V, A]) recMeta {
 		if n == nil {
-			return 0
+			return recMeta{}
 		}
-		if id, ok := rs.ids[n]; ok {
-			return id
+		if m, ok := rs.ids[n]; ok {
+			return m
 		}
+		var sum Digest
 		if n.items != nil {
+			start := len(buf)
 			buf = append(buf, recLeaf)
 			buf = binary.AppendUvarint(buf, uint64(len(n.items)))
 			for _, e := range n.items {
 				buf = c.AppendKey(buf, e.Key)
 				buf = c.AppendVal(buf, e.Val)
 			}
+			sum = leafDigest(buf[start:])
 		} else {
-			lid := walk(n.left)
-			rid := walk(n.right)
+			lm := walk(n.left)
+			rm := walk(n.right)
 			buf = append(buf, recInterior)
 			buf = binary.AppendUvarint(buf, uint64(n.aux))
-			buf = binary.AppendUvarint(buf, lid)
-			buf = binary.AppendUvarint(buf, rid)
+			buf = binary.AppendUvarint(buf, lm.id)
+			buf = binary.AppendUvarint(buf, rm.id)
+			entryStart := len(buf)
 			buf = c.AppendKey(buf, n.key)
 			buf = c.AppendVal(buf, n.val)
+			scratch, sum = interiorDigest(scratch, uint64(n.aux), lm.sum, rm.sum, buf[entryStart:])
 		}
-		id := rs.next
+		m := recMeta{id: rs.next, sum: sum}
 		rs.next++
-		rs.ids[n] = id
+		rs.ids[n] = m
 		wrote++
-		return id
+		return m
 	}
 	root := walk(t.root)
-	return buf, root, wrote
+	return buf, root.id, wrote
 }
 
 // Decode errors. All decoding is defensive: arbitrary bytes yield an
@@ -148,6 +222,7 @@ var (
 type DecodeTable[K, V, A any, T Traits[K, V, A]] struct {
 	op    ops[K, V, A, T]
 	nodes []*node[K, V, A] // nodes[i] has record id i+1
+	sums  []Digest         // sums[i] is the Merkle digest of record i+1
 }
 
 // NewDecodeTable returns an empty table decoding into trees with the
@@ -167,11 +242,26 @@ func (tb *DecodeTable[K, V, A, T]) NextID() uint64 { return uint64(len(tb.nodes)
 // incremental checkpoint chain exactly where the decoded files left it:
 // the next delta writes only nodes created after recovery.
 func (tb *DecodeTable[K, V, A, T]) RecordSet() *RecordSet[K, V, A] {
-	ids := make(map[*node[K, V, A]]uint64, len(tb.nodes))
+	ids := make(map[*node[K, V, A]]recMeta, len(tb.nodes))
 	for i, n := range tb.nodes {
-		ids[n] = uint64(i) + 1
+		ids[n] = recMeta{id: uint64(i) + 1, sum: tb.sums[i]}
 	}
 	return &RecordSet[K, V, A]{ids: ids, next: uint64(len(tb.nodes)) + 1}
+}
+
+// Digest returns the Merkle digest of the record with the given id
+// (the zero digest for id 0, the empty tree), recomputed bottom-up
+// while decoding. A checkpoint verifier compares it against the root
+// digest stored in the file's footer: any bit flip in a record body —
+// key, value, aux, structure — changes the recomputed root digest.
+func (tb *DecodeTable[K, V, A, T]) Digest(id uint64) (Digest, error) {
+	if id == 0 {
+		return Digest{}, nil
+	}
+	if id > uint64(len(tb.sums)) {
+		return Digest{}, ErrUnknownRecord
+	}
+	return tb.sums[id-1], nil
 }
 
 // node returns the decoded node with the given id, or an error for id 0
@@ -194,10 +284,12 @@ func (tb *DecodeTable[K, V, A, T]) nodeAt(id uint64) (*node[K, V, A], error) {
 func (tb *DecodeTable[K, V, A, T]) DecodeRecords(c *Codec[K, V], data []byte, n int) ([]byte, error) {
 	o := &tb.op
 	block := o.blockSize()
+	var scratch []byte
 	for rec := 0; rec < n; rec++ {
 		if len(data) == 0 {
 			return nil, ErrCorrupt
 		}
+		recStart := data
 		kind := data[0]
 		data = data[1:]
 		switch kind {
@@ -228,6 +320,7 @@ func (tb *DecodeTable[K, V, A, T]) DecodeRecords(c *Codec[K, V], data []byte, n 
 				}
 			}
 			tb.nodes = append(tb.nodes, o.mkLeafOwned(items))
+			tb.sums = append(tb.sums, leafDigest(recStart[:len(recStart)-len(data)]))
 		case recInterior:
 			aux, sz := binary.Uvarint(data)
 			if sz <= 0 || aux > 1<<32-1 {
@@ -244,6 +337,7 @@ func (tb *DecodeTable[K, V, A, T]) DecodeRecords(c *Codec[K, V], data []byte, n 
 				return nil, ErrCorrupt
 			}
 			data = data[sz:]
+			entryStart := data
 			k, kn, err := c.KeyAt(data)
 			if err != nil {
 				return nil, err
@@ -262,12 +356,17 @@ func (tb *DecodeTable[K, V, A, T]) DecodeRecords(c *Codec[K, V], data []byte, n 
 			if err != nil {
 				return nil, err
 			}
+			lsum, _ := tb.Digest(lid)
+			rsum, _ := tb.Digest(rid)
 			nd := o.getNode()
 			nd.key, nd.val = k, v
 			nd.left, nd.right = inc(l), inc(r)
 			nd.aux = uint32(aux)
 			o.update(nd) // size, aug, and (for AVL) height, bottom-up
 			tb.nodes = append(tb.nodes, nd)
+			var sum Digest
+			scratch, sum = interiorDigest(scratch, aux, lsum, rsum, entryStart[:len(entryStart)-len(data)])
+			tb.sums = append(tb.sums, sum)
 		default:
 			return nil, ErrCorrupt
 		}

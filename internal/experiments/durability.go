@@ -147,3 +147,41 @@ func RecoveryReplay(n, tailBatches, rounds int) time.Duration {
 	}
 	return total / time.Duration(rounds)
 }
+
+// RecoveryReplayCompacted is RecoveryReplay after chain compaction: the
+// store accumulates a long incremental chain through churning
+// checkpoints, then Compact rewrites the live state into a single base.
+// Recovery time is then bounded by the live set, not the update
+// history — read against recovery_replay, this is the payoff compaction
+// buys (PR 8).
+func RecoveryReplayCompacted(n, rounds int) time.Duration {
+	fs := serve.NewMemFS()
+	d := durableBase(fs, 2, n)
+	for round := 0; round < 8; round++ { // churn: overwrites growing the chain, not the live set
+		batch := make([]serve.Op[uint64, int64], serveBatchLen)
+		for j := range batch {
+			batch[j] = serve.Put(uint64((round*serveBatchLen+j)*0x9e3779b9)%uint64(n), int64(j))
+		}
+		d.Apply(batch)
+		if _, err := d.Checkpoint(); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := d.Compact(); err != nil {
+		panic(err)
+	}
+	d.Close()
+	state := fs.DurableState()
+
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		rd, err := openDurableStore(serve.NewMemFSFrom(state), 2)
+		if err != nil {
+			panic(err)
+		}
+		total += time.Since(start)
+		rd.Close()
+	}
+	return total / time.Duration(rounds)
+}

@@ -190,6 +190,14 @@ func runPerfSuite() []BenchResult {
 		N:       coreN,
 		NsPerOp: float64(RecoveryReplay(coreN, 256, 8).Nanoseconds()),
 	})
+	// Self-healing durability (PR 8): recovery from a compacted base —
+	// the chain collapsed to the live set — against recovery_replay's
+	// incremental chain plus WAL tail.
+	out = append(out, BenchResult{
+		Op:      "recovery_replay_compacted",
+		N:       coreN,
+		NsPerOp: float64(RecoveryReplayCompacted(coreN, 8).Nanoseconds()),
+	})
 
 	// Let the allocations of the ns/op entries above get collected
 	// before the latency-percentile runs, so their GC debt doesn't

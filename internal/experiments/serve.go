@@ -160,7 +160,7 @@ func ServeReadUnderWrites(shards, q int) TailStats {
 	for i := 0; i < q; i++ {
 		k := uint64(i) * 0x9e3779b9 % serveKeySpace
 		lat = append(lat, timeQuery(func() {
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			v.Find(k)
 		}))
 	}

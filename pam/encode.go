@@ -26,6 +26,12 @@ type Codec[K, V any] = core.Codec[K, V]
 // chain of incremental checkpoints (it keeps those nodes reachable).
 type RecordSet[K, V, A any] = core.RecordSet[K, V, A]
 
+// Digest is a record's Merkle content hash (sha256); equal subtrees
+// have equal digests regardless of where in a checkpoint chain they
+// were encoded, so root digests make snapshots tamper-evident and
+// cheaply diffable. The zero Digest is the digest of the empty map.
+type Digest = core.Digest
+
 // NewRecordSet returns an empty record set.
 func NewRecordSet[K, V, A any]() *RecordSet[K, V, A] {
 	return core.NewRecordSet[K, V, A]()
@@ -37,6 +43,20 @@ func NewRecordSet[K, V, A any]() *RecordSet[K, V, A] {
 // encoded maps are referenced by id, not rewritten.
 func (m AugMap[K, V, A, E]) EncodeDelta(rs *RecordSet[K, V, A], c *Codec[K, V], buf []byte) ([]byte, uint64, int) {
 	return core.EncodeDelta(m.t, rs, c, buf)
+}
+
+// RootDigest returns the Merkle digest of m's root record once m has
+// been encoded against rs (ok == false if it never was; an empty map
+// has the zero digest).
+func (m AugMap[K, V, A, E]) RootDigest(rs *RecordSet[K, V, A]) (Digest, bool) {
+	return core.RootDigest(m.t, rs)
+}
+
+// RecordCount returns the number of records a from-scratch encode of m
+// would emit (leaf blocks plus interior nodes) — the live-record count
+// the compaction dead-ratio policy compares against the on-disk chain.
+func (m AugMap[K, V, A, E]) RecordCount() int {
+	return core.RecordCount(m.t)
 }
 
 // DecodeTable accumulates decoded records across the files of an
@@ -75,6 +95,11 @@ func (tb *DecodeTable[K, V, A, E]) Map(id uint64) (AugMap[K, V, A, E], error) {
 // recovered process continues the incremental checkpoint chain where
 // the decoded files left it.
 func (tb *DecodeTable[K, V, A, E]) RecordSet() *RecordSet[K, V, A] { return tb.tb.RecordSet() }
+
+// Digest returns the Merkle digest of the record with the given id,
+// recomputed bottom-up during decode; comparing it with a stored root
+// digest detects any bit flip in the decoded records.
+func (tb *DecodeTable[K, V, A, E]) Digest(id uint64) (Digest, error) { return tb.tb.Digest(id) }
 
 // Uint64Codec returns a Codec for uint64 keys and int64 values (varint
 // and zigzag-varint encoded), the instantiation used by the serve

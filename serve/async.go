@@ -276,8 +276,9 @@ type ShardStats struct {
 
 // startAutoRebalance runs the policy loop: sample skew every
 // CheckEvery, rebalance after Sustain consecutive skewed samples. The
-// loop must be stopped (close stop + wait wg) before the engine closes.
-func startAutoRebalance[O, T any](e *engine[O, T], ar AutoRebalance, size func(T) int64, rebalance func() bool, stop <-chan struct{}, wg *sync.WaitGroup) {
+// loop must be stopped (close stop + wait wg) before the engine closes;
+// a rebalance error (ErrClosed racing shutdown) just ends the streak.
+func startAutoRebalance[O, T any](e *engine[O, T], ar AutoRebalance, size func(T) int64, rebalance func() (bool, error), stop <-chan struct{}, wg *sync.WaitGroup) {
 	ar = ar.withDefaults()
 	wg.Add(1)
 	go func() {
@@ -297,7 +298,7 @@ func startAutoRebalance[O, T any](e *engine[O, T], ar AutoRebalance, size func(T
 				streak = 0
 			}
 			if streak >= ar.Sustain {
-				rebalance()
+				rebalance() //nolint:errcheck // ErrClosed here means shutdown is racing us
 				streak = 0
 			}
 		}

@@ -58,7 +58,7 @@ func TestBackpressureBlockProgress(t *testing.T) {
 			}
 		}
 	}
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got, want := v.Size(), int64(writers*perWriter); got != want {
 		t.Fatalf("Size = %d, want %d", got, want)
 	}
@@ -93,7 +93,7 @@ func TestBackpressureFastFail(t *testing.T) {
 	}
 	// A snapshot marker forces the held sub-batches to flush first, so
 	// the accepted writes must all be visible and their futures resolve.
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	for _, want := range []struct {
 		k uint64
 		v int64
@@ -209,6 +209,18 @@ func TestErrClosedSticky(t *testing.T) {
 		{"durable/PutAsync", func() error { _, err := d.PutAsync(1, 1); return err }},
 		{"durable/Delete", func() error { _, err := d.Delete(1); return err }},
 		{"durable/DeleteAsync", func() error { _, err := d.DeleteAsync(1); return err }},
+		{"store/Snapshot", func() error { _, err := kv.Snapshot(); return err }},
+		{"store/Rebalance", func() error {
+			s := NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, []uint64{10})
+			s.Close()
+			_, err := s.Rebalance()
+			return err
+		}},
+		{"points/Snapshot", func() error { _, err := pt.Snapshot(); return err }},
+		{"points/Rebalance", func() error { _, err := pt.Rebalance(); return err }},
+		{"durable/Snapshot", func() error { _, err := d.Snapshot(); return err }},
+		{"durable/Checkpoint", func() error { _, err := d.Checkpoint(); return err }},
+		{"durable/Compact", func() error { _, err := d.Compact(); return err }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := tc.call(); !errors.Is(err, ErrClosed) {
@@ -297,7 +309,7 @@ func TestAutoRebalanceTrigger(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		v := s.Snapshot()
+		v, _ := s.Snapshot()
 		maxSz, total := int64(0), int64(0)
 		for i := 0; i < v.NumShards(); i++ {
 			sz := v.Shard(i).Size()
@@ -340,7 +352,7 @@ func TestPointAutoRebalanceTrigger(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		v := s.Snapshot()
+		v, _ := s.Snapshot()
 		maxSz, total := int64(0), int64(0)
 		for i := 0; i < v.NumShards(); i++ {
 			sz := v.Shard(i).Size()

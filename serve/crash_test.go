@@ -137,7 +137,7 @@ func runCrashSchedule(t *testing.T, seed int64) {
 // liveness probes tolerate ErrCrashed.
 func verifyCrashRecovery(t *testing.T, d *durSumStore, subs []crashBatch, mayStillCrash bool) {
 	t.Helper()
-	v := d.Snapshot()
+	v, _ := d.Snapshot()
 	r := v.Seq()
 
 	sort.Slice(subs, func(i, j int) bool { return subs[i].seq < subs[j].seq })
@@ -416,7 +416,7 @@ func runPointCrashSchedule(t *testing.T, seed int64) {
 		t.Fatalf("recovery: %v", err)
 	}
 	defer d2.Close()
-	v := d2.Snapshot()
+	v, _ := d2.Snapshot()
 	r := v.Seq()
 
 	sort.Slice(subs, func(i, j int) bool { return subs[i].seq < subs[j].seq })

@@ -72,7 +72,7 @@ func TestDurableStoreRoundTrip(t *testing.T) {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer d.Close()
-	v := d.Snapshot()
+	v, _ := d.Snapshot()
 	if got, want := v.Size(), int64(len(oracle)); got != want {
 		t.Fatalf("recovered Size = %d, want %d", got, want)
 	}
@@ -123,7 +123,7 @@ func TestDurableStoreAutoCheckpoint(t *testing.T) {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer d.Close()
-	v := d.Snapshot()
+	v, _ := d.Snapshot()
 	if v.Seq() != 20 || v.Size() != 20 {
 		t.Fatalf("recovered Seq/Size = %d/%d, want 20/20", v.Seq(), v.Size())
 	}
@@ -227,7 +227,7 @@ func TestDurablePointStoreRoundTrip(t *testing.T) {
 
 	d = open()
 	defer d.Close()
-	v := d.Snapshot()
+	v, _ := d.Snapshot()
 	if got, want := v.Size(), int64(len(oracle)); got != want {
 		t.Fatalf("recovered Size = %d, want %d", got, want)
 	}

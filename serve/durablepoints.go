@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -23,21 +26,28 @@ type dynLevelState = dynamic.LevelState[rangetree.Point, int64]
 // composites that are rebuilt by the parallel bulk Build on recovery,
 // preserving the exact rung boundaries (and so the amortization state
 // of the logarithmic method). Point checkpoints are therefore
-// standalone: recovery reads only the newest one, and older files are
-// dropped once a new one is published.
+// standalone: recovery reads only the newest intact one (quarantining
+// corrupt ones and falling back to an older checkpoint plus a longer
+// WAL replay), and superseded files are dropped once a new one is
+// published, minus the KeepGenerations fallback window.
 //
 // Checkpoint file format:
 //
-//	"PAMPTCK1" | uvarint seq | uvarint shards | shards × ladder state |
-//	u32le crc32(everything before)
+//	"PAMPTCK2" | uvarint seq | uvarint shards | shards × ladder state |
+//	32-byte sha256(everything before) | u32le crc32(everything before)
 //
 // with each ladder state encoded as
 //
 //	uvarint flushCap | run(bufAdds) | run(bufDels) |
 //	uvarint numLevels | numLevels × (run(adds) | run(dels))
 //	run: uvarint count | count × (f64le x | f64le y | varint w)
+//
+// The sha256 is the file's content digest — the point-store analogue of
+// the chain store's Merkle root: recomputed and verified on decode and
+// by the scrubber, reported in CheckpointStats.Digest as the
+// cross-replica comparison and external tamper-evidence anchor.
 
-const ptCkptMagic = "PAMPTCK1"
+const ptCkptMagic = "PAMPTCK2"
 
 // pointOpEnc encodes one PointOp for WAL records.
 var pointOpEnc = opCodec[PointOp]{
@@ -170,54 +180,87 @@ func ladderStateAt(data []byte) (rangetree.State, int, error) {
 	return st, used, nil
 }
 
-// decodePointCheckpoint decodes one standalone point checkpoint file.
-func decodePointCheckpoint(proto rangetree.Tree, shards int, data []byte) (uint64, []rangetree.Tree, error) {
-	if len(data) < len(ptCkptMagic)+4 || string(data[:len(ptCkptMagic)]) != ptCkptMagic {
-		return 0, nil, ErrCorruptFile
+// ptCkptSeq parses just a point checkpoint's magic and sequence number,
+// CRC unchecked — recovery's bound on the highest sequence the
+// directory ever covered.
+func ptCkptSeq(data []byte) (uint64, bool) {
+	if len(data) < len(ptCkptMagic) || string(data[:len(ptCkptMagic)]) != ptCkptMagic {
+		return 0, false
+	}
+	seq, n := binary.Uvarint(data[len(ptCkptMagic):])
+	return seq, n > 0
+}
+
+// verifyPtCkptStructure is the codec-independent integrity check of one
+// point checkpoint: magic, trailing CRC, and the whole-file digest.
+func verifyPtCkptStructure(data []byte) bool {
+	if len(data) < len(ptCkptMagic)+sha256.Size+4 {
+		return false
 	}
 	body := data[: len(data)-4 : len(data)-4]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
-		return 0, nil, ErrCorruptFile
+		return false
 	}
-	p := body[len(ptCkptMagic):]
+	var want [sha256.Size]byte
+	copy(want[:], body[len(body)-sha256.Size:])
+	return sha256.Sum256(body[:len(body)-sha256.Size]) == want
+}
+
+// decodePointCheckpoint decodes one standalone point checkpoint file,
+// verifying the CRC and the whole-file digest.
+func decodePointCheckpoint(proto rangetree.Tree, shards int, data []byte) (uint64, []rangetree.Tree, [sha256.Size]byte, error) {
+	var digest [sha256.Size]byte
+	if len(data) < len(ptCkptMagic)+sha256.Size+4 || string(data[:len(ptCkptMagic)]) != ptCkptMagic {
+		return 0, nil, digest, ErrCorruptFile
+	}
+	body := data[: len(data)-4 : len(data)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return 0, nil, digest, ErrCorruptFile
+	}
+	copy(digest[:], body[len(body)-sha256.Size:])
+	if sha256.Sum256(body[:len(body)-sha256.Size]) != digest {
+		return 0, nil, digest, ErrDigestMismatch
+	}
+	p := body[len(ptCkptMagic) : len(body)-sha256.Size]
 	seq, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, nil, ErrCorruptFile
+		return 0, nil, digest, ErrCorruptFile
 	}
 	p = p[n:]
 	nShards, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, nil, ErrCorruptFile
+		return 0, nil, digest, ErrCorruptFile
 	}
 	p = p[n:]
 	if nShards != uint64(shards) {
-		return 0, nil, fmt.Errorf("%w: checkpoint has %d shards, store has %d", ErrCorruptFile, nShards, shards)
+		return 0, nil, digest, fmt.Errorf("%w: checkpoint has %d shards, store has %d", ErrCorruptFile, nShards, shards)
 	}
 	states := make([]rangetree.Tree, shards)
 	for i := range states {
 		st, used, err := ladderStateAt(p)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, digest, err
 		}
 		p = p[used:]
 		// Rehydrate rebuilds per level and validates the ladder
 		// invariants, so a crafted file cannot produce a broken tree.
 		t, err := proto.Rehydrate(st)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, digest, err
 		}
 		states[i] = t
 	}
 	if len(p) != 0 {
-		return 0, nil, ErrCorruptFile
+		return 0, nil, digest, ErrCorruptFile
 	}
-	return seq, states, nil
+	return seq, states, digest, nil
 }
 
 // DurablePointStore wraps a PointStore with the WAL and full ladder
 // checkpoints. The same opts and splits must be passed at every reopen;
 // requires opts.Pool == false. See DurableStore for the acknowledgment
-// and recovery guarantees — they are identical.
+// and recovery guarantees — they are identical, including quarantine,
+// fallback, and scrub/repair.
 type DurablePointStore struct {
 	s  *PointStore
 	fs FS
@@ -226,13 +269,24 @@ type DurablePointStore struct {
 	ckptMu  sync.Mutex
 	every   uint64
 	batches atomic.Uint64
+	keep    int
+
+	epoch    atomic.Uint64
+	recovery RecoveryStats
+	scrub    *scrubber
 
 	errMu sync.Mutex
 	bgErr error
 }
 
 // OpenDurablePointStore opens (or creates) a durable point store on
-// cfg.FS, recovering the newest checkpoint plus the WAL suffix.
+// cfg.FS, recovering the newest intact checkpoint plus the WAL suffix.
+// A corrupt checkpoint is quarantined; recovery falls back to an older
+// one (within DurableConfig.KeepGenerations) and refuses to open if the
+// surviving files cannot cover the acknowledged sequence prefix.
+// CompactEvery and CompactDeadRatio are ignored: point checkpoints are
+// already full rewrites, so every checkpoint bounds recovery the way a
+// compaction does.
 func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig) (*DurablePointStore, error) {
 	if cfg.FS == nil {
 		return nil, errors.New("serve: DurableConfig.FS is required")
@@ -244,26 +298,45 @@ func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig
 	if err != nil {
 		return nil, err
 	}
+	sweepTmpFiles(cfg.FS, names)
 	ckpts, walGens := parseDurableDir(names)
 	shards := len(splits) + 1
 	proto := rangetree.New(opts)
 
+	// Newest intact checkpoint wins; corrupt ones are quarantined and
+	// recovery falls back, tracking the highest sequence number any
+	// readable header claims so a fallback can never silently lose
+	// acknowledged batches.
+	var rec RecoveryStats
 	states := make([]rangetree.Tree, shards)
 	for i := range states {
 		states[i] = rangetree.New(opts)
 	}
-	var seq uint64
+	var seq, maxSeq uint64
 	lastIdx := 0
-	if len(ckpts) > 0 {
-		lastIdx = ckpts[len(ckpts)-1]
-		data, err := cfg.FS.ReadFile(ckptName(lastIdx))
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		idx := ckpts[i]
+		data, err := cfg.FS.ReadFile(ckptName(idx))
 		if err != nil {
 			return nil, err
 		}
-		if seq, states, err = decodePointCheckpoint(proto, shards, data); err != nil {
-			return nil, fmt.Errorf("%s: %w", ckptName(lastIdx), err)
+		if s, ok := ptCkptSeq(data); ok && s > maxSeq {
+			maxSeq = s
 		}
+		s, st, _, derr := decodePointCheckpoint(proto, shards, data)
+		if derr == nil {
+			seq, states, lastIdx = s, st, idx
+			rec.ChainFiles = 1
+			break
+		}
+		q, qerr := quarantineFile(cfg.FS, ckptName(idx))
+		if qerr != nil {
+			return nil, qerr
+		}
+		rec.Quarantined = append(rec.Quarantined, q)
 	}
+	// Older checkpoints below the chosen one stay on disk until the next
+	// checkpoint's retention pass drops them.
 
 	route := pointRouter(splits)
 	next := seq
@@ -295,6 +368,7 @@ func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig
 				}
 			}
 			next++
+			rec.WALBatches++
 		}
 		if valid != len(data) {
 			if err := writeFileAtomic(cfg.FS, walTmpName, walName(g), data[:valid]); err != nil {
@@ -302,20 +376,44 @@ func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig
 			}
 		}
 	}
+	if next < maxSeq {
+		return nil, fmt.Errorf("%w: recovered to seq %d, but a checkpoint at seq %d existed (quarantined: %s)",
+			ErrUnrecoverable, next, maxSeq, strings.Join(rec.Quarantined, ", "))
+	}
+	if len(rec.Quarantined) > 0 {
+		rec.Repaired = true
+	}
 
 	w := newWAL(cfg.FS, pointOpEnc, maxGen, next)
+	keep := cfg.KeepGenerations
+	if keep < 1 {
+		keep = 1
+	}
 	d := &DurablePointStore{
-		fs:    cfg.FS,
-		w:     w,
-		every: uint64(cfg.CheckpointEvery),
+		fs:       cfg.FS,
+		w:        w,
+		every:    uint64(cfg.CheckpointEvery),
+		keep:     keep,
+		recovery: rec,
 	}
 	h := hooks[PointOp]{logAppend: w.appendLocked, commit: d.commitSeq}
 	d.s = &PointStore{
 		eng:   newEngineAt(states, route, applyPointOps, next, h, cfg.Tuning.withDefaults()),
 		proto: proto,
 	}
+	if cfg.ScrubEvery > 0 {
+		d.scrub = startScrubber(cfg.ScrubEvery, cfg.ScrubBytesPerSec, scrubHooks{
+			epoch:  d.epoch.Load,
+			verify: d.verifyPass,
+			repair: func(corrupt []string) error { return d.repairCorrupt(corrupt) },
+			onErr:  d.setErr,
+		})
+	}
 	return d, nil
 }
+
+// Recovery reports what the opening recovery read and repaired.
+func (d *DurablePointStore) Recovery() RecoveryStats { return d.recovery }
 
 // commitSeq is the resolver-side durability step; see
 // DurableStore.commitSeq.
@@ -368,16 +466,15 @@ func (d *DurablePointStore) DeleteAsync(p rangetree.Point) (*Future, error) {
 func (d *DurablePointStore) Stats() []ShardStats { return d.s.Stats() }
 
 // Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
-func (d *DurablePointStore) Snapshot() PointView { return d.s.Snapshot() }
+func (d *DurablePointStore) Snapshot() (PointView, error) { return d.s.Snapshot() }
 
 // NumShards returns the partition count.
 func (d *DurablePointStore) NumShards() int { return d.s.NumShards() }
 
-// Checkpoint writes a standalone checkpoint of every shard's ladder
-// state at one sequence point, publishes it atomically, and drops the
-// files it supersedes. Records in the returned stats counts the ladder
-// records serialized (point checkpoints are full, not incremental).
-func (d *DurablePointStore) Checkpoint() (CheckpointStats, error) {
+// checkpointAt writes a standalone checkpoint and drops files below the
+// retention bound (checkpoints and WAL generations older than keepBack
+// files behind the new one).
+func (d *DurablePointStore) checkpointAt(keepBack int) (CheckpointStats, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	var idx int
@@ -398,32 +495,129 @@ func (d *DurablePointStore) Checkpoint() (CheckpointStats, error) {
 		}
 		file = appendLadderState(file, st)
 	}
+	digest := sha256.Sum256(file)
+	file = append(file, digest[:]...)
 	file = binary.LittleEndian.AppendUint32(file, crc32.ChecksumIEEE(file))
 	if err := writeFileAtomic(d.fs, ckptTmpName, ckptName(idx), file); err != nil {
 		return CheckpointStats{}, err
 	}
+	d.epoch.Add(1)
 	if seq == 0 || d.w.Sync(seq-1) == nil {
-		dropOldWALs(d.fs, idx)
-		dropOldCkpts(d.fs, idx)
+		dropOldWALs(d.fs, idx-keepBack)
+		dropOldCkpts(d.fs, idx-keepBack)
 	}
-	return CheckpointStats{Seq: seq, Index: idx, Records: records, Bytes: len(file)}, nil
+	return CheckpointStats{
+		Seq: seq, Index: idx, Records: records, Bytes: len(file),
+		Digest: digest, Base: true, ChainRecords: records, LiveRecords: records,
+	}, nil
 }
 
-// dropOldCkpts removes superseded standalone checkpoints, best-effort.
-func dropOldCkpts(fs FS, idx int) {
-	names, err := fs.List()
-	if err != nil {
-		return
+// Checkpoint writes a standalone checkpoint of every shard's ladder
+// state at one sequence point, publishes it atomically, and drops the
+// files it supersedes (keeping KeepGenerations checkpoints and WAL
+// generations for corruption fallback). Records in the returned stats
+// counts the ladder records serialized (point checkpoints are full, not
+// incremental, so every checkpoint is a base).
+func (d *DurablePointStore) Checkpoint() (CheckpointStats, error) {
+	return d.checkpointAt(d.keep)
+}
+
+// Compact writes a fresh checkpoint and drops everything it supersedes,
+// including the fallback window — the point-store form of chain
+// compaction (point checkpoints are already full rewrites, so Compact
+// differs from Checkpoint only in retention). It is also the scrubber's
+// repair step.
+func (d *DurablePointStore) Compact() (CheckpointStats, error) {
+	return d.checkpointAt(0)
+}
+
+// verifyPass re-reads and verifies every sealed durable file once:
+// checkpoint CRC and whole-file digest, WAL framing. Reads happen under
+// ckptMu; verification outside it.
+func (d *DurablePointStore) verifyPass() (corrupt []string, files, bytes int, err error) {
+	d.ckptMu.Lock()
+	names, lerr := d.fs.List()
+	if lerr != nil {
+		d.ckptMu.Unlock()
+		return nil, 0, 0, lerr
 	}
-	ckpts, _ := parseDurableDir(names)
-	for _, c := range ckpts {
-		if c < idx {
-			fs.Remove(ckptName(c))
+	ckpts, walGens := parseDurableDir(names)
+	sealed := d.w.sealedBelow()
+	ckptData := make(map[int][]byte, len(ckpts))
+	walData := make(map[int][]byte, len(walGens))
+	for _, idx := range ckpts {
+		if data, rerr := d.fs.ReadFile(ckptName(idx)); rerr == nil {
+			ckptData[idx] = data
 		}
 	}
+	for _, g := range walGens {
+		if g >= sealed {
+			continue
+		}
+		if data, rerr := d.fs.ReadFile(walName(g)); rerr == nil {
+			walData[g] = data
+		}
+	}
+	d.ckptMu.Unlock()
+
+	for _, idx := range ckpts {
+		data, ok := ckptData[idx]
+		if !ok {
+			continue
+		}
+		files++
+		bytes += len(data)
+		if !verifyPtCkptStructure(data) {
+			corrupt = append(corrupt, ckptName(idx))
+		}
+	}
+	for _, g := range walGens {
+		data, ok := walData[g]
+		if !ok {
+			continue
+		}
+		files++
+		bytes += len(data)
+		if _, valid := decodeWALFile(pointOpEnc, data); valid != len(data) {
+			corrupt = append(corrupt, walName(g))
+		}
+	}
+	return corrupt, files, bytes, nil
 }
 
-// Err returns the first automatic-checkpoint error; see DurableStore.Err.
+// Verify runs one synchronous, check-only scrub pass; see
+// DurableStore.Verify.
+func (d *DurablePointStore) Verify() ([]string, error) {
+	corrupt, _, _, err := d.verifyPass()
+	return corrupt, err
+}
+
+// repairCorrupt quarantines the corrupt files and rewrites a fresh
+// checkpoint from the live state.
+func (d *DurablePointStore) repairCorrupt(corrupt []string) error {
+	d.ckptMu.Lock()
+	for _, name := range corrupt {
+		if _, err := quarantineFile(d.fs, name); err != nil && !errors.Is(err, os.ErrNotExist) {
+			d.ckptMu.Unlock()
+			return err
+		}
+	}
+	d.epoch.Add(1)
+	d.ckptMu.Unlock()
+	_, err := d.Compact()
+	return err
+}
+
+// ScrubStats reports the background scrubber's lifetime counters (zero
+// when no scrubber is configured).
+func (d *DurablePointStore) ScrubStats() ScrubStats {
+	if d.scrub == nil {
+		return ScrubStats{}
+	}
+	return d.scrub.Stats()
+}
+
+// Err returns the first background error; see DurableStore.Err.
 func (d *DurablePointStore) Err() error {
 	d.errMu.Lock()
 	defer d.errMu.Unlock()
@@ -438,9 +632,13 @@ func (d *DurablePointStore) setErr(err error) {
 	d.errMu.Unlock()
 }
 
-// Close stops the shard goroutines and flushes the WAL. In-flight
-// futures resolve (durably committed) before Close returns.
+// Close stops the scrubber and the shard goroutines and flushes the
+// WAL. In-flight futures resolve (durably committed) before Close
+// returns.
 func (d *DurablePointStore) Close() error {
+	if d.scrub != nil {
+		d.scrub.Stop()
+	}
 	d.s.Close()
 	return d.w.Close()
 }

@@ -27,7 +27,7 @@ func Example() {
 	store.Put(350, 40)
 	store.Delete(150)
 
-	v := store.Snapshot()
+	v, _ := store.Snapshot()
 	if val, ok := v.Find(42); ok {
 		fmt.Println("find 42:", val)
 	}
@@ -76,7 +76,7 @@ func ExampleOpenDurableStore() {
 
 	d = open() // recovery: checkpoint chain + WAL replay
 	defer d.Close()
-	v := d.Snapshot()
+	v, _ := d.Snapshot()
 	fmt.Println("recovered seq:", v.Seq())
 	fmt.Println("recovered sum:", v.AugVal())
 	v.ForEach(func(k uint64, val int64) bool {

@@ -178,6 +178,23 @@ func (m *MemFS) DurableState() map[string][]byte {
 	return out
 }
 
+// CorruptFile flips one random bit of name's contents — media
+// corruption, not process I/O, so it charges no kill-point budget and
+// leaves the synced length untouched. It reports false if the file is
+// missing or empty. The scrub/repair tests inject silent disk
+// corruption with it.
+func (m *MemFS) CorruptFile(name string, rng *rand.Rand) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || len(f.data) == 0 {
+		return false
+	}
+	bit := rng.Intn(len(f.data) * 8)
+	f.data[bit/8] ^= 1 << (bit % 8)
+	return true
+}
+
 type memHandle struct {
 	fs   *MemFS
 	name string

@@ -97,7 +97,7 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 				acked = append(acked, ackedBatch{seq: seqn, ops: b.Ops})
 				mu.Unlock()
 				if b.Snap {
-					v := s.Snapshot()
+					v, _ := s.Snapshot()
 					if v.Seq() <= seqn {
 						t.Errorf("real-time violation: batch acked at seq %d invisible to later snapshot at seq %d", seqn, v.Seq())
 					}
@@ -124,7 +124,7 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 				return
 			default:
 			}
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			if have {
 				if v.Seq() < prev.Seq() {
 					t.Errorf("snapshot Seq went backwards: %d then %d", prev.Seq(), v.Seq())
@@ -163,7 +163,8 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 	wg.Wait()
 	close(stop)
 	aux.Wait()
-	snaps = append(snaps, s.Snapshot())
+	vfinal, _ := s.Snapshot()
+	snaps = append(snaps, vfinal)
 	verifyMapSnapshots(t, acked, snaps, cfg.KeySpace)
 }
 
@@ -379,7 +380,7 @@ func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, sh
 					// Between enqueue and resolve: the batch is already
 					// sequenced, so the snapshot must sit above it (and
 					// the oracle replay proves it contains the batch).
-					v := s.Snapshot()
+					v, _ := s.Snapshot()
 					if v.Seq() <= f.Seq() {
 						t.Errorf("snapshot at seq %d below enqueued batch seq %d", v.Seq(), f.Seq())
 					}
@@ -406,7 +407,7 @@ func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, sh
 				return
 			default:
 			}
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			if have && v.Seq() < prev.Seq() {
 				t.Errorf("snapshot Seq went backwards: %d then %d", prev.Seq(), v.Seq())
 			}
@@ -472,7 +473,8 @@ func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, sh
 		}
 	}
 
-	snaps = append(snaps, s.Snapshot())
+	vfinal, _ := s.Snapshot()
+	snaps = append(snaps, vfinal)
 	verifyMapSnapshots(t, acked, snaps, cfg.KeySpace)
 }
 
@@ -621,7 +623,7 @@ func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap in
 					mu.Unlock()
 					lastSeq, wrote = seqn, true
 				case workload.OpSnapshot:
-					v := s.Snapshot()
+					v, _ := s.Snapshot()
 					if wrote && v.Seq() <= lastSeq {
 						t.Errorf("real-time violation: write at seq %d invisible to later snapshot at seq %d", lastSeq, v.Seq())
 					}
@@ -652,7 +654,8 @@ func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap in
 	wg.Wait()
 	close(stop)
 	aux.Wait()
-	snaps = append(snaps, s.Snapshot())
+	vfinal, _ := s.Snapshot()
+	snaps = append(snaps, vfinal)
 	verifyPointSnapshots(t, acked, snaps)
 }
 

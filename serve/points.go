@@ -130,10 +130,13 @@ func (s *PointStore) DeleteAsync(p rangetree.Point) (*Future, error) {
 func (s *PointStore) Stats() []ShardStats { return s.eng.stats() }
 
 // Snapshot assembles a consistent cross-shard view of the point set;
-// see Store.Snapshot for the guarantee.
-func (s *PointStore) Snapshot() PointView {
-	states, versions, seq, route := s.eng.snapshot()
-	return PointView{shards: states, versions: versions, seq: seq, route: route}
+// see Store.Snapshot for the guarantee. Returns ErrClosed after Close.
+func (s *PointStore) Snapshot() (PointView, error) {
+	states, versions, seq, route, err := s.eng.snapshot()
+	if err != nil {
+		return PointView{}, err
+	}
+	return PointView{shards: states, versions: versions, seq: seq, route: route}, nil
 }
 
 // NumShards returns the partition count.
@@ -162,9 +165,9 @@ var everything = rangetree.Rect{
 // points sharing an x can never be split across shards), rebuilding
 // each shard tree (fully condensed ladders) from the redistributed
 // points. Blocks writers and snapshotters for the duration; changes no
-// logical content.
-func (s *PointStore) Rebalance() bool {
-	s.eng.rebalance(func(states []rangetree.Tree) ([]rangetree.Tree, func(PointOp) int) {
+// logical content. Returns ErrClosed after Close.
+func (s *PointStore) Rebalance() (bool, error) {
+	err := s.eng.rebalance(func(states []rangetree.Tree) ([]rangetree.Tree, func(PointOp) int) {
 		n := len(states)
 		var pts []rangetree.Weighted
 		for _, t := range states {
@@ -218,7 +221,10 @@ func (s *PointStore) Rebalance() bool {
 		}
 		return newStates, route
 	})
-	return true
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // PointView is a consistent cross-shard snapshot of a PointStore. The

@@ -89,9 +89,24 @@
 // either order. Rebalance (range-sharded stores) briefly blocks writers
 // and snapshotters — never readers of existing views — while entries
 // move between shards; it changes no logical content and consumes no
-// sequence number. Apply/ApplyAsync on a closed store return ErrClosed;
-// Snapshot and Rebalance on a closed store still panic, since a view of
-// a dead store is a programming error rather than a race to tolerate.
+// sequence number. Every entry point on a closed store — Apply,
+// ApplyAsync, Snapshot, Rebalance, Checkpoint, Compact — returns
+// ErrClosed instead of panicking.
+//
+// # Durability and self-healing
+//
+// Durable stores (DurableStore, DurablePointStore) add a write-ahead
+// log, incremental block checkpoints, chain compaction, Merkle root
+// digests, and a scrub/repair pipeline; see durable.go for the file
+// formats and recovery protocol. The compaction crash-safety contract:
+// Compact publishes the new base checkpoint by rename after a full
+// sync, and deletes the superseded chain tail and WAL generations only
+// afterwards — so a crash at any kill point leaves the directory
+// recoverable, either from the old chain (publish never happened) or
+// from the new base (recovery picks the newest intact base and sweeps
+// the leftovers). No acknowledged batch is ever lost to a compaction
+// crash, and recovery after a compaction reads O(live records)
+// regardless of update history.
 package serve
 
 import (
@@ -512,13 +527,14 @@ func (e *engine[O, T]) stats() []ShardStats {
 
 // snapshot pushes a marker into every mailbox at one sequencer point
 // and assembles the states the markers observe: the store's contents
-// after exactly the batches sequenced before seq.
-func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, route func(O) int) {
+// after exactly the batches sequenced before seq. On a closed engine it
+// returns ErrClosed, like every other entry point.
+func (e *engine[O, T]) snapshot() (states []T, versions []uint64, seq uint64, route func(O) int, err error) {
 	states, versions, seq, route, ok := e.trySnapshotWith(nil)
 	if !ok {
-		panic("serve: Snapshot on a closed store")
+		return nil, nil, 0, nil, ErrClosed
 	}
-	return states, versions, seq, route
+	return states, versions, seq, route, nil
 }
 
 // trySnapshotWith additionally runs pre under the sequencer lock, after
@@ -559,15 +575,16 @@ func (e *engine[O, T]) trySnapshotWith(pre func()) (states []T, versions []uint6
 // reports its state and blocks; redistribute maps the old states to new
 // ones (and optionally a new router); the new states are installed and
 // the shards resume. Writers queue behind the sequencer lock for the
-// duration; readers of existing views are untouched.
-func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int)) {
+// duration; readers of existing views are untouched. On a closed engine
+// it returns ErrClosed without touching any shard.
+func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int)) error {
 	n := len(e.shards)
 	ch := make(chan shardState[T], n)
 	installs := make([]chan T, n)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		panic("serve: Rebalance on a closed store")
+		return ErrClosed
 	}
 	for i, s := range e.shards {
 		installs[i] = make(chan T, 1)
@@ -588,6 +605,7 @@ func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int
 	if newRoute != nil {
 		e.route = newRoute
 	}
+	return nil
 }
 
 // close shuts the pipeline down: new writes get ErrClosed, parked

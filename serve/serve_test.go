@@ -60,7 +60,7 @@ func TestStoreBasics(t *testing.T) {
 			s.Delete(250)
 			s.Delete(9999) // absent: no-op
 
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			if got := v.Size(); got != 3 {
 				t.Fatalf("Size = %d", got)
 			}
@@ -114,7 +114,7 @@ func TestBatchOrderWithinBatch(t *testing.T) {
 		{Kind: OpPut, Key: 7, Val: 3},
 		{Kind: OpPut, Key: 7, Val: 4},
 	})
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if val, ok := v.Find(7); !ok || val != 4 {
 		t.Fatalf("Find(7) = %d, %v, want 4", val, ok)
 	}
@@ -122,7 +122,7 @@ func TestBatchOrderWithinBatch(t *testing.T) {
 		{Kind: OpPut, Key: 8, Val: 1},
 		{Kind: OpDelete, Key: 8},
 	})
-	if s.Snapshot().Contains(8) {
+	if v2, _ := s.Snapshot(); v2.Contains(8) {
 		t.Fatal("put-then-delete left the key present")
 	}
 }
@@ -134,7 +134,7 @@ func TestSnapshotImmutable(t *testing.T) {
 	for i := uint64(0); i < 100; i++ {
 		s.Put(i*10, int64(i))
 	}
-	v1 := s.Snapshot()
+	v1, _ := s.Snapshot()
 	sum1 := v1.AugVal()
 	n1 := v1.Size()
 	for i := uint64(0); i < 100; i++ {
@@ -143,8 +143,8 @@ func TestSnapshotImmutable(t *testing.T) {
 	if v1.Size() != n1 || v1.AugVal() != sum1 {
 		t.Fatal("snapshot changed after later deletes")
 	}
-	if got := s.Snapshot().Size(); got != 0 {
-		t.Fatalf("store size after deleting all = %d", got)
+	if v2, _ := s.Snapshot(); v2.Size() != 0 {
+		t.Fatalf("store size after deleting all = %d", v2.Size())
 	}
 }
 
@@ -161,7 +161,7 @@ func TestSeqPrefix(t *testing.T) {
 		if seq != i {
 			t.Fatalf("batch %d got seq %d", i, seq)
 		}
-		v := s.Snapshot()
+		v, _ := s.Snapshot()
 		if v.Seq() != i+1 {
 			t.Fatalf("snapshot after batch %d has Seq %d", i, v.Seq())
 		}
@@ -179,14 +179,14 @@ func TestRebalanceEqualizes(t *testing.T) {
 	for i := uint64(0); i < n; i++ {
 		s.Put(i, 1)
 	}
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Shard(0).Size(); got != n {
 		t.Fatalf("pre-rebalance shard 0 holds %d", got)
 	}
-	if !s.Rebalance() {
-		t.Fatal("range store refused to rebalance")
+	if ok, err := s.Rebalance(); err != nil || !ok {
+		t.Fatalf("range store refused to rebalance: %v, %v", ok, err)
 	}
-	v = s.Snapshot()
+	v, _ = s.Snapshot()
 	if got := v.Size(); got != n {
 		t.Fatalf("rebalance changed Size to %d", got)
 	}
@@ -210,18 +210,19 @@ func TestRebalanceEqualizes(t *testing.T) {
 	}
 	// Writes after rebalance route to the new shards.
 	s.Put(5, 100)
-	if val, _ := s.Snapshot().Find(5); val != 100 {
+	v, _ = s.Snapshot()
+	if val, _ := v.Find(5); val != 100 {
 		t.Fatal("post-rebalance write lost")
 	}
 	// Hash stores refuse.
-	if newHash(t, 2).Rebalance() {
+	if ok, _ := newHash(t, 2).Rebalance(); ok {
 		t.Fatal("hash store claimed to rebalance")
 	}
 }
 
 func TestEmptyStoreAndEmptyBatch(t *testing.T) {
 	s := newRange(t, 50)
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if v.Size() != 0 || v.Contains(1) {
 		t.Fatal("empty store not empty")
 	}
@@ -234,13 +235,13 @@ func TestEmptyStoreAndEmptyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("empty Apply: %v", err)
 	}
-	if s.Snapshot().Seq() != seq+1 {
+	if v2, _ := s.Snapshot(); v2.Seq() != seq+1 {
 		t.Fatal("empty batch did not advance the sequence")
 	}
-	if !s.Rebalance() { // rebalancing an empty range store is a no-op
+	if ok, err := s.Rebalance(); err != nil || !ok { // rebalancing an empty range store is a no-op
 		t.Fatal("empty range store refused to rebalance")
 	}
-	if s.Snapshot().Size() != 0 {
+	if v2, _ := s.Snapshot(); v2.Size() != 0 {
 		t.Fatal("rebalance invented entries")
 	}
 }
@@ -259,7 +260,7 @@ func TestConcurrentWritersDisjointKeys(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Size(); got != writers*per {
 		t.Fatalf("Size = %d, want %d", got, writers*per)
 	}
@@ -285,7 +286,7 @@ func TestPointStoreBasics(t *testing.T) {
 	s.Insert(rangetree.Point{X: 50, Y: 10}, 5) // weights add
 	s.Delete(rangetree.Point{X: 250, Y: 30})
 
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Size(); got != 2 {
 		t.Fatalf("Size = %d", got)
 	}
@@ -319,14 +320,14 @@ func TestPointStoreRebalance(t *testing.T) {
 	for i := 0; i < n; i++ {
 		s.Insert(rangetree.Point{X: float64(i), Y: float64(i % 7)}, 1)
 	}
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Shard(0).Size(); got != n {
 		t.Fatalf("pre-rebalance shard 0 holds %d", got)
 	}
-	if !s.Rebalance() {
+	if ok, err := s.Rebalance(); err != nil || !ok {
 		t.Fatal("point store refused to rebalance")
 	}
-	v = s.Snapshot()
+	v, _ = s.Snapshot()
 	if got := v.Size(); got != n {
 		t.Fatalf("rebalance changed Size to %d", got)
 	}
@@ -343,7 +344,8 @@ func TestPointStoreRebalance(t *testing.T) {
 	}
 	// Post-rebalance writes route correctly.
 	s.Insert(rangetree.Point{X: 5, Y: 100}, 3)
-	if w, ok := s.Snapshot().Weight(rangetree.Point{X: 5, Y: 100}); !ok || w != 3 {
+	v, _ = s.Snapshot()
+	if w, ok := v.Weight(rangetree.Point{X: 5, Y: 100}); !ok || w != 3 {
 		t.Fatalf("post-rebalance insert: %d, %v", w, ok)
 	}
 }
@@ -363,7 +365,7 @@ func TestCoalescedWritesAck(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Size(); got != n {
 		t.Fatalf("Size = %d", got)
 	}
@@ -384,10 +386,10 @@ func TestPointStoreRebalanceDuplicateX(t *testing.T) {
 		s.Insert(rangetree.Point{X: 5, Y: float64(i)}, 1) // all on one x
 	}
 	s.Insert(rangetree.Point{X: 25, Y: 1}, 1)
-	if !s.Rebalance() {
+	if ok, err := s.Rebalance(); err != nil || !ok {
 		t.Fatal("refused to rebalance")
 	}
-	v := s.Snapshot()
+	v, _ := s.Snapshot()
 	if got := v.Size(); got != n+1 {
 		t.Fatalf("Size after rebalance = %d, want %d", got, n+1)
 	}
@@ -399,7 +401,8 @@ func TestPointStoreRebalanceDuplicateX(t *testing.T) {
 	for _, x := range []float64{0, 5, 15, 25, 99} {
 		p := rangetree.Point{X: x, Y: 777}
 		s.Insert(p, 2)
-		if w, ok := s.Snapshot().Weight(p); !ok || w != 2 {
+		vp, _ := s.Snapshot()
+		if w, ok := vp.Weight(p); !ok || w != 2 {
 			t.Fatalf("post-rebalance insert at x=%v: %d, %v", x, w, ok)
 		}
 	}

@@ -192,16 +192,20 @@ func (s *Store[K, V, A, E]) DeleteAsync(k K) (*Future, error) {
 // Snapshot assembles a consistent cross-shard view: the store's exact
 // contents after the batches sequenced before View.Seq, nothing else.
 // Zero-copy (the per-shard maps are persistent); the view stays valid
-// forever and is safe to read from any goroutine.
-func (s *Store[K, V, A, E]) Snapshot() View[K, V, A, E] {
-	states, versions, seq, route := s.eng.snapshot()
+// forever and is safe to read from any goroutine. Returns ErrClosed
+// after Close.
+func (s *Store[K, V, A, E]) Snapshot() (View[K, V, A, E], error) {
+	states, versions, seq, route, err := s.eng.snapshot()
+	if err != nil {
+		return View[K, V, A, E]{}, err
+	}
 	return View[K, V, A, E]{
 		shards:   states,
 		versions: versions,
 		seq:      seq,
 		route:    route,
 		ranged:   s.ranged,
-	}
+	}, nil
 }
 
 // Stats samples the per-shard pipeline counters: queued (admission
@@ -231,14 +235,14 @@ func (s *Store[K, V, A, E]) Close() {
 // duration (readers of existing views are untouched), changes no
 // logical content, and consumes no sequence number. Returns false (and
 // does nothing) on hash-partitioned stores, whose balance is up to the
-// hash. With Tuning.AutoRebalance set this fires automatically on
-// sustained size or latency skew.
-func (s *Store[K, V, A, E]) Rebalance() bool {
+// hash, and ErrClosed after Close. With Tuning.AutoRebalance set this
+// fires automatically on sustained size or latency skew.
+func (s *Store[K, V, A, E]) Rebalance() (bool, error) {
 	if !s.ranged {
-		return false
+		return false, nil
 	}
 	type T = pam.AugMap[K, V, A, E]
-	s.eng.rebalance(func(states []T) ([]T, func(Op[K, V]) int) {
+	err := s.eng.rebalance(func(states []T) ([]T, func(Op[K, V]) int) {
 		n := len(states)
 		cum := make([]int64, n+1)
 		for i, st := range states {
@@ -263,7 +267,10 @@ func (s *Store[K, V, A, E]) Rebalance() bool {
 		}
 		return cutStates(states, splits), opRouter[K, V](rangeRouter[K, E](splits))
 	})
-	return true
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // cutStates re-slices ordered disjoint range shards at the new splits:

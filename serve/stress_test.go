@@ -29,7 +29,7 @@ func TestServeStressMap(t *testing.T) {
 	defer s.Close()
 
 	var latest atomic.Pointer[sumView]
-	v0 := s.Snapshot()
+	v0, _ := s.Snapshot()
 	latest.Store(&v0)
 
 	var wg sync.WaitGroup
@@ -66,7 +66,7 @@ func TestServeStressMap(t *testing.T) {
 				return
 			default:
 			}
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			if have && v.Seq() < prev.Seq() {
 				t.Errorf("Seq went backwards: %d then %d", prev.Seq(), v.Seq())
 			}
@@ -131,7 +131,7 @@ func TestServeStressMap(t *testing.T) {
 	if t.Failed() {
 		t.FailNow()
 	}
-	final := s.Snapshot()
+	final, _ := s.Snapshot()
 	if final.Seq() != writers*perW {
 		t.Fatalf("final Seq = %d, want %d", final.Seq(), writers*perW)
 	}
@@ -188,7 +188,7 @@ func TestServeStressPoints(t *testing.T) {
 				return
 			default:
 			}
-			v := s.Snapshot()
+			v, _ := s.Snapshot()
 			if got := v.QueryCount(everything); got != v.Size() {
 				t.Errorf("QueryCount(everything) = %d, Size = %d", got, v.Size())
 			}
@@ -208,7 +208,7 @@ func TestServeStressPoints(t *testing.T) {
 	if t.Failed() {
 		t.FailNow()
 	}
-	final := s.Snapshot()
+	final, _ := s.Snapshot()
 	for i := 0; i < final.NumShards(); i++ {
 		if err := final.Shard(i).Validate(); err != nil {
 			t.Fatalf("final shard %d Validate: %v", i, err)

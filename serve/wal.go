@@ -169,6 +169,29 @@ func (w *wal[O]) flushOnce() error {
 	return nil
 }
 
+// sealedBelow returns the bound g such that every generation file below
+// g is sealed: fully written, fsynced, and closed, never to be appended
+// again. Only sealed generations are safe for the scrubber to verify —
+// the open generation legitimately ends in unflushed or unsynced bytes.
+func (w *wal[O]) sealedBelow() int {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	if w.f != nil {
+		return w.fGen
+	}
+	// No file open yet: nothing in the current generation has been
+	// flushed, but pending chunks may still target older generations.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	g := w.gen
+	for _, c := range w.pending {
+		if c.gen < g {
+			g = c.gen
+		}
+	}
+	return g
+}
+
 // fail records the first filesystem error; every later Sync returns it
 // and no batch is acknowledged again.
 func (w *wal[O]) fail(err error) error {
