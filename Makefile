@@ -19,12 +19,16 @@ vet:
 
 # Race-detector pass over the concurrency-heavy packages plus the
 # dynamic-structure snapshot stress test (concurrent readers vs. an
-# inserting/folding writer) and the whole serving layer, including the
-# 1000-schedule differential harness, the crash–recovery fault-injection
-# harness, and the writer/reader/snapshotter/rebalancer stress tests.
+# inserting/folding writer), the background-carry worker pool, and the
+# whole serving layer, including the 1000-schedule differential harness
+# with its concurrent replica readers, the crash–recovery
+# fault-injection harness, and the writer/reader/snapshotter/rebalancer
+# stress tests (TestServeStressCarries covers carries racing
+# rebalances).
 race:
 	$(GO) test -race ./internal/core ./internal/parallel
 	$(GO) test -race -run 'TestDynamicConcurrent' .
+	$(GO) test -race ./internal/dynamic
 	$(GO) test -race ./serve
 
 # The durability suite on its own: the crash–recovery fault-injection
@@ -47,7 +51,7 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 

@@ -913,8 +913,11 @@ func BenchmarkParallelScaling(b *testing.B) {
 // ---- the serving layer (serve): PR 4 --------------------------------
 
 func serveBenchStore(b *testing.B, shards int) *serve.Store[uint64, int64, int64, pam.SumEntry[uint64, int64]] {
-	s := serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+	s, err := serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
 		pam.Options{}, shards, seq.Mix64)
+	if err != nil {
+		b.Fatalf("NewHashStore: %v", err)
+	}
 	b.Cleanup(s.Close)
 	return s
 }

@@ -51,8 +51,8 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	want := []string{"dynamic", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "segrect",
-		"serve", "table1", "table2", "table3", "table4", "table5", "table6"}
+	want := []string{"dynamic", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "replica",
+		"segrect", "serve", "table1", "table2", "table3", "table4", "table5", "table6"}
 	all := experiments.All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,177 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/pam"
+)
+
+// TestFitLevelExtremes pins the shift-free fitLevel at sizes where the
+// old `for cap<<i < n` loop overflowed: the shifted capacity wrapped
+// negative around i = 55 (cap 256), staying below n forever. The
+// arithmetic form must terminate and still return the minimal level
+// whose capacity covers n.
+func TestFitLevelExtremes(t *testing.T) {
+	// cap = 256 = 2^8: fitLevel(n) is the smallest i with 2^(8+i) >= n.
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1 << 40, 32},
+		{1<<40 + 1, 33},
+		{1 << 62, 54},
+		{math.MaxInt64, 55},
+	}
+	for _, c := range cases {
+		if got := fitLevel(c.n); got != c.want {
+			t.Errorf("fitLevel(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// The matching capacity check must saturate, not wrap: a level index
+	// that would shift past 63 bits reports MaxInt64 capacity.
+	if got := levelCap(62); got != math.MaxInt64 {
+		t.Errorf("levelCap(62) = %d, want saturation", got)
+	}
+	if got := levelCap(3); got != (flushCap.Load()+1)<<3 {
+		t.Errorf("levelCap(3) = %d", got)
+	}
+
+	// A tiny capacity pushes the level index to the very top of the
+	// int64 range; the old loop shifted 2<<62 straight into the sign bit.
+	old := SetFlushCap(2)
+	defer SetFlushCap(old)
+	if got := fitLevel(math.MaxInt64); got != 62 {
+		t.Errorf("fitLevel(MaxInt64) with cap 2 = %d, want 62", got)
+	}
+	if got := levelCap(62); got != math.MaxInt64 {
+		t.Errorf("levelCap(62) with cap 2 = %d, want saturation", got)
+	}
+}
+
+// TestLadderDeferredDifferential drives the spill-don't-carry write
+// path against the synchronous path and a map oracle: queries must be
+// exact while overflow runs are pending, and CarryAll must settle to a
+// ladder indistinguishable (logically) from the synchronous one.
+func TestLadderDeferredDifferential(t *testing.T) {
+	old := SetFlushCap(4) // tiny buffer so runs spill constantly
+	defer SetFlushCap(old)
+
+	rng := rand.New(rand.NewSource(7))
+	sync := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	def := sync
+	m := map[int]int64{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(200)
+		if rng.Intn(4) < 3 {
+			sync = sync.Insert(testBE, k, int64(i), addv)
+			def = def.InsertDeferred(testBE, k, int64(i), addv)
+			m[k] += int64(i)
+		} else {
+			sync = sync.Delete(testBE, k)
+			def = def.DeleteDeferred(testBE, k)
+			delete(m, k)
+		}
+		if i%97 == 0 {
+			kq := rng.Intn(200)
+			v, ok := def.Find(testBE, kq)
+			wv, wok := m[kq]
+			if ok != wok || v != wv {
+				t.Fatalf("step %d: deferred Find(%d) = %d,%v, oracle %d,%v (overflow runs: %d)",
+					i, kq, v, ok, wv, wok, def.OverflowRuns())
+			}
+		}
+		if i%701 == 700 {
+			def = def.CarryAll(testBE)
+			if def.OverflowRuns() != 0 {
+				t.Fatalf("step %d: CarryAll left %d overflow runs", i, def.OverflowRuns())
+			}
+			ladderMustAgree(t, def, m, "mid-carry")
+		}
+	}
+	if def.OverflowRuns() == 0 {
+		t.Fatal("deferred path never spilled an overflow run; test is vacuous")
+	}
+	if err := def.Validate(testBE); err != nil {
+		t.Fatalf("Validate with pending runs: %v", err)
+	}
+	ladderMustAgree(t, def, m, "deferred, runs pending")
+	def = def.CarryAll(testBE)
+	ladderMustAgree(t, def, m, "deferred, settled")
+	if got, want := def.Size(), sync.Size(); got != want {
+		t.Fatalf("settled deferred Size = %d, sync %d", got, want)
+	}
+}
+
+// TestCarrierBackground runs writes through a Carrier backed by a real
+// worker pool: installs happen asynchronously, the final state must
+// match the oracle, and at least one background carry must have landed.
+func TestCarrierBackground(t *testing.T) {
+	old := SetFlushCap(4)
+	defer SetFlushCap(old)
+
+	pool := NewCarryPool(2)
+	defer pool.Close()
+	c := NewCarrier[int, int64, testS, pam.NoAug[int, int64]](testBE, pool, 2)
+
+	rng := rand.New(rand.NewSource(11))
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	m := map[int]int64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(300)
+		if rng.Intn(4) < 3 {
+			l = c.Insert(l, k, int64(i), addv)
+			m[k] += int64(i)
+		} else {
+			l = c.Delete(l, k)
+			delete(m, k)
+		}
+		if i%211 == 0 {
+			kq := rng.Intn(300)
+			v, ok := l.Find(testBE, kq)
+			wv, wok := m[kq]
+			if ok != wok || v != wv {
+				t.Fatalf("step %d: Find(%d) = %d,%v, oracle %d,%v", i, kq, v, ok, wv, wok)
+			}
+		}
+	}
+	if c.Carries() == 0 {
+		t.Fatal("no background carry ever landed")
+	}
+	l = l.CarryAll(testBE)
+	ladderMustAgree(t, l, m, "settled")
+}
+
+// TestCarrierInvalidate checks the rebalance contract: after
+// Invalidate, a carry captured from the discarded ladder must never
+// install into the replacement.
+func TestCarrierInvalidate(t *testing.T) {
+	old := SetFlushCap(4)
+	defer SetFlushCap(old)
+
+	pool := NewCarryPool(1)
+	defer pool.Close()
+	c := NewCarrier[int, int64, testS, pam.NoAug[int, int64]](testBE, pool, 4)
+
+	l := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	for i := 0; i < 64; i++ {
+		l = c.Insert(l, i, 1, addv)
+	}
+	// Simulate a rebalance: the old ladder is discarded wholesale.
+	c.Invalidate()
+	fresh := New[int, int64, testS, pam.NoAug[int, int64]](testS{})
+	m := map[int]int64{}
+	for i := 0; i < 2000; i++ {
+		k := 1000 + i%50
+		fresh = c.Insert(fresh, k, 1, addv)
+		m[k]++
+	}
+	fresh = fresh.CarryAll(testBE)
+	ladderMustAgree(t, fresh, m, "post-invalidate")
+	for i := 0; i < 64; i++ {
+		if _, ok := fresh.Find(testBE, i); ok {
+			t.Fatalf("key %d from the invalidated ladder leaked into the replacement", i)
+		}
+	}
+}

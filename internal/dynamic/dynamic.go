@@ -59,6 +59,28 @@
 // structures inherit the pam snapshot guarantee: an update returns a
 // new handle capturing the level vector by reference, and every old
 // handle keeps answering from exactly the contents it had.
+//
+// # Deferred carries and the background Carrier
+//
+// A carry that reaches a deep level rebuilds a large prefix of the
+// ladder — an O(n) stall on whatever goroutine performs it. The
+// deferred write path (InsertDeferred/DeleteDeferred) removes that
+// stall from the writer: a full buffer spills into an overflow run (a
+// small immutable level-shaped pair, O(BufCap) to build) appended to an
+// oldest-first pending list instead of cascading. Queries consult
+// overflow runs between the buffer and the levels — age order is
+// buffer, newest run, ..., oldest run, level 0, ... — so the signed-sum
+// semantics stay exact while runs are pending; CarryAll folds all
+// pending runs (newest-first, preserving age order) and settles the
+// result at the first level whose capacity holds it.
+//
+// Carrier + CarryPool run that settling off-thread: the single-owner
+// Carrier captures (runs, levels) when a spill occurs, hands the pure
+// merge to a shared worker pool, and installs the result only if no
+// newer invalidation (Invalidate, used on rebalance) has discarded the
+// source ladder. At most one carry per Carrier is in flight; past
+// MaxPending spilled runs the writer blocks until the current carry
+// lands — bounded memory, unbounded progress.
 package dynamic
 
 import (
@@ -227,4 +249,5 @@ const (
 	errOrphanTombstone  = ladderError("dynamic: tombstone without a matching live entry after a full cascade")
 	errLevelSize        = ladderError("dynamic: level record count disagrees with its structure size")
 	errLevelCap         = ladderError("dynamic: level exceeds its geometric capacity")
+	errOverCap          = ladderError("dynamic: overflow run exceeds the write-buffer capacity")
 )

@@ -31,8 +31,12 @@ type LadderState[K, V any] struct {
 
 // Dehydrate materializes the ladder's exact layered contents — write
 // buffer and per-level records, preserving rung boundaries — for
-// serialization.
+// serialization. Pending overflow runs (deferred carries) are folded
+// into the levels first: the dehydrated format deliberately has no
+// overflow notion, so a checkpoint taken mid-carry records the settled
+// shape the background carry would eventually publish.
 func (l Ladder[K, V, S, E]) Dehydrate(be *Backend[K, V, S]) LadderState[K, V] {
+	l = l.CarryAll(be)
 	st := LadderState[K, V]{
 		FlushCap: flushCap.Load(),
 		BufAdds:  l.buf.Adds.Entries(),

@@ -1,6 +1,11 @@
 package dynamic
 
-import "repro/pam"
+import (
+	"math"
+	"math/bits"
+
+	"repro/pam"
+)
 
 // Backend tells the generic ladder how to drive one consumer's static
 // structure type S (for rangetree an outer map, for segcount and
@@ -49,8 +54,14 @@ func (lv Level[S]) IsEmpty() bool { return lv.AddsN == 0 && lv.DelsN == 0 }
 // level vector is copied on write and levels are immutable, so every
 // old handle keeps answering from exactly the contents it had.
 type Ladder[K, V, S any, E pam.Aug[K, V, struct{}]] struct {
-	proto  S
-	buf    Buffer[K, V, E]
+	proto S
+	buf   Buffer[K, V, E]
+	// over holds spilled write-buffer runs whose carry into the levels
+	// has been deferred (InsertDeferred/DeleteDeferred), oldest first.
+	// Every run is newer than every level, and over[j] is newer than
+	// over[i] for j > i, so queries treat the slice as extra top-of-
+	// ladder levels visited newest first.
+	over   []Level[S]
 	levels []Level[S]
 }
 
@@ -78,6 +89,14 @@ func (l Ladder[K, V, S, E]) Levels() []Level[S] { return l.levels }
 // own polylog bound, and the ladder has O(log n) of them; signed
 // summation cancels each tombstoned entry exactly.
 func (l Ladder[K, V, S, E]) EachSide(f func(sign int64, s S)) {
+	for i := len(l.over) - 1; i >= 0; i-- {
+		if lv := l.over[i]; lv.AddsN > 0 {
+			f(+1, lv.Adds)
+		}
+		if lv := l.over[i]; lv.DelsN > 0 {
+			f(-1, lv.Dels)
+		}
+	}
 	for _, lv := range l.levels {
 		if lv.AddsN > 0 {
 			f(+1, lv.Adds)
@@ -95,7 +114,7 @@ func (l Ladder[K, V, S, E]) EachSide(f func(sign int64, s S)) {
 // multi-level aggregation.
 func (l Ladder[K, V, S, E]) Single() (S, bool) {
 	var zero S
-	if !l.buf.IsEmpty() {
+	if !l.buf.IsEmpty() || len(l.over) > 0 {
 		return zero, false
 	}
 	found := -1
@@ -132,40 +151,63 @@ func (l Ladder[K, V, S, E]) Pending() int64 { return l.buf.Pending() }
 // Size returns the number of logical entries.
 func (l Ladder[K, V, S, E]) Size() int64 {
 	var s int64
+	for _, lv := range l.over {
+		s += lv.AddsN - lv.DelsN
+	}
 	for _, lv := range l.levels {
 		s += lv.AddsN - lv.DelsN
 	}
 	return l.buf.LogicalSize(s)
 }
 
-// records returns the total physical record count of the levels.
+// records returns the total physical record count of the overflow runs
+// and levels.
 func (l Ladder[K, V, S, E]) records() int64 {
 	var s int64
+	for _, lv := range l.over {
+		s += lv.AddsN + lv.DelsN
+	}
 	for _, lv := range l.levels {
 		s += lv.AddsN + lv.DelsN
 	}
 	return s
 }
 
-// staticFind resolves k against the levels alone (ignoring the write
-// buffer): the first (newest) level holding any record for k decides —
-// a live entry means present with that value, a tombstone means absent.
+// staticFind resolves k against the overflow runs and levels (ignoring
+// the write buffer): the first (newest) structure holding any record
+// for k decides — a live entry means present with that value, a
+// tombstone means absent.
 func (l Ladder[K, V, S, E]) staticFind(be *Backend[K, V, S], k K) (V, bool) {
-	for _, lv := range l.levels {
-		if lv.AddsN > 0 {
-			if v, ok := be.Find(lv.Adds, k); ok {
-				return v, true
-			}
+	for i := len(l.over) - 1; i >= 0; i-- {
+		if v, ok, decided := levelFind(be, l.over[i], k); decided {
+			return v, ok
 		}
-		if lv.DelsN > 0 {
-			if _, ok := be.Find(lv.Dels, k); ok {
-				var zero V
-				return zero, false
-			}
+	}
+	for _, lv := range l.levels {
+		if v, ok, decided := levelFind(be, lv, k); decided {
+			return v, ok
 		}
 	}
 	var zero V
 	return zero, false
+}
+
+// levelFind resolves k against one level; decided reports whether the
+// level held any record for k.
+func levelFind[K, V, S any](be *Backend[K, V, S], lv Level[S], k K) (v V, ok, decided bool) {
+	if lv.AddsN > 0 {
+		if v, ok := be.Find(lv.Adds, k); ok {
+			return v, true, true
+		}
+	}
+	if lv.DelsN > 0 {
+		if _, ok := be.Find(lv.Dels, k); ok {
+			var zero V
+			return zero, false, true
+		}
+	}
+	var zero V
+	return zero, false, false
 }
 
 // Find returns the logical value at k. O(log^2 n) worst case: the
@@ -203,13 +245,28 @@ func (l Ladder[K, V, S, E]) Delete(be *Backend[K, V, S], k K) Ladder[K, V, S, E]
 }
 
 // fitLevel returns the smallest level index whose capacity cap<<i
-// holds n records, for the active write-buffer capacity.
+// holds n records, for the active write-buffer capacity. Computed with
+// bits.Len64 rather than by shifting cap upward: cap<<i wraps negative
+// past i = 62 and a comparison loop against it never terminates for
+// huge n.
 func fitLevel(n int64) int {
-	i := 0
-	for flushCap.Load()<<i < n {
-		i++
+	c := flushCap.Load()
+	if n <= c {
+		return 0
 	}
-	return i
+	// Smallest i with c<<i >= n, i.e. with 2^i >= ceil(n/c).
+	q := (n-1)/c + 1
+	return bits.Len64(uint64(q - 1))
+}
+
+// levelCap returns level i's record capacity, saturating instead of
+// wrapping for indices whose shifted capacity overflows int64.
+func levelCap(i int) int64 {
+	c := flushCap.Load() + 1
+	if i >= 62 || c > math.MaxInt64>>i {
+		return math.MaxInt64
+	}
+	return c << i
 }
 
 // WithStatic returns a ladder (with l's prototype) holding exactly the
@@ -338,35 +395,25 @@ func (l Ladder[K, V, S, E]) maybeFlush(be *Backend[K, V, S]) Ladder[K, V, S, E] 
 }
 
 // flush empties the write buffer into the ladder with binary-counter
-// carry-propagation: the buffered records become a run that merges
-// with each occupied level in turn (annihilating cancelled pairs) and
-// settles in the first empty level. Mass cancellation can shrink or
-// even empty the run — a delete-heavy batch erases whole levels
-// without leaving residue. When tombstones and their cancelled targets
-// come to dominate the physical records, the whole ladder is condensed
-// into one level of pure live entries, keeping the level count
-// O(log(live size)).
+// carry-propagation: the buffered records (folded together with any
+// pending overflow runs, newest first) become a run that merges with
+// each occupied level in turn (annihilating cancelled pairs) and
+// settles in the first empty level that can hold it. Mass cancellation
+// can shrink or even empty the run — a delete-heavy batch erases whole
+// levels without leaving residue. When tombstones and their cancelled
+// targets come to dominate the physical records, the whole ladder is
+// condensed into one level of pure live entries, keeping the level
+// count O(log(live size)).
 func (l Ladder[K, V, S, E]) flush(be *Backend[K, V, S]) Ladder[K, V, S, E] {
 	run := l.bufRun()
-	levels := append([]Level[S](nil), l.levels...)
-	i := 0
-	for ; i < len(levels) && !levels[i].IsEmpty(); i++ {
-		merged, err := mergeRun(be, run, levelRun(be, levels[i]))
+	for i := len(l.over) - 1; i >= 0; i-- {
+		merged, err := mergeRun(be, run, levelRun(be, l.over[i]))
 		if err != nil {
 			panic(err)
 		}
 		run = merged
-		levels[i] = Level[S]{}
 	}
-	if run.size() > 0 {
-		lv := buildLevel(be, l.proto, run)
-		if i == len(levels) {
-			levels = append(levels, lv)
-		} else {
-			levels[i] = lv
-		}
-	}
-	nl := Ladder[K, V, S, E]{proto: l.proto, levels: levels}
+	nl := Ladder[K, V, S, E]{proto: l.proto, levels: settle(be, l.proto, run, l.levels)}
 	// Dead-record bound: physical records exceed twice the live size
 	// only when at least half the ladder is tombstones plus their
 	// cancelled targets; condensing then is paid for by the deletes
@@ -375,6 +422,164 @@ func (l Ladder[K, V, S, E]) flush(be *Backend[K, V, S]) Ladder[K, V, S, E] {
 		return nl.condense(be)
 	}
 	return nl
+}
+
+// settle carries a run down a level vector: while a level is occupied
+// it merges into the run; the run settles in the first empty level
+// large enough to hold it. A single-buffer run always fits the first
+// empty level (the prefix sum (cap+1)·2^i bounds it), but a coalesced
+// multi-run carry can overflow it, in which case the carry keeps
+// descending — merging any occupied levels it passes — until a fitting
+// slot appears. The input vector is not mutated.
+func settle[K, V, S any](be *Backend[K, V, S], proto S, run runRec[K, V], levels []Level[S]) []Level[S] {
+	out := append([]Level[S](nil), levels...)
+	i := 0
+	for {
+		if i < len(out) && !out[i].IsEmpty() {
+			merged, err := mergeRun(be, run, levelRun(be, out[i]))
+			if err != nil {
+				panic(err)
+			}
+			run = merged
+			out[i] = Level[S]{}
+			i++
+			continue
+		}
+		// Empty (or past-the-end) slot: stop at the first one with
+		// capacity for the run — past the end included, since a coalesced
+		// carry can outgrow even the level just beyond the old vector.
+		if int64(run.size()) <= levelCap(i) {
+			break
+		}
+		i++
+	}
+	if run.size() > 0 {
+		lv := buildLevel(be, proto, run)
+		for len(out) <= i {
+			out = append(out, Level[S]{})
+		}
+		out[i] = lv
+	}
+	return out
+}
+
+// InsertDeferred is Insert for carrier-managed ladders: when the write
+// buffer fills it spills to a pending overflow run — a cheap O(cap)
+// build — instead of carrying down the levels synchronously. The carry
+// is performed later, off the updating goroutine, by carryInto (see
+// Carrier) or synchronously by CarryAll. Queries remain exact
+// meanwhile: overflow runs are consulted like extra newest levels.
+func (l Ladder[K, V, S, E]) InsertDeferred(be *Backend[K, V, S], k K, v V, combine func(old, new V) V) Ladder[K, V, S, E] {
+	sv, ok := l.staticFind(be, k)
+	nl := l
+	nl.buf = l.buf.Insert(k, v, sv, ok, combine)
+	return nl.maybeSpill(be)
+}
+
+// DeleteDeferred is Delete for carrier-managed ladders; see
+// InsertDeferred.
+func (l Ladder[K, V, S, E]) DeleteDeferred(be *Backend[K, V, S], k K) Ladder[K, V, S, E] {
+	sv, ok := l.staticFind(be, k)
+	nl := l
+	nl.buf = l.buf.Delete(k, sv, ok)
+	return nl.maybeSpill(be)
+}
+
+// maybeSpill converts a full write buffer into a pending overflow run.
+func (l Ladder[K, V, S, E]) maybeSpill(be *Backend[K, V, S]) Ladder[K, V, S, E] {
+	if l.buf.Pending() < flushCap.Load() {
+		return l
+	}
+	lv := buildLevel(be, l.proto, l.bufRun())
+	nl := Ladder[K, V, S, E]{proto: l.proto, levels: l.levels}
+	nl.over = append(append(make([]Level[S], 0, len(l.over)+1), l.over...), lv)
+	return nl
+}
+
+// OverflowRuns reports the number of spilled runs whose carry into the
+// levels is still pending.
+func (l Ladder[K, V, S, E]) OverflowRuns() int { return len(l.over) }
+
+// CarryAll synchronously folds every pending overflow run into the
+// levels (the write buffer stays buffered), returning a ladder with no
+// pending carries. Dehydrate uses it so checkpoints never record
+// overflow runs, and carriers use it to quiesce.
+func (l Ladder[K, V, S, E]) CarryAll(be *Backend[K, V, S]) Ladder[K, V, S, E] {
+	if len(l.over) == 0 {
+		return l
+	}
+	return Ladder[K, V, S, E]{proto: l.proto, buf: l.buf, levels: carryInto(be, l.proto, l.over, l.levels)}
+}
+
+// captureCarry returns copies of the pending overflow runs (oldest
+// first) and the level vector — the immutable inputs of a background
+// carryInto.
+func (l Ladder[K, V, S, E]) captureCarry() (runs, levels []Level[S]) {
+	return append([]Level[S](nil), l.over...), append([]Level[S](nil), l.levels...)
+}
+
+// withCarry installs a finished carry: the consumed oldest overflow
+// runs are dropped and the level vector is replaced. Runs spilled after
+// the capture stay pending — they are newer than every record in the
+// new levels, so the age ordering is preserved.
+func (l Ladder[K, V, S, E]) withCarry(consumed int, levels []Level[S]) Ladder[K, V, S, E] {
+	nl := Ladder[K, V, S, E]{proto: l.proto, buf: l.buf, levels: levels}
+	if rest := l.over[consumed:]; len(rest) > 0 {
+		nl.over = append([]Level[S](nil), rest...)
+	}
+	return nl
+}
+
+// carryInto is the background half of a deferred carry: it folds the
+// captured overflow runs (oldest first, as stored) newest-first into a
+// single run, settles it into the captured level vector, and condenses
+// when dead records dominate. It is a pure function of immutable
+// persistent values, so it can run on any goroutine while the owner
+// keeps updating its ladder.
+func carryInto[K, V, S any](be *Backend[K, V, S], proto S, runs, levels []Level[S]) []Level[S] {
+	run := levelRun(be, runs[len(runs)-1])
+	for i := len(runs) - 2; i >= 0; i-- {
+		merged, err := mergeRun(be, run, levelRun(be, runs[i]))
+		if err != nil {
+			panic(err)
+		}
+		run = merged
+	}
+	out := settle(be, proto, run, levels)
+	var live, recs int64
+	for _, lv := range out {
+		live += lv.AddsN - lv.DelsN
+		recs += lv.AddsN + lv.DelsN
+	}
+	if recs > 2*live && recs > 4*flushCap.Load() {
+		out = condenseLevels(be, proto, out)
+	}
+	return out
+}
+
+// condenseLevels cascades a closed level vector — every tombstone's
+// target inside it — into a single level of pure live entries.
+func condenseLevels[K, V, S any](be *Backend[K, V, S], proto S, levels []Level[S]) []Level[S] {
+	var run runRec[K, V]
+	for _, lv := range levels {
+		if lv.IsEmpty() {
+			continue
+		}
+		merged, err := mergeRun(be, run, levelRun(be, lv))
+		if err != nil {
+			panic(err)
+		}
+		run = merged
+	}
+	if len(run.dels) > 0 {
+		panic(errOrphanTombstone)
+	}
+	if len(run.adds) == 0 {
+		return nil
+	}
+	out := make([]Level[S], fitLevel(int64(len(run.adds)))+1)
+	out[len(out)-1] = buildLevel(be, proto, run)
+	return out
 }
 
 // buildLevel builds one immutable level from a run via the consumer's
@@ -392,11 +597,19 @@ func buildLevel[K, V, S any](be *Backend[K, V, S], proto S, run runRec[K, V]) Le
 	return lv
 }
 
-// cascade folds the write buffer and every level, newest first, into a
-// single fully-annihilated run. After a full cascade every tombstone
-// has met its target; a leftover one reports errOrphanTombstone.
+// cascade folds the write buffer, every pending overflow run, and
+// every level, newest first, into a single fully-annihilated run.
+// After a full cascade every tombstone has met its target; a leftover
+// one reports errOrphanTombstone.
 func (l Ladder[K, V, S, E]) cascade(be *Backend[K, V, S]) (runRec[K, V], error) {
 	run := l.bufRun()
+	for i := len(l.over) - 1; i >= 0; i-- {
+		merged, err := mergeRun(be, run, levelRun(be, l.over[i]))
+		if err != nil {
+			return runRec[K, V]{}, err
+		}
+		run = merged
+	}
 	for _, lv := range l.levels {
 		if lv.IsEmpty() {
 			continue
@@ -427,7 +640,7 @@ func (l Ladder[K, V, S, E]) Entries(be *Backend[K, V, S]) []pam.KV[K, V] {
 // structure's own parallel union, and re-wraps with WithStatic.
 func (l Ladder[K, V, S, E]) Condense(be *Backend[K, V, S]) S {
 	// Fast path: already a single pure level with nothing buffered.
-	if l.buf.IsEmpty() {
+	if l.buf.IsEmpty() && len(l.over) == 0 {
 		nonEmpty := -1
 		pure := true
 		for i, lv := range l.levels {
@@ -476,11 +689,22 @@ func (l Ladder[K, V, S, E]) Validate(be *Backend[K, V, S]) error {
 	if err := l.buf.Validate(func(k K) (V, bool) { return l.staticFind(be, k) }, be.ValEq); err != nil {
 		return err
 	}
+	for _, lv := range l.over {
+		// An overflow run is one spilled write buffer, so it holds at
+		// most cap+1 records (one update appends up to two).
+		if lv.AddsN+lv.DelsN > flushCap.Load()+1 {
+			return errOverCap
+		}
+		if (lv.AddsN > 0 && be.Size(lv.Adds) != lv.AddsN) ||
+			(lv.DelsN > 0 && be.Size(lv.Dels) != lv.DelsN) {
+			return errLevelSize
+		}
+	}
 	for i, lv := range l.levels {
 		// One update can append two records (a live entry plus the
 		// tombstone cancelling its predecessor), so a flushed run holds
 		// up to cap+1 records and level i at most (cap+1)<<i.
-		if lv.AddsN+lv.DelsN > (flushCap.Load()+1)<<i {
+		if lv.AddsN+lv.DelsN > levelCap(i) {
 			return errLevelCap
 		}
 		if (lv.AddsN > 0 && be.Size(lv.Adds) != lv.AddsN) ||

@@ -199,6 +199,40 @@ func runPerfSuite() []BenchResult {
 		NsPerOp: float64(RecoveryReplayCompacted(coreN, 8).Nanoseconds()),
 	})
 
+	// Background carries + replicas (PR 9): the sustained-write
+	// update-latency tail of the spatial store (pipelined async insert
+	// batches, per-batch commit latency) with ladder carries off the
+	// shard goroutine vs inline — the p99 is the headline, because a
+	// deep inline carry stalls the shard and spikes every queued batch
+	// at once — and replica read throughput from published per-shard
+	// views. NsPerOp of the tail entries is the p99 itself so the gate
+	// tracks what the optimization targets.
+	const carryOps = 1 << 18
+	runtime.GC()
+	bgTail := PointUpdateTail(2, carryOps)
+	runtime.GC()
+	syncTail := PointUpdateTail(0, carryOps)
+	out = append(out,
+		BenchResult{
+			Op: "update_tail_p99", N: carryOps,
+			NsPerOp: float64(bgTail.P99.Nanoseconds()),
+			P50Ns:   float64(bgTail.P50.Nanoseconds()),
+			P99Ns:   float64(bgTail.P99.Nanoseconds()),
+		},
+		BenchResult{
+			Op: "update_tail_p99_synccarry", N: carryOps,
+			NsPerOp: float64(syncTail.P99.Nanoseconds()),
+			P50Ns:   float64(syncTail.P50.Nanoseconds()),
+			P99Ns:   float64(syncTail.P99.Nanoseconds()),
+		},
+	)
+	runtime.GC()
+	out = append(out, BenchResult{
+		Op:      "replica_read_throughput",
+		N:       1 << 19,
+		NsPerOp: 1e9 / ReplicaReadThroughput(min(4, runtime.NumCPU()), 4, 1<<19),
+	})
+
 	// Let the allocations of the ns/op entries above get collected
 	// before the latency-percentile runs, so their GC debt doesn't
 	// bleed into the tails.

@@ -23,8 +23,12 @@ import (
 type serveStore = serve.Store[uint64, int64, int64, pam.SumEntry[uint64, int64]]
 
 func newServeStore(shards int) *serveStore {
-	return serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+	s, err := serve.NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](
 		pam.Options{}, shards, seq.Mix64)
+	if err != nil {
+		panic(err) // shards >= 1 everywhere in the suite
+	}
+	return s
 }
 
 const (

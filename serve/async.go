@@ -18,6 +18,23 @@ var (
 	// its mailbox-depth or in-flight-ops budget. The batch consumed no
 	// sequence number and left no trace; the caller may retry.
 	ErrOverloaded = errors.New("serve: shard over admission budget")
+
+	// ErrNoShards is returned by the store constructors when asked for
+	// fewer than one shard. It replaces the old panic, matching the
+	// ErrClosed convention: misconfiguration is an error, not a crash.
+	ErrNoShards = errors.New("serve: store needs at least one shard")
+
+	// ErrRebalanceShards is returned by Rebalance when the split
+	// function produces a different shard count: the shard-goroutine
+	// topology is fixed for the store's lifetime. The store keeps
+	// serving with its old distribution.
+	ErrRebalanceShards = errors.New("serve: rebalance must preserve the shard count")
+
+	// ErrNaNPoint is returned by PointStore writes containing a point
+	// with a NaN coordinate. NaN is unordered, so such a point could
+	// never be routed, range-queried, or rebalanced coherently; writes
+	// reject it up front, before a sequence number is consumed.
+	ErrNaNPoint = errors.New("serve: point has a NaN coordinate")
 )
 
 // Backpressure selects what a writer experiences when a target shard's
@@ -71,6 +88,25 @@ type Tuning struct {
 	// routing is part of the on-disk schema, ignore it). Default nil:
 	// rebalance stays explicit.
 	AutoRebalance *AutoRebalance
+	// CarryWorkers, when > 0, moves ladder carry cascades off the
+	// shard goroutines (PointStore and DurablePointStore only): a pool
+	// of that many workers merges spilled write-buffer runs into the
+	// ladder levels in the background while shards keep accepting
+	// writes, so a deep carry is no longer a p99 update-latency spike.
+	// Zero (the default) keeps carries synchronous — the historical
+	// behavior.
+	CarryWorkers int
+	// MaxPendingCarries bounds the spilled-but-uncarried overflow runs
+	// per shard when CarryWorkers > 0: at the bound the shard blocks
+	// on the in-flight background carry, which surfaces upstream as
+	// ordinary admission backpressure. Default 4.
+	MaxPendingCarries int
+	// ReplicaRefresh throttles per-shard replica publication: a shard
+	// republishes its ReaderView slot at most once per this interval
+	// (deferred publishes land when the window closes, even if the
+	// shard goes idle). Zero (the default) publishes after every
+	// flush.
+	ReplicaRefresh time.Duration
 }
 
 // withDefaults normalizes zero fields to the documented defaults.
@@ -86,6 +122,15 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.FlushWait < 0 {
 		t.FlushWait = 0
+	}
+	if t.CarryWorkers < 0 {
+		t.CarryWorkers = 0
+	}
+	if t.MaxPendingCarries <= 0 {
+		t.MaxPendingCarries = 4
+	}
+	if t.ReplicaRefresh < 0 {
+		t.ReplicaRefresh = 0
 	}
 	return t
 }

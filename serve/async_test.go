@@ -123,7 +123,10 @@ func TestBackpressureFastFail(t *testing.T) {
 func TestCloseGoroutineBaseline(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	for i := 0; i < 3; i++ {
-		h := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, 4, mixHash)
+		h, err := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, 4, mixHash)
+		if err != nil {
+			t.Fatalf("NewHashStore: %v", err)
+		}
 		r := NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, []uint64{100, 200},
 			Tuning{AutoRebalance: &AutoRebalance{CheckEvery: time.Millisecond}})
 		p := NewPointStore(pam.Options{}, []float64{0})
@@ -176,7 +179,10 @@ func TestCloseGoroutineBaseline(t *testing.T) {
 // entry point returns the sticky ErrClosed instead of panicking, sync
 // and async alike.
 func TestErrClosedSticky(t *testing.T) {
-	kv := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, 2, mixHash)
+	kv, err := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, 2, mixHash)
+	if err != nil {
+		t.Fatalf("NewHashStore: %v", err)
+	}
 	kv.Close()
 	kv.Close() // idempotent
 	pt := NewPointStore(pam.Options{}, []float64{0})
@@ -221,6 +227,9 @@ func TestErrClosedSticky(t *testing.T) {
 		{"durable/Snapshot", func() error { _, err := d.Snapshot(); return err }},
 		{"durable/Checkpoint", func() error { _, err := d.Checkpoint(); return err }},
 		{"durable/Compact", func() error { _, err := d.Compact(); return err }},
+		{"store/ReaderView", func() error { _, err := kv.ReaderView(); return err }},
+		{"points/ReaderView", func() error { _, err := pt.ReaderView(); return err }},
+		{"durable/ReaderView", func() error { _, err := d.ReaderView(); return err }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := tc.call(); !errors.Is(err, ErrClosed) {

@@ -660,7 +660,7 @@ func OpenDurableStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards 
 	// count the batch toward the automatic checkpoint. A future
 	// therefore resolves only once its batch is fsynced.
 	h := hooks[Op[K, V]]{logAppend: w.appendLocked, commit: d.commitSeq}
-	d.s = &Store[K, V, A, E]{eng: newEngineAt(states, route, applyOps[K, V, A, E], next, h, cfg.Tuning.withDefaults())}
+	d.s = &Store[K, V, A, E]{eng: newEngineAt(states, route, applyMapOps[K, V, A, E], next, h, cfg.Tuning.withDefaults())}
 	if cfg.ScrubEvery > 0 {
 		d.scrub = startScrubber(cfg.ScrubEvery, cfg.ScrubBytesPerSec, scrubHooks{
 			epoch:  d.epoch.Load,
@@ -760,6 +760,9 @@ func (d *DurableStore[K, V, A, E]) Stats() []ShardStats { return d.s.Stats() }
 
 // Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
 func (d *DurableStore[K, V, A, E]) Snapshot() (View[K, V, A, E], error) { return d.s.Snapshot() }
+
+// ReaderView returns the read-only replica view; see Store.ReaderView.
+func (d *DurableStore[K, V, A, E]) ReaderView() (View[K, V, A, E], error) { return d.s.ReaderView() }
 
 // NumShards returns the partition count.
 func (d *DurableStore[K, V, A, E]) NumShards() int { return d.s.NumShards() }

@@ -397,10 +397,7 @@ func OpenDurablePointStore(opts pam.Options, splits []float64, cfg DurableConfig
 		recovery: rec,
 	}
 	h := hooks[PointOp]{logAppend: w.appendLocked, commit: d.commitSeq}
-	d.s = &PointStore{
-		eng:   newEngineAt(states, route, applyPointOps, next, h, cfg.Tuning.withDefaults()),
-		proto: proto,
-	}
+	d.s = newPointStoreAt(opts, splits, states, next, h, cfg.Tuning)
 	if cfg.ScrubEvery > 0 {
 		d.scrub = startScrubber(cfg.ScrubEvery, cfg.ScrubBytesPerSec, scrubHooks{
 			epoch:  d.epoch.Load,
@@ -432,14 +429,14 @@ func (d *DurablePointStore) commitSeq(seq uint64) error {
 // Apply submits one write batch; acknowledgment (nil error) means the
 // batch is durable. See DurableStore.Apply.
 func (d *DurablePointStore) Apply(ops []PointOp) (uint64, error) {
-	return d.s.eng.applyBatch(ops)
+	return d.s.Apply(ops)
 }
 
 // ApplyAsync submits one write batch fire-and-forget; the returned
 // future resolves only after the batch's WAL record is fsynced. See
 // DurableStore.ApplyAsync.
 func (d *DurablePointStore) ApplyAsync(ops []PointOp) (*Future, error) {
-	return d.s.eng.applyAsync(ops, false)
+	return d.s.ApplyAsync(ops)
 }
 
 // Insert durably adds the weighted point.
@@ -467,6 +464,10 @@ func (d *DurablePointStore) Stats() []ShardStats { return d.s.Stats() }
 
 // Snapshot assembles a consistent cross-shard view; see Store.Snapshot.
 func (d *DurablePointStore) Snapshot() (PointView, error) { return d.s.Snapshot() }
+
+// ReaderView returns the read-only replica view; see
+// PointStore.ReaderView.
+func (d *DurablePointStore) ReaderView() (PointView, error) { return d.s.ReaderView() }
 
 // NumShards returns the partition count.
 func (d *DurablePointStore) NumShards() int { return d.s.NumShards() }

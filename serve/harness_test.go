@@ -73,7 +73,11 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 		}
 		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits)
 	} else {
-		s = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+		var err error
+		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+		if err != nil {
+			t.Fatalf("NewHashStore: %v", err)
+		}
 	}
 	defer s.Close()
 
@@ -159,6 +163,11 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 			}
 		}()
 	}
+	aux.Add(1)
+	go func() { // replica reader: lock-free views, monotone and coherent
+		defer aux.Done()
+		replicaReadLoop(t, s.ReaderView, stop)
+	}()
 
 	wg.Wait()
 	close(stop)
@@ -166,6 +175,64 @@ func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards 
 	vfinal, _ := s.Snapshot()
 	snaps = append(snaps, vfinal)
 	verifyMapSnapshots(t, acked, snaps, cfg.KeySpace)
+}
+
+// replicaReadLoop hammers ReaderView until stop, asserting the replica
+// staleness contract that holds under any schedule (rebalances
+// included): per-shard epochs and versions only move forward across
+// successive views, and each view is internally coherent — its merged
+// iteration is strictly increasing and sums to its own AugVal (every
+// structure in the view is an immutable published state, so a torn read
+// would surface here).
+func replicaReadLoop(t *testing.T, view func() (sumView, error), stop chan struct{}) {
+	var prevE, prevV []uint64
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		v, err := view()
+		if err != nil {
+			t.Errorf("ReaderView: %v", err)
+			return
+		}
+		e, ver := v.Epochs(), v.Versions()
+		if prevE != nil && len(e) == len(prevE) {
+			for i := range e {
+				if e[i] < prevE[i] {
+					t.Errorf("replica epoch went backwards on shard %d: %d then %d", i, prevE[i], e[i])
+				}
+				if ver[i] < prevV[i] {
+					t.Errorf("replica version went backwards on shard %d: %d then %d", i, prevV[i], ver[i])
+				}
+			}
+		}
+		prevE, prevV = e, ver
+		if v.Seq() != 0 {
+			t.Errorf("replica view reports Seq %d, want 0", v.Seq())
+		}
+		var n, sum int64
+		var prev uint64
+		first := true
+		v.ForEach(func(k uint64, val int64) bool {
+			if !first && k <= prev {
+				t.Errorf("replica iteration not strictly increasing")
+				return false
+			}
+			prev, first = k, false
+			n++
+			sum += val
+			return true
+		})
+		if n != v.Size() {
+			t.Errorf("replica iterated %d entries, Size says %d", n, v.Size())
+		}
+		if sum != v.AugVal() {
+			t.Errorf("replica iterated sum %d, AugVal says %d", sum, v.AugVal())
+		}
+		runtime.Gosched()
+	}
 }
 
 // verifyMapSnapshots replays the acknowledged batches in sequence order
@@ -343,7 +410,11 @@ func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, sh
 		}
 		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits, tun)
 	} else {
-		s = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash, tun)
+		var err error
+		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash, tun)
+		if err != nil {
+			t.Fatalf("NewHashStore: %v", err)
+		}
 	}
 	defer s.Close()
 
@@ -573,7 +644,11 @@ type pointAck struct {
 // rebalancer against a sharded PointStore with the given ladder write
 // buffer capacity (small capacities pack carry cascades between
 // snapshots), then differentially verifies every snapshot.
-func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap int) {
+// carryWorkers > 0 moves the carry cascades onto a background pool
+// (MaxPendingCarries 2, so the backpressure path runs too) while the
+// same oracle checks apply — deferred carries must be invisible to
+// queries.
+func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap, carryWorkers int) {
 	t.Helper()
 	old := dynamic.SetFlushCap(flushCap)
 	defer dynamic.SetFlushCap(old)
@@ -582,7 +657,8 @@ func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap in
 	for i := range splits {
 		splits[i] = float64(i+1) * 16 / float64(shards)
 	}
-	s := NewPointStore(pam.Options{}, splits)
+	s := NewPointStore(pam.Options{}, splits,
+		Tuning{CarryWorkers: carryWorkers, MaxPendingCarries: 2})
 	defer s.Close()
 
 	mix := workload.Mix{Insert: 8, Delete: 4, Snapshot: 3}
@@ -648,6 +724,39 @@ func runPointSchedule(t *testing.T, seed uint64, writers, n, shards, flushCap in
 			default:
 			}
 			s.Rebalance()
+			runtime.Gosched()
+		}
+	}()
+	aux.Add(1)
+	go func() { // replica reader racing the background carries
+		defer aux.Done()
+		var prevE []uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := s.ReaderView()
+			if err != nil {
+				t.Errorf("ReaderView: %v", err)
+				return
+			}
+			e := v.Epochs()
+			if prevE != nil {
+				for i := range e {
+					if e[i] < prevE[i] {
+						t.Errorf("replica epoch went backwards on shard %d: %d then %d", i, prevE[i], e[i])
+					}
+				}
+			}
+			prevE = e
+			// Internal coherence of the published trees: the signed-sum
+			// count over everything must equal the summed sizes, exactly,
+			// even while overflow runs await their background carry.
+			if got, want := v.QueryCount(everything), v.Size(); got != want {
+				t.Errorf("replica QueryCount(everything) = %d, Size = %d", got, want)
+			}
 			runtime.Gosched()
 		}
 	}()
@@ -735,12 +844,15 @@ func TestServePointsDifferential(t *testing.T) {
 		seed               uint64
 		writers, n, shards int
 		flushCap           int
+		carryWorkers       int
 	}{
 		{seed: 1, writers: 3, n: 120, shards: 3, flushCap: 4},
 		{seed: 2, writers: 2, n: 200, shards: 2, flushCap: 16},
 		{seed: 3, writers: 4, n: 80, shards: 4, flushCap: 2},
+		{seed: 4, writers: 3, n: 160, shards: 3, flushCap: 3, carryWorkers: 2},
+		{seed: 5, writers: 4, n: 120, shards: 2, flushCap: 2, carryWorkers: 1},
 	} {
-		runPointSchedule(t, tc.seed, tc.writers, tc.n, tc.shards, tc.flushCap)
+		runPointSchedule(t, tc.seed, tc.writers, tc.n, tc.shards, tc.flushCap, tc.carryWorkers)
 		if t.Failed() {
 			t.Fatalf("point schedule %+v failed", tc)
 		}

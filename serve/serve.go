@@ -82,6 +82,37 @@
 // pam oracle, under -race, across thousands of randomized schedules,
 // with both sync and async writers.
 //
+// # Read replicas
+//
+// Snapshot is exact but pays one marker round-trip through every
+// mailbox. ReaderView is the cheap alternative: each shard publishes
+// its state (copy-on-write, one atomic pointer) after applying a
+// flush, and ReaderView assembles a view from the latest published
+// states with no locks, no mailbox traffic, and no writer
+// coordination — a single atomic load, so replica reads scale with
+// reader count and never perturb the write path. The price is a weaker
+// contract: each shard individually is a sequence-consistent prefix of
+// its own sub-batch stream (versions and epochs only move forward),
+// but different shards may reflect different global sequence points, so
+// a multi-shard batch can be partially visible and View.Seq reports 0.
+// Tuning.ReplicaRefresh rate-limits publication; zero publishes on
+// every flush.
+//
+// # Background carries
+//
+// The spatial stores' ladder carries (internal/dynamic) occasionally
+// rebuild a large prefix of the structure; inline, that stalls the
+// shard goroutine and every writer behind it. With Tuning.CarryWorkers
+// > 0 a full write buffer spills an overflow run in O(BufCap) and the
+// merge runs on a shared worker pool; the shard keeps applying writes
+// and answering markers, and queries stay exact because overflow runs
+// participate in the signed-sum semantics like ordinary levels.
+// Tuning.MaxPendingCarries bounds the spilled-run backlog per shard
+// (writers briefly block past it), and a Rebalance invalidates
+// in-flight carries so no merge from a discarded ladder ever installs
+// into the replacement. Checkpoints settle pending runs in the captured
+// (immutable) states, so durability is unaffected.
+//
 // # Limits
 //
 // Updates to a single key are totally ordered, but the global order is
@@ -90,8 +121,10 @@
 // and snapshotters — never readers of existing views — while entries
 // move between shards; it changes no logical content and consumes no
 // sequence number. Every entry point on a closed store — Apply,
-// ApplyAsync, Snapshot, Rebalance, Checkpoint, Compact — returns
-// ErrClosed instead of panicking.
+// ApplyAsync, Snapshot, ReaderView, Rebalance, Checkpoint, Compact —
+// returns ErrClosed instead of panicking. Point writes reject NaN
+// coordinates with ErrNaNPoint before a sequence number is consumed
+// (NaN breaks the split routing's ordering).
 //
 // # Durability and self-healing
 //
@@ -180,9 +213,18 @@ type hooks[O any] struct {
 // the ordered resolver, and the marker-based snapshot/rebalance
 // protocol.
 type engine[O, T any] struct {
-	apply func(T, []O) T
+	apply func(shard int, state T, ops []O) T
 	hooks hooks[O]
 	tun   Tuning
+
+	// pub is the replica-publication slot: the last state each shard
+	// published at an epoch boundary, read lock-free by ReaderView.
+	// Shards republish their slot (copy-on-write CAS) after flushes,
+	// throttled by Tuning.ReplicaRefresh; rebalance rewrites the whole
+	// vector while every shard is frozen at its marker.
+	pub atomic.Pointer[published[O, T]]
+	// closedFl mirrors closed for lock-free ReaderView checks.
+	closedFl atomic.Bool
 
 	mu     sync.Mutex // the sequencer: guards seq, route, closed, budget reserve, mailbox pushes
 	seq    uint64
@@ -202,14 +244,26 @@ type engine[O, T any] struct {
 	resolveWg sync.WaitGroup
 }
 
-func newEngine[O, T any](states []T, route func(O) int, apply func(T, []O) T, tun Tuning) *engine[O, T] {
+// published is one immutable replica-publication snapshot: per-shard
+// states, versions (applied sub-batches plus installs), publication
+// epochs, and the router in effect when the vector was last rewritten.
+// Each shard's slot is a sequenced prefix of that shard's sub-batch
+// stream; the slots are not mutually atomic (see ReaderView).
+type published[O, T any] struct {
+	states   []T
+	versions []uint64
+	epochs   []uint64
+	route    func(O) int
+}
+
+func newEngine[O, T any](states []T, route func(O) int, apply func(shard int, state T, ops []O) T, tun Tuning) *engine[O, T] {
 	return newEngineAt(states, route, apply, 0, hooks[O]{}, tun)
 }
 
 // newEngineAt starts an engine whose next batch gets sequence number
 // startSeq (recovery resumes the sequence where the replayed prefix
 // ended) with optional durable hooks.
-func newEngineAt[O, T any](states []T, route func(O) int, apply func(T, []O) T, startSeq uint64, h hooks[O], tun Tuning) *engine[O, T] {
+func newEngineAt[O, T any](states []T, route func(O) int, apply func(shard int, state T, ops []O) T, startSeq uint64, h hooks[O], tun Tuning) *engine[O, T] {
 	e := &engine[O, T]{
 		apply:    apply,
 		hooks:    h,
@@ -218,6 +272,12 @@ func newEngineAt[O, T any](states []T, route func(O) int, apply func(T, []O) T, 
 		seq:      startSeq,
 		resolveq: newFutureQueue(),
 	}
+	e.pub.Store(&published[O, T]{
+		states:   append([]T(nil), states...),
+		versions: make([]uint64, len(states)),
+		epochs:   make([]uint64, len(states)),
+		route:    route,
+	})
 	e.admitCond = sync.NewCond(&e.admitMu)
 	e.shards = make([]*shard[O, T], len(states))
 	for i, st := range states {
@@ -389,7 +449,40 @@ func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
 		holdStart time.Time // when the oldest held sub-batch arrived
 		deferred  msg[O, T] // marker met while draining greedily
 		haveDef   bool
+
+		lastPub    time.Time // when this shard last published its replica slot
+		pendingPub bool      // a publish is owed once ReplicaRefresh elapses
 	)
+	// publish installs this shard's current state into the engine's
+	// replica slot with a copy-on-write CAS (other shards race on their
+	// own slots, never on this one, so the loop is short).
+	publish := func() {
+		for {
+			old := e.pub.Load()
+			np := &published[O, T]{
+				states:   append([]T(nil), old.states...),
+				versions: append([]uint64(nil), old.versions...),
+				epochs:   append([]uint64(nil), old.epochs...),
+				route:    old.route,
+			}
+			np.states[s.idx] = s.state
+			np.versions[s.idx] = s.version
+			np.epochs[s.idx]++
+			if e.pub.CompareAndSwap(old, np) {
+				break
+			}
+		}
+		lastPub, pendingPub = time.Now(), false
+	}
+	// maybePublish publishes now, or defers to the idle timer while the
+	// ReplicaRefresh window is still open.
+	maybePublish := func() {
+		if d := e.tun.ReplicaRefresh; d > 0 && time.Since(lastPub) < d {
+			pendingPub = true
+			return
+		}
+		publish()
+	}
 	accept := func(m msg[O, T]) {
 		if len(futs) == 0 {
 			holdStart = time.Now()
@@ -402,7 +495,7 @@ func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
 		if len(futs) == 0 {
 			return
 		}
-		s.state = e.apply(s.state, held)
+		s.state = e.apply(s.idx, s.state, held)
 		s.version += uint64(len(futs))
 		now := time.Now()
 		e.noteFlush(s, now.Sub(futs[0].enq))
@@ -424,6 +517,7 @@ func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
 		e.admitMu.Lock()
 		e.admitCond.Broadcast()
 		e.admitMu.Unlock()
+		maybePublish()
 	}
 	marker := func(m msg[O, T]) {
 		m.snap <- shardState[T]{idx: s.idx, state: s.state, version: s.version}
@@ -439,7 +533,26 @@ func (e *engine[O, T]) shardLoop(s *shard[O, T]) {
 		case haveDef:
 			m, ok, haveDef = deferred, true, false
 		case len(futs) == 0:
-			if m, ok = <-s.mail; !ok {
+			if pendingPub {
+				// A publish is owed: wait for more mail only until the
+				// refresh window closes, then flush the replica slot.
+				if wait := e.tun.ReplicaRefresh - time.Since(lastPub); wait <= 0 {
+					publish()
+					continue
+				} else {
+					t := time.NewTimer(wait)
+					select {
+					case m, ok = <-s.mail:
+						t.Stop()
+						if !ok {
+							return
+						}
+					case <-t.C:
+						publish()
+						continue
+					}
+				}
+			} else if m, ok = <-s.mail; !ok {
 				return
 			}
 		default:
@@ -576,7 +689,9 @@ func (e *engine[O, T]) trySnapshotWith(pre func()) (states []T, versions []uint6
 // ones (and optionally a new router); the new states are installed and
 // the shards resume. Writers queue behind the sequencer lock for the
 // duration; readers of existing views are untouched. On a closed engine
-// it returns ErrClosed without touching any shard.
+// it returns ErrClosed without touching any shard; a redistribute that
+// changes the shard count gets ErrRebalanceShards — the old states are
+// reinstalled so the store keeps serving.
 func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int)) error {
 	n := len(e.shards)
 	ch := make(chan shardState[T], n)
@@ -591,14 +706,40 @@ func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int
 		s.mail <- msg[O, T]{snap: ch, install: installs[i]}
 	}
 	states := make([]T, n)
+	versions := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		st := <-ch
 		states[st.idx] = st.state
+		versions[st.idx] = st.version
 	}
 	newStates, newRoute := redistribute(states)
 	if len(newStates) != n {
-		panic("serve: rebalance must preserve the shard count")
+		// Unfreeze with the old states (each install still bumps the
+		// shard's version) before surfacing the error.
+		for i := range installs {
+			installs[i] <- states[i]
+		}
+		return ErrRebalanceShards
 	}
+	route := newRoute
+	if route == nil {
+		route = e.route
+	}
+	// Rewrite the replica vector before any shard resumes: every shard
+	// is frozen at its marker, so no publish can race this store. Each
+	// install bumps the shard version by one.
+	old := e.pub.Load()
+	np := &published[O, T]{
+		states:   append([]T(nil), newStates...),
+		versions: append([]uint64(nil), versions...),
+		epochs:   append([]uint64(nil), old.epochs...),
+		route:    route,
+	}
+	for i := range np.versions {
+		np.versions[i]++
+		np.epochs[i]++
+	}
+	e.pub.Store(np)
 	for i := range installs {
 		installs[i] <- newStates[i]
 	}
@@ -606,6 +747,16 @@ func (e *engine[O, T]) rebalance(redistribute func(states []T) ([]T, func(O) int
 		e.route = newRoute
 	}
 	return nil
+}
+
+// readerView returns the current replica-publication snapshot, or
+// ErrClosed after close. Lock-free: it never touches the sequencer, so
+// replica reads scale independently of writers and snapshotters.
+func (e *engine[O, T]) readerView() (*published[O, T], error) {
+	if e.closedFl.Load() {
+		return nil, ErrClosed
+	}
+	return e.pub.Load(), nil
 }
 
 // close shuts the pipeline down: new writes get ErrClosed, parked
@@ -619,6 +770,7 @@ func (e *engine[O, T]) close() {
 		return
 	}
 	e.closed = true
+	e.closedFl.Store(true)
 	for _, s := range e.shards {
 		close(s.mail)
 	}

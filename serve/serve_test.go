@@ -19,7 +19,10 @@ type kvop = Op[uint64, int64]
 var mixHash = seq.Mix64
 
 func newHash(t testing.TB, shards int) *sumStore {
-	s := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+	s, err := NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+	if err != nil {
+		t.Fatalf("NewHashStore: %v", err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }

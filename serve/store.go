@@ -63,10 +63,11 @@ func pickTuning(tuning []Tuning) Tuning {
 // to be commutative (true of the ready-made entries); range queries and
 // ordered iteration remain correct regardless via the merged iterator.
 // An optional Tuning configures the async pipeline (Tuning.AutoRebalance
-// is ignored: hash stores do not rebalance).
-func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64, tuning ...Tuning) *Store[K, V, A, E] {
+// is ignored: hash stores do not rebalance). Returns ErrNoShards when
+// shards < 1.
+func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int, hash func(K) uint64, tuning ...Tuning) (*Store[K, V, A, E], error) {
 	if shards < 1 {
-		panic("serve: NewHashStore needs at least one shard")
+		return nil, ErrNoShards
 	}
 	states := make([]pam.AugMap[K, V, A, E], shards)
 	for i := range states {
@@ -74,7 +75,7 @@ func NewHashStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, shards int,
 	}
 	n := uint64(shards)
 	route := func(o Op[K, V]) int { return int(hash(o.Key) % n) }
-	return &Store[K, V, A, E]{eng: newEngine(states, route, applyOps[K, V, A, E], pickTuning(tuning))}
+	return &Store[K, V, A, E]{eng: newEngine(states, route, applyMapOps[K, V, A, E], pickTuning(tuning))}, nil
 }
 
 // NewRangeStore returns a store range-partitioned at the given split
@@ -91,7 +92,7 @@ func NewRangeStore[K, V, A any, E pam.Aug[K, V, A]](opts pam.Options, splits []K
 	}
 	tun := pickTuning(tuning)
 	s := &Store[K, V, A, E]{
-		eng:    newEngine(states, opRouter[K, V](rangeRouter[K, E](splits)), applyOps[K, V, A, E], tun),
+		eng:    newEngine(states, opRouter[K, V](rangeRouter[K, E](splits)), applyMapOps[K, V, A, E], tun),
 		ranged: true,
 	}
 	if tun.AutoRebalance != nil {
@@ -122,6 +123,12 @@ func rangeRouter[K any, E interface{ Less(a, b K) bool }](splits []K) func(K) in
 
 func opRouter[K, V any](key func(K) int) func(Op[K, V]) int {
 	return func(o Op[K, V]) int { return key(o.Key) }
+}
+
+// applyMapOps adapts applyOps to the engine's per-shard apply
+// signature (maps need no per-shard context).
+func applyMapOps[K, V, A any, E pam.Aug[K, V, A]](_ int, m pam.AugMap[K, V, A, E], ops []Op[K, V]) pam.AugMap[K, V, A, E] {
+	return applyOps(m, ops)
 }
 
 // applyOps applies a sub-batch to one shard's map, grouping consecutive
@@ -204,6 +211,32 @@ func (s *Store[K, V, A, E]) Snapshot() (View[K, V, A, E], error) {
 		versions: versions,
 		seq:      seq,
 		route:    route,
+		ranged:   s.ranged,
+	}, nil
+}
+
+// ReaderView assembles a read-only replica view from the per-shard
+// states last published at an epoch boundary, without touching the
+// sequencer: replica reads are lock-free and scale independently of
+// writers, snapshotters, and each other. The staleness contract is
+// per-shard prefix consistency — each shard's slice of the view equals
+// that shard's state after some prefix of its applied sub-batches
+// (epochs and versions, see View.Epochs, only ever move forward) — but
+// unlike Snapshot the shards are not cut at one sequence point, so a
+// cross-shard batch may be partially visible and View.Seq is 0. Use
+// Snapshot when atomicity across shards matters; use ReaderView for
+// read traffic that only needs fresh-enough monotone data. Returns
+// ErrClosed after Close; views obtained earlier remain valid.
+func (s *Store[K, V, A, E]) ReaderView() (View[K, V, A, E], error) {
+	p, err := s.eng.readerView()
+	if err != nil {
+		return View[K, V, A, E]{}, err
+	}
+	return View[K, V, A, E]{
+		shards:   p.states,
+		versions: p.versions,
+		epochs:   p.epochs,
+		route:    p.route,
 		ranged:   s.ranged,
 	}, nil
 }

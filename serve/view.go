@@ -10,19 +10,27 @@ import "repro/pam"
 type View[K, V, A any, E pam.Aug[K, V, A]] struct {
 	shards   []pam.AugMap[K, V, A, E]
 	versions []uint64
+	epochs   []uint64 // non-nil only for replica views (ReaderView)
 	seq      uint64
 	route    func(Op[K, V]) int
 	ranged   bool
 }
 
 // Seq returns the snapshot's position in the global write sequence: the
-// view contains exactly the batches sequenced before it.
+// view contains exactly the batches sequenced before it. Replica views
+// (ReaderView) are not cut at a sequence point and report 0.
 func (v View[K, V, A, E]) Seq() uint64 { return v.seq }
 
 // Versions returns the per-shard version vector (applied sub-batch
 // counts, bumped once more per rebalance); treat it as read-only.
 // Successive snapshots have componentwise nondecreasing vectors.
 func (v View[K, V, A, E]) Versions() []uint64 { return v.versions }
+
+// Epochs returns the per-shard replica-publication epochs for views
+// from ReaderView (componentwise nondecreasing across successive
+// replica views; each shard's epoch bumps once per publication), or
+// nil for marker-based snapshots. Treat it as read-only.
+func (v View[K, V, A, E]) Epochs() []uint64 { return v.epochs }
 
 // NumShards returns the partition count.
 func (v View[K, V, A, E]) NumShards() int { return len(v.shards) }
