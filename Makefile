@@ -51,7 +51,7 @@ bench:
 # The committed perf trajectory: the pambench perf suite (ns/op,
 # allocs/op, dynamic query-tail p50/p99) as a JSON artifact. CI uploads
 # it; bump the filename each PR that re-measures.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) run ./cmd/pambench -json > $(BENCH_JSON)
 
@@ -68,6 +68,8 @@ bench-gate:
 # runs its seed corpus under plain `go test`).
 fuzz:
 	$(GO) test -fuzz=FuzzTreeOps -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzCompressedBlock -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzDynamicLadder -fuzztime=$(FUZZTIME) ./internal/dynamic
 	$(GO) test -fuzz=FuzzSegQueries -fuzztime=$(FUZZTIME) ./segcount
 	$(GO) test -fuzz=FuzzRectQueries -fuzztime=$(FUZZTIME) ./stabbing
 	$(GO) test -fuzz=FuzzDynamicRangeTree -fuzztime=$(FUZZTIME) -run '^$$' .

@@ -15,6 +15,15 @@
 // unions, and scans allocate and pointer-chase roughly B times less
 // while the public persistent-map semantics are unchanged.
 //
+// Since PR 10 leaf blocks can additionally be compressed
+// (pam.Options.Compress, e.g. pam.CompressUint64): each block stores a
+// first-key anchor plus zig-zag varint key deltas and
+// compressor-encoded values, decoded on the fly during scans and
+// re-encoded on copy-on-write. Compression requires keys with a
+// bijective uint64 image (integer-like keys); on dense 64-bit keys it
+// cuts resident bytes/entry from ~22 to ~9, and durable checkpoints
+// serialize the packed blocks nearly verbatim.
+//
 // The public entry points are:
 //
 //   - repro/pam: the augmented map library (the paper's contribution)

@@ -25,15 +25,15 @@ func (o *ops[K, V, A, T]) augLeft(t *node[K, V, A], k K) A {
 	if t == nil {
 		return o.tr.Id()
 	}
-	if t.items != nil {
-		j, found := o.leafSearch(t.items, k)
+	if isLeaf(t) {
+		j, found := o.leafBound(t, k)
 		if found {
 			j++
 		}
-		if j == len(t.items) {
+		if j == leafLen(t) {
 			return t.aug // whole block in range: use the stored fold
 		}
-		return o.leafAugSlice(t.items, 0, j)
+		return o.leafAugRange(t, 0, j)
 	}
 	if o.tr.Less(k, t.key) {
 		return o.augLeft(t.left, k)
@@ -47,12 +47,12 @@ func (o *ops[K, V, A, T]) augRight(t *node[K, V, A], k K) A {
 	if t == nil {
 		return o.tr.Id()
 	}
-	if t.items != nil {
-		i, _ := o.leafSearch(t.items, k)
+	if isLeaf(t) {
+		i, _ := o.leafBound(t, k)
 		if i == 0 {
 			return t.aug // whole block in range: use the stored fold
 		}
-		return o.leafAugSlice(t.items, i, len(t.items))
+		return o.leafAugRange(t, i, leafLen(t))
 	}
 	if o.tr.Less(t.key, k) {
 		return o.augRight(t.right, k)
@@ -64,13 +64,13 @@ func (o *ops[K, V, A, T]) augRight(t *node[K, V, A], k K) A {
 // augRange returns the augmented value over entries with lo <= key <= hi.
 func (o *ops[K, V, A, T]) augRange(t *node[K, V, A], lo, hi K) A {
 	for t != nil {
-		if t.items != nil {
-			i, _ := o.leafSearch(t.items, lo)
-			j, found := o.leafSearch(t.items, hi)
+		if isLeaf(t) {
+			i, _ := o.leafBound(t, lo)
+			j, found := o.leafBound(t, hi)
 			if found {
 				j++
 			}
-			return o.leafAugSlice(t.items, i, j)
+			return o.leafAugRange(t, i, j)
 		}
 		switch {
 		case o.tr.Less(t.key, lo):

@@ -11,7 +11,7 @@ func (o *ops[K, V, A, T]) insert(t *node[K, V, A], k K, v V, h func(old, new V) 
 	if t == nil {
 		return o.singleton(k, v)
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		return o.leafInsert(t, k, v, h)
 	}
 	switch {
@@ -38,6 +38,9 @@ func (o *ops[K, V, A, T]) insert(t *node[K, V, A], k K, v V, h func(old, new V) 
 // leafInsert adds (k, v) to a leaf block (consumed). An overflowing
 // block is split into an interior node over two half blocks.
 func (o *ops[K, V, A, T]) leafInsert(t *node[K, V, A], k K, v V, h func(old, new V) V) *node[K, V, A] {
+	if t.packed != nil {
+		return o.leafInsertPacked(t, k, v, h)
+	}
 	i, found := o.leafSearch(t.items, k)
 	if found {
 		t = o.mutable(t)
@@ -90,13 +93,40 @@ func (o *ops[K, V, A, T]) leafInsert(t *node[K, V, A], k K, v V, h func(old, new
 	return o.twoBlockNode(all)
 }
 
+// leafInsertPacked is leafInsert for a compressed block: decode into a
+// scratch slice, edit, re-encode (in place when exclusively owned).
+func (o *ops[K, V, A, T]) leafInsertPacked(t *node[K, V, A], k K, v V, h func(old, new V) V) *node[K, V, A] {
+	items := o.leafAppendTo(make([]Entry[K, V], 0, leafLen(t)+1), t)
+	i, found := o.leafSearch(items, k)
+	if found {
+		if h != nil {
+			items[i].Val = h(items[i].Val, v)
+		} else {
+			items[i].Val = v
+		}
+		return o.rebuildLeaf(t, items)
+	}
+	if len(items) < o.blockSize() {
+		items = append(items, Entry[K, V]{})
+		copy(items[i+1:], items[i:])
+		items[i] = Entry[K, V]{Key: k, Val: v}
+		return o.rebuildLeaf(t, items)
+	}
+	// Full block: split around the median into two blocks.
+	items = append(items, Entry[K, V]{})
+	copy(items[i+1:], items[i:])
+	items[i] = Entry[K, V]{Key: k, Val: v}
+	o.dec(t)
+	return o.twoBlockNode(items)
+}
+
 // remove deletes k from t (consumed) if present.
 func (o *ops[K, V, A, T]) remove(t *node[K, V, A], k K) *node[K, V, A] {
 	if t == nil {
 		return nil
 	}
-	if t.items != nil {
-		i, found := o.leafSearch(t.items, k)
+	if isLeaf(t) {
+		i, found := o.leafBound(t, k)
 		if !found {
 			return t
 		}
@@ -120,7 +150,22 @@ func (o *ops[K, V, A, T]) remove(t *node[K, V, A], k K) *node[K, V, A] {
 // find looks up k (borrows t).
 func (o *ops[K, V, A, T]) find(t *node[K, V, A], k K) (V, bool) {
 	for t != nil {
-		if t.items != nil {
+		if isLeaf(t) {
+			if t.packed != nil {
+				// One sequential pass: decode-and-compare beats the
+				// walk-twice leafBound+leafAt combination on the hot path.
+				c := o.packedCursorOf(t)
+				for {
+					e, more := c.next()
+					if !more || o.tr.Less(k, e.Key) {
+						break
+					}
+					if !o.tr.Less(e.Key, k) {
+						return e.Val, true
+					}
+				}
+				break
+			}
 			if i, found := o.leafSearch(t.items, k); found {
 				return t.items[i].Val, true
 			}
@@ -140,23 +185,24 @@ func (o *ops[K, V, A, T]) find(t *node[K, V, A], k K) (V, bool) {
 }
 
 // first returns the minimum entry (borrows t, which must be non-nil).
-func first[K, V, A any](t *node[K, V, A]) (K, V) {
-	for t.items == nil && t.left != nil {
+func (o *ops[K, V, A, T]) first(t *node[K, V, A]) (K, V) {
+	for !isLeaf(t) && t.left != nil {
 		t = t.left
 	}
-	if t.items != nil {
-		return t.items[0].Key, t.items[0].Val
+	if isLeaf(t) {
+		e := o.leafAt(t, 0)
+		return e.Key, e.Val
 	}
 	return t.key, t.val
 }
 
 // last returns the maximum entry (borrows t, which must be non-nil).
-func last[K, V, A any](t *node[K, V, A]) (K, V) {
-	for t.items == nil && t.right != nil {
+func (o *ops[K, V, A, T]) last(t *node[K, V, A]) (K, V) {
+	for !isLeaf(t) && t.right != nil {
 		t = t.right
 	}
-	if t.items != nil {
-		e := t.items[len(t.items)-1]
+	if isLeaf(t) {
+		e := o.leafAt(t, leafLen(t)-1)
 		return e.Key, e.Val
 	}
 	return t.key, t.val
@@ -168,9 +214,10 @@ func (o *ops[K, V, A, T]) previous(t *node[K, V, A], k K) (K, V, bool) {
 	var bv V
 	ok := false
 	for t != nil {
-		if t.items != nil {
-			if i, _ := o.leafSearch(t.items, k); i > 0 {
-				bk, bv, ok = t.items[i-1].Key, t.items[i-1].Val, true
+		if isLeaf(t) {
+			if i, _ := o.leafBound(t, k); i > 0 {
+				e := o.leafAt(t, i-1)
+				bk, bv, ok = e.Key, e.Val, true
 			}
 			break
 		}
@@ -190,13 +237,14 @@ func (o *ops[K, V, A, T]) next(t *node[K, V, A], k K) (K, V, bool) {
 	var bv V
 	ok := false
 	for t != nil {
-		if t.items != nil {
-			i, found := o.leafSearch(t.items, k)
+		if isLeaf(t) {
+			i, found := o.leafBound(t, k)
 			if found {
 				i++
 			}
-			if i < len(t.items) {
-				bk, bv, ok = t.items[i].Key, t.items[i].Val, true
+			if i < leafLen(t) {
+				e := o.leafAt(t, i)
+				bk, bv, ok = e.Key, e.Val, true
 			}
 			break
 		}
@@ -214,8 +262,8 @@ func (o *ops[K, V, A, T]) next(t *node[K, V, A], k K) (K, V, bool) {
 func (o *ops[K, V, A, T]) rank(t *node[K, V, A], k K) int64 {
 	var r int64
 	for t != nil {
-		if t.items != nil {
-			i, _ := o.leafSearch(t.items, k)
+		if isLeaf(t) {
+			i, _ := o.leafBound(t, k)
 			return r + int64(i)
 		}
 		if o.tr.Less(t.key, k) {
@@ -232,11 +280,11 @@ func (o *ops[K, V, A, T]) rank(t *node[K, V, A], k K) int64 {
 // out of range.
 func (o *ops[K, V, A, T]) selectAt(t *node[K, V, A], i int64) (K, V, bool) {
 	for t != nil {
-		if t.items != nil {
-			if i < 0 || i >= int64(len(t.items)) {
+		if isLeaf(t) {
+			if i < 0 || i >= int64(leafLen(t)) {
 				break
 			}
-			e := t.items[i]
+			e := o.leafAt(t, int(i))
 			return e.Key, e.Val, true
 		}
 		ls := size(t.left)

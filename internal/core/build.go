@@ -39,13 +39,22 @@ func (o *ops[K, V, A, T]) build(items []Entry[K, V], h func(old, new V) V) *node
 // buildSorted constructs a tree from strictly-increasing entries (BUILD'
 // in Figure 2, blocked): runs that fit a leaf block become one block
 // (with a private copy of the entries — the caller keeps its slice), and
-// larger inputs divide at the median over joins, which lay out the
-// fringe as blocks of at least half occupancy.
+// Larger inputs split over the *minimal* number of leaf blocks rather
+// than at the entry median: halving entries leaves every block just over
+// half full, while giving each side its proportional share of
+// ceil((n+1)/(B+1)) blocks lays the fringe out near-full — fewer nodes,
+// fewer cache lines per scan, and (under compression) a smaller fixed
+// overhead per entry. Joins rebalance, so the split point only chooses
+// the layout, never threatens the invariants.
 func (o *ops[K, V, A, T]) buildSorted(s []Entry[K, V]) *node[K, V, A] {
 	if len(s) <= o.blockSize() {
 		return o.mkLeafCopy(s)
 	}
-	mid := len(s) / 2
+	b, n := o.blockSize(), len(s)
+	blocks := (n + 1 + b) / (b + 1) // ceil((n+1)/(b+1)), >= 2 here
+	lb := blocks / 2
+	inBlocks := n - (blocks - 1) // entries living in blocks, not pivots
+	mid := inBlocks*lb/blocks + (lb - 1)
 	var l, r *node[K, V, A]
 	parallel.DoIf(int64(len(s)) > o.grainSize(),
 		func() { l = o.buildSorted(s[:mid]) },
@@ -86,7 +95,7 @@ func (o *ops[K, V, A, T]) multiInsertSorted(t *node[K, V, A], s []Entry[K, V], h
 	if len(s) == 0 {
 		return t
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		return o.leafMergeSorted(t, s, h)
 	}
 	t = o.mutable(t)
@@ -117,7 +126,7 @@ func (o *ops[K, V, A, T]) multiInsertSorted(t *node[K, V, A], s []Entry[K, V], h
 // (consumed), rebuilding the region as blocks when it overflows.
 // Collisions combine as h(block value, batch value); nil h overwrites.
 func (o *ops[K, V, A, T]) leafMergeSorted(t *node[K, V, A], s []Entry[K, V], h func(old, new V) V) *node[K, V, A] {
-	items := t.items
+	items := o.leafRead(t)
 	merged := make([]Entry[K, V], 0, len(items)+len(s))
 	i, j := 0, 0
 	for i < len(items) && j < len(s) {
@@ -175,26 +184,29 @@ func (o *ops[K, V, A, T]) multiDeleteSorted(t *node[K, V, A], s []K) *node[K, V,
 	if t == nil || len(s) == 0 {
 		return t
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		doomed := func(e Entry[K, V]) bool {
 			pos := seq.LowerBound(s, e.Key, o.tr.Less)
 			return pos < len(s) && !o.tr.Less(e.Key, s[pos])
 		}
 		// Allocation-free scan first: most visited blocks contain no
 		// batch key at all and are returned untouched.
-		first := -1
-		for i, e := range t.items {
+		first, at := -1, 0
+		o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
 			if doomed(e) {
-				first = i
-				break
+				first = at
+				return false
 			}
-		}
+			at++
+			return true
+		})
 		if first < 0 {
 			return t
 		}
-		kept := make([]Entry[K, V], 0, len(t.items)-1)
-		kept = append(kept, t.items[:first]...)
-		for _, e := range t.items[first+1:] {
+		items := o.leafRead(t)
+		kept := make([]Entry[K, V], 0, len(items)-1)
+		kept = append(kept, items[:first]...)
+		for _, e := range items[first+1:] {
 			if !doomed(e) {
 				kept = append(kept, e)
 			}

@@ -22,21 +22,21 @@ func (o *ops[K, V, A, T]) union(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *node
 	if t2 == nil {
 		return t1
 	}
-	if t2.items != nil {
+	if isLeaf(t2) {
 		// t2's entries are a sorted batch into t1; multiInsertSorted's
 		// h(old, new) = h(t1's value, t2's value) matches union, and its
 		// nil-h "overwrite with new" matches t2-wins.
-		n := o.multiInsertSorted(t1, t2.items, h)
+		n := o.multiInsertSorted(t1, o.leafRead(t2), h)
 		o.dec(t2)
 		return n
 	}
-	if t1.items != nil {
+	if isLeaf(t1) {
 		// Mirror: t1's entries enter t2, so old/new swap roles.
 		hh := func(old, new V) V { return old } // t2 (the tree) wins
 		if h != nil {
 			hh = func(old, new V) V { return h(new, old) }
 		}
-		n := o.multiInsertSorted(t2, t1.items, hh)
+		n := o.multiInsertSorted(t2, o.leafRead(t1), hh)
 		o.dec(t1)
 		return n
 	}
@@ -66,23 +66,24 @@ func (o *ops[K, V, A, T]) intersect(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *
 		o.dec(t2)
 		return nil
 	}
-	if t2.items != nil {
-		kept := make([]Entry[K, V], 0, len(t2.items))
-		for _, e := range t2.items {
+	if isLeaf(t2) {
+		kept := make([]Entry[K, V], 0, leafLen(t2))
+		o.leafScanRange(t2, 0, leafLen(t2), func(e Entry[K, V]) bool {
 			if v1, ok := o.find(t1, e.Key); ok {
 				if h != nil {
 					e.Val = h(v1, e.Val)
 				}
 				kept = append(kept, e)
 			}
-		}
+			return true
+		})
 		o.dec(t1)
 		o.dec(t2)
 		return o.mkLeafOwned(kept)
 	}
-	if t1.items != nil {
-		kept := make([]Entry[K, V], 0, len(t1.items))
-		for _, e := range t1.items {
+	if isLeaf(t1) {
+		kept := make([]Entry[K, V], 0, leafLen(t1))
+		o.leafScanRange(t1, 0, leafLen(t1), func(e Entry[K, V]) bool {
 			if v2, ok := o.find(t2, e.Key); ok {
 				if h != nil {
 					e.Val = h(e.Val, v2)
@@ -91,7 +92,8 @@ func (o *ops[K, V, A, T]) intersect(t1, t2 *node[K, V, A], h func(v1, v2 V) V) *
 				}
 				kept = append(kept, e)
 			}
-		}
+			return true
+		})
 		o.dec(t1)
 		o.dec(t2)
 		return o.mkLeafOwned(kept)
@@ -126,22 +128,24 @@ func (o *ops[K, V, A, T]) difference(t1, t2 *node[K, V, A]) *node[K, V, A] {
 	if t2 == nil {
 		return t1
 	}
-	if t2.items != nil {
-		keys := make([]K, len(t2.items))
-		for i, e := range t2.items {
-			keys[i] = e.Key
-		}
+	if isLeaf(t2) {
+		keys := make([]K, 0, leafLen(t2))
+		o.leafScanRange(t2, 0, leafLen(t2), func(e Entry[K, V]) bool {
+			keys = append(keys, e.Key)
+			return true
+		})
 		n := o.multiDeleteSorted(t1, keys)
 		o.dec(t2)
 		return n
 	}
-	if t1.items != nil {
-		kept := make([]Entry[K, V], 0, len(t1.items))
-		for _, e := range t1.items {
+	if isLeaf(t1) {
+		kept := make([]Entry[K, V], 0, leafLen(t1))
+		o.leafScanRange(t1, 0, leafLen(t1), func(e Entry[K, V]) bool {
 			if _, ok := o.find(t2, e.Key); !ok {
 				kept = append(kept, e)
 			}
-		}
+			return true
+		})
 		o.dec(t1)
 		o.dec(t2)
 		return o.mkLeafOwned(kept)

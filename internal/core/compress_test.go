@@ -1,0 +1,541 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Compressed leaf-block tests: the boundary suite from leaf_test.go
+// replayed under the packed layout, differential runs against the flat
+// layout, the space accounting, serialization round trips (including
+// cross-layout decode and compressor mismatch), and defensive decoding
+// of corrupt payloads.
+
+// testComp is the core-level test Compressor: int keys via the
+// two's-complement uint64 image, zig-zag varint values (the same shape
+// as pam.CompressInt).
+type testComp struct{}
+
+func (testComp) KeyUint(k int) uint64     { return uint64(k) }
+func (testComp) KeyFromUint(u uint64) int { return int(u) }
+func (testComp) AppendVal(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+func (testComp) ValAt(data []byte) (int64, int, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, 0, ErrCorrupt
+	}
+	return v, n, nil
+}
+
+func newSumComp(sch Scheme, block int) sumTree {
+	return New[int, int64, int64, sumTraits](Config{Scheme: sch, Block: block, Compress: testComp{}})
+}
+
+// TestCompressedBoundaryOccupancy drives a packed block through the
+// exact fill boundary (B-1, B, B+1) for several block sizes and all
+// schemes, mirroring TestLeafBoundaryOccupancy, with a negative-key run
+// to exercise wrap-around key images and negative deltas.
+func TestCompressedBoundaryOccupancy(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		for _, b := range []int{2, 3, 4, 7, DefaultBlock} {
+			for _, base := range []int{0, -1_000_000} {
+				tr := newSumComp(sch, b)
+				if !tr.Compressed() {
+					t.Fatal("tree with a Compressor reports Compressed() == false")
+				}
+				m := model{}
+				for i := 0; i < b+1; i++ {
+					k := base + 7*i
+					tr = tr.Insert(k, int64(i))
+					m[k] = int64(i)
+					if err := tr.Validate(i64eq); err != nil {
+						t.Fatalf("block=%d base=%d after %d inserts: %v", b, base, i+1, err)
+					}
+				}
+				mustMatch(t, tr, m)
+				probe := newSumComp(sch, b)
+				for i := 0; i < b; i++ {
+					probe = probe.Insert(base+7*i, 1)
+				}
+				if h := probe.Height(); h != 1 {
+					t.Fatalf("block=%d: %d entries have height %d, want a single block", b, b, h)
+				}
+				if h := tr.Height(); h < 2 {
+					t.Fatalf("block=%d: %d entries still height %d, split expected", b, b+1, h)
+				}
+				for i := b; i >= 1; i-- {
+					k := base + 7*i
+					tr = tr.Delete(k)
+					delete(m, k)
+					if err := tr.Validate(i64eq); err != nil {
+						t.Fatalf("block=%d deleting %d: %v", b, k, err)
+					}
+				}
+				mustMatch(t, tr, m)
+			}
+		}
+	})
+}
+
+// TestCompressedSplitInsideLeaf splits a compressed map at every
+// possible position — interior of packed blocks included — and checks
+// the pieces and their rejoin.
+func TestCompressedSplitInsideLeaf(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		n := 3*DefaultBlock + 5
+		items := make([]Entry[int, int64], n)
+		for i := range items {
+			items[i] = Entry[int, int64]{Key: 2 * i, Val: int64(i)}
+		}
+		tr := newSumComp(sch, 0).BuildSorted(items)
+		for k := -1; k <= 2*n; k++ {
+			l, v, found, r := tr.Split(k)
+			wantFound := k >= 0 && k < 2*n && k%2 == 0
+			if found != wantFound {
+				t.Fatalf("Split(%d) found=%v want %v", k, found, wantFound)
+			}
+			if found && v != int64(k/2) {
+				t.Fatalf("Split(%d) value %d", k, v)
+			}
+			if err := l.Validate(i64eq); err != nil {
+				t.Fatalf("left of Split(%d): %v", k, err)
+			}
+			if err := r.Validate(i64eq); err != nil {
+				t.Fatalf("right of Split(%d): %v", k, err)
+			}
+			var re sumTree
+			if found {
+				re = l.Join(k, v, r)
+			} else {
+				re = l.Concat(r)
+			}
+			if err := re.Validate(i64eq); err != nil {
+				t.Fatalf("rejoin of Split(%d): %v", k, err)
+			}
+			if re.Size() != int64(n) {
+				t.Fatalf("rejoin of Split(%d) lost entries: %d", k, re.Size())
+			}
+		}
+	})
+}
+
+// TestCompressedSharingBetweenSnapshots pins per-block copy-on-write
+// under the packed layout: snapshots share packed blocks; an update
+// re-encodes only the touched block.
+func TestCompressedSharingBetweenSnapshots(t *testing.T) {
+	st := &Stats{}
+	tr := New[int, int64, int64, sumTraits](Config{Stats: st, Compress: testComp{}})
+	items := make([]Entry[int, int64], 1000)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i)}
+	}
+	tr = tr.BuildSorted(items)
+	snap := tr
+
+	st.Reset()
+	upd := tr.Insert(500, -1)
+	if c := st.Copies.Load(); c == 0 {
+		t.Fatal("insert into shared compressed tree did not copy-on-write")
+	}
+	unique := CountUniqueNodes(tr, snap, upd)
+	base := CountUniqueNodes(tr)
+	if unique > base+64 {
+		t.Fatalf("block update copied too much: %d unique vs %d base", unique, base)
+	}
+	if v, _ := snap.Find(500); v != 500 {
+		t.Fatalf("snapshot value changed to %d", v)
+	}
+	if v, _ := upd.Find(500); v != -1 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if err := snap.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	if err := upd.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.SharesStructureWith(upd) {
+		t.Fatal("snapshot and update share nothing")
+	}
+}
+
+// TestCompressedInPlaceGrowth: an unshared compressed map re-encodes
+// its blocks into the retained buffer — filling must not allocate a
+// node per entry.
+func TestCompressedInPlaceGrowth(t *testing.T) {
+	st := &Stats{}
+	tr := New[int, int64, int64, sumTraits](Config{Stats: st, Compress: testComp{}})
+	for i := 0; i < 10*DefaultBlock; i++ {
+		tr.InsertInPlace(i, int64(i))
+	}
+	if a := st.Allocated.Load(); a > int64(10*DefaultBlock/4) {
+		t.Fatalf("in-place fill of %d entries allocated %d nodes", 10*DefaultBlock, a)
+	}
+	if st.Copies.Load() != 0 {
+		t.Fatalf("unshared fill copied %d nodes", st.Copies.Load())
+	}
+	if err := tr.Validate(i64eq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressedDifferential runs identical random op sequences over a
+// compressed and an uncompressed tree at small block sizes (every op
+// crosses block boundaries) and demands identical observable state,
+// including the bulk and ordered-query operations.
+func TestCompressedDifferential(t *testing.T) {
+	forAllSchemes(t, func(t *testing.T, sch Scheme) {
+		for _, b := range []int{2, 5} {
+			rng := rand.New(rand.NewSource(int64(500 + b)))
+			ct := newSumComp(sch, b)
+			ft := newSumBlock(sch, b)
+			check := func(step int) {
+				if err := ct.Validate(i64eq); err != nil {
+					t.Fatalf("block=%d step %d: compressed: %v", b, step, err)
+				}
+				ce, fe := ct.Entries(), ft.Entries()
+				if len(ce) != len(fe) {
+					t.Fatalf("block=%d step %d: %d entries vs %d flat", b, step, len(ce), len(fe))
+				}
+				for i := range ce {
+					if ce[i] != fe[i] {
+						t.Fatalf("block=%d step %d: entry %d = %v, flat has %v", b, step, i, ce[i], fe[i])
+					}
+				}
+				if ct.AugVal() != ft.AugVal() {
+					t.Fatalf("block=%d step %d: AugVal %d vs %d", b, step, ct.AugVal(), ft.AugVal())
+				}
+			}
+			for step := 0; step < 900; step++ {
+				k := rng.Intn(400) - 200
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					v := int64(rng.Intn(1000) - 500)
+					ct, ft = ct.Insert(k, v), ft.Insert(k, v)
+				case 3:
+					ct, ft = ct.Delete(k), ft.Delete(k)
+				case 4:
+					cl, cv, cf, cr := ct.Split(k)
+					fl, fv, ff, fr := ft.Split(k)
+					if cf != ff || cv != fv {
+						t.Fatalf("Split(%d): %v/%d vs %v/%d", k, cf, cv, ff, fv)
+					}
+					if cf {
+						ct, ft = cl.Join(k, cv, cr), fl.Join(k, fv, fr)
+					} else {
+						ct, ft = cl.Concat(cr), fl.Concat(fr)
+					}
+				case 5:
+					batch := make([]Entry[int, int64], rng.Intn(12))
+					for i := range batch {
+						batch[i] = Entry[int, int64]{Key: rng.Intn(400) - 200, Val: int64(i)}
+					}
+					keep := func(o, n int64) int64 { return o }
+					ct, ft = ct.MultiInsert(batch, keep), ft.MultiInsert(batch, keep)
+				case 6:
+					keys := make([]int, rng.Intn(8))
+					for i := range keys {
+						keys[i] = rng.Intn(400) - 200
+					}
+					ct, ft = ct.MultiDelete(keys), ft.MultiDelete(keys)
+				case 7:
+					other := make([]Entry[int, int64], 20)
+					for i := range other {
+						other[i] = Entry[int, int64]{Key: rng.Intn(400) - 200, Val: 7}
+					}
+					co := newSumComp(sch, b).Build(other, func(o, n int64) int64 { return n })
+					fo := newSumBlock(sch, b).Build(other, func(o, n int64) int64 { return n })
+					switch rng.Intn(3) {
+					case 0:
+						ct, ft = ct.Union(co), ft.Union(fo)
+					case 1:
+						ct, ft = ct.Intersect(co), ft.Intersect(fo)
+					case 2:
+						ct, ft = ct.Difference(co), ft.Difference(fo)
+					}
+				case 8:
+					pred := func(k int, v int64) bool { return (k+int(v))%3 != 0 }
+					ct, ft = ct.Filter(pred), ft.Filter(pred)
+				case 9:
+					fn := func(k int, v int64) int64 { return v + int64(k%5) }
+					ct, ft = ct.MapValues(fn), ft.MapValues(fn)
+				}
+				// Point and ordered queries agree every step.
+				cv, cok := ct.Find(k)
+				fv, fok := ft.Find(k)
+				if cok != fok || cv != fv {
+					t.Fatalf("Find(%d): %d,%v vs %d,%v", k, cv, cok, fv, fok)
+				}
+				if ct.Rank(k) != ft.Rank(k) {
+					t.Fatalf("Rank(%d): %d vs %d", k, ct.Rank(k), ft.Rank(k))
+				}
+				pk, pv, pok := ct.Previous(k)
+				qk, qv, qok := ft.Previous(k)
+				if pk != qk || pv != qv || pok != qok {
+					t.Fatalf("Previous(%d) diverged", k)
+				}
+				if ct.AugRange(k-30, k+30) != ft.AugRange(k-30, k+30) {
+					t.Fatalf("AugRange around %d diverged", k)
+				}
+				if step%150 == 149 {
+					check(step)
+				}
+			}
+			check(-1)
+		}
+	})
+}
+
+// TestCompressedSpaceStats pins the space win: locally dense int keys
+// pack to a fraction of the 16-byte flat entry.
+func TestCompressedSpaceStats(t *testing.T) {
+	items := make([]Entry[int, int64], 10_000)
+	for i := range items {
+		items[i] = Entry[int, int64]{Key: i, Val: int64(i % 128)}
+	}
+	flat := newSum(WeightBalanced).BuildSorted(items)
+	comp := newSumComp(WeightBalanced, 0).BuildSorted(items)
+	fs, cs := flat.SpaceStats(), comp.SpaceStats()
+	if cs.Entries != 10_000 || fs.Entries != 10_000 {
+		t.Fatalf("entries %d / %d", cs.Entries, fs.Entries)
+	}
+	if fs.CompressionRatio != 1 {
+		t.Fatalf("flat tree compression ratio %.2f, want 1", fs.CompressionRatio)
+	}
+	if cs.CompressionRatio < 2 {
+		t.Fatalf("compressed ratio %.2f, want >= 2 for dense keys", cs.CompressionRatio)
+	}
+	if cs.BytesPerEntry >= fs.BytesPerEntry/2 {
+		t.Fatalf("compressed %.1f B/entry vs flat %.1f — less than 2x win", cs.BytesPerEntry, fs.BytesPerEntry)
+	}
+	if cs.LogicalBytes != fs.PhysicalBytes {
+		// Same entries, same block geometry: logical bytes of the packed
+		// tree should equal what the flat layout occupies, modulo slack
+		// capacity in flat blocks.
+		if cs.LogicalBytes > fs.PhysicalBytes {
+			t.Fatalf("logical %d exceeds flat physical %d", cs.LogicalBytes, fs.PhysicalBytes)
+		}
+	}
+}
+
+// TestCompressedEncodeDecode round-trips compressed trees through the
+// checkpoint wire format: packed records decode byte-identically (same
+// digests), a compressed stream into an uncompressed family fails with
+// ErrNoCompressor, and a plain stream decodes into a compressed family
+// by re-packing.
+func TestCompressedEncodeDecode(t *testing.T) {
+	for sch := Scheme(0); sch < NumSchemes; sch++ {
+		for _, block := range []int{0, 2, 5} {
+			for _, n := range []int{1, 7, 300} {
+				cfg := Config{Scheme: sch, Block: block, Compress: testComp{}}
+				tr := New[int, int64, int64, sumTraits](cfg)
+				for i := 0; i < n; i++ {
+					tr = tr.Insert((i*37)%(2*n+1), int64(i))
+				}
+				rs := NewRecordSet[int, int64, int64]()
+				buf, root, wrote := EncodeDelta(tr, rs, testCodec(), nil)
+				tb := NewDecodeTable[int, int64, int64, sumTraits](cfg)
+				rest, err := tb.DecodeRecords(testCodec(), buf, wrote)
+				if err != nil {
+					t.Fatalf("scheme %v block %d n %d: decode: %v", sch, block, n, err)
+				}
+				if len(rest) != 0 {
+					t.Fatalf("decode left %d bytes", len(rest))
+				}
+				got, err := tb.Tree(root)
+				if err != nil {
+					t.Fatalf("Tree(%d): %v", root, err)
+				}
+				if !got.Compressed() {
+					t.Fatal("decoded tree lost its compressor")
+				}
+				if err := got.Validate(i64eq); err != nil {
+					t.Fatalf("scheme %v block %d n %d: decoded tree invalid: %v", sch, block, n, err)
+				}
+				we, ge := tr.Entries(), got.Entries()
+				if len(we) != len(ge) {
+					t.Fatalf("decoded %d entries, want %d", len(ge), len(we))
+				}
+				for i := range we {
+					if we[i] != ge[i] {
+						t.Fatalf("entry %d = %v, want %v", i, ge[i], we[i])
+					}
+				}
+				// Canonical packing means a re-encode of the decoded tree
+				// reproduces identical record digests.
+				wd, ok := RootDigest(tr, rs)
+				if !ok {
+					t.Fatal("encoded tree has no root digest")
+				}
+				gd, err := tb.Digest(root)
+				if err != nil || gd != wd {
+					t.Fatalf("digest mismatch after round trip: %v vs %v (%v)", gd, wd, err)
+				}
+
+				// Compressed stream into an uncompressed family: must fail
+				// with ErrNoCompressor, not panic or misdecode.
+				plainTb := NewDecodeTable[int, int64, int64, sumTraits](Config{Scheme: sch, Block: block})
+				if _, err := plainTb.DecodeRecords(testCodec(), buf, wrote); !errors.Is(err, ErrNoCompressor) {
+					t.Fatalf("plain family decoded compressed stream: err=%v", err)
+				}
+
+				// Plain stream into a compressed family: leaves re-pack.
+				flat := New[int, int64, int64, sumTraits](Config{Scheme: sch, Block: block}).Build(tr.Entries(), nil)
+				frs := NewRecordSet[int, int64, int64]()
+				fbuf, froot, fwrote := EncodeDelta(flat, frs, testCodec(), nil)
+				xtb := NewDecodeTable[int, int64, int64, sumTraits](cfg)
+				if _, err := xtb.DecodeRecords(testCodec(), fbuf, fwrote); err != nil {
+					t.Fatalf("cross decode: %v", err)
+				}
+				xt, err := xtb.Tree(froot)
+				if err != nil {
+					t.Fatalf("cross decode Tree: %v", err)
+				}
+				if !xt.Compressed() {
+					t.Fatal("cross-decoded tree not compressed")
+				}
+				if err := xt.Validate(i64eq); err != nil {
+					t.Fatalf("cross-decoded tree invalid: %v", err)
+				}
+				xe := xt.Entries()
+				if len(xe) != len(we) {
+					t.Fatalf("cross decode %d entries, want %d", len(xe), len(we))
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedDecodeRejectsCorrupt exercises decodePacked on damaged
+// payloads: every strict prefix errors, trailing garbage errors,
+// non-canonical (overlong-varint) re-encodings error, and single-bit
+// flips never panic.
+func TestCompressedDecodeRejectsCorrupt(t *testing.T) {
+	base := newSumComp(WeightBalanced, DefaultBlock)
+	o := base.o()
+	items := []Entry[int, int64]{{Key: -500, Val: 1}, {Key: 3, Val: -70000}, {Key: 4, Val: 0}, {Key: 90000, Val: 12}}
+	payload := o.packLeafInto(nil, items)
+	less := func(a, b int) bool { return a < b }
+
+	dec, err := decodePacked[int, int64](testComp{}, less, payload, DefaultBlock, nil)
+	if err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	for i, e := range items {
+		if dec[i] != e {
+			t.Fatalf("decoded entry %d = %v, want %v", i, dec[i], e)
+		}
+	}
+
+	for i := 0; i < len(payload); i++ {
+		if _, err := decodePacked[int, int64](testComp{}, less, payload[:i], DefaultBlock, nil); err == nil {
+			t.Fatalf("prefix of length %d decoded without error", i)
+		}
+	}
+	if _, err := decodePacked[int, int64](testComp{}, less, append(append([]byte{}, payload...), 0), DefaultBlock, nil); err == nil {
+		t.Fatal("payload with trailing garbage decoded without error")
+	}
+	// Count larger than the block size.
+	over := binary.AppendUvarint(nil, uint64(DefaultBlock+1))
+	over = append(over, payload[1:]...)
+	if _, err := decodePacked[int, int64](testComp{}, less, over, DefaultBlock, nil); !errors.Is(err, ErrBadBlockSize) {
+		t.Fatalf("oversized count: err=%v, want ErrBadBlockSize", err)
+	}
+	// Zero count.
+	if _, err := decodePacked[int, int64](testComp{}, less, []byte{0}, DefaultBlock, nil); err == nil {
+		t.Fatal("zero count decoded without error")
+	}
+	// Non-canonical: re-encode the anchor as an overlong varint. The
+	// entries are identical, so only the canonicality check can reject it.
+	overlong := []byte{payload[0]}
+	overlong = append(overlong, payload[1]|0x80, 0x00)
+	overlong = append(overlong, payload[2:]...)
+	if payload[1] < 0x80 { // anchor fit one byte, so the overlong form is valid varint syntax
+		if _, err := decodePacked[int, int64](testComp{}, less, overlong, DefaultBlock, nil); !errors.Is(err, ErrBadPacked) {
+			t.Fatalf("overlong anchor: err=%v, want ErrBadPacked", err)
+		}
+	}
+	// Single-bit flips: must never panic; anything accepted must be
+	// canonical (decodePacked enforces it internally).
+	for i := 0; i < len(payload); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, payload...)
+			mut[i] ^= 1 << bit
+			decodePacked[int, int64](testComp{}, less, mut, DefaultBlock, nil)
+		}
+	}
+}
+
+// TestCompressedConfigMismatch pins the fail-fast on a Compressor whose
+// type parameters don't match the tree's.
+func TestCompressedConfigMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a Compressor of the wrong type")
+		}
+	}()
+	New[int, int64, int64, sumTraits](Config{Compress: "not a compressor"})
+}
+
+// FuzzCompressedBlock fuzzes the packed-block codec from both sides:
+// arbitrary bytes through the defensive decoder (error, never panic;
+// anything accepted re-encodes byte-identically and rejects all strict
+// prefixes), and entry sets derived from the input through a full
+// encode -> decode -> compare round trip.
+func FuzzCompressedBlock(f *testing.F) {
+	base := newSumComp(WeightBalanced, DefaultBlock)
+	o := base.o()
+	f.Add(o.packLeafInto(nil, []Entry[int, int64]{{Key: 1, Val: 10}, {Key: 5, Val: -3}, {Key: 1000, Val: 7}}))
+	f.Add(o.packLeafInto(nil, []Entry[int, int64]{{Key: -1 << 40, Val: 1 << 50}}))
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0})
+	f.Add([]byte{1, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := testComp{}
+		less := func(a, b int) bool { return a < b }
+
+		items, err := decodePacked[int, int64](comp, less, data, DefaultBlock, nil)
+		if err == nil {
+			re := binary.AppendUvarint(nil, uint64(len(items)))
+			re = appendPackedEntries[int, int64](comp, re, items)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted payload is not canonical: %x re-encodes to %x", data, re)
+			}
+			for i := 0; i < len(data); i++ {
+				if _, err := decodePacked[int, int64](comp, less, data[:i], DefaultBlock, nil); err == nil {
+					t.Fatalf("strict prefix %d of a valid payload decoded", i)
+				}
+			}
+		}
+
+		// Derive a sorted entry set from the input and round-trip it.
+		var entries []Entry[int, int64]
+		k := -300
+		for i := 0; i+1 < len(data) && len(entries) < DefaultBlock; i += 2 {
+			k += int(data[i]) + 1
+			entries = append(entries, Entry[int, int64]{Key: k, Val: int64(int8(data[i+1])) * 1001})
+		}
+		if len(entries) == 0 {
+			return
+		}
+		enc := binary.AppendUvarint(nil, uint64(len(entries)))
+		enc = appendPackedEntries[int, int64](comp, enc, entries)
+		dec, err := decodePacked[int, int64](comp, less, enc, DefaultBlock, nil)
+		if err != nil {
+			t.Fatalf("round trip of %d entries failed: %v", len(entries), err)
+		}
+		if len(dec) != len(entries) {
+			t.Fatalf("round trip decoded %d entries, want %d", len(dec), len(entries))
+		}
+		for i := range entries {
+			if dec[i] != entries[i] {
+				t.Fatalf("round trip entry %d = %v, want %v", i, dec[i], entries[i])
+			}
+		}
+	})
+}

@@ -11,9 +11,14 @@ type Cursor[K, V, A any, T Traits[K, V, A]] struct {
 	// stack holds the path of interior nodes whose entry is still to be
 	// emitted (each pushed node's left subtree has been fully handled).
 	stack []*node[K, V, A]
-	// leaf/leafIdx point at the block currently being scanned, if any.
-	leaf    *node[K, V, A]
-	leafIdx int
+	// leafItems/leafIdx point into the block currently being scanned, if
+	// any: the block's own array for a flat leaf, the decode scratch for
+	// a compressed one.
+	leafItems []Entry[K, V]
+	leafIdx   int
+	// buf is the reusable decode scratch — one block decode per
+	// compressed leaf visited, amortized across the whole iteration.
+	buf []Entry[K, V]
 }
 
 // Cursor returns a cursor positioned before the first entry.
@@ -25,8 +30,8 @@ func (t Tree[K, V, A, T]) Cursor() *Cursor[K, V, A, T] {
 
 func (c *Cursor[K, V, A, T]) pushLeftSpine(n *node[K, V, A]) {
 	for n != nil {
-		if n.items != nil {
-			c.leaf, c.leafIdx = n, 0
+		if isLeaf(n) {
+			c.setLeaf(n, 0)
 			return
 		}
 		c.stack = append(c.stack, n)
@@ -34,13 +39,24 @@ func (c *Cursor[K, V, A, T]) pushLeftSpine(n *node[K, V, A]) {
 	}
 }
 
+// setLeaf positions the cursor at index i of leaf block n.
+func (c *Cursor[K, V, A, T]) setLeaf(n *node[K, V, A], i int) {
+	if n.packed != nil {
+		c.buf = c.o.leafAppendTo(c.buf[:0], n)
+		c.leafItems = c.buf
+	} else {
+		c.leafItems = n.items
+	}
+	c.leafIdx = i
+}
+
 // Next advances to the next entry; ok is false when exhausted.
 func (c *Cursor[K, V, A, T]) Next() (k K, v V, ok bool) {
-	if c.leaf != nil {
-		e := c.leaf.items[c.leafIdx]
+	if c.leafItems != nil {
+		e := c.leafItems[c.leafIdx]
 		c.leafIdx++
-		if c.leafIdx == len(c.leaf.items) {
-			c.leaf = nil
+		if c.leafIdx == len(c.leafItems) {
+			c.leafItems = nil
 		}
 		return e.Key, e.Val, true
 	}
@@ -57,12 +73,12 @@ func (c *Cursor[K, V, A, T]) Next() (k K, v V, ok bool) {
 // first one with key >= target. O(log n).
 func (c *Cursor[K, V, A, T]) SeekGE(t Tree[K, V, A, T], target K) {
 	c.stack = c.stack[:0]
-	c.leaf = nil
+	c.leafItems = nil
 	n := t.root
 	for n != nil {
-		if n.items != nil {
-			if i, _ := c.o.leafSearch(n.items, target); i < len(n.items) {
-				c.leaf, c.leafIdx = n, i
+		if isLeaf(n) {
+			if i, _ := c.o.leafBound(n, target); i < leafLen(n) {
+				c.setLeaf(n, i)
 			}
 			return
 		}

@@ -121,7 +121,7 @@ func RecordCount[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T]) int {
 		if n == nil {
 			return 0
 		}
-		if n.items != nil {
+		if isLeaf(n) {
 			return 1
 		}
 		return 1 + walk(n.left) + walk(n.right)
@@ -149,6 +149,15 @@ func interiorDigest(scratch []byte, aux uint64, l, r Digest, entry []byte) ([]by
 const (
 	recLeaf     = 0x00
 	recInterior = 0x01
+	// recLeafPacked carries a compressed leaf block's packed payload
+	// verbatim (length-prefixed): the difference-encoded byte string is
+	// already a canonical, self-contained encoding of the block, so
+	// checkpoints of compressed trees serialize the fringe with no
+	// per-entry re-encoding — and shrink by the same factor the in-memory
+	// blocks do. Decoding requires the family's Compressor (the decoder
+	// validates the payload and rebuilds the block from it); a family
+	// without one fails with ErrNoCompressor.
+	recLeafPacked = 0x02
 )
 
 // EncodeDelta appends, to buf, one record for every node of t not yet
@@ -171,7 +180,13 @@ func EncodeDelta[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], rs *RecordS
 			return m
 		}
 		var sum Digest
-		if n.items != nil {
+		if n.packed != nil {
+			start := len(buf)
+			buf = append(buf, recLeafPacked)
+			buf = binary.AppendUvarint(buf, uint64(len(n.packed)))
+			buf = append(buf, n.packed...)
+			sum = leafDigest(buf[start:])
+		} else if n.items != nil {
 			start := len(buf)
 			buf = append(buf, recLeaf)
 			buf = binary.AppendUvarint(buf, uint64(len(n.items)))
@@ -318,6 +333,30 @@ func (tb *DecodeTable[K, V, A, T]) DecodeRecords(c *Codec[K, V], data []byte, n 
 				if i > 0 && !o.tr.Less(items[i-1].Key, k) {
 					return nil, ErrUnsortedBlock
 				}
+			}
+			tb.nodes = append(tb.nodes, o.mkLeafOwned(items))
+			tb.sums = append(tb.sums, leafDigest(recStart[:len(recStart)-len(data)]))
+		case recLeafPacked:
+			if o.comp == nil {
+				return nil, ErrNoCompressor
+			}
+			plen, sz := binary.Uvarint(data)
+			if sz <= 0 {
+				return nil, ErrCorrupt
+			}
+			data = data[sz:]
+			if plen > uint64(len(data)) {
+				return nil, ErrCorrupt
+			}
+			payload := data[:plen]
+			data = data[plen:]
+			// Defensive decode enforces count bounds, key order, full
+			// consumption, and canonicality; mkLeafOwned then re-packs to
+			// byte-identical payload, so a decoded block is
+			// indistinguishable from a locally built one.
+			items, err := decodePacked(o.comp, o.tr.Less, payload, block, nil)
+			if err != nil {
+				return nil, err
 			}
 			tb.nodes = append(tb.nodes, o.mkLeafOwned(items))
 			tb.sums = append(tb.sums, leafDigest(recStart[:len(recStart)-len(data)]))

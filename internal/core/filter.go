@@ -10,7 +10,7 @@ func (o *ops[K, V, A, T]) filter(t *node[K, V, A], pred func(k K, v V) bool) *no
 	if t == nil {
 		return nil
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		return o.leafFilter(t, pred)
 	}
 	keep := pred(t.key, t.val)
@@ -38,19 +38,22 @@ func (o *ops[K, V, A, T]) filter(t *node[K, V, A], pred func(k K, v V) bool) *no
 // keep-everything case — the common one under selective AugFilter
 // pruning — is detected by an allocation-free scan first.
 func (o *ops[K, V, A, T]) leafFilter(t *node[K, V, A], pred func(k K, v V) bool) *node[K, V, A] {
-	first := -1
-	for i, e := range t.items {
+	first, at := -1, 0
+	o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
 		if !pred(e.Key, e.Val) {
-			first = i
-			break
+			first = at
+			return false
 		}
-	}
+		at++
+		return true
+	})
 	if first < 0 {
 		return t
 	}
-	kept := make([]Entry[K, V], 0, len(t.items)-1)
-	kept = append(kept, t.items[:first]...)
-	for _, e := range t.items[first+1:] {
+	items := o.leafRead(t)
+	kept := make([]Entry[K, V], 0, len(items)-1)
+	kept = append(kept, items[:first]...)
+	for _, e := range items[first+1:] {
 		if pred(e.Key, e.Val) {
 			kept = append(kept, e)
 		}
@@ -92,7 +95,7 @@ func (o *ops[K, V, A, T]) augFilterPred(t *node[K, V, A], hAny, hAll func(a A) b
 	if hAll != nil && hAll(t.aug) {
 		return t // take the whole subtree, keeping the reference
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		return o.leafFilter(t, entryPred)
 	}
 	keep := entryPred(t.key, t.val)

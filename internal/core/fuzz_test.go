@@ -28,76 +28,80 @@ func FuzzTreeOps(f *testing.F) {
 	f.Add(leafSeed)
 	f.Fuzz(func(t *testing.T, prog []byte) {
 		for _, sch := range allSchemes {
-			tr := newSum(sch)
-			m := model{}
-			i := 0
-			next := func() (byte, bool) {
-				if i >= len(prog) {
-					return 0, false
-				}
-				b := prog[i]
-				i++
-				return b, true
-			}
-			for {
-				op, ok := next()
-				if !ok {
-					break
-				}
-				arg, ok := next()
-				if !ok {
-					break
-				}
-				k := int(arg)
-				switch op % 6 {
-				case 0: // insert
-					tr = tr.Insert(k, int64(k)*3)
-					m[k] = int64(k) * 3
-				case 1: // delete
-					tr = tr.Delete(k)
-					delete(m, k)
-				case 2: // insert-with accumulate
-					tr = tr.InsertWith(k, 1, func(o, n int64) int64 { return o + n })
-					m[k]++
-				case 3: // split and rejoin (must be identity)
-					l, v, found, r := tr.Split(k)
-					if found {
-						tr = l.Join(k, v, r)
-					} else {
-						tr = l.Concat(r)
+			// Each program runs under both leaf layouts: flat blocks and
+			// compressed (packed) blocks.
+			for _, compress := range []any{nil, testComp{}} {
+				tr := New[int, int64, int64, sumTraits](Config{Scheme: sch, Compress: compress})
+				m := model{}
+				i := 0
+				next := func() (byte, bool) {
+					if i >= len(prog) {
+						return 0, false
 					}
-				case 4: // range restrict to [k, k+64]
-					tr = tr.Range(k, k+64)
-					for kk := range m {
-						if kk < k || kk > k+64 {
-							delete(m, kk)
+					b := prog[i]
+					i++
+					return b, true
+				}
+				for {
+					op, ok := next()
+					if !ok {
+						break
+					}
+					arg, ok := next()
+					if !ok {
+						break
+					}
+					k := int(arg)
+					switch op % 6 {
+					case 0: // insert
+						tr = tr.Insert(k, int64(k)*3)
+						m[k] = int64(k) * 3
+					case 1: // delete
+						tr = tr.Delete(k)
+						delete(m, k)
+					case 2: // insert-with accumulate
+						tr = tr.InsertWith(k, 1, func(o, n int64) int64 { return o + n })
+						m[k]++
+					case 3: // split and rejoin (must be identity)
+						l, v, found, r := tr.Split(k)
+						if found {
+							tr = l.Join(k, v, r)
+						} else {
+							tr = l.Concat(r)
+						}
+					case 4: // range restrict to [k, k+64]
+						tr = tr.Range(k, k+64)
+						for kk := range m {
+							if kk < k || kk > k+64 {
+								delete(m, kk)
+							}
+						}
+					case 5: // pop min
+						if pk, _, rest, ok := tr.RemoveFirst(); ok {
+							delete(m, pk)
+							tr = rest
 						}
 					}
-				case 5: // pop min
-					if pk, _, rest, ok := tr.RemoveFirst(); ok {
-						delete(m, pk)
-						tr = rest
+				}
+				if err := tr.Validate(i64eq); err != nil {
+					t.Fatalf("%v after program %v: %v", sch, prog, err)
+				}
+				if int(tr.Size()) != len(m) {
+					t.Fatalf("%v: size %d want %d (program %v)", sch, tr.Size(), len(m), prog)
+				}
+				for k, v := range m {
+					got, ok := tr.Find(k)
+					if !ok || got != v {
+						t.Fatalf("%v: Find(%d)=%d,%v want %d (program %v)", sch, k, got, ok, v, prog)
 					}
 				}
-			}
-			if err := tr.Validate(i64eq); err != nil {
-				t.Fatalf("%v after program %v: %v", sch, prog, err)
-			}
-			if int(tr.Size()) != len(m) {
-				t.Fatalf("%v: size %d want %d (program %v)", sch, tr.Size(), len(m), prog)
-			}
-			for k, v := range m {
-				got, ok := tr.Find(k)
-				if !ok || got != v {
-					t.Fatalf("%v: Find(%d)=%d,%v want %d (program %v)", sch, k, got, ok, v, prog)
+				var sum int64
+				for _, v := range m {
+					sum += v
 				}
-			}
-			var sum int64
-			for _, v := range m {
-				sum += v
-			}
-			if tr.AugVal() != sum {
-				t.Fatalf("%v: AugVal %d want %d (program %v)", sch, tr.AugVal(), sum, prog)
+				if tr.AugVal() != sum {
+					t.Fatalf("%v: AugVal %d want %d (program %v)", sch, tr.AugVal(), sum, prog)
+				}
 			}
 		}
 	})

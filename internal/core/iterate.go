@@ -9,18 +9,14 @@ func (o *ops[K, V, A, T]) forEachRange(t *node[K, V, A], lo, hi K, visit func(k 
 	if t == nil {
 		return true
 	}
-	if t.items != nil {
-		i, _ := o.leafSearch(t.items, lo)
-		for ; i < len(t.items); i++ {
-			e := t.items[i]
+	if isLeaf(t) {
+		i, _ := o.leafBound(t, lo)
+		return o.leafScanRange(t, i, leafLen(t), func(e Entry[K, V]) bool {
 			if o.tr.Less(hi, e.Key) {
 				return true
 			}
-			if !visit(e.Key, e.Val) {
-				return false
-			}
-		}
-		return true
+			return visit(e.Key, e.Val)
+		})
 	}
 	if o.tr.Less(t.key, lo) {
 		return o.forEachRange(t.right, lo, hi, visit)
@@ -51,10 +47,13 @@ func (o *ops[K, V, A, T]) fillValues(t *node[K, V, A], out []V) {
 	if t == nil {
 		return
 	}
-	if t.items != nil {
-		for i, e := range t.items {
+	if isLeaf(t) {
+		i := 0
+		o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
 			out[i] = e.Val
-		}
+			i++
+			return true
+		})
 		return
 	}
 	ls := size(t.left)

@@ -33,9 +33,9 @@ func (o *ops[K, V, A, T]) join(l *node[K, V, A], m *node[K, V, A], r *node[K, V,
 func (o *ops[K, V, A, T]) joinKV(l *node[K, V, A], k K, v V, r *node[K, V, A]) *node[K, V, A] {
 	if total := size(l) + size(r) + 1; total <= int64(o.blockSize()) {
 		buf := make([]Entry[K, V], 0, total)
-		buf = gatherEntries(l, buf)
+		buf = o.gather(l, buf)
 		buf = append(buf, Entry[K, V]{Key: k, Val: v})
-		buf = gatherEntries(r, buf)
+		buf = o.gather(r, buf)
 		o.dec(l)
 		o.dec(r)
 		return o.mkLeafOwned(buf)
@@ -47,9 +47,9 @@ func (o *ops[K, V, A, T]) joinKV(l *node[K, V, A], k K, v V, r *node[K, V, A]) *
 // most one block) into a single leaf block.
 func (o *ops[K, V, A, T]) collapseJoin(l, m, r *node[K, V, A]) *node[K, V, A] {
 	buf := make([]Entry[K, V], 0, size(l)+size(r)+1)
-	buf = gatherEntries(l, buf)
+	buf = o.gather(l, buf)
 	buf = append(buf, Entry[K, V]{Key: m.key, Val: m.val})
-	buf = gatherEntries(r, buf)
+	buf = o.gather(r, buf)
 	o.dec(l)
 	o.dec(r)
 	m.left, m.right = nil, nil
@@ -112,16 +112,16 @@ func (o *ops[K, V, A, T]) split(t *node[K, V, A], k K) splitOut[K, V, A] {
 	if t == nil {
 		return splitOut[K, V, A]{}
 	}
-	if t.items != nil {
-		i, found := o.leafSearch(t.items, k)
+	if isLeaf(t) {
+		i, found := o.leafBound(t, k)
 		out := splitOut[K, V, A]{found: found}
 		j := i
 		if found {
-			out.v = t.items[i].Val
+			out.v = o.leafAt(t, i).Val
 			j = i + 1
 		}
-		out.l = o.mkLeafCopy(t.items[:i])
-		out.r = o.mkLeafCopy(t.items[j:])
+		out.l = o.leafSlice(t, 0, i)
+		out.r = o.leafSlice(t, j, leafLen(t))
 		o.dec(t)
 		return out
 	}
@@ -148,9 +148,9 @@ func (o *ops[K, V, A, T]) split(t *node[K, V, A], k K) splitOut[K, V, A] {
 // splitLast removes the maximum entry of t (consumed, non-nil), returning
 // the remaining tree and the removed entry.
 func (o *ops[K, V, A, T]) splitLast(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
-	if t.items != nil {
-		e := t.items[len(t.items)-1]
-		rest = o.leafWithout(t, len(t.items)-1)
+	if isLeaf(t) {
+		e := o.leafAt(t, leafLen(t)-1)
+		rest = o.leafWithout(t, leafLen(t)-1)
 		return rest, e.Key, e.Val
 	}
 	if t.right == nil {
@@ -166,8 +166,8 @@ func (o *ops[K, V, A, T]) splitLast(t *node[K, V, A]) (rest *node[K, V, A], k K,
 
 // splitFirst removes the minimum entry of t (consumed, non-nil).
 func (o *ops[K, V, A, T]) splitFirst(t *node[K, V, A]) (rest *node[K, V, A], k K, v V) {
-	if t.items != nil {
-		e := t.items[0]
+	if isLeaf(t) {
+		e := o.leafAt(t, 0)
 		rest = o.leafWithout(t, 0)
 		return rest, e.Key, e.Val
 	}
@@ -186,9 +186,13 @@ func (o *ops[K, V, A, T]) splitFirst(t *node[K, V, A]) (rest *node[K, V, A], k K
 // consuming t; nil when it was the last entry. An exclusively owned
 // block is edited in place.
 func (o *ops[K, V, A, T]) leafWithout(t *node[K, V, A], i int) *node[K, V, A] {
-	if len(t.items) == 1 {
+	if leafLen(t) == 1 {
 		o.dec(t)
 		return nil
+	}
+	if t.packed != nil {
+		items := o.leafRead(t)
+		return o.rebuildLeaf(t, append(items[:i], items[i+1:]...))
 	}
 	t = o.mutable(t)
 	t.items = append(t.items[:i], t.items[i+1:]...)

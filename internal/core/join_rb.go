@@ -78,6 +78,27 @@ func (o *ops[K, V, A, T]) joinRB(l, m, r *node[K, V, A]) *node[K, V, A] {
 // rbFixRight on the way up, exactly like the red parent the unblocked
 // algorithm attaches.
 func (o *ops[K, V, A, T]) rbAbsorbRight(l, m *node[K, V, A]) *node[K, V, A] {
+	if l.packed != nil {
+		items := o.leafRead(l)
+		if len(items) < o.blockSize() {
+			items = append(items, Entry[K, V]{Key: m.key, Val: m.val})
+			m.left, m.right = nil, nil
+			o.dec(m)
+			return o.rebuildLeaf(l, items)
+		}
+		mid := len(items) / 2
+		left := o.mkLeafOwned(items[:mid:mid])
+		rest := make([]Entry[K, V], 0, len(items)-mid)
+		rest = append(rest, items[mid+1:]...)
+		rest = append(rest, Entry[K, V]{Key: m.key, Val: m.val})
+		piv := o.alloc(items[mid].Key, items[mid].Val)
+		m.left, m.right = nil, nil
+		o.dec(m)
+		o.dec(l)
+		t := o.attach(piv, left, o.mkLeafOwned(rest))
+		t.aux = rbMake(1, true)
+		return t
+	}
 	items := l.items
 	if len(items) < o.blockSize() {
 		l = o.mutable(l)
@@ -104,6 +125,29 @@ func (o *ops[K, V, A, T]) rbAbsorbRight(l, m *node[K, V, A]) *node[K, V, A] {
 
 // rbAbsorbLeft is the mirror: m's entry is the minimum of the region.
 func (o *ops[K, V, A, T]) rbAbsorbLeft(m, r *node[K, V, A]) *node[K, V, A] {
+	if r.packed != nil {
+		items := o.leafRead(r)
+		if len(items) < o.blockSize() {
+			grown := make([]Entry[K, V], 0, len(items)+1)
+			grown = append(grown, Entry[K, V]{Key: m.key, Val: m.val})
+			grown = append(grown, items...)
+			m.left, m.right = nil, nil
+			o.dec(m)
+			return o.rebuildLeaf(r, grown)
+		}
+		mid := (len(items) - 1) / 2 // both halves non-empty, m included left
+		first := make([]Entry[K, V], 0, mid+1)
+		first = append(first, Entry[K, V]{Key: m.key, Val: m.val})
+		first = append(first, items[:mid]...)
+		right := o.mkLeafOwned(items[mid+1:])
+		piv := o.alloc(items[mid].Key, items[mid].Val)
+		m.left, m.right = nil, nil
+		o.dec(m)
+		o.dec(r)
+		t := o.attach(piv, o.mkLeafOwned(first), right)
+		t.aux = rbMake(1, true)
+		return t
+	}
 	items := r.items
 	if len(items) < o.blockSize() {
 		r = o.mutable(r)
@@ -136,7 +180,7 @@ func (o *ops[K, V, A, T]) rbAbsorbLeft(m, r *node[K, V, A]) *node[K, V, A] {
 // the way up. Precondition: rbBH(l) > target, r black with
 // rbBH(r) == target.
 func (o *ops[K, V, A, T]) joinRightRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
-	if l != nil && l.items != nil && rbBH(l) > target {
+	if isLeaf(l) && rbBH(l) > target {
 		// target == 0 (r empty) with the spine ending in a block: fold
 		// the middle entry into the block instead of descending.
 		return o.rbAbsorbRight(l, m)
@@ -179,7 +223,7 @@ func (o *ops[K, V, A, T]) rbFixRight(l *node[K, V, A]) *node[K, V, A] {
 }
 
 func (o *ops[K, V, A, T]) joinLeftRB(l, m, r *node[K, V, A], target uint32) *node[K, V, A] {
-	if r != nil && r.items != nil && rbBH(r) > target {
+	if isLeaf(r) && rbBH(r) > target {
 		return o.rbAbsorbLeft(m, r)
 	}
 	if rbIsBlack(r) && rbBH(r) == target {

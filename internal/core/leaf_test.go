@@ -238,7 +238,7 @@ func TestSpaceStats(t *testing.T) {
 	if s.Entries != 10_000 {
 		t.Fatalf("entries %d", s.Entries)
 	}
-	if s.LeafBlocks < 10_000/DefaultBlock || s.LeafBlocks > 2*10_000/DefaultBlock+1 {
+	if s.LeafBlocks < 10_000/(DefaultBlock+1) || s.LeafBlocks > 2*10_000/DefaultBlock+1 {
 		t.Fatalf("leaf blocks %d out of range", s.LeafBlocks)
 	}
 	if s.InteriorNodes >= 10_000/2 {

@@ -5,19 +5,16 @@ import "repro/internal/parallel"
 // forEach visits entries in key order, sequentially (borrows t).
 // The visitor returns false to stop early; forEach reports whether the
 // walk ran to completion.
-func forEach[K, V, A any](t *node[K, V, A], visit func(k K, v V) bool) bool {
+func (o *ops[K, V, A, T]) forEach(t *node[K, V, A], visit func(k K, v V) bool) bool {
 	if t == nil {
 		return true
 	}
-	if t.items != nil {
-		for _, e := range t.items {
-			if !visit(e.Key, e.Val) {
-				return false
-			}
-		}
-		return true
+	if isLeaf(t) {
+		return o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
+			return visit(e.Key, e.Val)
+		})
 	}
-	return forEach(t.left, visit) && visit(t.key, t.val) && forEach(t.right, visit)
+	return o.forEach(t.left, visit) && visit(t.key, t.val) && o.forEach(t.right, visit)
 }
 
 // toSlice materializes the entries in key order. Each subtree writes into
@@ -33,7 +30,11 @@ func (o *ops[K, V, A, T]) fillSlice(t *node[K, V, A], out []Entry[K, V]) {
 	if t == nil {
 		return
 	}
-	if t.items != nil {
+	if isLeaf(t) {
+		if t.packed != nil {
+			o.leafAppendTo(out[:0], t) // decodes into the segment in place
+			return
+		}
 		copy(out, t.items)
 		return
 	}
@@ -56,10 +57,13 @@ func (o *ops[K, V, A, T]) fillKeys(t *node[K, V, A], out []K) {
 	if t == nil {
 		return
 	}
-	if t.items != nil {
-		for i, e := range t.items {
+	if isLeaf(t) {
+		i := 0
+		o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
 			out[i] = e.Key
-		}
+			i++
+			return true
+		})
 		return
 	}
 	ls := size(t.left)
@@ -78,7 +82,14 @@ func (o *ops[K, V, A, T]) mapValues(t *node[K, V, A], fn func(k K, v V) V) *node
 		return nil
 	}
 	t = o.mutable(t)
-	if t.items != nil {
+	if isLeaf(t) {
+		if t.packed != nil {
+			items := o.leafRead(t)
+			for i := range items {
+				items[i].Val = fn(items[i].Key, items[i].Val)
+			}
+			return o.rebuildLeaf(t, items)
+		}
 		for i := range t.items {
 			t.items[i].Val = fn(t.items[i].Key, t.items[i].Val)
 		}
@@ -106,11 +117,12 @@ func mapReduceNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *nod
 	if t == nil {
 		return id
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		acc := id
-		for _, e := range t.items {
+		o.leafScanRange(t, 0, leafLen(t), func(e Entry[K, V]) bool {
 			acc = f(acc, g(e.Key, e.Val))
-		}
+			return true
+		})
 		return acc
 	}
 	var lv, rv B

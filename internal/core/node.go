@@ -29,7 +29,8 @@ import (
 // in-place edits of the array.
 type node[K, V, A any] struct {
 	left, right *node[K, V, A]
-	items       []Entry[K, V] // non-nil: leaf block (sorted, 1..B entries)
+	items       []Entry[K, V] // non-nil: flat leaf block (sorted, 1..B entries)
+	packed      []byte        // non-nil: compressed leaf block (see compress.go)
 	key         K
 	val         V
 	aug         A
@@ -38,8 +39,12 @@ type node[K, V, A any] struct {
 	refs        atomic.Int32
 }
 
-// isLeaf reports whether t is a leaf block. nil is not a leaf.
-func isLeaf[K, V, A any](t *node[K, V, A]) bool { return t != nil && t.items != nil }
+// isLeaf reports whether t is a leaf block (flat or compressed). nil is
+// not a leaf. Within one tree family exactly one of the two leaf
+// representations occurs: packed iff a Compressor is configured.
+func isLeaf[K, V, A any](t *node[K, V, A]) bool {
+	return t != nil && (t.items != nil || t.packed != nil)
+}
 
 // Stats tracks node allocation for the space experiments (Table 4). All
 // counters are cumulative; Live = Allocated - Freed. Allocated/Freed
@@ -83,7 +88,8 @@ type ops[K, V, A any, T Traits[K, V, A]] struct {
 	grain int64
 	block int
 	stats *Stats
-	pool  *sync.Pool // non-nil when node recycling is enabled
+	pool  *sync.Pool       // non-nil when node recycling is enabled
+	comp  Compressor[K, V] // non-nil: leaf blocks are difference-encoded
 }
 
 // DefaultGrain is the subproblem size below which bulk operations stop
@@ -216,6 +222,8 @@ func (o *ops[K, V, A, T]) leafAug(items []Entry[K, V]) A {
 // mkLeafOwned wraps a fresh leaf node around items, taking ownership of
 // the slice (the caller must not retain it). Empty items yield nil.
 // items must be sorted, deduplicated, and no longer than the block size.
+// With a Compressor configured the entries are packed into a byte
+// string instead and the slice is released to the GC.
 func (o *ops[K, V, A, T]) mkLeafOwned(items []Entry[K, V]) *node[K, V, A] {
 	if len(items) == 0 {
 		return nil
@@ -224,7 +232,18 @@ func (o *ops[K, V, A, T]) mkLeafOwned(items []Entry[K, V]) *node[K, V, A] {
 	if o.stats != nil {
 		o.stats.LeafAllocated.Add(1)
 	}
-	n.items = items
+	if o.comp != nil {
+		p := o.packLeafInto(nil, items)
+		// Right-size: append growth can leave the buffer mostly slack,
+		// which defeats the point of packing. (rebuildLeaf deliberately
+		// keeps its reused buffer's capacity — mutation churn wants it.)
+		if cap(p)-len(p) > len(p)/8 {
+			p = append(make([]byte, 0, len(p)), p...)
+		}
+		n.packed = p
+	} else {
+		n.items = items
+	}
 	n.size = int64(len(items))
 	n.aug = o.leafAug(items)
 	n.aux = o.leafAux()
@@ -232,10 +251,14 @@ func (o *ops[K, V, A, T]) mkLeafOwned(items []Entry[K, V]) *node[K, V, A] {
 }
 
 // mkLeafCopy is mkLeafOwned over a private copy of items (for borrowed
-// input slices).
+// input slices). Compressed families skip the intermediate copy —
+// packing never retains the input slice.
 func (o *ops[K, V, A, T]) mkLeafCopy(items []Entry[K, V]) *node[K, V, A] {
 	if len(items) == 0 {
 		return nil
+	}
+	if o.comp != nil {
+		return o.mkLeafOwned(items)
 	}
 	own := make([]Entry[K, V], len(items))
 	copy(own, items)
@@ -304,7 +327,7 @@ func (o *ops[K, V, A, T]) dec(t *node[K, V, A]) {
 func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 	if o.stats != nil {
 		o.stats.Freed.Add(1)
-		if t.items != nil {
+		if isLeaf(t) {
 			o.stats.LeafFreed.Add(1)
 		}
 	}
@@ -312,7 +335,8 @@ func (o *ops[K, V, A, T]) free(t *node[K, V, A]) {
 		var zk K
 		var zv V
 		t.left, t.right = nil, nil
-		t.items = nil // the block array is garbage-collected, not pooled
+		t.items = nil  // the block array is garbage-collected, not pooled
+		t.packed = nil // likewise the packed byte string
 		// Zero the entry too: a recycled node reused as a leaf block
 		// never rewrites key/val, and stale values would otherwise stay
 		// reachable (pinned) for the new node's whole life.
@@ -337,13 +361,17 @@ func (o *ops[K, V, A, T]) mutable(t *node[K, V, A]) *node[K, V, A] {
 		panic("core: mutating an already-freed node — tree handle used after Release?")
 	}
 	var n *node[K, V, A]
-	if t.items != nil {
+	if isLeaf(t) {
 		n = o.getNode()
 		if o.stats != nil {
 			o.stats.LeafAllocated.Add(1)
 		}
-		n.items = make([]Entry[K, V], len(t.items))
-		copy(n.items, t.items)
+		if t.packed != nil {
+			n.packed = append([]byte(nil), t.packed...)
+		} else {
+			n.items = make([]Entry[K, V], len(t.items))
+			copy(n.items, t.items)
+		}
 	} else {
 		n = o.getNode()
 		n.key, n.val = t.key, t.val
@@ -424,18 +452,18 @@ func (o *ops[K, V, A, T]) leafSearch(items []Entry[K, V], k K) (int, bool) {
 	return lo, lo < len(items) && !o.tr.Less(k, items[lo].Key)
 }
 
-// gatherEntries appends every entry of t (in key order) to buf, borrowing
-// t. Used to collapse small subtrees into leaf blocks.
-func gatherEntries[K, V, A any](t *node[K, V, A], buf []Entry[K, V]) []Entry[K, V] {
+// gather appends every entry of t (in key order) to buf, borrowing t.
+// Used to collapse small subtrees into leaf blocks.
+func (o *ops[K, V, A, T]) gather(t *node[K, V, A], buf []Entry[K, V]) []Entry[K, V] {
 	if t == nil {
 		return buf
 	}
-	if t.items != nil {
-		return append(buf, t.items...)
+	if isLeaf(t) {
+		return o.leafAppendTo(buf, t)
 	}
-	buf = gatherEntries(t.left, buf)
+	buf = o.gather(t.left, buf)
 	buf = append(buf, Entry[K, V]{Key: t.key, Val: t.val})
-	return gatherEntries(t.right, buf)
+	return o.gather(t.right, buf)
 }
 
 // twoBlockNode builds an interior node over two blocks from an owned,
@@ -462,7 +490,7 @@ func (o *ops[K, V, A, T]) twoBlockNode(all []Entry[K, V]) *node[K, V, A] {
 // weight-neutral, so weight-balanced spine descents and rotations may
 // apply it freely when they need to look inside a block. Consumes t.
 func (o *ops[K, V, A, T]) expandLeaf(t *node[K, V, A]) *node[K, V, A] {
-	items := t.items
+	items := o.leafRead(t)
 	mid := len(items) / 2
 	l := o.mkLeafCopy(items[:mid])
 	r := o.mkLeafCopy(items[mid+1:])

@@ -22,8 +22,8 @@ func augProjectNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *no
 // (for the plain variant it is g∘Base).
 func augProjectKVNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, gEntry func(K, V) B, g func(A) B, f func(x, y B) B, id B) B {
 	for t != nil {
-		if t.items != nil {
-			return projectLeafRange(o, t.items, lo, hi, true, true, gEntry, f, id)
+		if isLeaf(t) {
+			return projectLeafRange(o, t, lo, hi, true, true, gEntry, f, id)
 		}
 		switch {
 		case o.tr.Less(t.key, lo):
@@ -40,24 +40,25 @@ func augProjectKVNode[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *
 	return id
 }
 
-// projectLeafRange folds f over the projections of a block's entries
-// restricted to the query range (either bound optional).
-func projectLeafRange[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], items []Entry[K, V], lo, hi K, useLo, useHi bool, gEntry func(K, V) B, f func(x, y B) B, id B) B {
-	i, j := 0, len(items)
+// projectLeafRange folds f over the projections of a leaf block's
+// entries restricted to the query range (either bound optional).
+func projectLeafRange[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[K, V, A], lo, hi K, useLo, useHi bool, gEntry func(K, V) B, f func(x, y B) B, id B) B {
+	i, j := 0, leafLen(t)
 	if useLo {
-		i, _ = o.leafSearch(items, lo)
+		i, _ = o.leafBound(t, lo)
 	}
 	if useHi {
 		var found bool
-		j, found = o.leafSearch(items, hi)
+		j, found = o.leafBound(t, hi)
 		if found {
 			j++
 		}
 	}
 	acc := id
-	for ; i < j; i++ {
-		acc = f(acc, gEntry(items[i].Key, items[i].Val))
-	}
+	o.leafScanRange(t, i, j, func(e Entry[K, V]) bool {
+		acc = f(acc, gEntry(e.Key, e.Val))
+		return true
+	})
 	return acc
 }
 
@@ -66,9 +67,9 @@ func projectKVGE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[
 	if t == nil {
 		return id
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		var hi K
-		return projectLeafRange(o, t.items, lo, hi, true, false, gEntry, f, id)
+		return projectLeafRange(o, t, lo, hi, true, false, gEntry, f, id)
 	}
 	if o.tr.Less(t.key, lo) {
 		return projectKVGE(o, t.right, lo, gEntry, g, f, id)
@@ -82,9 +83,9 @@ func projectKVLE[K, V, A, B any, T Traits[K, V, A]](o *ops[K, V, A, T], t *node[
 	if t == nil {
 		return id
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		var lo K
-		return projectLeafRange(o, t.items, lo, hi, false, true, gEntry, f, id)
+		return projectLeafRange(o, t, lo, hi, false, true, gEntry, f, id)
 	}
 	if o.tr.Less(hi, t.key) {
 		return projectKVLE(o, t.left, hi, gEntry, g, f, id)

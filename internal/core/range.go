@@ -6,23 +6,15 @@ package core
 // joining O(log n) shared subtrees; the boundary leaf blocks are cut
 // into fresh blocks.
 
-// leafSlice returns a new leaf block over items[i:j] of a borrowed leaf
-// (nil when empty).
-func (o *ops[K, V, A, T]) leafSlice(t *node[K, V, A], i, j int) *node[K, V, A] {
-	return o.mkLeafCopy(t.items[i:j])
-}
-
-// rangeKeys extracts the entries with lo <= key <= hi.
+// rangeKeys extracts the entries with lo <= key <= hi. (The boundary
+// blocks are cut with leafSlice — see compress.go for the leaf seam.)
 func (o *ops[K, V, A, T]) rangeKeys(t *node[K, V, A], lo, hi K) *node[K, V, A] {
 	for t != nil {
-		if t.items != nil {
-			i, _ := o.leafSearch(t.items, lo)
-			j, foundHi := o.leafSearch(t.items, hi)
+		if isLeaf(t) {
+			i, _ := o.leafBound(t, lo)
+			j, foundHi := o.leafBound(t, hi)
 			if foundHi {
 				j++
-			}
-			if i >= j {
-				return nil
 			}
 			return o.leafSlice(t, i, j)
 		}
@@ -45,9 +37,9 @@ func (o *ops[K, V, A, T]) rangeGE(t *node[K, V, A], lo K) *node[K, V, A] {
 	if t == nil {
 		return nil
 	}
-	if t.items != nil {
-		i, _ := o.leafSearch(t.items, lo)
-		return o.leafSlice(t, i, len(t.items))
+	if isLeaf(t) {
+		i, _ := o.leafBound(t, lo)
+		return o.leafSlice(t, i, leafLen(t))
 	}
 	if o.tr.Less(t.key, lo) {
 		return o.rangeGE(t.right, lo)
@@ -61,8 +53,8 @@ func (o *ops[K, V, A, T]) rangeLE(t *node[K, V, A], hi K) *node[K, V, A] {
 	if t == nil {
 		return nil
 	}
-	if t.items != nil {
-		j, found := o.leafSearch(t.items, hi)
+	if isLeaf(t) {
+		j, found := o.leafBound(t, hi)
 		if found {
 			j++
 		}

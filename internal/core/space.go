@@ -29,8 +29,16 @@ type SpaceStats struct {
 	LeafBlocks    int64 // fringe blocks
 	LeafEntries   int64 // entries stored inside blocks
 	Entries       int64 // total entries (interior + leaf)
-	Bytes         int64 // node structs + block arrays (by capacity)
-	BytesPerEntry float64
+	Bytes         int64 // alias of PhysicalBytes (kept for the Table 4 callers)
+	// PhysicalBytes is what the tree actually occupies: node structs plus
+	// block arrays (by capacity) or packed byte strings. LogicalBytes is
+	// what the flat blocked layout would occupy for the same entries, so
+	// CompressionRatio = LogicalBytes / PhysicalBytes is 1 for an
+	// uncompressed tree and the Table-4a'' space win for a compressed one.
+	PhysicalBytes    int64
+	LogicalBytes     int64
+	CompressionRatio float64
+	BytesPerEntry    float64 // PhysicalBytes / Entries
 }
 
 // SpaceStats walks the tree and reports its blocked-layout footprint.
@@ -45,11 +53,18 @@ func (t Tree[K, V, A, T]) SpaceStats() SpaceStats {
 		if n == nil {
 			return
 		}
-		s.Bytes += nodeSz
-		if n.items != nil {
+		s.PhysicalBytes += nodeSz
+		s.LogicalBytes += nodeSz
+		if isLeaf(n) {
 			s.LeafBlocks++
-			s.LeafEntries += int64(len(n.items))
-			s.Bytes += int64(cap(n.items)) * entrySz
+			cnt := int64(leafLen(n))
+			s.LeafEntries += cnt
+			s.LogicalBytes += cnt * entrySz
+			if n.packed != nil {
+				s.PhysicalBytes += int64(cap(n.packed))
+			} else {
+				s.PhysicalBytes += int64(cap(n.items)) * entrySz
+			}
 			return
 		}
 		s.InteriorNodes++
@@ -57,9 +72,13 @@ func (t Tree[K, V, A, T]) SpaceStats() SpaceStats {
 		rec(n.right)
 	}
 	rec(t.root)
+	s.Bytes = s.PhysicalBytes
 	s.Entries = s.InteriorNodes + s.LeafEntries
 	if s.Entries > 0 {
-		s.BytesPerEntry = float64(s.Bytes) / float64(s.Entries)
+		s.BytesPerEntry = float64(s.PhysicalBytes) / float64(s.Entries)
+	}
+	if s.PhysicalBytes > 0 {
+		s.CompressionRatio = float64(s.LogicalBytes) / float64(s.PhysicalBytes)
 	}
 	return s
 }
@@ -76,7 +95,7 @@ func NodeAugs[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T]) []A {
 		if n == nil {
 			return
 		}
-		if n.items != nil {
+		if isLeaf(n) {
 			out = append(out, n.aug)
 			return
 		}

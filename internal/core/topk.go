@@ -28,12 +28,13 @@ func TopKByAug[K, V, A any, T Traits[K, V, A]](t Tree[K, V, A, T], k int, less f
 			continue
 		}
 		n := it.n
-		if n.items != nil {
+		if isLeaf(n) {
 			// A leaf block expands into its concrete entries, each
 			// bounded by its exact Base value.
-			for _, e := range n.items {
+			o.leafScanRange(n, 0, leafLen(n), func(e Entry[K, V]) bool {
 				heap.Push(h, augItem[K, V, A]{k: e.Key, v: e.Val, prio: o.tr.Base(e.Key, e.Val)})
-			}
+				return true
+			})
 			continue
 		}
 		// Expand: the node's own entry plus its children, each bounded

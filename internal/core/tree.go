@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"iter"
 	"sync"
 )
@@ -23,6 +24,15 @@ type Config struct {
 	// Stats, when non-nil, receives node allocation statistics
 	// (Table 4 experiments).
 	Stats *Stats
+	// Compress, when non-nil, must be a Compressor[K, V] for the tree's
+	// key and value types: leaf blocks are then stored as
+	// difference-encoded byte strings (first-key anchor + zig-zag
+	// varint key deltas, compressor-encoded values) instead of flat
+	// []Entry arrays — see compress.go. The field is untyped because
+	// Config is shared across instantiations; New panics on a type
+	// mismatch. Like Scheme and Block, Compress must agree between
+	// trees that are combined.
+	Compress any
 	// Pool enables sync.Pool node recycling (the analogue of PAM's
 	// local/global allocator pools). Safety invariant: no Tree value —
 	// including snapshots and handles sharing structure with one — may
@@ -60,6 +70,13 @@ func New[K, V, A any, T Traits[K, V, A]](cfg Config) Tree[K, V, A, T] {
 	t.op.grain = cfg.Grain
 	t.op.block = cfg.Block
 	t.op.stats = cfg.Stats
+	if cfg.Compress != nil {
+		comp, ok := cfg.Compress.(Compressor[K, V])
+		if !ok {
+			panic(fmt.Sprintf("core: Config.Compress is %T, want a core.Compressor matching the tree's key and value types", cfg.Compress))
+		}
+		t.op.comp = comp
+	}
 	if cfg.Pool {
 		t.op.pool = &sync.Pool{}
 	}
@@ -216,7 +233,7 @@ func (t Tree[K, V, A, T]) First() (K, V, bool) {
 		var zv V
 		return zk, zv, false
 	}
-	k, v := first(t.root)
+	k, v := t.o().first(t.root)
 	return k, v, true
 }
 
@@ -227,7 +244,7 @@ func (t Tree[K, V, A, T]) Last() (K, V, bool) {
 		var zv V
 		return zk, zv, false
 	}
-	k, v := last(t.root)
+	k, v := t.o().last(t.root)
 	return k, v, true
 }
 
@@ -256,11 +273,11 @@ func (t Tree[K, V, A, T]) AugRight(k K) A { return t.o().augRight(t.root, k) }
 func (t Tree[K, V, A, T]) AugRange(lo, hi K) A { return t.o().augRange(t.root, lo, hi) }
 
 // ForEach visits entries in key order until visit returns false.
-func (t Tree[K, V, A, T]) ForEach(visit func(k K, v V) bool) { forEach(t.root, visit) }
+func (t Tree[K, V, A, T]) ForEach(visit func(k K, v V) bool) { t.o().forEach(t.root, visit) }
 
 // All returns an in-order iterator over the entries.
 func (t Tree[K, V, A, T]) All() iter.Seq2[K, V] {
-	return func(yield func(K, V) bool) { forEach(t.root, yield) }
+	return func(yield func(K, V) bool) { t.o().forEach(t.root, yield) }
 }
 
 // Entries materializes the entries in key order (in parallel).

@@ -26,19 +26,35 @@ func (o *ops[K, V, A, T]) validateLeaf(t *node[K, V, A], augEq func(x, y A) bool
 	if t.left != nil || t.right != nil {
 		return nodeInfo{}, fmt.Errorf("core: leaf block with children")
 	}
-	n := len(t.items)
+	items := t.items
+	switch {
+	case t.packed != nil:
+		if t.items != nil {
+			return nodeInfo{}, fmt.Errorf("core: leaf block with both flat and packed payloads")
+		}
+		// Defensive decode: enforces count bounds, in-block ordering,
+		// full consumption, and canonical encoding.
+		var err error
+		items, err = o.validatePacked(t)
+		if err != nil {
+			return nodeInfo{}, err
+		}
+	case o.comp != nil:
+		return nodeInfo{}, fmt.Errorf("core: flat leaf block in a compressed tree family")
+	}
+	n := len(items)
 	if n < 1 || n > o.blockSize() {
 		return nodeInfo{}, fmt.Errorf("core: leaf occupancy %d outside [1, %d]", n, o.blockSize())
 	}
 	for i := 1; i < n; i++ {
-		if !o.tr.Less(t.items[i-1].Key, t.items[i].Key) {
+		if !o.tr.Less(items[i-1].Key, items[i].Key) {
 			return nodeInfo{}, fmt.Errorf("core: leaf block keys out of order at %d", i)
 		}
 	}
 	if t.size != int64(n) {
 		return nodeInfo{}, fmt.Errorf("core: leaf size field %d, want %d", t.size, n)
 	}
-	if augEq != nil && !augEq(t.aug, o.leafAug(t.items)) {
+	if augEq != nil && !augEq(t.aug, o.leafAug(items)) {
 		return nodeInfo{}, fmt.Errorf("core: leaf augmented value mismatch (%d entries)", n)
 	}
 	if t.aux != o.leafAux() {
@@ -56,7 +72,7 @@ func (o *ops[K, V, A, T]) validateRec(t *node[K, V, A], augEq func(x, y A) bool)
 	if t.refs.Load() < 1 {
 		return nodeInfo{}, fmt.Errorf("core: node with nonpositive refcount %d", t.refs.Load())
 	}
-	if t.items != nil {
+	if isLeaf(t) {
 		return o.validateLeaf(t, augEq)
 	}
 	li, err := o.validateRec(t.left, augEq)
@@ -116,7 +132,7 @@ func (o *ops[K, V, A, T]) validateRec(t *node[K, V, A], augEq func(x, y A) bool)
 // validateOrder checks strict key ordering by in-order traversal.
 func (o *ops[K, V, A, T]) validateOrder(t *node[K, V, A]) error {
 	var prev *K
-	ok := forEach(t, func(k K, _ V) bool {
+	ok := o.forEach(t, func(k K, _ V) bool {
 		if prev != nil && !o.tr.Less(*prev, k) {
 			return false
 		}
@@ -147,7 +163,7 @@ func (t Tree[K, V, A, T]) Height() int {
 		if n == nil {
 			return 0
 		}
-		if n.items != nil {
+		if isLeaf(n) {
 			return 1
 		}
 		return 1 + max(h(n.left), h(n.right))

@@ -222,6 +222,10 @@ type BenchResult struct {
 	AllocsPerOp float64 `json:"allocs_op,omitempty"`
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
+	// BytesPerEntry carries the space entries of the trajectory
+	// (bytes_per_entry*): physical bytes per stored entry from
+	// SpaceStats, not a timing.
+	BytesPerEntry float64 `json:"bytes_per_entry,omitempty"`
 }
 
 // RunPerfSuite measures the registered perf-suite operations (via

@@ -12,6 +12,10 @@ import (
 	"repro/stabbing"
 )
 
+// scanSink keeps the scan benchmarks' fold from being dead-code
+// eliminated.
+var scanSink int64
+
 // bench measures one operation with the testing harness (usable outside
 // go test) and records ns/op and allocs/op.
 func bench(op string, n int, f func(b *testing.B)) BenchResult {
@@ -97,6 +101,37 @@ func runPerfSuite() []BenchResult {
 			m1.Find(uint64(i % (2 * coreN)))
 		}
 	}))
+
+	// Compressed leaf blocks (PR 10): space per entry of a 1M-entry
+	// uint64→int64 map — blocked baseline vs difference-encoded packed
+	// blocks — and the full ordered-scan cost over both layouts (the
+	// block cursor decodes packed blocks on the fly; the gate holds the
+	// compressed scan to the envelope).
+	const spaceN = 1 << 20
+	spaceItems := perfItems(9, spaceN)
+	flatSpace := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}).
+		Build(spaceItems, add)
+	compSpace := pam.NewAugMap[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{Compress: pam.CompressUint64()}).
+		Build(spaceItems, add)
+	out = append(out,
+		BenchResult{Op: "bytes_per_entry", N: spaceN,
+			BytesPerEntry: flatSpace.Tree().SpaceStats().BytesPerEntry},
+		BenchResult{Op: "bytes_per_entry_compressed", N: spaceN,
+			BytesPerEntry: compSpace.Tree().SpaceStats().BytesPerEntry},
+	)
+	scan := func(op string, m sumMap) BenchResult {
+		return bench(op, spaceN, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var s int64
+				m.ForEach(func(_ uint64, v int64) bool { s += v; return true })
+				scanSink = s
+			}
+		})
+	}
+	out = append(out,
+		scan("block_scan_throughput", flatSpace),
+		scan("block_scan_throughput_compressed", compSpace),
+	)
 
 	pts := perfPoints(geomN)
 	out = append(out, bench("rangetree_build", geomN, func(b *testing.B) {

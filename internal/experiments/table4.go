@@ -62,6 +62,25 @@ func runTable4(c Config) []Table {
 	blocked.Note = fmt.Sprintf("entry size %dB; PaC-trees (arXiv:2204.06077) report the same ~B-fold header amortization",
 		core.EntrySize[uint64, int64]())
 
+	// Compressed blocks (PR 10): the same map with difference-encoded
+	// keys and varint values inside each block, against the flat blocked
+	// layout at the same block size.
+	compressed := Table{
+		Title:  "Table 4a'': compressed leaf blocks (entries n=" + fmt.Sprintf("%d", n) + ")",
+		Header: []string{"block B", "layout", "bytes/entry", "ratio"},
+	}
+	for _, b := range []int{8, 32, 128} {
+		flat := buildSumCoreBlocked(c.Seed, n, b).SpaceStats()
+		comp := buildSumCoreCompressed(c.Seed, n, b).SpaceStats()
+		compressed.Rows = append(compressed.Rows,
+			[]string{fmt.Sprintf("%d", b), "blocked", fmt.Sprintf("%.1f", flat.BytesPerEntry), "1.0"},
+			[]string{fmt.Sprintf("%d", b), "compressed", fmt.Sprintf("%.1f", comp.BytesPerEntry),
+				fmt.Sprintf("%.1f", comp.CompressionRatio)},
+		)
+	}
+	compressed.Note = "first-key anchor + zig-zag varint key deltas, varint values; " +
+		"ratio is logical/physical bytes (CDS in arXiv:2204.06077 reports ~2-4x on integer keys)"
+
 	// Union sharing at two size ratios. "Unshared" is the physical node
 	// count (interior nodes + leaf blocks) if the two inputs and the
 	// output were fully private copies; "actual" counts shared nodes
@@ -112,7 +131,7 @@ func runTable4(c Config) []Table {
 			"x-ranges interleave finely), trading structural sharing for ~B-fold fewer inner nodes overall",
 	}
 
-	return []Table{sizes, blocked, sharing, inner}
+	return []Table{sizes, blocked, compressed, sharing, inner}
 }
 
 // buildSumCore builds directly at the core layer so CountUniqueNodes can
@@ -128,5 +147,16 @@ func buildSumCoreBlocked(seed uint64, n, block int) core.Tree[uint64, int64, int
 		entries[i] = core.Entry[uint64, int64]{Key: e.Key, Val: e.Val}
 	}
 	t := core.New[uint64, int64, int64, pam.SumEntry[uint64, int64]](core.Config{Block: block})
+	return t.Build(entries, addV)
+}
+
+func buildSumCoreCompressed(seed uint64, n, block int) core.Tree[uint64, int64, int64, pam.SumEntry[uint64, int64]] {
+	items := kvInput(seed, n)
+	entries := make([]core.Entry[uint64, int64], len(items))
+	for i, e := range items {
+		entries[i] = core.Entry[uint64, int64]{Key: e.Key, Val: e.Val}
+	}
+	t := core.New[uint64, int64, int64, pam.SumEntry[uint64, int64]](
+		core.Config{Block: block, Compress: pam.CompressUint64()})
 	return t.Build(entries, addV)
 }

@@ -148,3 +148,44 @@ func AppendFloat64(buf []byte, f float64) []byte {
 // ErrCorrupt is the generic malformed-stream error decoders return (and
 // Codec implementations should return for truncated input).
 var ErrCorrupt = core.ErrCorrupt
+
+// Compressor supplies the integer key image and value byte codec of a
+// compressed-leaf map (Options.Compress). KeyUint/KeyFromUint must be
+// exact inverses — this is the integer-key requirement of compressed
+// blocks: the key type needs a bijective uint64 image (the image order
+// need not match the map order; deltas are taken modulo 2^64). ValAt
+// must decode exactly what AppendVal appended and return an error,
+// never panic, on malformed bytes.
+type Compressor[K, V any] = core.Compressor[K, V]
+
+// ErrNoCompressor reports a compressed checkpoint record decoded by a
+// map family configured without Options.Compress (or vice versa).
+var ErrNoCompressor = core.ErrNoCompressor
+
+type uint64Compressor struct{}
+
+func (uint64Compressor) KeyUint(k uint64) uint64     { return k }
+func (uint64Compressor) KeyFromUint(u uint64) uint64 { return u }
+func (uint64Compressor) AppendVal(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+func (uint64Compressor) ValAt(data []byte) (int64, int, error) { return VarintAt(data) }
+
+// CompressUint64 returns the Compressor for uint64 keys and int64
+// values (zig-zag varint encoded) — the instantiation the serve layer's
+// durable stores use, and the compressed counterpart of Uint64Codec.
+func CompressUint64() Compressor[uint64, int64] { return uint64Compressor{} }
+
+type intCompressor struct{}
+
+func (intCompressor) KeyUint(k int) uint64     { return uint64(k) }
+func (intCompressor) KeyFromUint(u uint64) int { return int(u) }
+func (intCompressor) AppendVal(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+func (intCompressor) ValAt(data []byte) (int64, int, error) { return VarintAt(data) }
+
+// CompressInt returns the Compressor for int keys and int64 values.
+// The two's-complement uint64 cast round-trips negative keys exactly
+// (deltas are modular, so image wraparound is harmless).
+func CompressInt() Compressor[int, int64] { return intCompressor{} }

@@ -93,6 +93,20 @@ type Options struct {
 	// entry arrays are released to the GC). Like Scheme, Block must
 	// agree between maps that are combined (Union, Concat, ...).
 	Block int
+	// Compress, when non-nil, must be a Compressor[K, V] for the map's
+	// key and value types (NewAugMap panics on a mismatch): leaf blocks
+	// are then stored difference-encoded — a first-key anchor plus
+	// zig-zag varint key deltas, with compressor-encoded values —
+	// instead of flat entry arrays, cutting bytes/entry 2-5x for
+	// integer-keyed maps with locally dense keys (ids, timestamps,
+	// offsets) at the price of sequential O(B) block decoding on probes
+	// and re-encoding on block mutation. Scans decode on the fly and
+	// checkpoints serialize packed blocks verbatim, so durable stores
+	// shrink by the same factor. Requires keys with an exact uint64
+	// round-trip (see Compressor); CompressUint64 and CompressInt are
+	// the stock instances. Like Scheme and Block, Compress must agree
+	// between maps that are combined.
+	Compress any
 	// Stats, when non-nil, collects node allocation counters.
 	Stats *Stats
 	// Pool enables node recycling through a sync.Pool. Safety
@@ -108,7 +122,7 @@ type Options struct {
 }
 
 func (o Options) coreConfig() core.Config {
-	return core.Config{Scheme: o.Scheme, Grain: o.Grain, Block: o.Block, Stats: o.Stats, Pool: o.Pool}
+	return core.Config{Scheme: o.Scheme, Grain: o.Grain, Block: o.Block, Compress: o.Compress, Stats: o.Stats, Pool: o.Pool}
 }
 
 // AugMap is a persistent augmented ordered map with entry specification E.

@@ -53,9 +53,10 @@ func runCrashSchedule(t *testing.T, seed int64) {
 	if rng.Intn(2) == 0 { // half the schedules run a non-default pipeline
 		tuning = append(tuning, crashTuning(rng))
 	}
+	opts := crashOpts(seed) // half the schedules store compressed leaf blocks
 	const keySpace = 24
 
-	d, err := openDurSum(fs, shards, every, tuning...)
+	d, err := openDurSumOpts(opts, fs, shards, every, tuning...)
 	if err != nil {
 		t.Fatalf("initial open on an empty filesystem: %v", err)
 	}
@@ -112,7 +113,7 @@ func runCrashSchedule(t *testing.T, seed int64) {
 	if rng.Intn(3) == 0 {
 		// Crash during recovery, then recover from the second wreckage.
 		fs2.SetKillPoint(int64(rng.Intn(12)), rand.New(rand.NewSource(seed^0x2545f49)))
-		d2, err := openDurSum(fs2, shards, 0)
+		d2, err := openDurSumOpts(opts, fs2, shards, 0)
 		if err == nil {
 			// The kill point is still armed; liveness probes may trip it.
 			verifyCrashRecovery(t, d2, subs, true)
@@ -124,12 +125,23 @@ func runCrashSchedule(t *testing.T, seed int64) {
 		}
 		fs2 = NewMemFSFrom(fs2.DurableState())
 	}
-	d2, err := openDurSum(fs2, shards, 0)
+	d2, err := openDurSumOpts(opts, fs2, shards, 0)
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
 	verifyCrashRecovery(t, d2, subs, false)
 	d2.Close()
+}
+
+// crashOpts gives half the crash schedules compressed leaf blocks, so
+// checkpoint, WAL replay, compaction, and torn-write recovery all run
+// against packed payloads too. Recovery must reopen with the same
+// options, so the choice is a pure function of the seed.
+func crashOpts(seed int64) pam.Options {
+	if seed%2 == 0 {
+		return pam.Options{Compress: pam.CompressUint64()}
+	}
+	return pam.Options{}
 }
 
 // verifyCrashRecovery asserts the recovery contract against the record
@@ -236,9 +248,10 @@ func runAsyncCrashSchedule(t *testing.T, seed int64) {
 	writers := 1 + rng.Intn(3)
 	every := rng.Intn(4) * 3
 	tun := crashTuning(rng)
+	opts := crashOpts(seed)
 	const keySpace = 24
 
-	d, err := openDurSum(fs, shards, every, tun)
+	d, err := openDurSumOpts(opts, fs, shards, every, tun)
 	if err != nil {
 		t.Fatalf("initial open on an empty filesystem: %v", err)
 	}
@@ -312,7 +325,7 @@ func runAsyncCrashSchedule(t *testing.T, seed int64) {
 		subs = append(subs, crashBatch{seq: s.fut.Seq(), ops: s.ops, acked: a.Err == nil})
 	}
 
-	d2, err := openDurSum(NewMemFSFrom(fs.DurableState()), shards, 0)
+	d2, err := openDurSumOpts(opts, NewMemFSFrom(fs.DurableState()), shards, 0)
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}

@@ -59,22 +59,34 @@ func toOps(b []workload.KVOp) []kvop {
 	return out
 }
 
+// mapSchedOpts gives odd-seeded schedules compressed leaf blocks, so
+// the concurrency harness (and FuzzServe, which routes through it)
+// exercises both layouts. The oracle map stays flat — it is compared
+// only through Find/Entries, never merged with store maps.
+func mapSchedOpts(seed uint64) pam.Options {
+	if seed%2 == 1 {
+		return pam.Options{Compress: pam.CompressUint64()}
+	}
+	return pam.Options{}
+}
+
 // runMapSchedule runs one randomized concurrent schedule against a
 // sharded store (range- or hash-partitioned) and differentially
 // verifies every snapshot. rebalance additionally keeps a concurrent
 // rebalancer running (range stores only).
 func runMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards int, ranged, rebalance bool) {
 	t.Helper()
+	opts := mapSchedOpts(seed)
 	var s *sumStore
 	if ranged {
 		splits := make([]uint64, shards-1)
 		for i := range splits {
 			splits[i] = uint64(i+1) * cfg.KeySpace / uint64(shards)
 		}
-		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits)
+		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](opts, splits)
 	} else {
 		var err error
-		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash)
+		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](opts, shards, mixHash)
 		if err != nil {
 			t.Fatalf("NewHashStore: %v", err)
 		}
@@ -402,16 +414,17 @@ func TestServeDifferentialDeep(t *testing.T) {
 //     check in verifyMapSnapshots would catch a burned seqno).
 func runAsyncMapSchedule(t *testing.T, seed uint64, cfg workload.ScheduleCfg, shards int, ranged, rebalance bool, tun Tuning) {
 	t.Helper()
+	opts := mapSchedOpts(seed)
 	var s *sumStore
 	if ranged {
 		splits := make([]uint64, shards-1)
 		for i := range splits {
 			splits[i] = uint64(i+1) * cfg.KeySpace / uint64(shards)
 		}
-		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, splits, tun)
+		s = NewRangeStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](opts, splits, tun)
 	} else {
 		var err error
-		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](pam.Options{}, shards, mixHash, tun)
+		s, err = NewHashStore[uint64, int64, int64, pam.SumEntry[uint64, int64]](opts, shards, mixHash, tun)
 		if err != nil {
 			t.Fatalf("NewHashStore: %v", err)
 		}
